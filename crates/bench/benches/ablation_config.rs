@@ -1,0 +1,86 @@
+//! Ablation B: cost of Da CaPo's *real-time* protocol configuration.
+//!
+//! The paper's premise is that Da CaPo can configure protocols "in
+//! real-time" at connection setup. This bench measures
+//! `ConfigurationManager::configure` as the mechanism catalogue grows from
+//! the standard 10 entries to 64 (a rich module library), for both a
+//! best-effort and a fully-loaded requirement set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dacapo::catalog::MechanismCatalog;
+use dacapo::config::{ConfigContext, ConfigurationManager};
+use dacapo::functions::{MechanismProperties, ProtocolFunction};
+use dacapo::modules::DummyModule;
+use multe_qos::TransportRequirements;
+use std::time::Duration;
+
+/// Pads the standard catalogue with extra mechanism variants up to `n`
+/// entries (alternative error-detection and encryption mechanisms with
+/// slightly different properties, as a hardware-module-rich deployment
+/// would have).
+fn catalog_of_size(n: usize) -> MechanismCatalog {
+    let mut catalog = MechanismCatalog::standard();
+    let mut i = 0;
+    while catalog.len() < n {
+        let function = match i % 3 {
+            0 => ProtocolFunction::ErrorDetection,
+            1 => ProtocolFunction::Encryption,
+            _ => ProtocolFunction::Compression,
+        };
+        catalog.register(
+            &format!("variant-{i}"),
+            function,
+            MechanismProperties {
+                error_coverage: 1 + (i % 3) as u8,
+                cpu_cost: 3 + (i % 7) as u32,
+                throughput_factor: 0.90 + 0.001 * (i % 50) as f64,
+                ..Default::default()
+            },
+            |_p| Box::new(DummyModule::new(0)),
+        );
+        i += 1;
+    }
+    catalog
+}
+
+fn bench_configuration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_config");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    let loaded = TransportRequirements {
+        error_detection: true,
+        retransmission: true,
+        sequencing: true,
+        encryption: true,
+        bandwidth_bps: Some(5_000_000),
+        latency_budget_us: Some(500),
+        ..Default::default()
+    };
+    let ctx = ConfigContext {
+        transport_mtu: Some(1500),
+        ..Default::default()
+    };
+
+    for size in [10usize, 16, 32, 64] {
+        let mgr = ConfigurationManager::new(catalog_of_size(size));
+        group.bench_with_input(
+            BenchmarkId::new("full_requirements", size),
+            &mgr,
+            |b, mgr| b.iter(|| mgr.configure(&loaded, &ctx).expect("feasible")),
+        );
+        group.bench_with_input(BenchmarkId::new("best_effort", size), &mgr, |b, mgr| {
+            b.iter(|| {
+                mgr.configure(
+                    &TransportRequirements::best_effort(),
+                    &ConfigContext::default(),
+                )
+                .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configuration);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation C: per-mechanism processing cost.
+//!
+//! The paper concludes that *"what is crucial is careful design of the
+//! overall end-to-end protocol"* — the cost of protocol *functionality*
+//! dominates the cost of the flexible infrastructure. This bench measures
+//! each mechanism's pure down+up processing cost on an 8 KiB packet
+//! (thread-free: the module is driven directly), which is the data the
+//! configuration manager's `cpu_cost` properties abstract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dacapo::catalog::{MechanismCatalog, ModuleParams};
+use dacapo::functions::MechanismId;
+use dacapo::module::Outputs;
+use dacapo::packet::Packet;
+use std::time::Duration;
+
+const PACKET_SIZE: usize = 8192;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mechanisms");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(PACKET_SIZE as u64));
+
+    let catalog = MechanismCatalog::standard();
+    let params = ModuleParams::default();
+    // Compressible payload so RLE shows its best case; other mechanisms
+    // are content-oblivious.
+    let payload = vec![0xAAu8; PACKET_SIZE];
+
+    for id in [
+        "dummy",
+        "parity",
+        "crc16",
+        "crc32",
+        "xor-crypt",
+        "rle",
+        "seq",
+        "fragment",
+    ] {
+        let entry = catalog
+            .get(&MechanismId::new(id))
+            .expect("standard mechanism");
+        // One module instance per side, like a real connection.
+        let mut tx = entry.instantiate(&params);
+        let mut rx = entry.instantiate(&params);
+        group.bench_function(BenchmarkId::from_parameter(id), |b| {
+            let mut out = Outputs::new();
+            b.iter(|| {
+                tx.process_down(Packet::data(&payload), &mut out);
+                let mut delivered = 0;
+                for frame in out.take_down() {
+                    rx.process_up(frame, &mut out);
+                    delivered += out.take_up().len();
+                    let _ = out.take_down(); // discard acks
+                }
+                delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablation D: what dynamic reconfiguration costs.
+//!
+//! The paper positions Da CaPo against RT-CORBA precisely here: *"There is
+//! no way to reconfigure protocols after binding time in RT-CORBA"*
+//! (Section 3). This bench prices the capability:
+//!
+//! * `reconfigure_noop` — a reconfiguration to the already-running graph
+//!   (the fast path: no stack swap);
+//! * `reconfigure_swap` — alternating between an empty graph and a
+//!   CRC-protected one (tear down + rebuild the threaded stack);
+//! * `reconfigure_full_stack` — swapping to/from an
+//!   encryption+ARQ+CRC stack;
+//! * `stream_open` — the full stream-establishment control+data path
+//!   (Section 7 extension): QoS-negotiated `_open_stream` invocation plus
+//!   a dedicated Da CaPo flow connection.
+
+use bytes::Bytes;
+use cool_orb::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dacapo::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reconfig");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    let catalog = MechanismCatalog::standard();
+    let (ta, tb) = loopback_pair();
+    let conn_a = Connection::establish(ModuleGraph::empty(), ta, &catalog).expect("a");
+    let _conn_b = Connection::establish(ModuleGraph::empty(), tb, &catalog).expect("b");
+
+    let empty = ModuleGraph::empty();
+    let crc = ModuleGraph::from_ids(["crc32"]);
+    let full = ModuleGraph::from_ids(["xor-crypt", "go-back-n", "crc32"]);
+
+    group.bench_function("reconfigure_noop", |b| {
+        b.iter(|| conn_a.reconfigure(empty.clone()).expect("noop reconfig"))
+    });
+
+    group.bench_function("reconfigure_swap", |b| {
+        let mut to_crc = true;
+        b.iter(|| {
+            let target = if to_crc { crc.clone() } else { empty.clone() };
+            to_crc = !to_crc;
+            conn_a.reconfigure(target).expect("swap reconfig")
+        })
+    });
+
+    group.bench_function("reconfigure_full_stack", |b| {
+        let mut to_full = true;
+        b.iter(|| {
+            let target = if to_full { full.clone() } else { empty.clone() };
+            to_full = !to_full;
+            conn_a.reconfigure(target).expect("full reconfig")
+        })
+    });
+    conn_a.close();
+
+    // Stream establishment: control invocation + data-channel setup.
+    let exchange = LocalExchange::new();
+    let server_orb = Orb::with_exchange("bench-stream-server", exchange.clone());
+    serve_source(
+        &server_orb,
+        "camera",
+        ServerPolicy::permissive(),
+        |flow: cool_orb::FlowHandle, _granted: &GrantedQoS| {
+            let _ = flow.send(Bytes::from_static(b"first-frame"));
+            flow.close();
+        },
+    )
+    .expect("serve source");
+    let server = server_orb.listen_tcp("127.0.0.1:0").expect("listen");
+    let camera = server.object_ref("camera");
+    let client_orb = Orb::with_exchange("bench-stream-client", exchange);
+    let client: Arc<Orb> = client_orb;
+
+    group.sample_size(10);
+    group.bench_function("stream_open", |b| {
+        b.iter(|| {
+            let qos = QoSSpec::builder()
+                .throughput_bps(1_000_000, 1, 2_000_000)
+                .build();
+            let receiver = open_stream(&client, &camera, qos).expect("open stream");
+            let frame = receiver.recv(Duration::from_secs(10)).expect("first frame");
+            receiver.close();
+            frame.len()
+        })
+    });
+    group.finish();
+    server.close();
+}
+
+criterion_group!(benches, bench_reconfiguration);
+criterion_main!(benches);

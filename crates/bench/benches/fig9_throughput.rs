@@ -1,0 +1,76 @@
+//! Criterion companion to Figure 9: per-packet cost of the module
+//! pipeline as a function of stack depth and mechanism.
+//!
+//! The printable `fig9` binary measures wire-limited throughput over the
+//! shaped testbed link (the paper's actual experiment); this bench strips
+//! the wire away (loopback transport) and measures what the paper calls
+//! "how much performance is suffering from the module interfaces and
+//! packet forwarding" — the pure pipeline cost.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dacapo::prelude::*;
+use std::time::Duration;
+
+struct Pair {
+    tx: Connection,
+    rx: Connection,
+}
+
+fn pair(graph: ModuleGraph) -> Pair {
+    let catalog = MechanismCatalog::standard();
+    let (ta, tb) = loopback_pair();
+    let tx = Connection::establish(graph.clone(), ta, &catalog).expect("tx");
+    let rx = Connection::establish(graph, tb, &catalog).expect("rx");
+    Pair { tx, rx }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_pipeline");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    for packet_size in [1024usize, 65536] {
+        group.throughput(Throughput::Bytes(packet_size as u64));
+        let packet = Bytes::from(vec![0x5A; packet_size]);
+        for dummies in [0usize, 5, 20, 40] {
+            let p = pair(ModuleGraph::from_ids(vec!["dummy"; dummies]));
+            group.bench_with_input(
+                BenchmarkId::new(format!("dummies-{dummies}"), packet_size),
+                &packet,
+                |b, packet| {
+                    b.iter(|| {
+                        p.tx.endpoint().send(packet.clone()).expect("send");
+                        p.rx.endpoint()
+                            .recv_timeout(Duration::from_secs(10))
+                            .expect("recv")
+                    })
+                },
+            );
+            p.tx.close();
+            p.rx.close();
+        }
+
+        // The IRQ configuration: each packet waits for its ack.
+        let p = pair(ModuleGraph::from_ids(["irq"]));
+        group.bench_with_input(
+            BenchmarkId::new("irq", packet_size),
+            &packet,
+            |b, packet| {
+                b.iter(|| {
+                    p.tx.endpoint().send(packet.clone()).expect("send");
+                    p.rx.endpoint()
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("recv")
+                })
+            },
+        );
+        p.tx.close();
+        p.rx.close();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

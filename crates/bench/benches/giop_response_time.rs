@@ -1,0 +1,37 @@
+//! Criterion version of the GIOP 1.0 vs 9.9 response-time comparison
+//! ("Table 1"): one echo invocation over loopback TCP per iteration, with
+//! 0 (= standard GIOP), 1, 4 and 16 QoS parameters in the Request header.
+//!
+//! The paper's claim: the difference is negligible.
+
+use bench::RttHarness;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_response_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("giop_response_time");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(30);
+
+    let harness = RttHarness::new();
+    let payload = Bytes::from(vec![7u8; 256]);
+
+    for k in [0usize, 1, 4, 16] {
+        harness.set_qos_dimensions(k);
+        let label = if k == 0 {
+            "giop-1.0".to_string()
+        } else {
+            format!("giop-9.9-k{k}")
+        };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| harness.call_once(&payload));
+        });
+    }
+    group.finish();
+    harness.close();
+}
+
+criterion_group!(benches, bench_response_time);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Regenerates **Figure 9**: Da CaPo throughput (Mbit/s) for protocol
+//! configurations × packet sizes.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig9            # full sweep (~1 min)
+//! cargo run --release -p bench --bin fig9 -- --quick # ~15 s smoke sweep
+//! ```
+//!
+//! Paper claims checked at the bottom of the output:
+//!   1. throughput increases with packet size for a given stack;
+//!   2. adding 0 → 40 dummy modules barely affects throughput;
+//!   3. the IRQ (idle-repeat-request) configuration collapses throughput —
+//!      "careful evaluation of protocol functionality is needed".
+
+use bench::{fig9_configs, fig9_link_spec, fig9_packet_sizes, measure_throughput};
+use std::time::Duration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(800)
+    };
+    let packet_sizes = fig9_packet_sizes();
+    let configs = fig9_configs();
+    let spec = fig9_link_spec();
+
+    println!(
+        "Figure 9 — Da CaPo throughput in Mbit/s ({}ms per cell)",
+        duration.as_millis()
+    );
+    println!(
+        "link: {} Mbit/s, {}us propagation, {}us per-frame overhead\n",
+        spec.bandwidth_bps() / 1_000_000,
+        spec.propagation().as_micros(),
+        spec.frame_overhead().as_micros()
+    );
+
+    print!("{:>12}", "config");
+    for size in &packet_sizes {
+        print!("{:>9}", format!("{size}B"));
+    }
+    println!();
+
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    for (label, graph) in &configs {
+        print!("{label:>12}");
+        let mut row = Vec::new();
+        for &size in &packet_sizes {
+            let mbps = measure_throughput(graph, size, duration, &spec);
+            print!("{mbps:>9.1}");
+            use std::io::Write;
+            std::io::stdout().flush().ok();
+            row.push(mbps);
+        }
+        println!();
+        table.push(row);
+    }
+
+    // ---- Shape checks (paper claims) --------------------------------------
+    println!("\nshape checks:");
+    let first = &table[0]; // 0 dummies
+    let small = first[0];
+    let large = *first.last().expect("row nonempty");
+    let claim1 = large > small * 1.2;
+    println!(
+        "  [{}] throughput grows with packet size (0-dummies: {small:.1} -> {large:.1} Mbit/s)",
+        if claim1 { "ok" } else { "MISS" }
+    );
+
+    let deep = &table[configs.len() - 2]; // 40 dummies
+    let large_ratio = deep.last().unwrap() / first.last().unwrap();
+    let claim2 = large_ratio > 0.85;
+    println!(
+        "  [{}] 40 dummy modules cost little at large packets (ratio {large_ratio:.2})",
+        if claim2 { "ok" } else { "MISS" }
+    );
+
+    let irq = table.last().expect("irq row");
+    let irq_ratio = irq[2] / first[2]; // 2 KiB column
+    let claim3 = irq_ratio < 0.5;
+    println!(
+        "  [{}] IRQ flow control collapses throughput (2KiB ratio {irq_ratio:.2})",
+        if claim3 { "ok" } else { "MISS" }
+    );
+
+    let irq_grows = irq.last().unwrap() > &(irq[0] * 2.0);
+    println!(
+        "  [{}] IRQ throughput still grows with packet size ({:.1} -> {:.1})",
+        if irq_grows { "ok" } else { "MISS" },
+        irq[0],
+        irq.last().unwrap()
+    );
+
+    if !(claim1 && claim2 && claim3 && irq_grows) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Regenerates the paper's GIOP comparison ("Table 1"): response times of
+//! remote invocations under standard GIOP 1.0 vs the QoS-extended
+//! GIOP 9.9.
+//!
+//! The paper measured both versions with the `time` command over two
+//! nodes and found *"no differences in response time"*. Here the same
+//! comparison runs over loopback TCP with a microsecond clock, sweeping
+//! the number of QoS parameters marshalled into each Request (k = 0 is
+//! standard GIOP 1.0).
+//!
+//! ```text
+//! cargo run --release -p bench --bin tab1
+//! ```
+
+use bench::{RttHarness, RttStats};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 300 } else { 2000 };
+    let payload = 256usize;
+
+    let harness = RttHarness::new();
+    println!("Table 1 — response time of remote invocations, {n} calls of {payload}-byte echoes\n");
+    println!(
+        "{:>22} {:>12} {:>12} {:>12}",
+        "variant", "mean", "p50", "p99"
+    );
+
+    let variants: [(usize, &str); 5] = [
+        (0, "GIOP 1.0 (standard)"),
+        (1, "GIOP 9.9, 1 param"),
+        (4, "GIOP 9.9, 4 params"),
+        (8, "GIOP 9.9, 8 params"),
+        (16, "GIOP 9.9, 16 params"),
+    ];
+
+    let mut means = Vec::new();
+    for (k, label) in variants {
+        harness.set_qos_dimensions(k);
+        let stats = RttStats::from_samples(harness.run(n, payload));
+        println!(
+            "{:>22} {:>12} {:>12} {:>12}",
+            label,
+            format!("{:.1?}", stats.mean),
+            format!("{:.1?}", stats.p50),
+            format!("{:.1?}", stats.p99),
+        );
+        means.push((label, stats.mean));
+    }
+    harness.close();
+
+    // ---- Shape check -------------------------------------------------------
+    let baseline = means[0].1.as_secs_f64();
+    let worst = means
+        .iter()
+        .skip(1)
+        .map(|(_, m)| m.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    let overhead = (worst - baseline) / baseline * 100.0;
+    // The paper reports "no differences"; we accept anything inside noise
+    // plus a small marshalling cost.
+    let ok = overhead < 15.0;
+    println!(
+        "\nshape check:\n  [{}] QoS extension overhead vs standard GIOP: {overhead:+.1}% (paper: negligible)",
+        if ok { "ok" } else { "MISS" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

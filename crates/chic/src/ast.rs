@@ -1,0 +1,201 @@
+//! Abstract syntax of the supported IDL subset.
+
+/// A whole IDL compilation unit: one or more modules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spec {
+    /// Top-level modules.
+    pub modules: Vec<Module>,
+}
+
+/// `module name { ... };`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Interfaces declared inside.
+    pub interfaces: Vec<Interface>,
+}
+
+/// `interface name { ... };`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Base interfaces (`interface A : B, C`), resolved within the module.
+    pub bases: Vec<String>,
+    /// Declared operations.
+    pub operations: Vec<Operation>,
+    /// Declared stream operations (the paper's extended IDL, Section 7).
+    pub streams: Vec<StreamDecl>,
+}
+
+/// One operation declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Return type (`None` = `void`).
+    pub returns: Option<Type>,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Whether declared `oneway`.
+    pub oneway: bool,
+    /// Exception names from the `raises(...)` clause.
+    pub raises: Vec<String>,
+}
+
+/// `stream name(in type arg, ...);` — a flow the object can open.
+///
+/// Stream parameters are always `in`: they select *what* to stream; the
+/// flow QoS travels separately in the extended GIOP Request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDecl {
+    /// Stream (operation) name.
+    pub name: String,
+    /// Open-parameters, all `in`.
+    pub params: Vec<Param>,
+}
+
+/// A parameter with its direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// `in`, `out` or `inout`.
+    pub direction: Direction,
+    /// Parameter type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// IDL parameter passing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    In,
+    /// Server → client.
+    Out,
+    /// Both ways.
+    InOut,
+}
+
+/// Supported IDL types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `boolean`
+    Boolean,
+    /// `octet`
+    Octet,
+    /// `short`
+    Short,
+    /// `unsigned short`
+    UShort,
+    /// `long`
+    Long,
+    /// `unsigned long`
+    ULong,
+    /// `long long`
+    LongLong,
+    /// `unsigned long long`
+    ULongLong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `string`
+    String,
+    /// `sequence<T>`
+    Sequence(Box<Type>),
+}
+
+impl Type {
+    /// The Rust type this IDL type maps to.
+    pub fn rust_name(&self) -> String {
+        match self {
+            Type::Boolean => "bool".into(),
+            Type::Octet => "u8".into(),
+            Type::Short => "i16".into(),
+            Type::UShort => "u16".into(),
+            Type::Long => "i32".into(),
+            Type::ULong => "u32".into(),
+            Type::LongLong => "i64".into(),
+            Type::ULongLong => "u64".into(),
+            Type::Float => "f32".into(),
+            Type::Double => "f64".into(),
+            Type::String => "String".into(),
+            Type::Sequence(inner) => format!("Vec<{}>", inner.rust_name()),
+        }
+    }
+
+    /// The CDR encoder method writing this type (for non-sequences).
+    pub fn cdr_put(&self) -> Option<&'static str> {
+        Some(match self {
+            Type::Boolean => "put_bool",
+            Type::Octet => "put_octet",
+            Type::Short => "put_i16",
+            Type::UShort => "put_u16",
+            Type::Long => "put_i32",
+            Type::ULong => "put_u32",
+            Type::LongLong => "put_i64",
+            Type::ULongLong => "put_u64",
+            Type::Float => "put_f32",
+            Type::Double => "put_f64",
+            Type::String => "put_string",
+            Type::Sequence(_) => return None,
+        })
+    }
+
+    /// The CDR decoder method reading this type (for non-sequences).
+    pub fn cdr_get(&self) -> Option<&'static str> {
+        Some(match self {
+            Type::Boolean => "get_bool",
+            Type::Octet => "get_octet",
+            Type::Short => "get_i16",
+            Type::UShort => "get_u16",
+            Type::Long => "get_i32",
+            Type::ULong => "get_u32",
+            Type::LongLong => "get_i64",
+            Type::ULongLong => "get_u64",
+            Type::Float => "get_f32",
+            Type::Double => "get_f64",
+            Type::String => "get_string",
+            Type::Sequence(_) => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rust_names() {
+        assert_eq!(Type::ULong.rust_name(), "u32");
+        assert_eq!(Type::String.rust_name(), "String");
+        assert_eq!(Type::Sequence(Box::new(Type::Octet)).rust_name(), "Vec<u8>");
+        assert_eq!(
+            Type::Sequence(Box::new(Type::Sequence(Box::new(Type::Double)))).rust_name(),
+            "Vec<Vec<f64>>"
+        );
+    }
+
+    #[test]
+    fn cdr_method_names_cover_primitives() {
+        for ty in [
+            Type::Boolean,
+            Type::Octet,
+            Type::Short,
+            Type::UShort,
+            Type::Long,
+            Type::ULong,
+            Type::LongLong,
+            Type::ULongLong,
+            Type::Float,
+            Type::Double,
+            Type::String,
+        ] {
+            assert!(ty.cdr_put().is_some());
+            assert!(ty.cdr_get().is_some());
+        }
+        assert!(Type::Sequence(Box::new(Type::Octet)).cdr_put().is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the IDL compiler.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in the IDL source (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Compilation errors with source positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChicError {
+    /// An illegal character or malformed token.
+    Lex {
+        /// Where it happened.
+        at: Position,
+        /// What was wrong.
+        message: String,
+    },
+    /// The token stream did not match the grammar.
+    Parse {
+        /// Where it happened.
+        at: Position,
+        /// What was expected/found.
+        message: String,
+    },
+    /// The specification is grammatical but inconsistent.
+    Semantic(String),
+}
+
+impl fmt::Display for ChicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChicError::Lex { at, message } => write!(f, "lex error at {at}: {message}"),
+            ChicError::Parse { at, message } => write!(f, "parse error at {at}: {message}"),
+            ChicError::Semantic(message) => write!(f, "semantic error: {message}"),
+        }
+    }
+}
+
+impl Error for ChicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ChicError::Parse {
+            at: Position { line: 3, column: 7 },
+            message: "expected `;`".into(),
+        };
+        assert!(e.to_string().contains("3:7"));
+    }
+}

@@ -1,0 +1,297 @@
+//! IDL lexer.
+
+use crate::error::{ChicError, Position};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub at: Position,
+}
+
+/// Token kinds of the IDL subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser so that
+    /// `sequence` etc. stay usable as names where unambiguous).
+    Ident(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenises IDL source.
+///
+/// # Errors
+///
+/// [`ChicError::Lex`] on illegal characters or unterminated comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, ChicError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut column: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line += 1;
+                    column = 1;
+                } else {
+                    column += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        let at = Position { line, column };
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token {
+                kind: TokenKind::Eof,
+                at,
+            });
+            return Ok(tokens);
+        };
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                match chars.peek() {
+                    Some('/') => {
+                        // Line comment.
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    }
+                    Some('*') => {
+                        bump!();
+                        // Block comment.
+                        let mut closed = false;
+                        while let Some(c) = bump!() {
+                            if c == '*' {
+                                if let Some('/') = chars.peek() {
+                                    bump!();
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !closed {
+                            return Err(ChicError::Lex {
+                                at,
+                                message: "unterminated block comment".into(),
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(ChicError::Lex {
+                            at,
+                            message: "stray `/` (expected comment)".into(),
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    at,
+                });
+            }
+            '{' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    at,
+                });
+            }
+            '}' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    at,
+                });
+            }
+            '(' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    at,
+                });
+            }
+            ')' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    at,
+                });
+            }
+            '<' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Lt,
+                    at,
+                });
+            }
+            '>' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Gt,
+                    at,
+                });
+            }
+            ',' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    at,
+                });
+            }
+            ';' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    at,
+                });
+            }
+            ':' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    at,
+                });
+            }
+            other => {
+                return Err(ChicError::Lex {
+                    at,
+                    message: format!("illegal character {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("interface Echo { };"),
+            vec![
+                TokenKind::Ident("interface".into()),
+                TokenKind::Ident("Echo".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("// line\ninterface /* block\nmulti */ X { };");
+        assert_eq!(toks[0], TokenKind::Ident("interface".into()));
+        assert_eq!(toks[1], TokenKind::Ident("X".into()));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].at, Position { line: 1, column: 1 });
+        assert_eq!(toks[1].at, Position { line: 2, column: 3 });
+    }
+
+    #[test]
+    fn sequence_brackets() {
+        assert_eq!(
+            kinds("sequence<octet>"),
+            vec![
+                TokenKind::Ident("sequence".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("octet".into()),
+                TokenKind::Gt,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn illegal_character_reported_with_position() {
+        let err = lex("interface $x").unwrap_err();
+        match err {
+            ChicError::Lex { at, message } => {
+                assert_eq!(at.line, 1);
+                assert_eq!(at.column, 11);
+                assert!(message.contains('$'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(matches!(lex("/* oops"), Err(ChicError::Lex { .. })));
+        assert!(matches!(lex("/ x"), Err(ChicError::Lex { .. })));
+    }
+}

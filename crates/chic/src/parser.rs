@@ -1,0 +1,427 @@
+//! Recursive-descent parser for the IDL subset.
+//!
+//! Grammar (simplified):
+//!
+//! ```text
+//! spec       := module* EOF
+//! module     := "module" IDENT "{" interface* "}" ";"
+//! interface  := "interface" IDENT [":" IDENT ("," IDENT)*] "{" member* "}" ";"
+//! operation  := ["oneway"] ret IDENT "(" params? ")" [raises] ";"
+//! stream     := "stream" IDENT "(" params? ")" ";"
+//! ret        := "void" | type
+//! params     := param ("," param)*
+//! param      := ("in"|"out"|"inout") type IDENT
+//! raises     := "raises" "(" IDENT ("," IDENT)* ")"
+//! type       := primitive | "string" | "sequence" "<" type ">"
+//! ```
+
+use crate::ast::{Direction, Interface, Module, Operation, Param, Spec, StreamDecl, Type};
+use crate::error::{ChicError, Position};
+use crate::lexer::{Token, TokenKind};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a [`Spec`].
+///
+/// # Errors
+///
+/// [`ChicError::Parse`] at the first grammar violation.
+pub fn parse(tokens: &[Token]) -> Result<Spec, ChicError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules = Vec::new();
+    while !p.at_eof() {
+        modules.push(p.module()?);
+    }
+    Ok(Spec { modules })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ChicError {
+        ChicError::Parse {
+            at: self.peek().at,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> Result<Position, ChicError> {
+        if &self.peek().kind == kind {
+            let at = self.peek().at;
+            self.bump();
+            Ok(at)
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ChicError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ChicError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !is_keyword(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected {what} name, found {}", other.describe()))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn module(&mut self) -> Result<Module, ChicError> {
+        self.expect_keyword("module")?;
+        let name = self.ident("module")?;
+        self.expect_kind(&TokenKind::LBrace)?;
+        let mut interfaces = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            interfaces.push(self.interface()?);
+        }
+        self.expect_kind(&TokenKind::RBrace)?;
+        self.expect_kind(&TokenKind::Semi)?;
+        Ok(Module { name, interfaces })
+    }
+
+    fn interface(&mut self) -> Result<Interface, ChicError> {
+        self.expect_keyword("interface")?;
+        let name = self.ident("interface")?;
+        let mut bases = Vec::new();
+        if matches!(self.peek().kind, TokenKind::Colon) {
+            self.bump();
+            loop {
+                bases.push(self.ident("base interface")?);
+                if matches!(self.peek().kind, TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kind(&TokenKind::LBrace)?;
+        let mut operations = Vec::new();
+        let mut streams = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            if self.peek_keyword("stream") {
+                streams.push(self.stream_decl()?);
+            } else {
+                operations.push(self.operation()?);
+            }
+        }
+        self.expect_kind(&TokenKind::RBrace)?;
+        self.expect_kind(&TokenKind::Semi)?;
+        Ok(Interface {
+            name,
+            bases,
+            operations,
+            streams,
+        })
+    }
+
+    fn stream_decl(&mut self) -> Result<StreamDecl, ChicError> {
+        self.expect_keyword("stream")?;
+        let name = self.ident("stream")?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek().kind, TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if matches!(self.peek().kind, TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kind(&TokenKind::RParen)?;
+        self.expect_kind(&TokenKind::Semi)?;
+        Ok(StreamDecl { name, params })
+    }
+
+    fn operation(&mut self) -> Result<Operation, ChicError> {
+        let oneway = if self.peek_keyword("oneway") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let returns = if self.peek_keyword("void") {
+            self.bump();
+            None
+        } else {
+            Some(self.ty()?)
+        };
+        let name = self.ident("operation")?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek().kind, TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if matches!(self.peek().kind, TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kind(&TokenKind::RParen)?;
+        let mut raises = Vec::new();
+        if self.peek_keyword("raises") {
+            self.bump();
+            self.expect_kind(&TokenKind::LParen)?;
+            loop {
+                raises.push(self.ident("exception")?);
+                if matches!(self.peek().kind, TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen)?;
+        }
+        self.expect_kind(&TokenKind::Semi)?;
+        Ok(Operation {
+            name,
+            returns,
+            params,
+            oneway,
+            raises,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, ChicError> {
+        let direction = match &self.peek().kind {
+            TokenKind::Ident(s) if s == "in" => Direction::In,
+            TokenKind::Ident(s) if s == "out" => Direction::Out,
+            TokenKind::Ident(s) if s == "inout" => Direction::InOut,
+            other => {
+                return Err(self.error(format!(
+                    "expected parameter direction (`in`/`out`/`inout`), found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.bump();
+        let ty = self.ty()?;
+        let name = self.ident("parameter")?;
+        Ok(Param {
+            direction,
+            ty,
+            name,
+        })
+    }
+
+    fn ty(&mut self) -> Result<Type, ChicError> {
+        let word = match &self.peek().kind {
+            TokenKind::Ident(s) => s.clone(),
+            other => return Err(self.error(format!("expected a type, found {}", other.describe()))),
+        };
+        self.bump();
+        Ok(match word.as_str() {
+            "boolean" => Type::Boolean,
+            "octet" => Type::Octet,
+            "short" => Type::Short,
+            "float" => Type::Float,
+            "double" => Type::Double,
+            "string" => Type::String,
+            "long" => {
+                if self.peek_keyword("long") {
+                    self.bump();
+                    Type::LongLong
+                } else {
+                    Type::Long
+                }
+            }
+            "unsigned" => {
+                if self.peek_keyword("short") {
+                    self.bump();
+                    Type::UShort
+                } else if self.peek_keyword("long") {
+                    self.bump();
+                    if self.peek_keyword("long") {
+                        self.bump();
+                        Type::ULongLong
+                    } else {
+                        Type::ULong
+                    }
+                } else {
+                    return Err(self.error("expected `short` or `long` after `unsigned`"));
+                }
+            }
+            "sequence" => {
+                self.expect_kind(&TokenKind::Lt)?;
+                let inner = self.ty()?;
+                self.expect_kind(&TokenKind::Gt)?;
+                Type::Sequence(Box::new(inner))
+            }
+            other => return Err(self.error(format!("unknown type `{other}`"))),
+        })
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "module"
+            | "interface"
+            | "oneway"
+            | "void"
+            | "in"
+            | "out"
+            | "inout"
+            | "raises"
+            | "boolean"
+            | "octet"
+            | "short"
+            | "long"
+            | "unsigned"
+            | "float"
+            | "double"
+            | "string"
+            | "sequence"
+            | "stream"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Spec, ChicError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn minimal_module() {
+        let spec = parse_src("module m { };").unwrap();
+        assert_eq!(spec.modules.len(), 1);
+        assert_eq!(spec.modules[0].name, "m");
+        assert!(spec.modules[0].interfaces.is_empty());
+    }
+
+    #[test]
+    fn full_interface() {
+        let spec = parse_src(
+            r#"
+            module media {
+                interface ImageServer {
+                    sequence<octet> get_image(in string name, in unsigned long resolution);
+                    oneway void log(in string message);
+                    void resize(in long width, in long height) raises (BadSize, TooBig);
+                    long long stamp();
+                };
+            };
+            "#,
+        )
+        .unwrap();
+        let iface = &spec.modules[0].interfaces[0];
+        assert_eq!(iface.name, "ImageServer");
+        assert_eq!(iface.operations.len(), 4);
+
+        let get = &iface.operations[0];
+        assert_eq!(get.returns, Some(Type::Sequence(Box::new(Type::Octet))));
+        assert_eq!(get.params.len(), 2);
+        assert_eq!(get.params[1].ty, Type::ULong);
+
+        let log = &iface.operations[1];
+        assert!(log.oneway);
+        assert!(log.returns.is_none());
+
+        let resize = &iface.operations[2];
+        assert_eq!(
+            resize.raises,
+            vec!["BadSize".to_string(), "TooBig".to_string()]
+        );
+
+        let stamp = &iface.operations[3];
+        assert_eq!(stamp.returns, Some(Type::LongLong));
+        assert!(stamp.params.is_empty());
+    }
+
+    #[test]
+    fn unsigned_variants() {
+        let spec = parse_src(
+            "module m { interface I { void f(in unsigned short a, in unsigned long b, in unsigned long long c); }; };",
+        )
+        .unwrap();
+        let op = &spec.modules[0].interfaces[0].operations[0];
+        assert_eq!(op.params[0].ty, Type::UShort);
+        assert_eq!(op.params[1].ty, Type::ULong);
+        assert_eq!(op.params[2].ty, Type::ULongLong);
+    }
+
+    #[test]
+    fn directions() {
+        let spec = parse_src(
+            "module m { interface I { void f(in long a, out long b, inout long c); }; };",
+        )
+        .unwrap();
+        let op = &spec.modules[0].interfaces[0].operations[0];
+        assert_eq!(op.params[0].direction, Direction::In);
+        assert_eq!(op.params[1].direction, Direction::Out);
+        assert_eq!(op.params[2].direction, Direction::InOut);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_src("module m {").unwrap_err();
+        assert!(matches!(err, ChicError::Parse { .. }));
+        let err = parse_src("interface X { };").unwrap_err();
+        assert!(err.to_string().contains("module"));
+        let err = parse_src("module m { interface I { void f(in wrongtype x); }; };").unwrap_err();
+        assert!(err.to_string().contains("wrongtype"));
+    }
+
+    #[test]
+    fn inheritance_list_parses() {
+        let spec = parse_src(
+            "module m { interface A { }; interface B { }; interface C : A, B { void f(); }; };",
+        )
+        .unwrap();
+        let c = &spec.modules[0].interfaces[2];
+        assert_eq!(c.bases, vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn keyword_cannot_be_identifier() {
+        assert!(parse_src("module interface { };").is_err());
+    }
+
+    #[test]
+    fn missing_direction_reported() {
+        let err = parse_src("module m { interface I { void f(long a); }; };").unwrap_err();
+        assert!(err.to_string().contains("direction"));
+    }
+}

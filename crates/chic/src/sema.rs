@@ -1,0 +1,213 @@
+//! Semantic checks on a parsed IDL specification.
+
+use crate::ast::{Direction, Spec};
+use crate::error::ChicError;
+use std::collections::HashSet;
+
+/// Validates a specification.
+///
+/// Checks, per CORBA rules:
+/// * module, interface, operation and parameter names are unique within
+///   their scope;
+/// * `oneway` operations return `void`, have only `in` parameters and no
+///   `raises` clause.
+///
+/// # Errors
+///
+/// [`ChicError::Semantic`] describing the first violation.
+pub fn check(spec: &Spec) -> Result<(), ChicError> {
+    let mut module_names = HashSet::new();
+    for module in &spec.modules {
+        if !module_names.insert(&module.name) {
+            return Err(ChicError::Semantic(format!(
+                "duplicate module `{}`",
+                module.name
+            )));
+        }
+        let mut iface_names = HashSet::new();
+        for iface in &module.interfaces {
+            for base in &iface.bases {
+                if !iface_names.contains(base) {
+                    return Err(ChicError::Semantic(format!(
+                        "interface `{}` inherits unknown (or later-defined) interface `{}`",
+                        iface.name, base
+                    )));
+                }
+                if base == &iface.name {
+                    return Err(ChicError::Semantic(format!(
+                        "interface `{}` cannot inherit itself",
+                        iface.name
+                    )));
+                }
+            }
+            {
+                let mut seen = HashSet::new();
+                for base in &iface.bases {
+                    if !seen.insert(base) {
+                        return Err(ChicError::Semantic(format!(
+                            "interface `{}` lists base `{}` twice",
+                            iface.name, base
+                        )));
+                    }
+                }
+            }
+            // Operation names must be unique across the whole inheritance
+            // chain (CORBA forbids overloading/overriding).
+            let inherited: HashSet<String> = collect_inherited_ops(module, iface);
+            if !iface_names.insert(&iface.name) {
+                return Err(ChicError::Semantic(format!(
+                    "duplicate interface `{}` in module `{}`",
+                    iface.name, module.name
+                )));
+            }
+            let mut op_names = HashSet::new();
+            for op in &iface.operations {
+                if inherited.contains(&op.name) {
+                    return Err(ChicError::Semantic(format!(
+                        "operation `{}` in interface `{}` collides with an inherited operation",
+                        op.name, iface.name
+                    )));
+                }
+                if !op_names.insert(&op.name) {
+                    return Err(ChicError::Semantic(format!(
+                        "duplicate operation `{}` in interface `{}`",
+                        op.name, iface.name
+                    )));
+                }
+                let mut param_names = HashSet::new();
+                for param in &op.params {
+                    if !param_names.insert(&param.name) {
+                        return Err(ChicError::Semantic(format!(
+                            "duplicate parameter `{}` in operation `{}`",
+                            param.name, op.name
+                        )));
+                    }
+                }
+                if op.oneway {
+                    // (oneway checks below)
+                    if op.returns.is_some() {
+                        return Err(ChicError::Semantic(format!(
+                            "oneway operation `{}` must return void",
+                            op.name
+                        )));
+                    }
+                    if op.params.iter().any(|p| p.direction != Direction::In) {
+                        return Err(ChicError::Semantic(format!(
+                            "oneway operation `{}` may only have `in` parameters",
+                            op.name
+                        )));
+                    }
+                    if !op.raises.is_empty() {
+                        return Err(ChicError::Semantic(format!(
+                            "oneway operation `{}` may not raise exceptions",
+                            op.name
+                        )));
+                    }
+                }
+            }
+            for stream in &iface.streams {
+                if inherited.contains(&stream.name) {
+                    return Err(ChicError::Semantic(format!(
+                        "stream `{}` in interface `{}` collides with an inherited operation",
+                        stream.name, iface.name
+                    )));
+                }
+                if !op_names.insert(&stream.name) {
+                    return Err(ChicError::Semantic(format!(
+                        "stream `{}` clashes with another member of interface `{}`",
+                        stream.name, iface.name
+                    )));
+                }
+                let mut param_names = HashSet::new();
+                for param in &stream.params {
+                    if !param_names.insert(&param.name) {
+                        return Err(ChicError::Semantic(format!(
+                            "duplicate parameter `{}` in stream `{}`",
+                            param.name, stream.name
+                        )));
+                    }
+                    if param.direction != Direction::In {
+                        return Err(ChicError::Semantic(format!(
+                            "stream `{}` may only have `in` parameters",
+                            stream.name
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All operation and stream names inherited (transitively) by `iface`.
+fn collect_inherited_ops(
+    module: &crate::ast::Module,
+    iface: &crate::ast::Interface,
+) -> HashSet<String> {
+    let mut names = HashSet::new();
+    let mut queue: Vec<&str> = iface.bases.iter().map(String::as_str).collect();
+    while let Some(base_name) = queue.pop() {
+        if let Some(base) = module.interfaces.iter().find(|i| i.name == base_name) {
+            for op in &base.operations {
+                names.insert(op.name.clone());
+            }
+            for stream in &base.streams {
+                names.insert(stream.name.clone());
+            }
+            queue.extend(base.bases.iter().map(String::as_str));
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), ChicError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        check_src(
+            "module m { interface I { void f(in long a); long g(); oneway void h(in string s); }; };",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(check_src("module m { }; module m { };").is_err());
+        assert!(check_src("module m { interface I { }; interface I { }; };").is_err());
+        assert!(check_src("module m { interface I { void f(); void f(); }; };").is_err());
+        assert!(check_src("module m { interface I { void f(in long a, in long a); }; };").is_err());
+    }
+
+    #[test]
+    fn inheritance_rules_enforced() {
+        // Base must be defined earlier.
+        assert!(check_src("module m { interface A : B { }; interface B { }; };").is_err());
+        // No self-inheritance.
+        assert!(check_src("module m { interface A : A { }; };").is_err());
+        // No duplicate base listing.
+        assert!(check_src("module m { interface A { }; interface B : A, A { }; };").is_err());
+        // No colliding operation names across the chain.
+        assert!(check_src(
+            "module m { interface A { void f(); }; interface B : A { void f(); }; };"
+        )
+        .is_err());
+        // A clean chain passes.
+        check_src("module m { interface A { void f(); }; interface B : A { void g(); }; };")
+            .unwrap();
+    }
+
+    #[test]
+    fn oneway_rules_enforced() {
+        assert!(check_src("module m { interface I { oneway long f(); }; };").is_err());
+        assert!(check_src("module m { interface I { oneway void f(out long a); }; };").is_err());
+        assert!(check_src("module m { interface I { oneway void f() raises (E); }; };").is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Actors: named owners of ports and threads.
+
+use crate::error::ChorusError;
+use crate::port::{Port, PortSender};
+use crate::registry::PortRegistry;
+use crate::thread::{Priority, ThreadBuilder};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+struct ActorInner {
+    ports: HashMap<String, Arc<Port>>,
+}
+
+/// A Chorus actor: a named protection domain owning IPC ports and threads.
+///
+/// In the simulation an actor is an organisational unit — it names ports,
+/// exposes them through its own registry view, and spawns priority-annotated
+/// threads that conceptually execute "inside" the actor.
+#[derive(Clone)]
+pub struct Actor {
+    name: Arc<str>,
+    registry: PortRegistry,
+    inner: Arc<Mutex<ActorInner>>,
+}
+
+impl fmt::Debug for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Actor")
+            .field("name", &self.name)
+            .field("ports", &self.inner.lock().ports.len())
+            .finish()
+    }
+}
+
+impl Actor {
+    /// Creates an actor with a private registry.
+    pub fn new(name: &str) -> Self {
+        Actor::with_registry(name, PortRegistry::new())
+    }
+
+    /// Creates an actor publishing its ports into a shared registry
+    /// (several actors on one simulated node).
+    pub fn with_registry(name: &str, registry: PortRegistry) -> Self {
+        Actor {
+            name: Arc::from(name),
+            registry,
+            inner: Arc::new(Mutex::new(ActorInner {
+                ports: HashMap::new(),
+            })),
+        }
+    }
+
+    /// The actor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registry this actor publishes into.
+    pub fn registry(&self) -> &PortRegistry {
+        &self.registry
+    }
+
+    /// Creates a port owned by this actor and registers it as
+    /// `"{actor}/{port}"`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::DuplicateName`] if this actor already has a port of
+    /// that name (locally or in the shared registry).
+    pub fn create_port(&self, port_name: &str, capacity: usize) -> Result<Arc<Port>, ChorusError> {
+        let qualified = format!("{}/{}", self.name, port_name);
+        let mut inner = self.inner.lock();
+        if inner.ports.contains_key(port_name) {
+            return Err(ChorusError::DuplicateName(qualified));
+        }
+        let port = Arc::new(Port::anonymous(capacity));
+        self.registry.register(&qualified, port.sender())?;
+        inner.ports.insert(port_name.to_owned(), port.clone());
+        Ok(port)
+    }
+
+    /// Returns a previously created port.
+    pub fn port(&self, port_name: &str) -> Option<Arc<Port>> {
+        self.inner.lock().ports.get(port_name).cloned()
+    }
+
+    /// Resolves a qualified port name (`"actor/port"`) through the shared
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::NoSuchPort`] if unknown.
+    pub fn resolve(&self, qualified: &str) -> Result<PortSender, ChorusError> {
+        self.registry.lookup(qualified)
+    }
+
+    /// Destroys a port: unregisters it and drops the actor's reference.
+    ///
+    /// Returns whether the port existed. Outstanding senders/receivers keep
+    /// the queue alive until they are dropped, matching Chorus semantics of
+    /// capability revocation being cooperative in this simulation.
+    pub fn destroy_port(&self, port_name: &str) -> bool {
+        let qualified = format!("{}/{}", self.name, port_name);
+        self.registry.unregister(&qualified);
+        self.inner.lock().ports.remove(port_name).is_some()
+    }
+
+    /// Spawns a thread executing inside this actor at the given priority.
+    pub fn spawn<F, T>(
+        &self,
+        thread_name: &str,
+        priority: Priority,
+        f: F,
+    ) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        ThreadBuilder::new(format!("{}/{}", self.name, thread_name))
+            .priority(priority)
+            .spawn(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::IpcMessage;
+    use bytes::Bytes;
+
+    #[test]
+    fn create_and_resolve_port() {
+        let actor = Actor::new("server");
+        let port = actor.create_port("req", 4).unwrap();
+        let sender = actor.resolve("server/req").unwrap();
+        assert_eq!(sender.id(), port.id());
+        assert!(actor.port("req").is_some());
+    }
+
+    #[test]
+    fn duplicate_port_name_rejected() {
+        let actor = Actor::new("a");
+        actor.create_port("p", 1).unwrap();
+        assert!(matches!(
+            actor.create_port("p", 1),
+            Err(ChorusError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn shared_registry_connects_actors() {
+        let registry = PortRegistry::new();
+        let server = Actor::with_registry("server", registry.clone());
+        let client = Actor::with_registry("client", registry);
+        let port = server.create_port("req", 4).unwrap();
+        let sender = client.resolve("server/req").unwrap();
+        sender
+            .send(IpcMessage::new(Bytes::from_static(b"hi")))
+            .unwrap();
+        assert_eq!(&port.receiver().recv().unwrap().body()[..], b"hi");
+    }
+
+    #[test]
+    fn destroy_port_unregisters() {
+        let actor = Actor::new("a");
+        actor.create_port("p", 1).unwrap();
+        assert!(actor.destroy_port("p"));
+        assert!(!actor.destroy_port("p"));
+        assert!(actor.resolve("a/p").is_err());
+    }
+
+    #[test]
+    fn spawn_runs_inside_named_thread() {
+        let actor = Actor::new("worker");
+        let h = actor.spawn("job", Priority::default(), || {
+            std::thread::current().name().map(|s| s.to_owned())
+        });
+        let name = h.join().unwrap().unwrap();
+        assert_eq!(name, "worker/job");
+    }
+}

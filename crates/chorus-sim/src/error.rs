@@ -1,0 +1,59 @@
+//! Error type for the Chorus IPC simulation.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced by the Chorus IPC simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChorusError {
+    /// The port (or all of its receivers) was destroyed.
+    PortClosed,
+    /// A blocking receive or call timed out.
+    Timeout(Duration),
+    /// Non-blocking receive found no message.
+    WouldBlock,
+    /// The port's bounded queue is full.
+    QueueFull,
+    /// A name lookup failed.
+    NoSuchPort(String),
+    /// A port name was registered twice within one actor or registry.
+    DuplicateName(String),
+    /// A reply was requested but the message carried no reply port.
+    NoReplyPort,
+}
+
+impl fmt::Display for ChorusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChorusError::PortClosed => write!(f, "port closed"),
+            ChorusError::Timeout(d) => write!(f, "ipc timed out after {d:?}"),
+            ChorusError::WouldBlock => write!(f, "no message ready"),
+            ChorusError::QueueFull => write!(f, "port queue full"),
+            ChorusError::NoSuchPort(name) => write!(f, "no port named {name:?}"),
+            ChorusError::DuplicateName(name) => write!(f, "port name {name:?} already registered"),
+            ChorusError::NoReplyPort => write!(f, "message carries no reply port"),
+        }
+    }
+}
+
+impl Error for ChorusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(ChorusError::PortClosed.to_string(), "port closed");
+        assert!(ChorusError::NoSuchPort("x".into())
+            .to_string()
+            .contains("\"x\""));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChorusError>();
+    }
+}

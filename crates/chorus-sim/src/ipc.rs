@@ -1,0 +1,105 @@
+//! RPC convention on top of ports: `call` = send with reply port + wait.
+
+use crate::error::ChorusError;
+use crate::message::IpcMessage;
+use crate::port::{Port, PortSender};
+use bytes::Bytes;
+use std::time::Duration;
+
+/// Sends `body` to `target` with a fresh reply port attached and blocks for
+/// the reply (optionally bounded by `timeout`).
+///
+/// This is the Chorus IPC `ipcCall` analogue used by COOL's Chorus IPC
+/// transport for two-way method invocations.
+///
+/// # Errors
+///
+/// [`ChorusError::PortClosed`] if the target vanishes before replying;
+/// [`ChorusError::Timeout`] if `timeout` elapses first.
+pub fn call(
+    target: &PortSender,
+    body: Bytes,
+    timeout: Option<Duration>,
+) -> Result<Bytes, ChorusError> {
+    let reply_port = Port::anonymous(1);
+    let msg = IpcMessage::new(body).with_reply_to(reply_port.sender());
+    target.send(msg)?;
+    let receiver = reply_port.receiver();
+    // Drop the port so that only the in-flight reply sender keeps the queue
+    // alive: if the server drops the request without replying, recv errors
+    // out instead of hanging. The receiver and the reply capability held by
+    // the message keep the channel open.
+    drop(reply_port);
+    let reply = match timeout {
+        Some(t) => receiver.recv_timeout(t)?,
+        None => receiver.recv()?,
+    };
+    Ok(reply.into_body())
+}
+
+/// Sends `body` one-way (no reply expected) — the `ipcSend` analogue.
+///
+/// # Errors
+///
+/// [`ChorusError::PortClosed`] if the target port has no receivers.
+pub fn send(target: &PortSender, body: Bytes) -> Result<(), ChorusError> {
+    target.send(IpcMessage::new(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Actor;
+
+    #[test]
+    fn call_round_trips() {
+        let server = Actor::new("srv");
+        let port = server.create_port("p", 4).unwrap();
+        let rx = port.receiver();
+        let t = std::thread::spawn(move || {
+            let m = rx.recv().unwrap();
+            let mut resp = m.body().to_vec();
+            resp.reverse();
+            m.reply(Bytes::from(resp)).unwrap();
+        });
+        let reply = call(&port.sender(), Bytes::from_static(b"abc"), None).unwrap();
+        assert_eq!(&reply[..], b"cba");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn call_times_out_when_server_silent() {
+        let port = Port::anonymous(4);
+        let _keep_alive = port.receiver();
+        let err = call(
+            &port.sender(),
+            Bytes::new(),
+            Some(Duration::from_millis(20)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChorusError::Timeout(_)));
+    }
+
+    #[test]
+    fn call_errors_when_request_dropped_without_reply() {
+        let port = Port::anonymous(4);
+        let rx = port.receiver();
+        let t = std::thread::spawn(move || {
+            let m = rx.recv().unwrap();
+            drop(m); // server "crashes" without replying
+        });
+        let err = call(&port.sender(), Bytes::from_static(b"x"), None).unwrap_err();
+        assert_eq!(err, ChorusError::PortClosed);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn one_way_send() {
+        let port = Port::anonymous(4);
+        send(&port.sender(), Bytes::from_static(b"fire-and-forget")).unwrap();
+        assert_eq!(
+            &port.receiver().recv().unwrap().body()[..],
+            b"fire-and-forget"
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! IPC ports: bounded message queues with sender/receiver capabilities.
+//!
+//! A Chorus port is a kernel message queue addressed by a unique identifier;
+//! capabilities to send to it can be passed around freely while receive
+//! rights stay with the owning actor. This maps naturally onto a bounded
+//! crossbeam channel: [`PortSender`]s are cheap clones; a [`PortReceiver`]
+//! is handed out by the port owner.
+
+use crate::error::ChorusError;
+use crate::message::IpcMessage;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static NEXT_PORT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Globally unique port identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(u64);
+
+impl PortId {
+    fn next() -> Self {
+        PortId(NEXT_PORT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Raw numeric value (stable for the process lifetime).
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port-{}", self.0)
+    }
+}
+
+/// An IPC port: a bounded queue of [`IpcMessage`]s.
+#[derive(Debug)]
+pub struct Port {
+    id: PortId,
+    tx: Sender<IpcMessage>,
+    rx: Receiver<IpcMessage>,
+    capacity: usize,
+}
+
+impl Port {
+    /// Creates an unregistered port with the given queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity Chorus port cannot hold
+    /// the rendezvous semantics this simulation offers).
+    pub fn anonymous(capacity: usize) -> Self {
+        assert!(capacity > 0, "port capacity must be nonzero");
+        let (tx, rx) = bounded(capacity);
+        Port {
+            id: PortId::next(),
+            tx,
+            rx,
+            capacity,
+        }
+    }
+
+    /// This port's unique id.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queued messages right now.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// A send capability for this port (cheap to clone, freely shareable).
+    pub fn sender(&self) -> PortSender {
+        PortSender {
+            id: self.id,
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// A receive capability for this port.
+    ///
+    /// Multiple receivers compete for messages (Chorus port groups degrade
+    /// to this); most users hand out exactly one.
+    pub fn receiver(&self) -> PortReceiver {
+        PortReceiver {
+            id: self.id,
+            rx: self.rx.clone(),
+        }
+    }
+}
+
+/// Send capability for a [`Port`].
+#[derive(Clone)]
+pub struct PortSender {
+    id: PortId,
+    tx: Sender<IpcMessage>,
+}
+
+impl fmt::Debug for PortSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PortSender").field("id", &self.id).finish()
+    }
+}
+
+impl PortSender {
+    /// Target port id.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// Enqueues a message, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::PortClosed`] if every receiver is gone.
+    pub fn send(&self, msg: IpcMessage) -> Result<(), ChorusError> {
+        self.tx.send(msg).map_err(|_| ChorusError::PortClosed)
+    }
+
+    /// Enqueues a message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::QueueFull`] if the queue is at capacity;
+    /// [`ChorusError::PortClosed`] if every receiver is gone.
+    pub fn try_send(&self, msg: IpcMessage) -> Result<(), ChorusError> {
+        self.tx.try_send(msg).map_err(|e| match e {
+            TrySendError::Full(_) => ChorusError::QueueFull,
+            TrySendError::Disconnected(_) => ChorusError::PortClosed,
+        })
+    }
+}
+
+/// Receive capability for a [`Port`].
+#[derive(Clone)]
+pub struct PortReceiver {
+    id: PortId,
+    rx: Receiver<IpcMessage>,
+}
+
+impl fmt::Debug for PortReceiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PortReceiver")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl PortReceiver {
+    /// Source port id.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// Blocks until the next message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::PortClosed`] if every sender is gone and the queue is
+    /// drained.
+    pub fn recv(&self) -> Result<IpcMessage, ChorusError> {
+        self.rx.recv().map_err(|_| ChorusError::PortClosed)
+    }
+
+    /// Blocks for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::Timeout`] on expiry, [`ChorusError::PortClosed`] as
+    /// for [`PortReceiver::recv`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<IpcMessage, ChorusError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ChorusError::Timeout(timeout),
+            RecvTimeoutError::Disconnected => ChorusError::PortClosed,
+        })
+    }
+
+    /// Returns the next message if one is queued.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::WouldBlock`] if the queue is empty;
+    /// [`ChorusError::PortClosed`] as for [`PortReceiver::recv`].
+    pub fn try_recv(&self) -> Result<IpcMessage, ChorusError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => ChorusError::WouldBlock,
+            TryRecvError::Disconnected => ChorusError::PortClosed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn port_ids_are_unique_and_display() {
+        let a = Port::anonymous(1);
+        let b = Port::anonymous(1);
+        assert_ne!(a.id(), b.id());
+        assert!(a.id().to_string().starts_with("port-"));
+    }
+
+    #[test]
+    fn send_and_recv() {
+        let p = Port::anonymous(4);
+        p.sender()
+            .send(IpcMessage::new(Bytes::from_static(b"m1")))
+            .unwrap();
+        p.sender()
+            .send(IpcMessage::new(Bytes::from_static(b"m2")))
+            .unwrap();
+        assert_eq!(p.len(), 2);
+        let r = p.receiver();
+        assert_eq!(&r.recv().unwrap().body()[..], b"m1");
+        assert_eq!(&r.recv().unwrap().body()[..], b"m2");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn try_send_full_queue() {
+        let p = Port::anonymous(1);
+        let s = p.sender();
+        s.try_send(IpcMessage::new(Bytes::new())).unwrap();
+        assert_eq!(
+            s.try_send(IpcMessage::new(Bytes::new())).unwrap_err(),
+            ChorusError::QueueFull
+        );
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let p = Port::anonymous(1);
+        assert_eq!(
+            p.receiver().try_recv().unwrap_err(),
+            ChorusError::WouldBlock
+        );
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let p = Port::anonymous(1);
+        let err = p
+            .receiver()
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, ChorusError::Timeout(_)));
+    }
+
+    #[test]
+    fn closed_port_reported() {
+        let p = Port::anonymous(1);
+        let r = p.receiver();
+        let s = p.sender();
+        drop(p);
+        // Sender + receiver still alive: channel not closed yet.
+        s.send(IpcMessage::new(Bytes::from_static(b"x"))).unwrap();
+        assert_eq!(&r.recv().unwrap().body()[..], b"x");
+        drop(s);
+        assert_eq!(r.recv().unwrap_err(), ChorusError::PortClosed);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let p = Port::anonymous(8);
+        let r = p.receiver();
+        let s = p.sender();
+        let t = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                s.send(IpcMessage::with_tag(i, Bytes::new())).unwrap();
+            }
+        });
+        for i in 0..100u32 {
+            assert_eq!(r.recv().unwrap().tag(), i);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Port::anonymous(0);
+    }
+}

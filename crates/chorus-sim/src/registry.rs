@@ -1,0 +1,132 @@
+//! Name service mapping port names to send capabilities.
+//!
+//! Chorus actors locate each other through the kernel name service; COOL's
+//! object adapter uses it to find object implementations. A
+//! [`PortRegistry`] is such a name service scoped to one simulated node (or
+//! shared across "nodes" in a single-process test).
+
+use crate::error::ChorusError;
+use crate::port::PortSender;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe name → [`PortSender`] registry.
+///
+/// ```
+/// use chorus_sim::{Port, PortRegistry};
+///
+/// # fn main() -> Result<(), chorus_sim::ChorusError> {
+/// let registry = PortRegistry::new();
+/// let port = Port::anonymous(4);
+/// registry.register("object-adapter", port.sender())?;
+/// let sender = registry.lookup("object-adapter")?;
+/// assert_eq!(sender.id(), port.id());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PortRegistry {
+    inner: Arc<RwLock<HashMap<String, PortSender>>>,
+}
+
+impl PortRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PortRegistry::default()
+    }
+
+    /// Registers `sender` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::DuplicateName`] if the name is taken.
+    pub fn register(&self, name: &str, sender: PortSender) -> Result<(), ChorusError> {
+        let mut map = self.inner.write();
+        if map.contains_key(name) {
+            return Err(ChorusError::DuplicateName(name.to_owned()));
+        }
+        map.insert(name.to_owned(), sender);
+        Ok(())
+    }
+
+    /// Replaces or inserts a registration (used on re-activation of an
+    /// object implementation).
+    pub fn rebind(&self, name: &str, sender: PortSender) {
+        self.inner.write().insert(name.to_owned(), sender);
+    }
+
+    /// Looks up the send capability registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChorusError::NoSuchPort`] if the name is unknown.
+    pub fn lookup(&self, name: &str) -> Result<PortSender, ChorusError> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ChorusError::NoSuchPort(name.to_owned()))
+    }
+
+    /// Removes a registration, returning whether it existed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+
+    /// All registered names, sorted (diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::Port;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let reg = PortRegistry::new();
+        let p = Port::anonymous(1);
+        reg.register("a", p.sender()).unwrap();
+        assert_eq!(reg.lookup("a").unwrap().id(), p.id());
+        assert!(reg.unregister("a"));
+        assert!(!reg.unregister("a"));
+        assert!(matches!(reg.lookup("a"), Err(ChorusError::NoSuchPort(_))));
+    }
+
+    #[test]
+    fn duplicate_name_rejected_but_rebind_allowed() {
+        let reg = PortRegistry::new();
+        let p1 = Port::anonymous(1);
+        let p2 = Port::anonymous(1);
+        reg.register("x", p1.sender()).unwrap();
+        assert!(matches!(
+            reg.register("x", p2.sender()),
+            Err(ChorusError::DuplicateName(_))
+        ));
+        reg.rebind("x", p2.sender());
+        assert_eq!(reg.lookup("x").unwrap().id(), p2.id());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let reg = PortRegistry::new();
+        let p = Port::anonymous(1);
+        reg.register("zeta", p.sender()).unwrap();
+        reg.register("alpha", p.sender()).unwrap();
+        assert_eq!(reg.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn registry_clones_share_state() {
+        let reg = PortRegistry::new();
+        let clone = reg.clone();
+        let p = Port::anonymous(1);
+        reg.register("shared", p.sender()).unwrap();
+        assert!(clone.lookup("shared").is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! Priority-annotated thread spawning.
+//!
+//! ChorusOS schedules threads under real-time classes with numeric
+//! priorities; COOL assigns higher priorities to threads performing
+//! time-critical communication. A portable user-space library cannot claim
+//! kernel RT priorities, so the simulation keeps the *interface*: threads
+//! carry a [`Priority`] that upper layers can read back (Da CaPo orders
+//! control-queue service by it) and that is exported for observability.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+use std::thread::{self, JoinHandle, ThreadId};
+
+/// Chorus-style scheduling priority. Higher is more urgent.
+///
+/// The Chorus real-time class spans 0–255; the same range is used here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Priority used for time-critical protocol control traffic.
+    pub const CONTROL: Priority = Priority(200);
+    /// Priority used for media/data forwarding threads.
+    pub const DATA: Priority = Priority(128);
+    /// Priority for background housekeeping.
+    pub const BACKGROUND: Priority = Priority(32);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::DATA
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio({})", self.0)
+    }
+}
+
+fn priority_table() -> &'static RwLock<HashMap<ThreadId, Priority>> {
+    static TABLE: OnceLock<RwLock<HashMap<ThreadId, Priority>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Returns the priority the current thread was spawned with, if it was
+/// created through [`ThreadBuilder`].
+pub fn current_priority() -> Option<Priority> {
+    priority_table()
+        .read()
+        .get(&thread::current().id())
+        .copied()
+}
+
+/// Builder for priority-annotated threads.
+///
+/// ```
+/// use chorus_sim::thread::{ThreadBuilder, Priority, current_priority};
+///
+/// let handle = ThreadBuilder::new("ctrl".to_string())
+///     .priority(Priority::CONTROL)
+///     .spawn(|| current_priority());
+/// assert_eq!(handle.join().unwrap(), Some(Priority::CONTROL));
+/// ```
+#[derive(Debug)]
+pub struct ThreadBuilder {
+    name: String,
+    priority: Priority,
+}
+
+impl ThreadBuilder {
+    /// Starts building a thread with the given name and default (DATA)
+    /// priority.
+    pub fn new(name: String) -> Self {
+        ThreadBuilder {
+            name,
+            priority: Priority::default(),
+        }
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Spawns the thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread (resource exhaustion).
+    pub fn spawn<F, T>(self, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let priority = self.priority;
+        thread::Builder::new()
+            .name(self.name)
+            .spawn(move || {
+                priority_table()
+                    .write()
+                    .insert(thread::current().id(), priority);
+                let result = f();
+                priority_table().write().remove(&thread::current().id());
+                result
+            })
+            .expect("failed to spawn thread")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_constants_are_ordered() {
+        assert!(Priority::CONTROL > Priority::DATA);
+        assert!(Priority::DATA > Priority::BACKGROUND);
+    }
+
+    #[test]
+    fn spawned_thread_sees_its_priority() {
+        let h = ThreadBuilder::new("t".into())
+            .priority(Priority(99))
+            .spawn(current_priority);
+        assert_eq!(h.join().unwrap(), Some(Priority(99)));
+    }
+
+    #[test]
+    fn untracked_thread_has_no_priority() {
+        let h = std::thread::spawn(current_priority);
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn priority_entry_removed_after_exit() {
+        let h = ThreadBuilder::new("t".into()).spawn(|| std::thread::current().id());
+        let id = h.join().unwrap();
+        assert!(!priority_table().read().contains_key(&id));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Priority(7).to_string(), "prio(7)");
+    }
+}

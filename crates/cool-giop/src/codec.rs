@@ -1,0 +1,577 @@
+//! GIOP framing: the 12-byte message header plus body.
+//!
+//! Wire layout of the header (Figure 2-i):
+//!
+//! ```text
+//! offset 0  char magic[4]      = "GIOP"
+//! offset 4  Version            = major, minor   (1.0 or 9.9)
+//! offset 6  boolean byte_order = 0 big / 1 little
+//! offset 7  octet message_type
+//! offset 8  unsigned long message_size          (body bytes that follow)
+//! ```
+//!
+//! Three entry points:
+//! * [`encode_message`] / [`decode_message`] for whole in-memory frames,
+//! * [`MessageReader`] for incremental decoding from a byte stream
+//!   (TCP-like transports deliver arbitrary chunks),
+//! * [`read_message`] / [`write_message`] blocking helpers over
+//!   [`std::io::Read`]/[`std::io::Write`].
+
+use crate::cdr::{ByteOrder, CdrDecode, CdrDecoder, CdrEncode, CdrEncoder};
+use crate::error::GiopError;
+use crate::message::{
+    LocateReplyHeader, LocateRequestHeader, Message, MsgType, ReplyHeader, RequestHeader,
+};
+use crate::version::GiopVersion;
+use bytes::{Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// The 4-byte GIOP magic.
+pub const MAGIC: [u8; 4] = *b"GIOP";
+
+/// Size of the fixed GIOP header.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on `message_size` the reader will accept (guards allocation
+/// against corrupt streams); generous for 64 KiB experiment payloads.
+pub const MAX_MESSAGE_SIZE: u32 = 256 * 1024 * 1024;
+
+/// Encodes a complete message into a wire frame.
+///
+/// # Errors
+///
+/// [`GiopError::QosOnStandardGiop`] if a Request carries QoS parameters but
+/// `version` is GIOP 1.0.
+pub fn encode_message(
+    msg: &Message,
+    version: GiopVersion,
+    order: ByteOrder,
+) -> Result<Bytes, GiopError> {
+    // Encode the body first to learn its size.
+    let mut body_enc = CdrEncoder::new(order);
+    match msg {
+        Message::Request { header, body } => {
+            header.encode(&mut body_enc, version)?;
+            body_enc.put_raw(body);
+        }
+        Message::Reply { header, body } => {
+            header.encode(&mut body_enc);
+            body_enc.put_raw(body);
+        }
+        Message::CancelRequest { request_id } => body_enc.put_u32(*request_id),
+        Message::LocateRequest(h) => h.encode(&mut body_enc),
+        Message::LocateReply(h) => h.encode(&mut body_enc),
+        Message::CloseConnection | Message::MessageError => {}
+    }
+    let body = body_enc.into_bytes();
+
+    let mut frame = BytesMut::with_capacity(HEADER_LEN + body.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&[
+        version.major,
+        version.minor,
+        order.flag(),
+        msg.msg_type().code(),
+    ]);
+    let size = body.len() as u32;
+    match order {
+        ByteOrder::Big => frame.extend_from_slice(&size.to_be_bytes()),
+        ByteOrder::Little => frame.extend_from_slice(&size.to_le_bytes()),
+    }
+    frame.extend_from_slice(&body);
+    Ok(frame.freeze())
+}
+
+/// Parsed GIOP frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version announced by the frame.
+    pub version: GiopVersion,
+    /// Byte order of the body (and of `message_size`).
+    pub order: ByteOrder,
+    /// Message type discriminant.
+    pub msg_type: MsgType,
+    /// Number of body bytes following the header.
+    pub message_size: u32,
+}
+
+/// Parses the fixed 12-byte header.
+///
+/// # Errors
+///
+/// [`GiopError::Underflow`], [`GiopError::BadMagic`],
+/// [`GiopError::UnsupportedVersion`], [`GiopError::InvalidBool`],
+/// [`GiopError::InvalidEnum`] or [`GiopError::LengthOverflow`] depending on
+/// which field is malformed.
+pub fn parse_header(buf: &[u8]) -> Result<FrameHeader, GiopError> {
+    if buf.len() < HEADER_LEN {
+        return Err(GiopError::Underflow {
+            needed: HEADER_LEN,
+            remaining: buf.len(),
+        });
+    }
+    let magic = [buf[0], buf[1], buf[2], buf[3]];
+    if magic != MAGIC {
+        return Err(GiopError::BadMagic(magic));
+    }
+    let version = GiopVersion::from_wire(buf[4], buf[5])?;
+    let order = ByteOrder::from_flag(buf[6])?;
+    let msg_type = MsgType::from_code(buf[7])?;
+    let size_bytes = [buf[8], buf[9], buf[10], buf[11]];
+    let message_size = match order {
+        ByteOrder::Big => u32::from_be_bytes(size_bytes),
+        ByteOrder::Little => u32::from_le_bytes(size_bytes),
+    };
+    if message_size > MAX_MESSAGE_SIZE {
+        return Err(GiopError::LengthOverflow {
+            declared: message_size as u64,
+            limit: MAX_MESSAGE_SIZE as u64,
+        });
+    }
+    Ok(FrameHeader {
+        version,
+        order,
+        msg_type,
+        message_size,
+    })
+}
+
+fn decode_body(header: FrameHeader, body: &[u8]) -> Result<Message, GiopError> {
+    let mut dec = CdrDecoder::new(body, header.order);
+    Ok(match header.msg_type {
+        MsgType::Request => {
+            let req = RequestHeader::decode(&mut dec, header.version)?;
+            let rest = Bytes::copy_from_slice(dec.get_rest());
+            Message::Request {
+                header: req,
+                body: rest,
+            }
+        }
+        MsgType::Reply => {
+            let rep = ReplyHeader::decode(&mut dec)?;
+            let rest = Bytes::copy_from_slice(dec.get_rest());
+            Message::Reply {
+                header: rep,
+                body: rest,
+            }
+        }
+        MsgType::CancelRequest => Message::CancelRequest {
+            request_id: dec.get_u32()?,
+        },
+        MsgType::LocateRequest => Message::LocateRequest(LocateRequestHeader::decode(&mut dec)?),
+        MsgType::LocateReply => Message::LocateReply(LocateReplyHeader::decode(&mut dec)?),
+        MsgType::CloseConnection => Message::CloseConnection,
+        MsgType::MessageError => Message::MessageError,
+    })
+}
+
+/// Decodes one complete frame, returning the message together with the
+/// version and byte order it was marshalled under.
+///
+/// # Errors
+///
+/// Any [`GiopError`] describing the malformation; notably
+/// [`GiopError::SizeMismatch`] if the buffer length disagrees with the
+/// header's `message_size`.
+pub fn decode_message_ext(frame: &[u8]) -> Result<(Message, GiopVersion, ByteOrder), GiopError> {
+    let header = parse_header(frame)?;
+    let body = &frame[HEADER_LEN..];
+    if body.len() != header.message_size as usize {
+        return Err(GiopError::SizeMismatch {
+            announced: header.message_size as usize,
+            actual: body.len(),
+        });
+    }
+    let msg = decode_body(header, body)?;
+    Ok((msg, header.version, header.order))
+}
+
+/// Decodes one complete frame into a [`Message`].
+///
+/// # Errors
+///
+/// See [`decode_message_ext`].
+pub fn decode_message(frame: &[u8]) -> Result<Message, GiopError> {
+    decode_message_ext(frame).map(|(msg, _, _)| msg)
+}
+
+/// Incremental frame decoder for byte-stream transports.
+///
+/// Feed arbitrary chunks with [`MessageReader::feed`]; complete messages
+/// pop out of [`MessageReader::next_message`].
+///
+/// ```
+/// use cool_giop::prelude::*;
+///
+/// # fn main() -> Result<(), cool_giop::GiopError> {
+/// let frame = encode_message(&Message::CloseConnection, GiopVersion::STANDARD, ByteOrder::Big)?;
+/// let mut reader = MessageReader::new();
+/// // Feed the frame one byte at a time: no message until the last byte.
+/// for (i, byte) in frame.iter().enumerate() {
+///     reader.feed(&[*byte]);
+///     let ready = reader.next_message()?;
+///     if i + 1 < frame.len() {
+///         assert!(ready.is_none());
+///     } else {
+///         assert_eq!(ready, Some(Message::CloseConnection));
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct MessageReader {
+    buf: BytesMut,
+}
+
+impl MessageReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        MessageReader {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next complete message.
+    ///
+    /// Returns `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GiopError`] if the buffered prefix is not a valid frame; the
+    /// reader is then poisoned for further use on this stream (GIOP has no
+    /// resynchronisation points).
+    pub fn next_message(&mut self) -> Result<Option<Message>, GiopError> {
+        self.next_message_ext()
+            .map(|opt| opt.map(|(msg, _, _)| msg))
+    }
+
+    /// Like [`MessageReader::next_message`] but also reports version and
+    /// byte order.
+    ///
+    /// # Errors
+    ///
+    /// See [`MessageReader::next_message`].
+    pub fn next_message_ext(
+        &mut self,
+    ) -> Result<Option<(Message, GiopVersion, ByteOrder)>, GiopError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header = parse_header(&self.buf)?;
+        let total = HEADER_LEN + header.message_size as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(total);
+        let msg = decode_body(header, &frame[HEADER_LEN..])?;
+        Ok(Some((msg, header.version, header.order)))
+    }
+}
+
+/// Errors from the blocking I/O helpers.
+#[derive(Debug)]
+pub enum IoCodecError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The stream carried malformed GIOP.
+    Giop(GiopError),
+}
+
+impl std::fmt::Display for IoCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoCodecError::Io(e) => write!(f, "giop transport i/o error: {e}"),
+            IoCodecError::Giop(e) => write!(f, "giop protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoCodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoCodecError::Io(e) => Some(e),
+            IoCodecError::Giop(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoCodecError {
+    fn from(e: std::io::Error) -> Self {
+        IoCodecError::Io(e)
+    }
+}
+
+impl From<GiopError> for IoCodecError {
+    fn from(e: GiopError) -> Self {
+        IoCodecError::Giop(e)
+    }
+}
+
+/// Blocking read of exactly one message from a byte stream.
+///
+/// A mutable reference works as the reader: `read_message(&mut stream)`.
+///
+/// # Errors
+///
+/// [`IoCodecError::Io`] for transport failures (including EOF mid-frame),
+/// [`IoCodecError::Giop`] for malformed frames.
+pub fn read_message<R: Read>(mut r: R) -> Result<(Message, GiopVersion, ByteOrder), IoCodecError> {
+    let mut header_buf = [0u8; HEADER_LEN];
+    r.read_exact(&mut header_buf)?;
+    let header = parse_header(&header_buf)?;
+    let mut body = vec![0u8; header.message_size as usize];
+    r.read_exact(&mut body)?;
+    let msg = decode_body(header, &body)?;
+    Ok((msg, header.version, header.order))
+}
+
+/// Blocking write of one message to a byte stream.
+///
+/// A mutable reference works as the writer: `write_message(&mut stream, …)`.
+///
+/// # Errors
+///
+/// [`IoCodecError::Giop`] if the message cannot be marshalled under
+/// `version`, [`IoCodecError::Io`] for transport failures.
+pub fn write_message<W: Write>(
+    mut w: W,
+    msg: &Message,
+    version: GiopVersion,
+    order: ByteOrder,
+) -> Result<(), IoCodecError> {
+    let frame = encode_message(msg, version, order)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Convenience: marshal a value into a standalone CDR body (used for
+/// operation parameters and results).
+pub fn encode_body<T: CdrEncode>(value: &T, order: ByteOrder) -> Bytes {
+    let mut enc = CdrEncoder::new(order);
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Convenience: unmarshal a value from a standalone CDR body.
+///
+/// # Errors
+///
+/// Any [`GiopError`] from malformed input.
+pub fn decode_body_as<T: CdrDecode>(body: &[u8], order: ByteOrder) -> Result<T, GiopError> {
+    let mut dec = CdrDecoder::new(body, order);
+    T::decode(&mut dec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::{ParamKind, QoSParameter};
+
+    fn sample_request(qos: bool) -> Message {
+        let mut b = RequestHeader::builder(11, b"object-1".to_vec(), "render");
+        if qos {
+            b = b.qos_params(vec![QoSParameter::new(ParamKind::Jitter, 10, 50, 0)]);
+        }
+        Message::Request {
+            header: b.build(),
+            body: Bytes::from_static(b"\x00\x01\x02\x03"),
+        }
+    }
+
+    #[test]
+    fn frame_round_trip_all_message_types() {
+        let messages = vec![
+            sample_request(false),
+            Message::Reply {
+                header: ReplyHeader::new(11, crate::message::ReplyStatus::NoException),
+                body: Bytes::from_static(b"result"),
+            },
+            Message::CancelRequest { request_id: 4 },
+            Message::LocateRequest(LocateRequestHeader {
+                request_id: 5,
+                object_key: b"k".to_vec(),
+            }),
+            Message::LocateReply(LocateReplyHeader {
+                request_id: 5,
+                locate_status: crate::message::LocateStatus::ObjectHere,
+            }),
+            Message::CloseConnection,
+            Message::MessageError,
+        ];
+        for msg in messages {
+            for order in [ByteOrder::Big, ByteOrder::Little] {
+                let frame = encode_message(&msg, GiopVersion::STANDARD, order).unwrap();
+                let (decoded, v, o) = decode_message_ext(&frame).unwrap();
+                assert_eq!(decoded, msg);
+                assert_eq!(v, GiopVersion::STANDARD);
+                assert_eq!(o, order);
+            }
+        }
+    }
+
+    #[test]
+    fn qos_request_round_trips_under_9_9() {
+        let msg = sample_request(true);
+        let frame = encode_message(&msg, GiopVersion::QOS_EXTENDED, ByteOrder::Big).unwrap();
+        let (decoded, v, _) = decode_message_ext(&frame).unwrap();
+        assert_eq!(v, GiopVersion::QOS_EXTENDED);
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn qos_request_rejected_under_1_0() {
+        let msg = sample_request(true);
+        assert_eq!(
+            encode_message(&msg, GiopVersion::STANDARD, ByteOrder::Big).unwrap_err(),
+            GiopError::QosOnStandardGiop
+        );
+    }
+
+    #[test]
+    fn header_wire_layout() {
+        let frame = encode_message(
+            &Message::CloseConnection,
+            GiopVersion::QOS_EXTENDED,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        assert_eq!(&frame[0..4], b"GIOP");
+        assert_eq!(frame[4], 9); // major
+        assert_eq!(frame[5], 9); // minor
+        assert_eq!(frame[6], 0); // big endian
+        assert_eq!(frame[7], MsgType::CloseConnection.code());
+        assert_eq!(&frame[8..12], &[0, 0, 0, 0]); // empty body
+        assert_eq!(frame.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_message(
+            &Message::MessageError,
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap()
+        .to_vec();
+        frame[0] = b'X';
+        assert!(matches!(
+            decode_message(&frame),
+            Err(GiopError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut frame = encode_message(
+            &Message::MessageError,
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap()
+        .to_vec();
+        frame[4] = 2;
+        assert!(matches!(
+            decode_message(&frame),
+            Err(GiopError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let msg = sample_request(false);
+        let mut frame = encode_message(&msg, GiopVersion::STANDARD, ByteOrder::Big)
+            .unwrap()
+            .to_vec();
+        frame.push(0); // trailing garbage
+        assert!(matches!(
+            decode_message(&frame),
+            Err(GiopError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_message_size_rejected() {
+        let mut frame = encode_message(
+            &Message::MessageError,
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap()
+        .to_vec();
+        frame[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            parse_header(&frame),
+            Err(GiopError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_handles_fragmented_and_coalesced_frames() {
+        let m1 = sample_request(false);
+        let m2 = Message::CancelRequest { request_id: 99 };
+        let f1 = encode_message(&m1, GiopVersion::STANDARD, ByteOrder::Big).unwrap();
+        let f2 = encode_message(&m2, GiopVersion::STANDARD, ByteOrder::Little).unwrap();
+
+        let mut combined = f1.to_vec();
+        combined.extend_from_slice(&f2);
+
+        let mut reader = MessageReader::new();
+        // Feed in three ragged chunks.
+        let third = combined.len() / 3;
+        reader.feed(&combined[..third]);
+        let mut out = Vec::new();
+        while let Some(m) = reader.next_message().unwrap() {
+            out.push(m);
+        }
+        reader.feed(&combined[third..2 * third]);
+        while let Some(m) = reader.next_message().unwrap() {
+            out.push(m);
+        }
+        reader.feed(&combined[2 * third..]);
+        while let Some(m) = reader.next_message().unwrap() {
+            out.push(m);
+        }
+        assert_eq!(out, vec![m1, m2]);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn io_helpers_round_trip_over_a_pipe() {
+        let msg = sample_request(true);
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg, GiopVersion::QOS_EXTENDED, ByteOrder::Little).unwrap();
+        let (decoded, v, o) = read_message(&buf[..]).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(v, GiopVersion::QOS_EXTENDED);
+        assert_eq!(o, ByteOrder::Little);
+    }
+
+    #[test]
+    fn read_message_reports_truncation_as_io_error() {
+        let msg = sample_request(false);
+        let frame = encode_message(&msg, GiopVersion::STANDARD, ByteOrder::Big).unwrap();
+        let truncated = &frame[..frame.len() - 2];
+        assert!(matches!(read_message(truncated), Err(IoCodecError::Io(_))));
+    }
+
+    #[test]
+    fn body_helpers_round_trip() {
+        let body = encode_body(&0xDEAD_BEEFu32, ByteOrder::Big);
+        assert_eq!(
+            decode_body_as::<u32>(&body, ByteOrder::Big).unwrap(),
+            0xDEAD_BEEF
+        );
+    }
+}

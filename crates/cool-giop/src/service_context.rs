@@ -1,0 +1,125 @@
+//! GIOP service contexts (`IOP::ServiceContextList`).
+//!
+//! Service contexts piggyback ORB-service data (transactions, codesets, …)
+//! on Requests and Replies. COOL's QoS extension does *not* use them — the
+//! paper deliberately extends the Request header instead, so the QoS data
+//! is part of the protocol proper — but the list must still be marshalled
+//! for CORBA compliance.
+
+use crate::cdr::{CdrDecode, CdrDecoder, CdrEncode, CdrEncoder};
+use crate::error::GiopError;
+
+/// One tagged service context entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceContext {
+    /// IANA/OMG-assigned context identifier.
+    pub context_id: u32,
+    /// Opaque encapsulated data.
+    pub context_data: Vec<u8>,
+}
+
+impl ServiceContext {
+    /// Creates a context entry.
+    pub fn new(context_id: u32, context_data: Vec<u8>) -> Self {
+        ServiceContext {
+            context_id,
+            context_data,
+        }
+    }
+}
+
+impl CdrEncode for ServiceContext {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.put_u32(self.context_id);
+        enc.put_octet_seq(&self.context_data);
+    }
+}
+
+impl CdrDecode for ServiceContext {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, GiopError> {
+        Ok(ServiceContext {
+            context_id: dec.get_u32()?,
+            context_data: dec.get_octet_seq()?,
+        })
+    }
+}
+
+/// The `ServiceContextList`: a CDR sequence of [`ServiceContext`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceContextList(pub Vec<ServiceContext>);
+
+impl ServiceContextList {
+    /// An empty list.
+    pub fn empty() -> Self {
+        ServiceContextList(Vec::new())
+    }
+
+    /// Whether the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Finds the first entry with the given id.
+    pub fn find(&self, context_id: u32) -> Option<&ServiceContext> {
+        self.0.iter().find(|c| c.context_id == context_id)
+    }
+}
+
+impl FromIterator<ServiceContext> for ServiceContextList {
+    fn from_iter<I: IntoIterator<Item = ServiceContext>>(iter: I) -> Self {
+        ServiceContextList(iter.into_iter().collect())
+    }
+}
+
+impl CdrEncode for ServiceContextList {
+    fn encode(&self, enc: &mut CdrEncoder) {
+        enc.put_seq(&self.0);
+    }
+}
+
+impl CdrDecode for ServiceContextList {
+    fn decode(dec: &mut CdrDecoder<'_>) -> Result<Self, GiopError> {
+        Ok(ServiceContextList(dec.get_seq()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdr::ByteOrder;
+
+    #[test]
+    fn empty_list_round_trip() {
+        let list = ServiceContextList::empty();
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        list.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        assert_eq!(&bytes[..], &[0, 0, 0, 0]);
+        let mut dec = CdrDecoder::new(&bytes, ByteOrder::Big);
+        assert_eq!(ServiceContextList::decode(&mut dec).unwrap(), list);
+    }
+
+    #[test]
+    fn populated_list_round_trip() {
+        let list: ServiceContextList = [
+            ServiceContext::new(1, vec![0xAA, 0xBB]),
+            ServiceContext::new(0xFFFF, vec![]),
+        ]
+        .into_iter()
+        .collect();
+        let mut enc = CdrEncoder::new(ByteOrder::Little);
+        list.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, ByteOrder::Little);
+        let decoded = ServiceContextList::decode(&mut dec).unwrap();
+        assert_eq!(decoded, list);
+        assert_eq!(decoded.len(), 2);
+        assert!(decoded.find(1).is_some());
+        assert!(decoded.find(2).is_none());
+    }
+}

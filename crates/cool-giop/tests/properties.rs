@@ -1,0 +1,194 @@
+//! Property-based tests: CDR and GIOP round-trips over arbitrary values.
+
+use bytes::Bytes;
+use cool_giop::prelude::*;
+use proptest::prelude::*;
+
+fn arb_order() -> impl Strategy<Value = ByteOrder> {
+    prop_oneof![Just(ByteOrder::Big), Just(ByteOrder::Little)]
+}
+
+fn arb_qos_param() -> impl Strategy<Value = QoSParameter> {
+    (any::<u32>(), any::<u32>(), any::<i32>(), any::<i32>()).prop_map(
+        |(param_type, request_value, max_value, min_value)| QoSParameter {
+            param_type,
+            request_value,
+            max_value,
+            min_value,
+        },
+    )
+}
+
+fn arb_service_context_list() -> impl Strategy<Value = ServiceContextList> {
+    proptest::collection::vec(
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..32)),
+        0..4,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(id, data)| ServiceContext::new(id, data))
+            .collect()
+    })
+}
+
+fn arb_request_header() -> impl Strategy<Value = RequestHeader> {
+    (
+        arb_service_context_list(),
+        any::<u32>(),
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        "[a-zA-Z_][a-zA-Z0-9_]{0,24}",
+        proptest::collection::vec(arb_qos_param(), 0..8),
+        proptest::collection::vec(any::<u8>(), 0..16),
+    )
+        .prop_map(|(sc, id, resp, key, op, qos, principal)| RequestHeader {
+            service_context: sc,
+            request_id: id,
+            response_expected: resp,
+            object_key: key,
+            operation: op,
+            qos_params: qos,
+            requesting_principal: principal,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            arb_request_header(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(header, body)| Message::Request {
+                header,
+                body: Bytes::from(body)
+            }),
+        (
+            any::<u32>(),
+            prop_oneof![
+                Just(ReplyStatus::NoException),
+                Just(ReplyStatus::UserException),
+                Just(ReplyStatus::SystemException),
+                Just(ReplyStatus::LocationForward)
+            ],
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(id, status, body)| Message::Reply {
+                header: ReplyHeader::new(id, status),
+                body: Bytes::from(body),
+            }),
+        any::<u32>().prop_map(|request_id| Message::CancelRequest { request_id }),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..32)).prop_map(
+            |(request_id, object_key)| Message::LocateRequest(LocateRequestHeader {
+                request_id,
+                object_key
+            })
+        ),
+        (
+            any::<u32>(),
+            prop_oneof![
+                Just(LocateStatus::UnknownObject),
+                Just(LocateStatus::ObjectHere),
+                Just(LocateStatus::ObjectForward)
+            ]
+        )
+            .prop_map(|(request_id, locate_status)| Message::LocateReply(
+                LocateReplyHeader {
+                    request_id,
+                    locate_status
+                }
+            )),
+        Just(Message::CloseConnection),
+        Just(Message::MessageError),
+    ]
+}
+
+/// Version that can legally carry the message: QoS-bearing Requests demand
+/// GIOP 9.9.
+fn legal_version(msg: &Message) -> GiopVersion {
+    match msg {
+        Message::Request { header, .. } if !header.qos_params.is_empty() => {
+            GiopVersion::QOS_EXTENDED
+        }
+        _ => GiopVersion::STANDARD,
+    }
+}
+
+proptest! {
+    /// Every message round-trips bit-exactly through encode/decode under
+    /// both byte orders.
+    #[test]
+    fn message_round_trip(msg in arb_message(), order in arb_order()) {
+        let version = legal_version(&msg);
+        let frame = encode_message(&msg, version, order).unwrap();
+        let (decoded, v, o) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(v, version);
+        prop_assert_eq!(o, order);
+    }
+
+    /// QoS-bearing requests also round-trip under GIOP 9.9 regardless of
+    /// parameter contents.
+    #[test]
+    fn qos_request_round_trip(header in arb_request_header(), order in arb_order()) {
+        let msg = Message::Request { header, body: Bytes::new() };
+        let frame = encode_message(&msg, GiopVersion::QOS_EXTENDED, order).unwrap();
+        let decoded = decode_message(&frame).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The incremental reader produces the same messages as whole-frame
+    /// decoding for any chunking of the stream.
+    #[test]
+    fn reader_is_chunking_invariant(
+        msgs in proptest::collection::vec(arb_message(), 1..5),
+        chunk_size in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            let frame = encode_message(m, legal_version(m), ByteOrder::Big).unwrap();
+            stream.extend_from_slice(&frame);
+        }
+        let mut reader = MessageReader::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(chunk_size) {
+            reader.feed(chunk);
+            while let Some(m) = reader.next_message().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+    }
+
+    /// Arbitrary byte garbage never panics the decoder — it errors or, by
+    /// astronomical luck, parses.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message(&bytes);
+    }
+
+    /// Truncating a valid frame anywhere yields an error, never a wrong
+    /// message or a panic.
+    #[test]
+    fn truncation_always_detected(msg in arb_message(), cut in 0usize..100) {
+        let frame = encode_message(&msg, legal_version(&msg), ByteOrder::Big).unwrap();
+        if frame.len() > 12 {
+            // Cut somewhere strictly inside the frame.
+            let cut = 1 + cut % (frame.len() - 1);
+            let truncated = &frame[..cut];
+            prop_assert!(decode_message(truncated).is_err());
+        }
+    }
+
+    /// The header parser agrees with the encoder for every message.
+    #[test]
+    fn parse_header_inverts_encode(msg in arb_message(), order in arb_order()) {
+        let version = legal_version(&msg);
+        let frame = encode_message(&msg, version, order).unwrap();
+        let h = cool_giop::codec::parse_header(&frame).unwrap();
+        prop_assert_eq!(h.version, version);
+        prop_assert_eq!(h.order, order);
+        prop_assert_eq!(h.msg_type, msg.msg_type());
+        prop_assert_eq!(h.message_size as usize, frame.len() - cool_giop::codec::HEADER_LEN);
+    }
+}

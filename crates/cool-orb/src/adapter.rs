@@ -1,0 +1,339 @@
+//! The Object Adapter.
+//!
+//! Registers servants under object keys, holds each object's QoS policy,
+//! and dispatches incoming requests: bilateral negotiation first (NACK on
+//! failure, Figure 3-i), then the servant upcall. As in COOL, the adapter
+//! exists on the client side too — stubs bound to a colocated object
+//! dispatch straight into it, skipping message and transport layers
+//! (Section 2: *"The Object Adapter is designed to optimize colocated
+//! scenarios"*).
+
+use crate::error::OrbError;
+use crate::object::ObjectKey;
+use crate::servant::{FnServant, InvocationCtx, Servant};
+use multe_qos::{GrantedQoS, QoSSpec, ServerPolicy};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Registration {
+    servant: Arc<dyn Servant>,
+    policy: ServerPolicy,
+}
+
+/// Maps object keys to servants and QoS policies.
+#[derive(Default)]
+pub struct ObjectAdapter {
+    objects: RwLock<HashMap<ObjectKey, Registration>>,
+}
+
+impl std::fmt::Debug for ObjectAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectAdapter")
+            .field("objects", &self.objects.read().len())
+            .finish()
+    }
+}
+
+/// Outcome of adapter-level request handling, before marshalling.
+#[derive(Debug)]
+pub enum DispatchOutcome {
+    /// The servant produced a result; the granted QoS should ride back in
+    /// the Reply service context.
+    Success {
+        /// Marshalled results.
+        body: Vec<u8>,
+        /// Outcome of bilateral negotiation for this invocation.
+        granted: GrantedQoS,
+    },
+    /// Bilateral negotiation failed: send the QoS NACK.
+    QosNack(multe_qos::QosError),
+    /// The servant (or adapter) raised an error to report as an exception.
+    Error(OrbError),
+}
+
+impl ObjectAdapter {
+    /// Creates an empty adapter.
+    pub fn new() -> Self {
+        ObjectAdapter::default()
+    }
+
+    /// Registers (activates) a servant under `key` with a permissive QoS
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] if the key is already taken.
+    pub fn register(
+        &self,
+        key: impl Into<ObjectKey>,
+        servant: Arc<dyn Servant>,
+    ) -> Result<(), OrbError> {
+        self.register_with_policy(key, servant, ServerPolicy::permissive())
+    }
+
+    /// Registers a servant with an explicit QoS policy.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] if the key is already taken.
+    pub fn register_with_policy(
+        &self,
+        key: impl Into<ObjectKey>,
+        servant: Arc<dyn Servant>,
+        policy: ServerPolicy,
+    ) -> Result<(), OrbError> {
+        let key = key.into();
+        let mut objects = self.objects.write();
+        if objects.contains_key(&key) {
+            return Err(OrbError::BadAddress(format!(
+                "object key {key} already registered"
+            )));
+        }
+        objects.insert(key, Registration { servant, policy });
+        Ok(())
+    }
+
+    /// Registers a closure-backed servant (permissive policy).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] if the key is already taken.
+    pub fn register_fn(
+        &self,
+        key: impl Into<ObjectKey>,
+        f: impl Fn(&str, &[u8], &InvocationCtx) -> Result<Vec<u8>, OrbError> + Send + Sync + 'static,
+    ) -> Result<(), OrbError> {
+        self.register(key, Arc::new(FnServant::new(f)))
+    }
+
+    /// Deactivates an object; returns whether it existed.
+    pub fn deactivate(&self, key: &ObjectKey) -> bool {
+        self.objects.write().remove(key).is_some()
+    }
+
+    /// Whether an object is registered under `key`.
+    pub fn contains(&self, key: &ObjectKey) -> bool {
+        self.objects.read().contains_key(key)
+    }
+
+    /// Replaces an object's QoS policy; returns whether it existed.
+    pub fn set_policy(&self, key: &ObjectKey, policy: ServerPolicy) -> bool {
+        match self.objects.write().get_mut(key) {
+            Some(reg) => {
+                reg.policy = policy;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of active objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether no objects are active.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Handles one incoming invocation: negotiate, upcall, classify.
+    ///
+    /// `spec` is the QoS specification unmarshalled from the (extended)
+    /// Request header — empty for standard-GIOP requests.
+    pub fn dispatch(
+        &self,
+        key: &ObjectKey,
+        operation: &str,
+        args: &[u8],
+        spec: &QoSSpec,
+        one_way: bool,
+    ) -> DispatchOutcome {
+        let (servant, policy) = {
+            let objects = self.objects.read();
+            match objects.get(key) {
+                Some(reg) => (reg.servant.clone(), reg.policy.clone()),
+                None => {
+                    return DispatchOutcome::Error(OrbError::ObjectNotFound(key.display_lossy()))
+                }
+            }
+        };
+
+        // Bilateral negotiation (Figure 3): only engaged when the client
+        // actually specified QoS.
+        let granted = if spec.is_best_effort() {
+            GrantedQoS::best_effort()
+        } else {
+            match policy.negotiate(spec) {
+                Ok(granted) => granted,
+                Err(reason) => return DispatchOutcome::QosNack(reason),
+            }
+        };
+
+        let ctx = InvocationCtx::new(granted.clone(), operation, one_way);
+        match servant.dispatch(operation, args, &ctx) {
+            Ok(body) => DispatchOutcome::Success { body, granted },
+            Err(e) => DispatchOutcome::Error(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multe_qos::Reliability;
+
+    fn echo_adapter() -> ObjectAdapter {
+        let adapter = ObjectAdapter::new();
+        adapter
+            .register_fn("echo", |_op, args, _ctx| Ok(args.to_vec()))
+            .unwrap();
+        adapter
+    }
+
+    #[test]
+    fn register_and_dispatch() {
+        let adapter = echo_adapter();
+        assert!(adapter.contains(&ObjectKey::from("echo")));
+        assert_eq!(adapter.len(), 1);
+        match adapter.dispatch(
+            &ObjectKey::from("echo"),
+            "any",
+            b"data",
+            &QoSSpec::best_effort(),
+            false,
+        ) {
+            DispatchOutcome::Success { body, granted } => {
+                assert_eq!(body, b"data");
+                assert!(granted.is_best_effort());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let adapter = echo_adapter();
+        assert!(adapter
+            .register_fn("echo", |_o, a, _c| Ok(a.to_vec()))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_object_reported() {
+        let adapter = ObjectAdapter::new();
+        match adapter.dispatch(
+            &ObjectKey::from("ghost"),
+            "op",
+            b"",
+            &QoSSpec::best_effort(),
+            false,
+        ) {
+            DispatchOutcome::Error(OrbError::ObjectNotFound(k)) => assert_eq!(k, "ghost"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deactivate_removes() {
+        let adapter = echo_adapter();
+        assert!(adapter.deactivate(&ObjectKey::from("echo")));
+        assert!(!adapter.deactivate(&ObjectKey::from("echo")));
+        assert!(adapter.is_empty());
+    }
+
+    #[test]
+    fn negotiation_grants_within_policy() {
+        let adapter = ObjectAdapter::new();
+        let policy = ServerPolicy::builder()
+            .max_throughput_bps(1_000_000)
+            .max_reliability(Reliability::Reliable)
+            .build();
+        adapter
+            .register_with_policy(
+                "media",
+                Arc::new(FnServant::new(|_o, _a, ctx| {
+                    // The servant can see the granted operating point.
+                    Ok(ctx
+                        .granted()
+                        .throughput_bps()
+                        .unwrap_or(0)
+                        .to_be_bytes()
+                        .to_vec())
+                })),
+                policy,
+            )
+            .unwrap();
+        let spec = QoSSpec::builder()
+            .throughput_bps(5_000_000, 500_000, 10_000_000)
+            .build();
+        match adapter.dispatch(&ObjectKey::from("media"), "get", b"", &spec, false) {
+            DispatchOutcome::Success { body, granted } => {
+                assert_eq!(granted.throughput_bps(), Some(1_000_000));
+                assert_eq!(body, 1_000_000u32.to_be_bytes());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiation_nack_when_infeasible() {
+        let adapter = ObjectAdapter::new();
+        let policy = ServerPolicy::builder().max_throughput_bps(100).build();
+        adapter
+            .register_with_policy(
+                "weak",
+                Arc::new(FnServant::new(|_o, a, _c| Ok(a.to_vec()))),
+                policy,
+            )
+            .unwrap();
+        let spec = QoSSpec::builder()
+            .throughput_bps(1_000_000, 500_000, 2_000_000)
+            .build();
+        match adapter.dispatch(&ObjectKey::from("weak"), "get", b"", &spec, false) {
+            DispatchOutcome::QosNack(reason) => {
+                assert!(reason.to_string().contains("throughput"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_policy_changes_future_negotiations() {
+        let adapter = echo_adapter();
+        let key = ObjectKey::from("echo");
+        adapter.set_policy(&key, ServerPolicy::builder().build()); // supports nothing
+        let spec = QoSSpec::builder().ordered(true).build();
+        assert!(matches!(
+            adapter.dispatch(&key, "op", b"", &spec, false),
+            DispatchOutcome::QosNack(_)
+        ));
+        assert!(!adapter.set_policy(&ObjectKey::from("ghost"), ServerPolicy::permissive()));
+    }
+
+    #[test]
+    fn servant_errors_become_exceptions() {
+        let adapter = ObjectAdapter::new();
+        adapter
+            .register_fn("picky", |op, _a, _c| {
+                Err(OrbError::OperationUnknown {
+                    object: "picky".into(),
+                    operation: op.into(),
+                })
+            })
+            .unwrap();
+        match adapter.dispatch(
+            &ObjectKey::from("picky"),
+            "nope",
+            b"",
+            &QoSSpec::best_effort(),
+            false,
+        ) {
+            DispatchOutcome::Error(OrbError::OperationUnknown { operation, .. }) => {
+                assert_eq!(operation, "nope");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

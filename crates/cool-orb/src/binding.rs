@@ -1,0 +1,472 @@
+//! Client-side bindings: a connection to a server endpoint plus the
+//! request/reply machinery for every invocation mode.
+//!
+//! A binding owns one [`ComChannel`] and a demultiplexer thread matching
+//! Replies to outstanding requests by id. On top of it the five invocation
+//! styles of the paper's `_DacapoComChannel` (Section 5.2) are provided:
+//!
+//! * [`Binding::call`] — two-way synchronous invocation;
+//! * [`Binding::send`] — one-way, no reply expected;
+//! * [`Binding::defer`] — deferred synchronous: returns a
+//!   [`DeferredReply`] the caller polls or waits on later;
+//! * [`Binding::notify`] — asynchronous: a callback runs on the demux
+//!   thread when the reply arrives;
+//! * [`DeferredReply::cancel`] / [`Binding::cancel`] — abandon a pending
+//!   request (sends GIOP `CancelRequest`).
+
+use crate::error::OrbError;
+use crate::message_layer::cool::CoolMessage;
+use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
+use crate::transport::ComChannel;
+use bytes::Bytes;
+use cool_giop::prelude::*;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use multe_qos::GrantedQoS;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of a two-way invocation: reply body plus any granted QoS the
+/// server attached.
+pub type ReplyResult = Result<(Bytes, Option<GrantedQoS>), OrbError>;
+
+/// Default reply timeout for synchronous calls.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval of the demux thread (bounds close latency).
+const DEMUX_POLL: Duration = Duration::from_millis(50);
+
+enum Slot {
+    Sync(Sender<ReplyResult>),
+    Callback(Box<dyn FnOnce(ReplyResult) + Send>),
+}
+
+impl Slot {
+    fn complete(self, result: ReplyResult) {
+        match self {
+            Slot::Sync(tx) => {
+                let _ = tx.send(result);
+            }
+            Slot::Callback(f) => f(result),
+        }
+    }
+}
+
+type PendingMap = Arc<Mutex<HashMap<u32, Slot>>>;
+
+/// A client connection to one server endpoint.
+pub struct Binding {
+    channel: Arc<dyn ComChannel>,
+    protocol: WireProtocol,
+    order: ByteOrder,
+    next_id: AtomicU32,
+    pending: PendingMap,
+    closed: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Binding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Binding")
+            .field("transport", &self.channel.kind())
+            .field("protocol", &self.protocol)
+            .field("pending", &self.pending.lock().len())
+            .finish()
+    }
+}
+
+impl Binding {
+    /// Wraps a connected channel and starts the reply demultiplexer.
+    pub fn new(channel: Arc<dyn ComChannel>, protocol: WireProtocol) -> Arc<Self> {
+        let binding = Arc::new(Binding {
+            channel,
+            protocol,
+            order: ByteOrder::Big,
+            next_id: AtomicU32::new(1),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            closed: Arc::new(AtomicBool::new(false)),
+        });
+        let channel = binding.channel.clone();
+        let pending = binding.pending.clone();
+        let closed = binding.closed.clone();
+        std::thread::Builder::new()
+            .name("cool-binding-demux".into())
+            .spawn(move || demux_loop(channel, pending, closed))
+            .expect("spawn demux thread");
+        binding
+    }
+
+    /// The transport below this binding.
+    pub fn channel(&self) -> &Arc<dyn ComChannel> {
+        &self.channel
+    }
+
+    /// The message protocol this binding speaks.
+    pub fn protocol(&self) -> WireProtocol {
+        self.protocol
+    }
+
+    /// Whether the binding has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    fn next_request_id(&self) -> u32 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn encode_request(
+        &self,
+        request_id: u32,
+        object_key: &[u8],
+        operation: &str,
+        args: Bytes,
+        qos_params: &[QoSParameter],
+        response_expected: bool,
+    ) -> Result<Bytes, OrbError> {
+        match self.protocol {
+            WireProtocol::Giop => giop_helpers::make_request(
+                request_id,
+                object_key,
+                operation,
+                args,
+                qos_params.to_vec(),
+                response_expected,
+                self.order,
+            ),
+            WireProtocol::Cool => {
+                if !qos_params.is_empty() {
+                    return Err(OrbError::Protocol(
+                        "the cool message protocol carries no qos parameters; use giop".into(),
+                    ));
+                }
+                Ok(CoolMessage::Request {
+                    request_id,
+                    object_key: object_key.to_vec(),
+                    operation: operation.to_owned(),
+                    one_way: !response_expected,
+                    args,
+                }
+                .encode())
+            }
+        }
+    }
+
+    fn register_sync(&self, request_id: u32) -> Receiver<ReplyResult> {
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(request_id, Slot::Sync(tx));
+        rx
+    }
+
+    /// Two-way synchronous invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Timeout`] if no reply arrives in `timeout`; any
+    /// exception the server raised; [`OrbError::Closed`] on teardown.
+    pub fn call(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: Bytes,
+        qos_params: &[QoSParameter],
+        timeout: Duration,
+    ) -> ReplyResult {
+        if self.is_closed() {
+            return Err(OrbError::Closed);
+        }
+        let request_id = self.next_request_id();
+        let frame =
+            self.encode_request(request_id, object_key, operation, args, qos_params, true)?;
+        let rx = self.register_sync(request_id);
+        if let Err(e) = self.channel.send_frame(frame) {
+            self.pending.lock().remove(&request_id);
+            return Err(e);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                self.pending.lock().remove(&request_id);
+                Err(OrbError::Timeout(timeout))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(OrbError::Closed),
+        }
+    }
+
+    /// One-way invocation: returns as soon as the request is on the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Closed`] or transport failures; server-side errors are
+    /// invisible by design.
+    pub fn send(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: Bytes,
+        qos_params: &[QoSParameter],
+    ) -> Result<(), OrbError> {
+        if self.is_closed() {
+            return Err(OrbError::Closed);
+        }
+        let request_id = self.next_request_id();
+        let frame =
+            self.encode_request(request_id, object_key, operation, args, qos_params, false)?;
+        self.channel.send_frame(frame)
+    }
+
+    /// Deferred synchronous invocation: the reply is collected later via
+    /// the returned [`DeferredReply`].
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Closed`] or transport failures at send time.
+    pub fn defer(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: Bytes,
+        qos_params: &[QoSParameter],
+    ) -> Result<DeferredReply, OrbError> {
+        if self.is_closed() {
+            return Err(OrbError::Closed);
+        }
+        let request_id = self.next_request_id();
+        let frame =
+            self.encode_request(request_id, object_key, operation, args, qos_params, true)?;
+        let rx = self.register_sync(request_id);
+        if let Err(e) = self.channel.send_frame(frame) {
+            self.pending.lock().remove(&request_id);
+            return Err(e);
+        }
+        Ok(DeferredReply {
+            request_id,
+            rx,
+            pending: self.pending.clone(),
+            channel: self.channel.clone(),
+            order: self.order,
+            done: false,
+        })
+    }
+
+    /// Asynchronous invocation: `callback` runs (on the demux thread) when
+    /// the reply or an error arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Closed`] or transport failures at send time.
+    pub fn notify(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: Bytes,
+        qos_params: &[QoSParameter],
+        callback: impl FnOnce(ReplyResult) + Send + 'static,
+    ) -> Result<u32, OrbError> {
+        if self.is_closed() {
+            return Err(OrbError::Closed);
+        }
+        let request_id = self.next_request_id();
+        let frame =
+            self.encode_request(request_id, object_key, operation, args, qos_params, true)?;
+        self.pending
+            .lock()
+            .insert(request_id, Slot::Callback(Box::new(callback)));
+        if let Err(e) = self.channel.send_frame(frame) {
+            self.pending.lock().remove(&request_id);
+            return Err(e);
+        }
+        Ok(request_id)
+    }
+
+    /// Cancels a pending request: notifies the server (GIOP
+    /// `CancelRequest`) and completes the local waiter with
+    /// [`OrbError::Cancelled`].
+    ///
+    /// Returns whether the request was still pending.
+    pub fn cancel(&self, request_id: u32) -> bool {
+        let slot = self.pending.lock().remove(&request_id);
+        let was_pending = slot.is_some();
+        if let Some(slot) = slot {
+            slot.complete(Err(OrbError::Cancelled));
+        }
+        if was_pending && self.protocol == WireProtocol::Giop {
+            let msg = Message::CancelRequest { request_id };
+            if let Ok(frame) = encode_message(&msg, GiopVersion::STANDARD, self.order) {
+                let _ = self.channel.send_frame(frame);
+            }
+        }
+        was_pending
+    }
+
+    /// Closes the binding; all pending requests complete with
+    /// [`OrbError::Closed`].
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.channel.close();
+        fail_all(&self.pending, || OrbError::Closed);
+    }
+}
+
+impl Drop for Binding {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn fail_all(pending: &PendingMap, err: impl Fn() -> OrbError) {
+    let slots: Vec<Slot> = pending.lock().drain().map(|(_, s)| s).collect();
+    for slot in slots {
+        slot.complete(Err(err()));
+    }
+}
+
+fn demux_loop(channel: Arc<dyn ComChannel>, pending: PendingMap, closed: Arc<AtomicBool>) {
+    loop {
+        if closed.load(Ordering::Acquire) {
+            fail_all(&pending, || OrbError::Closed);
+            return;
+        }
+        let frame = match channel.recv_frame(DEMUX_POLL) {
+            Ok(frame) => frame,
+            Err(OrbError::Timeout(_)) => continue,
+            Err(_) => {
+                closed.store(true, Ordering::Release);
+                fail_all(&pending, || OrbError::Closed);
+                return;
+            }
+        };
+        let Ok(protocol) = sniff(&frame) else {
+            continue; // unknown frame: ignore
+        };
+        match protocol {
+            WireProtocol::Giop => match cool_giop::codec::decode_message_ext(&frame) {
+                Ok((Message::Reply { header, body }, _, order)) => {
+                    if let Some(slot) = pending.lock().remove(&header.request_id) {
+                        slot.complete(giop_helpers::interpret_reply(&header, &body, order));
+                    }
+                }
+                Ok((Message::CloseConnection, _, _)) => {
+                    closed.store(true, Ordering::Release);
+                    fail_all(&pending, || OrbError::Closed);
+                    return;
+                }
+                Ok(_) | Err(_) => continue,
+            },
+            WireProtocol::Cool => match CoolMessage::decode(&frame) {
+                Ok(CoolMessage::Reply { request_id, body }) => {
+                    if let Some(slot) = pending.lock().remove(&request_id) {
+                        slot.complete(Ok((body, None)));
+                    }
+                }
+                Ok(CoolMessage::Exception {
+                    request_id,
+                    kind,
+                    detail,
+                }) => {
+                    if let Some(slot) = pending.lock().remove(&request_id) {
+                        let err = match kind.as_str() {
+                            "ObjectNotFound" => OrbError::ObjectNotFound(detail),
+                            "OperationUnknown" => {
+                                let (object, operation) =
+                                    detail.split_once('/').unwrap_or((detail.as_str(), ""));
+                                OrbError::OperationUnknown {
+                                    object: object.to_owned(),
+                                    operation: operation.to_owned(),
+                                }
+                            }
+                            _ => OrbError::Protocol(format!("cool exception {kind}: {detail}")),
+                        };
+                        slot.complete(Err(err));
+                    }
+                }
+                Ok(CoolMessage::Request { .. }) | Err(_) => continue,
+            },
+        }
+    }
+}
+
+/// Handle to a deferred-synchronous invocation.
+pub struct DeferredReply {
+    request_id: u32,
+    rx: Receiver<ReplyResult>,
+    pending: PendingMap,
+    channel: Arc<dyn ComChannel>,
+    order: ByteOrder,
+    done: bool,
+}
+
+impl std::fmt::Debug for DeferredReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeferredReply")
+            .field("request_id", &self.request_id)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl DeferredReply {
+    /// The id of the pending request.
+    pub fn request_id(&self) -> u32 {
+        self.request_id
+    }
+
+    /// Returns the reply if it has arrived (non-blocking).
+    pub fn poll(&mut self) -> Option<ReplyResult> {
+        match self.rx.try_recv() {
+            Ok(result) => {
+                self.done = true;
+                Some(result)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Timeout`] on expiry; otherwise whatever the invocation
+    /// produced.
+    pub fn wait(mut self, timeout: Duration) -> ReplyResult {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => {
+                self.done = true;
+                result
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                self.pending.lock().remove(&self.request_id);
+                self.done = true;
+                Err(OrbError::Timeout(timeout))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                self.done = true;
+                Err(OrbError::Closed)
+            }
+        }
+    }
+
+    /// Cancels the pending request (sends GIOP `CancelRequest`).
+    pub fn cancel(mut self) {
+        self.done = true;
+        if self.pending.lock().remove(&self.request_id).is_some() {
+            let msg = Message::CancelRequest {
+                request_id: self.request_id,
+            };
+            if let Ok(frame) = encode_message(&msg, GiopVersion::STANDARD, self.order) {
+                let _ = self.channel.send_frame(frame);
+            }
+        }
+    }
+}
+
+impl Drop for DeferredReply {
+    fn drop(&mut self) {
+        if !self.done {
+            // Abandoned without waiting: drop the slot so the demux thread
+            // does not hold a dead sender forever.
+            self.pending.lock().remove(&self.request_id);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! ORB error type: the programmatic face of CORBA exceptions.
+
+use cool_giop::GiopError;
+use multe_qos::QosError;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Repository id used for the QoS NACK user exception on the wire.
+pub const QOS_NACK_REPO_ID: &str = "IDL:multe/QosNotSupported:1.0";
+
+/// Errors surfaced by ORB operations.
+#[derive(Debug)]
+pub enum OrbError {
+    /// The paper's NACK: requested QoS cannot be supported (bilateral
+    /// rejection by the server or unilateral rejection by a transport).
+    QosNotSupported(QosError),
+    /// The target object key is not registered at the server.
+    ObjectNotFound(String),
+    /// The servant does not implement the requested operation.
+    OperationUnknown {
+        /// The object that was addressed.
+        object: String,
+        /// The unknown operation name.
+        operation: String,
+    },
+    /// A user-defined exception raised by the servant.
+    UserException {
+        /// Repository id of the exception type.
+        repo_id: String,
+        /// Marshalled exception body.
+        body: Vec<u8>,
+    },
+    /// GIOP/CDR marshalling failure.
+    Marshal(GiopError),
+    /// The transport below the binding failed.
+    Transport(String),
+    /// The binding or server is closed.
+    Closed,
+    /// A reply did not arrive in time.
+    Timeout(Duration),
+    /// The invocation was cancelled via `cancel`.
+    Cancelled,
+    /// The peer violated the protocol.
+    Protocol(String),
+    /// The address could not be parsed or is unsupported.
+    BadAddress(String),
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbError::QosNotSupported(e) => write!(f, "qos not supported: {e}"),
+            OrbError::ObjectNotFound(key) => write!(f, "no object registered under key {key:?}"),
+            OrbError::OperationUnknown { object, operation } => {
+                write!(f, "object {object:?} has no operation {operation:?}")
+            }
+            OrbError::UserException { repo_id, .. } => write!(f, "user exception {repo_id}"),
+            OrbError::Marshal(e) => write!(f, "marshalling failed: {e}"),
+            OrbError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            OrbError::Closed => write!(f, "binding closed"),
+            OrbError::Timeout(d) => write!(f, "reply timed out after {d:?}"),
+            OrbError::Cancelled => write!(f, "request cancelled"),
+            OrbError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            OrbError::BadAddress(a) => write!(f, "bad or unsupported address: {a}"),
+        }
+    }
+}
+
+impl Error for OrbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OrbError::QosNotSupported(e) => Some(e),
+            OrbError::Marshal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GiopError> for OrbError {
+    fn from(e: GiopError) -> Self {
+        OrbError::Marshal(e)
+    }
+}
+
+impl From<QosError> for OrbError {
+    fn from(e: QosError) -> Self {
+        OrbError::QosNotSupported(e)
+    }
+}
+
+impl From<dacapo::DacapoError> for OrbError {
+    fn from(e: dacapo::DacapoError) -> Self {
+        match e {
+            dacapo::DacapoError::Closed => OrbError::Closed,
+            dacapo::DacapoError::Timeout(d) => OrbError::Timeout(d),
+            dacapo::DacapoError::ResourceDenied { resource } => {
+                OrbError::QosNotSupported(QosError::AdmissionDenied { resource })
+            }
+            dacapo::DacapoError::NoFeasibleConfiguration { missing_function } => {
+                OrbError::QosNotSupported(QosError::Rejected(format!(
+                    "no protocol configuration provides {missing_function}"
+                )))
+            }
+            other => OrbError::Transport(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: OrbError = GiopError::PeerMessageError.into();
+        assert!(matches!(e, OrbError::Marshal(_)));
+        let e: OrbError = QosError::Rejected("nope".into()).into();
+        assert!(matches!(e, OrbError::QosNotSupported(_)));
+        let e: OrbError = dacapo::DacapoError::Closed.into();
+        assert!(matches!(e, OrbError::Closed));
+        let e: OrbError = dacapo::DacapoError::ResourceDenied {
+            resource: "bandwidth".into(),
+        }
+        .into();
+        assert!(matches!(
+            e,
+            OrbError::QosNotSupported(QosError::AdmissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn display_and_source() {
+        let e = OrbError::QosNotSupported(QosError::Rejected("r".into()));
+        assert!(e.to_string().contains("qos"));
+        assert!(e.source().is_some());
+        assert!(OrbError::Closed.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OrbError>();
+    }
+}

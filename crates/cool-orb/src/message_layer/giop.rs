@@ -1,0 +1,428 @@
+//! GIOP message construction/interpretation helpers for the ORB, plus the
+//! QoS reply service context.
+//!
+//! The paper returns results *"within a standard Reply message with the
+//! requested QoS"* — the concrete granted values ride back in a service
+//! context entry (id [`QOS_CONTEXT_ID`]) so the client learns its granted
+//! operating point without any change to the Reply header format.
+
+use crate::error::{OrbError, QOS_NACK_REPO_ID};
+use bytes::Bytes;
+use cool_giop::prelude::*;
+use multe_qos::{GrantedQoS, QosError, Reliability};
+
+/// Service context id carrying granted QoS values in Replies (`"QOS\0"`).
+pub const QOS_CONTEXT_ID: u32 = 0x514F_5300;
+
+/// Builds the Request frame for an invocation.
+///
+/// # Errors
+///
+/// [`OrbError::Marshal`] if encoding fails.
+pub fn make_request(
+    request_id: u32,
+    object_key: &[u8],
+    operation: &str,
+    args: Bytes,
+    qos_params: Vec<QoSParameter>,
+    response_expected: bool,
+    order: ByteOrder,
+) -> Result<Bytes, OrbError> {
+    let version = if qos_params.is_empty() {
+        GiopVersion::STANDARD
+    } else {
+        GiopVersion::QOS_EXTENDED
+    };
+    let header = RequestHeader::builder(request_id, object_key.to_vec(), operation)
+        .response_expected(response_expected)
+        .qos_params(qos_params)
+        .build();
+    let msg = Message::Request { header, body: args };
+    encode_message(&msg, version, order).map_err(OrbError::from)
+}
+
+/// Builds a successful Reply, optionally attaching the granted QoS.
+///
+/// # Errors
+///
+/// [`OrbError::Marshal`] if encoding fails.
+pub fn make_reply(
+    request_id: u32,
+    body: Bytes,
+    granted: Option<&GrantedQoS>,
+    version: GiopVersion,
+    order: ByteOrder,
+) -> Result<Bytes, OrbError> {
+    let mut header = ReplyHeader::new(request_id, ReplyStatus::NoException);
+    if let Some(granted) = granted {
+        if !granted.is_best_effort() {
+            header.service_context = ServiceContextList(vec![ServiceContext::new(
+                QOS_CONTEXT_ID,
+                encode_granted(granted),
+            )]);
+        }
+    }
+    let msg = Message::Reply { header, body };
+    encode_message(&msg, version, order).map_err(OrbError::from)
+}
+
+/// Builds the QoS NACK: a UserException Reply whose body names
+/// [`QOS_NACK_REPO_ID`] (Figure 3-i: "NACK … with the standard CORBA
+/// exception mechanism").
+///
+/// # Errors
+///
+/// [`OrbError::Marshal`] if encoding fails.
+pub fn make_qos_nack(
+    request_id: u32,
+    reason: &QosError,
+    version: GiopVersion,
+    order: ByteOrder,
+) -> Result<Bytes, OrbError> {
+    let mut enc = CdrEncoder::new(order);
+    enc.put_string(QOS_NACK_REPO_ID);
+    enc.put_u32(reason.code());
+    enc.put_string(&reason.to_string());
+    let msg = Message::Reply {
+        header: ReplyHeader::new(request_id, ReplyStatus::UserException),
+        body: enc.into_bytes(),
+    };
+    encode_message(&msg, version, order).map_err(OrbError::from)
+}
+
+/// Builds a user-exception Reply from a servant-raised exception.
+///
+/// # Errors
+///
+/// [`OrbError::Marshal`] if encoding fails.
+pub fn make_user_exception(
+    request_id: u32,
+    repo_id: &str,
+    body: &[u8],
+    version: GiopVersion,
+    order: ByteOrder,
+) -> Result<Bytes, OrbError> {
+    let mut enc = CdrEncoder::new(order);
+    enc.put_string(repo_id);
+    enc.put_raw(body);
+    let msg = Message::Reply {
+        header: ReplyHeader::new(request_id, ReplyStatus::UserException),
+        body: enc.into_bytes(),
+    };
+    encode_message(&msg, version, order).map_err(OrbError::from)
+}
+
+/// Builds a system-exception Reply (`kind` is a short stable tag such as
+/// `"ObjectNotFound"`).
+///
+/// # Errors
+///
+/// [`OrbError::Marshal`] if encoding fails.
+pub fn make_system_exception(
+    request_id: u32,
+    kind: &str,
+    detail: &str,
+    version: GiopVersion,
+    order: ByteOrder,
+) -> Result<Bytes, OrbError> {
+    let mut enc = CdrEncoder::new(order);
+    enc.put_string(kind);
+    enc.put_string(detail);
+    let msg = Message::Reply {
+        header: ReplyHeader::new(request_id, ReplyStatus::SystemException),
+        body: enc.into_bytes(),
+    };
+    encode_message(&msg, version, order).map_err(OrbError::from)
+}
+
+/// Interprets a Reply body according to its status, returning the result
+/// body and any granted QoS from the service context.
+///
+/// # Errors
+///
+/// Maps exception replies onto the corresponding [`OrbError`].
+pub fn interpret_reply(
+    header: &ReplyHeader,
+    body: &Bytes,
+    order: ByteOrder,
+) -> Result<(Bytes, Option<GrantedQoS>), OrbError> {
+    match header.reply_status {
+        ReplyStatus::NoException => {
+            let granted = header
+                .service_context
+                .find(QOS_CONTEXT_ID)
+                .and_then(|sc| decode_granted(&sc.context_data));
+            Ok((body.clone(), granted))
+        }
+        ReplyStatus::UserException => {
+            let mut dec = CdrDecoder::new(body, order);
+            let repo_id = dec.get_string().map_err(OrbError::from)?;
+            if repo_id == QOS_NACK_REPO_ID {
+                let _code = dec.get_u32().map_err(OrbError::from)?;
+                let message = dec.get_string().map_err(OrbError::from)?;
+                Err(OrbError::QosNotSupported(QosError::Rejected(message)))
+            } else {
+                Err(OrbError::UserException {
+                    repo_id,
+                    body: dec.get_rest().to_vec(),
+                })
+            }
+        }
+        ReplyStatus::SystemException => {
+            let mut dec = CdrDecoder::new(body, order);
+            let kind = dec.get_string().map_err(OrbError::from)?;
+            let detail = dec.get_string().map_err(OrbError::from)?;
+            Err(match kind.as_str() {
+                "ObjectNotFound" => OrbError::ObjectNotFound(detail),
+                "OperationUnknown" => {
+                    // detail is "object/operation"
+                    let (object, operation) =
+                        detail.split_once('/').unwrap_or((detail.as_str(), ""));
+                    OrbError::OperationUnknown {
+                        object: object.to_owned(),
+                        operation: operation.to_owned(),
+                    }
+                }
+                _ => OrbError::Protocol(format!("system exception {kind}: {detail}")),
+            })
+        }
+        ReplyStatus::LocationForward => {
+            Err(OrbError::Protocol("unexpected location forward".into()))
+        }
+    }
+}
+
+/// Encodes granted QoS values for the reply service context.
+///
+/// Layout: 6 optional fields, each `present (1 byte)` + `u32 BE value`.
+pub fn encode_granted(granted: &GrantedQoS) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(30);
+    let fields: [Option<u32>; 6] = [
+        granted.throughput_bps(),
+        granted.latency_us(),
+        granted.jitter_us(),
+        granted.reliability().map(|r| r.level()),
+        granted.ordered().map(|b| b as u32),
+        granted.encrypted().map(|b| b as u32),
+    ];
+    for field in fields {
+        match field {
+            Some(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_be_bytes());
+            }
+            None => buf.push(0),
+        }
+    }
+    buf
+}
+
+/// Decodes a granted-QoS service context; `None` on malformed data.
+pub fn decode_granted(buf: &[u8]) -> Option<GrantedQoS> {
+    let mut granted = GrantedQoS::best_effort();
+    let mut pos = 0usize;
+    let mut read = |buf: &[u8]| -> Option<Option<u32>> {
+        if pos >= buf.len() {
+            return None;
+        }
+        let present = buf[pos];
+        pos += 1;
+        if present == 0 {
+            Some(None)
+        } else {
+            if pos + 4 > buf.len() {
+                return None;
+            }
+            let v = u32::from_be_bytes(buf[pos..pos + 4].try_into().ok()?);
+            pos += 4;
+            Some(Some(v))
+        }
+    };
+    if let Some(v) = read(buf)? {
+        granted.set_throughput(v);
+    }
+    if let Some(v) = read(buf)? {
+        granted.set_latency(v);
+    }
+    if let Some(v) = read(buf)? {
+        granted.set_jitter(v);
+    }
+    if let Some(v) = read(buf)? {
+        granted.set_reliability(Reliability::from_level(v));
+    }
+    if let Some(v) = read(buf)? {
+        granted.set_ordered(v != 0);
+    }
+    if let Some(v) = read(buf)? {
+        granted.set_encrypted(v != 0);
+    }
+    Some(granted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multe_qos::{QoSSpec, ServerPolicy};
+
+    fn sample_granted() -> GrantedQoS {
+        let spec = QoSSpec::builder()
+            .throughput_bps(1_000_000, 0, i32::MAX)
+            .reliability(Reliability::Checked)
+            .ordered(true)
+            .build();
+        ServerPolicy::permissive().negotiate(&spec).unwrap()
+    }
+
+    #[test]
+    fn granted_round_trip() {
+        let g = sample_granted();
+        assert_eq!(decode_granted(&encode_granted(&g)), Some(g));
+        let empty = GrantedQoS::best_effort();
+        assert_eq!(decode_granted(&encode_granted(&empty)), Some(empty));
+    }
+
+    #[test]
+    fn decode_granted_rejects_truncation() {
+        let g = sample_granted();
+        let buf = encode_granted(&g);
+        assert!(decode_granted(&buf[..buf.len() - 1]).is_none());
+        assert!(decode_granted(&[]).is_none());
+    }
+
+    #[test]
+    fn request_and_reply_frames_round_trip() {
+        let frame = make_request(
+            7,
+            b"obj",
+            "op",
+            Bytes::from_static(b"args"),
+            vec![],
+            true,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let (msg, version, _) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        assert_eq!(version, GiopVersion::STANDARD);
+        match msg {
+            Message::Request { header, body } => {
+                assert_eq!(header.request_id, 7);
+                assert_eq!(header.operation, "op");
+                assert_eq!(&body[..], b"args");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let granted = sample_granted();
+        let reply = make_reply(
+            7,
+            Bytes::from_static(b"result"),
+            Some(&granted),
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let (msg, _, order) = cool_giop::codec::decode_message_ext(&reply).unwrap();
+        match msg {
+            Message::Reply { header, body } => {
+                let (out, g) = interpret_reply(&header, &body, order).unwrap();
+                assert_eq!(&out[..], b"result");
+                assert_eq!(g, Some(granted));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qos_request_uses_version_9_9() {
+        let qos = vec![QoSParameter::new(ParamKind::Throughput, 1, 2, 0)];
+        let frame = make_request(1, b"k", "m", Bytes::new(), qos, true, ByteOrder::Little).unwrap();
+        let (_, version, _) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        assert_eq!(version, GiopVersion::QOS_EXTENDED);
+    }
+
+    #[test]
+    fn nack_round_trip() {
+        let reason = QosError::Infeasible {
+            dimension: "throughput",
+            requested: 9,
+            offered: Some(1),
+        };
+        let frame = make_qos_nack(3, &reason, GiopVersion::QOS_EXTENDED, ByteOrder::Big).unwrap();
+        let (msg, _, order) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        match msg {
+            Message::Reply { header, body } => {
+                let err = interpret_reply(&header, &body, order).unwrap_err();
+                match err {
+                    OrbError::QosNotSupported(QosError::Rejected(m)) => {
+                        assert!(m.contains("throughput"));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_and_system_exceptions_round_trip() {
+        let frame = make_user_exception(
+            1,
+            "IDL:app/Bad:1.0",
+            b"detail",
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let (msg, _, order) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        if let Message::Reply { header, body } = msg {
+            match interpret_reply(&header, &body, order).unwrap_err() {
+                OrbError::UserException { repo_id, body } => {
+                    assert_eq!(repo_id, "IDL:app/Bad:1.0");
+                    assert_eq!(body, b"detail");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        } else {
+            panic!("not a reply");
+        }
+
+        let frame = make_system_exception(
+            2,
+            "ObjectNotFound",
+            "ghost",
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let (msg, _, order) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        if let Message::Reply { header, body } = msg {
+            assert!(matches!(
+                interpret_reply(&header, &body, order).unwrap_err(),
+                OrbError::ObjectNotFound(_)
+            ));
+        } else {
+            panic!("not a reply");
+        }
+
+        let frame = make_system_exception(
+            3,
+            "OperationUnknown",
+            "obj/ping",
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let (msg, _, order) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        if let Message::Reply { header, body } = msg {
+            match interpret_reply(&header, &body, order).unwrap_err() {
+                OrbError::OperationUnknown { object, operation } => {
+                    assert_eq!(object, "obj");
+                    assert_eq!(operation, "ping");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        } else {
+            panic!("not a reply");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The generic message protocol layer.
+//!
+//! COOL's ORB core supports multiple message protocols behind one generic
+//! layer (Section 2): **GIOP** (with the QoS extension) and the
+//! proprietary, lighter **COOL protocol**. Frames are self-describing via
+//! their 4-byte magic, so a server endpoint serves both protocols on the
+//! same channel.
+
+pub mod cool;
+pub mod giop;
+
+use crate::error::OrbError;
+
+/// Which message protocol a frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireProtocol {
+    /// OMG GIOP (1.0 or the 9.9 QoS extension).
+    Giop,
+    /// The proprietary COOL message protocol.
+    Cool,
+}
+
+/// Identifies the protocol of a frame by its magic.
+///
+/// # Errors
+///
+/// [`OrbError::Protocol`] if the frame starts with neither magic.
+pub fn sniff(frame: &[u8]) -> Result<WireProtocol, OrbError> {
+    if frame.len() < 4 {
+        return Err(OrbError::Protocol(format!(
+            "frame too short to sniff: {} bytes",
+            frame.len()
+        )));
+    }
+    match &frame[0..4] {
+        b"GIOP" => Ok(WireProtocol::Giop),
+        b"COOL" => Ok(WireProtocol::Cool),
+        other => Err(OrbError::Protocol(format!(
+            "unknown message protocol magic {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sniff_distinguishes_protocols() {
+        assert_eq!(sniff(b"GIOP....").unwrap(), WireProtocol::Giop);
+        assert_eq!(sniff(b"COOL....").unwrap(), WireProtocol::Cool);
+        assert!(sniff(b"HTTP/1.1").is_err());
+        assert!(sniff(b"GI").is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! A CORBA-style naming service, implemented *as an ORB object*.
+//!
+//! COOL deployments used a name server to bootstrap object references;
+//! CORBA standardises this as the Naming Service. The implementation here
+//! is deliberately self-hosting: the name service is a regular servant
+//! whose operations (`bind`, `rebind`, `resolve`, `unbind`, `list`) are
+//! marshalled over CDR and served over any transport the ORB supports —
+//! so using it exercises the same machinery it helps bootstrap.
+//!
+//! ```no_run
+//! use cool_orb::naming::{NameClient, NameServer};
+//! use cool_orb::prelude::*;
+//!
+//! # fn main() -> Result<(), cool_orb::OrbError> {
+//! // Bootstrap: one well-known endpoint serves the name service.
+//! let orb = Orb::new("registry-host");
+//! let server = orb.listen_tcp("127.0.0.1:0")?;
+//! let naming_ref = NameServer::serve(&orb, &server)?;
+//!
+//! // Anyone with the naming reference can publish and look up objects.
+//! let client_orb = Orb::new("app");
+//! let naming = NameClient::connect(&client_orb, &naming_ref)?;
+//! naming.bind("services/echo", &server.object_ref("echo"))?;
+//! let echo_ref = naming.resolve("services/echo")?;
+//! # let _ = echo_ref;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::OrbError;
+use crate::object::ObjectRef;
+use crate::orb::{Orb, Stub};
+use crate::server::OrbServer;
+use bytes::Bytes;
+use cool_giop::cdr::{ByteOrder, CdrDecoder, CdrEncoder};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Object key under which the name service registers itself.
+pub const NAMING_KEY: &str = "_naming";
+
+/// The server half: a name → stringified-reference registry servant.
+#[derive(Debug, Default)]
+pub struct NameServer {
+    entries: RwLock<HashMap<String, String>>,
+}
+
+impl NameServer {
+    /// Registers a fresh name service with `orb`'s adapter and returns its
+    /// object reference at `server`'s endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] if [`NAMING_KEY`] is already taken.
+    pub fn serve(orb: &Arc<Orb>, server: &OrbServer) -> Result<ObjectRef, OrbError> {
+        let service = Arc::new(NameServer::default());
+        orb.adapter()
+            .register_fn(NAMING_KEY, move |operation, args, _ctx| {
+                service.dispatch(operation, args)
+            })?;
+        Ok(server.object_ref(NAMING_KEY))
+    }
+
+    fn dispatch(&self, operation: &str, args: &[u8]) -> Result<Vec<u8>, OrbError> {
+        let mut dec = CdrDecoder::new(args, ByteOrder::Big);
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        match operation {
+            "bind" => {
+                let name = dec.get_string().map_err(OrbError::from)?;
+                let uri = dec.get_string().map_err(OrbError::from)?;
+                let mut entries = self.entries.write();
+                if entries.contains_key(&name) {
+                    return Err(OrbError::UserException {
+                        repo_id: "IDL:multe/naming/AlreadyBound:1.0".into(),
+                        body: name.into_bytes(),
+                    });
+                }
+                entries.insert(name, uri);
+                Ok(Vec::new())
+            }
+            "rebind" => {
+                let name = dec.get_string().map_err(OrbError::from)?;
+                let uri = dec.get_string().map_err(OrbError::from)?;
+                self.entries.write().insert(name, uri);
+                Ok(Vec::new())
+            }
+            "resolve" => {
+                let name = dec.get_string().map_err(OrbError::from)?;
+                match self.entries.read().get(&name) {
+                    Some(uri) => {
+                        enc.put_string(uri);
+                        Ok(enc.into_bytes().to_vec())
+                    }
+                    None => Err(OrbError::UserException {
+                        repo_id: "IDL:multe/naming/NotFound:1.0".into(),
+                        body: name.into_bytes(),
+                    }),
+                }
+            }
+            "unbind" => {
+                let name = dec.get_string().map_err(OrbError::from)?;
+                let existed = self.entries.write().remove(&name).is_some();
+                enc.put_bool(existed);
+                Ok(enc.into_bytes().to_vec())
+            }
+            "list" => {
+                let mut names: Vec<String> = self.entries.read().keys().cloned().collect();
+                names.sort();
+                enc.put_seq(&names);
+                Ok(enc.into_bytes().to_vec())
+            }
+            other => Err(OrbError::OperationUnknown {
+                object: NAMING_KEY.into(),
+                operation: other.into(),
+            }),
+        }
+    }
+}
+
+/// The client half: a typed stub over the naming object.
+pub struct NameClient {
+    stub: Stub,
+}
+
+impl std::fmt::Debug for NameClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameClient").finish()
+    }
+}
+
+impl NameClient {
+    /// Binds to a naming service reference.
+    ///
+    /// # Errors
+    ///
+    /// Connection establishment failures.
+    pub fn connect(orb: &Arc<Orb>, naming_ref: &ObjectRef) -> Result<Self, OrbError> {
+        Ok(NameClient {
+            stub: orb.bind(naming_ref)?,
+        })
+    }
+
+    fn call_name(&self, operation: &str, name: &str) -> Result<Bytes, OrbError> {
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        enc.put_string(name);
+        self.stub.invoke(operation, enc.into_bytes())
+    }
+
+    /// Publishes `reference` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// `IDL:multe/naming/AlreadyBound:1.0` (as
+    /// [`OrbError::UserException`]) if the name is taken.
+    pub fn bind(&self, name: &str, reference: &ObjectRef) -> Result<(), OrbError> {
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        enc.put_string(name);
+        enc.put_string(&reference.to_uri());
+        self.stub.invoke("bind", enc.into_bytes())?;
+        Ok(())
+    }
+
+    /// Publishes `reference` under `name`, replacing any existing binding.
+    ///
+    /// # Errors
+    ///
+    /// Transport or marshalling failures.
+    pub fn rebind(&self, name: &str, reference: &ObjectRef) -> Result<(), OrbError> {
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        enc.put_string(name);
+        enc.put_string(&reference.to_uri());
+        self.stub.invoke("rebind", enc.into_bytes())?;
+        Ok(())
+    }
+
+    /// Looks up the reference bound to `name`.
+    ///
+    /// # Errors
+    ///
+    /// `IDL:multe/naming/NotFound:1.0` if unbound; parse failures if the
+    /// stored reference is corrupt.
+    pub fn resolve(&self, name: &str) -> Result<ObjectRef, OrbError> {
+        let reply = self.call_name("resolve", name)?;
+        let mut dec = CdrDecoder::new(&reply, ByteOrder::Big);
+        let uri = dec.get_string().map_err(OrbError::from)?;
+        ObjectRef::from_uri(&uri)
+    }
+
+    /// Removes a binding; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Transport or marshalling failures.
+    pub fn unbind(&self, name: &str) -> Result<bool, OrbError> {
+        let reply = self.call_name("unbind", name)?;
+        let mut dec = CdrDecoder::new(&reply, ByteOrder::Big);
+        dec.get_bool().map_err(OrbError::from)
+    }
+
+    /// Lists all bound names, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Transport or marshalling failures.
+    pub fn list(&self) -> Result<Vec<String>, OrbError> {
+        let reply = self.stub.invoke("list", Bytes::new())?;
+        let mut dec = CdrDecoder::new(&reply, ByteOrder::Big);
+        dec.get_seq().map_err(OrbError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::LocalExchange;
+
+    fn setup() -> (Arc<Orb>, OrbServer, ObjectRef, LocalExchange) {
+        let exchange = LocalExchange::new();
+        let orb = Orb::with_exchange("naming-host", exchange.clone());
+        orb.adapter()
+            .register_fn("echo", |_o, a, _c| Ok(a.to_vec()))
+            .unwrap();
+        let server = orb.listen_tcp("127.0.0.1:0").unwrap();
+        let naming_ref = NameServer::serve(&orb, &server).unwrap();
+        (orb, server, naming_ref, exchange)
+    }
+
+    #[test]
+    fn bind_resolve_unbind_cycle() {
+        let (_orb, server, naming_ref, exchange) = setup();
+        let client_orb = Orb::with_exchange("app", exchange);
+        let naming = NameClient::connect(&client_orb, &naming_ref).unwrap();
+
+        let echo_ref = server.object_ref("echo");
+        naming.bind("services/echo", &echo_ref).unwrap();
+        assert_eq!(naming.resolve("services/echo").unwrap(), echo_ref);
+        assert_eq!(naming.list().unwrap(), vec!["services/echo".to_string()]);
+        assert!(naming.unbind("services/echo").unwrap());
+        assert!(!naming.unbind("services/echo").unwrap());
+        server.close();
+    }
+
+    #[test]
+    fn resolved_reference_is_invocable() {
+        let (_orb, server, naming_ref, exchange) = setup();
+        let client_orb = Orb::with_exchange("app", exchange);
+        let naming = NameClient::connect(&client_orb, &naming_ref).unwrap();
+        naming.bind("echo", &server.object_ref("echo")).unwrap();
+
+        // Bootstrap complete: resolve, bind, invoke.
+        let reference = naming.resolve("echo").unwrap();
+        let stub = client_orb.bind(&reference).unwrap();
+        let reply = stub
+            .invoke("ping", Bytes::from_static(b"found you"))
+            .unwrap();
+        assert_eq!(&reply[..], b"found you");
+        server.close();
+    }
+
+    #[test]
+    fn duplicate_bind_raises_already_bound() {
+        let (_orb, server, naming_ref, exchange) = setup();
+        let client_orb = Orb::with_exchange("app", exchange);
+        let naming = NameClient::connect(&client_orb, &naming_ref).unwrap();
+        let echo_ref = server.object_ref("echo");
+        naming.bind("dup", &echo_ref).unwrap();
+        match naming.bind("dup", &echo_ref) {
+            Err(OrbError::UserException { repo_id, .. }) => {
+                assert!(repo_id.contains("AlreadyBound"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // rebind replaces without complaint.
+        naming.rebind("dup", &echo_ref).unwrap();
+        server.close();
+    }
+
+    #[test]
+    fn resolve_unknown_raises_not_found() {
+        let (_orb, server, naming_ref, exchange) = setup();
+        let client_orb = Orb::with_exchange("app", exchange);
+        let naming = NameClient::connect(&client_orb, &naming_ref).unwrap();
+        match naming.resolve("ghost") {
+            Err(OrbError::UserException { repo_id, .. }) => {
+                assert!(repo_id.contains("NotFound"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.close();
+    }
+
+    #[test]
+    fn cross_orb_publication() {
+        // Publisher and consumer are different ORBs; the naming service is
+        // the only shared knowledge.
+        let (_host_orb, server, naming_ref, exchange) = setup();
+
+        let publisher = Orb::with_exchange("publisher", exchange.clone());
+        publisher
+            .adapter()
+            .register_fn("calc", |_o, a, _c| Ok(vec![a.len() as u8]))
+            .unwrap();
+        let pub_server = publisher.listen_tcp("127.0.0.1:0").unwrap();
+        let naming_pub = NameClient::connect(&publisher, &naming_ref).unwrap();
+        naming_pub
+            .bind("calc", &pub_server.object_ref("calc"))
+            .unwrap();
+
+        let consumer = Orb::with_exchange("consumer", exchange);
+        let naming_con = NameClient::connect(&consumer, &naming_ref).unwrap();
+        let calc_ref = naming_con.resolve("calc").unwrap();
+        let stub = consumer.bind(&calc_ref).unwrap();
+        let reply = stub.invoke("len", Bytes::from_static(b"12345")).unwrap();
+        assert_eq!(reply[0], 5);
+
+        pub_server.close();
+        server.close();
+    }
+}

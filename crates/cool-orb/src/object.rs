@@ -1,0 +1,200 @@
+//! Object keys, transport addresses and object references.
+
+use crate::error::OrbError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Opaque key identifying an object within its adapter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectKey(Vec<u8>);
+
+impl ObjectKey {
+    /// Creates a key from raw bytes.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        ObjectKey(bytes.into())
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Lossy printable form for diagnostics.
+    pub fn display_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.0).into_owned()
+    }
+}
+
+impl From<&str> for ObjectKey {
+    fn from(s: &str) -> Self {
+        ObjectKey(s.as_bytes().to_vec())
+    }
+}
+
+impl From<Vec<u8>> for ObjectKey {
+    fn from(v: Vec<u8>) -> Self {
+        ObjectKey(v)
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_lossy())
+    }
+}
+
+/// Address of an ORB endpoint on one of the three transports.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OrbAddr {
+    /// Real TCP: `tcp://host:port`.
+    Tcp(String),
+    /// Chorus IPC within this simulated node: `chorus://endpoint-name`.
+    Chorus(String),
+    /// Da CaPo over the in-process exchange: `dacapo://endpoint-name`.
+    Dacapo(String),
+}
+
+impl OrbAddr {
+    /// Scheme prefix of this address.
+    pub fn scheme(&self) -> &'static str {
+        match self {
+            OrbAddr::Tcp(_) => "tcp",
+            OrbAddr::Chorus(_) => "chorus",
+            OrbAddr::Dacapo(_) => "dacapo",
+        }
+    }
+
+    /// The host/name part.
+    pub fn target(&self) -> &str {
+        match self {
+            OrbAddr::Tcp(t) | OrbAddr::Chorus(t) | OrbAddr::Dacapo(t) => t,
+        }
+    }
+}
+
+impl fmt::Display for OrbAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme(), self.target())
+    }
+}
+
+impl FromStr for OrbAddr {
+    type Err = OrbError;
+
+    fn from_str(s: &str) -> Result<Self, OrbError> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| OrbError::BadAddress(format!("missing scheme in {s:?}")))?;
+        if rest.is_empty() {
+            return Err(OrbError::BadAddress(format!("empty target in {s:?}")));
+        }
+        match scheme {
+            "tcp" => Ok(OrbAddr::Tcp(rest.to_owned())),
+            "chorus" => Ok(OrbAddr::Chorus(rest.to_owned())),
+            "dacapo" => Ok(OrbAddr::Dacapo(rest.to_owned())),
+            other => Err(OrbError::BadAddress(format!("unknown scheme {other:?}"))),
+        }
+    }
+}
+
+/// A CORBA-style object reference: where the object lives and its key.
+///
+/// The stringified form (`cool:tcp://127.0.0.1:4000#echo-1`) plays the
+/// role of COOL's stringified IORs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectRef {
+    /// Endpoint serving the object.
+    pub addr: OrbAddr,
+    /// Key of the object at that endpoint.
+    pub key: ObjectKey,
+}
+
+impl ObjectRef {
+    /// Creates a reference.
+    pub fn new(addr: OrbAddr, key: impl Into<ObjectKey>) -> Self {
+        ObjectRef {
+            addr,
+            key: key.into(),
+        }
+    }
+
+    /// Stringifies the reference (`cool:<addr>#<key>`).
+    pub fn to_uri(&self) -> String {
+        format!("cool:{}#{}", self.addr, self.key.display_lossy())
+    }
+
+    /// Parses a stringified reference.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] for malformed strings.
+    pub fn from_uri(uri: &str) -> Result<Self, OrbError> {
+        let rest = uri
+            .strip_prefix("cool:")
+            .ok_or_else(|| OrbError::BadAddress(format!("missing cool: prefix in {uri:?}")))?;
+        let (addr, key) = rest
+            .split_once('#')
+            .ok_or_else(|| OrbError::BadAddress(format!("missing #key in {uri:?}")))?;
+        if key.is_empty() {
+            return Err(OrbError::BadAddress(format!("empty key in {uri:?}")));
+        }
+        Ok(ObjectRef {
+            addr: addr.parse()?,
+            key: ObjectKey::from(key),
+        })
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_uri())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_key_round_trips() {
+        let k = ObjectKey::from("video-42");
+        assert_eq!(k.as_bytes(), b"video-42");
+        assert_eq!(k.to_string(), "video-42");
+    }
+
+    #[test]
+    fn addr_parse_and_display() {
+        for (s, scheme) in [
+            ("tcp://127.0.0.1:9000", "tcp"),
+            ("chorus://media-server", "chorus"),
+            ("dacapo://qos-endpoint", "dacapo"),
+        ] {
+            let addr: OrbAddr = s.parse().unwrap();
+            assert_eq!(addr.scheme(), scheme);
+            assert_eq!(addr.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn addr_parse_rejects_malformed() {
+        assert!("127.0.0.1:9000".parse::<OrbAddr>().is_err());
+        assert!("http://x".parse::<OrbAddr>().is_err());
+        assert!("tcp://".parse::<OrbAddr>().is_err());
+    }
+
+    #[test]
+    fn object_ref_uri_round_trip() {
+        let r = ObjectRef::new(OrbAddr::Tcp("10.0.0.1:7777".into()), "image-server");
+        let uri = r.to_uri();
+        assert_eq!(uri, "cool:tcp://10.0.0.1:7777#image-server");
+        assert_eq!(ObjectRef::from_uri(&uri).unwrap(), r);
+        assert_eq!(r.to_string(), uri);
+    }
+
+    #[test]
+    fn object_ref_rejects_malformed() {
+        assert!(ObjectRef::from_uri("tcp://x#y").is_err());
+        assert!(ObjectRef::from_uri("cool:tcp://x").is_err());
+        assert!(ObjectRef::from_uri("cool:tcp://x#").is_err());
+    }
+}

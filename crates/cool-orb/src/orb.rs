@@ -1,0 +1,416 @@
+//! The ORB façade and client stubs.
+
+use crate::adapter::{DispatchOutcome, ObjectAdapter};
+use crate::binding::{Binding, DeferredReply, DEFAULT_CALL_TIMEOUT};
+use crate::error::OrbError;
+use crate::exchange::LocalExchange;
+use crate::message_layer::WireProtocol;
+use crate::object::{ObjectKey, ObjectRef, OrbAddr};
+use crate::server::OrbServer;
+use bytes::Bytes;
+use multe_qos::{GrantedQoS, QoSSpec, ServerPolicy, TransportRequirements};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The Object Request Broker: one per process role (client, server, or
+/// both — the adapter exists on both sides, as in COOL).
+pub struct Orb {
+    name: String,
+    adapter: Arc<ObjectAdapter>,
+    exchange: LocalExchange,
+    bindings: Mutex<HashMap<(String, WireProtocol), Arc<Binding>>>,
+    served: Mutex<Vec<OrbAddr>>,
+}
+
+impl std::fmt::Debug for Orb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orb")
+            .field("name", &self.name)
+            .field("objects", &self.adapter.len())
+            .field("bindings", &self.bindings.lock().len())
+            .finish()
+    }
+}
+
+impl Orb {
+    /// Creates an ORB attached to the process-global exchange.
+    pub fn new(name: &str) -> Arc<Self> {
+        Orb::with_exchange(name, LocalExchange::global())
+    }
+
+    /// Creates an ORB attached to an explicit exchange (isolated tests).
+    pub fn with_exchange(name: &str, exchange: LocalExchange) -> Arc<Self> {
+        Arc::new(Orb {
+            name: name.to_owned(),
+            adapter: Arc::new(ObjectAdapter::new()),
+            exchange,
+            bindings: Mutex::new(HashMap::new()),
+            served: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// This ORB's name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The object adapter (register servants here).
+    pub fn adapter(&self) -> &Arc<ObjectAdapter> {
+        &self.adapter
+    }
+
+    /// The exchange used for in-process transports.
+    pub fn exchange(&self) -> &LocalExchange {
+        &self.exchange
+    }
+
+    /// Serves this ORB's adapter on a TCP endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if binding fails.
+    pub fn listen_tcp(&self, addr: &str) -> Result<OrbServer, OrbError> {
+        let server = OrbServer::start_tcp(self.adapter.clone(), addr)?;
+        self.served.lock().push(server.addr().clone());
+        Ok(server)
+    }
+
+    /// Serves this ORB's adapter on a Chorus IPC endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] if the name is taken.
+    pub fn listen_chorus(&self, name: &str) -> Result<OrbServer, OrbError> {
+        let acceptor = self.exchange.listen_chorus(name)?;
+        let addr = OrbAddr::Chorus(name.to_owned());
+        self.served.lock().push(addr.clone());
+        Ok(OrbServer::start_exchange(
+            self.adapter.clone(),
+            addr,
+            acceptor,
+            self.exchange.clone(),
+        ))
+    }
+
+    /// Serves this ORB's adapter on a Da CaPo endpoint (QoS-capable).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] if the name is taken.
+    pub fn listen_dacapo(&self, name: &str) -> Result<OrbServer, OrbError> {
+        let acceptor = self.exchange.listen_dacapo(name)?;
+        let addr = OrbAddr::Dacapo(name.to_owned());
+        self.served.lock().push(addr.clone());
+        Ok(OrbServer::start_exchange(
+            self.adapter.clone(),
+            addr,
+            acceptor,
+            self.exchange.clone(),
+        ))
+    }
+
+    /// Binds to an object reference, returning a client stub.
+    ///
+    /// The binding is *implicit* (established lazily and cached per
+    /// address); calling [`Stub::set_qos_parameter`] later turns it into
+    /// an explicit, client-controlled binding as described in Section 4.1.
+    /// Colocated objects short-circuit through the local adapter.
+    ///
+    /// # Errors
+    ///
+    /// Connection establishment failures.
+    pub fn bind(self: &Arc<Self>, reference: &ObjectRef) -> Result<Stub, OrbError> {
+        self.bind_with_protocol(reference, WireProtocol::Giop)
+    }
+
+    /// Like [`Orb::bind`] but selecting the message protocol (the COOL
+    /// protocol carries no QoS).
+    ///
+    /// # Errors
+    ///
+    /// Connection establishment failures.
+    pub fn bind_with_protocol(
+        self: &Arc<Self>,
+        reference: &ObjectRef,
+        protocol: WireProtocol,
+    ) -> Result<Stub, OrbError> {
+        // Colocated fast path: the adapter is on the client side too.
+        if self.served.lock().contains(&reference.addr) && self.adapter.contains(&reference.key) {
+            return Ok(Stub {
+                target: Target::Local(self.adapter.clone()),
+                key: reference.key.clone(),
+                qos: Mutex::new(None),
+                granted: Mutex::new(None),
+                timeout: Mutex::new(DEFAULT_CALL_TIMEOUT),
+            });
+        }
+        let binding = self.binding_for(&reference.addr, protocol)?;
+        Ok(Stub {
+            target: Target::Remote(binding),
+            key: reference.key.clone(),
+            qos: Mutex::new(None),
+            granted: Mutex::new(None),
+            timeout: Mutex::new(DEFAULT_CALL_TIMEOUT),
+        })
+    }
+
+    fn binding_for(
+        &self,
+        addr: &OrbAddr,
+        protocol: WireProtocol,
+    ) -> Result<Arc<Binding>, OrbError> {
+        let cache_key = (addr.to_string(), protocol);
+        {
+            let bindings = self.bindings.lock();
+            if let Some(existing) = bindings.get(&cache_key) {
+                if !existing.is_closed() {
+                    return Ok(existing.clone());
+                }
+            }
+        }
+        let channel: Arc<dyn crate::transport::ComChannel> = match addr {
+            OrbAddr::Tcp(hostport) => {
+                Arc::new(crate::transport::TcpComChannel::connect(hostport.as_str())?)
+            }
+            OrbAddr::Chorus(name) => self.exchange.connect_chorus(name)?,
+            OrbAddr::Dacapo(name) => self
+                .exchange
+                .connect_dacapo(name, &TransportRequirements::best_effort())?,
+        };
+        let binding = Binding::new(channel, protocol);
+        self.bindings.lock().insert(cache_key, binding.clone());
+        Ok(binding)
+    }
+
+    /// Closes all cached client bindings.
+    pub fn shutdown(&self) {
+        for (_, binding) in self.bindings.lock().drain() {
+            binding.close();
+        }
+    }
+}
+
+enum Target {
+    Local(Arc<ObjectAdapter>),
+    Remote(Arc<Binding>),
+}
+
+/// A client proxy for one remote (or colocated) object.
+///
+/// This is what Chic-generated stubs wrap: `invoke` carries marshalled
+/// parameters, and `set_qos_parameter` is the method the modified Chic
+/// compiler adds to every stub (Section 4.1).
+pub struct Stub {
+    target: Target,
+    key: ObjectKey,
+    qos: Mutex<Option<QoSSpec>>,
+    granted: Mutex<Option<GrantedQoS>>,
+    timeout: Mutex<Duration>,
+}
+
+impl std::fmt::Debug for Stub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stub")
+            .field("key", &self.key.to_string())
+            .field("colocated", &matches!(self.target, Target::Local(_)))
+            .finish()
+    }
+}
+
+impl Stub {
+    /// The object key this stub addresses.
+    pub fn key(&self) -> &ObjectKey {
+        &self.key
+    }
+
+    /// Whether this stub short-circuits to a colocated object.
+    pub fn is_colocated(&self) -> bool {
+        matches!(self.target, Target::Local(_))
+    }
+
+    /// Sets the reply timeout for synchronous calls.
+    pub fn set_timeout(&self, timeout: Duration) {
+        *self.timeout.lock() = timeout;
+    }
+
+    /// The paper's `setQoSParameter`: specifies the QoS for subsequent
+    /// invocations. Calling it once yields QoS-per-binding; calling it
+    /// before every invocation yields QoS-per-method (Section 4.1).
+    ///
+    /// The requested QoS is immediately propagated to the transport layer
+    /// (unilateral negotiation, Section 4.3); the bilateral negotiation
+    /// with the server happens on the next invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::QosNotSupported`] if the spec is invalid or the
+    /// transport cannot provide the mapped requirements.
+    pub fn set_qos_parameter(&self, spec: QoSSpec) -> Result<(), OrbError> {
+        spec.validate().map_err(OrbError::QosNotSupported)?;
+        if let Target::Remote(binding) = &self.target {
+            if !spec.is_best_effort() {
+                // Derive the transport requirements from the requested
+                // operating point (permissive negotiation = take the
+                // request as-is) and push them down the channel.
+                let optimistic = ServerPolicy::permissive()
+                    .negotiate(&spec)
+                    .map_err(OrbError::QosNotSupported)?;
+                let requirements = TransportRequirements::from_granted(&optimistic);
+                binding.channel().set_qos(&requirements)?;
+            } else {
+                binding
+                    .channel()
+                    .set_qos(&TransportRequirements::best_effort())?;
+            }
+        }
+        *self.qos.lock() = if spec.is_best_effort() {
+            None
+        } else {
+            Some(spec)
+        };
+        Ok(())
+    }
+
+    /// Clears any QoS specification: subsequent invocations use standard
+    /// GIOP 1.0.
+    ///
+    /// # Errors
+    ///
+    /// Transport reconfiguration failures.
+    pub fn clear_qos(&self) -> Result<(), OrbError> {
+        self.set_qos_parameter(QoSSpec::best_effort())
+    }
+
+    /// The QoS granted by the server on the most recent invocation, if
+    /// any.
+    pub fn last_granted(&self) -> Option<GrantedQoS> {
+        self.granted.lock().clone()
+    }
+
+    fn qos_params(&self) -> Vec<cool_giop::QoSParameter> {
+        self.qos
+            .lock()
+            .as_ref()
+            .map(QoSSpec::to_params)
+            .unwrap_or_default()
+    }
+
+    /// Two-way synchronous invocation with marshalled parameters.
+    ///
+    /// # Errors
+    ///
+    /// The server's exception (including the QoS NACK), marshalling or
+    /// transport failures, or [`OrbError::Timeout`].
+    pub fn invoke(&self, operation: &str, args: Bytes) -> Result<Bytes, OrbError> {
+        match &self.target {
+            Target::Local(adapter) => {
+                let spec = self.qos.lock().clone().unwrap_or_default();
+                match adapter.dispatch(&self.key, operation, &args, &spec, false) {
+                    DispatchOutcome::Success { body, granted } => {
+                        *self.granted.lock() = Some(granted);
+                        Ok(Bytes::from(body))
+                    }
+                    DispatchOutcome::QosNack(reason) => Err(OrbError::QosNotSupported(reason)),
+                    DispatchOutcome::Error(err) => Err(err),
+                }
+            }
+            Target::Remote(binding) => {
+                let timeout = *self.timeout.lock();
+                let (body, granted) = binding.call(
+                    self.key.as_bytes(),
+                    operation,
+                    args,
+                    &self.qos_params(),
+                    timeout,
+                )?;
+                if let Some(granted) = granted {
+                    *self.granted.lock() = Some(granted);
+                }
+                Ok(body)
+            }
+        }
+    }
+
+    /// One-way invocation (`send`): no reply, errors after the send are
+    /// invisible.
+    ///
+    /// # Errors
+    ///
+    /// Local marshalling/transport failures only.
+    pub fn invoke_oneway(&self, operation: &str, args: Bytes) -> Result<(), OrbError> {
+        match &self.target {
+            Target::Local(adapter) => {
+                let spec = self.qos.lock().clone().unwrap_or_default();
+                adapter.dispatch(&self.key, operation, &args, &spec, true);
+                Ok(())
+            }
+            Target::Remote(binding) => {
+                binding.send(self.key.as_bytes(), operation, args, &self.qos_params())
+            }
+        }
+    }
+
+    /// Deferred synchronous invocation (`defer`): collect the reply later.
+    ///
+    /// # Errors
+    ///
+    /// Send-time failures. Colocated stubs do not support deferral (the
+    /// call would already be complete) and return
+    /// [`OrbError::Protocol`].
+    pub fn invoke_deferred(&self, operation: &str, args: Bytes) -> Result<DeferredReply, OrbError> {
+        match &self.target {
+            Target::Local(_) => Err(OrbError::Protocol(
+                "deferred invocation on a colocated object is meaningless".into(),
+            )),
+            Target::Remote(binding) => {
+                binding.defer(self.key.as_bytes(), operation, args, &self.qos_params())
+            }
+        }
+    }
+
+    /// Asynchronous invocation (`notify`): `callback` runs when the reply
+    /// arrives. Returns the request id usable with [`Stub::cancel`].
+    ///
+    /// # Errors
+    ///
+    /// Send-time failures; colocated stubs run the callback synchronously
+    /// and return request id 0.
+    pub fn invoke_async(
+        &self,
+        operation: &str,
+        args: Bytes,
+        callback: impl FnOnce(Result<Bytes, OrbError>) + Send + 'static,
+    ) -> Result<u32, OrbError> {
+        match &self.target {
+            Target::Local(adapter) => {
+                let spec = self.qos.lock().clone().unwrap_or_default();
+                let result = match adapter.dispatch(&self.key, operation, &args, &spec, false) {
+                    DispatchOutcome::Success { body, .. } => Ok(Bytes::from(body)),
+                    DispatchOutcome::QosNack(reason) => Err(OrbError::QosNotSupported(reason)),
+                    DispatchOutcome::Error(err) => Err(err),
+                };
+                callback(result);
+                Ok(0)
+            }
+            Target::Remote(binding) => binding.notify(
+                self.key.as_bytes(),
+                operation,
+                args,
+                &self.qos_params(),
+                move |result| callback(result.map(|(body, _)| body)),
+            ),
+        }
+    }
+
+    /// Cancels a pending asynchronous request (`cancel`).
+    ///
+    /// Returns whether the request was still pending.
+    pub fn cancel(&self, request_id: u32) -> bool {
+        match &self.target {
+            Target::Local(_) => false,
+            Target::Remote(binding) => binding.cancel(request_id),
+        }
+    }
+}

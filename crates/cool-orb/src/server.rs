@@ -1,0 +1,409 @@
+//! The server side of the ORB: acceptors and per-connection workers.
+//!
+//! Each accepted channel gets a worker thread running the message-layer
+//! loop: decode (GIOP or COOL protocol), hand Requests to the object
+//! adapter (negotiation + upcall), marshal the Reply/NACK/exception back.
+//! `LocateRequest` and `CancelRequest` are honoured; `CloseConnection`
+//! ends the worker.
+
+use crate::adapter::{DispatchOutcome, ObjectAdapter};
+use crate::error::OrbError;
+use crate::exchange::{Inbound, LocalExchange};
+use crate::message_layer::cool::CoolMessage;
+use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
+use crate::object::{ObjectKey, ObjectRef, OrbAddr};
+use crate::transport::{ComChannel, TcpComChannel};
+use bytes::Bytes;
+use cool_giop::prelude::*;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use multe_qos::QoSSpec;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+/// A running ORB endpoint serving objects from an adapter.
+pub struct OrbServer {
+    addr: OrbAddr,
+    adapter: Arc<ObjectAdapter>,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    exchange_binding: Option<(LocalExchange, &'static str, String)>,
+}
+
+impl std::fmt::Debug for OrbServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrbServer")
+            .field("addr", &self.addr.to_string())
+            .finish()
+    }
+}
+
+impl OrbServer {
+    /// Starts a TCP endpoint. `addr` may use port 0; the actual bound
+    /// address is reported by [`OrbServer::addr`].
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if binding fails.
+    pub fn start_tcp(adapter: Arc<ObjectAdapter>, addr: &str) -> Result<Self, OrbError> {
+        let listener = TcpComChannel::listen(addr)?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| OrbError::Transport(format!("local addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| OrbError::Transport(format!("nonblocking: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = OrbServer {
+            addr: OrbAddr::Tcp(local.to_string()),
+            adapter,
+            shutdown: shutdown.clone(),
+            threads: Mutex::new(Vec::new()),
+            exchange_binding: None,
+        };
+
+        let adapter = server.adapter.clone();
+        let threads_handle: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers = threads_handle.clone();
+        let flag = shutdown;
+        let acceptor = std::thread::Builder::new()
+            .name("cool-tcp-acceptor".into())
+            .spawn(move || loop {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nonblocking(false).ok();
+                        if let Ok(channel) = TcpComChannel::from_stream(stream) {
+                            let channel: Arc<dyn ComChannel> = Arc::new(channel);
+                            spawn_worker(channel, adapter.clone(), flag.clone(), &workers);
+                        }
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => return,
+                }
+            })
+            .map_err(|e| OrbError::Transport(format!("spawn acceptor: {e}")))?;
+        server.threads.lock().push(acceptor);
+        Ok(server)
+    }
+
+    /// Starts an endpoint fed by a [`LocalExchange`] acceptor queue
+    /// (Chorus or Da CaPo transports).
+    pub fn start_exchange(
+        adapter: Arc<ObjectAdapter>,
+        addr: OrbAddr,
+        acceptor: Receiver<Inbound>,
+        exchange: LocalExchange,
+    ) -> Self {
+        let scheme = match &addr {
+            OrbAddr::Chorus(_) => "chorus",
+            OrbAddr::Dacapo(_) => "dacapo",
+            OrbAddr::Tcp(_) => "tcp",
+        };
+        let name = addr.target().to_owned();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = OrbServer {
+            addr,
+            adapter,
+            shutdown: shutdown.clone(),
+            threads: Mutex::new(Vec::new()),
+            exchange_binding: Some((exchange, scheme, name)),
+        };
+        let adapter = server.adapter.clone();
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let handle = std::thread::Builder::new()
+            .name("cool-exchange-acceptor".into())
+            .spawn(move || loop {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match acceptor.recv_timeout(ACCEPT_POLL) {
+                    Ok(channel) => {
+                        spawn_worker(channel, adapter.clone(), shutdown.clone(), &workers)
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawn exchange acceptor");
+        server.threads.lock().push(handle);
+        server
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> &OrbAddr {
+        &self.addr
+    }
+
+    /// The adapter serving this endpoint.
+    pub fn adapter(&self) -> &Arc<ObjectAdapter> {
+        &self.adapter
+    }
+
+    /// Builds an object reference for a key served here.
+    pub fn object_ref(&self, key: impl Into<ObjectKey>) -> ObjectRef {
+        ObjectRef::new(self.addr.clone(), key)
+    }
+
+    /// Stops accepting and serving. Idempotent.
+    pub fn close(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some((exchange, scheme, name)) = &self.exchange_binding {
+            exchange.unlisten(scheme, name);
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for OrbServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some((exchange, scheme, name)) = &self.exchange_binding {
+            exchange.unlisten(scheme, name);
+        }
+    }
+}
+
+fn spawn_worker(
+    channel: Arc<dyn ComChannel>,
+    adapter: Arc<ObjectAdapter>,
+    shutdown: Arc<AtomicBool>,
+    registry: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let handle = std::thread::Builder::new()
+        .name("cool-server-worker".into())
+        .spawn(move || worker_loop(channel, adapter, shutdown))
+        .expect("spawn server worker");
+    registry.lock().push(handle);
+}
+
+fn worker_loop(
+    channel: Arc<dyn ComChannel>,
+    adapter: Arc<ObjectAdapter>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut cancelled: HashSet<u32> = HashSet::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            // Orderly GIOP shutdown: tell the peer before going away so
+            // clients fail outstanding work immediately instead of timing
+            // out (Figure 2-i's CloseConnection message).
+            if let Ok(frame) = encode_message(
+                &Message::CloseConnection,
+                GiopVersion::STANDARD,
+                ByteOrder::Big,
+            ) {
+                let _ = channel.send_frame(frame);
+            }
+            channel.close();
+            return;
+        }
+        let frame = match channel.recv_frame(WORKER_POLL) {
+            Ok(frame) => frame,
+            Err(OrbError::Timeout(_)) => continue,
+            Err(_) => return,
+        };
+        let Ok(protocol) = sniff(&frame) else {
+            // Unknown magic: report a GIOP MessageError and drop the
+            // connection, as a conforming ORB would.
+            if let Ok(err_frame) = encode_message(
+                &Message::MessageError,
+                GiopVersion::STANDARD,
+                ByteOrder::Big,
+            ) {
+                let _ = channel.send_frame(err_frame);
+            }
+            return;
+        };
+        let result = match protocol {
+            WireProtocol::Giop => handle_giop_frame(&channel, &adapter, &frame, &mut cancelled),
+            WireProtocol::Cool => handle_cool_frame(&channel, &adapter, &frame),
+        };
+        match result {
+            Ok(true) => continue,
+            Ok(false) | Err(_) => return,
+        }
+    }
+}
+
+/// Handles one GIOP frame; `Ok(false)` ends the connection.
+fn handle_giop_frame(
+    channel: &Arc<dyn ComChannel>,
+    adapter: &Arc<ObjectAdapter>,
+    frame: &[u8],
+    cancelled: &mut HashSet<u32>,
+) -> Result<bool, OrbError> {
+    let (msg, version, order) = match cool_giop::codec::decode_message_ext(frame) {
+        Ok(parts) => parts,
+        Err(_) => {
+            let err_frame = encode_message(
+                &Message::MessageError,
+                GiopVersion::STANDARD,
+                ByteOrder::Big,
+            )?;
+            let _ = channel.send_frame(err_frame);
+            return Ok(false);
+        }
+    };
+    match msg {
+        Message::Request { header, body } => {
+            if cancelled.remove(&header.request_id) {
+                return Ok(true); // client abandoned it before we started
+            }
+            let key = ObjectKey::new(header.object_key.clone());
+            let spec = QoSSpec::from_params(&header.qos_params);
+            let outcome = adapter.dispatch(
+                &key,
+                &header.operation,
+                &body,
+                &spec,
+                !header.response_expected,
+            );
+            if !header.response_expected {
+                return Ok(true);
+            }
+            let reply = match outcome {
+                DispatchOutcome::Success { body, granted } => giop_helpers::make_reply(
+                    header.request_id,
+                    Bytes::from(body),
+                    Some(&granted),
+                    version,
+                    order,
+                )?,
+                DispatchOutcome::QosNack(reason) => {
+                    giop_helpers::make_qos_nack(header.request_id, &reason, version, order)?
+                }
+                DispatchOutcome::Error(err) => {
+                    encode_error_reply(header.request_id, &err, version, order)?
+                }
+            };
+            channel.send_frame(reply)?;
+            Ok(true)
+        }
+        Message::CancelRequest { request_id } => {
+            cancelled.insert(request_id);
+            Ok(true)
+        }
+        Message::LocateRequest(h) => {
+            let status = if adapter.contains(&ObjectKey::new(h.object_key.clone())) {
+                LocateStatus::ObjectHere
+            } else {
+                LocateStatus::UnknownObject
+            };
+            let reply = Message::LocateReply(LocateReplyHeader {
+                request_id: h.request_id,
+                locate_status: status,
+            });
+            channel.send_frame(encode_message(&reply, version, order)?)?;
+            Ok(true)
+        }
+        Message::CloseConnection => Ok(false),
+        Message::MessageError => Ok(false),
+        Message::Reply { .. } | Message::LocateReply(_) => {
+            // Clients do not send replies; protocol violation.
+            Ok(false)
+        }
+    }
+}
+
+fn encode_error_reply(
+    request_id: u32,
+    err: &OrbError,
+    version: GiopVersion,
+    order: ByteOrder,
+) -> Result<Bytes, OrbError> {
+    match err {
+        OrbError::ObjectNotFound(key) => {
+            giop_helpers::make_system_exception(request_id, "ObjectNotFound", key, version, order)
+        }
+        OrbError::OperationUnknown { object, operation } => giop_helpers::make_system_exception(
+            request_id,
+            "OperationUnknown",
+            &format!("{object}/{operation}"),
+            version,
+            order,
+        ),
+        OrbError::UserException { repo_id, body } => {
+            giop_helpers::make_user_exception(request_id, repo_id, body, version, order)
+        }
+        OrbError::QosNotSupported(reason) => {
+            giop_helpers::make_qos_nack(request_id, reason, version, order)
+        }
+        other => giop_helpers::make_system_exception(
+            request_id,
+            "Internal",
+            &other.to_string(),
+            version,
+            order,
+        ),
+    }
+}
+
+/// Handles one COOL-protocol frame; `Ok(false)` ends the connection.
+fn handle_cool_frame(
+    channel: &Arc<dyn ComChannel>,
+    adapter: &Arc<ObjectAdapter>,
+    frame: &[u8],
+) -> Result<bool, OrbError> {
+    let msg = match CoolMessage::decode(frame) {
+        Ok(msg) => msg,
+        Err(_) => return Ok(false),
+    };
+    match msg {
+        CoolMessage::Request {
+            request_id,
+            object_key,
+            operation,
+            one_way,
+            args,
+        } => {
+            let key = ObjectKey::new(object_key);
+            let outcome =
+                adapter.dispatch(&key, &operation, &args, &QoSSpec::best_effort(), one_way);
+            if one_way {
+                return Ok(true);
+            }
+            let reply = match outcome {
+                DispatchOutcome::Success { body, .. } => CoolMessage::Reply {
+                    request_id,
+                    body: Bytes::from(body),
+                },
+                DispatchOutcome::QosNack(reason) => CoolMessage::Exception {
+                    request_id,
+                    kind: "QosNotSupported".into(),
+                    detail: reason.to_string(),
+                },
+                DispatchOutcome::Error(err) => {
+                    let (kind, detail) = match &err {
+                        OrbError::ObjectNotFound(k) => ("ObjectNotFound", k.clone()),
+                        OrbError::OperationUnknown { object, operation } => {
+                            ("OperationUnknown", format!("{object}/{operation}"))
+                        }
+                        other => ("Internal", other.to_string()),
+                    };
+                    CoolMessage::Exception {
+                        request_id,
+                        kind: kind.into(),
+                        detail,
+                    }
+                }
+            };
+            channel.send_frame(reply.encode())?;
+            Ok(true)
+        }
+        // Clients do not send replies/exceptions to servers.
+        CoolMessage::Reply { .. } | CoolMessage::Exception { .. } => Ok(false),
+    }
+}

@@ -1,0 +1,127 @@
+//! Chorus IPC channel: the paper's `_ChorusComChannel`.
+//!
+//! Buffering is transparent — the port queues of the Chorus simulation do
+//! it, matching the paper's remark that *"For Chorus IPC buffering is done
+//! transparent by the communication subsystem in ChorusOS"*.
+
+use crate::error::OrbError;
+use crate::transport::ComChannel;
+use bytes::Bytes;
+use chorus_sim::{ChorusError, IpcMessage, Port, PortReceiver, PortSender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Queue depth of each direction's port.
+const PORT_CAPACITY: usize = 256;
+
+/// A frame channel over a pair of Chorus IPC ports.
+pub struct ChorusComChannel {
+    tx: PortSender,
+    rx: PortReceiver,
+    closed: Arc<AtomicBool>,
+    peer_closed: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ChorusComChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChorusComChannel")
+            .field("port", &self.rx.id())
+            .finish()
+    }
+}
+
+impl ChorusComChannel {
+    /// Creates a connected pair of channels (one per endpoint).
+    pub fn pair() -> (ChorusComChannel, ChorusComChannel) {
+        let a_to_b = Port::anonymous(PORT_CAPACITY);
+        let b_to_a = Port::anonymous(PORT_CAPACITY);
+        let a_closed = Arc::new(AtomicBool::new(false));
+        let b_closed = Arc::new(AtomicBool::new(false));
+        let a = ChorusComChannel {
+            tx: a_to_b.sender(),
+            rx: b_to_a.receiver(),
+            closed: a_closed.clone(),
+            peer_closed: b_closed.clone(),
+        };
+        let b = ChorusComChannel {
+            tx: b_to_a.sender(),
+            rx: a_to_b.receiver(),
+            closed: b_closed,
+            peer_closed: a_closed,
+        };
+        (a, b)
+    }
+}
+
+impl ComChannel for ChorusComChannel {
+    fn send_frame(&self, frame: Bytes) -> Result<(), OrbError> {
+        if self.closed.load(Ordering::Acquire) || self.peer_closed.load(Ordering::Acquire) {
+            return Err(OrbError::Closed);
+        }
+        self.tx
+            .send(IpcMessage::new(frame))
+            .map_err(|_| OrbError::Closed)
+    }
+
+    fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(OrbError::Closed);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => Ok(msg.into_body()),
+            Err(ChorusError::Timeout(_)) => {
+                if self.peer_closed.load(Ordering::Acquire) {
+                    Err(OrbError::Closed)
+                } else {
+                    Err(OrbError::Timeout(timeout))
+                }
+            }
+            Err(_) => Err(OrbError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn kind(&self) -> &'static str {
+        "chorus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_round_trip() {
+        let (a, b) = ChorusComChannel::pair();
+        a.send_frame(Bytes::from_static(b"req")).unwrap();
+        assert_eq!(&b.recv_frame(Duration::from_secs(1)).unwrap()[..], b"req");
+        b.send_frame(Bytes::from_static(b"rep")).unwrap();
+        assert_eq!(&a.recv_frame(Duration::from_secs(1)).unwrap()[..], b"rep");
+        assert_eq!(a.kind(), "chorus");
+        assert!(!a.supports_qos());
+    }
+
+    #[test]
+    fn close_propagates() {
+        let (a, b) = ChorusComChannel::pair();
+        a.close();
+        assert!(matches!(a.send_frame(Bytes::new()), Err(OrbError::Closed)));
+        assert!(matches!(
+            b.recv_frame(Duration::from_millis(20)),
+            Err(OrbError::Closed)
+        ));
+    }
+
+    #[test]
+    fn timeout_when_idle() {
+        let (a, _b) = ChorusComChannel::pair();
+        assert!(matches!(
+            a.recv_frame(Duration::from_millis(10)),
+            Err(OrbError::Timeout(_))
+        ));
+    }
+}

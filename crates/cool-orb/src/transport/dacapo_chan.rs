@@ -1,0 +1,358 @@
+//! Da CaPo channel: the paper's `_DacapoComChannel` — the one transport
+//! that implements `set_qos`.
+//!
+//! ## Reconfiguration protocol
+//!
+//! Changing QoS mid-binding requires *both* peers to swap to the same new
+//! module graph (Section 4.1: changes in QoS *"have to be reflected in
+//! reconfigurations of the transport connection"*). Running the
+//! coordination through the data path would race with tearing that very
+//! path down, so each channel pair carries a control path — the
+//! signalling facility of Da CaPo's management component (Figure 5). The
+//! handshake is Prepare/Ack:
+//!
+//! 1. the initiator sends `Prepare(requirements)` on the prepare channel
+//!    and waits on the ack channel;
+//! 2. the peer — whose `recv_frame` polls the prepare channel, and some
+//!    thread (ORB demux or server worker) is always inside `recv_frame` —
+//!    re-runs configuration *and resource admission* for the new
+//!    requirements, rebuilds its stack, and acknowledges with the outcome;
+//! 3. on a positive Ack the initiator admits and rebuilds its own side.
+//!
+//! The ORB calls `set_qos` only between invocations (no application frames
+//! in flight), so the swap is lossless. A failed admission on either side
+//! leaves both stacks on their previous graphs and surfaces as the
+//! unilateral-negotiation exception of Section 4.3.
+
+use crate::error::OrbError;
+use crate::transport::ComChannel;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dacapo::config::{ConfigContext, ConfigurationManager};
+use dacapo::{Connection, ResourceGrant, ResourceManager};
+use multe_qos::{QosError, TransportRequirements};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Poll slice while waiting for data or control traffic.
+const POLL_SLICE: Duration = Duration::from_millis(10);
+
+/// How long `set_qos` waits for the peer's acknowledgement.
+const RECONFIGURE_TIMEOUT: Duration = Duration::from_secs(10);
+
+type AckPayload = Result<(), String>;
+
+/// A frame channel over a Da CaPo connection, QoS-reconfigurable.
+pub struct DacapoComChannel {
+    connection: Connection,
+    config_mgr: ConfigurationManager,
+    resource_mgr: Option<ResourceManager>,
+    grant: Mutex<Option<ResourceGrant>>,
+    ctx: Mutex<ConfigContext>,
+    prepare_tx: Sender<TransportRequirements>,
+    prepare_rx: Receiver<TransportRequirements>,
+    ack_tx: Sender<AckPayload>,
+    ack_rx: Receiver<AckPayload>,
+}
+
+impl std::fmt::Debug for DacapoComChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DacapoComChannel")
+            .field("graph", &self.connection.graph().to_string())
+            .finish()
+    }
+}
+
+impl DacapoComChannel {
+    /// Wires two established Da CaPo connections (the two ends of one
+    /// transport) into a channel pair with a shared control path.
+    ///
+    /// When a `resource_mgr` is supplied, every reconfiguration re-runs
+    /// admission against it, holding a [`ResourceGrant`] per side for the
+    /// life of the configuration.
+    pub fn pair(
+        client_conn: Connection,
+        server_conn: Connection,
+        config_mgr: ConfigurationManager,
+        resource_mgr: Option<ResourceManager>,
+    ) -> (DacapoComChannel, DacapoComChannel) {
+        let (a_prep_tx, b_prep_rx) = unbounded();
+        let (b_prep_tx, a_prep_rx) = unbounded();
+        let (a_ack_tx, b_ack_rx) = unbounded();
+        let (b_ack_tx, a_ack_rx) = unbounded();
+        let a = DacapoComChannel {
+            connection: client_conn,
+            config_mgr: config_mgr.clone(),
+            resource_mgr: resource_mgr.clone(),
+            grant: Mutex::new(None),
+            ctx: Mutex::new(ConfigContext::default()),
+            prepare_tx: a_prep_tx,
+            prepare_rx: a_prep_rx,
+            ack_tx: a_ack_tx,
+            ack_rx: a_ack_rx,
+        };
+        let b = DacapoComChannel {
+            connection: server_conn,
+            config_mgr,
+            resource_mgr,
+            grant: Mutex::new(None),
+            ctx: Mutex::new(ConfigContext::default()),
+            prepare_tx: b_prep_tx,
+            prepare_rx: b_prep_rx,
+            ack_tx: b_ack_tx,
+            ack_rx: b_ack_rx,
+        };
+        (a, b)
+    }
+
+    /// The module graph currently running below this channel.
+    pub fn graph(&self) -> dacapo::ModuleGraph {
+        self.connection.graph()
+    }
+
+    /// Reconfigures this side: admission first, then the stack swap.
+    fn apply_requirements(&self, req: &TransportRequirements) -> Result<(), OrbError> {
+        let ctx = self.ctx.lock().clone();
+        let cfg = self
+            .config_mgr
+            .configure(req, &ctx)
+            .map_err(OrbError::from)?;
+        if let Some(mgr) = &self.resource_mgr {
+            let mut grant = self.grant.lock();
+            // Release the previous configuration's share first so that a
+            // same-size reconfiguration is never spuriously rejected. If
+            // the new admission fails, the connection keeps its old graph
+            // but holds no QoS grant — it is best-effort until the client
+            // negotiates something feasible.
+            grant.take();
+            let new_grant = mgr
+                .admit(&cfg.graph, self.config_mgr.catalog(), req)
+                .map_err(OrbError::from)?;
+            *grant = Some(new_grant);
+        }
+        if cfg.graph != self.connection.graph() {
+            self.connection
+                .reconfigure(cfg.graph)
+                .map_err(OrbError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Serves one peer-initiated reconfiguration request.
+    fn serve_prepare(&self, req: TransportRequirements) {
+        let outcome = self.apply_requirements(&req).map_err(|e| e.to_string());
+        let _ = self.ack_tx.send(outcome);
+    }
+}
+
+impl ComChannel for DacapoComChannel {
+    fn send_frame(&self, frame: Bytes) -> Result<(), OrbError> {
+        self.connection
+            .endpoint()
+            .send(frame)
+            .map_err(OrbError::from)
+    }
+
+    fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Serve reconfiguration requests even while idle.
+            while let Ok(req) = self.prepare_rx.try_recv() {
+                self.serve_prepare(req);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(OrbError::Timeout(timeout));
+            }
+            let slice = POLL_SLICE.min(deadline - now);
+            match self.connection.endpoint().recv_timeout(slice) {
+                Ok(frame) => return Ok(frame),
+                Err(dacapo::DacapoError::Timeout(_)) => continue,
+                Err(dacapo::DacapoError::Closed) if !self.connection.is_closed() => {
+                    // A reconfiguration swapped the stack out from under
+                    // the endpoint we polled; pick up the new one.
+                    continue;
+                }
+                Err(e) => return Err(OrbError::from(e)),
+            }
+        }
+    }
+
+    fn drain(&self, timeout: Duration) -> bool {
+        self.connection.drain(timeout)
+    }
+
+    fn close(&self) {
+        self.connection.close();
+        self.grant.lock().take();
+    }
+
+    fn kind(&self) -> &'static str {
+        "dacapo"
+    }
+
+    fn supports_qos(&self) -> bool {
+        true
+    }
+
+    fn set_qos(&self, requirements: &TransportRequirements) -> Result<(), OrbError> {
+        // Phase 1: ask the peer to swap first.
+        self.prepare_tx
+            .send(*requirements)
+            .map_err(|_| OrbError::Closed)?;
+        // Phase 2: wait for the acknowledgement. The peer's recv_frame
+        // loop (always running inside the ORB demux or server worker)
+        // serves the request.
+        match self.ack_rx.recv_timeout(RECONFIGURE_TIMEOUT) {
+            Ok(Ok(())) => {}
+            Ok(Err(reason)) => {
+                return Err(OrbError::QosNotSupported(QosError::Rejected(format!(
+                    "peer rejected transport reconfiguration: {reason}"
+                ))))
+            }
+            Err(RecvTimeoutError::Timeout) => return Err(OrbError::Timeout(RECONFIGURE_TIMEOUT)),
+            Err(RecvTimeoutError::Disconnected) => return Err(OrbError::Closed),
+        }
+        // Phase 3: swap our own side.
+        self.apply_requirements(requirements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacapo::prelude::*;
+    use dacapo::resource::ResourceBudget;
+
+    fn channel_pair_with(
+        resource_mgr: Option<ResourceManager>,
+    ) -> (DacapoComChannel, DacapoComChannel) {
+        let catalog = MechanismCatalog::standard();
+        let (ta, tb) = loopback_pair();
+        let a = Connection::establish(ModuleGraph::empty(), ta, &catalog).unwrap();
+        let b = Connection::establish(ModuleGraph::empty(), tb, &catalog).unwrap();
+        DacapoComChannel::pair(a, b, ConfigurationManager::standard(), resource_mgr)
+    }
+
+    fn channel_pair() -> (DacapoComChannel, DacapoComChannel) {
+        channel_pair_with(None)
+    }
+
+    /// Runs a pump thread standing in for the ORB demux/worker that is
+    /// always inside `recv_frame`.
+    fn with_pump<T>(b: DacapoComChannel, f: impl FnOnce() -> T) -> (T, DacapoComChannel) {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let pump = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+                let _ = b.recv_frame(Duration::from_millis(20));
+            }
+            b
+        });
+        let result = f();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        (result, pump.join().unwrap())
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let (a, b) = channel_pair();
+        a.send_frame(Bytes::from_static(b"giop frame")).unwrap();
+        assert_eq!(
+            &b.recv_frame(Duration::from_secs(5)).unwrap()[..],
+            b"giop frame"
+        );
+        assert_eq!(a.kind(), "dacapo");
+        assert!(a.supports_qos());
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn set_qos_reconfigures_both_sides() {
+        let (a, b) = channel_pair();
+        assert!(a.graph().is_empty());
+        let req = TransportRequirements {
+            error_detection: true,
+            encryption: true,
+            ..Default::default()
+        };
+        let (result, b) = with_pump(b, || a.set_qos(&req));
+        result.unwrap();
+        assert!(!a.graph().is_empty(), "client side reconfigured");
+        assert_eq!(a.graph(), b.graph(), "peers agree on the configuration");
+
+        a.send_frame(Bytes::from_static(b"after-reconfig")).unwrap();
+        assert_eq!(
+            &b.recv_frame(Duration::from_secs(5)).unwrap()[..],
+            b"after-reconfig"
+        );
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn best_effort_set_qos_returns_to_empty_graph() {
+        let (a, b) = channel_pair();
+        let strong = TransportRequirements {
+            encryption: true,
+            ..Default::default()
+        };
+        let (result, b) = with_pump(b, || {
+            a.set_qos(&strong)?;
+            assert!(!a.graph().is_empty());
+            a.set_qos(&TransportRequirements::best_effort())
+        });
+        result.unwrap();
+        assert!(a.graph().is_empty());
+        assert!(b.graph().is_empty());
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn set_qos_fails_without_peer() {
+        let (a, b) = channel_pair();
+        drop(b);
+        let req = TransportRequirements {
+            error_detection: true,
+            ..Default::default()
+        };
+        assert!(a.set_qos(&req).is_err());
+        a.close();
+    }
+
+    #[test]
+    fn admission_is_enforced_and_released_on_reconfigure() {
+        let mgr = ResourceManager::new(ResourceBudget {
+            cpu_units: 1_000,
+            memory_bytes: 1 << 30,
+            bandwidth_bps: 10_000,
+        });
+        let (a, b) = channel_pair_with(Some(mgr.clone()));
+
+        // Feasible bandwidth: both sides admit.
+        let ok_req = TransportRequirements {
+            bandwidth_bps: Some(4_000),
+            ..Default::default()
+        };
+        let (result, b) = with_pump(b, || a.set_qos(&ok_req));
+        result.unwrap();
+        assert_eq!(mgr.used_bandwidth(), 8_000, "both sides hold a grant");
+
+        // Infeasible: the peer rejects, the initiator reports the NACK.
+        let bad_req = TransportRequirements {
+            bandwidth_bps: Some(9_000),
+            ..Default::default()
+        };
+        let (result, b) = with_pump(b, || a.set_qos(&bad_req));
+        match result {
+            Err(OrbError::QosNotSupported(_)) => {}
+            other => panic!("expected admission rejection, got {other:?}"),
+        }
+
+        a.close();
+        b.close();
+        assert_eq!(mgr.used_bandwidth(), 0, "grants released on close");
+    }
+}

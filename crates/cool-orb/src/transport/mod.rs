@@ -1,0 +1,84 @@
+//! The generic transport protocol layer: COOL's `_COOL_ComChannel`
+//! hierarchy (paper, Figure 8).
+//!
+//! A [`ComChannel`] moves whole frames between two ORB endpoints. Three
+//! concrete channels exist, mirroring the paper exactly:
+//!
+//! * [`TcpComChannel`] — real TCP with length-prefixed frames (and its
+//!   buffer handling, the `_TcpBuffer` role, lives in the reader thread);
+//! * [`ChorusComChannel`] — Chorus IPC, where *"buffering is done
+//!   transparent by the communication subsystem"*;
+//! * [`DacapoComChannel`] — a Da CaPo connection, which *"handles its own
+//!   buffers in the Da CaPo runtime environment"* and is the only channel
+//!   implementing `set_qos` (Section 4.3).
+//!
+//! `set_qos` is the unilateral message-layer → transport-layer
+//! negotiation: the default implementation ignores the request (TCP and
+//! Chorus IPC cannot shape traffic), while the Da CaPo channel maps the
+//! requirements to a new protocol configuration and reconfigures both
+//! sides of the connection.
+
+pub mod chorus;
+pub mod dacapo_chan;
+pub mod tcp;
+
+pub use chorus::ChorusComChannel;
+pub use dacapo_chan::DacapoComChannel;
+pub use tcp::TcpComChannel;
+
+use crate::error::OrbError;
+use bytes::Bytes;
+use std::time::Duration;
+
+/// A frame-preserving duplex channel between two ORB endpoints.
+pub trait ComChannel: Send + Sync {
+    /// Sends one message frame.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Closed`] after close; [`OrbError::Transport`] on I/O
+    /// failure.
+    fn send_frame(&self, frame: Bytes) -> Result<(), OrbError>;
+
+    /// Receives the next frame, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Timeout`] on expiry; [`OrbError::Closed`] once the
+    /// channel is torn down.
+    fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError>;
+
+    /// Waits up to `timeout` for in-flight traffic to clear so that a
+    /// subsequent [`ComChannel::close`] loses nothing; returns whether the
+    /// channel quiesced. Channels without buffering (TCP, Chorus) are
+    /// always quiescent.
+    fn drain(&self, timeout: Duration) -> bool {
+        let _ = timeout;
+        true
+    }
+
+    /// Closes the channel (idempotent); unblocks both sides.
+    fn close(&self);
+
+    /// Transport kind for diagnostics (`"tcp"`, `"chorus"`, `"dacapo"`).
+    fn kind(&self) -> &'static str;
+
+    /// Whether this transport honours `set_qos`.
+    fn supports_qos(&self) -> bool {
+        false
+    }
+
+    /// Propagates QoS requirements into the transport (unilateral
+    /// negotiation). The default implementation accepts and ignores them —
+    /// the behaviour of TCP and Chorus IPC in the paper, which simply do
+    /// not implement the method.
+    ///
+    /// # Errors
+    ///
+    /// Implementations that *do* support QoS report admission or
+    /// configuration failures as [`OrbError::QosNotSupported`].
+    fn set_qos(&self, requirements: &multe_qos::TransportRequirements) -> Result<(), OrbError> {
+        let _ = requirements;
+        Ok(())
+    }
+}

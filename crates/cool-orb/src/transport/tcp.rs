@@ -1,0 +1,124 @@
+//! TCP channel: the paper's `_TcpComChannel` (+ `_TcpBuffer`).
+
+use crate::error::OrbError;
+use crate::transport::ComChannel;
+use bytes::Bytes;
+use dacapo::tlayer::{TcpTransport, Transport};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A frame-preserving channel over a real TCP connection.
+///
+/// Framing (4-byte length prefix) and receive buffering are delegated to
+/// [`dacapo::tlayer::TcpTransport`], whose reader thread plays the role of
+/// COOL's `_TcpBuffer` class.
+pub struct TcpComChannel {
+    inner: TcpTransport,
+}
+
+impl std::fmt::Debug for TcpComChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpComChannel").finish()
+    }
+}
+
+impl TcpComChannel {
+    /// Connects to a listening ORB endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, OrbError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| OrbError::Transport(format!("tcp connect: {e}")))?;
+        TcpComChannel::from_stream(stream)
+    }
+
+    /// Wraps an accepted stream.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if the stream cannot be prepared.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, OrbError> {
+        let inner = TcpTransport::new(stream).map_err(OrbError::from)?;
+        Ok(TcpComChannel { inner })
+    }
+
+    /// Binds a listener for the server side.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if binding fails.
+    pub fn listen(addr: impl ToSocketAddrs) -> Result<TcpListener, OrbError> {
+        TcpListener::bind(addr).map_err(|e| OrbError::Transport(format!("tcp bind: {e}")))
+    }
+}
+
+impl ComChannel for TcpComChannel {
+    fn send_frame(&self, frame: Bytes) -> Result<(), OrbError> {
+        self.inner.send(frame).map_err(OrbError::from)
+    }
+
+    fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
+        self.inner.recv_timeout(timeout).map_err(OrbError::from)
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_channel_round_trip() {
+        let listener = TcpComChannel::listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpComChannel::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+        let server = TcpComChannel::from_stream(server_stream).unwrap();
+
+        client.send_frame(Bytes::from_static(b"request")).unwrap();
+        assert_eq!(
+            &server.recv_frame(Duration::from_secs(5)).unwrap()[..],
+            b"request"
+        );
+        server.send_frame(Bytes::from_static(b"reply")).unwrap();
+        assert_eq!(
+            &client.recv_frame(Duration::from_secs(5)).unwrap()[..],
+            b"reply"
+        );
+        assert_eq!(client.kind(), "tcp");
+        assert!(!client.supports_qos());
+        client.close();
+        server.close();
+    }
+
+    #[test]
+    fn set_qos_is_ignored_not_rejected() {
+        // The paper: TCP simply does not implement setQoSParameter; calls
+        // degrade to a no-op rather than an error, so bilateral (object
+        // level) negotiation still works over plain TCP.
+        let listener = TcpComChannel::listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpComChannel::connect(addr).unwrap();
+        let req = multe_qos::TransportRequirements {
+            error_detection: true,
+            ..Default::default()
+        };
+        assert!(client.set_qos(&req).is_ok());
+        client.close();
+    }
+
+    #[test]
+    fn connect_to_nothing_fails() {
+        // Port 1 is essentially never listening.
+        assert!(TcpComChannel::connect("127.0.0.1:1").is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Focused tests for the client binding: demultiplexing, invocation modes
+//! and teardown, driven over an in-process Chorus channel pair with a
+//! hand-rolled server loop (no ORB server machinery, so failures localise
+//! to the binding itself).
+
+use bytes::Bytes;
+use cool_giop::prelude::*;
+use cool_orb::binding::Binding;
+use cool_orb::message_layer::WireProtocol;
+use cool_orb::transport::{ChorusComChannel, ComChannel};
+use cool_orb::OrbError;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs a minimal GIOP echo server on `channel` for `n` requests, with a
+/// per-request artificial delay.
+fn echo_server(channel: Arc<dyn ComChannel>, n: usize, delay: Duration) {
+    std::thread::spawn(move || {
+        for _ in 0..n {
+            let frame = loop {
+                match channel.recv_frame(Duration::from_millis(100)) {
+                    Ok(f) => break f,
+                    Err(OrbError::Timeout(_)) => continue,
+                    Err(_) => return,
+                }
+            };
+            let Ok((msg, version, order)) = cool_giop::codec::decode_message_ext(&frame) else {
+                return;
+            };
+            if let Message::Request { header, body } = msg {
+                if !header.response_expected {
+                    continue;
+                }
+                std::thread::sleep(delay);
+                let reply = Message::Reply {
+                    header: ReplyHeader::new(header.request_id, ReplyStatus::NoException),
+                    body,
+                };
+                let Ok(frame) = encode_message(&reply, version, order) else {
+                    return;
+                };
+                if channel.send_frame(frame).is_err() {
+                    return;
+                }
+            }
+        }
+    });
+}
+
+fn pair() -> (Arc<dyn ComChannel>, Arc<dyn ComChannel>) {
+    let (a, b) = ChorusComChannel::pair();
+    (Arc::new(a), Arc::new(b))
+}
+
+#[test]
+fn call_round_trips() {
+    let (client, server) = pair();
+    echo_server(server, 1, Duration::ZERO);
+    let binding = Binding::new(client, WireProtocol::Giop);
+    let (body, granted) = binding
+        .call(
+            b"key",
+            "op",
+            Bytes::from_static(b"payload"),
+            &[],
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    assert_eq!(&body[..], b"payload");
+    assert!(granted.is_none(), "echo server attaches no qos context");
+}
+
+#[test]
+fn call_times_out_against_silent_server() {
+    let (client, _server) = pair();
+    let binding = Binding::new(client, WireProtocol::Giop);
+    let err = binding
+        .call(b"key", "op", Bytes::new(), &[], Duration::from_millis(100))
+        .unwrap_err();
+    assert!(matches!(err, OrbError::Timeout(_)));
+}
+
+#[test]
+fn oneway_send_does_not_wait() {
+    let (client, server) = pair();
+    // No server at all: a one-way send still succeeds locally.
+    let binding = Binding::new(client, WireProtocol::Giop);
+    binding
+        .send(b"key", "fire", Bytes::from_static(b"x"), &[])
+        .unwrap();
+    // The frame really is on the wire.
+    let frame = server.recv_frame(Duration::from_secs(1)).unwrap();
+    let msg = decode_message(&frame).unwrap();
+    match msg {
+        Message::Request { header, .. } => assert!(!header.response_expected),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn interleaved_replies_demultiplex_by_request_id() {
+    let (client, server) = pair();
+    // Server that answers requests in REVERSE order of arrival.
+    let server_channel = server;
+    std::thread::spawn(move || {
+        let mut pending = Vec::new();
+        for _ in 0..3 {
+            let frame = loop {
+                match server_channel.recv_frame(Duration::from_millis(100)) {
+                    Ok(f) => break f,
+                    Err(OrbError::Timeout(_)) => continue,
+                    Err(_) => return,
+                }
+            };
+            let (msg, version, order) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+            if let Message::Request { header, body } = msg {
+                pending.push((header.request_id, body, version, order));
+            }
+        }
+        pending.reverse();
+        for (request_id, body, version, order) in pending {
+            let reply = Message::Reply {
+                header: ReplyHeader::new(request_id, ReplyStatus::NoException),
+                body,
+            };
+            let frame = encode_message(&reply, version, order).unwrap();
+            server_channel.send_frame(frame).unwrap();
+        }
+    });
+
+    let binding = Binding::new(client, WireProtocol::Giop);
+    let d1 = binding
+        .defer(b"k", "op", Bytes::from_static(b"one"), &[])
+        .unwrap();
+    let d2 = binding
+        .defer(b"k", "op", Bytes::from_static(b"two"), &[])
+        .unwrap();
+    let d3 = binding
+        .defer(b"k", "op", Bytes::from_static(b"three"), &[])
+        .unwrap();
+    // Replies arrive reversed; each deferred handle still gets its own.
+    assert_eq!(&d1.wait(Duration::from_secs(5)).unwrap().0[..], b"one");
+    assert_eq!(&d2.wait(Duration::from_secs(5)).unwrap().0[..], b"two");
+    assert_eq!(&d3.wait(Duration::from_secs(5)).unwrap().0[..], b"three");
+}
+
+#[test]
+fn close_fails_pending_and_subsequent_calls() {
+    let (client, _server) = pair();
+    let binding = Binding::new(client, WireProtocol::Giop);
+    let deferred = binding.defer(b"k", "op", Bytes::new(), &[]).unwrap();
+    binding.close();
+    assert!(matches!(
+        deferred.wait(Duration::from_secs(1)),
+        Err(OrbError::Closed)
+    ));
+    assert!(matches!(
+        binding.call(b"k", "op", Bytes::new(), &[], Duration::from_secs(1)),
+        Err(OrbError::Closed)
+    ));
+    assert!(binding.is_closed());
+}
+
+#[test]
+fn server_close_connection_message_closes_binding() {
+    let (client, server) = pair();
+    let binding = Binding::new(client, WireProtocol::Giop);
+    let frame = encode_message(
+        &Message::CloseConnection,
+        GiopVersion::STANDARD,
+        ByteOrder::Big,
+    )
+    .unwrap();
+    server.send_frame(frame).unwrap();
+    // The demux observes CloseConnection and poisons the binding.
+    for _ in 0..50 {
+        if binding.is_closed() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("binding did not observe CloseConnection");
+}
+
+#[test]
+fn notify_callback_runs_on_reply() {
+    let (client, server) = pair();
+    echo_server(server, 1, Duration::from_millis(20));
+    let binding = Binding::new(client, WireProtocol::Giop);
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    binding
+        .notify(
+            b"k",
+            "op",
+            Bytes::from_static(b"async"),
+            &[],
+            move |result| {
+                tx.send(result.map(|(b, _)| b.to_vec())).unwrap();
+            },
+        )
+        .unwrap();
+    let result = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+    assert_eq!(result, b"async");
+}
+
+#[test]
+fn cancel_completes_waiter_with_cancelled() {
+    let (client, server) = pair();
+    echo_server(server, 1, Duration::from_millis(300));
+    let binding = Binding::new(client, WireProtocol::Giop);
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    let id = binding
+        .notify(b"k", "slow", Bytes::new(), &[], move |result| {
+            tx.send(result.map(|_| ())).unwrap();
+        })
+        .unwrap();
+    assert!(binding.cancel(id));
+    let outcome = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+    assert!(matches!(outcome, Err(OrbError::Cancelled)));
+}

@@ -1,0 +1,120 @@
+//! Layer A: the application-side endpoint of a running module stack.
+
+use crate::error::DacapoError;
+use crate::packet::Packet;
+use crate::stats::ThroughputMeter;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The application handle of a connection: what COOL's
+/// `DacapoComChannel` (or the measuring application of Figure 9) sends and
+/// receives through.
+#[derive(Debug, Clone)]
+pub struct AppEndpoint {
+    to_stack: Sender<Packet>,
+    from_stack: Receiver<Packet>,
+    tx_meter: Arc<ThroughputMeter>,
+    rx_meter: Arc<ThroughputMeter>,
+}
+
+impl AppEndpoint {
+    pub(crate) fn new(
+        to_stack: Sender<Packet>,
+        from_stack: Receiver<Packet>,
+        tx_meter: Arc<ThroughputMeter>,
+        rx_meter: Arc<ThroughputMeter>,
+    ) -> Self {
+        AppEndpoint {
+            to_stack,
+            from_stack,
+            tx_meter,
+            rx_meter,
+        }
+    }
+
+    /// Sends a message to the peer application.
+    ///
+    /// Blocks when the stack applies backpressure (e.g. a full ARQ
+    /// window).
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Closed`] once the connection is torn down.
+    pub fn send(&self, payload: Bytes) -> Result<(), DacapoError> {
+        self.tx_meter.record(payload.len());
+        self.to_stack
+            .send(Packet::data(&payload))
+            .map_err(|_| DacapoError::Closed)
+    }
+
+    /// Sends without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Timeout`] (zero duration) when the stack is
+    /// backpressured, [`DacapoError::Closed`] on teardown.
+    pub fn try_send(&self, payload: Bytes) -> Result<(), DacapoError> {
+        match self.to_stack.try_send(Packet::data(&payload)) {
+            Ok(()) => {
+                self.tx_meter.record(payload.len());
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(DacapoError::Timeout(Duration::ZERO)),
+            Err(TrySendError::Disconnected(_)) => Err(DacapoError::Closed),
+        }
+    }
+
+    /// Receives the next message from the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Timeout`] on expiry, [`DacapoError::Closed`] on
+    /// teardown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, DacapoError> {
+        match self.from_stack.recv_timeout(timeout) {
+            Ok(pkt) => {
+                self.rx_meter.record(pkt.len());
+                Ok(pkt.to_bytes())
+            }
+            Err(RecvTimeoutError::Timeout) => Err(DacapoError::Timeout(timeout)),
+            Err(RecvTimeoutError::Disconnected) => Err(DacapoError::Closed),
+        }
+    }
+
+    /// Receives without a deadline (until teardown).
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Closed`] on teardown.
+    pub fn recv(&self) -> Result<Bytes, DacapoError> {
+        match self.from_stack.recv() {
+            Ok(pkt) => {
+                self.rx_meter.record(pkt.len());
+                Ok(pkt.to_bytes())
+            }
+            Err(_) => Err(DacapoError::Closed),
+        }
+    }
+
+    /// Bytes/packets sent by this endpoint.
+    pub fn tx_meter(&self) -> &ThroughputMeter {
+        &self.tx_meter
+    }
+
+    /// Bytes/packets received by this endpoint.
+    pub fn rx_meter(&self) -> &ThroughputMeter {
+        &self.rx_meter
+    }
+
+    /// Shared handle to the send meter (for monitors outliving borrows).
+    pub fn tx_meter_shared(&self) -> Arc<ThroughputMeter> {
+        self.tx_meter.clone()
+    }
+
+    /// Shared handle to the receive meter (for monitors outliving borrows).
+    pub fn rx_meter_shared(&self) -> Arc<ThroughputMeter> {
+        self.rx_meter.clone()
+    }
+}

@@ -1,0 +1,341 @@
+//! Connection management: assembling, running, reconfiguring and tearing
+//! down per-connection module stacks.
+
+use crate::alayer::AppEndpoint;
+use crate::catalog::{MechanismCatalog, ModuleParams};
+use crate::config::{ConfigContext, Configuration, ConfigurationManager};
+use crate::error::DacapoError;
+use crate::graph::ModuleGraph;
+use crate::module::Module;
+use crate::resource::{ResourceGrant, ResourceManager};
+use crate::runtime::{build_stack, RuntimeOptions, StackHandle};
+use crate::tlayer::Transport;
+use multe_qos::TransportRequirements;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One side of a Da CaPo connection: a module stack over a transport.
+///
+/// Both peers must run the *same* module graph; in COOL this is guaranteed
+/// because both derive their configuration deterministically from the
+/// QoS parameters agreed during bilateral negotiation.
+pub struct Connection {
+    stack: Mutex<Option<StackHandle>>,
+    endpoint: Mutex<AppEndpoint>,
+    graph: Mutex<ModuleGraph>,
+    params: Mutex<ModuleParams>,
+    transport: Arc<dyn Transport>,
+    catalog: MechanismCatalog,
+    opts: RuntimeOptions,
+    grant: Mutex<Option<ResourceGrant>>,
+    closed: std::sync::atomic::AtomicBool,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("graph", &self.graph.lock().to_string())
+            .field("transport", &self.transport.name())
+            .finish()
+    }
+}
+
+impl Connection {
+    /// Establishes a connection running `graph` over `transport`.
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::InvalidGraph`] if the graph fails validation.
+    pub fn establish(
+        graph: ModuleGraph,
+        transport: impl Transport,
+        catalog: &MechanismCatalog,
+    ) -> Result<Self, DacapoError> {
+        Connection::establish_with(graph, ModuleParams::default(), transport, catalog, None)
+    }
+
+    /// Establishes a connection from QoS-derived transport requirements:
+    /// configuration (mapping requirements to a module graph) followed by
+    /// unilateral resource admission.
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::NoFeasibleConfiguration`] if no mechanism combination
+    /// fits; [`DacapoError::ResourceDenied`] if admission fails — both are
+    /// reported to the calling client as exceptions by the ORB.
+    pub fn establish_with_qos(
+        requirements: &TransportRequirements,
+        ctx: &ConfigContext,
+        transport: impl Transport,
+        config_mgr: &ConfigurationManager,
+        resource_mgr: &ResourceManager,
+    ) -> Result<Self, DacapoError> {
+        let Configuration { graph, params } = config_mgr.configure(requirements, ctx)?;
+        let grant = resource_mgr.admit(&graph, config_mgr.catalog(), requirements)?;
+        Connection::establish_with(graph, params, transport, config_mgr.catalog(), Some(grant))
+    }
+
+    fn establish_with(
+        graph: ModuleGraph,
+        params: ModuleParams,
+        transport: impl Transport,
+        catalog: &MechanismCatalog,
+        grant: Option<ResourceGrant>,
+    ) -> Result<Self, DacapoError> {
+        graph.validate(catalog)?;
+        let transport: Arc<dyn Transport> = Arc::new(transport);
+        let opts = RuntimeOptions::default();
+        let modules = instantiate(&graph, &params, catalog)?;
+        let stack = build_stack(modules, transport.clone(), &opts);
+        let endpoint = stack.endpoint().clone();
+        Ok(Connection {
+            stack: Mutex::new(Some(stack)),
+            endpoint: Mutex::new(endpoint),
+            graph: Mutex::new(graph),
+            params: Mutex::new(params),
+            transport,
+            catalog: catalog.clone(),
+            opts,
+            grant: Mutex::new(grant),
+            closed: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// The application endpoint (clone it freely; clones share the
+    /// connection).
+    pub fn endpoint(&self) -> AppEndpoint {
+        self.endpoint.lock().clone()
+    }
+
+    /// The module graph currently running.
+    pub fn graph(&self) -> ModuleGraph {
+        self.graph.lock().clone()
+    }
+
+    /// The transport below the stack.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Replaces the running module graph while keeping the transport —
+    /// the dynamic *re*configuration that RT-CORBA cannot do after binding
+    /// time (Section 3) and Da CaPo can.
+    ///
+    /// In-flight packets inside the old stack are dropped (callers quiesce
+    /// first; the ORB re-negotiates QoS before reconfiguring, so the
+    /// request/reply protocol above tolerates the gap).
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::InvalidGraph`] if the new graph fails validation; the
+    /// old stack keeps running in that case.
+    pub fn reconfigure(&self, new_graph: ModuleGraph) -> Result<(), DacapoError> {
+        new_graph.validate(&self.catalog)?;
+        if new_graph == *self.graph.lock() {
+            return Ok(()); // fast path: already running this configuration
+        }
+        let params = self.params.lock().clone();
+        let modules = instantiate(&new_graph, &params, &self.catalog)?;
+        let mut stack_slot = self.stack.lock();
+        if let Some(old) = stack_slot.take() {
+            old.shutdown();
+        }
+        let stack = build_stack(modules, self.transport.clone(), &self.opts);
+        *self.endpoint.lock() = stack.endpoint().clone();
+        *stack_slot = Some(stack);
+        *self.graph.lock() = new_graph;
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for the running stack to quiesce (all queues
+    /// empty, no ARQ window outstanding); returns whether it did. A close
+    /// after a successful drain loses no in-flight data.
+    pub fn drain(&self, timeout: std::time::Duration) -> bool {
+        match self.stack.lock().as_ref() {
+            Some(stack) => stack.drain(timeout),
+            None => true,
+        }
+    }
+
+    /// Whether [`Connection::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Tears the connection down: stops the stack and closes the
+    /// transport. Idempotent.
+    pub fn close(&self) {
+        self.closed
+            .store(true, std::sync::atomic::Ordering::Release);
+        if let Some(stack) = self.stack.lock().take() {
+            stack.shutdown();
+        }
+        self.transport.close();
+        self.grant.lock().take();
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn instantiate(
+    graph: &ModuleGraph,
+    params: &ModuleParams,
+    catalog: &MechanismCatalog,
+) -> Result<Vec<Box<dyn Module>>, DacapoError> {
+    graph
+        .mechanisms()
+        .iter()
+        .map(|id| {
+            catalog
+                .get(id)
+                .map(|e| e.instantiate(params))
+                .ok_or_else(|| DacapoError::InvalidGraph(format!("unknown mechanism {id}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlayer::loopback_pair;
+    use bytes::Bytes;
+    use std::time::Duration;
+
+    fn pair(graph: &ModuleGraph) -> (Connection, Connection) {
+        let catalog = MechanismCatalog::standard();
+        let (ta, tb) = loopback_pair();
+        let a = Connection::establish(graph.clone(), ta, &catalog).unwrap();
+        let b = Connection::establish(graph.clone(), tb, &catalog).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn empty_graph_connection() {
+        let (a, b) = pair(&ModuleGraph::empty());
+        a.endpoint().send(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(
+            &b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"x"
+        );
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn qos_driven_connection() {
+        let catalog = MechanismCatalog::standard();
+        let config_mgr = ConfigurationManager::new(catalog);
+        let resource_mgr = ResourceManager::default();
+        let req = TransportRequirements {
+            error_detection: true,
+            retransmission: true,
+            sequencing: true,
+            encryption: true,
+            bandwidth_bps: Some(1_000_000),
+            ..Default::default()
+        };
+        let (ta, tb) = loopback_pair();
+        let ctx = ConfigContext::default();
+        let a = Connection::establish_with_qos(&req, &ctx, ta, &config_mgr, &resource_mgr).unwrap();
+        let b = Connection::establish_with_qos(&req, &ctx, tb, &config_mgr, &resource_mgr).unwrap();
+        assert_eq!(a.graph(), b.graph(), "deterministic configuration");
+        assert!(resource_mgr.used_bandwidth() >= 2_000_000);
+        for i in 0..5u8 {
+            a.endpoint().send(Bytes::from(vec![i; 32])).unwrap();
+        }
+        for i in 0..5u8 {
+            assert_eq!(
+                b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[0],
+                i
+            );
+        }
+        a.close();
+        b.close();
+        assert_eq!(resource_mgr.used_bandwidth(), 0, "grants released on close");
+    }
+
+    #[test]
+    fn admission_failure_reported() {
+        let catalog = MechanismCatalog::standard();
+        let config_mgr = ConfigurationManager::new(catalog);
+        let resource_mgr = ResourceManager::new(crate::resource::ResourceBudget {
+            cpu_units: 1000,
+            memory_bytes: 1 << 30,
+            bandwidth_bps: 10,
+        });
+        let req = TransportRequirements {
+            bandwidth_bps: Some(100),
+            ..Default::default()
+        };
+        let (ta, _tb) = loopback_pair();
+        let err = Connection::establish_with_qos(
+            &req,
+            &ConfigContext::default(),
+            ta,
+            &config_mgr,
+            &resource_mgr,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DacapoError::ResourceDenied { .. }));
+    }
+
+    #[test]
+    fn invalid_graph_rejected_at_establish() {
+        let catalog = MechanismCatalog::standard();
+        let (ta, _tb) = loopback_pair();
+        let err = Connection::establish(ModuleGraph::from_ids(["nope"]), ta, &catalog).unwrap_err();
+        assert!(matches!(err, DacapoError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn reconfigure_swaps_graph_on_live_transport() {
+        let (a, b) = pair(&ModuleGraph::empty());
+        a.endpoint().send(Bytes::from_static(b"before")).unwrap();
+        assert_eq!(
+            &b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"before"
+        );
+
+        // Both sides switch to a CRC-protected configuration.
+        let new_graph = ModuleGraph::from_ids(["crc32"]);
+        a.reconfigure(new_graph.clone()).unwrap();
+        b.reconfigure(new_graph.clone()).unwrap();
+        assert_eq!(a.graph(), new_graph);
+
+        a.endpoint().send(Bytes::from_static(b"after")).unwrap();
+        assert_eq!(
+            &b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"after"
+        );
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn reconfigure_to_invalid_graph_keeps_old_stack() {
+        let (a, b) = pair(&ModuleGraph::empty());
+        assert!(a.reconfigure(ModuleGraph::from_ids(["bogus"])).is_err());
+        a.endpoint()
+            .send(Bytes::from_static(b"still works"))
+            .unwrap();
+        assert_eq!(
+            &b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"still works"
+        );
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn close_is_idempotent_and_send_fails_after() {
+        let (a, b) = pair(&ModuleGraph::empty());
+        a.close();
+        a.close();
+        assert!(a.endpoint().send(Bytes::new()).is_err());
+        b.close();
+    }
+}

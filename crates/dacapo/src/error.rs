@@ -1,0 +1,76 @@
+//! Error type for the Da CaPo protocol system.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced by Da CaPo configuration, admission and data transfer.
+#[derive(Debug)]
+pub enum DacapoError {
+    /// The configuration manager found no mechanism combination satisfying
+    /// the requirements.
+    NoFeasibleConfiguration {
+        /// Which protocol function could not be realised.
+        missing_function: String,
+    },
+    /// Resource admission failed (unilateral QoS negotiation).
+    ResourceDenied {
+        /// What ran out.
+        resource: String,
+    },
+    /// The module graph is malformed (unknown mechanism, duplicate
+    /// function, bad ordering).
+    InvalidGraph(String),
+    /// The connection (or its transport) is closed.
+    Closed,
+    /// A receive timed out.
+    Timeout(Duration),
+    /// The transport failed.
+    Transport(String),
+    /// A module detected an unrecoverable protocol violation.
+    Protocol(String),
+}
+
+impl fmt::Display for DacapoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DacapoError::NoFeasibleConfiguration { missing_function } => {
+                write!(
+                    f,
+                    "no feasible protocol configuration: cannot realise {missing_function}"
+                )
+            }
+            DacapoError::ResourceDenied { resource } => {
+                write!(f, "resource admission denied: {resource}")
+            }
+            DacapoError::InvalidGraph(msg) => write!(f, "invalid module graph: {msg}"),
+            DacapoError::Closed => write!(f, "connection closed"),
+            DacapoError::Timeout(d) => write!(f, "receive timed out after {d:?}"),
+            DacapoError::Transport(msg) => write!(f, "transport error: {msg}"),
+            DacapoError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl Error for DacapoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DacapoError::Closed.to_string().contains("closed"));
+        assert!(DacapoError::NoFeasibleConfiguration {
+            missing_function: "encryption".into()
+        }
+        .to_string()
+        .contains("encryption"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DacapoError>();
+    }
+}

@@ -1,0 +1,183 @@
+//! Protocol functions and mechanism descriptors.
+//!
+//! Layer C *"is decomposed into protocol functions instead of sublayers.
+//! Each protocol function encapsulates a typical protocol task like error
+//! detection, acknowledgment, flow control, de- and encryption, etc.
+//! Protocol functions can be realised by different protocol mechanisms, for
+//! example, the function error detection can be performed by mechanisms
+//! like parity bit, CRC16, CRC32"* (Section 5.1). Mechanisms *"are
+//! characterised by different properties such as throughput characteristics
+//! or degrees of error detection"* — those properties are what the
+//! configuration manager optimises over.
+
+use std::fmt;
+
+/// A protocol task a configuration may need to realise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolFunction {
+    /// Detect (and discard) corrupted packets.
+    ErrorDetection,
+    /// Recover lost/corrupted packets via acknowledgement and
+    /// retransmission (the paper's "acknowledgment"/"flow control" tasks).
+    Retransmission,
+    /// Deliver packets in order.
+    Sequencing,
+    /// Conceal payload contents.
+    Encryption,
+    /// Reduce payload size.
+    Compression,
+    /// Split packets to the transport MTU and reassemble.
+    Fragmentation,
+    /// Forward unchanged (measurement padding — the paper's dummy modules).
+    Dummy,
+    /// Scale or filter a media flow (the paper's filter modules).
+    Filtering,
+}
+
+impl ProtocolFunction {
+    /// Canonical top-to-bottom position of this function in a module graph
+    /// (lower runs closer to the application).
+    ///
+    /// The ordering encodes the classic layering constraints: compression
+    /// before encryption (ciphertext does not compress), sequencing and
+    /// retransmission above the integrity check (a corrupted frame dropped
+    /// by error detection must look like a loss to the ARQ), fragmentation
+    /// closest to the wire.
+    pub fn canonical_position(self) -> u8 {
+        match self {
+            ProtocolFunction::Dummy => 0,
+            ProtocolFunction::Filtering => 0,
+            ProtocolFunction::Compression => 1,
+            ProtocolFunction::Encryption => 2,
+            ProtocolFunction::Sequencing => 3,
+            ProtocolFunction::Retransmission => 4,
+            ProtocolFunction::ErrorDetection => 5,
+            ProtocolFunction::Fragmentation => 6,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ProtocolFunction::ErrorDetection => "error-detection",
+            ProtocolFunction::Retransmission => "retransmission",
+            ProtocolFunction::Sequencing => "sequencing",
+            ProtocolFunction::Encryption => "encryption",
+            ProtocolFunction::Compression => "compression",
+            ProtocolFunction::Fragmentation => "fragmentation",
+            ProtocolFunction::Dummy => "dummy",
+            ProtocolFunction::Filtering => "filtering",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Identifier of a mechanism in the catalogue (e.g. `"crc32"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MechanismId(pub String);
+
+impl MechanismId {
+    /// Creates an id from a static name.
+    pub fn new(name: &str) -> Self {
+        MechanismId(name.to_owned())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MechanismId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for MechanismId {
+    fn from(s: &str) -> Self {
+        MechanismId::new(s)
+    }
+}
+
+/// Static properties of a mechanism, used for configuration decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechanismProperties {
+    /// Error-detection strength: 0 = none, 1 = weak (parity),
+    /// 2 = good (CRC16), 3 = strong (CRC32).
+    pub error_coverage: u8,
+    /// Relative CPU cost per packet (arbitrary units; dummy = 1).
+    pub cpu_cost: u32,
+    /// Memory the module needs (bytes, dominated by window/reassembly
+    /// buffers).
+    pub memory_cost: usize,
+    /// Multiplicative throughput factor relative to an empty pipeline
+    /// (1.0 = no penalty; stop-and-wait ARQ ≪ 1).
+    pub throughput_factor: f64,
+    /// Per-packet wire overhead added by this mechanism (header + trailer
+    /// bytes).
+    pub overhead_bytes: usize,
+    /// Whether the mechanism guarantees in-order delivery by itself.
+    pub provides_ordering: bool,
+    /// Whether the mechanism recovers losses (full reliability).
+    pub provides_reliability: bool,
+}
+
+impl Default for MechanismProperties {
+    fn default() -> Self {
+        MechanismProperties {
+            error_coverage: 0,
+            cpu_cost: 1,
+            memory_cost: 0,
+            throughput_factor: 1.0,
+            overhead_bytes: 0,
+            provides_ordering: false,
+            provides_reliability: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_positions_are_strictly_layered() {
+        let order = [
+            ProtocolFunction::Dummy,
+            ProtocolFunction::Compression,
+            ProtocolFunction::Encryption,
+            ProtocolFunction::Sequencing,
+            ProtocolFunction::Retransmission,
+            ProtocolFunction::ErrorDetection,
+            ProtocolFunction::Fragmentation,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].canonical_position() < w[1].canonical_position());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            ProtocolFunction::ErrorDetection.to_string(),
+            "error-detection"
+        );
+        assert_eq!(MechanismId::new("crc32").to_string(), "crc32");
+    }
+
+    #[test]
+    fn mechanism_id_from_str() {
+        let id: MechanismId = "parity".into();
+        assert_eq!(id.as_str(), "parity");
+    }
+
+    #[test]
+    fn default_properties_are_neutral() {
+        let p = MechanismProperties::default();
+        assert_eq!(p.error_coverage, 0);
+        assert_eq!(p.throughput_factor, 1.0);
+        assert!(!p.provides_ordering);
+    }
+}

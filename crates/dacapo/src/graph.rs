@@ -1,0 +1,321 @@
+//! Protocol graphs and module graphs.
+//!
+//! The paper distinguishes the **protocol graph** — which protocol
+//! *functions* a configuration must realise and their dependencies — from
+//! the **module graph**, the concrete chain of mechanism instances built
+//! for a connection (Section 5.1). Here the protocol graph is a required
+//! function set (the dependency order is fixed by
+//! [`ProtocolFunction::canonical_position`]) and the module graph is an
+//! ordered list of mechanism ids, validated against the catalogue.
+
+use crate::catalog::MechanismCatalog;
+use crate::error::DacapoError;
+use crate::functions::{MechanismId, ProtocolFunction};
+use multe_qos::TransportRequirements;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The set of protocol functions a configuration must provide.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProtocolGraph {
+    required: BTreeSet<ProtocolFunction>,
+}
+
+impl ProtocolGraph {
+    /// An empty graph: plain forwarding suffices.
+    pub fn empty() -> Self {
+        ProtocolGraph::default()
+    }
+
+    /// Builds the function set demanded by transport requirements.
+    pub fn from_requirements(req: &TransportRequirements) -> Self {
+        let mut required = BTreeSet::new();
+        if req.error_detection {
+            required.insert(ProtocolFunction::ErrorDetection);
+        }
+        if req.retransmission {
+            required.insert(ProtocolFunction::Retransmission);
+            // Retransmission without corruption detection is unsound: a
+            // corrupted frame must surface as a loss.
+            required.insert(ProtocolFunction::ErrorDetection);
+        }
+        if req.sequencing {
+            required.insert(ProtocolFunction::Sequencing);
+        }
+        if req.encryption {
+            required.insert(ProtocolFunction::Encryption);
+        }
+        ProtocolGraph { required }
+    }
+
+    /// Adds a required function.
+    pub fn require(&mut self, f: ProtocolFunction) -> &mut Self {
+        self.required.insert(f);
+        self
+    }
+
+    /// The required functions in canonical order.
+    pub fn required(&self) -> impl Iterator<Item = ProtocolFunction> + '_ {
+        self.required.iter().copied()
+    }
+
+    /// Whether a function is required.
+    pub fn requires(&self, f: ProtocolFunction) -> bool {
+        self.required.contains(&f)
+    }
+
+    /// Number of required functions.
+    pub fn len(&self) -> usize {
+        self.required.len()
+    }
+
+    /// Whether nothing is required.
+    pub fn is_empty(&self) -> bool {
+        self.required.is_empty()
+    }
+}
+
+/// An ordered chain of mechanisms (top = closest to the application).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleGraph {
+    mechanisms: Vec<MechanismId>,
+}
+
+impl ModuleGraph {
+    /// The empty chain: packets pass straight from layer A to layer T.
+    pub fn empty() -> Self {
+        ModuleGraph::default()
+    }
+
+    /// Builds a graph from mechanism ids, top to bottom.
+    pub fn from_ids<I>(ids: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<MechanismId>,
+    {
+        ModuleGraph {
+            mechanisms: ids.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Appends a mechanism at the bottom of the chain.
+    pub fn push(&mut self, id: impl Into<MechanismId>) -> &mut Self {
+        self.mechanisms.push(id.into());
+        self
+    }
+
+    /// The mechanisms, top to bottom.
+    pub fn mechanisms(&self) -> &[MechanismId] {
+        &self.mechanisms
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.mechanisms.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mechanisms.is_empty()
+    }
+
+    /// Validates the graph against a catalogue:
+    ///
+    /// * every mechanism id must be registered;
+    /// * at most one mechanism per non-dummy function;
+    /// * non-dummy mechanisms must appear in canonical layering order
+    ///   (dummies may sit anywhere, as in the paper's measurements).
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::InvalidGraph`] describing the violation.
+    pub fn validate(&self, catalog: &MechanismCatalog) -> Result<(), DacapoError> {
+        let mut seen_functions = BTreeSet::new();
+        let mut last_position: Option<u8> = None;
+        for id in &self.mechanisms {
+            let Some(entry) = catalog.get(id) else {
+                return Err(DacapoError::InvalidGraph(format!("unknown mechanism {id}")));
+            };
+            let function = entry.function;
+            if function == ProtocolFunction::Dummy {
+                continue;
+            }
+            if !seen_functions.insert(function) {
+                return Err(DacapoError::InvalidGraph(format!(
+                    "function {function} realised twice"
+                )));
+            }
+            let pos = function.canonical_position();
+            if let Some(last) = last_position {
+                if pos < last {
+                    return Err(DacapoError::InvalidGraph(format!(
+                        "mechanism {id} ({function}) out of canonical order"
+                    )));
+                }
+            }
+            last_position = Some(pos);
+        }
+        Ok(())
+    }
+
+    /// Whether this graph realises every function `protocol` requires,
+    /// taking mechanism side effects into account (an ARQ provides
+    /// ordering; its catalogue entry says so).
+    pub fn satisfies(&self, protocol: &ProtocolGraph, catalog: &MechanismCatalog) -> bool {
+        for f in protocol.required() {
+            let covered = self.mechanisms.iter().any(|id| {
+                let Some(entry) = catalog.get(id) else {
+                    return false;
+                };
+                if entry.function == f {
+                    return true;
+                }
+                match f {
+                    ProtocolFunction::Sequencing => entry.properties.provides_ordering,
+                    ProtocolFunction::Retransmission => entry.properties.provides_reliability,
+                    ProtocolFunction::ErrorDetection => entry.properties.error_coverage > 0,
+                    _ => false,
+                }
+            });
+            if !covered {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sum of per-packet CPU costs (configuration heuristics).
+    pub fn cpu_cost(&self, catalog: &MechanismCatalog) -> u32 {
+        self.mechanisms
+            .iter()
+            .filter_map(|id| catalog.get(id))
+            .map(|e| e.properties.cpu_cost)
+            .sum()
+    }
+
+    /// Sum of memory costs.
+    pub fn memory_cost(&self, catalog: &MechanismCatalog) -> usize {
+        self.mechanisms
+            .iter()
+            .filter_map(|id| catalog.get(id))
+            .map(|e| e.properties.memory_cost)
+            .sum()
+    }
+
+    /// Product of throughput factors (≤ 1.0): the expected throughput
+    /// penalty of this configuration.
+    pub fn throughput_factor(&self, catalog: &MechanismCatalog) -> f64 {
+        self.mechanisms
+            .iter()
+            .filter_map(|id| catalog.get(id))
+            .map(|e| e.properties.throughput_factor)
+            .product()
+    }
+}
+
+impl fmt::Display for ModuleGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mechanisms.is_empty() {
+            return write!(f, "(empty)");
+        }
+        let names: Vec<&str> = self.mechanisms.iter().map(|m| m.as_str()).collect();
+        write!(f, "{}", names.join(" -> "))
+    }
+}
+
+impl FromIterator<MechanismId> for ModuleGraph {
+    fn from_iter<I: IntoIterator<Item = MechanismId>>(iter: I) -> Self {
+        ModuleGraph {
+            mechanisms: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MechanismCatalog;
+
+    #[test]
+    fn protocol_graph_from_requirements() {
+        let req = TransportRequirements {
+            error_detection: false,
+            retransmission: true,
+            sequencing: true,
+            encryption: false,
+            ..Default::default()
+        };
+        let g = ProtocolGraph::from_requirements(&req);
+        assert!(g.requires(ProtocolFunction::Retransmission));
+        assert!(g.requires(ProtocolFunction::Sequencing));
+        // Retransmission pulls in error detection.
+        assert!(g.requires(ProtocolFunction::ErrorDetection));
+        assert!(!g.requires(ProtocolFunction::Encryption));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_is_valid_and_satisfies_empty_protocol() {
+        let catalog = MechanismCatalog::standard();
+        let g = ModuleGraph::empty();
+        g.validate(&catalog).unwrap();
+        assert!(g.satisfies(&ProtocolGraph::empty(), &catalog));
+        assert_eq!(g.to_string(), "(empty)");
+    }
+
+    #[test]
+    fn unknown_mechanism_rejected() {
+        let catalog = MechanismCatalog::standard();
+        let g = ModuleGraph::from_ids(["warp-drive"]);
+        assert!(matches!(
+            g.validate(&catalog),
+            Err(DacapoError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let catalog = MechanismCatalog::standard();
+        let g = ModuleGraph::from_ids(["crc16", "crc32"]);
+        assert!(g.validate(&catalog).is_err());
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let catalog = MechanismCatalog::standard();
+        // Error detection above encryption violates canonical layering.
+        let g = ModuleGraph::from_ids(["crc32", "xor-crypt"]);
+        assert!(g.validate(&catalog).is_err());
+        let ok = ModuleGraph::from_ids(["xor-crypt", "crc32"]);
+        ok.validate(&catalog).unwrap();
+    }
+
+    #[test]
+    fn dummies_allowed_anywhere() {
+        let catalog = MechanismCatalog::standard();
+        let g = ModuleGraph::from_ids(["dummy", "xor-crypt", "dummy", "crc32", "dummy"]);
+        g.validate(&catalog).unwrap();
+    }
+
+    #[test]
+    fn satisfies_through_side_effects() {
+        let catalog = MechanismCatalog::standard();
+        let mut p = ProtocolGraph::empty();
+        p.require(ProtocolFunction::Sequencing);
+        // go-back-n provides ordering without a seq module.
+        let g = ModuleGraph::from_ids(["go-back-n", "crc32"]);
+        assert!(g.satisfies(&p, &catalog));
+        let without = ModuleGraph::from_ids(["crc32"]);
+        assert!(!without.satisfies(&p, &catalog));
+    }
+
+    #[test]
+    fn cost_accessors() {
+        let catalog = MechanismCatalog::standard();
+        let g = ModuleGraph::from_ids(["crc32"]);
+        assert!(g.cpu_cost(&catalog) > 0);
+        assert!(g.throughput_factor(&catalog) > 0.0);
+        let display = g.to_string();
+        assert_eq!(display, "crc32");
+    }
+}

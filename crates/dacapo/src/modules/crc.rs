@@ -1,0 +1,215 @@
+//! CRC16 and CRC32 error detection, implemented from scratch.
+//!
+//! * CRC16: CCITT polynomial `0x1021`, initial value `0xFFFF` (X.25
+//!   flavour without final XOR), bit-by-bit.
+//! * CRC32: IEEE 802.3 polynomial (reflected `0xEDB88320`), table-driven,
+//!   initial value and final XOR `0xFFFFFFFF` — the ubiquitous zlib CRC.
+
+use crate::module::{Module, Outputs};
+use crate::packet::Packet;
+
+/// Computes the CCITT CRC16 of `data`.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the IEEE CRC32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    // The table is tiny; recomputing it per call would dominate small
+    // packets, so cache it once per process.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(crc32_table);
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        c = table[((c ^ byte as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Which CRC a [`CrcModule`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrcKind {
+    /// 16-bit CCITT.
+    Crc16,
+    /// 32-bit IEEE.
+    Crc32,
+}
+
+impl CrcKind {
+    fn trailer_len(self) -> usize {
+        match self {
+            CrcKind::Crc16 => 2,
+            CrcKind::Crc32 => 4,
+        }
+    }
+}
+
+/// Error detection via CRC trailer; corrupted packets are dropped.
+#[derive(Debug)]
+pub struct CrcModule {
+    kind: CrcKind,
+    name: &'static str,
+    corrupted_dropped: u64,
+}
+
+impl CrcModule {
+    /// Creates a CRC module of the given strength.
+    pub fn new(kind: CrcKind) -> Self {
+        let name = match kind {
+            CrcKind::Crc16 => "crc16",
+            CrcKind::Crc32 => "crc32",
+        };
+        CrcModule {
+            kind,
+            name,
+            corrupted_dropped: 0,
+        }
+    }
+
+    /// Packets dropped due to checksum mismatch.
+    pub fn corrupted_dropped(&self) -> u64 {
+        self.corrupted_dropped
+    }
+}
+
+impl Module for CrcModule {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn process_down(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        match self.kind {
+            CrcKind::Crc16 => {
+                let c = crc16(pkt.payload());
+                pkt.push_trailer(&c.to_be_bytes());
+            }
+            CrcKind::Crc32 => {
+                let c = crc32(pkt.payload());
+                pkt.push_trailer(&c.to_be_bytes());
+            }
+        }
+        out.push_down(pkt);
+    }
+
+    fn process_up(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        let n = self.kind.trailer_len();
+        let Some(trailer) = pkt.pop_trailer(n) else {
+            self.corrupted_dropped += 1;
+            return;
+        };
+        let ok = match self.kind {
+            CrcKind::Crc16 => {
+                let expected = u16::from_be_bytes([trailer[0], trailer[1]]);
+                crc16(pkt.payload()) == expected
+            }
+            CrcKind::Crc32 => {
+                let expected = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+                crc32(pkt.payload()) == expected
+            }
+        };
+        if ok {
+            out.push_up(pkt);
+        } else {
+            self.corrupted_dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // Standard zlib test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    fn round_trip(kind: CrcKind, payload: &[u8]) -> Option<Vec<u8>> {
+        let mut m = CrcModule::new(kind);
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(payload), &mut out);
+        let wire = out.take_down().remove(0);
+        m.process_up(wire, &mut out);
+        out.take_up().pop().map(|p| p.payload().to_vec())
+    }
+
+    #[test]
+    fn clean_round_trip_both_kinds() {
+        assert_eq!(round_trip(CrcKind::Crc16, b"data").unwrap(), b"data");
+        assert_eq!(round_trip(CrcKind::Crc32, b"data").unwrap(), b"data");
+    }
+
+    #[test]
+    fn corruption_detected_both_kinds() {
+        for kind in [CrcKind::Crc16, CrcKind::Crc32] {
+            let mut m = CrcModule::new(kind);
+            let mut out = Outputs::new();
+            m.process_down(Packet::data(b"payload"), &mut out);
+            let mut wire = out.take_down().remove(0);
+            wire.payload_mut()[3] ^= 0xFF;
+            m.process_up(wire, &mut out);
+            assert!(out.take_up().is_empty(), "{kind:?} missed corruption");
+            assert_eq!(m.corrupted_dropped(), 1);
+        }
+    }
+
+    #[test]
+    fn trailer_lengths() {
+        let mut out = Outputs::new();
+        CrcModule::new(CrcKind::Crc16).process_down(Packet::data(b"xx"), &mut out);
+        assert_eq!(out.take_down()[0].len(), 4);
+        CrcModule::new(CrcKind::Crc32).process_down(Packet::data(b"xx"), &mut out);
+        assert_eq!(out.take_down()[0].len(), 6);
+    }
+
+    #[test]
+    fn short_packet_dropped_not_panicking() {
+        let mut m = CrcModule::new(CrcKind::Crc32);
+        let mut out = Outputs::new();
+        m.process_up(
+            Packet::from_wire(b"ab", crate::packet::PacketKind::Data),
+            &mut out,
+        );
+        assert!(out.take_up().is_empty());
+        assert_eq!(m.corrupted_dropped(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Dummy modules: forward packets unchanged.
+//!
+//! The paper inserts up to 40 of these between the A and T modules to
+//! measure how much the module interfaces and packet forwarding cost
+//! (Figure 9): *"the throughput for a given packet size is little affected
+//! when the number of dummy modules are increased from 0 to 40"*. The
+//! benches reproduce exactly that sweep.
+
+use crate::module::{Module, Outputs};
+use crate::packet::Packet;
+
+/// A module that forwards every packet untouched.
+#[derive(Debug)]
+pub struct DummyModule {
+    name: String,
+    forwarded_down: u64,
+    forwarded_up: u64,
+}
+
+impl DummyModule {
+    /// Creates a dummy module; `index` only distinguishes instances in
+    /// diagnostics.
+    pub fn new(index: usize) -> Self {
+        DummyModule {
+            name: format!("dummy-{index}"),
+            forwarded_down: 0,
+            forwarded_up: 0,
+        }
+    }
+
+    /// Packets forwarded towards the wire.
+    pub fn forwarded_down(&self) -> u64 {
+        self.forwarded_down
+    }
+
+    /// Packets forwarded towards the application.
+    pub fn forwarded_up(&self) -> u64 {
+        self.forwarded_up
+    }
+}
+
+impl Module for DummyModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process_down(&mut self, pkt: Packet, out: &mut Outputs) {
+        self.forwarded_down += 1;
+        out.push_down(pkt);
+    }
+
+    fn process_up(&mut self, pkt: Packet, out: &mut Outputs) {
+        self.forwarded_up += 1;
+        out.push_up(pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwards_unchanged_in_both_directions() {
+        let mut m = DummyModule::new(3);
+        assert_eq!(m.name(), "dummy-3");
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(b"abc"), &mut out);
+        let down = out.take_down();
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].payload(), b"abc");
+
+        m.process_up(Packet::data(b"xyz"), &mut out);
+        let up = out.take_up();
+        assert_eq!(up[0].payload(), b"xyz");
+        assert_eq!(m.forwarded_down(), 1);
+        assert_eq!(m.forwarded_up(), 1);
+    }
+}

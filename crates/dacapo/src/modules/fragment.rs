@@ -1,0 +1,284 @@
+//! Fragmentation and reassembly to a transport MTU.
+//!
+//! Header (prepended, 8 bytes): `frag_id (4, BE) | index (2, BE) |
+//! total (2, BE)`. The receiver reassembles groups keyed by `frag_id`;
+//! incomplete groups are evicted least-recently-touched when the limit is
+//! reached (losses must not leak memory forever).
+
+use crate::module::{Module, Outputs};
+use crate::packet::{Packet, PacketKind};
+use std::collections::HashMap;
+
+/// Default cap on concurrently reassembling groups.
+pub const DEFAULT_MAX_GROUPS: usize = 64;
+
+/// Fragmentation module.
+#[derive(Debug)]
+pub struct FragmentModule {
+    fragment_payload: usize,
+    next_id: u32,
+    groups: HashMap<u32, Group>,
+    /// Monotone counter for LRU eviction of stale groups.
+    touch_counter: u64,
+    max_groups: usize,
+    evicted_groups: u64,
+    malformed_dropped: u64,
+}
+
+#[derive(Debug)]
+struct Group {
+    parts: Vec<Option<Vec<u8>>>,
+    received: usize,
+    last_touch: u64,
+}
+
+impl FragmentModule {
+    /// Creates a fragmenter producing fragments of at most
+    /// `fragment_payload` payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragment_payload` is zero.
+    pub fn new(fragment_payload: usize) -> Self {
+        assert!(fragment_payload > 0, "fragment payload must be nonzero");
+        FragmentModule {
+            fragment_payload,
+            next_id: 0,
+            groups: HashMap::new(),
+            touch_counter: 0,
+            max_groups: DEFAULT_MAX_GROUPS,
+            evicted_groups: 0,
+            malformed_dropped: 0,
+        }
+    }
+
+    /// Incomplete groups evicted under memory pressure.
+    pub fn evicted_groups(&self) -> u64 {
+        self.evicted_groups
+    }
+
+    /// Malformed fragments dropped.
+    pub fn malformed_dropped(&self) -> u64 {
+        self.malformed_dropped
+    }
+
+    fn evict_if_needed(&mut self) {
+        if self.groups.len() <= self.max_groups {
+            return;
+        }
+        if let Some((&stale, _)) = self.groups.iter().min_by_key(|(_, g)| g.last_touch) {
+            self.groups.remove(&stale);
+            self.evicted_groups += 1;
+        }
+    }
+}
+
+impl Module for FragmentModule {
+    fn name(&self) -> &str {
+        "fragment"
+    }
+
+    fn process_down(&mut self, pkt: Packet, out: &mut Outputs) {
+        let payload = pkt.payload();
+        let total = payload.len().div_ceil(self.fragment_payload).max(1);
+        if total > u16::MAX as usize {
+            // Unfragmentable monster; drop rather than corrupt.
+            self.malformed_dropped += 1;
+            return;
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        for (index, chunk) in payload.chunks(self.fragment_payload).enumerate() {
+            let mut frag =
+                Packet::with_headroom(chunk, crate::packet::DEFAULT_HEADROOM, pkt.kind());
+            let mut header = [0u8; 8];
+            header[0..4].copy_from_slice(&id.to_be_bytes());
+            header[4..6].copy_from_slice(&(index as u16).to_be_bytes());
+            header[6..8].copy_from_slice(&(total as u16).to_be_bytes());
+            frag.push_header(&header);
+            out.push_down(frag);
+        }
+        if payload.is_empty() {
+            // An empty packet still travels as one empty fragment.
+            let mut frag = Packet::with_headroom(&[], crate::packet::DEFAULT_HEADROOM, pkt.kind());
+            let mut header = [0u8; 8];
+            header[0..4].copy_from_slice(&id.to_be_bytes());
+            header[6..8].copy_from_slice(&1u16.to_be_bytes());
+            frag.push_header(&header);
+            out.push_down(frag);
+        }
+    }
+
+    fn process_up(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        let Some(header) = pkt.pop_header(8) else {
+            self.malformed_dropped += 1;
+            return;
+        };
+        let id = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        let index = u16::from_be_bytes([header[4], header[5]]) as usize;
+        let total = u16::from_be_bytes([header[6], header[7]]) as usize;
+        if total == 0 || index >= total {
+            self.malformed_dropped += 1;
+            return;
+        }
+        self.touch_counter += 1;
+        let touch = self.touch_counter;
+        let group = self.groups.entry(id).or_insert_with(|| Group {
+            parts: vec![None; total],
+            received: 0,
+            last_touch: touch,
+        });
+        group.last_touch = touch;
+        if group.parts.len() != total {
+            // Conflicting totals for one id: discard the group.
+            self.groups.remove(&id);
+            self.malformed_dropped += 1;
+            return;
+        }
+        if group.parts[index].is_none() {
+            group.parts[index] = Some(pkt.payload().to_vec());
+            group.received += 1;
+        }
+        if group.received == total {
+            let group = self.groups.remove(&id).expect("group present");
+            let mut assembled = Vec::new();
+            for part in group.parts {
+                assembled.extend_from_slice(&part.expect("all parts received"));
+            }
+            let mut whole = Packet::with_headroom(
+                &assembled,
+                crate::packet::DEFAULT_HEADROOM,
+                PacketKind::Data,
+            );
+            whole.set_kind(pkt.kind());
+            out.push_up(whole);
+        } else {
+            self.evict_if_needed();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fragments(m: &mut FragmentModule, payload: &[u8]) -> Vec<Packet> {
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(payload), &mut out);
+        out.take_down()
+    }
+
+    #[test]
+    fn small_packet_single_fragment() {
+        let mut m = FragmentModule::new(100);
+        let frags = fragments(&mut m, b"small");
+        assert_eq!(frags.len(), 1);
+        let mut out = Outputs::new();
+        m.process_up(frags.into_iter().next().unwrap(), &mut out);
+        assert_eq!(out.take_up()[0].payload(), b"small");
+    }
+
+    #[test]
+    fn large_packet_fragments_and_reassembles() {
+        let mut m = FragmentModule::new(10);
+        let payload: Vec<u8> = (0..95).map(|i| i as u8).collect();
+        let frags = fragments(&mut m, &payload);
+        assert_eq!(frags.len(), 10);
+        let mut out = Outputs::new();
+        for f in frags {
+            m.process_up(f, &mut out);
+        }
+        let up = out.take_up();
+        assert_eq!(up.len(), 1);
+        assert_eq!(up[0].payload(), &payload[..]);
+    }
+
+    #[test]
+    fn out_of_order_fragments_reassemble() {
+        let mut m = FragmentModule::new(4);
+        let payload = b"0123456789AB";
+        let mut frags = fragments(&mut m, payload);
+        frags.reverse();
+        let mut out = Outputs::new();
+        for f in frags {
+            m.process_up(f, &mut out);
+        }
+        assert_eq!(out.take_up()[0].payload(), payload);
+    }
+
+    #[test]
+    fn interleaved_groups_reassemble_independently() {
+        let mut m = FragmentModule::new(4);
+        let fa = fragments(&mut m, b"AAAAAAAA");
+        let fb = fragments(&mut m, b"BBBBBBBB");
+        let mut out = Outputs::new();
+        for (a, b) in fa.into_iter().zip(fb) {
+            m.process_up(a, &mut out);
+            m.process_up(b, &mut out);
+        }
+        let up = out.take_up();
+        assert_eq!(up.len(), 2);
+        assert_eq!(up[0].payload(), b"AAAAAAAA");
+        assert_eq!(up[1].payload(), b"BBBBBBBB");
+    }
+
+    #[test]
+    fn empty_packet_survives() {
+        let mut m = FragmentModule::new(8);
+        let frags = fragments(&mut m, b"");
+        assert_eq!(frags.len(), 1);
+        let mut out = Outputs::new();
+        m.process_up(frags.into_iter().next().unwrap(), &mut out);
+        assert_eq!(out.take_up()[0].payload(), b"");
+    }
+
+    #[test]
+    fn duplicate_fragment_ignored() {
+        let mut m = FragmentModule::new(4);
+        let frags = fragments(&mut m, b"01234567");
+        let dup = frags[0].clone();
+        let mut out = Outputs::new();
+        m.process_up(frags[0].clone(), &mut out);
+        m.process_up(dup, &mut out);
+        assert!(out.take_up().is_empty());
+        m.process_up(frags[1].clone(), &mut out);
+        assert_eq!(out.take_up()[0].payload(), b"01234567");
+    }
+
+    #[test]
+    fn stale_groups_evicted() {
+        let mut m = FragmentModule::new(1);
+        m.max_groups = 2;
+        // Three incomplete groups (each needs 2 fragments, send 1).
+        for payload in [b"aa", b"bb", b"cc"] {
+            let frags = fragments(&mut m, payload);
+            let mut out = Outputs::new();
+            m.process_up(frags.into_iter().next().unwrap(), &mut out);
+        }
+        assert_eq!(m.evicted_groups(), 1);
+        assert_eq!(m.groups.len(), 2);
+    }
+
+    #[test]
+    fn malformed_fragment_dropped() {
+        let mut m = FragmentModule::new(4);
+        let mut out = Outputs::new();
+        m.process_up(Packet::from_wire(b"short", PacketKind::Data), &mut out);
+        assert!(out.take_up().is_empty());
+        assert_eq!(m.malformed_dropped(), 1);
+        // index >= total
+        let mut bad = Packet::data(b"x");
+        let mut header = [0u8; 8];
+        header[4..6].copy_from_slice(&5u16.to_be_bytes());
+        header[6..8].copy_from_slice(&2u16.to_be_bytes());
+        bad.push_header(&header);
+        m.process_up(bad, &mut out);
+        assert_eq!(m.malformed_dropped(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_fragment_size_rejected() {
+        let _ = FragmentModule::new(0);
+    }
+}

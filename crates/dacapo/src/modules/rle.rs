@@ -1,0 +1,197 @@
+//! Run-length compression with a no-expansion guarantee.
+//!
+//! Encoding: the compressed form is a sequence of `(count, byte)` pairs.
+//! A one-byte flag is prepended on the wire: `1` = compressed, `0` = the
+//! original payload stored verbatim (chosen whenever compression would not
+//! shrink the packet, so worst-case overhead is exactly one byte).
+
+use crate::module::{Module, Outputs};
+use crate::packet::Packet;
+
+/// Encodes `data` as `(count, byte)` pairs.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut iter = data.iter().copied().peekable();
+    while let Some(byte) = iter.next() {
+        let mut run: u8 = 1;
+        while run < u8::MAX {
+            match iter.peek() {
+                Some(&next) if next == byte => {
+                    iter.next();
+                    run += 1;
+                }
+                _ => break,
+            }
+        }
+        out.push(run);
+        out.push(byte);
+    }
+    out
+}
+
+/// Decodes `(count, byte)` pairs; `None` on a malformed (odd-length)
+/// input.
+pub fn rle_decode(data: &[u8]) -> Option<Vec<u8>> {
+    if !data.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(data.len());
+    for pair in data.chunks_exact(2) {
+        let (count, byte) = (pair[0], pair[1]);
+        if count == 0 {
+            return None;
+        }
+        out.extend(std::iter::repeat_n(byte, count as usize));
+    }
+    Some(out)
+}
+
+/// Compression module using RLE with a verbatim fallback.
+#[derive(Debug, Default)]
+pub struct RleModule {
+    malformed_dropped: u64,
+    compressed_packets: u64,
+    verbatim_packets: u64,
+}
+
+impl RleModule {
+    /// Creates a compression module.
+    pub fn new() -> Self {
+        RleModule::default()
+    }
+
+    /// Packets that actually shrank.
+    pub fn compressed_packets(&self) -> u64 {
+        self.compressed_packets
+    }
+
+    /// Packets sent verbatim because compression would have grown them.
+    pub fn verbatim_packets(&self) -> u64 {
+        self.verbatim_packets
+    }
+
+    /// Inbound packets dropped as undecodable.
+    pub fn malformed_dropped(&self) -> u64 {
+        self.malformed_dropped
+    }
+}
+
+impl Module for RleModule {
+    fn name(&self) -> &str {
+        "rle"
+    }
+
+    fn process_down(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        let encoded = rle_encode(pkt.payload());
+        if encoded.len() < pkt.len() {
+            self.compressed_packets += 1;
+            pkt.set_payload(&encoded);
+            pkt.push_header(&[1]);
+        } else {
+            self.verbatim_packets += 1;
+            pkt.push_header(&[0]);
+        }
+        out.push_down(pkt);
+    }
+
+    fn process_up(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        let Some(flag) = pkt.pop_header(1) else {
+            self.malformed_dropped += 1;
+            return;
+        };
+        match flag[0] {
+            0 => out.push_up(pkt),
+            1 => match rle_decode(pkt.payload()) {
+                Some(decoded) => {
+                    pkt.set_payload(&decoded);
+                    out.push_up(pkt);
+                }
+                None => self.malformed_dropped += 1,
+            },
+            _ => self.malformed_dropped += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_identity() {
+        for data in [&b""[..], b"a", b"aaaa", b"abcabc", b"aaabbbcccc"] {
+            assert_eq!(rle_decode(&rle_encode(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_runs_split_at_255() {
+        let data = vec![7u8; 600];
+        let encoded = rle_encode(&data);
+        assert_eq!(encoded.len(), 6); // 255+255+90 -> three pairs
+        assert_eq!(rle_decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(rle_decode(&[1]).is_none());
+        assert!(rle_decode(&[0, 5]).is_none());
+    }
+
+    fn round_trip(m: &mut RleModule, payload: &[u8]) -> Vec<u8> {
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(payload), &mut out);
+        let wire = out.take_down().remove(0);
+        m.process_up(wire, &mut out);
+        out.take_up().remove(0).payload().to_vec()
+    }
+
+    #[test]
+    fn compressible_payload_shrinks_on_wire() {
+        let mut m = RleModule::new();
+        let payload = vec![0u8; 1000];
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(&payload), &mut out);
+        let wire = out.take_down().remove(0);
+        assert!(wire.len() < 20);
+        m.process_up(wire, &mut out);
+        assert_eq!(out.take_up()[0].payload(), &payload[..]);
+        assert_eq!(m.compressed_packets(), 1);
+    }
+
+    #[test]
+    fn incompressible_payload_costs_one_byte() {
+        let mut m = RleModule::new();
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(&payload), &mut out);
+        let wire = out.take_down().remove(0);
+        assert_eq!(wire.len(), payload.len() + 1);
+        m.process_up(wire, &mut out);
+        assert_eq!(out.take_up()[0].payload(), &payload[..]);
+        assert_eq!(m.verbatim_packets(), 1);
+    }
+
+    #[test]
+    fn module_round_trip_mixed() {
+        let mut m = RleModule::new();
+        assert_eq!(
+            round_trip(&mut m, b"aaaaaaaaaabbbbbbbbbb"),
+            b"aaaaaaaaaabbbbbbbbbb"
+        );
+        let random: Vec<u8> = (0..100).map(|i| (i * 37 % 251) as u8).collect();
+        assert_eq!(round_trip(&mut m, &random), random);
+    }
+
+    #[test]
+    fn bad_flag_dropped() {
+        let mut m = RleModule::new();
+        let mut out = Outputs::new();
+        m.process_up(
+            Packet::from_wire(&[9, 1, 2], crate::packet::PacketKind::Data),
+            &mut out,
+        );
+        assert!(out.take_up().is_empty());
+        assert_eq!(m.malformed_dropped(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Media scaling filter.
+//!
+//! The paper's introduction calls for *"filter modules to resolve
+//! incompatibilities among stream flow endpoints and/or to scale stream
+//! flows due to different network technologies in intermediate networks"*.
+//! This module performs temporal scaling: of every `keep + drop` packets
+//! travelling down, it forwards `keep` and discards `drop` — the classic
+//! frame-dropping filter that adapts a media stream to a slower link
+//! without touching the sender. The up direction is untouched.
+//!
+//! Scaling deliberately loses data, so the module is only ever inserted
+//! explicitly (by a stream binding that negotiated a lower rate), never by
+//! the generic configuration rules.
+
+use crate::module::{Module, Outputs};
+use crate::packet::Packet;
+
+/// Temporal scaling filter: keep `keep` of every `keep + drop` packets.
+#[derive(Debug)]
+pub struct ScalerModule {
+    keep: u32,
+    drop: u32,
+    position: u32,
+    dropped: u64,
+    forwarded: u64,
+}
+
+impl ScalerModule {
+    /// Creates a scaler forwarding `keep` of every `keep + drop` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero (a filter that forwards nothing is a
+    /// disconnect, not a scaler).
+    pub fn new(keep: u32, drop: u32) -> Self {
+        assert!(keep > 0, "scaler must keep at least one packet per cycle");
+        ScalerModule {
+            keep,
+            drop,
+            position: 0,
+            dropped: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// A pass-through scaler (keep everything).
+    pub fn identity() -> Self {
+        ScalerModule::new(1, 0)
+    }
+
+    /// Packets discarded so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// The fraction of packets this scaler forwards.
+    pub fn ratio(&self) -> f64 {
+        self.keep as f64 / (self.keep + self.drop) as f64
+    }
+}
+
+impl Module for ScalerModule {
+    fn name(&self) -> &str {
+        "scaler"
+    }
+
+    fn process_down(&mut self, pkt: Packet, out: &mut Outputs) {
+        let cycle = self.keep + self.drop;
+        let in_keep_phase = self.position < self.keep;
+        self.position = (self.position + 1) % cycle;
+        if in_keep_phase {
+            self.forwarded += 1;
+            out.push_down(pkt);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn process_up(&mut self, pkt: Packet, out: &mut Outputs) {
+        out.push_up(pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(keep: u32, drop: u32, n: usize) -> (usize, u64, u64) {
+        let mut m = ScalerModule::new(keep, drop);
+        let mut out = Outputs::new();
+        let mut passed = 0;
+        for i in 0..n {
+            m.process_down(Packet::data(&[i as u8]), &mut out);
+            passed += out.take_down().len();
+        }
+        (passed, m.forwarded(), m.dropped())
+    }
+
+    #[test]
+    fn half_rate_scaling() {
+        let (passed, forwarded, dropped) = run(1, 1, 100);
+        assert_eq!(passed, 50);
+        assert_eq!(forwarded, 50);
+        assert_eq!(dropped, 50);
+    }
+
+    #[test]
+    fn two_thirds_scaling() {
+        let (passed, ..) = run(2, 1, 99);
+        assert_eq!(passed, 66);
+    }
+
+    #[test]
+    fn identity_passes_everything() {
+        let (passed, _, dropped) = run(1, 0, 40);
+        assert_eq!(passed, 40);
+        assert_eq!(dropped, 0);
+        assert_eq!(ScalerModule::identity().ratio(), 1.0);
+    }
+
+    #[test]
+    fn up_direction_untouched() {
+        let mut m = ScalerModule::new(1, 9); // aggressive down-scaling
+        let mut out = Outputs::new();
+        for i in 0..10u8 {
+            m.process_up(Packet::data(&[i]), &mut out);
+        }
+        assert_eq!(out.take_up().len(), 10);
+    }
+
+    #[test]
+    fn ratio_reports_fraction() {
+        assert!((ScalerModule::new(1, 3).ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packet")]
+    fn zero_keep_rejected() {
+        let _ = ScalerModule::new(0, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Sequencing: in-order delivery without retransmission.
+//!
+//! The sender stamps each packet with a 4-byte sequence number; the
+//! receiver buffers out-of-order arrivals and releases contiguous runs.
+//! Without a retransmission function below it, a *lost* packet would stall
+//! the stream forever, so the reorder buffer is bounded: when it overflows,
+//! the module gives up on the gap and resumes from the lowest buffered
+//! sequence number (best-effort ordering, as appropriate for a
+//! configuration whose QoS did not ask for reliability).
+
+use crate::module::{Module, Outputs};
+use crate::packet::Packet;
+use std::collections::BTreeMap;
+
+/// Default bound on buffered out-of-order packets.
+pub const DEFAULT_REORDER_BUFFER: usize = 256;
+
+/// In-order delivery module.
+#[derive(Debug)]
+pub struct SeqModule {
+    next_tx: u32,
+    next_rx: u32,
+    buffer: BTreeMap<u32, Packet>,
+    max_buffer: usize,
+    gaps_skipped: u64,
+    duplicates_dropped: u64,
+}
+
+impl SeqModule {
+    /// Creates a sequencing module with the default reorder bound.
+    pub fn new() -> Self {
+        SeqModule::with_buffer(DEFAULT_REORDER_BUFFER)
+    }
+
+    /// Creates a sequencing module with an explicit reorder bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_buffer` is zero.
+    pub fn with_buffer(max_buffer: usize) -> Self {
+        assert!(max_buffer > 0, "reorder buffer must be nonzero");
+        SeqModule {
+            next_tx: 0,
+            next_rx: 0,
+            buffer: BTreeMap::new(),
+            max_buffer,
+            gaps_skipped: 0,
+            duplicates_dropped: 0,
+        }
+    }
+
+    /// Gaps abandoned due to buffer overflow.
+    pub fn gaps_skipped(&self) -> u64 {
+        self.gaps_skipped
+    }
+
+    /// Duplicate packets discarded.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    fn release_ready(&mut self, out: &mut Outputs) {
+        while let Some(pkt) = self.buffer.remove(&self.next_rx) {
+            out.push_up(pkt);
+            self.next_rx = self.next_rx.wrapping_add(1);
+        }
+    }
+}
+
+impl Default for SeqModule {
+    fn default() -> Self {
+        SeqModule::new()
+    }
+}
+
+impl Module for SeqModule {
+    fn name(&self) -> &str {
+        "seq"
+    }
+
+    fn process_down(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        pkt.push_header(&self.next_tx.to_be_bytes());
+        self.next_tx = self.next_tx.wrapping_add(1);
+        out.push_down(pkt);
+    }
+
+    fn process_up(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        let Some(header) = pkt.pop_header(4) else {
+            return; // not even a sequence number: drop
+        };
+        let seq = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        // Treat sequence numbers in wrapping arithmetic relative to next_rx.
+        let delta = seq.wrapping_sub(self.next_rx);
+        if delta == 0 {
+            out.push_up(pkt);
+            self.next_rx = self.next_rx.wrapping_add(1);
+            self.release_ready(out);
+        } else if delta > u32::MAX / 2 {
+            // Behind the cursor: duplicate or very late.
+            self.duplicates_dropped += 1;
+        } else {
+            self.buffer.insert(seq, pkt);
+            if self.buffer.len() > self.max_buffer {
+                // Give up on the gap: jump to the lowest buffered seq.
+                self.gaps_skipped += 1;
+                let (&lowest, _) = self.buffer.iter().next().expect("buffer nonempty");
+                self.next_rx = lowest;
+                self.release_ready(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamped(m: &mut SeqModule, payload: &[u8]) -> Packet {
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(payload), &mut out);
+        out.take_down().remove(0)
+    }
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let mut tx = SeqModule::new();
+        let mut rx = SeqModule::new();
+        let mut out = Outputs::new();
+        for i in 0..10u8 {
+            let wire = stamped(&mut tx, &[i]);
+            rx.process_up(wire, &mut out);
+        }
+        let got = out.take_up();
+        assert_eq!(got.len(), 10);
+        for (i, p) in got.iter().enumerate() {
+            assert_eq!(p.payload()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn reordering_is_repaired() {
+        let mut tx = SeqModule::new();
+        let mut rx = SeqModule::new();
+        let p0 = stamped(&mut tx, b"0");
+        let p1 = stamped(&mut tx, b"1");
+        let p2 = stamped(&mut tx, b"2");
+        let mut out = Outputs::new();
+        rx.process_up(p2, &mut out);
+        assert!(out.take_up().is_empty());
+        rx.process_up(p0, &mut out);
+        assert_eq!(out.take_up().len(), 1); // p0 released, p2 still waits
+        rx.process_up(p1, &mut out);
+        let released = out.take_up();
+        assert_eq!(released.len(), 2); // p1 then p2
+        assert_eq!(released[0].payload(), b"1");
+        assert_eq!(released[1].payload(), b"2");
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let mut tx = SeqModule::new();
+        let mut rx = SeqModule::new();
+        let p0 = stamped(&mut tx, b"0");
+        let dup = p0.clone();
+        let mut out = Outputs::new();
+        rx.process_up(p0, &mut out);
+        rx.process_up(dup, &mut out);
+        assert_eq!(out.take_up().len(), 1);
+        assert_eq!(rx.duplicates_dropped(), 1);
+    }
+
+    #[test]
+    fn gap_skipped_on_buffer_overflow() {
+        let mut tx = SeqModule::new();
+        let mut rx = SeqModule::with_buffer(4);
+        let lost = stamped(&mut tx, b"L"); // seq 0, never delivered
+        drop(lost);
+        let mut out = Outputs::new();
+        let mut delivered = 0;
+        for i in 1..=6u8 {
+            let wire = stamped(&mut tx, &[i]);
+            rx.process_up(wire, &mut out);
+            delivered += out.take_up().len();
+        }
+        // Overflow at the 5th buffered packet skips the gap and releases.
+        assert!(delivered >= 5, "only {delivered} delivered");
+        assert_eq!(rx.gaps_skipped(), 1);
+    }
+
+    #[test]
+    fn short_packet_dropped() {
+        let mut rx = SeqModule::new();
+        let mut out = Outputs::new();
+        rx.process_up(
+            Packet::from_wire(b"ab", crate::packet::PacketKind::Data),
+            &mut out,
+        );
+        assert!(out.take_up().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_buffer_rejected() {
+        let _ = SeqModule::with_buffer(0);
+    }
+}

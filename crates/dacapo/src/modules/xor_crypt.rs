@@ -1,0 +1,148 @@
+//! XOR-keystream encryption.
+//!
+//! A deliberately lightweight confidentiality mechanism: each packet is
+//! XORed with a keystream derived from the connection key and a per-packet
+//! nonce carried in a 4-byte header, so packet loss or reordering never
+//! desynchronises the cipher. This stands in for the paper's "de- and
+//! encryption" protocol function; the point of the reproduction is the
+//! *configuration machinery*, not cryptographic strength.
+
+use crate::module::{Module, Outputs};
+use crate::packet::Packet;
+
+/// Packet-synchronised XOR cipher module.
+#[derive(Debug)]
+pub struct XorCryptModule {
+    key: Vec<u8>,
+    next_nonce: u32,
+    rejected: u64,
+}
+
+impl XorCryptModule {
+    /// Creates a cipher with the given connection key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty — an empty key would be the identity
+    /// transformation and silently provide no confidentiality.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(!key.is_empty(), "encryption key must not be empty");
+        XorCryptModule {
+            key: key.to_vec(),
+            next_nonce: 1,
+            rejected: 0,
+        }
+    }
+
+    /// Packets dropped because they were too short to carry a nonce.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    fn apply_keystream(&self, nonce: u32, data: &mut [u8]) {
+        // keystream byte i = key[i mod k] ^ rot(nonce bytes)
+        let nb = nonce.to_le_bytes();
+        for (i, byte) in data.iter_mut().enumerate() {
+            let k = self.key[i % self.key.len()];
+            *byte ^= k ^ nb[i % 4] ^ (i as u8).wrapping_mul(31);
+        }
+    }
+}
+
+impl Module for XorCryptModule {
+    fn name(&self) -> &str {
+        "xor-crypt"
+    }
+
+    fn process_down(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        let nonce = self.next_nonce;
+        self.next_nonce = self.next_nonce.wrapping_add(1);
+        self.apply_keystream(nonce, pkt.payload_mut());
+        pkt.push_header(&nonce.to_be_bytes());
+        out.push_down(pkt);
+    }
+
+    fn process_up(&mut self, mut pkt: Packet, out: &mut Outputs) {
+        let Some(header) = pkt.pop_header(4) else {
+            self.rejected += 1;
+            return;
+        };
+        let nonce = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        self.apply_keystream(nonce, pkt.payload_mut());
+        out.push_up(pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut sender = XorCryptModule::new(b"secret");
+        let mut receiver = XorCryptModule::new(b"secret");
+        let mut out = Outputs::new();
+        sender.process_down(Packet::data(b"attack at dawn"), &mut out);
+        let wire = out.take_down().remove(0);
+        assert_ne!(
+            &wire.payload()[4..],
+            b"attack at dawn",
+            "payload must be scrambled"
+        );
+        receiver.process_up(wire, &mut out);
+        assert_eq!(out.take_up()[0].payload(), b"attack at dawn");
+    }
+
+    #[test]
+    fn nonce_makes_identical_payloads_differ() {
+        let mut m = XorCryptModule::new(b"k");
+        let mut out = Outputs::new();
+        m.process_down(Packet::data(b"same"), &mut out);
+        m.process_down(Packet::data(b"same"), &mut out);
+        let frames = out.take_down();
+        assert_ne!(frames[0].payload(), frames[1].payload());
+    }
+
+    #[test]
+    fn loss_tolerant_decryption() {
+        // Drop the first packet; the second still decrypts because the
+        // nonce travels with it.
+        let mut sender = XorCryptModule::new(b"key");
+        let mut receiver = XorCryptModule::new(b"key");
+        let mut out = Outputs::new();
+        sender.process_down(Packet::data(b"lost"), &mut out);
+        sender.process_down(Packet::data(b"kept"), &mut out);
+        let kept = out.take_down().remove(1);
+        receiver.process_up(kept, &mut out);
+        assert_eq!(out.take_up()[0].payload(), b"kept");
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let mut sender = XorCryptModule::new(b"right");
+        let mut receiver = XorCryptModule::new(b"wrong");
+        let mut out = Outputs::new();
+        sender.process_down(Packet::data(b"plaintext"), &mut out);
+        let wire = out.take_down().remove(0);
+        receiver.process_up(wire, &mut out);
+        assert_ne!(out.take_up()[0].payload(), b"plaintext");
+    }
+
+    #[test]
+    fn short_packet_rejected() {
+        let mut m = XorCryptModule::new(b"k");
+        let mut out = Outputs::new();
+        m.process_up(
+            Packet::from_wire(b"ab", crate::packet::PacketKind::Data),
+            &mut out,
+        );
+        assert!(out.take_up().is_empty());
+        assert_eq!(m.rejected(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "key must not be empty")]
+    fn empty_key_rejected() {
+        let _ = XorCryptModule::new(b"");
+    }
+}

@@ -1,0 +1,265 @@
+//! Packets: the unit of data flowing through module graphs.
+//!
+//! In the original Da CaPo, packets live in shared memory and modules
+//! exchange *pointers* over their queues (Figure 6). The Rust equivalent is
+//! an owned [`Packet`] moved through channels — a move is two machine
+//! words; the payload is never copied by the queueing machinery itself.
+//!
+//! Protocol modules add their header on the way **down** and strip it on
+//! the way **up**. To make both operations O(header), a packet keeps spare
+//! *headroom* in front of the payload: [`Packet::push_header`] writes into
+//! the headroom, [`Packet::pop_header`] gives it back. Trailers work
+//! symmetrically at the tail.
+
+use bytes::Bytes;
+
+/// Default headroom reserved for module headers (bytes).
+pub const DEFAULT_HEADROOM: usize = 64;
+
+/// Whether a packet carries application data or module-to-module control
+/// information (acknowledgements, window updates, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Application payload.
+    Data,
+    /// Protocol-internal control traffic.
+    Control,
+}
+
+/// A packet travelling through a module graph.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    storage: Vec<u8>,
+    start: usize,
+    end: usize,
+    kind: PacketKind,
+}
+
+impl Packet {
+    /// Creates a data packet from an application payload, reserving
+    /// [`DEFAULT_HEADROOM`] in front.
+    pub fn data(payload: &[u8]) -> Self {
+        Packet::with_headroom(payload, DEFAULT_HEADROOM, PacketKind::Data)
+    }
+
+    /// Creates a control packet with the given body.
+    pub fn control(body: &[u8]) -> Self {
+        Packet::with_headroom(body, DEFAULT_HEADROOM, PacketKind::Control)
+    }
+
+    /// Creates a packet with explicit headroom.
+    pub fn with_headroom(payload: &[u8], headroom: usize, kind: PacketKind) -> Self {
+        let mut storage = vec![0u8; headroom + payload.len()];
+        storage[headroom..].copy_from_slice(payload);
+        Packet {
+            storage,
+            start: headroom,
+            end: headroom + payload.len(),
+            kind,
+        }
+    }
+
+    /// Reconstructs a packet from a raw wire frame (no headroom needed on
+    /// the way up — headers are only *removed*).
+    pub fn from_wire(frame: &[u8], kind: PacketKind) -> Self {
+        Packet::with_headroom(frame, 0, kind)
+    }
+
+    /// The packet kind.
+    pub fn kind(&self) -> PacketKind {
+        self.kind
+    }
+
+    /// Reinterprets the packet kind (used when a control packet is
+    /// recognised at its destination layer).
+    pub fn set_kind(&mut self, kind: PacketKind) {
+        self.kind = kind;
+    }
+
+    /// Current payload view (between all pushed headers and trailers).
+    pub fn payload(&self) -> &[u8] {
+        &self.storage[self.start..self.end]
+    }
+
+    /// Mutable payload view.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.storage[self.start..self.end]
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the payload into an owned [`Bytes`].
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::copy_from_slice(self.payload())
+    }
+
+    /// Prepends `header` to the payload, growing the storage if the
+    /// headroom is exhausted.
+    pub fn push_header(&mut self, header: &[u8]) {
+        if header.len() > self.start {
+            // Grow: reallocate with fresh headroom in front.
+            let needed = header.len() + DEFAULT_HEADROOM;
+            let mut storage = vec![0u8; needed + (self.end - self.start)];
+            storage[needed..].copy_from_slice(self.payload());
+            self.storage = storage;
+            self.end = self.storage.len();
+            self.start = needed;
+        }
+        self.start -= header.len();
+        self.storage[self.start..self.start + header.len()].copy_from_slice(header);
+    }
+
+    /// Removes and returns the first `n` payload bytes (a header pushed by
+    /// the peer module).
+    ///
+    /// Returns `None` if the payload is shorter than `n`.
+    pub fn pop_header(&mut self, n: usize) -> Option<Vec<u8>> {
+        if self.len() < n {
+            return None;
+        }
+        let header = self.storage[self.start..self.start + n].to_vec();
+        self.start += n;
+        Some(header)
+    }
+
+    /// Appends `trailer` after the payload.
+    pub fn push_trailer(&mut self, trailer: &[u8]) {
+        if self.end + trailer.len() > self.storage.len() {
+            self.storage.resize(self.end + trailer.len(), 0);
+        }
+        self.storage[self.end..self.end + trailer.len()].copy_from_slice(trailer);
+        self.end += trailer.len();
+    }
+
+    /// Removes and returns the last `n` payload bytes.
+    ///
+    /// Returns `None` if the payload is shorter than `n`.
+    pub fn pop_trailer(&mut self, n: usize) -> Option<Vec<u8>> {
+        if self.len() < n {
+            return None;
+        }
+        let trailer = self.storage[self.end - n..self.end].to_vec();
+        self.end -= n;
+        Some(trailer)
+    }
+
+    /// Replaces the payload entirely (used by transforming modules such as
+    /// compression).
+    pub fn set_payload(&mut self, payload: &[u8]) {
+        if self.start + payload.len() <= self.storage.len() {
+            self.storage[self.start..self.start + payload.len()].copy_from_slice(payload);
+            self.end = self.start + payload.len();
+        } else {
+            let headroom = self.start;
+            let mut storage = vec![0u8; headroom + payload.len()];
+            storage[headroom..].copy_from_slice(payload);
+            self.storage = storage;
+            self.end = headroom + payload.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_round_trip() {
+        let p = Packet::data(b"payload");
+        assert_eq!(p.payload(), b"payload");
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.kind(), PacketKind::Data);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn header_push_pop() {
+        let mut p = Packet::data(b"body");
+        p.push_header(b"H1");
+        p.push_header(b"H2");
+        assert_eq!(p.payload(), b"H2H1body");
+        assert_eq!(p.pop_header(2).unwrap(), b"H2");
+        assert_eq!(p.pop_header(2).unwrap(), b"H1");
+        assert_eq!(p.payload(), b"body");
+    }
+
+    #[test]
+    fn trailer_push_pop() {
+        let mut p = Packet::data(b"body");
+        p.push_trailer(b"T1");
+        p.push_trailer(b"T2");
+        assert_eq!(p.payload(), b"bodyT1T2");
+        assert_eq!(p.pop_trailer(2).unwrap(), b"T2");
+        assert_eq!(p.pop_trailer(2).unwrap(), b"T1");
+        assert_eq!(p.payload(), b"body");
+    }
+
+    #[test]
+    fn pop_beyond_payload_returns_none() {
+        let mut p = Packet::data(b"ab");
+        assert!(p.pop_header(3).is_none());
+        assert!(p.pop_trailer(3).is_none());
+        assert_eq!(p.payload(), b"ab");
+    }
+
+    #[test]
+    fn headroom_overflow_grows() {
+        let mut p = Packet::with_headroom(b"x", 2, PacketKind::Data);
+        let big_header = vec![7u8; 100];
+        p.push_header(&big_header);
+        assert_eq!(p.len(), 101);
+        assert_eq!(&p.payload()[..100], &big_header[..]);
+        assert_eq!(p.payload()[100], b'x');
+        // Further headers still work.
+        p.push_header(b"hh");
+        assert_eq!(&p.payload()[..2], b"hh");
+    }
+
+    #[test]
+    fn from_wire_strips_nothing() {
+        let p = Packet::from_wire(b"frame", PacketKind::Data);
+        assert_eq!(p.payload(), b"frame");
+    }
+
+    #[test]
+    fn set_payload_shrink_and_grow() {
+        let mut p = Packet::data(b"abcdef");
+        p.set_payload(b"xy");
+        assert_eq!(p.payload(), b"xy");
+        let long = vec![1u8; 500];
+        p.set_payload(&long);
+        assert_eq!(p.payload(), &long[..]);
+    }
+
+    #[test]
+    fn control_packets_marked() {
+        let mut p = Packet::control(b"ack");
+        assert_eq!(p.kind(), PacketKind::Control);
+        p.set_kind(PacketKind::Data);
+        assert_eq!(p.kind(), PacketKind::Data);
+    }
+
+    #[test]
+    fn payload_mut_mutates_in_place() {
+        let mut p = Packet::data(b"abc");
+        p.payload_mut()[0] = b'z';
+        assert_eq!(p.payload(), b"zbc");
+    }
+
+    #[test]
+    fn headers_after_growth_preserve_content() {
+        let mut p = Packet::with_headroom(b"data", 0, PacketKind::Data);
+        p.push_header(b"ABCD");
+        assert_eq!(p.payload(), b"ABCDdata");
+        assert_eq!(p.pop_header(4).unwrap(), b"ABCD");
+        assert_eq!(p.payload(), b"data");
+    }
+}

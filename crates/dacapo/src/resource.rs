@@ -1,0 +1,274 @@
+//! Resource management: the unilateral admission half of Da CaPo.
+//!
+//! Before a configuration runs, the resource manager checks it against the
+//! endsystem budget (CPU, memory) and the network budget (bandwidth). *"If
+//! it is impossible for Da CaPo to reserve sufficiently enough resources,
+//! it informs the client with an exception that it cannot support the
+//! requested QoS"* (Section 4.3) — here that exception is
+//! [`DacapoError::ResourceDenied`].
+
+use crate::catalog::MechanismCatalog;
+use crate::error::DacapoError;
+use crate::graph::ModuleGraph;
+use multe_qos::TransportRequirements;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Endsystem and network budgets guarded by a [`ResourceManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Total CPU units available for module processing (arbitrary units,
+    /// matching [`crate::functions::MechanismProperties::cpu_cost`]).
+    pub cpu_units: u32,
+    /// Total memory for module buffers, in bytes.
+    pub memory_bytes: usize,
+    /// Reservable network bandwidth, bits per second.
+    pub bandwidth_bps: u64,
+}
+
+impl Default for ResourceBudget {
+    /// A workstation-class budget: generous, but finite.
+    fn default() -> Self {
+        ResourceBudget {
+            cpu_units: 1_000,
+            memory_bytes: 256 * 1024 * 1024,
+            bandwidth_bps: 155_000_000,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Usage {
+    cpu_units: u32,
+    memory_bytes: usize,
+    bandwidth_bps: u64,
+}
+
+/// Tracks admitted configurations against a [`ResourceBudget`].
+#[derive(Debug, Clone)]
+pub struct ResourceManager {
+    budget: ResourceBudget,
+    usage: Arc<Mutex<Usage>>,
+}
+
+impl ResourceManager {
+    /// Creates a manager over the given budget.
+    pub fn new(budget: ResourceBudget) -> Self {
+        ResourceManager {
+            budget,
+            usage: Arc::new(Mutex::new(Usage {
+                cpu_units: 0,
+                memory_bytes: 0,
+                bandwidth_bps: 0,
+            })),
+        }
+    }
+
+    /// The guarded budget.
+    pub fn budget(&self) -> ResourceBudget {
+        self.budget
+    }
+
+    /// Currently admitted CPU units.
+    pub fn used_cpu(&self) -> u32 {
+        self.usage.lock().cpu_units
+    }
+
+    /// Currently admitted memory.
+    pub fn used_memory(&self) -> usize {
+        self.usage.lock().memory_bytes
+    }
+
+    /// Currently admitted bandwidth.
+    pub fn used_bandwidth(&self) -> u64 {
+        self.usage.lock().bandwidth_bps
+    }
+
+    /// Attempts to admit a configuration with its QoS requirements.
+    ///
+    /// On success the returned [`ResourceGrant`] holds the resources until
+    /// dropped (connection teardown).
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::ResourceDenied`] naming the exhausted resource.
+    pub fn admit(
+        &self,
+        graph: &ModuleGraph,
+        catalog: &MechanismCatalog,
+        req: &TransportRequirements,
+    ) -> Result<ResourceGrant, DacapoError> {
+        let cpu = graph.cpu_cost(catalog);
+        let memory = graph.memory_cost(catalog);
+        let bandwidth = req.bandwidth_bps.unwrap_or(0);
+
+        let mut usage = self.usage.lock();
+        if usage.cpu_units + cpu > self.budget.cpu_units {
+            return Err(DacapoError::ResourceDenied {
+                resource: format!(
+                    "cpu: need {cpu} units, {} of {} in use",
+                    usage.cpu_units, self.budget.cpu_units
+                ),
+            });
+        }
+        if usage.memory_bytes + memory > self.budget.memory_bytes {
+            return Err(DacapoError::ResourceDenied {
+                resource: format!(
+                    "memory: need {memory} bytes, {} of {} in use",
+                    usage.memory_bytes, self.budget.memory_bytes
+                ),
+            });
+        }
+        if usage.bandwidth_bps + bandwidth > self.budget.bandwidth_bps {
+            return Err(DacapoError::ResourceDenied {
+                resource: format!(
+                    "bandwidth: need {bandwidth} bps, {} of {} in use",
+                    usage.bandwidth_bps, self.budget.bandwidth_bps
+                ),
+            });
+        }
+        usage.cpu_units += cpu;
+        usage.memory_bytes += memory;
+        usage.bandwidth_bps += bandwidth;
+        Ok(ResourceGrant {
+            usage: self.usage.clone(),
+            cpu_units: cpu,
+            memory_bytes: memory,
+            bandwidth_bps: bandwidth,
+        })
+    }
+}
+
+impl Default for ResourceManager {
+    fn default() -> Self {
+        ResourceManager::new(ResourceBudget::default())
+    }
+}
+
+/// Resources held by an admitted configuration; released on drop.
+#[derive(Debug)]
+pub struct ResourceGrant {
+    usage: Arc<Mutex<Usage>>,
+    cpu_units: u32,
+    memory_bytes: usize,
+    bandwidth_bps: u64,
+}
+
+impl ResourceGrant {
+    /// CPU units held.
+    pub fn cpu_units(&self) -> u32 {
+        self.cpu_units
+    }
+
+    /// Memory held, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Bandwidth held, bits per second.
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.bandwidth_bps
+    }
+}
+
+impl Drop for ResourceGrant {
+    fn drop(&mut self) {
+        let mut usage = self.usage.lock();
+        usage.cpu_units -= self.cpu_units;
+        usage.memory_bytes -= self.memory_bytes;
+        usage.bandwidth_bps -= self.bandwidth_bps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ModuleGraph;
+
+    fn small_budget() -> ResourceManager {
+        ResourceManager::new(ResourceBudget {
+            cpu_units: 10,
+            memory_bytes: 4 * 1024 * 1024,
+            bandwidth_bps: 1_000,
+        })
+    }
+
+    #[test]
+    fn admit_and_release() {
+        let mgr = small_budget();
+        let catalog = MechanismCatalog::standard();
+        let graph = ModuleGraph::from_ids(["crc32"]);
+        let req = TransportRequirements {
+            bandwidth_bps: Some(500),
+            ..Default::default()
+        };
+        let grant = mgr.admit(&graph, &catalog, &req).unwrap();
+        assert_eq!(grant.bandwidth_bps(), 500);
+        assert!(mgr.used_cpu() > 0);
+        assert_eq!(mgr.used_bandwidth(), 500);
+        drop(grant);
+        assert_eq!(mgr.used_cpu(), 0);
+        assert_eq!(mgr.used_bandwidth(), 0);
+    }
+
+    #[test]
+    fn cpu_exhaustion_denied() {
+        let mgr = small_budget();
+        let catalog = MechanismCatalog::standard();
+        // go-back-n(5) + crc16(6) = 11 cpu > 10.
+        let graph = ModuleGraph::from_ids(["go-back-n", "crc16"]);
+        let err = mgr
+            .admit(&graph, &catalog, &TransportRequirements::best_effort())
+            .unwrap_err();
+        assert!(matches!(err, DacapoError::ResourceDenied { .. }));
+        assert!(err.to_string().contains("cpu"));
+    }
+
+    #[test]
+    fn memory_exhaustion_denied() {
+        let mgr = small_budget();
+        let catalog = MechanismCatalog::standard();
+        // go-back-n alone costs 2 MiB; two of them exceed 4 MiB.
+        let graph = ModuleGraph::from_ids(["go-back-n"]);
+        let _g1 = mgr
+            .admit(&graph, &catalog, &TransportRequirements::best_effort())
+            .unwrap();
+        let g2 = mgr
+            .admit(&graph, &catalog, &TransportRequirements::best_effort())
+            .unwrap();
+        let err = mgr
+            .admit(&graph, &catalog, &TransportRequirements::best_effort())
+            .unwrap_err();
+        assert!(err.to_string().contains("memory") || err.to_string().contains("cpu"));
+        drop(g2);
+    }
+
+    #[test]
+    fn bandwidth_exhaustion_denied() {
+        let mgr = small_budget();
+        let catalog = MechanismCatalog::standard();
+        let graph = ModuleGraph::empty();
+        let req = TransportRequirements {
+            bandwidth_bps: Some(2_000),
+            ..Default::default()
+        };
+        let err = mgr.admit(&graph, &catalog, &req).unwrap_err();
+        assert!(err.to_string().contains("bandwidth"));
+    }
+
+    #[test]
+    fn empty_graph_best_effort_is_free() {
+        let mgr = small_budget();
+        let catalog = MechanismCatalog::standard();
+        let grant = mgr
+            .admit(
+                &ModuleGraph::empty(),
+                &catalog,
+                &TransportRequirements::best_effort(),
+            )
+            .unwrap();
+        assert_eq!(grant.cpu_units(), 0);
+        assert_eq!(grant.memory_bytes(), 0);
+        assert_eq!(grant.bandwidth_bps(), 0);
+    }
+}

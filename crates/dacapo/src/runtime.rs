@@ -1,0 +1,521 @@
+//! The module-graph runtime: one thread per module, message queues in
+//! between.
+//!
+//! This is the paper's Figure 6 materialised: *"Each module in Da CaPo is
+//! executed by a single thread … Modules exchange pointers to packets over
+//! message queues. Each module has two message queues associated: one for
+//! data and one for control information."* Here the two directions (down =
+//! towards the wire, up = towards the application) are the two queues;
+//! control packets share the queues and are told apart by module-level
+//! header tags, which keeps the wire format self-describing.
+//!
+//! Backpressure discipline: **down** channels are bounded — a module whose
+//! [`Module::ready_for_down`] returns `false` simply stops draining its
+//! down queue, which stalls everything above it up to the application
+//! (that is how the IRQ configuration throttles Figure 9's sender).
+//! **Up** channels are unbounded: the wire already paces them, and keeping
+//! them non-blocking rules out send/send deadlock between neighbouring
+//! threads.
+
+use crate::alayer::AppEndpoint;
+use crate::module::{Module, Outputs};
+use crate::packet::{Packet, PacketKind};
+use crate::stats::ThroughputMeter;
+use crate::tlayer::Transport;
+use crate::DacapoError;
+use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for a running stack.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Capacity of each bounded down-direction queue.
+    pub channel_capacity: usize,
+    /// Interval between [`Module::on_tick`] callbacks (drives ARQ
+    /// retransmission).
+    pub tick_interval: Duration,
+    /// Poll interval of the transport receive pump (bounds shutdown
+    /// latency: pump threads notice the shutdown flag within one poll).
+    pub rx_poll: Duration,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            channel_capacity: 128,
+            tick_interval: Duration::from_millis(20),
+            rx_poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A running module stack bound to a transport.
+#[derive(Debug)]
+pub struct StackHandle {
+    app: AppEndpoint,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    module_names: Vec<String>,
+    /// Observers over every inter-module queue. These are *sender* clones
+    /// used only for `is_empty()`: receiver clones would keep the channels
+    /// connected and leave a module blocked in a bounded `send` hanging
+    /// forever at shutdown.
+    queue_probes: Vec<Sender<Packet>>,
+    /// Per-module idle flags maintained by the module threads.
+    idle_flags: Vec<Arc<AtomicBool>>,
+}
+
+impl StackHandle {
+    /// The application endpoint of this stack.
+    pub fn endpoint(&self) -> &AppEndpoint {
+        &self.app
+    }
+
+    /// Names of the running modules, top to bottom.
+    pub fn module_names(&self) -> &[String] {
+        &self.module_names
+    }
+
+    /// Number of worker threads (modules + 2 transport pumps).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether every queue is empty and every module reports no deferred
+    /// state — i.e. all application traffic has reached the transport (or
+    /// the application) and no ARQ window is outstanding.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue_probes.iter().all(|q| q.is_empty())
+            && self.idle_flags.iter().all(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Waits up to `timeout` for the stack to quiesce; returns whether it
+    /// did. Used for graceful teardown: close after `drain` loses nothing.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.is_quiescent() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops all stack threads and joins them. The transport itself is
+    /// *not* closed — the caller may rebuild a new stack on it
+    /// (reconfiguration).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StackHandle {
+    fn drop(&mut self) {
+        // Signal but do not join: destructors must not block. An explicit
+        // `shutdown()` joins cleanly.
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// Builds and starts a stack: `modules` top-to-bottom between the
+/// application and `transport`.
+pub fn build_stack(
+    modules: Vec<Box<dyn Module>>,
+    transport: Arc<dyn Transport>,
+    opts: &RuntimeOptions,
+) -> StackHandle {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let module_names: Vec<String> = modules.iter().map(|m| m.name().to_owned()).collect();
+    let mut threads = Vec::new();
+    let mut queue_probes: Vec<Sender<Packet>> = Vec::new();
+    let mut idle_flags: Vec<Arc<AtomicBool>> = Vec::new();
+
+    let n = modules.len();
+    // Down channels: d[0] = app -> first module … d[n] = last module -> T.
+    let mut down_tx = Vec::with_capacity(n + 1);
+    let mut down_rx = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        let (tx, rx) = bounded::<Packet>(opts.channel_capacity);
+        queue_probes.push(tx.clone());
+        down_tx.push(tx);
+        down_rx.push(rx);
+    }
+    // Up channels: u[0] = first module -> app … u[n] = T -> last module.
+    let mut up_tx = Vec::with_capacity(n + 1);
+    let mut up_rx = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        let (tx, rx) = unbounded::<Packet>();
+        queue_probes.push(tx.clone());
+        up_tx.push(tx);
+        up_rx.push(rx);
+    }
+
+    // Module threads. Module i consumes down_rx[i] and up_rx[i+1], and
+    // produces into down_tx[i+1] and up_tx[i].
+    let mut down_rx_iter = down_rx.into_iter();
+    let first_down_rx = down_rx_iter.next().expect("at least one down channel");
+    let mut prev_down_rx = first_down_rx;
+    for (i, module) in modules.into_iter().enumerate() {
+        let down_in = prev_down_rx;
+        prev_down_rx = down_rx_iter.next().expect("down channel per module");
+        let up_in = up_rx[i + 1].clone();
+        let down_out = down_tx[i + 1].clone();
+        let up_out = up_tx[i].clone();
+        let flag = shutdown.clone();
+        let tick = opts.tick_interval;
+        let idle = Arc::new(AtomicBool::new(true));
+        idle_flags.push(idle.clone());
+        let name = format!("dacapo-mod-{}", module.name());
+        threads.push(
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || {
+                    module_loop(module, down_in, up_in, down_out, up_out, flag, tick, idle)
+                })
+                .expect("spawn module thread"),
+        );
+    }
+    // The remaining down receiver feeds the transport TX pump.
+    let t_down_rx = prev_down_rx;
+
+    // Transport TX pump.
+    {
+        let transport = transport.clone();
+        let flag = shutdown.clone();
+        let poll = opts.rx_poll;
+        threads.push(
+            std::thread::Builder::new()
+                .name("dacapo-t-tx".into())
+                .spawn(move || loop {
+                    if flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match t_down_rx.recv_timeout(poll) {
+                        Ok(pkt) => {
+                            if transport.send(pkt.to_bytes()).is_err() {
+                                return;
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                })
+                .expect("spawn t-tx thread"),
+        );
+    }
+
+    // Transport RX pump feeds up_tx[n] (bottom of the up chain).
+    {
+        let transport = transport.clone();
+        let flag = shutdown.clone();
+        let up_bottom = up_tx[n].clone();
+        let poll = opts.rx_poll;
+        threads.push(
+            std::thread::Builder::new()
+                .name("dacapo-t-rx".into())
+                .spawn(move || loop {
+                    if flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match transport.recv_timeout(poll) {
+                        Ok(frame) => {
+                            let pkt = Packet::from_wire(&frame, PacketKind::Data);
+                            if up_bottom.send(pkt).is_err() {
+                                return;
+                            }
+                        }
+                        Err(DacapoError::Timeout(_)) => continue,
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn t-rx thread"),
+        );
+    }
+
+    let tx_meter = Arc::new(ThroughputMeter::new());
+    let rx_meter = Arc::new(ThroughputMeter::new());
+    let app = AppEndpoint::new(down_tx[0].clone(), up_rx[0].clone(), tx_meter, rx_meter);
+
+    // Drop our copies of intermediate senders so threads observe
+    // disconnection when their upstream exits.
+    drop(down_tx);
+    drop(up_tx);
+    drop(up_rx);
+
+    StackHandle {
+        app,
+        shutdown,
+        threads,
+        module_names,
+        queue_probes,
+        idle_flags,
+    }
+}
+
+/// One module's event loop.
+#[allow(clippy::too_many_arguments)]
+fn module_loop(
+    mut module: Box<dyn Module>,
+    down_in: Receiver<Packet>,
+    up_in: Receiver<Packet>,
+    down_out: Sender<Packet>,
+    up_out: Sender<Packet>,
+    shutdown: Arc<AtomicBool>,
+    tick_interval: Duration,
+    idle: Arc<AtomicBool>,
+) {
+    let start = Instant::now();
+    let mut out = Outputs::new();
+    let mut down_open = true;
+    let mut up_open = true;
+
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !down_open && !up_open {
+            return;
+        }
+
+        // Select over the currently admissible inputs.
+        let take_down = down_open && module.ready_for_down();
+        let mut sel = Select::new();
+        let up_idx = if up_open {
+            Some(sel.recv(&up_in))
+        } else {
+            None
+        };
+        let down_idx = if take_down {
+            Some(sel.recv(&down_in))
+        } else {
+            None
+        };
+
+        if up_idx.is_none() && down_idx.is_none() {
+            // Nothing to wait on except ticks (e.g. ARQ draining its
+            // window after the app hung up).
+            std::thread::sleep(tick_interval);
+            module.on_tick(start.elapsed(), &mut out);
+        } else {
+            match sel.select_timeout(tick_interval) {
+                Ok(op) if Some(op.index()) == up_idx => match op.recv(&up_in) {
+                    Ok(pkt) => module.process_up(pkt, &mut out),
+                    Err(_) => up_open = false,
+                },
+                Ok(op) => match op.recv(&down_in) {
+                    Ok(pkt) => module.process_down(pkt, &mut out),
+                    Err(_) => down_open = false,
+                },
+                Err(_) => module.on_tick(start.elapsed(), &mut out),
+            }
+        }
+
+        for pkt in out.take_down() {
+            if down_out.send(pkt).is_err() {
+                return; // downstream gone: the stack is dead
+            }
+        }
+        for pkt in out.take_up() {
+            // Up channels are unbounded; a closed upstream just means the
+            // application side is gone — keep running so in-flight ARQ
+            // traffic can still drain.
+            let _ = up_out.send(pkt);
+        }
+        idle.store(module.is_idle(), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MechanismCatalog, ModuleParams};
+    use crate::functions::MechanismId;
+    use crate::tlayer::loopback_pair;
+    use bytes::Bytes;
+
+    fn modules_from(ids: &[&str]) -> Vec<Box<dyn Module>> {
+        let catalog = MechanismCatalog::standard();
+        let params = ModuleParams::default();
+        ids.iter()
+            .map(|id| {
+                catalog
+                    .get(&MechanismId::new(id))
+                    .unwrap()
+                    .instantiate(&params)
+            })
+            .collect()
+    }
+
+    fn stack_pair(ids: &[&str]) -> (StackHandle, StackHandle) {
+        let (ta, tb) = loopback_pair();
+        let opts = RuntimeOptions::default();
+        let a = build_stack(modules_from(ids), Arc::new(ta), &opts);
+        let b = build_stack(modules_from(ids), Arc::new(tb), &opts);
+        (a, b)
+    }
+
+    #[test]
+    fn empty_stack_round_trip() {
+        let (a, b) = stack_pair(&[]);
+        a.endpoint().send(Bytes::from_static(b"hi")).unwrap();
+        let got = b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&got[..], b"hi");
+        assert_eq!(a.thread_count(), 2);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn dummy_chain_round_trip() {
+        let (a, b) = stack_pair(&["dummy", "dummy", "dummy"]);
+        assert_eq!(a.thread_count(), 5);
+        for i in 0..20u8 {
+            a.endpoint().send(Bytes::from(vec![i; 100])).unwrap();
+        }
+        for i in 0..20u8 {
+            let got = b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got[0], i);
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn crc_stack_round_trip() {
+        let (a, b) = stack_pair(&["crc32"]);
+        a.endpoint().send(Bytes::from_static(b"checked")).unwrap();
+        assert_eq!(
+            &b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"checked"
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn encrypted_reliable_stack_round_trip() {
+        let (a, b) = stack_pair(&["xor-crypt", "go-back-n", "crc32"]);
+        for i in 0..10u8 {
+            a.endpoint().send(Bytes::from(vec![i; 64])).unwrap();
+        }
+        for i in 0..10u8 {
+            let got = b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got[0], i, "packet {i} corrupted or reordered");
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let (a, b) = stack_pair(&["crc16"]);
+        a.endpoint().send(Bytes::from_static(b"to-b")).unwrap();
+        b.endpoint().send(Bytes::from_static(b"to-a")).unwrap();
+        assert_eq!(
+            &b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"to-b"
+        );
+        assert_eq!(
+            &a.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"to-a"
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn irq_stalls_sender_until_ack() {
+        let (a, b) = stack_pair(&["irq"]);
+        // The IRQ window is 1: sends serialise on acks, but all arrive.
+        for i in 0..5u8 {
+            a.endpoint().send(Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..5u8 {
+            let got = b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got[0], i);
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn meters_count_traffic() {
+        let (a, b) = stack_pair(&[]);
+        a.endpoint().send(Bytes::from(vec![0u8; 500])).unwrap();
+        b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.endpoint().tx_meter().bytes(), 500);
+        assert_eq!(b.endpoint().rx_meter().bytes(), 500);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_flooded_queues_does_not_deadlock() {
+        // Regression: a sender flooding the stack leaves bounded queues
+        // full; shutdown must still unblock modules stuck in `send`.
+        let (ta, tb) = loopback_pair();
+        // A transport that swallows sends keeps the wire from draining.
+        let opts = RuntimeOptions::default();
+        let a = build_stack(modules_from(&["dummy"; 5]), Arc::new(ta), &opts);
+        let b = build_stack(modules_from(&[]), Arc::new(tb), &opts);
+        // Flood until the app-side send would block, then a bit more from
+        // a background thread to guarantee blocked module sends.
+        let ep = a.endpoint().clone();
+        let flooder = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                if ep.send(Bytes::from(vec![0u8; 1024])).is_err() {
+                    return;
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        a.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown deadlocked with full queues"
+        );
+        b.shutdown();
+        let _ = flooder.join();
+    }
+
+    #[test]
+    fn shutdown_joins_quickly() {
+        let (a, b) = stack_pair(&["dummy"; 8]);
+        let start = Instant::now();
+        a.shutdown();
+        b.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn recv_after_peer_shutdown_errors() {
+        let (a, b) = stack_pair(&[]);
+        a.shutdown();
+        // b eventually reports closed or times out (loopback does not
+        // propagate peer stack death, only transport closure would).
+        let r = b.endpoint().recv_timeout(Duration::from_millis(100));
+        assert!(r.is_err());
+        b.shutdown();
+    }
+
+    #[test]
+    fn module_names_reported() {
+        let (a, b) = stack_pair(&["xor-crypt", "crc32"]);
+        assert_eq!(
+            a.module_names(),
+            &["xor-crypt".to_string(), "crc32".to_string()]
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+}

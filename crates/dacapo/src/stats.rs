@@ -1,0 +1,88 @@
+//! Throughput measurement, as performed by the paper's measuring A-module.
+//!
+//! *"on the receiver side received packets pr time interval is counted, the
+//! packet buffers are released and throughput in Mbps is calculated"*
+//! (Section 6). A [`ThroughputMeter`] is that counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counts packets and bytes, and converts to Mbit/s over an interval.
+#[derive(Debug, Default)]
+pub struct ThroughputMeter {
+    packets: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl ThroughputMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Records one received packet of `len` bytes.
+    pub fn record(&self, len: usize) {
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Packets recorded so far.
+    pub fn packets(&self) -> u64 {
+        self.packets.load(Ordering::Relaxed)
+    }
+
+    /// Bytes recorded so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Throughput in Mbit/s over `elapsed`.
+    ///
+    /// Returns 0.0 for a zero interval (no time, no rate).
+    pub fn mbps(&self, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes() as f64 * 8.0) / secs / 1_000_000.0
+    }
+
+    /// Resets both counters.
+    pub fn reset(&self) {
+        self.packets.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let m = ThroughputMeter::new();
+        m.record(1000);
+        m.record(1000);
+        assert_eq!(m.packets(), 2);
+        assert_eq!(m.bytes(), 2000);
+        // 2000 bytes in 1 second = 0.016 Mbit/s.
+        let mbps = m.mbps(Duration::from_secs(1));
+        assert!((mbps - 0.016).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_interval_is_zero_rate() {
+        let m = ThroughputMeter::new();
+        m.record(1_000_000);
+        assert_eq!(m.mbps(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = ThroughputMeter::new();
+        m.record(5);
+        m.reset();
+        assert_eq!(m.packets(), 0);
+        assert_eq!(m.bytes(), 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Layer T: the generic transport infrastructure.
+//!
+//! *"Endsystems communicate via the transport infrastructure (layer T),
+//! representing the available communication infrastructure with end-to-end
+//! connectivity (i.e., T services are generic)"* (Section 5.1). A
+//! [`Transport`] moves opaque frames; three implementations ship:
+//!
+//! * [`LoopbackTransport`] — in-process queues (colocated tests, the
+//!   fastest baseline);
+//! * [`TcpTransport`] — a real TCP connection with length-prefixed frames,
+//!   exactly the paper's "T module encapsulating TCP";
+//! * [`NetsimTransport`] — a `netsim` link endpoint standing in for the
+//!   ATM testbed, with shaped bandwidth/delay/loss.
+
+use crate::error::DacapoError;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A frame-oriented point-to-point transport.
+///
+/// Implementations must be thread-safe: the runtime calls `send` from the
+/// TX pump thread and `recv_timeout` from the RX pump thread concurrently.
+pub trait Transport: Send + Sync + 'static {
+    /// Sends one frame to the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Closed`] after [`Transport::close`];
+    /// [`DacapoError::Transport`] for I/O failures.
+    fn send(&self, frame: Bytes) -> Result<(), DacapoError>;
+
+    /// Receives the next frame, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Timeout`] on expiry, [`DacapoError::Closed`] once the
+    /// transport is closed and drained.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, DacapoError>;
+
+    /// Closes the transport; unblocks pending receives on both sides.
+    fn close(&self);
+
+    /// Largest frame this transport can carry.
+    fn mtu(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+impl Transport for Box<dyn Transport> {
+    fn send(&self, frame: Bytes) -> Result<(), DacapoError> {
+        (**self).send(frame)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, DacapoError> {
+        (**self).recv_timeout(timeout)
+    }
+
+    fn close(&self) {
+        (**self).close()
+    }
+
+    fn mtu(&self) -> usize {
+        (**self).mtu()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// In-process transport half backed by crossbeam channels.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    closed: Arc<AtomicBool>,
+    peer_closed: Arc<AtomicBool>,
+}
+
+/// Creates a connected pair of loopback transports.
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    let a_closed = Arc::new(AtomicBool::new(false));
+    let b_closed = Arc::new(AtomicBool::new(false));
+    let a = LoopbackTransport {
+        tx: a_tx,
+        rx: a_rx,
+        closed: a_closed.clone(),
+        peer_closed: b_closed.clone(),
+    };
+    let b = LoopbackTransport {
+        tx: b_tx,
+        rx: b_rx,
+        closed: b_closed,
+        peer_closed: a_closed,
+    };
+    (a, b)
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&self, frame: Bytes) -> Result<(), DacapoError> {
+        if self.closed.load(Ordering::Acquire) || self.peer_closed.load(Ordering::Acquire) {
+            return Err(DacapoError::Closed);
+        }
+        self.tx.send(frame).map_err(|_| DacapoError::Closed)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, DacapoError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(DacapoError::Closed);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.peer_closed.load(Ordering::Acquire) {
+                    Err(DacapoError::Closed)
+                } else {
+                    Err(DacapoError::Timeout(timeout))
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(DacapoError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn name(&self) -> &str {
+        "loopback"
+    }
+}
+
+/// TCP transport with 4-byte big-endian length-prefixed frames.
+///
+/// A dedicated reader thread owns the receiving half so that read timeouts
+/// can never tear a frame in half; received frames queue internally.
+pub struct TcpTransport {
+    writer: Mutex<TcpStream>,
+    frames: Receiver<Bytes>,
+    closed: Arc<AtomicBool>,
+    stream: TcpStream,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+/// Upper bound on a TCP frame (guards allocation on corrupt streams).
+const MAX_TCP_FRAME: u32 = 256 * 1024 * 1024;
+
+impl TcpTransport {
+    /// Wraps a connected stream.
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Transport`] if the stream cannot be cloned for the
+    /// reader thread.
+    pub fn new(stream: TcpStream) -> Result<Self, DacapoError> {
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream
+            .try_clone()
+            .map_err(|e| DacapoError::Transport(format!("clone tcp stream: {e}")))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| DacapoError::Transport(format!("clone tcp stream: {e}")))?;
+        let closed = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded();
+        let flag = closed.clone();
+        std::thread::Builder::new()
+            .name("dacapo-tcp-reader".into())
+            .spawn(move || Self::reader_loop(reader_stream, tx, flag))
+            .map_err(|e| DacapoError::Transport(format!("spawn reader: {e}")))?;
+        Ok(TcpTransport {
+            writer: Mutex::new(writer),
+            frames: rx,
+            closed,
+            stream,
+        })
+    }
+
+    fn reader_loop(mut stream: TcpStream, tx: Sender<Bytes>, closed: Arc<AtomicBool>) {
+        let mut len_buf = [0u8; 4];
+        loop {
+            if closed.load(Ordering::Acquire) {
+                return;
+            }
+            if stream.read_exact(&mut len_buf).is_err() {
+                return; // peer closed or error: channel sender drops
+            }
+            let len = u32::from_be_bytes(len_buf);
+            if len > MAX_TCP_FRAME {
+                return; // corrupt stream: give up
+            }
+            let mut frame = vec![0u8; len as usize];
+            if stream.read_exact(&mut frame).is_err() {
+                return;
+            }
+            if tx.send(Bytes::from(frame)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, frame: Bytes) -> Result<(), DacapoError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(DacapoError::Closed);
+        }
+        let mut writer = self.writer.lock();
+        let len = (frame.len() as u32).to_be_bytes();
+        writer
+            .write_all(&len)
+            .and_then(|_| writer.write_all(&frame))
+            .and_then(|_| writer.flush())
+            .map_err(|e| DacapoError::Transport(format!("tcp send: {e}")))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, DacapoError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(DacapoError::Closed);
+        }
+        match self.frames.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(DacapoError::Timeout(timeout)),
+            Err(RecvTimeoutError::Disconnected) => Err(DacapoError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn name(&self) -> &str {
+        "tcp"
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Transport over a simulated `netsim` link endpoint.
+#[derive(Debug)]
+pub struct NetsimTransport {
+    endpoint: netsim::Endpoint,
+    closed: AtomicBool,
+}
+
+impl NetsimTransport {
+    /// Wraps one endpoint of a [`netsim::Link`].
+    pub fn new(endpoint: netsim::Endpoint) -> Self {
+        NetsimTransport {
+            endpoint,
+            closed: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Transport for NetsimTransport {
+    fn send(&self, frame: Bytes) -> Result<(), DacapoError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(DacapoError::Closed);
+        }
+        match self.endpoint.send(frame) {
+            Ok(()) => Ok(()),
+            Err(netsim::NetSimError::FrameTooLarge { len, mtu }) => Err(DacapoError::Transport(
+                format!("frame {len} exceeds link mtu {mtu}"),
+            )),
+            Err(e) => Err(DacapoError::Transport(e.to_string())),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, DacapoError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(DacapoError::Closed);
+        }
+        match self.endpoint.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(netsim::NetSimError::Timeout(d)) => Err(DacapoError::Timeout(d)),
+            Err(netsim::NetSimError::Disconnected) => Err(DacapoError::Closed),
+            Err(e) => Err(DacapoError::Transport(e.to_string())),
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn mtu(&self) -> usize {
+        self.endpoint.spec().mtu()
+    }
+
+    fn name(&self) -> &str {
+        "netsim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn loopback_round_trip() {
+        let (a, b) = loopback_pair();
+        a.send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(
+            &b.recv_timeout(Duration::from_secs(1)).unwrap()[..],
+            b"ping"
+        );
+        b.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(
+            &a.recv_timeout(Duration::from_secs(1)).unwrap()[..],
+            b"pong"
+        );
+    }
+
+    #[test]
+    fn loopback_close_propagates() {
+        let (a, b) = loopback_pair();
+        a.close();
+        assert!(matches!(a.send(Bytes::new()), Err(DacapoError::Closed)));
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(10)),
+            Err(DacapoError::Closed)
+        ));
+    }
+
+    #[test]
+    fn loopback_timeout() {
+        let (_a, b) = loopback_pair();
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(5)),
+            Err(DacapoError::Timeout(_))
+        ));
+    }
+
+    fn tcp_pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (
+            TcpTransport::new(client).unwrap(),
+            TcpTransport::new(server).unwrap(),
+        )
+    }
+
+    #[test]
+    fn tcp_round_trip_preserves_frame_boundaries() {
+        let (a, b) = tcp_pair();
+        a.send(Bytes::from_static(b"one")).unwrap();
+        a.send(Bytes::from_static(b"twotwo")).unwrap();
+        assert_eq!(&b.recv_timeout(Duration::from_secs(5)).unwrap()[..], b"one");
+        assert_eq!(
+            &b.recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"twotwo"
+        );
+    }
+
+    #[test]
+    fn tcp_large_frame() {
+        let (a, b) = tcp_pair();
+        let big = vec![0xAB; 1 << 20];
+        a.send(Bytes::from(big.clone())).unwrap();
+        let got = b.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(&got[..], &big[..]);
+    }
+
+    #[test]
+    fn tcp_close_unblocks_peer() {
+        let (a, b) = tcp_pair();
+        a.close();
+        // Peer eventually observes EOF as Closed.
+        let mut result = b.recv_timeout(Duration::from_millis(200));
+        for _ in 0..10 {
+            if matches!(result, Err(DacapoError::Closed)) {
+                break;
+            }
+            result = b.recv_timeout(Duration::from_millis(200));
+        }
+        assert!(matches!(result, Err(DacapoError::Closed)), "got {result:?}");
+    }
+
+    #[test]
+    fn netsim_transport_round_trip() {
+        let link = netsim::Link::real_time(
+            netsim::LinkSpec::builder()
+                .bandwidth_bps(1_000_000_000)
+                .propagation(Duration::ZERO)
+                .build()
+                .unwrap(),
+        );
+        let (ea, eb) = link.endpoints();
+        let (ta, tb) = (NetsimTransport::new(ea), NetsimTransport::new(eb));
+        ta.send(Bytes::from_static(b"over the simulated wire"))
+            .unwrap();
+        assert_eq!(
+            &tb.recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"over the simulated wire"
+        );
+        assert!(tb.mtu() > 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Unilateral negotiation: admission of a granted QoS against local
+//! resources.
+//!
+//! After bilateral negotiation succeeds, the message layer asks the
+//! transport layer to actually *provide* the granted QoS (paper,
+//! Section 4.3): the `setQoSParameter` call propagates down the
+//! `_COOL_ComChannel` hierarchy, and the transport either reserves
+//! resources or reports failure — which the ORB turns into an exception to
+//! the client. There is no counter-offer: this direction is unilateral.
+//!
+//! The [`ResourceAdmission`] trait is what transports implement; Da CaPo's
+//! resource manager is the full implementation, and [`CapacityAdmission`]
+//! is the simple bandwidth-budget model used by the plain TCP channel and
+//! by tests.
+
+use crate::error::QosError;
+use crate::negotiation::GrantedQoS;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Proof that a granted QoS was admitted; releases resources on drop.
+///
+/// Tickets are opaque to the ORB — transports attach their own bookkeeping
+/// through the `on_release` callback.
+pub struct AdmissionTicket {
+    bps: u64,
+    on_release: Option<Box<dyn FnOnce(u64) + Send>>,
+}
+
+impl std::fmt::Debug for AdmissionTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionTicket")
+            .field("bps", &self.bps)
+            .finish()
+    }
+}
+
+impl AdmissionTicket {
+    /// Creates a ticket that runs `on_release` with the admitted bandwidth
+    /// when dropped.
+    pub fn new(bps: u64, on_release: impl FnOnce(u64) + Send + 'static) -> Self {
+        AdmissionTicket {
+            bps,
+            on_release: Some(Box::new(on_release)),
+        }
+    }
+
+    /// A ticket that holds nothing (best-effort admissions).
+    pub fn empty() -> Self {
+        AdmissionTicket {
+            bps: 0,
+            on_release: None,
+        }
+    }
+
+    /// Bandwidth held by this ticket, in bits per second.
+    pub fn bps(&self) -> u64 {
+        self.bps
+    }
+}
+
+impl Drop for AdmissionTicket {
+    fn drop(&mut self) {
+        if let Some(f) = self.on_release.take() {
+            f(self.bps);
+        }
+    }
+}
+
+/// Transport-side admission control (the unilateral half of negotiation).
+pub trait ResourceAdmission: Send + Sync {
+    /// Attempts to reserve whatever local resources `granted` needs.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::AdmissionDenied`] if resources are exhausted; the ORB
+    /// reports this to the client as an exception.
+    fn admit(&self, granted: &GrantedQoS) -> Result<AdmissionTicket, QosError>;
+}
+
+/// A simple bandwidth-budget admission controller.
+///
+/// Mirrors the arithmetic of `netsim`'s reservation table without the
+/// dependency, so the QoS crate stays transport-agnostic.
+#[derive(Debug, Clone)]
+pub struct CapacityAdmission {
+    inner: Arc<Mutex<Budget>>,
+}
+
+#[derive(Debug)]
+struct Budget {
+    capacity_bps: u64,
+    used_bps: u64,
+}
+
+impl CapacityAdmission {
+    /// Creates a controller guarding `capacity_bps` of bandwidth.
+    pub fn new(capacity_bps: u64) -> Self {
+        CapacityAdmission {
+            inner: Arc::new(Mutex::new(Budget {
+                capacity_bps,
+                used_bps: 0,
+            })),
+        }
+    }
+
+    /// Bandwidth currently admitted.
+    pub fn used_bps(&self) -> u64 {
+        self.inner.lock().used_bps
+    }
+
+    /// Total guarded capacity.
+    pub fn capacity_bps(&self) -> u64 {
+        self.inner.lock().capacity_bps
+    }
+}
+
+impl ResourceAdmission for CapacityAdmission {
+    fn admit(&self, granted: &GrantedQoS) -> Result<AdmissionTicket, QosError> {
+        let Some(bps) = granted.throughput_bps() else {
+            // Nothing to reserve: best-effort traffic is always admitted.
+            return Ok(AdmissionTicket::empty());
+        };
+        let bps = bps as u64;
+        let mut budget = self.inner.lock();
+        let available = budget.capacity_bps - budget.used_bps;
+        if bps > available {
+            return Err(QosError::AdmissionDenied {
+                resource: format!("bandwidth: requested {bps} bps, {available} bps available"),
+            });
+        }
+        budget.used_bps += bps;
+        let inner = self.inner.clone();
+        Ok(AdmissionTicket::new(bps, move |released| {
+            inner.lock().used_bps -= released;
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ServerPolicy;
+    use crate::spec::QoSSpec;
+
+    fn granted_with_throughput(bps: u32) -> GrantedQoS {
+        let spec = QoSSpec::builder().throughput_bps(bps, 0, i32::MAX).build();
+        ServerPolicy::permissive().negotiate(&spec).unwrap()
+    }
+
+    #[test]
+    fn best_effort_always_admitted() {
+        let adm = CapacityAdmission::new(0);
+        let ticket = adm.admit(&GrantedQoS::best_effort()).unwrap();
+        assert_eq!(ticket.bps(), 0);
+    }
+
+    #[test]
+    fn admission_reserves_and_releases() {
+        let adm = CapacityAdmission::new(1000);
+        let t = adm.admit(&granted_with_throughput(600)).unwrap();
+        assert_eq!(adm.used_bps(), 600);
+        assert!(adm.admit(&granted_with_throughput(500)).is_err());
+        drop(t);
+        assert_eq!(adm.used_bps(), 0);
+        assert!(adm.admit(&granted_with_throughput(500)).is_ok());
+    }
+
+    #[test]
+    fn denial_message_names_bandwidth() {
+        let adm = CapacityAdmission::new(10);
+        let err = adm.admit(&granted_with_throughput(100)).unwrap_err();
+        match err {
+            QosError::AdmissionDenied { resource } => assert!(resource.contains("bandwidth")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_fit_admitted() {
+        let adm = CapacityAdmission::new(100);
+        let _t = adm.admit(&granted_with_throughput(100)).unwrap();
+        assert_eq!(adm.used_bps(), 100);
+    }
+
+    #[test]
+    fn empty_ticket_releases_nothing() {
+        let adm = CapacityAdmission::new(100);
+        {
+            let _t = AdmissionTicket::empty();
+        }
+        assert_eq!(adm.used_bps(), 0);
+    }
+}

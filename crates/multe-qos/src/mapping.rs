@@ -1,0 +1,173 @@
+//! Mapping granted QoS to transport-level requirements.
+//!
+//! Within Da CaPo, *"QoS parameters are mapped to a particular protocol
+//! configuration, network resources, and operating system resources"*
+//! (Section 4.3). This module performs the first half of that mapping: from
+//! a [`GrantedQoS`] to the set of protocol **functions** a configuration
+//! must include plus the resources it must reserve. Da CaPo's configuration
+//! manager then picks concrete **mechanisms** for each function.
+
+use crate::negotiation::GrantedQoS;
+use crate::spec::Reliability;
+
+/// Transport-level requirements derived from a granted QoS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportRequirements {
+    /// Corrupted frames must be detected (and dropped or repaired).
+    pub error_detection: bool,
+    /// Lost/corrupted frames must be retransmitted.
+    pub retransmission: bool,
+    /// Frames must be delivered in order.
+    pub sequencing: bool,
+    /// Payload must be encrypted on the wire.
+    pub encryption: bool,
+    /// Bandwidth to reserve, bits per second.
+    pub bandwidth_bps: Option<u64>,
+    /// End-to-end latency budget, microseconds.
+    pub latency_budget_us: Option<u32>,
+    /// Delay jitter budget, microseconds.
+    pub jitter_budget_us: Option<u32>,
+}
+
+impl TransportRequirements {
+    /// Requirements for best-effort traffic: nothing mandated.
+    pub fn best_effort() -> Self {
+        TransportRequirements::default()
+    }
+
+    /// Derives requirements from a granted QoS.
+    pub fn from_granted(granted: &GrantedQoS) -> Self {
+        let reliability = granted.reliability().unwrap_or(Reliability::BestEffort);
+        TransportRequirements {
+            error_detection: reliability >= Reliability::Checked,
+            retransmission: reliability >= Reliability::Reliable,
+            // Retransmission implies sequence numbers, so ordering comes
+            // for free there; otherwise it needs its own function.
+            sequencing: granted.ordered().unwrap_or(false) || reliability >= Reliability::Reliable,
+            encryption: granted.encrypted().unwrap_or(false),
+            bandwidth_bps: granted.throughput_bps().map(|b| b as u64),
+            latency_budget_us: granted.latency_us(),
+            jitter_budget_us: granted.jitter_us(),
+        }
+    }
+
+    /// Number of mandatory protocol functions (used by configuration cost
+    /// heuristics: fewer functions, faster protocol).
+    pub fn function_count(&self) -> usize {
+        [
+            self.error_detection,
+            self.retransmission,
+            self.sequencing,
+            self.encryption,
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
+    }
+
+    /// Whether a latency budget makes deep module pipelines undesirable.
+    pub fn is_latency_critical(&self) -> bool {
+        matches!(self.latency_budget_us, Some(us) if us < 1_000)
+    }
+}
+
+impl From<&GrantedQoS> for TransportRequirements {
+    fn from(granted: &GrantedQoS) -> Self {
+        TransportRequirements::from_granted(granted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ServerPolicy;
+    use crate::spec::QoSSpec;
+    use std::time::Duration;
+
+    fn grant(spec: QoSSpec) -> GrantedQoS {
+        ServerPolicy::permissive().negotiate(&spec).unwrap()
+    }
+
+    #[test]
+    fn best_effort_needs_nothing() {
+        let req = TransportRequirements::from_granted(&GrantedQoS::best_effort());
+        assert_eq!(req, TransportRequirements::best_effort());
+        assert_eq!(req.function_count(), 0);
+    }
+
+    #[test]
+    fn checked_reliability_needs_error_detection_only() {
+        let req = TransportRequirements::from_granted(&grant(
+            QoSSpec::builder().reliability(Reliability::Checked).build(),
+        ));
+        assert!(req.error_detection);
+        assert!(!req.retransmission);
+        assert!(!req.sequencing);
+    }
+
+    #[test]
+    fn full_reliability_implies_sequencing() {
+        let req = TransportRequirements::from_granted(&grant(
+            QoSSpec::builder()
+                .reliability(Reliability::Reliable)
+                .build(),
+        ));
+        assert!(req.error_detection);
+        assert!(req.retransmission);
+        assert!(req.sequencing);
+        assert_eq!(req.function_count(), 3);
+    }
+
+    #[test]
+    fn ordering_alone_needs_sequencing() {
+        let req =
+            TransportRequirements::from_granted(&grant(QoSSpec::builder().ordered(true).build()));
+        assert!(req.sequencing);
+        assert!(!req.retransmission);
+    }
+
+    #[test]
+    fn bandwidth_and_budgets_carried_through() {
+        let req = TransportRequirements::from_granted(&grant(
+            QoSSpec::builder()
+                .throughput_bps(2_000_000, 0, i32::MAX)
+                .latency(
+                    Duration::from_micros(500),
+                    Duration::ZERO,
+                    Duration::from_millis(1),
+                )
+                .jitter(
+                    Duration::from_micros(50),
+                    Duration::ZERO,
+                    Duration::from_micros(100),
+                )
+                .build(),
+        ));
+        assert_eq!(req.bandwidth_bps, Some(2_000_000));
+        assert_eq!(req.latency_budget_us, Some(500));
+        assert_eq!(req.jitter_budget_us, Some(50));
+        assert!(req.is_latency_critical());
+    }
+
+    #[test]
+    fn encryption_flag() {
+        let req =
+            TransportRequirements::from_granted(&grant(QoSSpec::builder().encrypted(true).build()));
+        assert!(req.encryption);
+        assert_eq!(req.function_count(), 1);
+    }
+
+    #[test]
+    fn relaxed_latency_not_critical() {
+        let req = TransportRequirements::from_granted(&grant(
+            QoSSpec::builder()
+                .latency(
+                    Duration::from_millis(10),
+                    Duration::ZERO,
+                    Duration::from_millis(100),
+                )
+                .build(),
+        ));
+        assert!(!req.is_latency_critical());
+    }
+}

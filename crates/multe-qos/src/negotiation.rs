@@ -1,0 +1,174 @@
+//! Bilateral negotiation results.
+//!
+//! A successful negotiation produces a [`GrantedQoS`]: one concrete
+//! operating point per constrained dimension, each guaranteed to lie inside
+//! the client's `[min, max]` range. The granted QoS travels back to the
+//! client in the Reply (Figure 3-ii) and is what the transport layer must
+//! subsequently be configured for.
+
+use crate::spec::{QoSSpec, Reliability};
+
+/// The concrete operating point granted by a server for a request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GrantedQoS {
+    throughput_bps: Option<u32>,
+    latency_us: Option<u32>,
+    jitter_us: Option<u32>,
+    reliability: Option<Reliability>,
+    ordered: Option<bool>,
+    encrypted: Option<bool>,
+}
+
+impl GrantedQoS {
+    /// A best-effort grant (nothing promised).
+    pub fn best_effort() -> Self {
+        GrantedQoS::default()
+    }
+
+    /// Sets the granted throughput (used by negotiators and by ORBs
+    /// reconstructing a grant from the wire).
+    pub fn set_throughput(&mut self, v: u32) {
+        self.throughput_bps = Some(v);
+    }
+
+    /// Sets the granted latency bound in microseconds.
+    pub fn set_latency(&mut self, v: u32) {
+        self.latency_us = Some(v);
+    }
+
+    /// Sets the granted jitter bound in microseconds.
+    pub fn set_jitter(&mut self, v: u32) {
+        self.jitter_us = Some(v);
+    }
+
+    /// Sets the granted reliability class.
+    pub fn set_reliability(&mut self, r: Reliability) {
+        self.reliability = Some(r);
+    }
+
+    /// Sets the granted ordering guarantee.
+    pub fn set_ordered(&mut self, o: bool) {
+        self.ordered = Some(o);
+    }
+
+    /// Sets the granted confidentiality.
+    pub fn set_encrypted(&mut self, e: bool) {
+        self.encrypted = Some(e);
+    }
+
+    /// Granted sustained throughput in bits per second.
+    pub fn throughput_bps(&self) -> Option<u32> {
+        self.throughput_bps
+    }
+
+    /// Granted latency bound in microseconds.
+    pub fn latency_us(&self) -> Option<u32> {
+        self.latency_us
+    }
+
+    /// Granted jitter bound in microseconds.
+    pub fn jitter_us(&self) -> Option<u32> {
+        self.jitter_us
+    }
+
+    /// Granted reliability class.
+    pub fn reliability(&self) -> Option<Reliability> {
+        self.reliability
+    }
+
+    /// Granted ordering guarantee.
+    pub fn ordered(&self) -> Option<bool> {
+        self.ordered
+    }
+
+    /// Granted confidentiality.
+    pub fn encrypted(&self) -> Option<bool> {
+        self.encrypted
+    }
+
+    /// Whether nothing was promised.
+    pub fn is_best_effort(&self) -> bool {
+        *self == GrantedQoS::default()
+    }
+
+    /// Checks that every grant lies inside the corresponding requested
+    /// range of `spec` (used as a postcondition and in property tests).
+    pub fn satisfies(&self, spec: &QoSSpec) -> bool {
+        if let (Some(r), Some(v)) = (spec.throughput(), self.throughput_bps) {
+            if !(r.min as i64 <= v as i64 && v as i64 <= r.max as i64) {
+                return false;
+            }
+        }
+        if let (Some(r), Some(v)) = (spec.latency(), self.latency_us) {
+            if !(r.min as i64 <= v as i64 && v as i64 <= r.max as i64) {
+                return false;
+            }
+        }
+        if let (Some(r), Some(v)) = (spec.jitter(), self.jitter_us) {
+            if !(r.min as i64 <= v as i64 && v as i64 <= r.max as i64) {
+                return false;
+            }
+        }
+        if let (Some(want), Some(got)) = (spec.reliability(), self.reliability) {
+            if got < want {
+                return false;
+            }
+        }
+        if let (Some(want), Some(got)) = (spec.ordered(), self.ordered) {
+            if want && !got {
+                return false;
+            }
+        }
+        if let (Some(want), Some(got)) = (spec.encrypted(), self.encrypted) {
+            if want && !got {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_effort_grant_is_empty() {
+        let g = GrantedQoS::best_effort();
+        assert!(g.is_best_effort());
+        assert!(g.satisfies(&QoSSpec::best_effort()));
+    }
+
+    #[test]
+    fn satisfies_checks_ranges() {
+        let spec = QoSSpec::builder().throughput_bps(100, 50, 200).build();
+        let mut g = GrantedQoS::best_effort();
+        g.set_throughput(75);
+        assert!(g.satisfies(&spec));
+        g.set_throughput(40);
+        assert!(!g.satisfies(&spec));
+        g.set_throughput(201);
+        assert!(!g.satisfies(&spec));
+    }
+
+    #[test]
+    fn satisfies_allows_reliability_upgrade_only() {
+        let spec = QoSSpec::builder().reliability(Reliability::Checked).build();
+        let mut g = GrantedQoS::best_effort();
+        g.set_reliability(Reliability::Reliable);
+        assert!(g.satisfies(&spec));
+        g.set_reliability(Reliability::BestEffort);
+        assert!(!g.satisfies(&spec));
+    }
+
+    #[test]
+    fn satisfies_boolean_dimensions() {
+        let spec = QoSSpec::builder().ordered(true).encrypted(false).build();
+        let mut g = GrantedQoS::best_effort();
+        g.set_ordered(true);
+        g.set_encrypted(false);
+        assert!(g.satisfies(&spec));
+        g.set_ordered(false);
+        assert!(!g.satisfies(&spec));
+    }
+}

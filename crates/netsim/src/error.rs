@@ -1,0 +1,69 @@
+//! Error type for the netsim crate.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced by simulated links and endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetSimError {
+    /// A frame exceeded the link MTU and was rejected at the sender.
+    FrameTooLarge {
+        /// Size of the offending frame in bytes.
+        len: usize,
+        /// Configured MTU of the link in bytes.
+        mtu: usize,
+    },
+    /// The peer endpoint was dropped; no more frames can be exchanged.
+    Disconnected,
+    /// A blocking receive timed out.
+    Timeout(Duration),
+    /// A receive would block and `try_recv` was used.
+    WouldBlock,
+    /// The link spec was invalid (zero bandwidth, loss rate out of range, …).
+    InvalidSpec(String),
+}
+
+impl fmt::Display for NetSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetSimError::FrameTooLarge { len, mtu } => {
+                write!(f, "frame of {len} bytes exceeds link mtu of {mtu} bytes")
+            }
+            NetSimError::Disconnected => write!(f, "peer endpoint disconnected"),
+            NetSimError::Timeout(d) => write!(f, "receive timed out after {d:?}"),
+            NetSimError::WouldBlock => write!(f, "no frame ready"),
+            NetSimError::InvalidSpec(msg) => write!(f, "invalid link spec: {msg}"),
+        }
+    }
+}
+
+impl Error for NetSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NetSimError::FrameTooLarge {
+            len: 2000,
+            mtu: 1500,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2000"));
+        assert!(s.contains("1500"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetSimError>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", NetSimError::Disconnected).is_empty());
+    }
+}

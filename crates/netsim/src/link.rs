@@ -1,0 +1,492 @@
+//! Duplex simulated links.
+//!
+//! A [`Link`] is a pair of independent, shaped directions. Each direction
+//! models the wire as:
+//!
+//! 1. **Serialisation**: a frame occupies the wire for
+//!    `len * 8 / bandwidth` seconds; back-to-back sends queue behind each
+//!    other (`next_free` bookkeeping — a token bucket of depth one frame).
+//! 2. **Propagation + jitter**: after leaving the wire the frame travels for
+//!    the propagation delay plus a uniformly random jitter.
+//! 3. **Loss**: each frame is dropped with the configured probability
+//!    (dropped frames still consumed wire time, as on a real link).
+//!
+//! Delivery order is FIFO: jitter never reorders frames, it only delays the
+//! tail (delivery times are clamped to be monotone), matching the in-order
+//! behaviour of an ATM VC or a TCP-bearing link.
+
+use crate::clock::{RealClock, SharedClock, VirtualClock};
+use crate::endpoint::Endpoint;
+use crate::error::NetSimError;
+use crate::reservation::ReservationTable;
+use crate::spec::LinkSpec;
+use crate::stats::LinkStats;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One shaped direction of a link. Shared between exactly one sending
+/// endpoint and one receiving endpoint.
+#[derive(Debug)]
+pub(crate) struct Direction {
+    spec: LinkSpec,
+    clock: SharedClock,
+    state: Mutex<DirectionState>,
+    arrival: Condvar,
+    sender_alive: AtomicBool,
+    stats: Arc<LinkStats>,
+}
+
+#[derive(Debug)]
+struct DirectionState {
+    /// Frames in flight: `(deliver_at, frame)`, deliver_at monotone.
+    in_flight: VecDeque<(Duration, Bytes)>,
+    /// Time at which the wire becomes free for the next frame.
+    next_free: Duration,
+    /// Latest delivery time handed out (enforces FIFO despite jitter).
+    last_delivery: Duration,
+    rng: StdRng,
+}
+
+impl Direction {
+    fn new(spec: LinkSpec, clock: SharedClock, seed: u64) -> Arc<Self> {
+        Arc::new(Direction {
+            state: Mutex::new(DirectionState {
+                in_flight: VecDeque::new(),
+                next_free: Duration::ZERO,
+                last_delivery: Duration::ZERO,
+                rng: StdRng::seed_from_u64(seed),
+            }),
+            spec,
+            clock,
+            arrival: Condvar::new(),
+            sender_alive: AtomicBool::new(true),
+            stats: LinkStats::new(),
+        })
+    }
+
+    pub(crate) fn stats(&self) -> Arc<LinkStats> {
+        self.stats.clone()
+    }
+
+    pub(crate) fn mark_sender_gone(&self) {
+        self.sender_alive.store(false, Ordering::Release);
+        // Wake any receiver blocked on an empty queue.
+        self.arrival.notify_all();
+    }
+
+    /// Enqueues a frame for shaped delivery.
+    pub(crate) fn send(&self, frame: Bytes) -> Result<(), NetSimError> {
+        if frame.len() > self.spec.mtu() {
+            return Err(NetSimError::FrameTooLarge {
+                len: frame.len(),
+                mtu: self.spec.mtu(),
+            });
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        self.stats.record_send(frame.len());
+
+        // Serialisation: the wire is busy until the frame has left it.
+        let start = st.next_free.max(now);
+        let leaves_wire = start + self.spec.transmission_time(frame.len());
+        st.next_free = leaves_wire;
+
+        // Loss: dropped frames consumed wire time but never arrive.
+        let loss = self.spec.loss_rate();
+        if loss > 0.0 && st.rng.gen::<f64>() < loss {
+            self.stats.record_drop();
+            return Ok(());
+        }
+
+        // Propagation + jitter, clamped monotone for FIFO delivery.
+        let jitter = sample_jitter(&mut st.rng, self.spec.jitter());
+        let deliver_at = (leaves_wire + self.spec.propagation() + jitter).max(st.last_delivery);
+        st.last_delivery = deliver_at;
+        st.in_flight.push_back((deliver_at, frame));
+        drop(st);
+        self.arrival.notify_one();
+        Ok(())
+    }
+
+    /// Blocking receive; `deadline` (clock time) bounds the wait.
+    pub(crate) fn recv_until(&self, deadline: Option<Duration>) -> Result<Bytes, NetSimError> {
+        loop {
+            // Phase 1: wait for a frame to be *queued*.
+            let deliver_at = {
+                let mut st = self.state.lock();
+                loop {
+                    if let Some((at, _)) = st.in_flight.front() {
+                        break *at;
+                    }
+                    if !self.sender_alive.load(Ordering::Acquire) {
+                        return Err(NetSimError::Disconnected);
+                    }
+                    match deadline {
+                        Some(d) => {
+                            let now = self.clock.now();
+                            if now >= d {
+                                return Err(NetSimError::Timeout(d));
+                            }
+                            // Real clocks park on the condvar; virtual clocks
+                            // cannot (nobody would advance them), so they jump
+                            // straight to the deadline if no sender races in.
+                            if self.clock.is_virtual() {
+                                drop(st);
+                                self.clock.sleep_until(d);
+                                st = self.state.lock();
+                                if st.in_flight.is_empty() {
+                                    return Err(NetSimError::Timeout(d));
+                                }
+                            } else {
+                                let wait = d - now;
+                                self.arrival.wait_for(&mut st, wait);
+                            }
+                        }
+                        None => {
+                            if self.clock.is_virtual() {
+                                // A virtual-clock receive with no deadline and
+                                // no queued frame can only be satisfied by a
+                                // concurrent sender; spin-yield briefly.
+                                drop(st);
+                                std::thread::yield_now();
+                                st = self.state.lock();
+                            } else {
+                                self.arrival.wait(&mut st);
+                            }
+                        }
+                    }
+                }
+            };
+
+            // Phase 2: wait for the frame's delivery time.
+            let effective = match deadline {
+                Some(d) if d < deliver_at => {
+                    // The frame will not arrive in time.
+                    self.clock.sleep_until(d);
+                    return Err(NetSimError::Timeout(d));
+                }
+                _ => deliver_at,
+            };
+            self.clock.sleep_until(effective);
+
+            let mut st = self.state.lock();
+            if let Some((at, _)) = st.in_flight.front() {
+                if *at <= self.clock.now() {
+                    let (_, frame) = st.in_flight.pop_front().expect("front checked");
+                    self.stats.record_delivery(frame.len());
+                    return Ok(frame);
+                }
+            }
+            // Someone else consumed it (shared receiving); loop again.
+        }
+    }
+
+    /// Non-blocking receive.
+    pub(crate) fn try_recv(&self) -> Result<Bytes, NetSimError> {
+        let mut st = self.state.lock();
+        match st.in_flight.front() {
+            Some((at, _)) if *at <= self.clock.now() => {
+                let (_, frame) = st.in_flight.pop_front().expect("front checked");
+                self.stats.record_delivery(frame.len());
+                Ok(frame)
+            }
+            Some(_) => Err(NetSimError::WouldBlock),
+            None => {
+                if self.sender_alive.load(Ordering::Acquire) {
+                    Err(NetSimError::WouldBlock)
+                } else {
+                    Err(NetSimError::Disconnected)
+                }
+            }
+        }
+    }
+
+    pub(crate) fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    pub(crate) fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+}
+
+fn sample_jitter(rng: &mut StdRng, max: Duration) -> Duration {
+    if max.is_zero() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(rng.gen_range(0..=max.as_nanos() as u64))
+    }
+}
+
+/// A duplex simulated link between two [`Endpoint`]s.
+///
+/// Created with a [`LinkSpec`] and a clock mode; hand out the two endpoint
+/// halves with [`Link::endpoints`]. The link also owns a
+/// [`ReservationTable`] sized to the link bandwidth, used by resource
+/// managers for admission control.
+#[derive(Debug)]
+pub struct Link {
+    a_to_b: Arc<Direction>,
+    b_to_a: Arc<Direction>,
+    reservations: ReservationTable,
+    spec: LinkSpec,
+    clock: SharedClock,
+    taken: AtomicBool,
+}
+
+impl Link {
+    /// Creates a link driven by the real monotonic clock.
+    pub fn real_time(spec: LinkSpec) -> Self {
+        Self::with_clock(spec, Arc::new(RealClock::new()))
+    }
+
+    /// Creates a link driven by a deterministic virtual clock (tests and
+    /// simulations run at CPU speed).
+    pub fn virtual_time(spec: LinkSpec) -> Self {
+        Self::with_clock(spec, Arc::new(VirtualClock::new()))
+    }
+
+    /// Creates a link with an explicit clock (e.g. a [`VirtualClock`] shared
+    /// with other links in a topology).
+    pub fn with_clock(spec: LinkSpec, clock: SharedClock) -> Self {
+        let a_to_b = Direction::new(spec.clone(), clock.clone(), spec.seed());
+        let b_to_a = Direction::new(spec.clone(), clock.clone(), spec.seed().wrapping_add(1));
+        let reservations = ReservationTable::new(spec.bandwidth_bps());
+        Link {
+            a_to_b,
+            b_to_a,
+            reservations,
+            spec,
+            clock,
+            taken: AtomicBool::new(false),
+        }
+    }
+
+    /// Hands out the two endpoint halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice — each direction supports exactly one
+    /// sender/receiver pair.
+    pub fn endpoints(&self) -> (Endpoint, Endpoint) {
+        assert!(
+            !self.taken.swap(true, Ordering::SeqCst),
+            "Link::endpoints may only be called once"
+        );
+        let a = Endpoint::new(self.a_to_b.clone(), self.b_to_a.clone());
+        let b = Endpoint::new(self.b_to_a.clone(), self.a_to_b.clone());
+        (a, b)
+    }
+
+    /// The reservation table guarding this link's bandwidth.
+    pub fn reservations(&self) -> &ReservationTable {
+        &self.reservations
+    }
+
+    /// The link's spec.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// The clock driving this link.
+    pub fn clock(&self) -> SharedClock {
+        self.clock.clone()
+    }
+
+    /// Statistics for the a→b direction.
+    pub fn stats_a_to_b(&self) -> Arc<LinkStats> {
+        self.a_to_b.stats()
+    }
+
+    /// Statistics for the b→a direction.
+    pub fn stats_b_to_a(&self) -> Arc<LinkStats> {
+        self.b_to_a.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LinkSpec;
+
+    fn fast_spec() -> LinkSpec {
+        LinkSpec::builder()
+            .bandwidth_bps(8_000_000)
+            .propagation(Duration::from_micros(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let link = Link::virtual_time(fast_spec());
+        let (a, b) = link.endpoints();
+        for i in 0..10u8 {
+            a.send(Bytes::from(vec![i; 16])).unwrap();
+        }
+        for i in 0..10u8 {
+            let f = b.recv().unwrap();
+            assert_eq!(f[0], i);
+        }
+    }
+
+    #[test]
+    fn duplex_directions_are_independent() {
+        let link = Link::virtual_time(fast_spec());
+        let (a, b) = link.endpoints();
+        a.send(Bytes::from_static(b"to-b")).unwrap();
+        b.send(Bytes::from_static(b"to-a")).unwrap();
+        assert_eq!(&b.recv().unwrap()[..], b"to-b");
+        assert_eq!(&a.recv().unwrap()[..], b"to-a");
+    }
+
+    #[test]
+    fn mtu_is_enforced() {
+        let spec = LinkSpec::builder().mtu(64).build().unwrap();
+        let link = Link::virtual_time(spec);
+        let (a, _b) = link.endpoints();
+        let err = a.send(Bytes::from(vec![0u8; 65])).unwrap_err();
+        assert!(matches!(
+            err,
+            NetSimError::FrameTooLarge { len: 65, mtu: 64 }
+        ));
+    }
+
+    #[test]
+    fn delivery_respects_transmission_time_on_virtual_clock() {
+        // 1000-byte frame at 8 Mbit/s = 1 ms serialisation + 100 us prop.
+        let link = Link::virtual_time(fast_spec());
+        let clock = link.clock();
+        let (a, b) = link.endpoints();
+        a.send(Bytes::from(vec![0u8; 1000])).unwrap();
+        b.recv().unwrap();
+        let now = clock.now();
+        assert!(now >= Duration::from_micros(1100), "clock only at {now:?}");
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_behind_each_other() {
+        let link = Link::virtual_time(fast_spec());
+        let clock = link.clock();
+        let (a, b) = link.endpoints();
+        for _ in 0..5 {
+            a.send(Bytes::from(vec![0u8; 1000])).unwrap();
+        }
+        for _ in 0..5 {
+            b.recv().unwrap();
+        }
+        // 5 frames x 1 ms serialisation + 100 us propagation for the last.
+        assert!(clock.now() >= Duration::from_micros(5100));
+    }
+
+    #[test]
+    fn loss_drops_frames_deterministically() {
+        let spec = LinkSpec::builder().loss_rate(0.5).seed(42).build().unwrap();
+        let link = Link::virtual_time(spec);
+        let (a, b) = link.endpoints();
+        for _ in 0..100 {
+            a.send(Bytes::from_static(b"x")).unwrap();
+        }
+        drop(a);
+        let mut delivered = 0;
+        while b.recv().is_ok() {
+            delivered += 1;
+        }
+        let stats = link.stats_a_to_b();
+        assert_eq!(stats.frames_sent(), 100);
+        assert_eq!(delivered as u64, stats.frames_delivered());
+        assert!(stats.frames_dropped() > 20 && stats.frames_dropped() < 80);
+        assert_eq!(stats.frames_delivered() + stats.frames_dropped(), 100);
+    }
+
+    #[test]
+    fn recv_after_sender_drop_returns_disconnected() {
+        let link = Link::virtual_time(fast_spec());
+        let (a, b) = link.endpoints();
+        a.send(Bytes::from_static(b"last")).unwrap();
+        drop(a);
+        assert!(b.recv().is_ok());
+        assert_eq!(b.recv().unwrap_err(), NetSimError::Disconnected);
+    }
+
+    #[test]
+    fn try_recv_would_block_then_succeeds() {
+        let link = Link::virtual_time(fast_spec());
+        let clock = link.clock();
+        let (a, b) = link.endpoints();
+        assert_eq!(b.try_recv().unwrap_err(), NetSimError::WouldBlock);
+        a.send(Bytes::from_static(b"x")).unwrap();
+        // Not yet delivered: serialisation + propagation still pending.
+        assert_eq!(b.try_recv().unwrap_err(), NetSimError::WouldBlock);
+        clock.sleep_until(Duration::from_secs(1));
+        assert_eq!(&b.try_recv().unwrap()[..], b"x");
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let link = Link::virtual_time(fast_spec());
+        let (_a, b) = link.endpoints();
+        let err = b.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, NetSimError::Timeout(_)));
+    }
+
+    #[test]
+    fn recv_timeout_succeeds_when_frame_arrives_first() {
+        let link = Link::virtual_time(fast_spec());
+        let (a, b) = link.endpoints();
+        a.send(Bytes::from_static(b"hi")).unwrap();
+        let f = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&f[..], b"hi");
+    }
+
+    #[test]
+    fn real_clock_link_works() {
+        let spec = LinkSpec::builder()
+            .bandwidth_bps(1_000_000_000)
+            .propagation(Duration::ZERO)
+            .build()
+            .unwrap();
+        let link = Link::real_time(spec);
+        let (a, b) = link.endpoints();
+        let t = std::thread::spawn(move || b.recv().unwrap());
+        a.send(Bytes::from_static(b"real")).unwrap();
+        assert_eq!(&t.join().unwrap()[..], b"real");
+    }
+
+    #[test]
+    #[should_panic(expected = "only be called once")]
+    fn endpoints_cannot_be_taken_twice() {
+        let link = Link::virtual_time(fast_spec());
+        let _pair = link.endpoints();
+        let _pair2 = link.endpoints();
+    }
+
+    #[test]
+    fn jitter_does_not_reorder() {
+        let spec = LinkSpec::builder()
+            .jitter(Duration::from_millis(50))
+            .seed(7)
+            .build()
+            .unwrap();
+        let link = Link::virtual_time(spec);
+        let (a, b) = link.endpoints();
+        for i in 0..50u8 {
+            a.send(Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..50u8 {
+            assert_eq!(b.recv().unwrap()[0], i);
+        }
+    }
+
+    #[test]
+    fn reservation_table_sized_to_bandwidth() {
+        let link = Link::virtual_time(fast_spec());
+        assert_eq!(link.reservations().capacity_bps(), 8_000_000);
+    }
+}

@@ -1,0 +1,288 @@
+//! Admission-controlled bandwidth reservations.
+//!
+//! This is the netsim stand-in for ATM/RSVP resource reservation: a
+//! [`ReservationTable`] tracks how much of a link's capacity has been
+//! promised to connections. Da CaPo's resource manager performs *unilateral*
+//! QoS negotiation against this table — if the requested bandwidth cannot be
+//! admitted, the reservation fails and the ORB raises an exception to the
+//! client (paper, Section 4.3).
+
+use parking_lot::Mutex;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Reason a reservation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReservationError {
+    /// Not enough spare capacity on the link.
+    InsufficientCapacity {
+        /// Bits per second requested.
+        requested_bps: u64,
+        /// Bits per second still unreserved.
+        available_bps: u64,
+    },
+    /// A zero-bandwidth reservation was requested.
+    ZeroRequest,
+}
+
+impl fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReservationError::InsufficientCapacity {
+                requested_bps,
+                available_bps,
+            } => write!(
+                f,
+                "requested {requested_bps} bps but only {available_bps} bps available"
+            ),
+            ReservationError::ZeroRequest => write!(f, "requested zero bandwidth"),
+        }
+    }
+}
+
+impl Error for ReservationError {}
+
+#[derive(Debug)]
+struct TableInner {
+    capacity_bps: u64,
+    reserved_bps: u64,
+    next_id: u64,
+}
+
+/// Tracks bandwidth promises against a link's capacity.
+///
+/// ```
+/// use netsim::ReservationTable;
+///
+/// let table = ReservationTable::new(100);
+/// let r1 = table.reserve(60).unwrap();
+/// assert_eq!(table.available_bps(), 40);
+/// assert!(table.reserve(50).is_err());     // admission control rejects
+/// drop(r1);                                // releasing frees capacity
+/// assert!(table.reserve(50).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReservationTable {
+    inner: Arc<Mutex<TableInner>>,
+}
+
+impl ReservationTable {
+    /// Creates a table guarding `capacity_bps` bits per second.
+    pub fn new(capacity_bps: u64) -> Self {
+        ReservationTable {
+            inner: Arc::new(Mutex::new(TableInner {
+                capacity_bps,
+                reserved_bps: 0,
+                next_id: 1,
+            })),
+        }
+    }
+
+    /// Total capacity guarded by the table.
+    pub fn capacity_bps(&self) -> u64 {
+        self.inner.lock().capacity_bps
+    }
+
+    /// Capacity not yet promised to any reservation.
+    pub fn available_bps(&self) -> u64 {
+        let g = self.inner.lock();
+        g.capacity_bps - g.reserved_bps
+    }
+
+    /// Capacity currently promised.
+    pub fn reserved_bps(&self) -> u64 {
+        self.inner.lock().reserved_bps
+    }
+
+    /// Attempts to admit a reservation of `bps` bits per second.
+    ///
+    /// The returned [`Reservation`] releases its share when dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ReservationError::InsufficientCapacity`] if admission control
+    /// refuses, [`ReservationError::ZeroRequest`] for a zero-bps request.
+    pub fn reserve(&self, bps: u64) -> Result<Reservation, ReservationError> {
+        if bps == 0 {
+            return Err(ReservationError::ZeroRequest);
+        }
+        let mut g = self.inner.lock();
+        let available = g.capacity_bps - g.reserved_bps;
+        if bps > available {
+            return Err(ReservationError::InsufficientCapacity {
+                requested_bps: bps,
+                available_bps: available,
+            });
+        }
+        g.reserved_bps += bps;
+        let id = g.next_id;
+        g.next_id += 1;
+        Ok(Reservation {
+            table: self.inner.clone(),
+            bps,
+            id,
+        })
+    }
+
+    /// Best-effort probe: would a reservation of `bps` currently be
+    /// admitted?
+    pub fn would_admit(&self, bps: u64) -> bool {
+        bps != 0 && bps <= self.available_bps()
+    }
+}
+
+/// An admitted bandwidth share; releases its capacity when dropped.
+#[derive(Debug)]
+pub struct Reservation {
+    table: Arc<Mutex<TableInner>>,
+    bps: u64,
+    id: u64,
+}
+
+impl Reservation {
+    /// Bits per second held by this reservation.
+    pub fn bps(&self) -> u64 {
+        self.bps
+    }
+
+    /// Unique id of this reservation within its table.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attempts to grow or shrink this reservation to `new_bps` in place
+    /// (re-negotiation without a release/re-admit race).
+    ///
+    /// # Errors
+    ///
+    /// [`ReservationError::InsufficientCapacity`] if growing beyond the
+    /// spare capacity; the reservation keeps its old size on failure.
+    pub fn resize(&mut self, new_bps: u64) -> Result<(), ReservationError> {
+        if new_bps == 0 {
+            return Err(ReservationError::ZeroRequest);
+        }
+        let mut g = self.table.lock();
+        let others = g.reserved_bps - self.bps;
+        let available_for_us = g.capacity_bps - others;
+        if new_bps > available_for_us {
+            return Err(ReservationError::InsufficientCapacity {
+                requested_bps: new_bps,
+                available_bps: available_for_us,
+            });
+        }
+        g.reserved_bps = others + new_bps;
+        self.bps = new_bps;
+        Ok(())
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        let mut g = self.table.lock();
+        g.reserved_bps -= self.bps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let t = ReservationTable::new(1000);
+        let r = t.reserve(400).unwrap();
+        assert_eq!(r.bps(), 400);
+        assert_eq!(t.reserved_bps(), 400);
+        assert_eq!(t.available_bps(), 600);
+        drop(r);
+        assert_eq!(t.available_bps(), 1000);
+    }
+
+    #[test]
+    fn over_admission_rejected() {
+        let t = ReservationTable::new(100);
+        let _a = t.reserve(80).unwrap();
+        let err = t.reserve(30).unwrap_err();
+        assert_eq!(
+            err,
+            ReservationError::InsufficientCapacity {
+                requested_bps: 30,
+                available_bps: 20
+            }
+        );
+    }
+
+    #[test]
+    fn zero_request_rejected() {
+        let t = ReservationTable::new(100);
+        assert_eq!(t.reserve(0).unwrap_err(), ReservationError::ZeroRequest);
+    }
+
+    #[test]
+    fn exact_fill_is_admitted() {
+        let t = ReservationTable::new(100);
+        let _r = t.reserve(100).unwrap();
+        assert_eq!(t.available_bps(), 0);
+        assert!(!t.would_admit(1));
+    }
+
+    #[test]
+    fn would_admit_probe() {
+        let t = ReservationTable::new(100);
+        assert!(t.would_admit(100));
+        assert!(!t.would_admit(101));
+        assert!(!t.would_admit(0));
+    }
+
+    #[test]
+    fn resize_grow_and_shrink() {
+        let t = ReservationTable::new(100);
+        let mut r = t.reserve(40).unwrap();
+        r.resize(70).unwrap();
+        assert_eq!(t.reserved_bps(), 70);
+        r.resize(10).unwrap();
+        assert_eq!(t.reserved_bps(), 10);
+    }
+
+    #[test]
+    fn resize_beyond_capacity_fails_and_preserves_old_size() {
+        let t = ReservationTable::new(100);
+        let _other = t.reserve(50).unwrap();
+        let mut r = t.reserve(30).unwrap();
+        assert!(r.resize(60).is_err());
+        assert_eq!(r.bps(), 30);
+        assert_eq!(t.reserved_bps(), 80);
+    }
+
+    #[test]
+    fn reservation_ids_are_unique() {
+        let t = ReservationTable::new(100);
+        let a = t.reserve(10).unwrap();
+        let b = t.reserve(10).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_capacity() {
+        let t = ReservationTable::new(1000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for _ in 0..100 {
+                    if let Ok(r) = t.reserve(7) {
+                        held.push(r);
+                    }
+                    assert!(t.reserved_bps() <= t.capacity_bps());
+                    held.pop();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.reserved_bps(), 0);
+    }
+}

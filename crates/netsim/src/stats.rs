@@ -1,0 +1,103 @@
+//! Per-direction link statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for one direction of a link.
+///
+/// All counters are monotonically increasing and updated with relaxed
+/// atomics — they are observability data, not synchronisation points.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    frames_sent: AtomicU64,
+    frames_dropped: AtomicU64,
+    frames_delivered: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_delivered: AtomicU64,
+}
+
+impl LinkStats {
+    /// Creates a zeroed stats block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(LinkStats::default())
+    }
+
+    pub(crate) fn record_send(&self, len: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drop(&self) {
+        self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delivery(&self, len: usize) {
+        self.frames_delivered.fetch_add(1, Ordering::Relaxed);
+        self.bytes_delivered
+            .fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Frames accepted by the sender (including ones later lost).
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames dropped by the loss process.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames handed to the receiver.
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_delivered.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes accepted by the sender.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes handed to the receiver.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered.load(Ordering::Relaxed)
+    }
+
+    /// Observed loss ratio so far (`dropped / sent`), or 0 if nothing was
+    /// sent.
+    pub fn observed_loss(&self) -> f64 {
+        let sent = self.frames_sent() as f64;
+        if sent == 0.0 {
+            0.0
+        } else {
+            self.frames_dropped() as f64 / sent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = LinkStats::new();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_drop();
+        s.record_delivery(100);
+        assert_eq!(s.frames_sent(), 2);
+        assert_eq!(s.bytes_sent(), 150);
+        assert_eq!(s.frames_dropped(), 1);
+        assert_eq!(s.frames_delivered(), 1);
+        assert_eq!(s.bytes_delivered(), 100);
+    }
+
+    #[test]
+    fn observed_loss_handles_zero_sent() {
+        let s = LinkStats::new();
+        assert_eq!(s.observed_loss(), 0.0);
+        s.record_send(1);
+        s.record_drop();
+        assert_eq!(s.observed_loss(), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! The Chic IDL compiler as a command-line tool.
+//!
+//! ```text
+//! cargo run --example idl_compiler -- idl/media.idl            # standard templates
+//! cargo run --example idl_compiler -- idl/media.idl --qos      # QoS-extended templates
+//! ```
+//!
+//! With `--qos` the generated stubs carry `set_qos_parameter` — the
+//! template modification of Section 4.1; without it the output matches an
+//! unmodified Chic.
+
+use multe::idl::{compile, CodegenOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let qos = args.iter().any(|a| a == "--qos");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let Some(path) = paths.first() else {
+        eprintln!("usage: idl_compiler <file.idl> [--qos]");
+        return ExitCode::FAILURE;
+    };
+
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match compile(&source, &CodegenOptions { qos }) {
+        Ok(rust) => {
+            println!("{rust}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates every paper result and runs the full verification suite.
+# Usage: scripts/reproduce.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="${1:-}"
+
+echo "== build =="
+cargo build --workspace --release
+
+echo
+echo "== test suite =="
+cargo test --workspace --release
+
+echo
+echo "== Figure 9: Da CaPo throughput sweep =="
+cargo run --release -p bench --bin fig9 -- ${QUICK}
+
+echo
+echo "== Table 1: GIOP 1.0 vs 9.9 response time =="
+cargo run --release -p bench --bin tab1 -- ${QUICK}
+
+echo
+echo "== Figure 3: negotiation scenarios =="
+cargo run --release -p bench --bin negotiation_scenarios
+
+echo
+echo "== microbenchmarks (criterion) =="
+cargo bench --workspace
+
+echo
+echo "all reproductions completed; see EXPERIMENTS.md for the recorded comparison"

@@ -1,0 +1,194 @@
+//! Integration tests for the Figure 3/Figure 4 negotiation procedure,
+//! spanning multe-qos, cool-giop, dacapo and cool-orb.
+
+use bytes::Bytes;
+use multe::orb::prelude::*;
+use multe::qos::{QoSSpec, Reliability, ServerPolicy};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn constrained_server(exchange: &LocalExchange) -> (Arc<Orb>, OrbServer) {
+    let orb = Orb::with_exchange("negotiation-server", exchange.clone());
+    let policy = ServerPolicy::builder()
+        .max_throughput_bps(10_000_000)
+        .min_latency_us(1_000)
+        .min_jitter_us(100)
+        .max_reliability(Reliability::Checked)
+        .supports_ordering(true)
+        .build(); // note: no encryption support
+    orb.adapter()
+        .register_with_policy(
+            "object",
+            Arc::new(cool_orb::servant::FnServant::new(|_op, args, ctx| {
+                // Echo back the granted throughput so tests can observe
+                // the negotiated operating point end to end.
+                let tp = ctx.granted().throughput_bps().unwrap_or(0);
+                let mut reply = tp.to_be_bytes().to_vec();
+                reply.extend_from_slice(args);
+                Ok(reply)
+            })),
+            policy,
+        )
+        .unwrap();
+    let server = orb.listen_dacapo("negotiation-endpoint").unwrap();
+    (orb, server)
+}
+
+#[test]
+fn figure_3_ack_and_nack_paths() {
+    let exchange = LocalExchange::new();
+    let (_server_orb, server) = constrained_server(&exchange);
+    let client_orb = Orb::with_exchange("client", exchange);
+    let stub = client_orb.bind(&server.object_ref("object")).unwrap();
+
+    // ACK path (Figure 3-ii): grant = clipped to the server's 10 Mbit/s.
+    stub.set_qos_parameter(
+        QoSSpec::builder()
+            .throughput_bps(50_000_000, 1_000_000, 100_000_000)
+            .build(),
+    )
+    .unwrap();
+    let reply = stub.invoke("get", Bytes::from_static(b"!")).unwrap();
+    let granted_tp = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+    assert_eq!(granted_tp, 10_000_000, "server clips to its capability");
+    assert_eq!(
+        stub.last_granted().unwrap().throughput_bps(),
+        Some(10_000_000)
+    );
+
+    // NACK path (Figure 3-i): client minimum above server capability.
+    stub.set_qos_parameter(
+        QoSSpec::builder()
+            .throughput_bps(50_000_000, 20_000_000, 100_000_000)
+            .build(),
+    )
+    .unwrap();
+    match stub.invoke("get", Bytes::new()) {
+        Err(OrbError::QosNotSupported(reason)) => {
+            let text = reason.to_string();
+            assert!(
+                text.contains("throughput"),
+                "NACK names the dimension: {text}"
+            );
+        }
+        other => panic!("expected NACK, got {other:?}"),
+    }
+
+    // Recovery: clearing QoS resumes standard-GIOP service immediately.
+    stub.clear_qos().unwrap();
+    assert!(stub.invoke("get", Bytes::new()).is_ok());
+    server.close();
+}
+
+#[test]
+fn every_dimension_can_nack() {
+    let exchange = LocalExchange::new();
+    let (_server_orb, server) = constrained_server(&exchange);
+    let client_orb = Orb::with_exchange("client", exchange);
+    let stub = client_orb.bind(&server.object_ref("object")).unwrap();
+
+    // Latency below the server's 1 ms floor, with a max that excludes it.
+    let latency = QoSSpec::builder()
+        .latency(
+            Duration::from_micros(100),
+            Duration::ZERO,
+            Duration::from_micros(500),
+        )
+        .build();
+    // Reliability above the server's Checked ceiling.
+    let reliability = QoSSpec::builder()
+        .reliability(Reliability::Reliable)
+        .build();
+    // Encryption unsupported by this object's policy (though the transport
+    // could do it — bilateral policy wins).
+    let encryption = QoSSpec::builder().encrypted(true).build();
+
+    for (spec, dimension) in [
+        (latency, "latency"),
+        (reliability, "reliability"),
+        (encryption, "encryption"),
+    ] {
+        stub.set_qos_parameter(spec).unwrap();
+        match stub.invoke("get", Bytes::new()) {
+            Err(OrbError::QosNotSupported(reason)) => {
+                assert!(
+                    reason.to_string().contains(dimension),
+                    "NACK for {dimension}: {reason}"
+                );
+            }
+            other => panic!("expected {dimension} NACK, got {other:?}"),
+        }
+    }
+    server.close();
+}
+
+#[test]
+fn granted_qos_configures_the_dacapo_transport() {
+    // End-to-end Figure 4: the spec flows stub -> GIOP -> transport; the
+    // Da CaPo channel reconfigures to a graph satisfying it.
+    let exchange = LocalExchange::new();
+    let (_server_orb, server) = constrained_server(&exchange);
+    let client_orb = Orb::with_exchange("client", exchange.clone());
+    let stub = client_orb.bind(&server.object_ref("object")).unwrap();
+
+    // Best effort: no modules below.
+    assert!(stub.invoke("get", Bytes::new()).is_ok());
+
+    // Checked + ordered: the configuration manager must install error
+    // detection and sequencing.
+    stub.set_qos_parameter(
+        QoSSpec::builder()
+            .reliability(Reliability::Checked)
+            .ordered(true)
+            .build(),
+    )
+    .unwrap();
+    let reply = stub.invoke("get", Bytes::from_static(b"payload")).unwrap();
+    assert_eq!(&reply[4..], b"payload");
+
+    // Bandwidth admission is visible on the shared resource manager.
+    stub.set_qos_parameter(
+        QoSSpec::builder()
+            .throughput_bps(5_000_000, 1_000_000, 10_000_000)
+            .build(),
+    )
+    .unwrap();
+    assert!(stub.invoke("get", Bytes::new()).is_ok());
+    assert!(
+        exchange.resource_manager().used_bandwidth() >= 5_000_000,
+        "transport holds the bandwidth grant"
+    );
+    server.close();
+}
+
+#[test]
+fn negotiation_is_per_invocation_not_per_process() {
+    // Two stubs to the same object can hold different QoS simultaneously;
+    // each invocation negotiates with its own spec.
+    let exchange = LocalExchange::new();
+    let (_server_orb, server) = constrained_server(&exchange);
+    let client_orb = Orb::with_exchange("client", exchange);
+    let fast = client_orb.bind(&server.object_ref("object")).unwrap();
+    let slow = client_orb.bind(&server.object_ref("object")).unwrap();
+
+    fast.set_qos_parameter(
+        QoSSpec::builder()
+            .throughput_bps(8_000_000, 1_000_000, 20_000_000)
+            .build(),
+    )
+    .unwrap();
+    slow.set_qos_parameter(
+        QoSSpec::builder()
+            .throughput_bps(1_000_000, 100_000, 2_000_000)
+            .build(),
+    )
+    .unwrap();
+
+    let fast_reply = fast.invoke("get", Bytes::new()).unwrap();
+    let slow_reply = slow.invoke("get", Bytes::new()).unwrap();
+    let fast_tp = u32::from_be_bytes(fast_reply[0..4].try_into().unwrap());
+    let slow_tp = u32::from_be_bytes(slow_reply[0..4].try_into().unwrap());
+    assert_eq!(fast_tp, 8_000_000);
+    assert_eq!(slow_tp, 1_000_000);
+    server.close();
+}
