@@ -1,0 +1,31 @@
+//! Criterion benchmark for single-invocation latency per transport.
+//!
+//! Complements the `invocation_latency` bin (which reports p50/p99): this
+//! drives one echo invocation per iteration through each transport so the
+//! event-driven request path is measured under criterion's statistics.
+
+use bench::RttHarness;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_invocation_latency(c: &mut Criterion) {
+    let payload = Bytes::from(vec![7u8; 64]);
+    let mut group = c.benchmark_group("invocation_latency");
+
+    let tcp = RttHarness::new();
+    group.bench_function("tcp", |b| b.iter(|| tcp.call_once(&payload)));
+    tcp.close();
+
+    let chorus = RttHarness::new_chorus();
+    group.bench_function("chorus", |b| b.iter(|| chorus.call_once(&payload)));
+    chorus.close();
+
+    let dacapo = RttHarness::new_dacapo();
+    group.bench_function("dacapo", |b| b.iter(|| dacapo.call_once(&payload)));
+    dacapo.close();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation_latency);
+criterion_main!(benches);

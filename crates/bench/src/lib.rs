@@ -166,16 +166,33 @@ pub struct RttHarness {
 }
 
 impl RttHarness {
-    /// Starts the echo server and binds a client stub.
+    /// Starts the echo server and binds a client stub (loopback TCP).
     pub fn new() -> Self {
+        Self::with_listener("tcp", |orb| orb.listen_tcp("127.0.0.1:0"))
+    }
+
+    /// Echo harness over the Chorus IPC transport.
+    pub fn new_chorus() -> Self {
+        Self::with_listener("chorus", |orb| orb.listen_chorus("rtt"))
+    }
+
+    /// Echo harness over the Da CaPo transport (QoS-capable).
+    pub fn new_dacapo() -> Self {
+        Self::with_listener("dacapo", |orb| orb.listen_dacapo("rtt"))
+    }
+
+    fn with_listener(
+        tag: &str,
+        listen: impl FnOnce(&Orb) -> Result<OrbServer, OrbError>,
+    ) -> Self {
         let exchange = LocalExchange::new();
-        let server_orb = Orb::with_exchange("rtt-server", exchange.clone());
+        let server_orb = Orb::with_exchange(&format!("rtt-server-{tag}"), exchange.clone());
         server_orb
             .adapter()
             .register_fn("echo", |_op, args, _ctx| Ok(args.to_vec()))
             .expect("register echo");
-        let server = server_orb.listen_tcp("127.0.0.1:0").expect("listen");
-        let client_orb = Orb::with_exchange("rtt-client", exchange);
+        let server = listen(&server_orb).expect("listen");
+        let client_orb = Orb::with_exchange(&format!("rtt-client-{tag}"), exchange);
         let stub = client_orb.bind(&server.object_ref("echo")).expect("bind");
         RttHarness {
             server,

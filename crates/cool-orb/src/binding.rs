@@ -1,23 +1,35 @@
 //! Client-side bindings: a connection to a server endpoint plus the
 //! request/reply machinery for every invocation mode.
 //!
-//! A binding owns one [`ComChannel`] and a demultiplexer thread matching
-//! Replies to outstanding requests by id. On top of it the five invocation
-//! styles of the paper's `_DacapoComChannel` (Section 5.2) are provided:
+//! A binding owns one [`ComChannel`] and registers a reply demultiplexer
+//! as the channel's [`FrameSink`]: the transport's delivery thread pushes
+//! each inbound frame straight into the demux, which matches Replies to
+//! outstanding requests by id and completes the waiter *on arrival*. There
+//! is no demux thread and no poll interval — a synchronous caller blocks
+//! on a rendezvous channel with a true deadline and wakes the moment its
+//! reply lands (the seed design polled `recv_frame` every 50ms instead).
+//! Timing policy (the default call deadline) comes from
+//! [`crate::config::OrbConfig`], threaded in via [`Binding::with_config`].
+//!
+//! On top of this the five invocation styles of the paper's
+//! `_DacapoComChannel` (Section 5.2) are provided:
 //!
 //! * [`Binding::call`] — two-way synchronous invocation;
 //! * [`Binding::send`] — one-way, no reply expected;
 //! * [`Binding::defer`] — deferred synchronous: returns a
 //!   [`DeferredReply`] the caller polls or waits on later;
-//! * [`Binding::notify`] — asynchronous: a callback runs on the demux
-//!   thread when the reply arrives;
+//! * [`Binding::notify`] — asynchronous: a callback runs on the
+//!   transport's delivery thread when the reply arrives (it must not make
+//!   a blocking invocation over the same binding — the delivery thread is
+//!   the one that would complete it);
 //! * [`DeferredReply::cancel`] / [`Binding::cancel`] — abandon a pending
 //!   request (sends GIOP `CancelRequest`).
 
+use crate::config::OrbConfig;
 use crate::error::OrbError;
 use crate::message_layer::cool::CoolMessage;
 use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
-use crate::transport::ComChannel;
+use crate::transport::{ComChannel, FrameSink};
 use bytes::Bytes;
 use cool_giop::prelude::*;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -32,11 +44,9 @@ use std::time::Duration;
 /// server attached.
 pub type ReplyResult = Result<(Bytes, Option<GrantedQoS>), OrbError>;
 
-/// Default reply timeout for synchronous calls.
+/// Default reply timeout for synchronous calls (the
+/// [`OrbConfig::default`] value of `call_timeout`).
 pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// Poll interval of the demux thread (bounds close latency).
-const DEMUX_POLL: Duration = Duration::from_millis(50);
 
 enum Slot {
     Sync(Sender<ReplyResult>),
@@ -64,6 +74,7 @@ pub struct Binding {
     next_id: AtomicU32,
     pending: PendingMap,
     closed: Arc<AtomicBool>,
+    default_timeout: Duration,
 }
 
 impl std::fmt::Debug for Binding {
@@ -76,9 +87,40 @@ impl std::fmt::Debug for Binding {
     }
 }
 
+/// The reply demultiplexer, installed as the channel's [`FrameSink`].
+///
+/// Holds only the shared pending map and closed flag — never the channel
+/// or the binding — so the `channel → inbox → sink` chain contains no
+/// reference cycle.
+struct DemuxSink {
+    pending: PendingMap,
+    closed: Arc<AtomicBool>,
+}
+
+impl FrameSink for DemuxSink {
+    fn on_frame(&self, frame: Bytes) {
+        demux_frame(&frame, &self.pending, &self.closed);
+    }
+
+    fn on_close(&self) {
+        self.closed.store(true, Ordering::Release);
+        fail_all(&self.pending, || OrbError::Closed);
+    }
+}
+
 impl Binding {
-    /// Wraps a connected channel and starts the reply demultiplexer.
+    /// Wraps a connected channel with the default configuration.
     pub fn new(channel: Arc<dyn ComChannel>, protocol: WireProtocol) -> Arc<Self> {
+        Binding::with_config(channel, protocol, &OrbConfig::default())
+    }
+
+    /// Wraps a connected channel and registers the reply demultiplexer as
+    /// its frame sink. Timing policy comes from `config`.
+    pub fn with_config(
+        channel: Arc<dyn ComChannel>,
+        protocol: WireProtocol,
+        config: &OrbConfig,
+    ) -> Arc<Self> {
         let binding = Arc::new(Binding {
             channel,
             protocol,
@@ -86,14 +128,12 @@ impl Binding {
             next_id: AtomicU32::new(1),
             pending: Arc::new(Mutex::new(HashMap::new())),
             closed: Arc::new(AtomicBool::new(false)),
+            default_timeout: config.call_timeout,
         });
-        let channel = binding.channel.clone();
-        let pending = binding.pending.clone();
-        let closed = binding.closed.clone();
-        std::thread::Builder::new()
-            .name("cool-binding-demux".into())
-            .spawn(move || demux_loop(channel, pending, closed))
-            .expect("spawn demux thread");
+        binding.channel.set_sink(Arc::new(DemuxSink {
+            pending: binding.pending.clone(),
+            closed: binding.closed.clone(),
+        }));
         binding
     }
 
@@ -105,6 +145,11 @@ impl Binding {
     /// The message protocol this binding speaks.
     pub fn protocol(&self) -> WireProtocol {
         self.protocol
+    }
+
+    /// The configured default deadline for synchronous invocations.
+    pub fn default_timeout(&self) -> Duration {
+        self.default_timeout
     }
 
     /// Whether the binding has been closed.
@@ -184,6 +229,8 @@ impl Binding {
             self.pending.lock().remove(&request_id);
             return Err(e);
         }
+        // A true blocking wait: the delivery thread completes the slot the
+        // moment the matching Reply frame arrives.
         match rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(RecvTimeoutError::Timeout) => {
@@ -247,11 +294,12 @@ impl Binding {
             channel: self.channel.clone(),
             order: self.order,
             done: false,
+            ready: None,
         })
     }
 
-    /// Asynchronous invocation: `callback` runs (on the demux thread) when
-    /// the reply or an error arrives.
+    /// Asynchronous invocation: `callback` runs (on the transport's
+    /// delivery thread) when the reply or an error arrives.
     ///
     /// # Errors
     ///
@@ -304,6 +352,10 @@ impl Binding {
     /// [`OrbError::Closed`].
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
+        // Closing the channel fires the sink's `on_close`, which also
+        // fails the pending map; doing it here too covers transports whose
+        // teardown is asynchronous. `fail_all` drains, so slots complete
+        // exactly once.
         self.channel.close();
         fail_all(&self.pending, || OrbError::Closed);
     }
@@ -322,68 +374,54 @@ fn fail_all(pending: &PendingMap, err: impl Fn() -> OrbError) {
     }
 }
 
-fn demux_loop(channel: Arc<dyn ComChannel>, pending: PendingMap, closed: Arc<AtomicBool>) {
-    loop {
-        if closed.load(Ordering::Acquire) {
-            fail_all(&pending, || OrbError::Closed);
-            return;
-        }
-        let frame = match channel.recv_frame(DEMUX_POLL) {
-            Ok(frame) => frame,
-            Err(OrbError::Timeout(_)) => continue,
-            Err(_) => {
-                closed.store(true, Ordering::Release);
-                fail_all(&pending, || OrbError::Closed);
-                return;
+/// Demultiplexes one inbound frame into the pending map. Runs on the
+/// transport's delivery thread.
+fn demux_frame(frame: &Bytes, pending: &PendingMap, closed: &AtomicBool) {
+    let Ok(protocol) = sniff(frame) else {
+        return; // unknown frame: ignore
+    };
+    match protocol {
+        WireProtocol::Giop => match cool_giop::codec::decode_message_ext(frame) {
+            Ok((Message::Reply { header, body }, _, order)) => {
+                if let Some(slot) = pending.lock().remove(&header.request_id) {
+                    slot.complete(giop_helpers::interpret_reply(&header, &body, order));
+                }
             }
-        };
-        let Ok(protocol) = sniff(&frame) else {
-            continue; // unknown frame: ignore
-        };
-        match protocol {
-            WireProtocol::Giop => match cool_giop::codec::decode_message_ext(&frame) {
-                Ok((Message::Reply { header, body }, _, order)) => {
-                    if let Some(slot) = pending.lock().remove(&header.request_id) {
-                        slot.complete(giop_helpers::interpret_reply(&header, &body, order));
-                    }
+            Ok((Message::CloseConnection, _, _)) => {
+                closed.store(true, Ordering::Release);
+                fail_all(pending, || OrbError::Closed);
+            }
+            Ok(_) | Err(_) => {}
+        },
+        WireProtocol::Cool => match CoolMessage::decode(frame) {
+            Ok(CoolMessage::Reply { request_id, body }) => {
+                if let Some(slot) = pending.lock().remove(&request_id) {
+                    slot.complete(Ok((body, None)));
                 }
-                Ok((Message::CloseConnection, _, _)) => {
-                    closed.store(true, Ordering::Release);
-                    fail_all(&pending, || OrbError::Closed);
-                    return;
-                }
-                Ok(_) | Err(_) => continue,
-            },
-            WireProtocol::Cool => match CoolMessage::decode(&frame) {
-                Ok(CoolMessage::Reply { request_id, body }) => {
-                    if let Some(slot) = pending.lock().remove(&request_id) {
-                        slot.complete(Ok((body, None)));
-                    }
-                }
-                Ok(CoolMessage::Exception {
-                    request_id,
-                    kind,
-                    detail,
-                }) => {
-                    if let Some(slot) = pending.lock().remove(&request_id) {
-                        let err = match kind.as_str() {
-                            "ObjectNotFound" => OrbError::ObjectNotFound(detail),
-                            "OperationUnknown" => {
-                                let (object, operation) =
-                                    detail.split_once('/').unwrap_or((detail.as_str(), ""));
-                                OrbError::OperationUnknown {
-                                    object: object.to_owned(),
-                                    operation: operation.to_owned(),
-                                }
+            }
+            Ok(CoolMessage::Exception {
+                request_id,
+                kind,
+                detail,
+            }) => {
+                if let Some(slot) = pending.lock().remove(&request_id) {
+                    let err = match kind.as_str() {
+                        "ObjectNotFound" => OrbError::ObjectNotFound(detail),
+                        "OperationUnknown" => {
+                            let (object, operation) =
+                                detail.split_once('/').unwrap_or((detail.as_str(), ""));
+                            OrbError::OperationUnknown {
+                                object: object.to_owned(),
+                                operation: operation.to_owned(),
                             }
-                            _ => OrbError::Protocol(format!("cool exception {kind}: {detail}")),
-                        };
-                        slot.complete(Err(err));
-                    }
+                        }
+                        _ => OrbError::Protocol(format!("cool exception {kind}: {detail}")),
+                    };
+                    slot.complete(Err(err));
                 }
-                Ok(CoolMessage::Request { .. }) | Err(_) => continue,
-            },
-        }
+            }
+            Ok(CoolMessage::Request { .. }) | Err(_) => {}
+        },
     }
 }
 
@@ -395,6 +433,11 @@ pub struct DeferredReply {
     channel: Arc<dyn ComChannel>,
     order: ByteOrder,
     done: bool,
+    /// A reply observed by `poll` is stashed here so a later `wait` (or
+    /// another `poll`) still returns it — with event-driven delivery a
+    /// reply can land microseconds after the request is sent, making
+    /// poll-then-wait a common interleaving rather than a rare race.
+    ready: Option<ReplyResult>,
 }
 
 impl std::fmt::Debug for DeferredReply {
@@ -412,15 +455,17 @@ impl DeferredReply {
         self.request_id
     }
 
-    /// Returns the reply if it has arrived (non-blocking).
+    /// Returns the reply if it has arrived (non-blocking). The reply is
+    /// retained: a subsequent `poll` or [`DeferredReply::wait`] returns it
+    /// again, so discarding one poll's result loses nothing.
     pub fn poll(&mut self) -> Option<ReplyResult> {
-        match self.rx.try_recv() {
-            Ok(result) => {
+        if self.ready.is_none() {
+            if let Ok(result) = self.rx.try_recv() {
                 self.done = true;
-                Some(result)
+                self.ready = Some(result);
             }
-            Err(_) => None,
         }
+        self.ready.clone()
     }
 
     /// Blocks for the reply.
@@ -430,6 +475,9 @@ impl DeferredReply {
     /// [`OrbError::Timeout`] on expiry; otherwise whatever the invocation
     /// produced.
     pub fn wait(mut self, timeout: Duration) -> ReplyResult {
+        if let Some(result) = self.ready.take() {
+            return result;
+        }
         match self.rx.recv_timeout(timeout) {
             Ok(result) => {
                 self.done = true;
@@ -464,7 +512,7 @@ impl DeferredReply {
 impl Drop for DeferredReply {
     fn drop(&mut self) {
         if !self.done {
-            // Abandoned without waiting: drop the slot so the demux thread
+            // Abandoned without waiting: drop the slot so the pending map
             // does not hold a dead sender forever.
             self.pending.lock().remove(&self.request_id);
         }

@@ -1,0 +1,63 @@
+//! Tunable timing and sizing knobs for an ORB instance.
+//!
+//! The seed implementation scattered its timing behaviour across hard-coded
+//! poll intervals in the client demux, the server's accept and worker
+//! loops, and the Da CaPo channel's sliced waits.
+//! The event-driven refactor removed the poll loops entirely; what remains
+//! are genuine policy knobs — how long a synchronous `call` may wait, how
+//! many dispatcher threads a server runs, how much backpressure the request
+//! queue applies — collected here and threaded through [`crate::orb::Orb`],
+//! [`crate::server::OrbServer`] and [`crate::binding::Binding`].
+
+use std::time::Duration;
+
+/// Configuration shared by an [`crate::orb::Orb`] and everything it creates.
+///
+/// Obtain the defaults with [`OrbConfig::default`] and override individual
+/// fields; pass the result to [`crate::orb::Orb::with_config`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrbConfig {
+    /// Default deadline for synchronous invocations (`call`) and the initial
+    /// timeout of every [`crate::orb::Stub`]. This is a *real* deadline on a
+    /// blocking wait, not a poll interval: replies wake the caller
+    /// immediately.
+    pub call_timeout: Duration,
+    /// Number of request-dispatcher threads an [`crate::server::OrbServer`]
+    /// runs. All connections share the pool, so requests pipelined on one
+    /// connection are serviced concurrently (no head-of-line blocking).
+    /// Values below 1 are treated as 1.
+    pub dispatcher_threads: usize,
+    /// Capacity of the server's shared request queue. When full, transport
+    /// delivery threads block on enqueue — backpressure propagates to the
+    /// peer instead of buffering unboundedly.
+    pub dispatch_queue_depth: usize,
+    /// Maximum number of remembered `CancelRequest` ids per connection.
+    /// Cancellations for requests that never arrive would otherwise grow the
+    /// set without bound; the oldest entries are evicted first.
+    pub cancel_history: usize,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        OrbConfig {
+            call_timeout: Duration::from_secs(30),
+            dispatcher_threads: 4,
+            dispatch_queue_depth: 256,
+            cancel_history: 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = OrbConfig::default();
+        assert_eq!(c.call_timeout, Duration::from_secs(30));
+        assert!(c.dispatcher_threads >= 1);
+        assert!(c.dispatch_queue_depth >= c.dispatcher_threads);
+        assert!(c.cancel_history > 0);
+    }
+}

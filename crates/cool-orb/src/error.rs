@@ -10,7 +10,7 @@ use std::time::Duration;
 pub const QOS_NACK_REPO_ID: &str = "IDL:multe/QosNotSupported:1.0";
 
 /// Errors surfaced by ORB operations.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum OrbError {
     /// The paper's NACK: requested QoS cannot be supported (bilateral
     /// rejection by the server or unilateral rejection by a transport).

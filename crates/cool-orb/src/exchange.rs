@@ -223,7 +223,7 @@ impl LocalExchange {
             server_conn,
             self.config_mgr.clone(),
             Some(self.resource_mgr.clone()),
-        );
+        )?;
         acceptor
             .send(Arc::new(server))
             .map_err(|_| OrbError::Closed)?;

@@ -54,6 +54,7 @@
 
 pub mod adapter;
 pub mod binding;
+pub mod config;
 pub mod error;
 pub mod exchange;
 pub mod message_layer;
@@ -67,6 +68,7 @@ pub mod transport;
 
 pub use adapter::ObjectAdapter;
 pub use binding::{Binding, DeferredReply};
+pub use config::OrbConfig;
 pub use error::OrbError;
 pub use exchange::LocalExchange;
 pub use naming::{NameClient, NameServer};
@@ -83,6 +85,7 @@ pub use stream::{
 pub mod prelude {
     pub use crate::adapter::ObjectAdapter;
     pub use crate::binding::{Binding, DeferredReply};
+    pub use crate::config::OrbConfig;
     pub use crate::error::OrbError;
     pub use crate::exchange::LocalExchange;
     pub use crate::naming::{NameClient, NameServer};

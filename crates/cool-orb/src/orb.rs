@@ -1,7 +1,8 @@
 //! The ORB façade and client stubs.
 
 use crate::adapter::{DispatchOutcome, ObjectAdapter};
-use crate::binding::{Binding, DeferredReply, DEFAULT_CALL_TIMEOUT};
+use crate::binding::{Binding, DeferredReply};
+use crate::config::OrbConfig;
 use crate::error::OrbError;
 use crate::exchange::LocalExchange;
 use crate::message_layer::WireProtocol;
@@ -20,6 +21,7 @@ pub struct Orb {
     name: String,
     adapter: Arc<ObjectAdapter>,
     exchange: LocalExchange,
+    config: OrbConfig,
     bindings: Mutex<HashMap<(String, WireProtocol), Arc<Binding>>>,
     served: Mutex<Vec<OrbAddr>>,
 }
@@ -40,15 +42,38 @@ impl Orb {
         Orb::with_exchange(name, LocalExchange::global())
     }
 
+    /// Creates an ORB with explicit timing/sizing knobs (see
+    /// [`OrbConfig`]), attached to the process-global exchange.
+    pub fn with_config(name: &str, config: OrbConfig) -> Arc<Self> {
+        Orb::with_exchange_and_config(name, LocalExchange::global(), config)
+    }
+
     /// Creates an ORB attached to an explicit exchange (isolated tests).
     pub fn with_exchange(name: &str, exchange: LocalExchange) -> Arc<Self> {
+        Orb::with_exchange_and_config(name, exchange, OrbConfig::default())
+    }
+
+    /// Creates an ORB with both an explicit exchange and explicit
+    /// configuration.
+    pub fn with_exchange_and_config(
+        name: &str,
+        exchange: LocalExchange,
+        config: OrbConfig,
+    ) -> Arc<Self> {
         Arc::new(Orb {
             name: name.to_owned(),
             adapter: Arc::new(ObjectAdapter::new()),
             exchange,
+            config,
             bindings: Mutex::new(HashMap::new()),
             served: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The configuration this ORB threads through its servers and
+    /// bindings.
+    pub fn config(&self) -> &OrbConfig {
+        &self.config
     }
 
     /// This ORB's name (diagnostics).
@@ -72,7 +97,7 @@ impl Orb {
     ///
     /// [`OrbError::Transport`] if binding fails.
     pub fn listen_tcp(&self, addr: &str) -> Result<OrbServer, OrbError> {
-        let server = OrbServer::start_tcp(self.adapter.clone(), addr)?;
+        let server = OrbServer::start_tcp(self.adapter.clone(), addr, &self.config)?;
         self.served.lock().push(server.addr().clone());
         Ok(server)
     }
@@ -86,12 +111,13 @@ impl Orb {
         let acceptor = self.exchange.listen_chorus(name)?;
         let addr = OrbAddr::Chorus(name.to_owned());
         self.served.lock().push(addr.clone());
-        Ok(OrbServer::start_exchange(
+        OrbServer::start_exchange(
             self.adapter.clone(),
             addr,
             acceptor,
             self.exchange.clone(),
-        ))
+            &self.config,
+        )
     }
 
     /// Serves this ORB's adapter on a Da CaPo endpoint (QoS-capable).
@@ -103,12 +129,13 @@ impl Orb {
         let acceptor = self.exchange.listen_dacapo(name)?;
         let addr = OrbAddr::Dacapo(name.to_owned());
         self.served.lock().push(addr.clone());
-        Ok(OrbServer::start_exchange(
+        OrbServer::start_exchange(
             self.adapter.clone(),
             addr,
             acceptor,
             self.exchange.clone(),
-        ))
+            &self.config,
+        )
     }
 
     /// Binds to an object reference, returning a client stub.
@@ -143,7 +170,7 @@ impl Orb {
                 key: reference.key.clone(),
                 qos: Mutex::new(None),
                 granted: Mutex::new(None),
-                timeout: Mutex::new(DEFAULT_CALL_TIMEOUT),
+                timeout: Mutex::new(self.config.call_timeout),
             });
         }
         let binding = self.binding_for(&reference.addr, protocol)?;
@@ -152,7 +179,7 @@ impl Orb {
             key: reference.key.clone(),
             qos: Mutex::new(None),
             granted: Mutex::new(None),
-            timeout: Mutex::new(DEFAULT_CALL_TIMEOUT),
+            timeout: Mutex::new(self.config.call_timeout),
         })
     }
 
@@ -179,7 +206,7 @@ impl Orb {
                 .exchange
                 .connect_dacapo(name, &TransportRequirements::best_effort())?,
         };
-        let binding = Binding::new(channel, protocol);
+        let binding = Binding::with_config(channel, protocol, &self.config);
         self.bindings.lock().insert(cache_key, binding.clone());
         Ok(binding)
     }

@@ -1,39 +1,67 @@
-//! The server side of the ORB: acceptors and per-connection workers.
+//! The server side of the ORB: blocking acceptors, push-mode connection
+//! sinks, and a shared dispatcher pool.
 //!
-//! Each accepted channel gets a worker thread running the message-layer
-//! loop: decode (GIOP or COOL protocol), hand Requests to the object
-//! adapter (negotiation + upcall), marshal the Reply/NACK/exception back.
-//! `LocateRequest` and `CancelRequest` are honoured; `CloseConnection`
-//! ends the worker.
+//! ## Threading model
+//!
+//! The seed design gave every accepted channel a worker thread that
+//! re-polled `recv_frame` on a 50ms interval and served requests inline —
+//! one request at a time per connection (head-of-line blocking). This
+//! implementation is event-driven end to end:
+//!
+//! * **Acceptors block.** The TCP acceptor sits in `listener.accept()`
+//!   (woken at shutdown by a loopback self-connect); the exchange acceptor
+//!   sits in a blocking queue `recv` (woken by the exchange dropping its
+//!   sender on `unlisten`). No accept poll.
+//! * **Each connection registers a [`ConnSink`]** as its channel's
+//!   [`FrameSink`]: the transport's delivery thread decodes each frame the
+//!   moment it arrives and either answers protocol chatter inline
+//!   (`LocateRequest`, `CancelRequest`) or enqueues the decoded Request on
+//!   the shared dispatcher queue.
+//! * **A shared pool of dispatcher threads** (size
+//!   [`OrbConfig::dispatcher_threads`]) executes requests and marshals
+//!   replies. Requests pipelined on one connection run *concurrently*;
+//!   replies are matched by request id, so out-of-order completion is
+//!   fine. The queue is bounded ([`OrbConfig::dispatch_queue_depth`]):
+//!   when servants fall behind, delivery threads block on enqueue and
+//!   backpressure reaches the peer instead of buffering without bound.
+//!
+//! Per-connection `CancelRequest` bookkeeping is bounded too
+//! ([`OrbConfig::cancel_history`]): cancels for requests that never arrive
+//! evict oldest-first rather than growing a set forever.
 
 use crate::adapter::{DispatchOutcome, ObjectAdapter};
+use crate::config::OrbConfig;
 use crate::error::OrbError;
 use crate::exchange::{Inbound, LocalExchange};
 use crate::message_layer::cool::CoolMessage;
 use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
 use crate::object::{ObjectKey, ObjectRef, OrbAddr};
-use crate::transport::{ComChannel, TcpComChannel};
+use crate::transport::{ComChannel, FrameSink, TcpComChannel};
 use bytes::Bytes;
 use cool_giop::prelude::*;
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use multe_qos::QoSSpec;
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
-
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
-const WORKER_POLL: Duration = Duration::from_millis(50);
 
 /// A running ORB endpoint serving objects from an adapter.
 pub struct OrbServer {
     addr: OrbAddr,
     adapter: Arc<ObjectAdapter>,
     shutdown: Arc<AtomicBool>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    dispatchers: Mutex<Vec<JoinHandle<()>>>,
+    /// Dropped at close so dispatchers see disconnection once every
+    /// connection sink has released its clone.
+    jobs_tx: Mutex<Option<Sender<Job>>>,
+    conns: Arc<Mutex<Vec<Weak<ConnState>>>>,
     exchange_binding: Option<(LocalExchange, &'static str, String)>,
+    /// Bound TCP address used for the shutdown self-connect that pops the
+    /// acceptor out of its blocking `accept()`.
+    wake_addr: Option<std::net::SocketAddr>,
 }
 
 impl std::fmt::Debug for OrbServer {
@@ -50,61 +78,75 @@ impl OrbServer {
     ///
     /// # Errors
     ///
-    /// [`OrbError::Transport`] if binding fails.
-    pub fn start_tcp(adapter: Arc<ObjectAdapter>, addr: &str) -> Result<Self, OrbError> {
+    /// [`OrbError::Transport`] if binding fails or a server thread cannot
+    /// be spawned.
+    pub fn start_tcp(
+        adapter: Arc<ObjectAdapter>,
+        addr: &str,
+        config: &OrbConfig,
+    ) -> Result<Self, OrbError> {
         let listener = TcpComChannel::listen(addr)?;
         let local = listener
             .local_addr()
             .map_err(|e| OrbError::Transport(format!("local addr: {e}")))?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| OrbError::Transport(format!("nonblocking: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let server = OrbServer {
-            addr: OrbAddr::Tcp(local.to_string()),
-            adapter,
-            shutdown: shutdown.clone(),
-            threads: Mutex::new(Vec::new()),
-            exchange_binding: None,
-        };
+        let conns: Arc<Mutex<Vec<Weak<ConnState>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (jobs_tx, dispatchers) = start_dispatchers(adapter.clone(), config)?;
 
-        let adapter = server.adapter.clone();
-        let threads_handle: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let workers = threads_handle.clone();
-        let flag = shutdown;
+        let flag = shutdown.clone();
+        let acceptor_adapter = adapter.clone();
+        let acceptor_conns = conns.clone();
+        let acceptor_jobs = jobs_tx.clone();
+        let cancel_cap = config.cancel_history;
         let acceptor = std::thread::Builder::new()
             .name("cool-tcp-acceptor".into())
             .spawn(move || loop {
-                if flag.load(Ordering::Acquire) {
-                    return;
-                }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        stream.set_nonblocking(false).ok();
-                        if let Ok(channel) = TcpComChannel::from_stream(stream) {
-                            let channel: Arc<dyn ComChannel> = Arc::new(channel);
-                            spawn_worker(channel, adapter.clone(), flag.clone(), &workers);
+                        if flag.load(Ordering::Acquire) {
+                            return; // shutdown self-connect (or a late client)
                         }
-                    }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
+                        if let Ok(channel) = TcpComChannel::from_stream(stream) {
+                            attach_connection(
+                                Arc::new(channel),
+                                acceptor_adapter.clone(),
+                                acceptor_jobs.clone(),
+                                &acceptor_conns,
+                                cancel_cap,
+                            );
+                        }
                     }
                     Err(_) => return,
                 }
             })
             .map_err(|e| OrbError::Transport(format!("spawn acceptor: {e}")))?;
-        server.threads.lock().push(acceptor);
-        Ok(server)
+
+        Ok(OrbServer {
+            addr: OrbAddr::Tcp(local.to_string()),
+            adapter,
+            shutdown,
+            acceptor: Mutex::new(Some(acceptor)),
+            dispatchers: Mutex::new(dispatchers),
+            jobs_tx: Mutex::new(Some(jobs_tx)),
+            conns,
+            exchange_binding: None,
+            wake_addr: Some(local),
+        })
     }
 
     /// Starts an endpoint fed by a [`LocalExchange`] acceptor queue
     /// (Chorus or Da CaPo transports).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if a server thread cannot be spawned.
     pub fn start_exchange(
         adapter: Arc<ObjectAdapter>,
         addr: OrbAddr,
         acceptor: Receiver<Inbound>,
         exchange: LocalExchange,
-    ) -> Self {
+        config: &OrbConfig,
+    ) -> Result<Self, OrbError> {
         let scheme = match &addr {
             OrbAddr::Chorus(_) => "chorus",
             OrbAddr::Dacapo(_) => "dacapo",
@@ -112,32 +154,46 @@ impl OrbServer {
         };
         let name = addr.target().to_owned();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let server = OrbServer {
-            addr,
-            adapter,
-            shutdown: shutdown.clone(),
-            threads: Mutex::new(Vec::new()),
-            exchange_binding: Some((exchange, scheme, name)),
-        };
-        let adapter = server.adapter.clone();
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<Weak<ConnState>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (jobs_tx, dispatchers) = start_dispatchers(adapter.clone(), config)?;
+
+        let flag = shutdown.clone();
+        let acceptor_adapter = adapter.clone();
+        let acceptor_conns = conns.clone();
+        let acceptor_jobs = jobs_tx.clone();
+        let cancel_cap = config.cancel_history;
         let handle = std::thread::Builder::new()
             .name("cool-exchange-acceptor".into())
-            .spawn(move || loop {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                match acceptor.recv_timeout(ACCEPT_POLL) {
-                    Ok(channel) => {
-                        spawn_worker(channel, adapter.clone(), shutdown.clone(), &workers)
+            // Blocking recv: `unlisten` drops the exchange's sender, which
+            // disconnects this receiver and ends the thread — no poll.
+            .spawn(move || {
+                while let Ok(channel) = acceptor.recv() {
+                    if flag.load(Ordering::Acquire) {
+                        channel.close(); // connector raced the shutdown
+                        continue;
                     }
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => return,
+                    attach_connection(
+                        channel,
+                        acceptor_adapter.clone(),
+                        acceptor_jobs.clone(),
+                        &acceptor_conns,
+                        cancel_cap,
+                    );
                 }
             })
-            .expect("spawn exchange acceptor");
-        server.threads.lock().push(handle);
-        server
+            .map_err(|e| OrbError::Transport(format!("spawn exchange acceptor: {e}")))?;
+
+        Ok(OrbServer {
+            addr,
+            adapter,
+            shutdown,
+            acceptor: Mutex::new(Some(handle)),
+            dispatchers: Mutex::new(dispatchers),
+            jobs_tx: Mutex::new(Some(jobs_tx)),
+            conns,
+            exchange_binding: Some((exchange, scheme, name)),
+            wake_addr: None,
+        })
     }
 
     /// The address clients connect to.
@@ -157,11 +213,39 @@ impl OrbServer {
 
     /// Stops accepting and serving. Idempotent.
     pub fn close(&self) {
-        self.shutdown.store(true, Ordering::Release);
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // 1. Stop the intake: unregister from the exchange (drops the
+        //    acceptor queue's sender) or poke the blocking TCP accept.
         if let Some((exchange, scheme, name)) = &self.exchange_binding {
             exchange.unlisten(scheme, name);
         }
-        for t in self.threads.lock().drain(..) {
+        if let Some(addr) = self.wake_addr {
+            let _ = std::net::TcpStream::connect(addr);
+        }
+        if let Some(h) = self.acceptor.lock().take() {
+            let _ = h.join();
+        }
+        // 2. Orderly GIOP shutdown: tell each peer before going away so
+        //    clients fail outstanding work immediately instead of timing
+        //    out (Figure 2-i's CloseConnection message). Closing the
+        //    channel also releases its sink (and that sink's queue handle).
+        for weak in self.conns.lock().drain(..) {
+            if let Some(conn) = weak.upgrade() {
+                if let Ok(frame) = encode_message(
+                    &Message::CloseConnection,
+                    GiopVersion::STANDARD,
+                    ByteOrder::Big,
+                ) {
+                    let _ = conn.channel.send_frame(frame);
+                }
+                conn.channel.close();
+            }
+        }
+        // 3. With every sender gone, dispatchers drain the queue and exit.
+        self.jobs_tx.lock().take();
+        for t in self.dispatchers.lock().drain(..) {
             let _ = t.join();
         }
     }
@@ -169,132 +253,222 @@ impl OrbServer {
 
 impl Drop for OrbServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        if let Some((exchange, scheme, name)) = &self.exchange_binding {
-            exchange.unlisten(scheme, name);
+        self.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections and the dispatcher pool
+// ---------------------------------------------------------------------------
+
+/// Per-connection server state, shared between the connection's sink and
+/// any in-flight dispatcher jobs.
+struct ConnState {
+    channel: Arc<dyn ComChannel>,
+    cancelled: Mutex<CancelSet>,
+}
+
+/// Bounded memory of `CancelRequest` ids (oldest evicted first), so a
+/// client spraying cancels for requests that never arrive cannot grow
+/// server state without limit.
+struct CancelSet {
+    ids: HashSet<u32>,
+    order: VecDeque<u32>,
+    cap: usize,
+}
+
+impl CancelSet {
+    fn new(cap: usize) -> Self {
+        CancelSet {
+            ids: HashSet::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn insert(&mut self, id: u32) {
+        if self.ids.insert(id) {
+            self.order.push_back(id);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.ids.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u32) -> bool {
+        // A stale id may linger in `order` until evicted; both structures
+        // stay bounded by `cap` regardless.
+        self.ids.remove(&id)
+    }
+}
+
+/// A decoded request handed to the dispatcher pool.
+struct Job {
+    conn: Arc<ConnState>,
+    work: Work,
+}
+
+enum Work {
+    Giop {
+        header: RequestHeader,
+        body: Bytes,
+        version: GiopVersion,
+        order: ByteOrder,
+    },
+    Cool {
+        request_id: u32,
+        object_key: Vec<u8>,
+        operation: String,
+        one_way: bool,
+        args: Bytes,
+    },
+}
+
+/// The per-connection [`FrameSink`]: decodes frames on the transport's
+/// delivery thread and feeds the shared dispatcher queue.
+///
+/// Holds the connection state behind an `Option` cleared on close, so the
+/// `channel → inbox → sink → ConnState → channel` loop is broken the
+/// moment the connection ends.
+struct ConnSink {
+    conn: Mutex<Option<Arc<ConnState>>>,
+    adapter: Arc<ObjectAdapter>,
+    jobs: Sender<Job>,
+}
+
+impl FrameSink for ConnSink {
+    fn on_frame(&self, frame: Bytes) {
+        let Some(conn) = self.conn.lock().clone() else {
+            return;
+        };
+        let keep = process_frame(&conn, &self.adapter, &self.jobs, &frame);
+        if !keep {
+            self.conn.lock().take();
+            conn.channel.close();
+        }
+    }
+
+    fn on_close(&self) {
+        if let Some(conn) = self.conn.lock().take() {
+            conn.channel.close();
         }
     }
 }
 
-fn spawn_worker(
-    channel: Arc<dyn ComChannel>,
+fn start_dispatchers(
     adapter: Arc<ObjectAdapter>,
-    shutdown: Arc<AtomicBool>,
-    registry: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let handle = std::thread::Builder::new()
-        .name("cool-server-worker".into())
-        .spawn(move || worker_loop(channel, adapter, shutdown))
-        .expect("spawn server worker");
-    registry.lock().push(handle);
+    config: &OrbConfig,
+) -> Result<(Sender<Job>, Vec<JoinHandle<()>>), OrbError> {
+    let (tx, rx) = bounded::<Job>(config.dispatch_queue_depth.max(1));
+    let mut handles = Vec::new();
+    for i in 0..config.dispatcher_threads.max(1) {
+        let rx = rx.clone();
+        let adapter = adapter.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("cool-dispatch-{i}"))
+            // Blocking recv; ends when every sender (server handle,
+            // acceptor, connection sinks) is gone.
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    run_job(&adapter, job);
+                }
+            })
+            .map_err(|e| OrbError::Transport(format!("spawn dispatcher: {e}")))?;
+        handles.push(handle);
+    }
+    Ok((tx, handles))
 }
 
-fn worker_loop(
+fn attach_connection(
     channel: Arc<dyn ComChannel>,
     adapter: Arc<ObjectAdapter>,
-    shutdown: Arc<AtomicBool>,
+    jobs: Sender<Job>,
+    conns: &Arc<Mutex<Vec<Weak<ConnState>>>>,
+    cancel_cap: usize,
 ) {
-    let mut cancelled: HashSet<u32> = HashSet::new();
-    loop {
-        if shutdown.load(Ordering::Acquire) {
-            // Orderly GIOP shutdown: tell the peer before going away so
-            // clients fail outstanding work immediately instead of timing
-            // out (Figure 2-i's CloseConnection message).
-            if let Ok(frame) = encode_message(
-                &Message::CloseConnection,
-                GiopVersion::STANDARD,
-                ByteOrder::Big,
-            ) {
-                let _ = channel.send_frame(frame);
-            }
-            channel.close();
-            return;
+    let conn = Arc::new(ConnState {
+        channel: channel.clone(),
+        cancelled: Mutex::new(CancelSet::new(cancel_cap)),
+    });
+    {
+        let mut list = conns.lock();
+        list.retain(|w| w.strong_count() > 0);
+        list.push(Arc::downgrade(&conn));
+    }
+    channel.set_sink(Arc::new(ConnSink {
+        conn: Mutex::new(Some(conn)),
+        adapter,
+        jobs,
+    }));
+}
+
+/// Handles one inbound frame on the delivery thread; `false` ends the
+/// connection. Cheap protocol chatter is answered inline; Requests go to
+/// the dispatcher pool (blocking when the queue is full — backpressure).
+fn process_frame(
+    conn: &Arc<ConnState>,
+    adapter: &Arc<ObjectAdapter>,
+    jobs: &Sender<Job>,
+    frame: &Bytes,
+) -> bool {
+    let Ok(protocol) = sniff(frame) else {
+        // Unknown magic: report a GIOP MessageError and drop the
+        // connection, as a conforming ORB would.
+        if let Ok(err_frame) = encode_message(
+            &Message::MessageError,
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        ) {
+            let _ = conn.channel.send_frame(err_frame);
         }
-        let frame = match channel.recv_frame(WORKER_POLL) {
-            Ok(frame) => frame,
-            Err(OrbError::Timeout(_)) => continue,
-            Err(_) => return,
-        };
-        let Ok(protocol) = sniff(&frame) else {
-            // Unknown magic: report a GIOP MessageError and drop the
-            // connection, as a conforming ORB would.
+        return false;
+    };
+    match protocol {
+        WireProtocol::Giop => process_giop_frame(conn, adapter, jobs, frame),
+        WireProtocol::Cool => process_cool_frame(conn, jobs, frame),
+    }
+}
+
+fn process_giop_frame(
+    conn: &Arc<ConnState>,
+    adapter: &Arc<ObjectAdapter>,
+    jobs: &Sender<Job>,
+    frame: &Bytes,
+) -> bool {
+    let (msg, version, order) = match cool_giop::codec::decode_message_ext(frame) {
+        Ok(parts) => parts,
+        Err(_) => {
             if let Ok(err_frame) = encode_message(
                 &Message::MessageError,
                 GiopVersion::STANDARD,
                 ByteOrder::Big,
             ) {
-                let _ = channel.send_frame(err_frame);
+                let _ = conn.channel.send_frame(err_frame);
             }
-            return;
-        };
-        let result = match protocol {
-            WireProtocol::Giop => handle_giop_frame(&channel, &adapter, &frame, &mut cancelled),
-            WireProtocol::Cool => handle_cool_frame(&channel, &adapter, &frame),
-        };
-        match result {
-            Ok(true) => continue,
-            Ok(false) | Err(_) => return,
-        }
-    }
-}
-
-/// Handles one GIOP frame; `Ok(false)` ends the connection.
-fn handle_giop_frame(
-    channel: &Arc<dyn ComChannel>,
-    adapter: &Arc<ObjectAdapter>,
-    frame: &[u8],
-    cancelled: &mut HashSet<u32>,
-) -> Result<bool, OrbError> {
-    let (msg, version, order) = match cool_giop::codec::decode_message_ext(frame) {
-        Ok(parts) => parts,
-        Err(_) => {
-            let err_frame = encode_message(
-                &Message::MessageError,
-                GiopVersion::STANDARD,
-                ByteOrder::Big,
-            )?;
-            let _ = channel.send_frame(err_frame);
-            return Ok(false);
+            return false;
         }
     };
     match msg {
         Message::Request { header, body } => {
-            if cancelled.remove(&header.request_id) {
-                return Ok(true); // client abandoned it before we started
+            if conn.cancelled.lock().remove(header.request_id) {
+                return true; // client abandoned it before we started
             }
-            let key = ObjectKey::new(header.object_key.clone());
-            let spec = QoSSpec::from_params(&header.qos_params);
-            let outcome = adapter.dispatch(
-                &key,
-                &header.operation,
-                &body,
-                &spec,
-                !header.response_expected,
-            );
-            if !header.response_expected {
-                return Ok(true);
-            }
-            let reply = match outcome {
-                DispatchOutcome::Success { body, granted } => giop_helpers::make_reply(
-                    header.request_id,
-                    Bytes::from(body),
-                    Some(&granted),
+            jobs.send(Job {
+                conn: conn.clone(),
+                work: Work::Giop {
+                    header,
+                    body,
                     version,
                     order,
-                )?,
-                DispatchOutcome::QosNack(reason) => {
-                    giop_helpers::make_qos_nack(header.request_id, &reason, version, order)?
-                }
-                DispatchOutcome::Error(err) => {
-                    encode_error_reply(header.request_id, &err, version, order)?
-                }
-            };
-            channel.send_frame(reply)?;
-            Ok(true)
+                },
+            })
+            .is_ok() // dispatchers gone: the server is closing
         }
         Message::CancelRequest { request_id } => {
-            cancelled.insert(request_id);
-            Ok(true)
+            conn.cancelled.lock().insert(request_id);
+            true
         }
         Message::LocateRequest(h) => {
             let status = if adapter.contains(&ObjectKey::new(h.object_key.clone())) {
@@ -306,14 +480,133 @@ fn handle_giop_frame(
                 request_id: h.request_id,
                 locate_status: status,
             });
-            channel.send_frame(encode_message(&reply, version, order)?)?;
-            Ok(true)
+            match encode_message(&reply, version, order) {
+                Ok(frame) => conn.channel.send_frame(frame).is_ok(),
+                Err(_) => false,
+            }
         }
-        Message::CloseConnection => Ok(false),
-        Message::MessageError => Ok(false),
+        Message::CloseConnection => false,
+        Message::MessageError => false,
         Message::Reply { .. } | Message::LocateReply(_) => {
             // Clients do not send replies; protocol violation.
-            Ok(false)
+            false
+        }
+    }
+}
+
+fn process_cool_frame(conn: &Arc<ConnState>, jobs: &Sender<Job>, frame: &Bytes) -> bool {
+    match CoolMessage::decode(frame) {
+        Ok(CoolMessage::Request {
+            request_id,
+            object_key,
+            operation,
+            one_way,
+            args,
+        }) => jobs
+            .send(Job {
+                conn: conn.clone(),
+                work: Work::Cool {
+                    request_id,
+                    object_key,
+                    operation,
+                    one_way,
+                    args,
+                },
+            })
+            .is_ok(),
+        // Clients do not send replies/exceptions to servers; and anything
+        // undecodable ends the connection.
+        Ok(CoolMessage::Reply { .. }) | Ok(CoolMessage::Exception { .. }) | Err(_) => false,
+    }
+}
+
+/// Executes one request on a dispatcher thread: upcall, marshal, reply.
+fn run_job(adapter: &Arc<ObjectAdapter>, job: Job) {
+    match job.work {
+        Work::Giop {
+            header,
+            body,
+            version,
+            order,
+        } => {
+            // Re-check cancellation: the CancelRequest may have arrived
+            // while this request sat in the dispatch queue.
+            if job.conn.cancelled.lock().remove(header.request_id) {
+                return;
+            }
+            let key = ObjectKey::new(header.object_key.clone());
+            let spec = QoSSpec::from_params(&header.qos_params);
+            let outcome = adapter.dispatch(
+                &key,
+                &header.operation,
+                &body,
+                &spec,
+                !header.response_expected,
+            );
+            if !header.response_expected {
+                return;
+            }
+            let reply = match outcome {
+                DispatchOutcome::Success { body, granted } => giop_helpers::make_reply(
+                    header.request_id,
+                    Bytes::from(body),
+                    Some(&granted),
+                    version,
+                    order,
+                ),
+                DispatchOutcome::QosNack(reason) => {
+                    giop_helpers::make_qos_nack(header.request_id, &reason, version, order)
+                }
+                DispatchOutcome::Error(err) => {
+                    encode_error_reply(header.request_id, &err, version, order)
+                }
+            };
+            match reply {
+                Ok(frame) => {
+                    let _ = job.conn.channel.send_frame(frame);
+                }
+                Err(_) => job.conn.channel.close(),
+            }
+        }
+        Work::Cool {
+            request_id,
+            object_key,
+            operation,
+            one_way,
+            args,
+        } => {
+            let key = ObjectKey::new(object_key);
+            let outcome =
+                adapter.dispatch(&key, &operation, &args, &QoSSpec::best_effort(), one_way);
+            if one_way {
+                return;
+            }
+            let reply = match outcome {
+                DispatchOutcome::Success { body, .. } => CoolMessage::Reply {
+                    request_id,
+                    body: Bytes::from(body),
+                },
+                DispatchOutcome::QosNack(reason) => CoolMessage::Exception {
+                    request_id,
+                    kind: "QosNotSupported".into(),
+                    detail: reason.to_string(),
+                },
+                DispatchOutcome::Error(err) => {
+                    let (kind, detail) = match &err {
+                        OrbError::ObjectNotFound(k) => ("ObjectNotFound", k.clone()),
+                        OrbError::OperationUnknown { object, operation } => {
+                            ("OperationUnknown", format!("{object}/{operation}"))
+                        }
+                        other => ("Internal", other.to_string()),
+                    };
+                    CoolMessage::Exception {
+                        request_id,
+                        kind: kind.into(),
+                        detail,
+                    }
+                }
+            };
+            let _ = job.conn.channel.send_frame(reply.encode());
         }
     }
 }
@@ -351,59 +644,19 @@ fn encode_error_reply(
     }
 }
 
-/// Handles one COOL-protocol frame; `Ok(false)` ends the connection.
-fn handle_cool_frame(
-    channel: &Arc<dyn ComChannel>,
-    adapter: &Arc<ObjectAdapter>,
-    frame: &[u8],
-) -> Result<bool, OrbError> {
-    let msg = match CoolMessage::decode(frame) {
-        Ok(msg) => msg,
-        Err(_) => return Ok(false),
-    };
-    match msg {
-        CoolMessage::Request {
-            request_id,
-            object_key,
-            operation,
-            one_way,
-            args,
-        } => {
-            let key = ObjectKey::new(object_key);
-            let outcome =
-                adapter.dispatch(&key, &operation, &args, &QoSSpec::best_effort(), one_way);
-            if one_way {
-                return Ok(true);
-            }
-            let reply = match outcome {
-                DispatchOutcome::Success { body, .. } => CoolMessage::Reply {
-                    request_id,
-                    body: Bytes::from(body),
-                },
-                DispatchOutcome::QosNack(reason) => CoolMessage::Exception {
-                    request_id,
-                    kind: "QosNotSupported".into(),
-                    detail: reason.to_string(),
-                },
-                DispatchOutcome::Error(err) => {
-                    let (kind, detail) = match &err {
-                        OrbError::ObjectNotFound(k) => ("ObjectNotFound", k.clone()),
-                        OrbError::OperationUnknown { object, operation } => {
-                            ("OperationUnknown", format!("{object}/{operation}"))
-                        }
-                        other => ("Internal", other.to_string()),
-                    };
-                    CoolMessage::Exception {
-                        request_id,
-                        kind: kind.into(),
-                        detail,
-                    }
-                }
-            };
-            channel.send_frame(reply.encode())?;
-            Ok(true)
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_set_is_bounded_with_oldest_evicted() {
+        let mut set = CancelSet::new(4);
+        for id in 0..100u32 {
+            set.insert(id);
         }
-        // Clients do not send replies/exceptions to servers.
-        CoolMessage::Reply { .. } | CoolMessage::Exception { .. } => Ok(false),
+        assert!(set.order.len() <= 4);
+        assert!(set.ids.len() <= 4);
+        assert!(!set.remove(0), "oldest ids were evicted");
+        assert!(set.remove(99), "newest ids survive");
     }
 }

@@ -1,32 +1,33 @@
 //! Chorus IPC channel: the paper's `_ChorusComChannel`.
 //!
-//! Buffering is transparent — the port queues of the Chorus simulation do
-//! it, matching the paper's remark that *"For Chorus IPC buffering is done
-//! transparent by the communication subsystem in ChorusOS"*.
+//! Buffering is transparent — matching the paper's remark that *"For
+//! Chorus IPC buffering is done transparent by the communication
+//! subsystem in ChorusOS"*. In this event-driven implementation the
+//! "communication subsystem" is a pair of [`FrameInbox`]es: `send_frame`
+//! pushes straight into the peer's inbox on the caller's thread, so
+//! delivery (and any registered sink) runs with zero intermediate threads
+//! and zero polling.
 
 use crate::error::OrbError;
-use crate::transport::ComChannel;
+use crate::transport::{ComChannel, FrameInbox, FrameSink};
 use bytes::Bytes;
-use chorus_sim::{ChorusError, IpcMessage, Port, PortReceiver, PortSender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Queue depth of each direction's port.
-const PORT_CAPACITY: usize = 256;
-
-/// A frame channel over a pair of Chorus IPC ports.
+/// A frame channel over a simulated Chorus IPC port pair.
 pub struct ChorusComChannel {
-    tx: PortSender,
-    rx: PortReceiver,
-    closed: Arc<AtomicBool>,
-    peer_closed: Arc<AtomicBool>,
+    /// Where our sends deliver (the peer's receive inbox).
+    peer: Arc<FrameInbox>,
+    /// Where we receive.
+    inbox: Arc<FrameInbox>,
+    closed: AtomicBool,
 }
 
 impl std::fmt::Debug for ChorusComChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChorusComChannel")
-            .field("port", &self.rx.id())
+            .field("closed", &self.closed.load(Ordering::Acquire))
             .finish()
     }
 }
@@ -34,21 +35,17 @@ impl std::fmt::Debug for ChorusComChannel {
 impl ChorusComChannel {
     /// Creates a connected pair of channels (one per endpoint).
     pub fn pair() -> (ChorusComChannel, ChorusComChannel) {
-        let a_to_b = Port::anonymous(PORT_CAPACITY);
-        let b_to_a = Port::anonymous(PORT_CAPACITY);
-        let a_closed = Arc::new(AtomicBool::new(false));
-        let b_closed = Arc::new(AtomicBool::new(false));
+        let a_inbox = Arc::new(FrameInbox::new());
+        let b_inbox = Arc::new(FrameInbox::new());
         let a = ChorusComChannel {
-            tx: a_to_b.sender(),
-            rx: b_to_a.receiver(),
-            closed: a_closed.clone(),
-            peer_closed: b_closed.clone(),
+            peer: Arc::clone(&b_inbox),
+            inbox: a_inbox.clone(),
+            closed: AtomicBool::new(false),
         };
         let b = ChorusComChannel {
-            tx: b_to_a.sender(),
-            rx: a_to_b.receiver(),
-            closed: b_closed,
-            peer_closed: a_closed,
+            peer: a_inbox,
+            inbox: b_inbox,
+            closed: AtomicBool::new(false),
         };
         (a, b)
     }
@@ -56,33 +53,27 @@ impl ChorusComChannel {
 
 impl ComChannel for ChorusComChannel {
     fn send_frame(&self, frame: Bytes) -> Result<(), OrbError> {
-        if self.closed.load(Ordering::Acquire) || self.peer_closed.load(Ordering::Acquire) {
+        if self.closed.load(Ordering::Acquire) || self.peer.is_closed() {
             return Err(OrbError::Closed);
         }
-        self.tx
-            .send(IpcMessage::new(frame))
-            .map_err(|_| OrbError::Closed)
+        // Runs the peer's sink (if any) synchronously on this thread.
+        self.peer.push(frame);
+        Ok(())
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
-        if self.closed.load(Ordering::Acquire) {
-            return Err(OrbError::Closed);
-        }
-        match self.rx.recv_timeout(timeout) {
-            Ok(msg) => Ok(msg.into_body()),
-            Err(ChorusError::Timeout(_)) => {
-                if self.peer_closed.load(Ordering::Acquire) {
-                    Err(OrbError::Closed)
-                } else {
-                    Err(OrbError::Timeout(timeout))
-                }
-            }
-            Err(_) => Err(OrbError::Closed),
-        }
+        self.inbox.recv(timeout)
+    }
+
+    fn set_sink(&self, sink: Arc<dyn FrameSink>) {
+        self.inbox.set_sink(sink);
     }
 
     fn close(&self) {
         self.closed.store(true, Ordering::Release);
+        // Close both directions so a blocked peer wakes immediately.
+        self.inbox.close();
+        self.peer.close();
     }
 
     fn kind(&self) -> &'static str {
@@ -93,6 +84,7 @@ impl ComChannel for ChorusComChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn pair_round_trip() {
@@ -123,5 +115,20 @@ mod tests {
             a.recv_frame(Duration::from_millis(10)),
             Err(OrbError::Timeout(_))
         ));
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let (a, b) = ChorusComChannel::pair();
+        let t = std::thread::spawn(move || {
+            let start = Instant::now();
+            let res = b.recv_frame(Duration::from_secs(10));
+            (res, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        a.close();
+        let (res, waited) = t.join().unwrap();
+        assert!(matches!(res, Err(OrbError::Closed)));
+        assert!(waited < Duration::from_secs(2));
     }
 }

@@ -1,115 +1,67 @@
 //! Da CaPo channel: the paper's `_DacapoComChannel` — the one transport
 //! that implements `set_qos`.
 //!
+//! ## Delivery
+//!
+//! The channel *"handles its own buffers in the Da CaPo runtime
+//! environment"*: a per-channel pump thread blocks in the Da CaPo
+//! application endpoint's receive wait and pushes every arriving frame
+//! into the channel's [`FrameInbox`], which wakes `recv_frame` waiters or
+//! runs the registered sink immediately. There is no poll slice; the only
+//! transient retry is during a live reconfiguration, while the endpoint is
+//! being swapped underneath the pump.
+//!
 //! ## Reconfiguration protocol
 //!
 //! Changing QoS mid-binding requires *both* peers to swap to the same new
 //! module graph (Section 4.1: changes in QoS *"have to be reflected in
-//! reconfigurations of the transport connection"*). Running the
-//! coordination through the data path would race with tearing that very
-//! path down, so each channel pair carries a control path — the
-//! signalling facility of Da CaPo's management component (Figure 5). The
-//! handshake is Prepare/Ack:
+//! reconfigurations of the transport connection"*). The coordination runs
+//! over the signalling facility of Da CaPo's management component
+//! (Figure 5) — here a direct control-path reference between the two ends
+//! of the pair, never the data path that is being torn down:
 //!
-//! 1. the initiator sends `Prepare(requirements)` on the prepare channel
-//!    and waits on the ack channel;
-//! 2. the peer — whose `recv_frame` polls the prepare channel, and some
-//!    thread (ORB demux or server worker) is always inside `recv_frame` —
+//! 1. the initiator asks the peer management side to swap first: the peer
 //!    re-runs configuration *and resource admission* for the new
-//!    requirements, rebuilds its stack, and acknowledges with the outcome;
-//! 3. on a positive Ack the initiator admits and rebuilds its own side.
+//!    requirements and rebuilds its stack;
+//! 2. a peer-side failure surfaces to the initiator as the
+//!    unilateral-negotiation NACK of Section 4.3, with both stacks left on
+//!    their previous graphs;
+//! 3. on success the initiator admits and rebuilds its own side.
 //!
 //! The ORB calls `set_qos` only between invocations (no application frames
-//! in flight), so the swap is lossless. A failed admission on either side
-//! leaves both stacks on their previous graphs and surfaces as the
-//! unilateral-negotiation exception of Section 4.3.
+//! in flight), so the swap is lossless. Compared to the seed, which routed
+//! this handshake through channels served inside a polled `recv_frame`,
+//! the control path is now synchronous — `set_qos` needs no thread to be
+//! parked in `recv_frame` on the peer.
 
 use crate::error::OrbError;
-use crate::transport::ComChannel;
+use crate::transport::{ComChannel, FrameInbox, FrameSink};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dacapo::config::{ConfigContext, ConfigurationManager};
 use dacapo::{Connection, ResourceGrant, ResourceManager};
 use multe_qos::{QosError, TransportRequirements};
 use parking_lot::Mutex;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
-/// Poll slice while waiting for data or control traffic.
-const POLL_SLICE: Duration = Duration::from_millis(10);
-
-/// How long `set_qos` waits for the peer's acknowledgement.
-const RECONFIGURE_TIMEOUT: Duration = Duration::from_secs(10);
-
-type AckPayload = Result<(), String>;
-
-/// A frame channel over a Da CaPo connection, QoS-reconfigurable.
-pub struct DacapoComChannel {
+/// One side of the pair: everything the pump thread and the peer's
+/// control path need to share.
+struct Inner {
     connection: Connection,
     config_mgr: ConfigurationManager,
     resource_mgr: Option<ResourceManager>,
     grant: Mutex<Option<ResourceGrant>>,
     ctx: Mutex<ConfigContext>,
-    prepare_tx: Sender<TransportRequirements>,
-    prepare_rx: Receiver<TransportRequirements>,
-    ack_tx: Sender<AckPayload>,
-    ack_rx: Receiver<AckPayload>,
+    inbox: Arc<FrameInbox>,
+    closed: AtomicBool,
+    /// Control path to the other end of the pair (the management
+    /// signalling facility). Weak: a dropped peer must read as gone, not
+    /// be kept alive by our side.
+    peer: Mutex<Weak<Inner>>,
 }
 
-impl std::fmt::Debug for DacapoComChannel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DacapoComChannel")
-            .field("graph", &self.connection.graph().to_string())
-            .finish()
-    }
-}
-
-impl DacapoComChannel {
-    /// Wires two established Da CaPo connections (the two ends of one
-    /// transport) into a channel pair with a shared control path.
-    ///
-    /// When a `resource_mgr` is supplied, every reconfiguration re-runs
-    /// admission against it, holding a [`ResourceGrant`] per side for the
-    /// life of the configuration.
-    pub fn pair(
-        client_conn: Connection,
-        server_conn: Connection,
-        config_mgr: ConfigurationManager,
-        resource_mgr: Option<ResourceManager>,
-    ) -> (DacapoComChannel, DacapoComChannel) {
-        let (a_prep_tx, b_prep_rx) = unbounded();
-        let (b_prep_tx, a_prep_rx) = unbounded();
-        let (a_ack_tx, b_ack_rx) = unbounded();
-        let (b_ack_tx, a_ack_rx) = unbounded();
-        let a = DacapoComChannel {
-            connection: client_conn,
-            config_mgr: config_mgr.clone(),
-            resource_mgr: resource_mgr.clone(),
-            grant: Mutex::new(None),
-            ctx: Mutex::new(ConfigContext::default()),
-            prepare_tx: a_prep_tx,
-            prepare_rx: a_prep_rx,
-            ack_tx: a_ack_tx,
-            ack_rx: a_ack_rx,
-        };
-        let b = DacapoComChannel {
-            connection: server_conn,
-            config_mgr,
-            resource_mgr,
-            grant: Mutex::new(None),
-            ctx: Mutex::new(ConfigContext::default()),
-            prepare_tx: b_prep_tx,
-            prepare_rx: b_prep_rx,
-            ack_tx: b_ack_tx,
-            ack_rx: b_ack_rx,
-        };
-        (a, b)
-    }
-
-    /// The module graph currently running below this channel.
-    pub fn graph(&self) -> dacapo::ModuleGraph {
-        self.connection.graph()
-    }
-
+impl Inner {
     /// Reconfigures this side: admission first, then the stack swap.
     fn apply_requirements(&self, req: &TransportRequirements) -> Result<(), OrbError> {
         let ctx = self.ctx.lock().clone();
@@ -138,53 +90,130 @@ impl DacapoComChannel {
         Ok(())
     }
 
-    /// Serves one peer-initiated reconfiguration request.
-    fn serve_prepare(&self, req: TransportRequirements) {
-        let outcome = self.apply_requirements(&req).map_err(|e| e.to_string());
-        let _ = self.ack_tx.send(outcome);
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.connection.close();
+        self.grant.lock().take();
+        self.inbox.close();
+    }
+}
+
+/// Blocks in the Da CaPo endpoint's receive wait, feeding the inbox.
+/// Holding the `Arc<Inner>` keeps the connection alive until the channel
+/// closes, at which point the endpoint wait is unblocked by the stack
+/// teardown (bounded by the runtime's `shutdown_grace`).
+fn pump_loop(inner: &Inner) {
+    loop {
+        if inner.closed.load(Ordering::Acquire) || inner.connection.is_closed() {
+            break;
+        }
+        let endpoint = inner.connection.endpoint();
+        match endpoint.recv() {
+            Ok(frame) => inner.inbox.push(frame),
+            Err(_) => {
+                if inner.closed.load(Ordering::Acquire) || inner.connection.is_closed() {
+                    break;
+                }
+                // A reconfiguration swapped the stack out from under the
+                // endpoint we were blocked in. Back off briefly so the
+                // swap can land, then pick up the new endpoint. This is a
+                // bounded race window during reconfiguration only, not a
+                // steady-state poll.
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+    inner.inbox.close();
+}
+
+/// A frame channel over a Da CaPo connection, QoS-reconfigurable.
+pub struct DacapoComChannel {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for DacapoComChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DacapoComChannel")
+            .field("graph", &self.inner.connection.graph().to_string())
+            .finish()
+    }
+}
+
+impl DacapoComChannel {
+    /// Wires two established Da CaPo connections (the two ends of one
+    /// transport) into a channel pair with a shared control path.
+    ///
+    /// When a `resource_mgr` is supplied, every reconfiguration re-runs
+    /// admission against it, holding a [`ResourceGrant`] per side for the
+    /// life of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if a pump thread cannot be spawned.
+    pub fn pair(
+        client_conn: Connection,
+        server_conn: Connection,
+        config_mgr: ConfigurationManager,
+        resource_mgr: Option<ResourceManager>,
+    ) -> Result<(DacapoComChannel, DacapoComChannel), OrbError> {
+        let make_inner = |connection: Connection| {
+            Arc::new(Inner {
+                connection,
+                config_mgr: config_mgr.clone(),
+                resource_mgr: resource_mgr.clone(),
+                grant: Mutex::new(None),
+                ctx: Mutex::new(ConfigContext::default()),
+                inbox: Arc::new(FrameInbox::new()),
+                closed: AtomicBool::new(false),
+                peer: Mutex::new(Weak::new()),
+            })
+        };
+        let a = make_inner(client_conn);
+        let b = make_inner(server_conn);
+        *a.peer.lock() = Arc::downgrade(&b);
+        *b.peer.lock() = Arc::downgrade(&a);
+        for inner in [&a, &b] {
+            let pump_inner = Arc::clone(inner);
+            std::thread::Builder::new()
+                .name("cool-dacapo-rx".into())
+                .spawn(move || pump_loop(&pump_inner))
+                .map_err(|e| OrbError::Transport(format!("spawn dacapo pump: {e}")))?;
+        }
+        Ok((DacapoComChannel { inner: a }, DacapoComChannel { inner: b }))
+    }
+
+    /// The module graph currently running below this channel.
+    pub fn graph(&self) -> dacapo::ModuleGraph {
+        self.inner.connection.graph()
     }
 }
 
 impl ComChannel for DacapoComChannel {
     fn send_frame(&self, frame: Bytes) -> Result<(), OrbError> {
-        self.connection
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(OrbError::Closed);
+        }
+        self.inner
+            .connection
             .endpoint()
             .send(frame)
             .map_err(OrbError::from)
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            // Serve reconfiguration requests even while idle.
-            while let Ok(req) = self.prepare_rx.try_recv() {
-                self.serve_prepare(req);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(OrbError::Timeout(timeout));
-            }
-            let slice = POLL_SLICE.min(deadline - now);
-            match self.connection.endpoint().recv_timeout(slice) {
-                Ok(frame) => return Ok(frame),
-                Err(dacapo::DacapoError::Timeout(_)) => continue,
-                Err(dacapo::DacapoError::Closed) if !self.connection.is_closed() => {
-                    // A reconfiguration swapped the stack out from under
-                    // the endpoint we polled; pick up the new one.
-                    continue;
-                }
-                Err(e) => return Err(OrbError::from(e)),
-            }
-        }
+        self.inner.inbox.recv(timeout)
+    }
+
+    fn set_sink(&self, sink: Arc<dyn FrameSink>) {
+        self.inner.inbox.set_sink(sink);
     }
 
     fn drain(&self, timeout: Duration) -> bool {
-        self.connection.drain(timeout)
+        self.inner.connection.drain(timeout)
     }
 
     fn close(&self) {
-        self.connection.close();
-        self.grant.lock().take();
+        self.inner.close();
     }
 
     fn kind(&self) -> &'static str {
@@ -196,25 +225,29 @@ impl ComChannel for DacapoComChannel {
     }
 
     fn set_qos(&self, requirements: &TransportRequirements) -> Result<(), OrbError> {
-        // Phase 1: ask the peer to swap first.
-        self.prepare_tx
-            .send(*requirements)
-            .map_err(|_| OrbError::Closed)?;
-        // Phase 2: wait for the acknowledgement. The peer's recv_frame
-        // loop (always running inside the ORB demux or server worker)
-        // serves the request.
-        match self.ack_rx.recv_timeout(RECONFIGURE_TIMEOUT) {
-            Ok(Ok(())) => {}
-            Ok(Err(reason)) => {
-                return Err(OrbError::QosNotSupported(QosError::Rejected(format!(
-                    "peer rejected transport reconfiguration: {reason}"
-                ))))
-            }
-            Err(RecvTimeoutError::Timeout) => return Err(OrbError::Timeout(RECONFIGURE_TIMEOUT)),
-            Err(RecvTimeoutError::Disconnected) => return Err(OrbError::Closed),
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(OrbError::Closed);
         }
+        // Phase 1: the peer swaps first — configuration, admission, stack
+        // rebuild — over the management control path.
+        let peer = self.inner.peer.lock().upgrade().ok_or(OrbError::Closed)?;
+        if peer.closed.load(Ordering::Acquire) {
+            return Err(OrbError::Closed);
+        }
+        // Phase 2: a peer-side failure is the unilateral-negotiation NACK.
+        peer.apply_requirements(requirements).map_err(|reason| {
+            OrbError::QosNotSupported(QosError::Rejected(format!(
+                "peer rejected transport reconfiguration: {reason}"
+            )))
+        })?;
         // Phase 3: swap our own side.
-        self.apply_requirements(requirements)
+        self.inner.apply_requirements(requirements)
+    }
+}
+
+impl Drop for DacapoComChannel {
+    fn drop(&mut self) {
+        self.inner.close();
     }
 }
 
@@ -231,27 +264,11 @@ mod tests {
         let (ta, tb) = loopback_pair();
         let a = Connection::establish(ModuleGraph::empty(), ta, &catalog).unwrap();
         let b = Connection::establish(ModuleGraph::empty(), tb, &catalog).unwrap();
-        DacapoComChannel::pair(a, b, ConfigurationManager::standard(), resource_mgr)
+        DacapoComChannel::pair(a, b, ConfigurationManager::standard(), resource_mgr).unwrap()
     }
 
     fn channel_pair() -> (DacapoComChannel, DacapoComChannel) {
         channel_pair_with(None)
-    }
-
-    /// Runs a pump thread standing in for the ORB demux/worker that is
-    /// always inside `recv_frame`.
-    fn with_pump<T>(b: DacapoComChannel, f: impl FnOnce() -> T) -> (T, DacapoComChannel) {
-        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let pump = std::thread::spawn(move || {
-            while !stop2.load(std::sync::atomic::Ordering::Acquire) {
-                let _ = b.recv_frame(Duration::from_millis(20));
-            }
-            b
-        });
-        let result = f();
-        stop.store(true, std::sync::atomic::Ordering::Release);
-        (result, pump.join().unwrap())
     }
 
     #[test]
@@ -277,8 +294,8 @@ mod tests {
             encryption: true,
             ..Default::default()
         };
-        let (result, b) = with_pump(b, || a.set_qos(&req));
-        result.unwrap();
+        // No pump thread needed any more: the control path is synchronous.
+        a.set_qos(&req).unwrap();
         assert!(!a.graph().is_empty(), "client side reconfigured");
         assert_eq!(a.graph(), b.graph(), "peers agree on the configuration");
 
@@ -298,12 +315,9 @@ mod tests {
             encryption: true,
             ..Default::default()
         };
-        let (result, b) = with_pump(b, || {
-            a.set_qos(&strong)?;
-            assert!(!a.graph().is_empty());
-            a.set_qos(&TransportRequirements::best_effort())
-        });
-        result.unwrap();
+        a.set_qos(&strong).unwrap();
+        assert!(!a.graph().is_empty());
+        a.set_qos(&TransportRequirements::best_effort()).unwrap();
         assert!(a.graph().is_empty());
         assert!(b.graph().is_empty());
         a.close();
@@ -336,8 +350,7 @@ mod tests {
             bandwidth_bps: Some(4_000),
             ..Default::default()
         };
-        let (result, b) = with_pump(b, || a.set_qos(&ok_req));
-        result.unwrap();
+        a.set_qos(&ok_req).unwrap();
         assert_eq!(mgr.used_bandwidth(), 8_000, "both sides hold a grant");
 
         // Infeasible: the peer rejects, the initiator reports the NACK.
@@ -345,8 +358,7 @@ mod tests {
             bandwidth_bps: Some(9_000),
             ..Default::default()
         };
-        let (result, b) = with_pump(b, || a.set_qos(&bad_req));
-        match result {
+        match a.set_qos(&bad_req) {
             Err(OrbError::QosNotSupported(_)) => {}
             other => panic!("expected admission rejection, got {other:?}"),
         }
@@ -354,5 +366,21 @@ mod tests {
         a.close();
         b.close();
         assert_eq!(mgr.used_bandwidth(), 0, "grants released on close");
+    }
+
+    #[test]
+    fn frames_arrive_across_a_reconfiguration() {
+        let (a, b) = channel_pair();
+        a.send_frame(Bytes::from_static(b"before")).unwrap();
+        assert_eq!(&b.recv_frame(Duration::from_secs(5)).unwrap()[..], b"before");
+        a.set_qos(&TransportRequirements {
+            error_detection: true,
+            ..Default::default()
+        })
+        .unwrap();
+        a.send_frame(Bytes::from_static(b"after")).unwrap();
+        assert_eq!(&b.recv_frame(Duration::from_secs(5)).unwrap()[..], b"after");
+        a.close();
+        b.close();
     }
 }

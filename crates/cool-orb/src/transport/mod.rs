@@ -17,6 +17,31 @@
 //! Chorus IPC cannot shape traffic), while the Da CaPo channel maps the
 //! requirements to a new protocol configuration and reconfigures both
 //! sides of the connection.
+//!
+//! ## Threading model: push first, pull as a veneer
+//!
+//! Frame delivery is *event-driven*. Every channel owns a [`FrameInbox`];
+//! whatever thread discovers an inbound frame (a TCP reader thread, the
+//! peer's sending thread for the in-process Chorus transport, a Da CaPo
+//! pump thread) pushes it into the inbox, which either
+//!
+//! * hands it synchronously to a registered [`FrameSink`] (push mode — the
+//!   client demux and the server dispatcher run this way), or
+//! * queues it and wakes any thread blocked in [`ComChannel::recv_frame`]
+//!   (pull mode — used by streams and by tests that drive a channel half
+//!   by hand).
+//!
+//! There is no polling anywhere on this path: `recv_frame` is a true
+//! blocking wait on a condition variable with a real deadline, and a sink
+//! runs the instant a frame arrives. This diverges from the seed design,
+//! which had consumers re-poll `recv_frame` on short fixed intervals at
+//! the demux, server-worker and Da CaPo layers — all of those poll
+//! constants are gone.
+//!
+//! Sink callbacks run on the delivering thread and are serialized per
+//! channel. They must not block on a synchronous invocation over the
+//! *same* channel (the delivery thread is the one that would unblock it) —
+//! the same re-entrancy rule the seed's demux thread had.
 
 pub mod chorus;
 pub mod dacapo_chan;
@@ -28,7 +53,22 @@ pub use tcp::TcpComChannel;
 
 use crate::error::OrbError;
 use bytes::Bytes;
-use std::time::Duration;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Consumer of inbound frames, registered with [`ComChannel::set_sink`].
+///
+/// Callbacks run on the transport's delivery thread; see the module docs
+/// for the re-entrancy rule.
+pub trait FrameSink: Send + Sync {
+    /// A complete frame arrived on the channel.
+    fn on_frame(&self, frame: Bytes);
+    /// The channel closed (locally or by the peer). Called at most once,
+    /// after the last `on_frame`.
+    fn on_close(&self);
+}
 
 /// A frame-preserving duplex channel between two ORB endpoints.
 pub trait ComChannel: Send + Sync {
@@ -40,13 +80,24 @@ pub trait ComChannel: Send + Sync {
     /// failure.
     fn send_frame(&self, frame: Bytes) -> Result<(), OrbError>;
 
-    /// Receives the next frame, waiting at most `timeout`.
+    /// Receives the next frame, blocking until one arrives, the channel
+    /// closes, or `timeout` elapses. A real blocking wait with a real
+    /// deadline — arrival wakes the caller immediately.
+    ///
+    /// Not meaningful once a sink is registered: frames then flow to the
+    /// sink instead.
     ///
     /// # Errors
     ///
     /// [`OrbError::Timeout`] on expiry; [`OrbError::Closed`] once the
     /// channel is torn down.
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError>;
+
+    /// Registers a push consumer. Frames already queued (and a pending
+    /// close) are replayed into the sink immediately, in order; subsequent
+    /// frames are pushed as they arrive. A channel has at most one sink;
+    /// registering a new one replaces the old.
+    fn set_sink(&self, sink: Arc<dyn FrameSink>);
 
     /// Waits up to `timeout` for in-flight traffic to clear so that a
     /// subsequent [`ComChannel::close`] loses nothing; returns whether the
@@ -80,5 +131,245 @@ pub trait ComChannel: Send + Sync {
     fn set_qos(&self, requirements: &multe_qos::TransportRequirements) -> Result<(), OrbError> {
         let _ = requirements;
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrameInbox
+// ---------------------------------------------------------------------------
+
+struct InboxState {
+    queue: VecDeque<Bytes>,
+    sink: Option<Arc<dyn FrameSink>>,
+    /// True while some thread is draining `queue` into the sink with the
+    /// lock released. Concurrent pushers then only enqueue, which keeps
+    /// sink callbacks serialized and in FIFO order.
+    delivering: bool,
+    closed: bool,
+    close_notified: bool,
+}
+
+/// The per-channel delivery core shared by all three transports: a
+/// condvar-backed frame queue supporting both blocking pull
+/// ([`FrameInbox::recv`]) and sink push.
+///
+/// Invariant: while a sink is registered and no delivery is in flight, the
+/// queue is empty — every push drains synchronously.
+pub struct FrameInbox {
+    state: Mutex<InboxState>,
+    arrived: Condvar,
+}
+
+impl Default for FrameInbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameInbox {
+    /// Creates an empty, open inbox.
+    pub fn new() -> Self {
+        FrameInbox {
+            state: Mutex::new(InboxState {
+                queue: VecDeque::new(),
+                sink: None,
+                delivering: false,
+                closed: false,
+                close_notified: false,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Delivers one inbound frame: straight to the sink when one is
+    /// registered, otherwise queued for [`FrameInbox::recv`]. Frames pushed
+    /// after the close has been observed are dropped.
+    pub fn push(&self, frame: Bytes) {
+        let mut st = self.state.lock();
+        if st.close_notified {
+            return;
+        }
+        st.queue.push_back(frame);
+        if st.sink.is_some() && !st.delivering {
+            self.deliver(st);
+        } else {
+            self.arrived.notify_one();
+        }
+    }
+
+    /// Blocks until a frame is available, the inbox closes, or the timeout
+    /// elapses. Queued frames are drained before the close is reported.
+    pub fn recv(&self, timeout: Duration) -> Result<Bytes, OrbError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(frame) = st.queue.pop_front() {
+                return Ok(frame);
+            }
+            if st.closed {
+                return Err(OrbError::Closed);
+            }
+            if self.arrived.wait_until(&mut st, deadline).timed_out()
+                && st.queue.is_empty()
+                && !st.closed
+            {
+                return Err(OrbError::Timeout(timeout));
+            }
+        }
+    }
+
+    /// Registers the push consumer, replaying any queued frames (and a
+    /// pending close) into it before returning.
+    pub fn set_sink(&self, sink: Arc<dyn FrameSink>) {
+        let mut st = self.state.lock();
+        st.sink = Some(sink);
+        if !st.delivering {
+            self.deliver(st);
+        }
+    }
+
+    /// Closes the inbox: wakes all `recv` waiters and, in sink mode, fires
+    /// `on_close` once any queued frames have been delivered. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.arrived.notify_all();
+        if st.sink.is_some() && !st.delivering {
+            self.deliver(st);
+        }
+    }
+
+    /// Whether the inbox has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Drains the queue into the sink with the lock released around each
+    /// callback, then fires `on_close` (once) if the inbox is closed.
+    fn deliver<'a>(&'a self, mut st: MutexGuard<'a, InboxState>) {
+        let Some(sink) = st.sink.clone() else { return };
+        st.delivering = true;
+        while let Some(frame) = st.queue.pop_front() {
+            drop(st);
+            sink.on_frame(frame);
+            st = self.state.lock();
+        }
+        st.delivering = false;
+        if st.closed && !st.close_notified {
+            st.close_notified = true;
+            // Release the sink so anything it owns (dispatcher queue
+            // handles, connection state) is freed even while other parties
+            // still hold the inbox alive.
+            st.sink = None;
+            drop(st);
+            sink.on_close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    struct CountingSink {
+        frames: AtomicUsize,
+        closes: AtomicUsize,
+        seen: Mutex<Vec<Bytes>>,
+    }
+
+    impl CountingSink {
+        fn new() -> Arc<Self> {
+            Arc::new(CountingSink {
+                frames: AtomicUsize::new(0),
+                closes: AtomicUsize::new(0),
+                seen: Mutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl FrameSink for CountingSink {
+        fn on_frame(&self, frame: Bytes) {
+            self.frames.fetch_add(1, Ordering::SeqCst);
+            self.seen.lock().push(frame);
+        }
+        fn on_close(&self) {
+            self.closes.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn recv_wakes_on_push_without_polling() {
+        let inbox = Arc::new(FrameInbox::new());
+        let i2 = Arc::clone(&inbox);
+        let t = thread::spawn(move || i2.recv(Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        inbox.push(Bytes::from_static(b"hi"));
+        let got = t.join().unwrap().unwrap();
+        assert_eq!(&got[..], b"hi");
+        // The waiter must wake promptly, not on some 50ms poll boundary.
+        assert!(start.elapsed() < Duration::from_millis(40));
+    }
+
+    #[test]
+    fn recv_times_out_with_real_deadline() {
+        let inbox = FrameInbox::new();
+        let start = Instant::now();
+        let err = inbox.recv(Duration::from_millis(60)).unwrap_err();
+        assert!(matches!(err, OrbError::Timeout(_)));
+        assert!(start.elapsed() >= Duration::from_millis(55));
+    }
+
+    #[test]
+    fn sink_receives_backlog_then_live_frames_in_order() {
+        let inbox = FrameInbox::new();
+        inbox.push(Bytes::from_static(b"a"));
+        inbox.push(Bytes::from_static(b"b"));
+        let sink = CountingSink::new();
+        inbox.set_sink(sink.clone());
+        inbox.push(Bytes::from_static(b"c"));
+        let seen = sink.seen.lock();
+        assert_eq!(
+            seen.iter().map(|b| b[0]).collect::<Vec<_>>(),
+            vec![b'a', b'b', b'c']
+        );
+        assert_eq!(sink.closes.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn close_fires_on_close_exactly_once_after_frames() {
+        let inbox = FrameInbox::new();
+        let sink = CountingSink::new();
+        inbox.set_sink(sink.clone());
+        inbox.push(Bytes::from_static(b"x"));
+        inbox.close();
+        inbox.close();
+        assert_eq!(sink.frames.load(Ordering::SeqCst), 1);
+        assert_eq!(sink.closes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn close_after_queueing_replays_then_closes_new_sink() {
+        let inbox = FrameInbox::new();
+        inbox.push(Bytes::from_static(b"x"));
+        inbox.close();
+        let sink = CountingSink::new();
+        inbox.set_sink(sink.clone());
+        assert_eq!(sink.frames.load(Ordering::SeqCst), 1);
+        assert_eq!(sink.closes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn queued_frames_drain_before_closed_error() {
+        let inbox = FrameInbox::new();
+        inbox.push(Bytes::from_static(b"tail"));
+        inbox.close();
+        assert_eq!(&inbox.recv(Duration::from_millis(10)).unwrap()[..], b"tail");
+        assert!(matches!(
+            inbox.recv(Duration::from_millis(10)),
+            Err(OrbError::Closed)
+        ));
     }
 }

@@ -1,24 +1,41 @@
 //! TCP channel: the paper's `_TcpComChannel` (+ `_TcpBuffer`).
+//!
+//! Wire format: each frame is a 4-byte big-endian length prefix followed by
+//! the payload (the same framing `dacapo::tlayer::TcpTransport` speaks, so
+//! the two interoperate). A dedicated reader thread — COOL's `_TcpBuffer`
+//! role — blocks on the socket and pushes completed frames into the
+//! channel's [`FrameInbox`], which wakes `recv_frame` waiters or invokes
+//! the registered [`crate::transport::FrameSink`] immediately. No polling.
 
 use crate::error::OrbError;
-use crate::transport::ComChannel;
+use crate::transport::{ComChannel, FrameInbox, FrameSink};
 use bytes::Bytes;
-use dacapo::tlayer::{TcpTransport, Transport};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+/// Refuse frames larger than this (a corrupt length prefix would otherwise
+/// ask for an absurd allocation).
+const MAX_TCP_FRAME: u32 = 256 * 1024 * 1024;
+
 /// A frame-preserving channel over a real TCP connection.
-///
-/// Framing (4-byte length prefix) and receive buffering are delegated to
-/// [`dacapo::tlayer::TcpTransport`], whose reader thread plays the role of
-/// COOL's `_TcpBuffer` class.
 pub struct TcpComChannel {
-    inner: TcpTransport,
+    writer: Mutex<TcpStream>,
+    /// Separate handle used to shut the socket down and unblock the reader
+    /// thread even while a writer holds the lock.
+    shutdown_handle: TcpStream,
+    inbox: Arc<FrameInbox>,
+    closed: AtomicBool,
 }
 
 impl std::fmt::Debug for TcpComChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpComChannel").finish()
+        f.debug_struct("TcpComChannel")
+            .field("closed", &self.closed.load(Ordering::Acquire))
+            .finish()
     }
 }
 
@@ -34,14 +51,32 @@ impl TcpComChannel {
         TcpComChannel::from_stream(stream)
     }
 
-    /// Wraps an accepted stream.
+    /// Wraps an accepted stream, starting the reader thread.
     ///
     /// # Errors
     ///
-    /// [`OrbError::Transport`] if the stream cannot be prepared.
+    /// [`OrbError::Transport`] if the stream cannot be prepared or the
+    /// reader thread cannot be spawned.
     pub fn from_stream(stream: TcpStream) -> Result<Self, OrbError> {
-        let inner = TcpTransport::new(stream).map_err(OrbError::from)?;
-        Ok(TcpComChannel { inner })
+        stream.set_nodelay(true).ok();
+        let reader = stream
+            .try_clone()
+            .map_err(|e| OrbError::Transport(format!("tcp clone: {e}")))?;
+        let shutdown_handle = stream
+            .try_clone()
+            .map_err(|e| OrbError::Transport(format!("tcp clone: {e}")))?;
+        let inbox = Arc::new(FrameInbox::new());
+        let rx_inbox = Arc::clone(&inbox);
+        std::thread::Builder::new()
+            .name("cool-tcp-rx".into())
+            .spawn(move || reader_loop(reader, &rx_inbox))
+            .map_err(|e| OrbError::Transport(format!("spawn tcp reader: {e}")))?;
+        Ok(TcpComChannel {
+            writer: Mutex::new(stream),
+            shutdown_handle,
+            inbox,
+            closed: AtomicBool::new(false),
+        })
     }
 
     /// Binds a listener for the server side.
@@ -54,17 +89,65 @@ impl TcpComChannel {
     }
 }
 
+/// Blocks on the socket, pushing each completed frame into the inbox;
+/// closes the inbox on EOF, shutdown, or any framing/IO error.
+fn reader_loop(mut stream: TcpStream, inbox: &FrameInbox) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            break;
+        }
+        let len = u32::from_be_bytes(len_buf);
+        if len > MAX_TCP_FRAME {
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        if stream.read_exact(&mut payload).is_err() {
+            break;
+        }
+        inbox.push(Bytes::from(payload));
+    }
+    inbox.close();
+}
+
 impl ComChannel for TcpComChannel {
     fn send_frame(&self, frame: Bytes) -> Result<(), OrbError> {
-        self.inner.send(frame).map_err(OrbError::from)
+        if self.closed.load(Ordering::Acquire) {
+            return Err(OrbError::Closed);
+        }
+        if frame.len() as u64 > u64::from(MAX_TCP_FRAME) {
+            return Err(OrbError::Transport(format!(
+                "frame of {} bytes exceeds the {MAX_TCP_FRAME}-byte limit",
+                frame.len()
+            )));
+        }
+        let mut w = self.writer.lock();
+        let io = w
+            .write_all(&(frame.len() as u32).to_be_bytes())
+            .and_then(|()| w.write_all(&frame))
+            .and_then(|()| w.flush());
+        io.map_err(|e| {
+            if self.closed.load(Ordering::Acquire) {
+                OrbError::Closed
+            } else {
+                OrbError::Transport(format!("tcp send: {e}"))
+            }
+        })
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
-        self.inner.recv_timeout(timeout).map_err(OrbError::from)
+        self.inbox.recv(timeout)
+    }
+
+    fn set_sink(&self, sink: Arc<dyn FrameSink>) {
+        self.inbox.set_sink(sink);
     }
 
     fn close(&self) {
-        self.inner.close();
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            let _ = self.shutdown_handle.shutdown(Shutdown::Both);
+        }
+        self.inbox.close();
     }
 
     fn kind(&self) -> &'static str {
@@ -72,17 +155,28 @@ impl ComChannel for TcpComChannel {
     }
 }
 
+impl Drop for TcpComChannel {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
-    #[test]
-    fn tcp_channel_round_trip() {
+    fn connected_pair() -> (TcpComChannel, TcpComChannel) {
         let listener = TcpComChannel::listen("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let client = TcpComChannel::connect(addr).unwrap();
         let (server_stream, _) = listener.accept().unwrap();
-        let server = TcpComChannel::from_stream(server_stream).unwrap();
+        (client, TcpComChannel::from_stream(server_stream).unwrap())
+    }
+
+    #[test]
+    fn tcp_channel_round_trip() {
+        let (client, server) = connected_pair();
 
         client.send_frame(Bytes::from_static(b"request")).unwrap();
         assert_eq!(
@@ -120,5 +214,21 @@ mod tests {
     fn connect_to_nothing_fails() {
         // Port 1 is essentially never listening.
         assert!(TcpComChannel::connect("127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn peer_close_unblocks_receiver_immediately() {
+        let (client, server) = connected_pair();
+        let t = std::thread::spawn(move || {
+            let start = Instant::now();
+            let res = server.recv_frame(Duration::from_secs(10));
+            (res, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        client.close();
+        let (res, waited) = t.join().unwrap();
+        assert!(matches!(res, Err(OrbError::Closed)));
+        // Closed must wake the blocked receiver, not let it run to timeout.
+        assert!(waited < Duration::from_secs(2));
     }
 }

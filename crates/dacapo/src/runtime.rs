@@ -34,12 +34,16 @@ use std::time::{Duration, Instant};
 pub struct RuntimeOptions {
     /// Capacity of each bounded down-direction queue.
     pub channel_capacity: usize,
-    /// Interval between [`Module::on_tick`] callbacks (drives ARQ
-    /// retransmission).
+    /// Interval between [`Module::on_tick`] callbacks. This is a protocol
+    /// timer (it drives ARQ retransmission), *not* a data-path poll: packet
+    /// arrival wakes a module immediately via its queue select.
     pub tick_interval: Duration,
-    /// Poll interval of the transport receive pump (bounds shutdown
-    /// latency: pump threads notice the shutdown flag within one poll).
-    pub rx_poll: Duration,
+    /// Upper bound on how long the transport receive pump may take to
+    /// notice shutdown. The pump blocks in `Transport::recv_timeout` — the
+    /// only wait the runtime cannot wire a wakeup into — so stack teardown
+    /// may lag by up to this long. Frame arrival is unaffected: the
+    /// underlying transports wake their receiver the moment data lands.
+    pub shutdown_grace: Duration,
 }
 
 impl Default for RuntimeOptions {
@@ -47,7 +51,7 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             channel_capacity: 128,
             tick_interval: Duration::from_millis(20),
-            rx_poll: Duration::from_millis(5),
+            shutdown_grace: Duration::from_millis(25),
         }
     }
 }
@@ -66,6 +70,11 @@ pub struct StackHandle {
     queue_probes: Vec<Sender<Packet>>,
     /// Per-module idle flags maintained by the module threads.
     idle_flags: Vec<Arc<AtomicBool>>,
+    /// Shutdown wakeup: every stack thread selects on a clone of the
+    /// matching receiver. Dropping this sender disconnects the channel and
+    /// wakes all threads blocked in a select, so shutdown never waits for
+    /// a tick or poll interval to expire.
+    wake: Option<Sender<()>>,
 }
 
 impl StackHandle {
@@ -112,6 +121,9 @@ impl StackHandle {
     /// (reconfiguration).
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Release);
+        // Dropping the wake sender disconnects every thread's wake
+        // receiver, popping them out of blocking selects immediately.
+        self.wake.take();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -123,6 +135,7 @@ impl Drop for StackHandle {
         // Signal but do not join: destructors must not block. An explicit
         // `shutdown()` joins cleanly.
         self.shutdown.store(true, Ordering::Release);
+        self.wake.take();
     }
 }
 
@@ -134,6 +147,9 @@ pub fn build_stack(
     opts: &RuntimeOptions,
 ) -> StackHandle {
     let shutdown = Arc::new(AtomicBool::new(false));
+    // Never sent on: exists only so that dropping `wake_tx` (at shutdown)
+    // disconnects the receivers and wakes every blocked select below.
+    let (wake_tx, wake_rx) = unbounded::<()>();
     let module_names: Vec<String> = modules.iter().map(|m| m.name().to_owned()).collect();
     let mut threads = Vec::new();
     let mut queue_probes: Vec<Sender<Packet>> = Vec::new();
@@ -174,12 +190,15 @@ pub fn build_stack(
         let tick = opts.tick_interval;
         let idle = Arc::new(AtomicBool::new(true));
         idle_flags.push(idle.clone());
+        let wake = wake_rx.clone();
         let name = format!("dacapo-mod-{}", module.name());
         threads.push(
             std::thread::Builder::new()
                 .name(name)
                 .spawn(move || {
-                    module_loop(module, down_in, up_in, down_out, up_out, flag, tick, idle)
+                    module_loop(
+                        module, down_in, up_in, down_out, up_out, flag, tick, idle, wake,
+                    )
                 })
                 .expect("spawn module thread"),
         );
@@ -187,11 +206,12 @@ pub fn build_stack(
     // The remaining down receiver feeds the transport TX pump.
     let t_down_rx = prev_down_rx;
 
-    // Transport TX pump.
+    // Transport TX pump: blocks in a select over the bottom down queue and
+    // the shutdown wake channel — no timeout, no polling.
     {
         let transport = transport.clone();
         let flag = shutdown.clone();
-        let poll = opts.rx_poll;
+        let wake = wake_rx.clone();
         threads.push(
             std::thread::Builder::new()
                 .name("dacapo-t-tx".into())
@@ -199,26 +219,39 @@ pub fn build_stack(
                     if flag.load(Ordering::Acquire) {
                         return;
                     }
-                    match t_down_rx.recv_timeout(poll) {
-                        Ok(pkt) => {
-                            if transport.send(pkt.to_bytes()).is_err() {
-                                return;
+                    let mut sel = Select::new();
+                    let wake_idx = sel.recv(&wake);
+                    let down_idx = sel.recv(&t_down_rx);
+                    let op = sel.select();
+                    if op.index() == down_idx {
+                        match op.recv(&t_down_rx) {
+                            Ok(pkt) => {
+                                if transport.send(pkt.to_bytes()).is_err() {
+                                    return;
+                                }
                             }
+                            Err(_) => return,
                         }
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    } else {
+                        debug_assert_eq!(op.index(), wake_idx);
+                        // Disconnected wake channel: shutdown was signalled;
+                        // the flag check at the top of the loop returns.
+                        let _ = op.recv(&wake);
                     }
                 })
                 .expect("spawn t-tx thread"),
         );
     }
 
-    // Transport RX pump feeds up_tx[n] (bottom of the up chain).
+    // Transport RX pump feeds up_tx[n] (bottom of the up chain). It blocks
+    // in the transport's own receive wait (condvar/socket backed — arrival
+    // wakes it immediately); `shutdown_grace` only bounds how long teardown
+    // can lag, since a transport read cannot join the wake select.
     {
         let transport = transport.clone();
         let flag = shutdown.clone();
         let up_bottom = up_tx[n].clone();
-        let poll = opts.rx_poll;
+        let grace = opts.shutdown_grace;
         threads.push(
             std::thread::Builder::new()
                 .name("dacapo-t-rx".into())
@@ -226,7 +259,7 @@ pub fn build_stack(
                     if flag.load(Ordering::Acquire) {
                         return;
                     }
-                    match transport.recv_timeout(poll) {
+                    match transport.recv_timeout(grace) {
                         Ok(frame) => {
                             let pkt = Packet::from_wire(&frame, PacketKind::Data);
                             if up_bottom.send(pkt).is_err() {
@@ -258,6 +291,7 @@ pub fn build_stack(
         module_names,
         queue_probes,
         idle_flags,
+        wake: Some(wake_tx),
     }
 }
 
@@ -272,6 +306,7 @@ fn module_loop(
     shutdown: Arc<AtomicBool>,
     tick_interval: Duration,
     idle: Arc<AtomicBool>,
+    wake: Receiver<()>,
 ) {
     let start = Instant::now();
     let mut out = Outputs::new();
@@ -286,9 +321,13 @@ fn module_loop(
             return;
         }
 
-        // Select over the currently admissible inputs.
+        // Select over the currently admissible inputs. The shutdown wake
+        // receiver always participates, so a blocked module pops out of
+        // this select the instant teardown starts; the timeout is purely
+        // the module's protocol timer (ARQ retransmission), never a poll.
         let take_down = down_open && module.ready_for_down();
         let mut sel = Select::new();
+        let wake_idx = sel.recv(&wake);
         let up_idx = if up_open {
             Some(sel.recv(&up_in))
         } else {
@@ -299,24 +338,23 @@ fn module_loop(
         } else {
             None
         };
+        let _ = down_idx;
 
-        if up_idx.is_none() && down_idx.is_none() {
-            // Nothing to wait on except ticks (e.g. ARQ draining its
-            // window after the app hung up).
-            std::thread::sleep(tick_interval);
-            module.on_tick(start.elapsed(), &mut out);
-        } else {
-            match sel.select_timeout(tick_interval) {
-                Ok(op) if Some(op.index()) == up_idx => match op.recv(&up_in) {
-                    Ok(pkt) => module.process_up(pkt, &mut out),
-                    Err(_) => up_open = false,
-                },
-                Ok(op) => match op.recv(&down_in) {
-                    Ok(pkt) => module.process_down(pkt, &mut out),
-                    Err(_) => down_open = false,
-                },
-                Err(_) => module.on_tick(start.elapsed(), &mut out),
+        match sel.select_timeout(tick_interval) {
+            Ok(op) if op.index() == wake_idx => {
+                // Disconnection of the wake channel signals shutdown; the
+                // flag check at the top of the loop handles it.
+                let _ = op.recv(&wake);
             }
+            Ok(op) if Some(op.index()) == up_idx => match op.recv(&up_in) {
+                Ok(pkt) => module.process_up(pkt, &mut out),
+                Err(_) => up_open = false,
+            },
+            Ok(op) => match op.recv(&down_in) {
+                Ok(pkt) => module.process_down(pkt, &mut out),
+                Err(_) => down_open = false,
+            },
+            Err(_) => module.on_tick(start.elapsed(), &mut out),
         }
 
         for pkt in out.take_down() {

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, tests, and lint-clean clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace -- -D warnings

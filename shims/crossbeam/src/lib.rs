@@ -1,0 +1,7 @@
+//! Minimal offline stand-in for the `crossbeam` umbrella crate.
+//!
+//! Only the [`channel`] module is provided — MPMC bounded/unbounded channels
+//! with blocking, timed and non-blocking operations plus a [`channel::Select`]
+//! implementation sufficient for selecting over receivers.
+
+pub mod channel;
