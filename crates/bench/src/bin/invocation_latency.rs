@@ -10,7 +10,9 @@
 //! cargo run --release -p bench --bin invocation_latency
 //! ```
 
-use bench::{RttHarness, RttStats};
+use bench::{emit_bench_json, rtt_stats_json, RttHarness, RttStats};
+use cool_telemetry::Registry;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -31,6 +33,7 @@ fn main() {
     ];
 
     let mut worst_p99 = Duration::ZERO;
+    let mut measured = Vec::new();
     for (label, make) in transports {
         let harness = make();
         let stats = RttStats::from_samples(harness.run(n, payload));
@@ -42,8 +45,32 @@ fn main() {
             format!("{:.1?}", stats.p99),
         );
         worst_p99 = worst_p99.max(stats.p99);
+        measured.push((label, stats));
         harness.close();
     }
+
+    // ---- Machine-readable output -------------------------------------------
+    // The timed passes above run with telemetry off (so the table is the
+    // zero-instrumentation baseline). A separate telemetry-enabled pass
+    // over loopback TCP produces the registry snapshot: invocation count,
+    // ORB-computed latency percentiles, and QoS/transport counters.
+    let registry = Arc::new(Registry::new());
+    let harness = RttHarness::new_with_telemetry(Arc::clone(&registry));
+    harness.set_qos_dimensions(1);
+    let telemetry_calls = if quick { 200 } else { 1000 };
+    let _ = harness.run(telemetry_calls, payload);
+    harness.close();
+    let mut json = String::from("{\"bench\":\"invocation_latency\",\"transports\":{");
+    for (i, (label, stats)) in measured.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{label}\":{}", rtt_stats_json(stats)));
+    }
+    json.push_str("},\"telemetry\":");
+    json.push_str(&registry.snapshot().to_json());
+    json.push('}');
+    emit_bench_json("invocation_latency", &json);
 
     // ---- Shape check -------------------------------------------------------
     // Any surviving poll loop would put its period (>= 5ms in the seed)

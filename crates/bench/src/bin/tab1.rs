@@ -12,7 +12,7 @@
 //! cargo run --release -p bench --bin tab1
 //! ```
 
-use bench::{RttHarness, RttStats};
+use bench::{emit_bench_json, rtt_stats_json, RttHarness, RttStats};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -49,7 +49,8 @@ fn main() {
     harness.close();
 
     let mut means = Vec::new();
-    for ((_, label), samples) in variants.iter().zip(samples) {
+    let mut json = String::from("{\"bench\":\"tab1\",\"variants\":{");
+    for (i, ((k, label), samples)) in variants.iter().zip(samples).enumerate() {
         let stats = RttStats::from_samples(samples);
         println!(
             "{:>22} {:>12} {:>12} {:>12}",
@@ -58,8 +59,14 @@ fn main() {
             format!("{:.1?}", stats.p50),
             format!("{:.1?}", stats.p99),
         );
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"qos_params_{k}\":{}", rtt_stats_json(&stats)));
         means.push((*label, stats.p50));
     }
+    json.push_str("}}");
+    emit_bench_json("tab1", &json);
 
     // ---- Shape check -------------------------------------------------------
     let baseline = means[0].1.as_secs_f64();

@@ -181,18 +181,42 @@ impl RttHarness {
         Self::with_listener("dacapo", |orb| orb.listen_dacapo("rtt"))
     }
 
+    /// Loopback-TCP echo harness with both ORBs reporting into
+    /// `registry` — counters, latency histograms and invocation spans
+    /// (client and server share the registry, so spans are complete).
+    pub fn new_with_telemetry(registry: Arc<cool_telemetry::Registry>) -> Self {
+        let config = OrbConfig {
+            telemetry: Some(registry),
+            ..Default::default()
+        };
+        Self::with_listener_config("tcp-telemetry", config, |orb| orb.listen_tcp("127.0.0.1:0"))
+    }
+
     fn with_listener(
         tag: &str,
         listen: impl FnOnce(&Orb) -> Result<OrbServer, OrbError>,
     ) -> Self {
+        Self::with_listener_config(tag, OrbConfig::default(), listen)
+    }
+
+    fn with_listener_config(
+        tag: &str,
+        config: OrbConfig,
+        listen: impl FnOnce(&Orb) -> Result<OrbServer, OrbError>,
+    ) -> Self {
         let exchange = LocalExchange::new();
-        let server_orb = Orb::with_exchange(&format!("rtt-server-{tag}"), exchange.clone());
+        let server_orb = Orb::with_exchange_and_config(
+            &format!("rtt-server-{tag}"),
+            exchange.clone(),
+            config.clone(),
+        );
         server_orb
             .adapter()
             .register_fn("echo", |_op, args, _ctx| Ok(args.to_vec()))
             .expect("register echo");
         let server = listen(&server_orb).expect("listen");
-        let client_orb = Orb::with_exchange(&format!("rtt-client-{tag}"), exchange);
+        let client_orb =
+            Orb::with_exchange_and_config(&format!("rtt-client-{tag}"), exchange, config);
         let stub = client_orb.bind(&server.object_ref("echo")).expect("bind");
         RttHarness {
             server,
@@ -275,6 +299,29 @@ impl RttHarness {
 impl Default for RttHarness {
     fn default() -> Self {
         RttHarness::new()
+    }
+}
+
+/// JSON fragment for one [`RttStats`] (µs-resolution fields matching the
+/// telemetry snapshot's histogram serialization).
+pub fn rtt_stats_json(stats: &RttStats) -> String {
+    format!(
+        "{{\"samples\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+        stats.samples,
+        stats.mean.as_micros(),
+        stats.p50.as_micros(),
+        stats.p99.as_micros()
+    )
+}
+
+/// Emits one machine-readable result line (`BENCH_JSON {…}`) and mirrors
+/// it to `BENCH_<name>.json` in the working directory, so CI can scrape
+/// either the stream or the file.
+pub fn emit_bench_json(name: &str, json: &str) {
+    println!("BENCH_JSON {json}");
+    let path = format!("BENCH_{name}.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {path}: {e}");
     }
 }
 

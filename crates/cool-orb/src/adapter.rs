@@ -11,20 +11,29 @@
 use crate::error::OrbError;
 use crate::object::ObjectKey;
 use crate::servant::{FnServant, InvocationCtx, Servant};
+use cool_telemetry::{Histogram, Registry, Stage};
 use multe_qos::{GrantedQoS, QoSSpec, ServerPolicy};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 struct Registration {
     servant: Arc<dyn Servant>,
     policy: ServerPolicy,
 }
 
+/// Pre-resolved adapter-side metric handles.
+struct AdapterTelemetry {
+    registry: Arc<Registry>,
+    execute_us: Arc<Histogram>,
+}
+
 /// Maps object keys to servants and QoS policies.
 #[derive(Default)]
 pub struct ObjectAdapter {
     objects: RwLock<HashMap<ObjectKey, Registration>>,
+    telemetry: Option<AdapterTelemetry>,
 }
 
 impl std::fmt::Debug for ObjectAdapter {
@@ -56,6 +65,19 @@ impl ObjectAdapter {
     /// Creates an empty adapter.
     pub fn new() -> Self {
         ObjectAdapter::default()
+    }
+
+    /// Creates an empty adapter reporting into `telemetry` (negotiation
+    /// outcome counters, the `orb_servant_execute_us` histogram, and the
+    /// server-side span stages of traced dispatches).
+    pub fn with_telemetry(telemetry: Option<Arc<Registry>>) -> Self {
+        ObjectAdapter {
+            objects: RwLock::new(HashMap::new()),
+            telemetry: telemetry.map(|registry| AdapterTelemetry {
+                execute_us: registry.histogram("orb_servant_execute_us"),
+                registry,
+            }),
+        }
     }
 
     /// Registers (activates) a servant under `key` with a permissive QoS
@@ -150,6 +172,22 @@ impl ObjectAdapter {
         spec: &QoSSpec,
         one_way: bool,
     ) -> DispatchOutcome {
+        self.dispatch_traced(key, operation, args, spec, one_way, None)
+    }
+
+    /// Like [`ObjectAdapter::dispatch`], attributing the server-side span
+    /// stages (`qos_negotiate`, `servant_execute`) to `request_id` when the
+    /// adapter has telemetry. The marks land only if the client opened its
+    /// span in the *same* registry (loopback setups sharing one registry).
+    pub fn dispatch_traced(
+        &self,
+        key: &ObjectKey,
+        operation: &str,
+        args: &[u8],
+        spec: &QoSSpec,
+        one_way: bool,
+        request_id: Option<u32>,
+    ) -> DispatchOutcome {
         let (servant, policy) = {
             let objects = self.objects.read();
             match objects.get(key) {
@@ -161,18 +199,41 @@ impl ObjectAdapter {
         };
 
         // Bilateral negotiation (Figure 3): only engaged when the client
-        // actually specified QoS.
-        let granted = if spec.is_best_effort() {
-            GrantedQoS::best_effort()
+        // actually specified QoS. Best-effort requests still get the span
+        // mark (a ~zero-length stage) but do not tick negotiation counters
+        // — no negotiation took place.
+        let neg_start = Instant::now();
+        let negotiated = if spec.is_best_effort() {
+            None
         } else {
-            match policy.negotiate(spec) {
-                Ok(granted) => granted,
-                Err(reason) => return DispatchOutcome::QosNack(reason),
+            Some(policy.negotiate(spec))
+        };
+        if let Some(t) = &self.telemetry {
+            if let Some(result) = &negotiated {
+                multe_qos::telemetry::record_negotiation(&t.registry, spec, result);
             }
+            if let Some(id) = request_id {
+                t.registry
+                    .span_mark(id, Stage::QosNegotiate, neg_start.elapsed());
+            }
+        }
+        let granted = match negotiated {
+            None => GrantedQoS::best_effort(),
+            Some(Ok(granted)) => granted,
+            Some(Err(reason)) => return DispatchOutcome::QosNack(reason),
         };
 
         let ctx = InvocationCtx::new(granted.clone(), operation, one_way);
-        match servant.dispatch(operation, args, &ctx) {
+        let exec_start = Instant::now();
+        let result = servant.dispatch(operation, args, &ctx);
+        if let Some(t) = &self.telemetry {
+            let took = exec_start.elapsed();
+            t.execute_us.record_duration_us(took);
+            if let Some(id) = request_id {
+                t.registry.span_mark(id, Stage::ServantExecute, took);
+            }
+        }
+        match result {
             Ok(body) => DispatchOutcome::Success { body, granted },
             Err(e) => DispatchOutcome::Error(e),
         }
@@ -310,6 +371,26 @@ mod tests {
             DispatchOutcome::QosNack(_)
         ));
         assert!(!adapter.set_policy(&ObjectKey::from("ghost"), ServerPolicy::permissive()));
+    }
+
+    #[test]
+    fn telemetry_counts_negotiations_and_execute_time() {
+        let registry = Arc::new(Registry::new());
+        let adapter = ObjectAdapter::with_telemetry(Some(registry.clone()));
+        adapter
+            .register_fn("echo", |_op, args, _ctx| Ok(args.to_vec()))
+            .unwrap();
+        let key = ObjectKey::from("echo");
+        // Best-effort: servant runs, but no negotiation counters tick.
+        adapter.dispatch(&key, "op", b"", &QoSSpec::best_effort(), false);
+        // A real spec at the permissive policy's operating point: accepted.
+        let spec = QoSSpec::builder().ordered(true).build();
+        adapter.dispatch(&key, "op", b"", &spec, false);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("qos_negotiations_accepted"), Some(1));
+        assert_eq!(snap.counter("qos_negotiations_nacked"), None);
+        let execute = snap.histogram("orb_servant_execute_us").unwrap();
+        assert_eq!(execute.count, 2);
     }
 
     #[test]

@@ -32,13 +32,14 @@ use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
 use crate::transport::{ComChannel, FrameSink};
 use bytes::Bytes;
 use cool_giop::prelude::*;
+use cool_telemetry::{Counter, Histogram, Registry, SpanOutcome, Stage};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use multe_qos::GrantedQoS;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Result of a two-way invocation: reply body plus any granted QoS the
 /// server attached.
@@ -66,6 +67,52 @@ impl Slot {
 
 type PendingMap = Arc<Mutex<HashMap<u32, Slot>>>;
 
+/// Pre-resolved client-side metric handles (one lookup per binding, then
+/// relaxed atomics on the hot path).
+#[derive(Clone)]
+struct ClientMetrics {
+    registry: Arc<Registry>,
+    invocations: Arc<Counter>,
+    latency: Arc<Histogram>,
+    timeouts: Arc<Counter>,
+}
+
+impl ClientMetrics {
+    fn resolve(registry: Arc<Registry>, transport: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("transport", transport)];
+        ClientMetrics {
+            invocations: registry.counter(&Registry::labeled("orb_invocations_total", labels)),
+            latency: registry.histogram(&Registry::labeled("orb_invocation_latency_us", labels)),
+            timeouts: registry.counter("orb_timeouts_total"),
+            registry,
+        }
+    }
+
+    /// Closes the span for a completed invocation and feeds the
+    /// invocation counter + end-to-end latency histogram.
+    fn finish_invocation(&self, request_id: u32, result: &ReplyResult) {
+        let total = self.registry.span_finish(request_id, outcome_of(result));
+        self.invocations.inc();
+        if matches!(result, Err(OrbError::Timeout { .. })) {
+            self.timeouts.inc();
+        }
+        if result.is_ok() {
+            if let Some(total) = total {
+                self.latency.record_duration_us(total);
+            }
+        }
+    }
+}
+
+fn outcome_of(result: &ReplyResult) -> SpanOutcome {
+    match result {
+        Ok(_) => SpanOutcome::Ok,
+        Err(OrbError::Cancelled) => SpanOutcome::Cancelled,
+        Err(OrbError::Timeout { .. }) => SpanOutcome::Timeout,
+        Err(_) => SpanOutcome::Error,
+    }
+}
+
 /// A client connection to one server endpoint.
 pub struct Binding {
     channel: Arc<dyn ComChannel>,
@@ -75,6 +122,7 @@ pub struct Binding {
     pending: PendingMap,
     closed: Arc<AtomicBool>,
     default_timeout: Duration,
+    telemetry: Option<ClientMetrics>,
 }
 
 impl std::fmt::Debug for Binding {
@@ -95,11 +143,14 @@ impl std::fmt::Debug for Binding {
 struct DemuxSink {
     pending: PendingMap,
     closed: Arc<AtomicBool>,
+    /// For the `ReplyDecode` span mark; the span itself is owned by the
+    /// caller that opened it in `call`/`defer`/`notify`.
+    registry: Option<Arc<Registry>>,
 }
 
 impl FrameSink for DemuxSink {
     fn on_frame(&self, frame: Bytes) {
-        demux_frame(&frame, &self.pending, &self.closed);
+        demux_frame(&frame, &self.pending, &self.closed, self.registry.as_deref());
     }
 
     fn on_close(&self) {
@@ -121,6 +172,10 @@ impl Binding {
         protocol: WireProtocol,
         config: &OrbConfig,
     ) -> Arc<Self> {
+        let telemetry = config
+            .telemetry
+            .as_ref()
+            .map(|r| ClientMetrics::resolve(Arc::clone(r), channel.kind()));
         let binding = Arc::new(Binding {
             channel,
             protocol,
@@ -129,10 +184,12 @@ impl Binding {
             pending: Arc::new(Mutex::new(HashMap::new())),
             closed: Arc::new(AtomicBool::new(false)),
             default_timeout: config.call_timeout,
+            telemetry,
         });
         binding.channel.set_sink(Arc::new(DemuxSink {
             pending: binding.pending.clone(),
             closed: binding.closed.clone(),
+            registry: binding.telemetry.as_ref().map(|t| Arc::clone(&t.registry)),
         }));
         binding
     }
@@ -221,24 +278,53 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let start = Instant::now();
         let request_id = self.next_request_id();
-        let frame =
-            self.encode_request(request_id, object_key, operation, args, qos_params, true)?;
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_begin(request_id, operation, self.channel.kind());
+        }
+        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
+        {
+            Ok(frame) => frame,
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                }
+                return Err(e);
+            }
+        };
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_mark(request_id, Stage::Marshal, start.elapsed());
+        }
         let rx = self.register_sync(request_id);
+        let send_start = Instant::now();
         if let Err(e) = self.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
+            if let Some(t) = &self.telemetry {
+                t.registry.span_finish(request_id, SpanOutcome::Error);
+            }
             return Err(e);
+        }
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_mark(request_id, Stage::FrameSend, send_start.elapsed());
         }
         // A true blocking wait: the delivery thread completes the slot the
         // moment the matching Reply frame arrives.
-        match rx.recv_timeout(timeout) {
+        let result = match rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(RecvTimeoutError::Timeout) => {
                 self.pending.lock().remove(&request_id);
-                Err(OrbError::Timeout(timeout))
+                Err(OrbError::request_timeout(request_id, start.elapsed()))
             }
             Err(RecvTimeoutError::Disconnected) => Err(OrbError::Closed),
+        };
+        if let Some(t) = &self.telemetry {
+            t.finish_invocation(request_id, &result);
         }
+        result
     }
 
     /// One-way invocation: returns as soon as the request is on the wire.
@@ -257,10 +343,42 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let start = Instant::now();
         let request_id = self.next_request_id();
-        let frame =
-            self.encode_request(request_id, object_key, operation, args, qos_params, false)?;
-        self.channel.send_frame(frame)
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_begin(request_id, operation, self.channel.kind());
+        }
+        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, false)
+        {
+            Ok(frame) => frame,
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                }
+                return Err(e);
+            }
+        };
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_mark(request_id, Stage::Marshal, start.elapsed());
+        }
+        let send_start = Instant::now();
+        let sent = self.channel.send_frame(frame);
+        if let Some(t) = &self.telemetry {
+            // One-way: the span ends once the request is on the wire.
+            let outcome = match &sent {
+                Ok(()) => {
+                    t.registry
+                        .span_mark(request_id, Stage::FrameSend, send_start.elapsed());
+                    SpanOutcome::Ok
+                }
+                Err(_) => SpanOutcome::Error,
+            };
+            t.registry.span_finish(request_id, outcome);
+            t.invocations.inc();
+        }
+        sent
     }
 
     /// Deferred synchronous invocation: the reply is collected later via
@@ -279,13 +397,38 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let start = Instant::now();
         let request_id = self.next_request_id();
-        let frame =
-            self.encode_request(request_id, object_key, operation, args, qos_params, true)?;
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_begin(request_id, operation, self.channel.kind());
+        }
+        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
+        {
+            Ok(frame) => frame,
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                }
+                return Err(e);
+            }
+        };
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_mark(request_id, Stage::Marshal, start.elapsed());
+        }
         let rx = self.register_sync(request_id);
+        let send_start = Instant::now();
         if let Err(e) = self.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
+            if let Some(t) = &self.telemetry {
+                t.registry.span_finish(request_id, SpanOutcome::Error);
+            }
             return Err(e);
+        }
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_mark(request_id, Stage::FrameSend, send_start.elapsed());
         }
         Ok(DeferredReply {
             request_id,
@@ -295,6 +438,7 @@ impl Binding {
             order: self.order,
             done: false,
             ready: None,
+            telemetry: self.telemetry.clone(),
         })
     }
 
@@ -315,15 +459,53 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let start = Instant::now();
         let request_id = self.next_request_id();
-        let frame =
-            self.encode_request(request_id, object_key, operation, args, qos_params, true)?;
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_begin(request_id, operation, self.channel.kind());
+        }
+        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
+        {
+            Ok(frame) => frame,
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                }
+                return Err(e);
+            }
+        };
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_mark(request_id, Stage::Marshal, start.elapsed());
+        }
+        // With telemetry on, the callback is wrapped so the span closes
+        // (and the invocation counters tick) before the user code runs —
+        // still on the transport's delivery thread.
+        let slot_callback: Box<dyn FnOnce(ReplyResult) + Send> = match &self.telemetry {
+            Some(t) => {
+                let t = t.clone();
+                Box::new(move |result: ReplyResult| {
+                    t.finish_invocation(request_id, &result);
+                    callback(result);
+                })
+            }
+            None => Box::new(callback),
+        };
         self.pending
             .lock()
-            .insert(request_id, Slot::Callback(Box::new(callback)));
+            .insert(request_id, Slot::Callback(slot_callback));
+        let send_start = Instant::now();
         if let Err(e) = self.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
+            if let Some(t) = &self.telemetry {
+                t.registry.span_finish(request_id, SpanOutcome::Error);
+            }
             return Err(e);
+        }
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .span_mark(request_id, Stage::FrameSend, send_start.elapsed());
         }
         Ok(request_id)
     }
@@ -375,8 +557,21 @@ fn fail_all(pending: &PendingMap, err: impl Fn() -> OrbError) {
 }
 
 /// Demultiplexes one inbound frame into the pending map. Runs on the
-/// transport's delivery thread.
-fn demux_frame(frame: &Bytes, pending: &PendingMap, closed: &AtomicBool) {
+/// transport's delivery thread. When `registry` is given, replies that
+/// match a pending request get a `ReplyDecode` span mark covering the
+/// sniff + decode + interpret work before the waiter is completed.
+fn demux_frame(
+    frame: &Bytes,
+    pending: &PendingMap,
+    closed: &AtomicBool,
+    registry: Option<&Registry>,
+) {
+    let decode_start = Instant::now();
+    let mark_decode = |request_id: u32| {
+        if let Some(r) = registry {
+            r.span_mark(request_id, Stage::ReplyDecode, decode_start.elapsed());
+        }
+    };
     let Ok(protocol) = sniff(frame) else {
         return; // unknown frame: ignore
     };
@@ -384,7 +579,9 @@ fn demux_frame(frame: &Bytes, pending: &PendingMap, closed: &AtomicBool) {
         WireProtocol::Giop => match cool_giop::codec::decode_message_ext(frame) {
             Ok((Message::Reply { header, body }, _, order)) => {
                 if let Some(slot) = pending.lock().remove(&header.request_id) {
-                    slot.complete(giop_helpers::interpret_reply(&header, &body, order));
+                    let result = giop_helpers::interpret_reply(&header, &body, order);
+                    mark_decode(header.request_id);
+                    slot.complete(result);
                 }
             }
             Ok((Message::CloseConnection, _, _)) => {
@@ -396,6 +593,7 @@ fn demux_frame(frame: &Bytes, pending: &PendingMap, closed: &AtomicBool) {
         WireProtocol::Cool => match CoolMessage::decode(frame) {
             Ok(CoolMessage::Reply { request_id, body }) => {
                 if let Some(slot) = pending.lock().remove(&request_id) {
+                    mark_decode(request_id);
                     slot.complete(Ok((body, None)));
                 }
             }
@@ -405,6 +603,7 @@ fn demux_frame(frame: &Bytes, pending: &PendingMap, closed: &AtomicBool) {
                 detail,
             }) => {
                 if let Some(slot) = pending.lock().remove(&request_id) {
+                    mark_decode(request_id);
                     let err = match kind.as_str() {
                         "ObjectNotFound" => OrbError::ObjectNotFound(detail),
                         "OperationUnknown" => {
@@ -438,6 +637,7 @@ pub struct DeferredReply {
     /// reply can land microseconds after the request is sent, making
     /// poll-then-wait a common interleaving rather than a rare race.
     ready: Option<ReplyResult>,
+    telemetry: Option<ClientMetrics>,
 }
 
 impl std::fmt::Debug for DeferredReply {
@@ -462,6 +662,9 @@ impl DeferredReply {
         if self.ready.is_none() {
             if let Ok(result) = self.rx.try_recv() {
                 self.done = true;
+                if let Some(t) = &self.telemetry {
+                    t.finish_invocation(self.request_id, &result);
+                }
                 self.ready = Some(result);
             }
         }
@@ -478,7 +681,8 @@ impl DeferredReply {
         if let Some(result) = self.ready.take() {
             return result;
         }
-        match self.rx.recv_timeout(timeout) {
+        let wait_start = Instant::now();
+        let result = match self.rx.recv_timeout(timeout) {
             Ok(result) => {
                 self.done = true;
                 result
@@ -486,19 +690,30 @@ impl DeferredReply {
             Err(RecvTimeoutError::Timeout) => {
                 self.pending.lock().remove(&self.request_id);
                 self.done = true;
-                Err(OrbError::Timeout(timeout))
+                Err(OrbError::request_timeout(
+                    self.request_id,
+                    wait_start.elapsed(),
+                ))
             }
             Err(RecvTimeoutError::Disconnected) => {
                 self.done = true;
                 Err(OrbError::Closed)
             }
+        };
+        if let Some(t) = &self.telemetry {
+            t.finish_invocation(self.request_id, &result);
         }
+        result
     }
 
     /// Cancels the pending request (sends GIOP `CancelRequest`).
     pub fn cancel(mut self) {
         self.done = true;
         if self.pending.lock().remove(&self.request_id).is_some() {
+            if let Some(t) = &self.telemetry {
+                t.registry
+                    .span_finish(self.request_id, SpanOutcome::Cancelled);
+            }
             let msg = Message::CancelRequest {
                 request_id: self.request_id,
             };
@@ -515,6 +730,10 @@ impl Drop for DeferredReply {
             // Abandoned without waiting: drop the slot so the pending map
             // does not hold a dead sender forever.
             self.pending.lock().remove(&self.request_id);
+            if let Some(t) = &self.telemetry {
+                t.registry
+                    .span_finish(self.request_id, SpanOutcome::Cancelled);
+            }
         }
     }
 }

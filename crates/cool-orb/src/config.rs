@@ -9,13 +9,15 @@
 //! queue applies — collected here and threaded through [`crate::orb::Orb`],
 //! [`crate::server::OrbServer`] and [`crate::binding::Binding`].
 
+use cool_telemetry::Registry;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration shared by an [`crate::orb::Orb`] and everything it creates.
 ///
 /// Obtain the defaults with [`OrbConfig::default`] and override individual
 /// fields; pass the result to [`crate::orb::Orb::with_config`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct OrbConfig {
     /// Default deadline for synchronous invocations (`call`) and the initial
     /// timeout of every [`crate::orb::Stub`]. This is a *real* deadline on a
@@ -35,6 +37,27 @@ pub struct OrbConfig {
     /// Cancellations for requests that never arrive would otherwise grow the
     /// set without bound; the oldest entries are evicted first.
     pub cancel_history: usize,
+    /// Telemetry sink for everything this ORB creates: bindings, servers,
+    /// transports and the Da CaPo stacks below them. `None` (the default)
+    /// disables instrumentation entirely — the hot path then only branches
+    /// on absent handles. Share one [`Registry`] between a client and a
+    /// server ORB to see both halves of each invocation span.
+    pub telemetry: Option<Arc<Registry>>,
+}
+
+impl PartialEq for OrbConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let same_registry = match (&self.telemetry, &other.telemetry) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.call_timeout == other.call_timeout
+            && self.dispatcher_threads == other.dispatcher_threads
+            && self.dispatch_queue_depth == other.dispatch_queue_depth
+            && self.cancel_history == other.cancel_history
+            && same_registry
+    }
 }
 
 impl Default for OrbConfig {
@@ -44,6 +67,7 @@ impl Default for OrbConfig {
             dispatcher_threads: 4,
             dispatch_queue_depth: 256,
             cancel_history: 1024,
+            telemetry: None,
         }
     }
 }
@@ -59,5 +83,24 @@ mod tests {
         assert!(c.dispatcher_threads >= 1);
         assert!(c.dispatch_queue_depth >= c.dispatcher_threads);
         assert!(c.cancel_history > 0);
+        assert!(c.telemetry.is_none());
+    }
+
+    #[test]
+    fn equality_compares_registry_identity() {
+        let a = OrbConfig::default();
+        let b = OrbConfig::default();
+        assert_eq!(a, b);
+
+        let reg = Arc::new(Registry::new());
+        let mut c = OrbConfig::default();
+        c.telemetry = Some(Arc::clone(&reg));
+        assert_ne!(a, c);
+        let mut d = OrbConfig::default();
+        d.telemetry = Some(Arc::clone(&reg));
+        assert_eq!(c, d);
+        let mut e = OrbConfig::default();
+        e.telemetry = Some(Arc::new(Registry::new()));
+        assert_ne!(c, e);
     }
 }

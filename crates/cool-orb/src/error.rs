@@ -38,13 +38,38 @@ pub enum OrbError {
     /// The binding or server is closed.
     Closed,
     /// A reply did not arrive in time.
-    Timeout(Duration),
+    Timeout {
+        /// Request id of the invocation that timed out, when the wait was
+        /// attributable to a specific outstanding request (a `call` or a
+        /// `DeferredReply::wait`). `None` for raw transport-level waits.
+        request_id: Option<u32>,
+        /// How long the caller actually waited before giving up.
+        elapsed: Duration,
+    },
     /// The invocation was cancelled via `cancel`.
     Cancelled,
     /// The peer violated the protocol.
     Protocol(String),
     /// The address could not be parsed or is unsupported.
     BadAddress(String),
+}
+
+impl OrbError {
+    /// A timeout not attributable to a specific request id.
+    pub fn timeout(elapsed: Duration) -> Self {
+        OrbError::Timeout {
+            request_id: None,
+            elapsed,
+        }
+    }
+
+    /// A timeout attributed to the given outstanding request.
+    pub fn request_timeout(request_id: u32, elapsed: Duration) -> Self {
+        OrbError::Timeout {
+            request_id: Some(request_id),
+            elapsed,
+        }
+    }
 }
 
 impl fmt::Display for OrbError {
@@ -59,7 +84,14 @@ impl fmt::Display for OrbError {
             OrbError::Marshal(e) => write!(f, "marshalling failed: {e}"),
             OrbError::Transport(msg) => write!(f, "transport failure: {msg}"),
             OrbError::Closed => write!(f, "binding closed"),
-            OrbError::Timeout(d) => write!(f, "reply timed out after {d:?}"),
+            OrbError::Timeout {
+                request_id: Some(id),
+                elapsed,
+            } => write!(f, "request {id} timed out after {elapsed:?}"),
+            OrbError::Timeout {
+                request_id: None,
+                elapsed,
+            } => write!(f, "reply timed out after {elapsed:?}"),
             OrbError::Cancelled => write!(f, "request cancelled"),
             OrbError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             OrbError::BadAddress(a) => write!(f, "bad or unsupported address: {a}"),
@@ -93,7 +125,7 @@ impl From<dacapo::DacapoError> for OrbError {
     fn from(e: dacapo::DacapoError) -> Self {
         match e {
             dacapo::DacapoError::Closed => OrbError::Closed,
-            dacapo::DacapoError::Timeout(d) => OrbError::Timeout(d),
+            dacapo::DacapoError::Timeout(d) => OrbError::timeout(d),
             dacapo::DacapoError::ResourceDenied { resource } => {
                 OrbError::QosNotSupported(QosError::AdmissionDenied { resource })
             }
@@ -135,6 +167,31 @@ mod tests {
         assert!(e.to_string().contains("qos"));
         assert!(e.source().is_some());
         assert!(OrbError::Closed.source().is_none());
+    }
+
+    #[test]
+    fn timeout_carries_attribution() {
+        let e = OrbError::request_timeout(42, Duration::from_millis(250));
+        assert!(matches!(
+            e,
+            OrbError::Timeout {
+                request_id: Some(42),
+                ..
+            }
+        ));
+        let msg = e.to_string();
+        assert!(msg.contains("42"), "{msg}");
+        assert!(msg.contains("250"), "{msg}");
+
+        let e = OrbError::timeout(Duration::from_secs(1));
+        assert!(matches!(
+            e,
+            OrbError::Timeout {
+                request_id: None,
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("reply timed out"));
     }
 
     #[test]

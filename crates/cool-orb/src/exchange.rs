@@ -11,8 +11,10 @@
 
 use crate::error::OrbError;
 use crate::transport::{ChorusComChannel, ComChannel, DacapoComChannel};
+use cool_telemetry::Registry as TelemetryRegistry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dacapo::config::{ConfigContext, ConfigurationManager};
+use dacapo::runtime::RuntimeOptions;
 use dacapo::tlayer::Transport;
 use dacapo::{Connection, MechanismCatalog, NetsimTransport, ResourceManager};
 use multe_qos::TransportRequirements;
@@ -145,6 +147,20 @@ impl LocalExchange {
     /// [`OrbError::BadAddress`] for unknown names; [`OrbError::Closed`] if
     /// the listener stopped accepting.
     pub fn connect_chorus(&self, name: &str) -> Result<Arc<dyn ComChannel>, OrbError> {
+        self.connect_chorus_with(name, None)
+    }
+
+    /// Like [`LocalExchange::connect_chorus`], reporting both endpoints'
+    /// frame/byte counters into `telemetry` when given.
+    ///
+    /// # Errors
+    ///
+    /// As [`LocalExchange::connect_chorus`].
+    pub fn connect_chorus_with(
+        &self,
+        name: &str,
+        telemetry: Option<&TelemetryRegistry>,
+    ) -> Result<Arc<dyn ComChannel>, OrbError> {
         let acceptor = {
             let reg = self.registry.lock();
             reg.chorus
@@ -152,7 +168,7 @@ impl LocalExchange {
                 .cloned()
                 .ok_or_else(|| OrbError::BadAddress(format!("no chorus endpoint {name:?}")))?
         };
-        let (client, server) = ChorusComChannel::pair();
+        let (client, server) = ChorusComChannel::pair_with(telemetry);
         acceptor
             .send(Arc::new(server))
             .map_err(|_| OrbError::Closed)?;
@@ -173,6 +189,23 @@ impl LocalExchange {
         name: &str,
         requirements: &TransportRequirements,
     ) -> Result<Arc<dyn ComChannel>, OrbError> {
+        self.connect_dacapo_with(name, requirements, None)
+    }
+
+    /// Like [`LocalExchange::connect_dacapo`], wiring `telemetry` through
+    /// the whole depth of the connection: channel frame/byte counters, the
+    /// per-module Da CaPo stack counters of both peers, and — when a
+    /// simulated link is active — the link's loss/throughput series.
+    ///
+    /// # Errors
+    ///
+    /// As [`LocalExchange::connect_dacapo`].
+    pub fn connect_dacapo_with(
+        &self,
+        name: &str,
+        requirements: &TransportRequirements,
+        telemetry: Option<&Arc<TelemetryRegistry>>,
+    ) -> Result<Arc<dyn ComChannel>, OrbError> {
         let (acceptor, link_spec) = {
             let reg = self.registry.lock();
             let acceptor = reg
@@ -185,6 +218,12 @@ impl LocalExchange {
         let (t_client, t_server): (Box<dyn Transport>, Box<dyn Transport>) = match link_spec {
             Some(spec) => {
                 let link = netsim::Link::real_time(spec);
+                if let Some(registry) = telemetry {
+                    link.stats_a_to_b()
+                        .attach_registry(registry, &format!("{name}:a-b"));
+                    link.stats_b_to_a()
+                        .attach_registry(registry, &format!("{name}:b-a"));
+                }
                 let (a, b) = link.endpoints();
                 (
                     Box::new(NetsimTransport::new(a)),
@@ -201,28 +240,35 @@ impl LocalExchange {
             transport_mtu: (mtu != usize::MAX).then_some(mtu),
             ..Default::default()
         };
-        let client_conn = Connection::establish_with_qos(
+        let opts = RuntimeOptions {
+            telemetry: telemetry.cloned(),
+            ..Default::default()
+        };
+        let client_conn = Connection::establish_with_qos_opts(
             requirements,
             &ctx,
             t_client,
             &self.config_mgr,
             &self.resource_mgr,
+            opts.clone(),
         )
         .map_err(OrbError::from)?;
-        let server_conn = Connection::establish_with_qos(
+        let server_conn = Connection::establish_with_qos_opts(
             requirements,
             &ctx,
             t_server,
             &self.config_mgr,
             &self.resource_mgr,
+            opts,
         )
         .map_err(OrbError::from)?;
 
-        let (client, server) = DacapoComChannel::pair(
+        let (client, server) = DacapoComChannel::pair_with(
             client_conn,
             server_conn,
             self.config_mgr.clone(),
             Some(self.resource_mgr.clone()),
+            telemetry.map(Arc::as_ref),
         )?;
         acceptor
             .send(Arc::new(server))

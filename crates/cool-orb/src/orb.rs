@@ -62,7 +62,7 @@ impl Orb {
     ) -> Arc<Self> {
         Arc::new(Orb {
             name: name.to_owned(),
-            adapter: Arc::new(ObjectAdapter::new()),
+            adapter: Arc::new(ObjectAdapter::with_telemetry(config.telemetry.clone())),
             exchange,
             config,
             bindings: Mutex::new(HashMap::new()),
@@ -197,14 +197,20 @@ impl Orb {
                 }
             }
         }
+        let telemetry = self.config.telemetry.as_ref();
         let channel: Arc<dyn crate::transport::ComChannel> = match addr {
-            OrbAddr::Tcp(hostport) => {
-                Arc::new(crate::transport::TcpComChannel::connect(hostport.as_str())?)
-            }
-            OrbAddr::Chorus(name) => self.exchange.connect_chorus(name)?,
-            OrbAddr::Dacapo(name) => self
+            OrbAddr::Tcp(hostport) => Arc::new(crate::transport::TcpComChannel::connect_with(
+                hostport.as_str(),
+                telemetry.map(Arc::as_ref),
+            )?),
+            OrbAddr::Chorus(name) => self
                 .exchange
-                .connect_dacapo(name, &TransportRequirements::best_effort())?,
+                .connect_chorus_with(name, telemetry.map(Arc::as_ref))?,
+            OrbAddr::Dacapo(name) => self.exchange.connect_dacapo_with(
+                name,
+                &TransportRequirements::best_effort(),
+                telemetry,
+            )?,
         };
         let binding = Binding::with_config(channel, protocol, &self.config);
         self.bindings.lock().insert(cache_key, binding.clone());

@@ -39,6 +39,7 @@ use crate::object::{ObjectKey, ObjectRef, OrbAddr};
 use crate::transport::{ComChannel, FrameSink, TcpComChannel};
 use bytes::Bytes;
 use cool_giop::prelude::*;
+use cool_telemetry::{Gauge, Histogram, Registry, Stage};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use multe_qos::QoSSpec;
 use parking_lot::Mutex;
@@ -46,6 +47,7 @@ use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A running ORB endpoint serving objects from an adapter.
 pub struct OrbServer {
@@ -98,6 +100,7 @@ impl OrbServer {
         let acceptor_conns = conns.clone();
         let acceptor_jobs = jobs_tx.clone();
         let cancel_cap = config.cancel_history;
+        let telemetry = config.telemetry.clone();
         let acceptor = std::thread::Builder::new()
             .name("cool-tcp-acceptor".into())
             .spawn(move || loop {
@@ -106,7 +109,9 @@ impl OrbServer {
                         if flag.load(Ordering::Acquire) {
                             return; // shutdown self-connect (or a late client)
                         }
-                        if let Ok(channel) = TcpComChannel::from_stream(stream) {
+                        if let Ok(channel) =
+                            TcpComChannel::from_stream_with(stream, telemetry.as_deref())
+                        {
                             attach_connection(
                                 Arc::new(channel),
                                 acceptor_adapter.clone(),
@@ -304,10 +309,43 @@ impl CancelSet {
     }
 }
 
+/// Pre-resolved dispatcher-pool metric handles, shared by all dispatcher
+/// threads of one server.
+#[derive(Clone)]
+struct ServerMetrics {
+    registry: Arc<Registry>,
+    queue_depth: Arc<Gauge>,
+    busy: Arc<Gauge>,
+    queue_wait: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn resolve(registry: Arc<Registry>) -> Self {
+        ServerMetrics {
+            queue_depth: registry.gauge("orb_dispatch_queue_depth"),
+            busy: registry.gauge("orb_dispatchers_busy"),
+            queue_wait: registry.histogram("orb_dispatch_queue_wait_us"),
+            registry,
+        }
+    }
+}
+
 /// A decoded request handed to the dispatcher pool.
 struct Job {
     conn: Arc<ConnState>,
     work: Work,
+    /// When the delivery thread queued this request — the dispatcher
+    /// measures queue wait from it.
+    enqueued: Instant,
+}
+
+impl Job {
+    fn request_id(&self) -> u32 {
+        match &self.work {
+            Work::Giop { header, .. } => header.request_id,
+            Work::Cool { request_id, .. } => *request_id,
+        }
+    }
 }
 
 enum Work {
@@ -362,17 +400,36 @@ fn start_dispatchers(
     config: &OrbConfig,
 ) -> Result<(Sender<Job>, Vec<JoinHandle<()>>), OrbError> {
     let (tx, rx) = bounded::<Job>(config.dispatch_queue_depth.max(1));
+    let metrics = config
+        .telemetry
+        .as_ref()
+        .map(|r| ServerMetrics::resolve(Arc::clone(r)));
     let mut handles = Vec::new();
     for i in 0..config.dispatcher_threads.max(1) {
         let rx = rx.clone();
         let adapter = adapter.clone();
+        let metrics = metrics.clone();
         let handle = std::thread::Builder::new()
             .name(format!("cool-dispatch-{i}"))
             // Blocking recv; ends when every sender (server handle,
             // acceptor, connection sinks) is gone.
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    run_job(&adapter, job);
+                    match &metrics {
+                        Some(m) => {
+                            // Sampled at dequeue: what is still waiting
+                            // behind the job this thread just took.
+                            m.queue_depth.set(rx.len() as f64);
+                            let waited = job.enqueued.elapsed();
+                            m.queue_wait.record_duration_us(waited);
+                            m.registry
+                                .span_mark(job.request_id(), Stage::QueueWait, waited);
+                            m.busy.inc();
+                            run_job(&adapter, job);
+                            m.busy.dec();
+                        }
+                        None => run_job(&adapter, job),
+                    }
                 }
             })
             .map_err(|e| OrbError::Transport(format!("spawn dispatcher: {e}")))?;
@@ -463,6 +520,7 @@ fn process_giop_frame(
                     version,
                     order,
                 },
+                enqueued: Instant::now(),
             })
             .is_ok() // dispatchers gone: the server is closing
         }
@@ -512,6 +570,7 @@ fn process_cool_frame(conn: &Arc<ConnState>, jobs: &Sender<Job>, frame: &Bytes) 
                     one_way,
                     args,
                 },
+                enqueued: Instant::now(),
             })
             .is_ok(),
         // Clients do not send replies/exceptions to servers; and anything
@@ -536,12 +595,13 @@ fn run_job(adapter: &Arc<ObjectAdapter>, job: Job) {
             }
             let key = ObjectKey::new(header.object_key.clone());
             let spec = QoSSpec::from_params(&header.qos_params);
-            let outcome = adapter.dispatch(
+            let outcome = adapter.dispatch_traced(
                 &key,
                 &header.operation,
                 &body,
                 &spec,
                 !header.response_expected,
+                Some(header.request_id),
             );
             if !header.response_expected {
                 return;
@@ -576,8 +636,14 @@ fn run_job(adapter: &Arc<ObjectAdapter>, job: Job) {
             args,
         } => {
             let key = ObjectKey::new(object_key);
-            let outcome =
-                adapter.dispatch(&key, &operation, &args, &QoSSpec::best_effort(), one_way);
+            let outcome = adapter.dispatch_traced(
+                &key,
+                &operation,
+                &args,
+                &QoSSpec::best_effort(),
+                one_way,
+                Some(request_id),
+            );
             if one_way {
                 return;
             }

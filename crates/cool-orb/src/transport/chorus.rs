@@ -9,8 +9,9 @@
 //! and zero polling.
 
 use crate::error::OrbError;
-use crate::transport::{ComChannel, FrameInbox, FrameSink};
+use crate::transport::{ComChannel, FrameInbox, FrameSink, InboxMetrics, SendMetrics};
 use bytes::Bytes;
+use cool_telemetry::Registry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,6 +23,7 @@ pub struct ChorusComChannel {
     /// Where we receive.
     inbox: Arc<FrameInbox>,
     closed: AtomicBool,
+    send_metrics: Option<SendMetrics>,
 }
 
 impl std::fmt::Debug for ChorusComChannel {
@@ -35,17 +37,32 @@ impl std::fmt::Debug for ChorusComChannel {
 impl ChorusComChannel {
     /// Creates a connected pair of channels (one per endpoint).
     pub fn pair() -> (ChorusComChannel, ChorusComChannel) {
+        ChorusComChannel::pair_with(None)
+    }
+
+    /// Like [`ChorusComChannel::pair`], with frame/byte counters reported
+    /// into `telemetry` when given (both endpoints feed the same
+    /// `kind="chorus"` series).
+    pub fn pair_with(telemetry: Option<&Registry>) -> (ChorusComChannel, ChorusComChannel) {
         let a_inbox = Arc::new(FrameInbox::new());
         let b_inbox = Arc::new(FrameInbox::new());
+        let send_metrics = telemetry.map(|r| SendMetrics::resolve(r, "chorus"));
+        if let Some(registry) = telemetry {
+            let metrics = InboxMetrics::resolve(registry, "chorus");
+            a_inbox.set_metrics(metrics.clone());
+            b_inbox.set_metrics(metrics);
+        }
         let a = ChorusComChannel {
             peer: Arc::clone(&b_inbox),
             inbox: a_inbox.clone(),
             closed: AtomicBool::new(false),
+            send_metrics: send_metrics.clone(),
         };
         let b = ChorusComChannel {
             peer: a_inbox,
             inbox: b_inbox,
             closed: AtomicBool::new(false),
+            send_metrics,
         };
         (a, b)
     }
@@ -55,6 +72,9 @@ impl ComChannel for ChorusComChannel {
     fn send_frame(&self, frame: Bytes) -> Result<(), OrbError> {
         if self.closed.load(Ordering::Acquire) || self.peer.is_closed() {
             return Err(OrbError::Closed);
+        }
+        if let Some(m) = &self.send_metrics {
+            m.record(frame.len());
         }
         // Runs the peer's sink (if any) synchronously on this thread.
         self.peer.push(frame);
@@ -113,7 +133,7 @@ mod tests {
         let (a, _b) = ChorusComChannel::pair();
         assert!(matches!(
             a.recv_frame(Duration::from_millis(10)),
-            Err(OrbError::Timeout(_))
+            Err(OrbError::Timeout { .. })
         ));
     }
 

@@ -35,8 +35,9 @@
 //! parked in `recv_frame` on the peer.
 
 use crate::error::OrbError;
-use crate::transport::{ComChannel, FrameInbox, FrameSink};
+use crate::transport::{ComChannel, FrameInbox, FrameSink, InboxMetrics, SendMetrics};
 use bytes::Bytes;
+use cool_telemetry::Registry;
 use dacapo::config::{ConfigContext, ConfigurationManager};
 use dacapo::{Connection, ResourceGrant, ResourceManager};
 use multe_qos::{QosError, TransportRequirements};
@@ -59,6 +60,7 @@ struct Inner {
     /// signalling facility). Weak: a dropped peer must read as gone, not
     /// be kept alive by our side.
     peer: Mutex<Weak<Inner>>,
+    send_metrics: Option<SendMetrics>,
 }
 
 impl Inner {
@@ -156,16 +158,41 @@ impl DacapoComChannel {
         config_mgr: ConfigurationManager,
         resource_mgr: Option<ResourceManager>,
     ) -> Result<(DacapoComChannel, DacapoComChannel), OrbError> {
+        DacapoComChannel::pair_with(client_conn, server_conn, config_mgr, resource_mgr, None)
+    }
+
+    /// Like [`DacapoComChannel::pair`], with channel-level frame/byte
+    /// counters reported into `telemetry` when given (both endpoints feed
+    /// the same `kind="dacapo"` series; the module stacks below report
+    /// separately via [`dacapo::RuntimeOptions::telemetry`]).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if a pump thread cannot be spawned.
+    pub fn pair_with(
+        client_conn: Connection,
+        server_conn: Connection,
+        config_mgr: ConfigurationManager,
+        resource_mgr: Option<ResourceManager>,
+        telemetry: Option<&Registry>,
+    ) -> Result<(DacapoComChannel, DacapoComChannel), OrbError> {
+        let send_metrics = telemetry.map(|r| SendMetrics::resolve(r, "dacapo"));
+        let inbox_metrics = telemetry.map(|r| InboxMetrics::resolve(r, "dacapo"));
         let make_inner = |connection: Connection| {
+            let inbox = Arc::new(FrameInbox::new());
+            if let Some(m) = &inbox_metrics {
+                inbox.set_metrics(m.clone());
+            }
             Arc::new(Inner {
                 connection,
                 config_mgr: config_mgr.clone(),
                 resource_mgr: resource_mgr.clone(),
                 grant: Mutex::new(None),
                 ctx: Mutex::new(ConfigContext::default()),
-                inbox: Arc::new(FrameInbox::new()),
+                inbox,
                 closed: AtomicBool::new(false),
                 peer: Mutex::new(Weak::new()),
+                send_metrics: send_metrics.clone(),
             })
         };
         let a = make_inner(client_conn);
@@ -193,11 +220,16 @@ impl ComChannel for DacapoComChannel {
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(OrbError::Closed);
         }
+        let len = frame.len();
         self.inner
             .connection
             .endpoint()
             .send(frame)
-            .map_err(OrbError::from)
+            .map_err(OrbError::from)?;
+        if let Some(m) = &self.inner.send_metrics {
+            m.record(len);
+        }
+        Ok(())
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {

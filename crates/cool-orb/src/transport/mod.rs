@@ -53,10 +53,35 @@ pub use tcp::TcpComChannel;
 
 use crate::error::OrbError;
 use bytes::Bytes;
+use cool_telemetry::{Counter, Registry};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Pre-resolved receive-side counters for one channel's [`FrameInbox`].
+///
+/// All three transports deliver inbound frames through an inbox, so
+/// attaching metrics here instruments the receive path uniformly.
+#[derive(Clone)]
+pub struct InboxMetrics {
+    frames: Arc<Counter>,
+    bytes: Arc<Counter>,
+    dropped: Arc<Counter>,
+}
+
+impl InboxMetrics {
+    /// Resolves the `transport_*_recv_total` / `transport_frames_dropped_total`
+    /// counters for a channel of the given kind.
+    pub fn resolve(registry: &Registry, kind: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("kind", kind)];
+        InboxMetrics {
+            frames: registry.counter(&Registry::labeled("transport_frames_recv_total", labels)),
+            bytes: registry.counter(&Registry::labeled("transport_bytes_recv_total", labels)),
+            dropped: registry.counter(&Registry::labeled("transport_frames_dropped_total", labels)),
+        }
+    }
+}
 
 /// Consumer of inbound frames, registered with [`ComChannel::set_sink`].
 ///
@@ -134,6 +159,31 @@ pub trait ComChannel: Send + Sync {
     }
 }
 
+/// Pre-resolved send-side counters for a channel.
+#[derive(Clone)]
+pub struct SendMetrics {
+    frames: Arc<Counter>,
+    bytes: Arc<Counter>,
+}
+
+impl SendMetrics {
+    /// Resolves the `transport_*_sent_total` counters for a channel of the
+    /// given kind.
+    pub fn resolve(registry: &Registry, kind: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("kind", kind)];
+        SendMetrics {
+            frames: registry.counter(&Registry::labeled("transport_frames_sent_total", labels)),
+            bytes: registry.counter(&Registry::labeled("transport_bytes_sent_total", labels)),
+        }
+    }
+
+    /// Counts one outbound frame of `len` bytes.
+    pub fn record(&self, len: usize) {
+        self.frames.inc();
+        self.bytes.add(len as u64);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // FrameInbox
 // ---------------------------------------------------------------------------
@@ -147,6 +197,7 @@ struct InboxState {
     delivering: bool,
     closed: bool,
     close_notified: bool,
+    metrics: Option<InboxMetrics>,
 }
 
 /// The per-channel delivery core shared by all three transports: a
@@ -176,9 +227,16 @@ impl FrameInbox {
                 delivering: false,
                 closed: false,
                 close_notified: false,
+                metrics: None,
             }),
             arrived: Condvar::new(),
         }
+    }
+
+    /// Attaches receive-side counters; every subsequent [`FrameInbox::push`]
+    /// counts the frame and its bytes (or a drop, when pushed after close).
+    pub fn set_metrics(&self, metrics: InboxMetrics) {
+        self.state.lock().metrics = Some(metrics);
     }
 
     /// Delivers one inbound frame: straight to the sink when one is
@@ -187,7 +245,14 @@ impl FrameInbox {
     pub fn push(&self, frame: Bytes) {
         let mut st = self.state.lock();
         if st.close_notified {
+            if let Some(m) = &st.metrics {
+                m.dropped.inc();
+            }
             return;
+        }
+        if let Some(m) = &st.metrics {
+            m.frames.inc();
+            m.bytes.add(frame.len() as u64);
         }
         st.queue.push_back(frame);
         if st.sink.is_some() && !st.delivering {
@@ -213,7 +278,7 @@ impl FrameInbox {
                 && st.queue.is_empty()
                 && !st.closed
             {
-                return Err(OrbError::Timeout(timeout));
+                return Err(OrbError::timeout(timeout));
             }
         }
     }
@@ -318,7 +383,7 @@ mod tests {
         let inbox = FrameInbox::new();
         let start = Instant::now();
         let err = inbox.recv(Duration::from_millis(60)).unwrap_err();
-        assert!(matches!(err, OrbError::Timeout(_)));
+        assert!(matches!(err, OrbError::Timeout { .. }));
         assert!(start.elapsed() >= Duration::from_millis(55));
     }
 
@@ -359,6 +424,33 @@ mod tests {
         inbox.set_sink(sink.clone());
         assert_eq!(sink.frames.load(Ordering::SeqCst), 1);
         assert_eq!(sink.closes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn inbox_metrics_count_recv_and_drops() {
+        let registry = Registry::new();
+        let inbox = FrameInbox::new();
+        inbox.set_metrics(InboxMetrics::resolve(&registry, "tcp"));
+        inbox.push(Bytes::from_static(b"abcd"));
+        inbox.push(Bytes::from_static(b"ef"));
+        // Drain queue + close so pushes afterwards count as drops.
+        let sink = CountingSink::new();
+        inbox.set_sink(sink);
+        inbox.close();
+        inbox.push(Bytes::from_static(b"late"));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("transport_frames_recv_total{kind=\"tcp\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("transport_bytes_recv_total{kind=\"tcp\"}"),
+            Some(6)
+        );
+        assert_eq!(
+            snap.counter("transport_frames_dropped_total{kind=\"tcp\"}"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! the registered [`crate::transport::FrameSink`] immediately. No polling.
 
 use crate::error::OrbError;
-use crate::transport::{ComChannel, FrameInbox, FrameSink};
+use crate::transport::{ComChannel, FrameInbox, FrameSink, InboxMetrics, SendMetrics};
 use bytes::Bytes;
+use cool_telemetry::Registry;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -29,6 +30,7 @@ pub struct TcpComChannel {
     shutdown_handle: TcpStream,
     inbox: Arc<FrameInbox>,
     closed: AtomicBool,
+    send_metrics: Option<SendMetrics>,
 }
 
 impl std::fmt::Debug for TcpComChannel {
@@ -46,9 +48,22 @@ impl TcpComChannel {
     ///
     /// [`OrbError::Transport`] if the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, OrbError> {
+        TcpComChannel::connect_with(addr, None)
+    }
+
+    /// Like [`TcpComChannel::connect`], with frame/byte counters reported
+    /// into `telemetry` when given.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if the connection cannot be established.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        telemetry: Option<&Registry>,
+    ) -> Result<Self, OrbError> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| OrbError::Transport(format!("tcp connect: {e}")))?;
-        TcpComChannel::from_stream(stream)
+        TcpComChannel::from_stream_with(stream, telemetry)
     }
 
     /// Wraps an accepted stream, starting the reader thread.
@@ -58,6 +73,20 @@ impl TcpComChannel {
     /// [`OrbError::Transport`] if the stream cannot be prepared or the
     /// reader thread cannot be spawned.
     pub fn from_stream(stream: TcpStream) -> Result<Self, OrbError> {
+        TcpComChannel::from_stream_with(stream, None)
+    }
+
+    /// Like [`TcpComChannel::from_stream`], with frame/byte counters
+    /// reported into `telemetry` when given.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if the stream cannot be prepared or the
+    /// reader thread cannot be spawned.
+    pub fn from_stream_with(
+        stream: TcpStream,
+        telemetry: Option<&Registry>,
+    ) -> Result<Self, OrbError> {
         stream.set_nodelay(true).ok();
         let reader = stream
             .try_clone()
@@ -66,6 +95,9 @@ impl TcpComChannel {
             .try_clone()
             .map_err(|e| OrbError::Transport(format!("tcp clone: {e}")))?;
         let inbox = Arc::new(FrameInbox::new());
+        if let Some(registry) = telemetry {
+            inbox.set_metrics(InboxMetrics::resolve(registry, "tcp"));
+        }
         let rx_inbox = Arc::clone(&inbox);
         std::thread::Builder::new()
             .name("cool-tcp-rx".into())
@@ -76,6 +108,7 @@ impl TcpComChannel {
             shutdown_handle,
             inbox,
             closed: AtomicBool::new(false),
+            send_metrics: telemetry.map(|r| SendMetrics::resolve(r, "tcp")),
         })
     }
 
@@ -132,7 +165,11 @@ impl ComChannel for TcpComChannel {
             } else {
                 OrbError::Transport(format!("tcp send: {e}"))
             }
-        })
+        })?;
+        if let Some(m) = &self.send_metrics {
+            m.record(frame.len());
+        }
+        Ok(())
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
@@ -208,6 +245,41 @@ mod tests {
         };
         assert!(client.set_qos(&req).is_ok());
         client.close();
+    }
+
+    #[test]
+    fn telemetry_counts_tcp_traffic() {
+        let registry = Registry::new();
+        let listener = TcpComChannel::listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpComChannel::connect_with(addr, Some(&registry)).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+        let server = TcpComChannel::from_stream_with(server_stream, Some(&registry)).unwrap();
+
+        client.send_frame(Bytes::from_static(b"12345")).unwrap();
+        assert_eq!(
+            &server.recv_frame(Duration::from_secs(5)).unwrap()[..],
+            b"12345"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("transport_frames_sent_total{kind=\"tcp\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("transport_bytes_sent_total{kind=\"tcp\"}"),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("transport_frames_recv_total{kind=\"tcp\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("transport_bytes_recv_total{kind=\"tcp\"}"),
+            Some(5)
+        );
+        client.close();
+        server.close();
     }
 
     #[test]

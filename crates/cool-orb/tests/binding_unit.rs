@@ -20,7 +20,7 @@ fn echo_server(channel: Arc<dyn ComChannel>, n: usize, delay: Duration) {
             let frame = loop {
                 match channel.recv_frame(Duration::from_millis(100)) {
                     Ok(f) => break f,
-                    Err(OrbError::Timeout(_)) => continue,
+                    Err(OrbError::Timeout { .. }) => continue,
                     Err(_) => return,
                 }
             };
@@ -77,7 +77,7 @@ fn call_times_out_against_silent_server() {
     let err = binding
         .call(b"key", "op", Bytes::new(), &[], Duration::from_millis(100))
         .unwrap_err();
-    assert!(matches!(err, OrbError::Timeout(_)));
+    assert!(matches!(err, OrbError::Timeout { .. }));
 }
 
 #[test]
@@ -108,7 +108,7 @@ fn interleaved_replies_demultiplex_by_request_id() {
             let frame = loop {
                 match server_channel.recv_frame(Duration::from_millis(100)) {
                     Ok(f) => break f,
-                    Err(OrbError::Timeout(_)) => continue,
+                    Err(OrbError::Timeout { .. }) => continue,
                     Err(_) => return,
                 }
             };

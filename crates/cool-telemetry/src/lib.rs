@@ -1,0 +1,28 @@
+//! `cool-telemetry` — zero-dependency observability for the COOL ORB.
+//!
+//! The paper's central claim is that QoS becomes *visible and negotiable*
+//! at every layer of the ORB. This crate is the "visible" half: a shared
+//! [`Registry`] of named counters/gauges/histograms plus per-invocation
+//! [spans](span) that record where each call's latency went — marshal,
+//! frame send, dispatch-queue wait, QoS negotiation, servant execution,
+//! reply decode.
+//!
+//! Design rules:
+//! - **No dependencies.** std only, so every runtime crate (netsim,
+//!   multe-qos, dacapo, cool-orb, bench) can depend on it without
+//!   widening the graph.
+//! - **Lock-free hot path.** Metric updates are relaxed atomics on
+//!   pre-resolved `Arc` handles; the registry mutex is only taken at
+//!   handle-resolution and snapshot time. Span operations take one short
+//!   mutex but run only on call boundaries, not per frame.
+//! - **Optional everywhere.** Instrumented components hold
+//!   `Option<…Metrics>`; with `OrbConfig::telemetry = None` the cost is a
+//!   branch on a `None`.
+
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKET_COUNT, OVERFLOW_BUCKET};
+pub use registry::{Registry, TelemetrySnapshot};
+pub use span::{SpanOutcome, SpanRecord, SpanStore, Stage, StageTiming, DEFAULT_RING_CAPACITY, STAGES};

@@ -1,0 +1,375 @@
+//! Invocation spans: per-call stage timings carried by request id.
+//!
+//! A span is opened when the client starts marshalling a request and
+//! closed when the reply is decoded (or the call times out / errors /
+//! is cancelled). In between, the instrumented layers mark stages as they
+//! complete. Client-side stages (`Marshal`, `FrameSend`, `ReplyDecode`)
+//! and server-side stages (`QueueWait`, `QosNegotiate`, `ServantExecute`)
+//! are recorded by different threads; on a loopback call that shares one
+//! registry both sides land in the same span, giving the full six-stage
+//! picture the paper's layered-QoS story calls for.
+//!
+//! Spans are keyed by the GIOP/COOL request id alone. Two bindings that
+//! share a registry and happen to reuse an id concurrently will merge
+//! their marks — acceptable for an observability ring, and irrelevant for
+//! the single-binding bench/test scenarios that consume this data.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Pipeline stages of one invocation, in chronological order.
+///
+/// Note the order differs slightly from a naive reading of the GIOP flow:
+/// in this ORB, QoS negotiation runs inside the server dispatcher *after*
+/// the request has waited in the dispatch queue, so `QueueWait` precedes
+/// `QosNegotiate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Client: CDR-encode the request body and GIOP header.
+    Marshal,
+    /// Client: hand the frame to the transport (`send_frame` returned).
+    FrameSend,
+    /// Server: time spent queued before a dispatcher picked the job up.
+    QueueWait,
+    /// Server: bilateral QoS negotiation against the servant policy.
+    QosNegotiate,
+    /// Server: servant method execution.
+    ServantExecute,
+    /// Client: reply frame matched and CDR-decoded.
+    ReplyDecode,
+}
+
+/// All stages, in chronological order.
+pub const STAGES: [Stage; 6] = [
+    Stage::Marshal,
+    Stage::FrameSend,
+    Stage::QueueWait,
+    Stage::QosNegotiate,
+    Stage::ServantExecute,
+    Stage::ReplyDecode,
+];
+
+impl Stage {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Marshal => "marshal",
+            Stage::FrameSend => "frame_send",
+            Stage::QueueWait => "queue_wait",
+            Stage::QosNegotiate => "qos_negotiate",
+            Stage::ServantExecute => "servant_execute",
+            Stage::ReplyDecode => "reply_decode",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Timing of one completed stage within a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Microseconds from span start to the moment the stage *completed*.
+    pub offset_us: u64,
+    /// How long the stage itself took, in microseconds.
+    pub duration_us: u64,
+}
+
+/// How an invocation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Reply decoded successfully.
+    Ok,
+    /// The call failed (transport error, NACK, servant exception…).
+    Error,
+    /// The client gave up waiting.
+    Timeout,
+    /// The request was cancelled before completing.
+    Cancelled,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::Error => "error",
+            SpanOutcome::Timeout => "timeout",
+            SpanOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A finished (or in-flight) invocation span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// GIOP/COOL request id the span is keyed by.
+    pub request_id: u32,
+    /// Operation name from the request header.
+    pub operation: String,
+    /// Transport kind the call travelled over ("tcp", "chorus", "dacapo").
+    pub transport: &'static str,
+    /// Per-stage timings, indexed by [`Stage`] order; `None` while the
+    /// stage has not completed (one-way calls never record the server or
+    /// reply stages, timed-out calls stop wherever they got to).
+    pub stages: [Option<StageTiming>; 6],
+    /// Microseconds from span start to `span_finish`.
+    pub total_us: u64,
+    /// Final outcome.
+    pub outcome: SpanOutcome,
+}
+
+impl SpanRecord {
+    /// Timing for one stage, if it completed.
+    pub fn stage(&self, s: Stage) -> Option<StageTiming> {
+        self.stages[s.index()]
+    }
+
+    /// True when every one of the six stages has a timing.
+    pub fn is_complete(&self) -> bool {
+        self.stages.iter().all(Option::is_some)
+    }
+}
+
+struct ActiveSpan {
+    started: Instant,
+    record: SpanRecord,
+}
+
+/// Active spans are bounded: an abandoned span (a `notify` with no reply,
+/// a `DeferredReply` that is never waited on) must not leak. When the map
+/// is full the oldest span is evicted, finished as `Cancelled`, and pushed
+/// to the ring.
+const MAX_ACTIVE_SPANS: usize = 1024;
+
+struct SpanStoreInner {
+    active: HashMap<u32, ActiveSpan>,
+    /// FIFO of active request ids, for eviction. May contain stale ids of
+    /// spans that already finished; those are skipped at eviction time.
+    order: VecDeque<u32>,
+    recent: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Bounded store of invocation spans: an active map keyed by request id
+/// plus a ring of the most recently finished spans.
+pub struct SpanStore {
+    inner: Mutex<SpanStoreInner>,
+}
+
+/// Default size of the recent-span ring.
+pub const DEFAULT_RING_CAPACITY: usize = 128;
+
+impl Default for SpanStore {
+    fn default() -> Self {
+        SpanStore::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl SpanStore {
+    /// Creates a store whose recent ring holds `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanStore {
+            inner: Mutex::new(SpanStoreInner {
+                active: HashMap::new(),
+                order: VecDeque::new(),
+                recent: VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Opens a span for `request_id`. If a span with the same id is
+    /// already active it is finished as `Cancelled` and pushed to the
+    /// ring first.
+    pub fn begin(&self, request_id: u32, operation: &str, transport: &'static str) {
+        let started = Instant::now();
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(prev) = inner.active.remove(&request_id) {
+            push_finished(&mut inner, prev, SpanOutcome::Cancelled);
+        }
+        if inner.active.len() >= MAX_ACTIVE_SPANS {
+            // Evict the oldest still-active span.
+            while let Some(old_id) = inner.order.pop_front() {
+                if let Some(old) = inner.active.remove(&old_id) {
+                    push_finished(&mut inner, old, SpanOutcome::Cancelled);
+                    break;
+                }
+            }
+        }
+        inner.order.push_back(request_id);
+        inner.active.insert(
+            request_id,
+            ActiveSpan {
+                started,
+                record: SpanRecord {
+                    request_id,
+                    operation: operation.to_string(),
+                    transport,
+                    stages: [None; 6],
+                    total_us: 0,
+                    outcome: SpanOutcome::Ok,
+                },
+            },
+        );
+    }
+
+    /// Marks `stage` as completed for `request_id`, with the stage's own
+    /// duration. The completion offset is taken from the span clock at the
+    /// time of this call. No-op if the span is unknown (evicted, or
+    /// telemetry attached mid-call).
+    pub fn mark(&self, request_id: u32, stage: Stage, duration: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(span) = inner.active.get_mut(&request_id) {
+            let offset = span.started.elapsed();
+            span.record.stages[stage.index()] = Some(StageTiming {
+                offset_us: as_us(offset),
+                duration_us: as_us(duration),
+            });
+        }
+    }
+
+    /// Closes the span and pushes it onto the recent ring. Returns the
+    /// total duration when the span was known.
+    pub fn finish(&self, request_id: u32, outcome: SpanOutcome) -> Option<Duration> {
+        let mut inner = self.inner.lock().unwrap();
+        let span = inner.active.remove(&request_id)?;
+        let total = span.started.elapsed();
+        push_finished(&mut inner, span, outcome);
+        Some(total)
+    }
+
+    /// The most recently finished spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        let inner = self.inner.lock().unwrap();
+        inner.recent.iter().cloned().collect()
+    }
+
+    /// Number of spans currently in flight.
+    pub fn active_len(&self) -> usize {
+        self.inner.lock().unwrap().active.len()
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+}
+
+impl std::fmt::Debug for SpanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("SpanStore")
+            .field("active", &inner.active.len())
+            .field("recent", &inner.recent.len())
+            .field("capacity", &inner.capacity)
+            .finish()
+    }
+}
+
+fn push_finished(inner: &mut SpanStoreInner, span: ActiveSpan, outcome: SpanOutcome) {
+    let mut record = span.record;
+    record.total_us = as_us(span.started.elapsed());
+    record.outcome = outcome;
+    if inner.recent.len() >= inner.capacity {
+        inner.recent.pop_front();
+        inner.dropped += 1;
+    }
+    inner.recent.push_back(record);
+}
+
+fn as_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_span_records_all_stages_in_order() {
+        let store = SpanStore::default();
+        store.begin(7, "echo", "tcp");
+        for stage in STAGES {
+            store.mark(7, stage, Duration::from_micros(3));
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let total = store.finish(7, SpanOutcome::Ok).expect("span known");
+        assert!(total >= Duration::from_micros(6 * 200 - 200));
+
+        let recent = store.recent();
+        assert_eq!(recent.len(), 1);
+        let span = &recent[0];
+        assert_eq!(span.request_id, 7);
+        assert_eq!(span.operation, "echo");
+        assert_eq!(span.transport, "tcp");
+        assert_eq!(span.outcome, SpanOutcome::Ok);
+        assert!(span.is_complete());
+        // Completion offsets must be monotonically non-decreasing in
+        // chronological stage order, since we marked them in order.
+        let offsets: Vec<u64> = STAGES
+            .iter()
+            .map(|&s| span.stage(s).unwrap().offset_us)
+            .collect();
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets not monotonic: {offsets:?}"
+        );
+        assert!(span.total_us >= *offsets.last().unwrap());
+    }
+
+    #[test]
+    fn unknown_span_marks_and_finishes_are_noops() {
+        let store = SpanStore::default();
+        store.mark(99, Stage::Marshal, Duration::ZERO);
+        assert!(store.finish(99, SpanOutcome::Ok).is_none());
+        assert!(store.recent().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let store = SpanStore::with_capacity(4);
+        for id in 0..10u32 {
+            store.begin(id, "op", "tcp");
+            store.finish(id, SpanOutcome::Ok);
+        }
+        let recent = store.recent();
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<u32> = recent.iter().map(|s| s.request_id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        assert_eq!(store.dropped(), 6);
+    }
+
+    #[test]
+    fn active_map_is_bounded() {
+        let store = SpanStore::with_capacity(8);
+        for id in 0..(MAX_ACTIVE_SPANS as u32 + 50) {
+            store.begin(id, "leaky", "tcp");
+        }
+        assert!(store.active_len() <= MAX_ACTIVE_SPANS);
+        // Evicted spans surface in the ring as cancelled.
+        assert!(store
+            .recent()
+            .iter()
+            .all(|s| s.outcome == SpanOutcome::Cancelled));
+    }
+
+    #[test]
+    fn rebegin_same_id_cancels_previous() {
+        let store = SpanStore::default();
+        store.begin(1, "first", "tcp");
+        store.begin(1, "second", "tcp");
+        store.finish(1, SpanOutcome::Ok);
+        let recent = store.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].operation, "first");
+        assert_eq!(recent[0].outcome, SpanOutcome::Cancelled);
+        assert_eq!(recent[1].operation, "second");
+        assert_eq!(recent[1].outcome, SpanOutcome::Ok);
+    }
+}

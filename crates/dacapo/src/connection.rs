@@ -51,7 +51,14 @@ impl Connection {
         transport: impl Transport,
         catalog: &MechanismCatalog,
     ) -> Result<Self, DacapoError> {
-        Connection::establish_with(graph, ModuleParams::default(), transport, catalog, None)
+        Connection::establish_with(
+            graph,
+            ModuleParams::default(),
+            transport,
+            catalog,
+            None,
+            RuntimeOptions::default(),
+        )
     }
 
     /// Establishes a connection from QoS-derived transport requirements:
@@ -72,7 +79,32 @@ impl Connection {
     ) -> Result<Self, DacapoError> {
         let Configuration { graph, params } = config_mgr.configure(requirements, ctx)?;
         let grant = resource_mgr.admit(&graph, config_mgr.catalog(), requirements)?;
-        Connection::establish_with(graph, params, transport, config_mgr.catalog(), Some(grant))
+        Connection::establish_with(
+            graph,
+            params,
+            transport,
+            config_mgr.catalog(),
+            Some(grant),
+            RuntimeOptions::default(),
+        )
+    }
+
+    /// Like [`Connection::establish_with_qos`], but with explicit runtime
+    /// options — in particular a telemetry registry the module threads and
+    /// transport pumps report into. The options survive
+    /// [`Connection::reconfigure`], so a reconfigured stack keeps feeding
+    /// the same registry.
+    pub fn establish_with_qos_opts(
+        requirements: &TransportRequirements,
+        ctx: &ConfigContext,
+        transport: impl Transport,
+        config_mgr: &ConfigurationManager,
+        resource_mgr: &ResourceManager,
+        opts: RuntimeOptions,
+    ) -> Result<Self, DacapoError> {
+        let Configuration { graph, params } = config_mgr.configure(requirements, ctx)?;
+        let grant = resource_mgr.admit(&graph, config_mgr.catalog(), requirements)?;
+        Connection::establish_with(graph, params, transport, config_mgr.catalog(), Some(grant), opts)
     }
 
     fn establish_with(
@@ -81,10 +113,10 @@ impl Connection {
         transport: impl Transport,
         catalog: &MechanismCatalog,
         grant: Option<ResourceGrant>,
+        opts: RuntimeOptions,
     ) -> Result<Self, DacapoError> {
         graph.validate(catalog)?;
         let transport: Arc<dyn Transport> = Arc::new(transport);
-        let opts = RuntimeOptions::default();
         let modules = instantiate(&graph, &params, catalog)?;
         let stack = build_stack(modules, transport.clone(), &opts);
         let endpoint = stack.endpoint().clone();

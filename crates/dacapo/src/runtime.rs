@@ -23,6 +23,7 @@ use crate::packet::{Packet, PacketKind};
 use crate::stats::ThroughputMeter;
 use crate::tlayer::Transport;
 use crate::DacapoError;
+use cool_telemetry::{Counter, Gauge, Registry};
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,6 +45,13 @@ pub struct RuntimeOptions {
     /// may lag by up to this long. Frame arrival is unaffected: the
     /// underlying transports wake their receiver the moment data lands.
     pub shutdown_grace: Duration,
+    /// When set, every module thread reports per-direction frame/byte
+    /// throughput (`dacapo_module_frames_total{module,dir}`,
+    /// `dacapo_module_bytes_total{module,dir}`) and its input-queue depth
+    /// (`dacapo_module_queue_depth{module}`), and the transport pumps
+    /// report wire traffic (`dacapo_wire_frames_total{dir}`,
+    /// `dacapo_wire_bytes_total{dir}`) into this registry.
+    pub telemetry: Option<Arc<Registry>>,
 }
 
 impl Default for RuntimeOptions {
@@ -52,6 +60,34 @@ impl Default for RuntimeOptions {
             channel_capacity: 128,
             tick_interval: Duration::from_millis(20),
             shutdown_grace: Duration::from_millis(25),
+            telemetry: None,
+        }
+    }
+}
+
+/// Pre-resolved registry handles for one module thread.
+struct ModuleTelemetry {
+    down_frames: Arc<Counter>,
+    down_bytes: Arc<Counter>,
+    up_frames: Arc<Counter>,
+    up_bytes: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl ModuleTelemetry {
+    fn new(registry: &Registry, module: &str) -> Self {
+        let labeled = |name: &str, dir: &str| {
+            registry.counter(&Registry::labeled(name, &[("module", module), ("dir", dir)]))
+        };
+        ModuleTelemetry {
+            down_frames: labeled("dacapo_module_frames_total", "down"),
+            down_bytes: labeled("dacapo_module_bytes_total", "down"),
+            up_frames: labeled("dacapo_module_frames_total", "up"),
+            up_bytes: labeled("dacapo_module_bytes_total", "up"),
+            queue_depth: registry.gauge(&Registry::labeled(
+                "dacapo_module_queue_depth",
+                &[("module", module)],
+            )),
         }
     }
 }
@@ -191,6 +227,12 @@ pub fn build_stack(
         let idle = Arc::new(AtomicBool::new(true));
         idle_flags.push(idle.clone());
         let wake = wake_rx.clone();
+        // Same-named modules (within a stack or across the two peers of a
+        // connection sharing one registry) aggregate into one time series.
+        let telemetry = opts
+            .telemetry
+            .as_ref()
+            .map(|r| ModuleTelemetry::new(r, module.name()));
         let name = format!("dacapo-mod-{}", module.name());
         threads.push(
             std::thread::Builder::new()
@@ -198,6 +240,7 @@ pub fn build_stack(
                 .spawn(move || {
                     module_loop(
                         module, down_in, up_in, down_out, up_out, flag, tick, idle, wake,
+                        telemetry,
                     )
                 })
                 .expect("spawn module thread"),
@@ -212,6 +255,12 @@ pub fn build_stack(
         let transport = transport.clone();
         let flag = shutdown.clone();
         let wake = wake_rx.clone();
+        let wire = opts.telemetry.as_ref().map(|r| {
+            (
+                r.counter(&Registry::labeled("dacapo_wire_frames_total", &[("dir", "tx")])),
+                r.counter(&Registry::labeled("dacapo_wire_bytes_total", &[("dir", "tx")])),
+            )
+        });
         threads.push(
             std::thread::Builder::new()
                 .name("dacapo-t-tx".into())
@@ -226,8 +275,13 @@ pub fn build_stack(
                     if op.index() == down_idx {
                         match op.recv(&t_down_rx) {
                             Ok(pkt) => {
+                                let wire_len = pkt.len() as u64;
                                 if transport.send(pkt.to_bytes()).is_err() {
                                     return;
+                                }
+                                if let Some((frames, bytes)) = &wire {
+                                    frames.inc();
+                                    bytes.add(wire_len);
                                 }
                             }
                             Err(_) => return,
@@ -252,6 +306,12 @@ pub fn build_stack(
         let flag = shutdown.clone();
         let up_bottom = up_tx[n].clone();
         let grace = opts.shutdown_grace;
+        let wire = opts.telemetry.as_ref().map(|r| {
+            (
+                r.counter(&Registry::labeled("dacapo_wire_frames_total", &[("dir", "rx")])),
+                r.counter(&Registry::labeled("dacapo_wire_bytes_total", &[("dir", "rx")])),
+            )
+        });
         threads.push(
             std::thread::Builder::new()
                 .name("dacapo-t-rx".into())
@@ -261,6 +321,10 @@ pub fn build_stack(
                     }
                     match transport.recv_timeout(grace) {
                         Ok(frame) => {
+                            if let Some((frames, bytes)) = &wire {
+                                frames.inc();
+                                bytes.add(frame.len() as u64);
+                            }
                             let pkt = Packet::from_wire(&frame, PacketKind::Data);
                             if up_bottom.send(pkt).is_err() {
                                 return;
@@ -307,6 +371,7 @@ fn module_loop(
     tick_interval: Duration,
     idle: Arc<AtomicBool>,
     wake: Receiver<()>,
+    telemetry: Option<ModuleTelemetry>,
 ) {
     let start = Instant::now();
     let mut out = Outputs::new();
@@ -347,14 +412,29 @@ fn module_loop(
                 let _ = op.recv(&wake);
             }
             Ok(op) if Some(op.index()) == up_idx => match op.recv(&up_in) {
-                Ok(pkt) => module.process_up(pkt, &mut out),
+                Ok(pkt) => {
+                    if let Some(t) = &telemetry {
+                        t.up_frames.inc();
+                        t.up_bytes.add(pkt.len() as u64);
+                    }
+                    module.process_up(pkt, &mut out)
+                }
                 Err(_) => up_open = false,
             },
             Ok(op) => match op.recv(&down_in) {
-                Ok(pkt) => module.process_down(pkt, &mut out),
+                Ok(pkt) => {
+                    if let Some(t) = &telemetry {
+                        t.down_frames.inc();
+                        t.down_bytes.add(pkt.len() as u64);
+                    }
+                    module.process_down(pkt, &mut out)
+                }
                 Err(_) => down_open = false,
             },
             Err(_) => module.on_tick(start.elapsed(), &mut out),
+        }
+        if let Some(t) = &telemetry {
+            t.queue_depth.set((down_in.len() + up_in.len()) as f64);
         }
 
         for pkt in out.take_down() {
@@ -543,6 +623,47 @@ mod tests {
         // propagate peer stack death, only transport closure would).
         let r = b.endpoint().recv_timeout(Duration::from_millis(100));
         assert!(r.is_err());
+        b.shutdown();
+    }
+
+    #[test]
+    fn telemetry_counts_module_and_wire_traffic() {
+        let (ta, tb) = loopback_pair();
+        let registry = Arc::new(Registry::new());
+        let opts = RuntimeOptions {
+            telemetry: Some(registry.clone()),
+            ..RuntimeOptions::default()
+        };
+        let a = build_stack(modules_from(&["crc32"]), Arc::new(ta), &opts);
+        let b = build_stack(modules_from(&["crc32"]), Arc::new(tb), &opts);
+        for i in 0..10u8 {
+            a.endpoint().send(Bytes::from(vec![i; 64])).unwrap();
+        }
+        for _ in 0..10 {
+            b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let snap = registry.snapshot();
+        let down = snap
+            .counter("dacapo_module_frames_total{module=\"crc32\",dir=\"down\"}")
+            .unwrap_or(0);
+        let up = snap
+            .counter("dacapo_module_frames_total{module=\"crc32\",dir=\"up\"}")
+            .unwrap_or(0);
+        assert!(down >= 10, "down frames through crc32: {down}");
+        assert!(up >= 10, "up frames through crc32: {up}");
+        assert!(
+            snap.counter("dacapo_module_bytes_total{module=\"crc32\",dir=\"down\"}")
+                .unwrap_or(0)
+                >= 640
+        );
+        assert!(
+            snap.counter("dacapo_wire_frames_total{dir=\"tx\"}").unwrap_or(0) >= 10
+        );
+        assert!(
+            snap.counter("dacapo_wire_frames_total{dir=\"rx\"}").unwrap_or(0) >= 10
+        );
+        assert!(snap.gauge("dacapo_module_queue_depth{module=\"crc32\"}").is_some());
+        a.shutdown();
         b.shutdown();
     }
 

@@ -52,6 +52,7 @@ pub mod mapping;
 pub mod negotiation;
 pub mod policy;
 pub mod spec;
+pub mod telemetry;
 
 pub use admission::{AdmissionTicket, CapacityAdmission, ResourceAdmission};
 pub use error::QosError;

@@ -6,3 +6,18 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
+
+# Telemetry smoke: the latency bench must emit a machine-readable snapshot
+# with real percentiles in it.
+smoke_dir=$(mktemp -d)
+(cd "$smoke_dir" && cargo run -q --release -p bench --bin invocation_latency \
+    --manifest-path "$OLDPWD/Cargo.toml" -- --quick) | tee "$smoke_dir/out.txt"
+grep '^BENCH_JSON ' "$smoke_dir/out.txt" | sed 's/^BENCH_JSON //' | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.read())
+hist = doc["telemetry"]["histograms"]
+lat = hist["orb_invocation_latency_us{transport=\"tcp\"}"]
+assert lat["p99_us"] > 0, "telemetry p99 missing or zero"
+print("telemetry smoke ok: %d invocations, p99 %dus" % (lat["count"], lat["p99_us"]))
+'
+rm -rf "$smoke_dir"

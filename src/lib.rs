@@ -13,6 +13,7 @@
 //! | [`chorus`] ([`chorus_sim`]) | ChorusOS stand-in: actors, IPC ports, priority threads |
 //! | [`netsim`] | simulated ATM-class links with reservations |
 //! | [`idl`] ([`chic`]) | the Chic IDL compiler with the QoS template extension |
+//! | [`telemetry`] ([`cool_telemetry`]) | opt-in metrics and invocation tracing across all of the above |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use chic as idl;
 pub use chorus_sim as chorus;
 pub use cool_giop as giop;
 pub use cool_orb as orb;
+pub use cool_telemetry as telemetry;
 pub use dacapo;
 pub use multe_qos as qos;
 pub use netsim;

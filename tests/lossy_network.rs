@@ -76,7 +76,7 @@ fn best_effort_on_a_lossy_link_loses_invocations() {
     for i in 0..40u8 {
         match stub.invoke("echo", Bytes::from(vec![i; 64])) {
             Ok(_) => successes += 1,
-            Err(OrbError::Timeout(_)) => failures += 1,
+            Err(OrbError::Timeout { .. }) => failures += 1,
             Err(other) => panic!("unexpected failure mode: {other:?}"),
         }
     }
