@@ -15,6 +15,8 @@
 //! cargo run --release -p bench --bin arq_comparison [-- --quick]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use bench::measure_throughput;
 use dacapo::prelude::*;
 use std::time::Duration;

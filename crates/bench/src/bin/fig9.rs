@@ -12,6 +12,8 @@
 //!   3. the IRQ (idle-repeat-request) configuration collapses throughput —
 //!      "careful evaluation of protocol functionality is needed".
 
+#![forbid(unsafe_code)]
+
 use bench::{fig9_configs, fig9_link_spec, fig9_packet_sizes, measure_throughput};
 use std::time::Duration;
 

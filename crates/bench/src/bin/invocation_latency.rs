@@ -10,6 +10,8 @@
 //! cargo run --release -p bench --bin invocation_latency
 //! ```
 
+#![forbid(unsafe_code)]
+
 use bench::{emit_bench_json, rtt_stats_json, RttHarness, RttStats};
 use cool_telemetry::Registry;
 use std::sync::Arc;

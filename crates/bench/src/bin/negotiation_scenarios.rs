@@ -12,6 +12,8 @@
 //! cargo run --release -p bench --bin negotiation_scenarios
 //! ```
 
+#![forbid(unsafe_code)]
+
 use bytes::Bytes;
 use cool_orb::prelude::*;
 use std::sync::Arc;

@@ -12,6 +12,8 @@
 //! cargo run --release -p bench --bin tab1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use bench::{emit_bench_json, rtt_stats_json, RttHarness, RttStats};
 
 fn main() {

@@ -33,6 +33,8 @@
 //! assert!(rust.contains("pub fn set_qos_parameter"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod ast;

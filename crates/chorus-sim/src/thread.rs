@@ -107,6 +107,7 @@ impl ThreadBuilder {
                 priority_table().write().remove(&thread::current().id());
                 result
             })
+            // lint: allow(L002, documented # Panics contract; mirrors Chorus threadCreate aborting on resource exhaustion)
             .expect("failed to spawn thread")
     }
 }

@@ -25,6 +25,7 @@ impl Timer {
         let cancelled = Arc::new(AtomicBool::new(false));
         let flag = cancelled.clone();
         let handle = std::thread::spawn(move || {
+            // lint: allow(L001, the timer device thread sleeps for the modelled delay itself; this is not a poll)
             std::thread::sleep(delay);
             if !flag.load(Ordering::Acquire) {
                 let _ = target.send(IpcMessage::with_tag(
@@ -46,6 +47,7 @@ impl Timer {
         let handle = std::thread::spawn(move || {
             let mut tick: u64 = 0;
             loop {
+                // lint: allow(L001, each tick of the periodic timer device is a modelled delay, not a poll)
                 std::thread::sleep(period);
                 if flag.load(Ordering::Acquire) {
                     break;

@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod cdr;

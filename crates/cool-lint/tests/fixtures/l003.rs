@@ -1,0 +1,14 @@
+// Fixture for L003: unbounded channels on the data path.
+
+fn growing_queue() {
+    let (_tx, _rx) = crossbeam::channel::unbounded::<u8>(); // line 4: flagged on data path
+}
+
+fn annotated_queue() {
+    // lint: allow(L003, fixture: control path, rate-limited upstream)
+    let (_tx, _rx) = crossbeam::channel::unbounded::<u8>();
+}
+
+fn bounded_queue_is_fine() {
+    let (_tx, _rx) = crossbeam::channel::bounded::<u8>(64);
+}

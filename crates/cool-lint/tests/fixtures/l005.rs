@@ -1,0 +1,15 @@
+// Fixture for L005: an OrbError-shaped enum declaration. The companion
+// uses-fixture (l005_uses.rs) constructs `Covered` but never `Orphan`.
+
+/// Fixture error enum.
+pub enum OrbError {
+    /// Constructed and asserted by the uses fixture.
+    Covered,
+    /// Never referenced anywhere: must be flagged.
+    Orphan(String),
+    /// Carries fields; referenced by the uses fixture.
+    WithFields {
+        /// A detail string.
+        detail: String,
+    },
+}

@@ -35,7 +35,8 @@ use cool_giop::prelude::*;
 use cool_telemetry::{Counter, Histogram, Registry, SpanOutcome, Stage};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use multe_qos::GrantedQoS;
-use parking_lot::Mutex;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::lockorder::rank as lock_rank;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -65,7 +66,7 @@ impl Slot {
     }
 }
 
-type PendingMap = Arc<Mutex<HashMap<u32, Slot>>>;
+type PendingMap = Arc<OrderedMutex<HashMap<u32, Slot>>>;
 
 /// Pre-resolved client-side metric handles (one lookup per binding, then
 /// relaxed atomics on the hot path).
@@ -181,7 +182,11 @@ impl Binding {
             protocol,
             order: ByteOrder::Big,
             next_id: AtomicU32::new(1),
-            pending: Arc::new(Mutex::new(HashMap::new())),
+            pending: Arc::new(OrderedMutex::new(
+                lock_rank::BINDING_PENDING,
+                "binding.pending",
+                HashMap::new(),
+            )),
             closed: Arc::new(AtomicBool::new(false)),
             default_timeout: config.call_timeout,
             telemetry,
@@ -578,7 +583,8 @@ fn demux_frame(
     match protocol {
         WireProtocol::Giop => match cool_giop::codec::decode_message_ext(frame) {
             Ok((Message::Reply { header, body }, _, order)) => {
-                if let Some(slot) = pending.lock().remove(&header.request_id) {
+                let slot = pending.lock().remove(&header.request_id);
+                if let Some(slot) = slot {
                     let result = giop_helpers::interpret_reply(&header, &body, order);
                     mark_decode(header.request_id);
                     slot.complete(result);
@@ -592,7 +598,8 @@ fn demux_frame(
         },
         WireProtocol::Cool => match CoolMessage::decode(frame) {
             Ok(CoolMessage::Reply { request_id, body }) => {
-                if let Some(slot) = pending.lock().remove(&request_id) {
+                let slot = pending.lock().remove(&request_id);
+                if let Some(slot) = slot {
                     mark_decode(request_id);
                     slot.complete(Ok((body, None)));
                 }
@@ -602,7 +609,8 @@ fn demux_frame(
                 kind,
                 detail,
             }) => {
-                if let Some(slot) = pending.lock().remove(&request_id) {
+                let slot = pending.lock().remove(&request_id);
+                if let Some(slot) = slot {
                     mark_decode(request_id);
                     let err = match kind.as_str() {
                         "ObjectNotFound" => OrbError::ObjectNotFound(detail),

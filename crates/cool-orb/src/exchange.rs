@@ -18,7 +18,8 @@ use dacapo::runtime::RuntimeOptions;
 use dacapo::tlayer::Transport;
 use dacapo::{Connection, MechanismCatalog, NetsimTransport, ResourceManager};
 use multe_qos::TransportRequirements;
-use parking_lot::Mutex;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::lockorder::rank as lock_rank;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -37,7 +38,7 @@ struct Registry {
 /// Name-based rendezvous for in-process transports.
 #[derive(Clone)]
 pub struct LocalExchange {
-    registry: Arc<Mutex<Registry>>,
+    registry: Arc<OrderedMutex<Registry>>,
     config_mgr: ConfigurationManager,
     resource_mgr: ResourceManager,
 }
@@ -56,7 +57,11 @@ impl LocalExchange {
     /// Creates an isolated exchange (tests that must not share state).
     pub fn new() -> Self {
         LocalExchange {
-            registry: Arc::new(Mutex::new(Registry::default())),
+            registry: Arc::new(OrderedMutex::new(
+                lock_rank::EXCHANGE_REGISTRY,
+                "exchange.registry",
+                Registry::default(),
+            )),
             config_mgr: ConfigurationManager::new(MechanismCatalog::standard()),
             resource_mgr: ResourceManager::default(),
         }
@@ -104,6 +109,7 @@ impl LocalExchange {
                 "chorus endpoint {name:?} already bound"
             )));
         }
+        // lint: allow(L003, acceptor queue: depth bounded by concurrent connect attempts and drained by the server accept loop)
         let (tx, rx) = unbounded();
         reg.chorus.insert(name.to_owned(), tx);
         Ok(rx)
@@ -121,6 +127,7 @@ impl LocalExchange {
                 "dacapo endpoint {name:?} already bound"
             )));
         }
+        // lint: allow(L003, acceptor queue: depth bounded by concurrent connect attempts and drained by the server accept loop)
         let (tx, rx) = unbounded();
         reg.dacapo.insert(name.to_owned(), tx);
         Ok(rx)

@@ -10,7 +10,8 @@ use crate::object::{ObjectKey, ObjectRef, OrbAddr};
 use crate::server::OrbServer;
 use bytes::Bytes;
 use multe_qos::{GrantedQoS, QoSSpec, ServerPolicy, TransportRequirements};
-use parking_lot::Mutex;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::lockorder::rank as lock_rank;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,8 +23,8 @@ pub struct Orb {
     adapter: Arc<ObjectAdapter>,
     exchange: LocalExchange,
     config: OrbConfig,
-    bindings: Mutex<HashMap<(String, WireProtocol), Arc<Binding>>>,
-    served: Mutex<Vec<OrbAddr>>,
+    bindings: OrderedMutex<HashMap<(String, WireProtocol), Arc<Binding>>>,
+    served: OrderedMutex<Vec<OrbAddr>>,
 }
 
 impl std::fmt::Debug for Orb {
@@ -65,8 +66,8 @@ impl Orb {
             adapter: Arc::new(ObjectAdapter::with_telemetry(config.telemetry.clone())),
             exchange,
             config,
-            bindings: Mutex::new(HashMap::new()),
-            served: Mutex::new(Vec::new()),
+            bindings: OrderedMutex::new(lock_rank::ORB_BINDINGS, "orb.bindings", HashMap::new()),
+            served: OrderedMutex::new(lock_rank::ORB_SERVED, "orb.served", Vec::new()),
         })
     }
 
@@ -168,18 +169,18 @@ impl Orb {
             return Ok(Stub {
                 target: Target::Local(self.adapter.clone()),
                 key: reference.key.clone(),
-                qos: Mutex::new(None),
-                granted: Mutex::new(None),
-                timeout: Mutex::new(self.config.call_timeout),
+                qos: OrderedMutex::new(lock_rank::STUB_QOS, "stub.qos", None),
+                granted: OrderedMutex::new(lock_rank::STUB_GRANTED, "stub.granted", None),
+                timeout: OrderedMutex::new(lock_rank::STUB_TIMEOUT, "stub.timeout", self.config.call_timeout),
             });
         }
         let binding = self.binding_for(&reference.addr, protocol)?;
         Ok(Stub {
             target: Target::Remote(binding),
             key: reference.key.clone(),
-            qos: Mutex::new(None),
-            granted: Mutex::new(None),
-            timeout: Mutex::new(self.config.call_timeout),
+            qos: OrderedMutex::new(lock_rank::STUB_QOS, "stub.qos", None),
+            granted: OrderedMutex::new(lock_rank::STUB_GRANTED, "stub.granted", None),
+            timeout: OrderedMutex::new(lock_rank::STUB_TIMEOUT, "stub.timeout", self.config.call_timeout),
         })
     }
 
@@ -238,9 +239,9 @@ enum Target {
 pub struct Stub {
     target: Target,
     key: ObjectKey,
-    qos: Mutex<Option<QoSSpec>>,
-    granted: Mutex<Option<GrantedQoS>>,
-    timeout: Mutex<Duration>,
+    qos: OrderedMutex<Option<QoSSpec>>,
+    granted: OrderedMutex<Option<GrantedQoS>>,
+    timeout: OrderedMutex<Duration>,
 }
 
 impl std::fmt::Debug for Stub {

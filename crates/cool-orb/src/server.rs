@@ -42,7 +42,8 @@ use cool_giop::prelude::*;
 use cool_telemetry::{Gauge, Histogram, Registry, Stage};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use multe_qos::QoSSpec;
-use parking_lot::Mutex;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::lockorder::rank as lock_rank;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
@@ -54,12 +55,12 @@ pub struct OrbServer {
     addr: OrbAddr,
     adapter: Arc<ObjectAdapter>,
     shutdown: Arc<AtomicBool>,
-    acceptor: Mutex<Option<JoinHandle<()>>>,
-    dispatchers: Mutex<Vec<JoinHandle<()>>>,
+    acceptor: OrderedMutex<Option<JoinHandle<()>>>,
+    dispatchers: OrderedMutex<Vec<JoinHandle<()>>>,
     /// Dropped at close so dispatchers see disconnection once every
     /// connection sink has released its clone.
-    jobs_tx: Mutex<Option<Sender<Job>>>,
-    conns: Arc<Mutex<Vec<Weak<ConnState>>>>,
+    jobs_tx: OrderedMutex<Option<Sender<Job>>>,
+    conns: Arc<OrderedMutex<Vec<Weak<ConnState>>>>,
     exchange_binding: Option<(LocalExchange, &'static str, String)>,
     /// Bound TCP address used for the shutdown self-connect that pops the
     /// acceptor out of its blocking `accept()`.
@@ -92,7 +93,11 @@ impl OrbServer {
             .local_addr()
             .map_err(|e| OrbError::Transport(format!("local addr: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<Weak<ConnState>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<OrderedMutex<Vec<Weak<ConnState>>>> = Arc::new(OrderedMutex::new(
+            lock_rank::SERVER_CONNS,
+            "server.conns",
+            Vec::new(),
+        ));
         let (jobs_tx, dispatchers) = start_dispatchers(adapter.clone(), config)?;
 
         let flag = shutdown.clone();
@@ -130,9 +135,9 @@ impl OrbServer {
             addr: OrbAddr::Tcp(local.to_string()),
             adapter,
             shutdown,
-            acceptor: Mutex::new(Some(acceptor)),
-            dispatchers: Mutex::new(dispatchers),
-            jobs_tx: Mutex::new(Some(jobs_tx)),
+            acceptor: OrderedMutex::new(lock_rank::SERVER_ACCEPTOR, "server.acceptor", Some(acceptor)),
+            dispatchers: OrderedMutex::new(lock_rank::SERVER_DISPATCHERS, "server.dispatchers", dispatchers),
+            jobs_tx: OrderedMutex::new(lock_rank::SERVER_JOBS_TX, "server.jobs_tx", Some(jobs_tx)),
             conns,
             exchange_binding: None,
             wake_addr: Some(local),
@@ -159,7 +164,11 @@ impl OrbServer {
         };
         let name = addr.target().to_owned();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<Weak<ConnState>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<OrderedMutex<Vec<Weak<ConnState>>>> = Arc::new(OrderedMutex::new(
+            lock_rank::SERVER_CONNS,
+            "server.conns",
+            Vec::new(),
+        ));
         let (jobs_tx, dispatchers) = start_dispatchers(adapter.clone(), config)?;
 
         let flag = shutdown.clone();
@@ -192,9 +201,9 @@ impl OrbServer {
             addr,
             adapter,
             shutdown,
-            acceptor: Mutex::new(Some(handle)),
-            dispatchers: Mutex::new(dispatchers),
-            jobs_tx: Mutex::new(Some(jobs_tx)),
+            acceptor: OrderedMutex::new(lock_rank::SERVER_ACCEPTOR, "server.acceptor", Some(handle)),
+            dispatchers: OrderedMutex::new(lock_rank::SERVER_DISPATCHERS, "server.dispatchers", dispatchers),
+            jobs_tx: OrderedMutex::new(lock_rank::SERVER_JOBS_TX, "server.jobs_tx", Some(jobs_tx)),
             conns,
             exchange_binding: Some((exchange, scheme, name)),
             wake_addr: None,
@@ -270,7 +279,7 @@ impl Drop for OrbServer {
 /// any in-flight dispatcher jobs.
 struct ConnState {
     channel: Arc<dyn ComChannel>,
-    cancelled: Mutex<CancelSet>,
+    cancelled: OrderedMutex<CancelSet>,
 }
 
 /// Bounded memory of `CancelRequest` ids (oldest evicted first), so a
@@ -371,7 +380,7 @@ enum Work {
 /// `channel → inbox → sink → ConnState → channel` loop is broken the
 /// moment the connection ends.
 struct ConnSink {
-    conn: Mutex<Option<Arc<ConnState>>>,
+    conn: OrderedMutex<Option<Arc<ConnState>>>,
     adapter: Arc<ObjectAdapter>,
     jobs: Sender<Job>,
 }
@@ -442,12 +451,12 @@ fn attach_connection(
     channel: Arc<dyn ComChannel>,
     adapter: Arc<ObjectAdapter>,
     jobs: Sender<Job>,
-    conns: &Arc<Mutex<Vec<Weak<ConnState>>>>,
+    conns: &Arc<OrderedMutex<Vec<Weak<ConnState>>>>,
     cancel_cap: usize,
 ) {
     let conn = Arc::new(ConnState {
         channel: channel.clone(),
-        cancelled: Mutex::new(CancelSet::new(cancel_cap)),
+        cancelled: OrderedMutex::new(lock_rank::SERVER_CONN_CANCELLED, "server.conn.cancelled", CancelSet::new(cancel_cap)),
     });
     {
         let mut list = conns.lock();
@@ -455,7 +464,7 @@ fn attach_connection(
         list.push(Arc::downgrade(&conn));
     }
     channel.set_sink(Arc::new(ConnSink {
-        conn: Mutex::new(Some(conn)),
+        conn: OrderedMutex::new(lock_rank::SERVER_SINK_CONN, "server.sink.conn", Some(conn)),
         adapter,
         jobs,
     }));

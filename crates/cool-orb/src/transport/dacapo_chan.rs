@@ -41,7 +41,8 @@ use cool_telemetry::Registry;
 use dacapo::config::{ConfigContext, ConfigurationManager};
 use dacapo::{Connection, ResourceGrant, ResourceManager};
 use multe_qos::{QosError, TransportRequirements};
-use parking_lot::Mutex;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::lockorder::rank as lock_rank;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -52,14 +53,14 @@ struct Inner {
     connection: Connection,
     config_mgr: ConfigurationManager,
     resource_mgr: Option<ResourceManager>,
-    grant: Mutex<Option<ResourceGrant>>,
-    ctx: Mutex<ConfigContext>,
+    grant: OrderedMutex<Option<ResourceGrant>>,
+    ctx: OrderedMutex<ConfigContext>,
     inbox: Arc<FrameInbox>,
     closed: AtomicBool,
     /// Control path to the other end of the pair (the management
     /// signalling facility). Weak: a dropped peer must read as gone, not
     /// be kept alive by our side.
-    peer: Mutex<Weak<Inner>>,
+    peer: OrderedMutex<Weak<Inner>>,
     send_metrics: Option<SendMetrics>,
 }
 
@@ -105,10 +106,18 @@ impl Inner {
 /// closes, at which point the endpoint wait is unblocked by the stack
 /// teardown (bounded by the runtime's `shutdown_grace`).
 fn pump_loop(inner: &Inner) {
+    /// Upper bound on one reconfiguration wait; the epoch condvar wakes
+    /// the pump the instant a new endpoint is installed, this only guards
+    /// against a swap that never completes.
+    const SWAP_WAIT: Duration = Duration::from_millis(100);
     loop {
         if inner.closed.load(Ordering::Acquire) || inner.connection.is_closed() {
             break;
         }
+        // Snapshot the epoch *before* cloning the endpoint: if a
+        // reconfiguration lands in between, the epoch has already moved
+        // and the wait below returns immediately.
+        let epoch = inner.connection.epoch();
         let endpoint = inner.connection.endpoint();
         match endpoint.recv() {
             Ok(frame) => inner.inbox.push(frame),
@@ -117,11 +126,9 @@ fn pump_loop(inner: &Inner) {
                     break;
                 }
                 // A reconfiguration swapped the stack out from under the
-                // endpoint we were blocked in. Back off briefly so the
-                // swap can land, then pick up the new endpoint. This is a
-                // bounded race window during reconfiguration only, not a
-                // steady-state poll.
-                std::thread::sleep(Duration::from_micros(500));
+                // endpoint we were blocked in. Park until the connection
+                // signals the new endpoint is installed, then retry.
+                inner.connection.wait_epoch_change(epoch, SWAP_WAIT);
             }
         }
     }
@@ -187,11 +194,11 @@ impl DacapoComChannel {
                 connection,
                 config_mgr: config_mgr.clone(),
                 resource_mgr: resource_mgr.clone(),
-                grant: Mutex::new(None),
-                ctx: Mutex::new(ConfigContext::default()),
+                grant: OrderedMutex::new(lock_rank::CHAN_GRANT, "chan.grant", None),
+                ctx: OrderedMutex::new(lock_rank::CHAN_CTX, "chan.ctx", ConfigContext::default()),
                 inbox,
                 closed: AtomicBool::new(false),
-                peer: Mutex::new(Weak::new()),
+                peer: OrderedMutex::new(lock_rank::CHAN_PEER, "chan.peer", Weak::new()),
                 send_metrics: send_metrics.clone(),
             })
         };

@@ -19,6 +19,9 @@
 //!   `Option<…Metrics>`; with `OrbConfig::telemetry = None` the cost is a
 //!   branch on a `None`.
 
+#![forbid(unsafe_code)]
+
+pub mod lockorder;
 pub mod metrics;
 pub mod registry;
 pub mod span;

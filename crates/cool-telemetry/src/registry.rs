@@ -16,6 +16,13 @@ use std::time::Duration;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::span::{SpanOutcome, SpanRecord, SpanStore, Stage, STAGES};
 
+/// Locks `m`, recovering the data from a poisoned lock: telemetry must
+/// keep reporting even after a panic elsewhere, and every guarded value
+/// here stays internally consistent under any interleaving.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Named-metric table + span store. Cheap to share via `Arc`.
 #[derive(Default)]
 pub struct Registry {
@@ -63,7 +70,7 @@ impl Registry {
 
     /// Returns (interning on first use) the counter named `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = locked(&self.counters);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Counter::new())),
@@ -72,7 +79,7 @@ impl Registry {
 
     /// Returns (interning on first use) the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = locked(&self.gauges);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Gauge::new())),
@@ -81,7 +88,7 @@ impl Registry {
 
     /// Returns (interning on first use) the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = locked(&self.histograms);
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
@@ -116,24 +123,15 @@ impl Registry {
 
     /// Point-in-time copy of every metric and the recent-span ring.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap()
+        let counters = locked(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .unwrap()
+        let gauges = locked(&self.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .unwrap()
+        let histograms = locked(&self.histograms)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
@@ -161,9 +159,9 @@ impl Registry {
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
-            .field("counters", &self.counters.lock().unwrap().len())
-            .field("gauges", &self.gauges.lock().unwrap().len())
-            .field("histograms", &self.histograms.lock().unwrap().len())
+            .field("counters", &locked(&self.counters).len())
+            .field("gauges", &locked(&self.gauges).len())
+            .field("histograms", &locked(&self.histograms).len())
             .field("spans", &self.spans)
             .finish()
     }

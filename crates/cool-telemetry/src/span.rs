@@ -19,6 +19,13 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Locks `m`, recovering the data from a poisoned lock: telemetry must
+/// keep reporting even after a panic elsewhere, and every guarded value
+/// here stays internally consistent under any interleaving.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Pipeline stages of one invocation, in chronological order.
 ///
 /// Note the order differs slightly from a naive reading of the GIOP flow:
@@ -189,7 +196,7 @@ impl SpanStore {
     /// ring first.
     pub fn begin(&self, request_id: u32, operation: &str, transport: &'static str) {
         let started = Instant::now();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = locked(&self.inner);
         if let Some(prev) = inner.active.remove(&request_id) {
             push_finished(&mut inner, prev, SpanOutcome::Cancelled);
         }
@@ -224,7 +231,7 @@ impl SpanStore {
     /// time of this call. No-op if the span is unknown (evicted, or
     /// telemetry attached mid-call).
     pub fn mark(&self, request_id: u32, stage: Stage, duration: Duration) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = locked(&self.inner);
         if let Some(span) = inner.active.get_mut(&request_id) {
             let offset = span.started.elapsed();
             span.record.stages[stage.index()] = Some(StageTiming {
@@ -237,7 +244,7 @@ impl SpanStore {
     /// Closes the span and pushes it onto the recent ring. Returns the
     /// total duration when the span was known.
     pub fn finish(&self, request_id: u32, outcome: SpanOutcome) -> Option<Duration> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = locked(&self.inner);
         let span = inner.active.remove(&request_id)?;
         let total = span.started.elapsed();
         push_finished(&mut inner, span, outcome);
@@ -246,24 +253,24 @@ impl SpanStore {
 
     /// The most recently finished spans, oldest first.
     pub fn recent(&self) -> Vec<SpanRecord> {
-        let inner = self.inner.lock().unwrap();
+        let inner = locked(&self.inner);
         inner.recent.iter().cloned().collect()
     }
 
     /// Number of spans currently in flight.
     pub fn active_len(&self) -> usize {
-        self.inner.lock().unwrap().active.len()
+        locked(&self.inner).active.len()
     }
 
     /// Spans evicted from the ring because it was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        locked(&self.inner).dropped
     }
 }
 
 impl std::fmt::Debug for SpanStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().unwrap();
+        let inner = locked(&self.inner);
         f.debug_struct("SpanStore")
             .field("active", &inner.active.len())
             .field("recent", &inner.recent.len())

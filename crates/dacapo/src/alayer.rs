@@ -2,6 +2,7 @@
 
 use crate::error::DacapoError;
 use crate::packet::Packet;
+use crate::runtime::QuiesceSignal;
 use crate::stats::ThroughputMeter;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -17,6 +18,9 @@ pub struct AppEndpoint {
     from_stack: Receiver<Packet>,
     tx_meter: Arc<ThroughputMeter>,
     rx_meter: Arc<ThroughputMeter>,
+    /// Application-side receives drain the stack's top up-queue, which can
+    /// complete quiescence — tell any `drain` waiter to re-check.
+    quiesce: Arc<QuiesceSignal>,
 }
 
 impl AppEndpoint {
@@ -25,12 +29,14 @@ impl AppEndpoint {
         from_stack: Receiver<Packet>,
         tx_meter: Arc<ThroughputMeter>,
         rx_meter: Arc<ThroughputMeter>,
+        quiesce: Arc<QuiesceSignal>,
     ) -> Self {
         AppEndpoint {
             to_stack,
             from_stack,
             tx_meter,
             rx_meter,
+            quiesce,
         }
     }
 
@@ -76,6 +82,7 @@ impl AppEndpoint {
         match self.from_stack.recv_timeout(timeout) {
             Ok(pkt) => {
                 self.rx_meter.record(pkt.len());
+                self.quiesce.pulse();
                 Ok(pkt.to_bytes())
             }
             Err(RecvTimeoutError::Timeout) => Err(DacapoError::Timeout(timeout)),
@@ -92,6 +99,7 @@ impl AppEndpoint {
         match self.from_stack.recv() {
             Ok(pkt) => {
                 self.rx_meter.record(pkt.len());
+                self.quiesce.pulse();
                 Ok(pkt.to_bytes())
             }
             Err(_) => Err(DacapoError::Closed),

@@ -106,8 +106,7 @@ impl ConfigurationManager {
             .filter(|(_, e)| filter(&e.properties))
             .max_by(|(_, a), (_, b)| {
                 self.score(goal, &a.properties)
-                    .partial_cmp(&self.score(goal, &b.properties))
-                    .expect("scores are finite")
+                    .total_cmp(&self.score(goal, &b.properties))
             })
             .map(|(id, _)| id.clone())
     }

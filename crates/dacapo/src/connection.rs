@@ -11,8 +11,11 @@ use crate::resource::{ResourceGrant, ResourceManager};
 use crate::runtime::{build_stack, RuntimeOptions, StackHandle};
 use crate::tlayer::Transport;
 use multe_qos::TransportRequirements;
-use parking_lot::Mutex;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::lockorder::rank as lock_rank;
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One side of a Da CaPo connection: a module stack over a transport.
 ///
@@ -20,15 +23,20 @@ use std::sync::Arc;
 /// because both derive their configuration deterministically from the
 /// QoS parameters agreed during bilateral negotiation.
 pub struct Connection {
-    stack: Mutex<Option<StackHandle>>,
-    endpoint: Mutex<AppEndpoint>,
-    graph: Mutex<ModuleGraph>,
-    params: Mutex<ModuleParams>,
+    stack: OrderedMutex<Option<StackHandle>>,
+    endpoint: OrderedMutex<AppEndpoint>,
+    graph: OrderedMutex<ModuleGraph>,
+    params: OrderedMutex<ModuleParams>,
     transport: Arc<dyn Transport>,
     catalog: MechanismCatalog,
     opts: RuntimeOptions,
-    grant: Mutex<Option<ResourceGrant>>,
+    grant: OrderedMutex<Option<ResourceGrant>>,
     closed: std::sync::atomic::AtomicBool,
+    /// Bumped (and broadcast) whenever the stack under [`Connection::endpoint`]
+    /// changes: reconfiguration swaps and close. Receive pumps blocked in a
+    /// dead endpoint wait on this instead of sleep-polling for the new stack.
+    epoch: Mutex<u64>,
+    epoch_cv: Condvar,
 }
 
 impl std::fmt::Debug for Connection {
@@ -118,19 +126,53 @@ impl Connection {
         graph.validate(catalog)?;
         let transport: Arc<dyn Transport> = Arc::new(transport);
         let modules = instantiate(&graph, &params, catalog)?;
-        let stack = build_stack(modules, transport.clone(), &opts);
+        let stack = build_stack(modules, transport.clone(), &opts)?;
         let endpoint = stack.endpoint().clone();
         Ok(Connection {
-            stack: Mutex::new(Some(stack)),
-            endpoint: Mutex::new(endpoint),
-            graph: Mutex::new(graph),
-            params: Mutex::new(params),
+            stack: OrderedMutex::new(lock_rank::CONNECTION_STACK, "connection.stack", Some(stack)),
+            endpoint: OrderedMutex::new(
+                lock_rank::CONNECTION_ENDPOINT,
+                "connection.endpoint",
+                endpoint,
+            ),
+            graph: OrderedMutex::new(lock_rank::CONNECTION_GRAPH, "connection.graph", graph),
+            params: OrderedMutex::new(lock_rank::CONNECTION_PARAMS, "connection.params", params),
             transport,
             catalog: catalog.clone(),
             opts,
-            grant: Mutex::new(grant),
+            grant: OrderedMutex::new(lock_rank::CONNECTION_GRANT, "connection.grant", grant),
             closed: std::sync::atomic::AtomicBool::new(false),
+            epoch: Mutex::new(0),
+            epoch_cv: Condvar::new(),
         })
+    }
+
+    fn bump_epoch(&self) {
+        let mut epoch = self.epoch.lock();
+        *epoch += 1;
+        self.epoch_cv.notify_all();
+    }
+
+    /// The current stack epoch. Take it *before* grabbing
+    /// [`Connection::endpoint`]; if that endpoint then dies,
+    /// [`Connection::wait_epoch_change`] with this value blocks only while
+    /// the stack swap is still in flight.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Blocks until the stack epoch differs from `seen` or `timeout`
+    /// elapses (a safety bound, not a poll interval — reconfigure and close
+    /// both broadcast). Returns the epoch observed on wakeup.
+    pub fn wait_epoch_change(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut epoch = self.epoch.lock();
+        while *epoch == seen {
+            if self.epoch_cv.wait_until(&mut epoch, deadline).timed_out() {
+                break;
+            }
+        }
+        *epoch
     }
 
     /// The application endpoint (clone it freely; clones share the
@@ -172,10 +214,13 @@ impl Connection {
         if let Some(old) = stack_slot.take() {
             old.shutdown();
         }
-        let stack = build_stack(modules, self.transport.clone(), &self.opts);
+        let stack = build_stack(modules, self.transport.clone(), &self.opts)?;
         *self.endpoint.lock() = stack.endpoint().clone();
         *stack_slot = Some(stack);
         *self.graph.lock() = new_graph;
+        // Wake receive pumps parked in the old (now disconnected) endpoint;
+        // they re-fetch `endpoint()` and block in the new stack.
+        self.bump_epoch();
         Ok(())
     }
 
@@ -204,6 +249,7 @@ impl Connection {
         }
         self.transport.close();
         self.grant.lock().take();
+        self.bump_epoch();
     }
 }
 

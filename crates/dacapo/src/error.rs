@@ -29,6 +29,8 @@ pub enum DacapoError {
     Transport(String),
     /// A module detected an unrecoverable protocol violation.
     Protocol(String),
+    /// The runtime could not start a stack (e.g. OS thread exhaustion).
+    Runtime(String),
 }
 
 impl fmt::Display for DacapoError {
@@ -48,6 +50,7 @@ impl fmt::Display for DacapoError {
             DacapoError::Timeout(d) => write!(f, "receive timed out after {d:?}"),
             DacapoError::Transport(msg) => write!(f, "transport error: {msg}"),
             DacapoError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            DacapoError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }

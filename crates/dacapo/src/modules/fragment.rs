@@ -140,10 +140,23 @@ impl Module for FragmentModule {
             group.received += 1;
         }
         if group.received == total {
-            let group = self.groups.remove(&id).expect("group present");
+            let Some(group) = self.groups.remove(&id) else {
+                return;
+            };
             let mut assembled = Vec::new();
+            let mut missing = false;
             for part in group.parts {
-                assembled.extend_from_slice(&part.expect("all parts received"));
+                match part {
+                    Some(bytes) => assembled.extend_from_slice(&bytes),
+                    None => missing = true,
+                }
+            }
+            if missing {
+                // `received` counts only first-time fills, so a complete
+                // group has every slot -- but a corrupt one must surface
+                // as a drop, never as a truncated message.
+                self.malformed_dropped += 1;
+                return;
             }
             let mut whole = Packet::with_headroom(
                 &assembled,

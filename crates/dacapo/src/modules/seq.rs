@@ -102,10 +102,11 @@ impl Module for SeqModule {
             self.buffer.insert(seq, pkt);
             if self.buffer.len() > self.max_buffer {
                 // Give up on the gap: jump to the lowest buffered seq.
-                self.gaps_skipped += 1;
-                let (&lowest, _) = self.buffer.iter().next().expect("buffer nonempty");
-                self.next_rx = lowest;
-                self.release_ready(out);
+                if let Some((&lowest, _)) = self.buffer.iter().next() {
+                    self.gaps_skipped += 1;
+                    self.next_rx = lowest;
+                    self.release_ready(out);
+                }
             }
         }
     }

@@ -9,12 +9,13 @@
 //! layers (the ORB, an adaptive application) answer by renegotiating or
 //! reconfiguring — closing the adaptation loop the MULTE project aims at.
 
+use crate::error::DacapoError;
 use crate::stats::ThroughputMeter;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A monitoring signal.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,11 +56,39 @@ impl Default for MonitorConfig {
     }
 }
 
+/// A latched stop flag with a condvar, so the sampling thread can park
+/// until its next deadline *or* an immediate stop — never a bare sleep.
+#[derive(Debug, Default)]
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    fn stop(&self) {
+        let mut stopped = self.stopped.lock();
+        *stopped = true;
+        self.cv.notify_all();
+    }
+
+    /// Parks until `deadline` or an earlier [`StopSignal::stop`]; returns
+    /// whether stop was signalled.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut stopped = self.stopped.lock();
+        while !*stopped {
+            if self.cv.wait_until(&mut stopped, deadline).timed_out() {
+                return *stopped;
+            }
+        }
+        true
+    }
+}
+
 /// Watches a meter and emits [`QosEvent`]s with hysteresis.
 #[derive(Debug)]
 pub struct QosMonitor {
     events: Receiver<QosEvent>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -70,24 +99,36 @@ impl QosMonitor {
     ///
     /// Panics if `config.tolerance` lies outside `(0, 1)` or the interval
     /// is zero.
-    pub fn watch(meter: Arc<ThroughputMeter>, config: MonitorConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`DacapoError::Runtime`] if the sampling thread cannot be spawned.
+    pub fn watch(
+        meter: Arc<ThroughputMeter>,
+        config: MonitorConfig,
+    ) -> Result<Self, DacapoError> {
         assert!(
             config.tolerance > 0.0 && config.tolerance < 1.0,
             "tolerance must lie in (0, 1)"
         );
         assert!(!config.interval.is_zero(), "interval must be nonzero");
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(StopSignal::default());
+        // Control path, not data path: the hysteresis guarantees at most
+        // one event per sampling interval, so the queue depth is bounded
+        // by how long the consumer ignores it — and an ignored monitor
+        // should drop no alarms.
+        // lint: allow(L003, control-path event stream, rate-limited to one event per interval by hysteresis)
         let (tx, rx) = unbounded();
         let flag = stop.clone();
         let handle = std::thread::Builder::new()
             .name("dacapo-qos-monitor".into())
             .spawn(move || monitor_loop(meter, config, tx, flag))
-            .expect("spawn monitor thread");
-        QosMonitor {
+            .map_err(|e| DacapoError::Runtime(format!("spawn dacapo-qos-monitor: {e}")))?;
+        Ok(QosMonitor {
             events: rx,
             stop,
             handle: Some(handle),
-        }
+        })
     }
 
     /// The event stream.
@@ -100,9 +141,10 @@ impl QosMonitor {
         self.events.try_recv().ok()
     }
 
-    /// Stops the monitor and joins its thread.
+    /// Stops the monitor and joins its thread (immediately — the sampling
+    /// thread is woken out of its deadline wait).
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -111,8 +153,8 @@ impl QosMonitor {
 
 impl Drop for QosMonitor {
     fn drop(&mut self) {
-        // Signal only; the thread exits within one interval.
-        self.stop.store(true, Ordering::Release);
+        // Signal only; destructors must not block on a join.
+        self.stop.stop();
     }
 }
 
@@ -120,7 +162,7 @@ fn monitor_loop(
     meter: Arc<ThroughputMeter>,
     config: MonitorConfig,
     tx: Sender<QosEvent>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
 ) {
     let mut last_bytes = meter.bytes();
     let mut degraded = false;
@@ -128,11 +170,14 @@ fn monitor_loop(
     // Recovery needs to clear a slightly higher bar (hysteresis) so a flow
     // hovering at the boundary does not flap.
     let recover_threshold = config.target_bps as f64 * (1.0 - config.tolerance / 2.0);
+    // Fixed-rate cadence: deadlines advance by the interval, so sampling
+    // drift does not accumulate and a stop wakes the thread at once.
+    let mut deadline = Instant::now() + config.interval;
     loop {
-        std::thread::sleep(config.interval);
-        if stop.load(Ordering::Acquire) {
+        if stop.wait_until(deadline) {
             return;
         }
+        deadline += config.interval;
         let bytes = meter.bytes();
         let observed_bps =
             (bytes.saturating_sub(last_bytes)) as f64 * 8.0 / config.interval.as_secs_f64();
@@ -160,6 +205,7 @@ fn monitor_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     /// Feeds `meter` continuously at `bps` in 1 ms chunks until told to
     /// stop, so every monitor sampling window sees a steady rate.
@@ -214,7 +260,7 @@ mod tests {
         // Healthy feed running before the monitor starts sampling.
         let feeder = Feeder::start(meter.clone(), 8_000_000);
         std::thread::sleep(Duration::from_millis(20));
-        let monitor = QosMonitor::watch(meter.clone(), config);
+        let monitor = QosMonitor::watch(meter.clone(), config).unwrap();
         std::thread::sleep(interval * 4);
         assert_eq!(monitor.try_event(), None, "healthy flow emits nothing");
 
@@ -257,7 +303,7 @@ mod tests {
         // Hover just above the alarm line but below the recovery line.
         let feeder = Feeder::start(meter.clone(), 6_900_000);
         std::thread::sleep(Duration::from_millis(20));
-        let monitor = QosMonitor::watch(meter.clone(), config);
+        let monitor = QosMonitor::watch(meter.clone(), config).unwrap();
         std::thread::sleep(interval * 10);
         feeder.stop();
 

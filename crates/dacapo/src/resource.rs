@@ -11,7 +11,8 @@ use crate::catalog::MechanismCatalog;
 use crate::error::DacapoError;
 use crate::graph::ModuleGraph;
 use multe_qos::TransportRequirements;
-use parking_lot::Mutex;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::lockorder::rank as lock_rank;
 use std::sync::Arc;
 
 /// Endsystem and network budgets guarded by a [`ResourceManager`].
@@ -48,7 +49,7 @@ struct Usage {
 #[derive(Debug, Clone)]
 pub struct ResourceManager {
     budget: ResourceBudget,
-    usage: Arc<Mutex<Usage>>,
+    usage: Arc<OrderedMutex<Usage>>,
 }
 
 impl ResourceManager {
@@ -56,7 +57,10 @@ impl ResourceManager {
     pub fn new(budget: ResourceBudget) -> Self {
         ResourceManager {
             budget,
-            usage: Arc::new(Mutex::new(Usage {
+            usage: Arc::new(OrderedMutex::new(
+                lock_rank::RESOURCE_USAGE,
+                "resource.usage",
+                Usage {
                 cpu_units: 0,
                 memory_bytes: 0,
                 bandwidth_bps: 0,
@@ -148,7 +152,7 @@ impl Default for ResourceManager {
 /// Resources held by an admitted configuration; released on drop.
 #[derive(Debug)]
 pub struct ResourceGrant {
-    usage: Arc<Mutex<Usage>>,
+    usage: Arc<OrderedMutex<Usage>>,
     cpu_units: u32,
     memory_bytes: usize,
     bandwidth_bps: u64,

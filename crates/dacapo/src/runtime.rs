@@ -25,6 +25,7 @@ use crate::tlayer::Transport;
 use crate::DacapoError;
 use cool_telemetry::{Counter, Gauge, Registry};
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -92,6 +93,41 @@ impl ModuleTelemetry {
     }
 }
 
+/// Quiescence change broadcast: a generation counter bumped by every
+/// stack thread (and the application endpoint) after it drains work, so
+/// [`StackHandle::drain`] can park in a condvar instead of sleep-polling
+/// the queue probes.
+#[derive(Debug, Default)]
+pub(crate) struct QuiesceSignal {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl QuiesceSignal {
+    /// Announces "state changed, re-check quiescence" to any drainer.
+    pub(crate) fn pulse(&self) {
+        let mut generation = self.generation.lock();
+        *generation += 1;
+        self.cv.notify_all();
+    }
+
+    fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    /// Waits for a pulse newer than `seen`; false when `deadline` passes
+    /// first.
+    fn wait_newer(&self, seen: u64, deadline: Instant) -> bool {
+        let mut generation = self.generation.lock();
+        while *generation == seen {
+            if self.cv.wait_until(&mut generation, deadline).timed_out() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// A running module stack bound to a transport.
 #[derive(Debug)]
 pub struct StackHandle {
@@ -106,6 +142,8 @@ pub struct StackHandle {
     queue_probes: Vec<Sender<Packet>>,
     /// Per-module idle flags maintained by the module threads.
     idle_flags: Vec<Arc<AtomicBool>>,
+    /// Pulsed by stack threads whenever queues may have drained.
+    quiesce: Arc<QuiesceSignal>,
     /// Shutdown wakeup: every stack thread selects on a clone of the
     /// matching receiver. Dropping this sender disconnects the channel and
     /// wakes all threads blocked in a select, so shutdown never waits for
@@ -139,16 +177,23 @@ impl StackHandle {
 
     /// Waits up to `timeout` for the stack to quiesce; returns whether it
     /// did. Used for graceful teardown: close after `drain` loses nothing.
+    ///
+    /// Event-driven: stack threads pulse [`QuiesceSignal`] after draining
+    /// work, so this parks in a condvar between re-checks instead of
+    /// sleep-polling.
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
+            // Generation before the check: a pulse landing between the
+            // check and the wait advances it, so the wait returns
+            // immediately rather than missing the wakeup.
+            let seen = self.quiesce.generation();
             if self.is_quiescent() {
                 return true;
             }
-            if Instant::now() >= deadline {
-                return false;
+            if !self.quiesce.wait_newer(seen, deadline) {
+                return self.is_quiescent();
             }
-            std::thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -175,17 +220,41 @@ impl Drop for StackHandle {
     }
 }
 
+/// Tears down a partially built stack after a spawn failure: signals
+/// shutdown, disconnects the wake channel and joins what already started.
+fn abort_partial_stack(
+    shutdown: &AtomicBool,
+    wake_tx: &mut Option<Sender<()>>,
+    threads: &mut Vec<JoinHandle<()>>,
+) {
+    shutdown.store(true, Ordering::Release);
+    wake_tx.take();
+    for t in threads.drain(..) {
+        let _ = t.join();
+    }
+}
+
 /// Builds and starts a stack: `modules` top-to-bottom between the
 /// application and `transport`.
+///
+/// # Errors
+///
+/// [`DacapoError::Runtime`] if an OS thread cannot be spawned; threads
+/// already started are torn down before returning.
 pub fn build_stack(
     modules: Vec<Box<dyn Module>>,
     transport: Arc<dyn Transport>,
     opts: &RuntimeOptions,
-) -> StackHandle {
+) -> Result<StackHandle, DacapoError> {
     let shutdown = Arc::new(AtomicBool::new(false));
+    let quiesce = Arc::new(QuiesceSignal::default());
     // Never sent on: exists only so that dropping `wake_tx` (at shutdown)
-    // disconnects the receivers and wakes every blocked select below.
+    // disconnects the receivers and wakes every blocked select below. It
+    // carries no data, its capacity is irrelevant, and nothing can queue
+    // on it — boundedness is moot.
+    // lint: allow(L003, never-sent shutdown wake channel, disconnect-only)
     let (wake_tx, wake_rx) = unbounded::<()>();
+    let mut wake_tx = Some(wake_tx);
     let module_names: Vec<String> = modules.iter().map(|m| m.name().to_owned()).collect();
     let mut threads = Vec::new();
     let mut queue_probes: Vec<Sender<Packet>> = Vec::new();
@@ -202,9 +271,13 @@ pub fn build_stack(
         down_rx.push(rx);
     }
     // Up channels: u[0] = first module -> app … u[n] = T -> last module.
+    // Unbounded by design (module header): the wire already paces the up
+    // direction, and a bounded up queue could deadlock two neighbouring
+    // module threads against each other in `send`.
     let mut up_tx = Vec::with_capacity(n + 1);
     let mut up_rx = Vec::with_capacity(n + 1);
     for _ in 0..=n {
+        // lint: allow(L003, up direction is wire-paced; bounded would risk send/send deadlock)
         let (tx, rx) = unbounded::<Packet>();
         queue_probes.push(tx.clone());
         up_tx.push(tx);
@@ -214,10 +287,12 @@ pub fn build_stack(
     // Module threads. Module i consumes down_rx[i] and up_rx[i+1], and
     // produces into down_tx[i+1] and up_tx[i].
     let mut down_rx_iter = down_rx.into_iter();
+    // lint: allow(L002, n+1 down channels were just created above; the iterator cannot be empty)
     let first_down_rx = down_rx_iter.next().expect("at least one down channel");
     let mut prev_down_rx = first_down_rx;
     for (i, module) in modules.into_iter().enumerate() {
         let down_in = prev_down_rx;
+        // lint: allow(L002, loop runs n times over n+1 channels; one receiver per module by construction)
         prev_down_rx = down_rx_iter.next().expect("down channel per module");
         let up_in = up_rx[i + 1].clone();
         let down_out = down_tx[i + 1].clone();
@@ -234,17 +309,20 @@ pub fn build_stack(
             .as_ref()
             .map(|r| ModuleTelemetry::new(r, module.name()));
         let name = format!("dacapo-mod-{}", module.name());
-        threads.push(
-            std::thread::Builder::new()
-                .name(name)
-                .spawn(move || {
-                    module_loop(
-                        module, down_in, up_in, down_out, up_out, flag, tick, idle, wake,
-                        telemetry,
-                    )
-                })
-                .expect("spawn module thread"),
-        );
+        let module_quiesce = quiesce.clone();
+        let spawned = std::thread::Builder::new().name(name.clone()).spawn(move || {
+            module_loop(
+                module, down_in, up_in, down_out, up_out, flag, tick, idle, wake,
+                module_quiesce, telemetry,
+            )
+        });
+        match spawned {
+            Ok(handle) => threads.push(handle),
+            Err(e) => {
+                abort_partial_stack(&shutdown, &mut wake_tx, &mut threads);
+                return Err(DacapoError::Runtime(format!("spawn {name}: {e}")));
+            }
+        }
     }
     // The remaining down receiver feeds the transport TX pump.
     let t_down_rx = prev_down_rx;
@@ -255,46 +333,54 @@ pub fn build_stack(
         let transport = transport.clone();
         let flag = shutdown.clone();
         let wake = wake_rx.clone();
+        let tx_quiesce = quiesce.clone();
         let wire = opts.telemetry.as_ref().map(|r| {
             (
                 r.counter(&Registry::labeled("dacapo_wire_frames_total", &[("dir", "tx")])),
                 r.counter(&Registry::labeled("dacapo_wire_bytes_total", &[("dir", "tx")])),
             )
         });
-        threads.push(
-            std::thread::Builder::new()
-                .name("dacapo-t-tx".into())
-                .spawn(move || loop {
-                    if flag.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let mut sel = Select::new();
-                    let wake_idx = sel.recv(&wake);
-                    let down_idx = sel.recv(&t_down_rx);
-                    let op = sel.select();
-                    if op.index() == down_idx {
-                        match op.recv(&t_down_rx) {
-                            Ok(pkt) => {
-                                let wire_len = pkt.len() as u64;
-                                if transport.send(pkt.to_bytes()).is_err() {
-                                    return;
-                                }
-                                if let Some((frames, bytes)) = &wire {
-                                    frames.inc();
-                                    bytes.add(wire_len);
-                                }
+        let spawned = std::thread::Builder::new()
+            .name("dacapo-t-tx".into())
+            .spawn(move || loop {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                let mut sel = Select::new();
+                let wake_idx = sel.recv(&wake);
+                let down_idx = sel.recv(&t_down_rx);
+                let op = sel.select();
+                if op.index() == down_idx {
+                    match op.recv(&t_down_rx) {
+                        Ok(pkt) => {
+                            let wire_len = pkt.len() as u64;
+                            if transport.send(pkt.to_bytes()).is_err() {
+                                return;
                             }
-                            Err(_) => return,
+                            if let Some((frames, bytes)) = &wire {
+                                frames.inc();
+                                bytes.add(wire_len);
+                            }
+                            // The bottom down queue just shrank; a drainer
+                            // may now observe quiescence.
+                            tx_quiesce.pulse();
                         }
-                    } else {
-                        debug_assert_eq!(op.index(), wake_idx);
-                        // Disconnected wake channel: shutdown was signalled;
-                        // the flag check at the top of the loop returns.
-                        let _ = op.recv(&wake);
+                        Err(_) => return,
                     }
-                })
-                .expect("spawn t-tx thread"),
-        );
+                } else {
+                    debug_assert_eq!(op.index(), wake_idx);
+                    // Disconnected wake channel: shutdown was signalled;
+                    // the flag check at the top of the loop returns.
+                    let _ = op.recv(&wake);
+                }
+            });
+        match spawned {
+            Ok(handle) => threads.push(handle),
+            Err(e) => {
+                abort_partial_stack(&shutdown, &mut wake_tx, &mut threads);
+                return Err(DacapoError::Runtime(format!("spawn dacapo-t-tx: {e}")));
+            }
+        }
     }
 
     // Transport RX pump feeds up_tx[n] (bottom of the up chain). It blocks
@@ -312,35 +398,45 @@ pub fn build_stack(
                 r.counter(&Registry::labeled("dacapo_wire_bytes_total", &[("dir", "rx")])),
             )
         });
-        threads.push(
-            std::thread::Builder::new()
-                .name("dacapo-t-rx".into())
-                .spawn(move || loop {
-                    if flag.load(Ordering::Acquire) {
-                        return;
-                    }
-                    match transport.recv_timeout(grace) {
-                        Ok(frame) => {
-                            if let Some((frames, bytes)) = &wire {
-                                frames.inc();
-                                bytes.add(frame.len() as u64);
-                            }
-                            let pkt = Packet::from_wire(&frame, PacketKind::Data);
-                            if up_bottom.send(pkt).is_err() {
-                                return;
-                            }
+        let spawned = std::thread::Builder::new()
+            .name("dacapo-t-rx".into())
+            .spawn(move || loop {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                match transport.recv_timeout(grace) {
+                    Ok(frame) => {
+                        if let Some((frames, bytes)) = &wire {
+                            frames.inc();
+                            bytes.add(frame.len() as u64);
                         }
-                        Err(DacapoError::Timeout(_)) => continue,
-                        Err(_) => return,
+                        let pkt = Packet::from_wire(&frame, PacketKind::Data);
+                        if up_bottom.send(pkt).is_err() {
+                            return;
+                        }
                     }
-                })
-                .expect("spawn t-rx thread"),
-        );
+                    Err(DacapoError::Timeout(_)) => continue,
+                    Err(_) => return,
+                }
+            });
+        match spawned {
+            Ok(handle) => threads.push(handle),
+            Err(e) => {
+                abort_partial_stack(&shutdown, &mut wake_tx, &mut threads);
+                return Err(DacapoError::Runtime(format!("spawn dacapo-t-rx: {e}")));
+            }
+        }
     }
 
     let tx_meter = Arc::new(ThroughputMeter::new());
     let rx_meter = Arc::new(ThroughputMeter::new());
-    let app = AppEndpoint::new(down_tx[0].clone(), up_rx[0].clone(), tx_meter, rx_meter);
+    let app = AppEndpoint::new(
+        down_tx[0].clone(),
+        up_rx[0].clone(),
+        tx_meter,
+        rx_meter,
+        quiesce.clone(),
+    );
 
     // Drop our copies of intermediate senders so threads observe
     // disconnection when their upstream exits.
@@ -348,15 +444,16 @@ pub fn build_stack(
     drop(up_tx);
     drop(up_rx);
 
-    StackHandle {
+    Ok(StackHandle {
         app,
         shutdown,
         threads,
         module_names,
         queue_probes,
         idle_flags,
-        wake: Some(wake_tx),
-    }
+        quiesce,
+        wake: wake_tx,
+    })
 }
 
 /// One module's event loop.
@@ -371,6 +468,7 @@ fn module_loop(
     tick_interval: Duration,
     idle: Arc<AtomicBool>,
     wake: Receiver<()>,
+    quiesce: Arc<QuiesceSignal>,
     telemetry: Option<ModuleTelemetry>,
 ) {
     let start = Instant::now();
@@ -449,6 +547,10 @@ fn module_loop(
             let _ = up_out.send(pkt);
         }
         idle.store(module.is_idle(), Ordering::Release);
+        // Each iteration is event-driven (select wakeup), so this pulse is
+        // bounded by the event and tick rate — cheap, and it guarantees a
+        // drainer re-checks after the final packet of a burst moves on.
+        quiesce.pulse();
     }
 }
 
@@ -476,8 +578,8 @@ mod tests {
     fn stack_pair(ids: &[&str]) -> (StackHandle, StackHandle) {
         let (ta, tb) = loopback_pair();
         let opts = RuntimeOptions::default();
-        let a = build_stack(modules_from(ids), Arc::new(ta), &opts);
-        let b = build_stack(modules_from(ids), Arc::new(tb), &opts);
+        let a = build_stack(modules_from(ids), Arc::new(ta), &opts).unwrap();
+        let b = build_stack(modules_from(ids), Arc::new(tb), &opts).unwrap();
         (a, b)
     }
 
@@ -583,8 +685,8 @@ mod tests {
         let (ta, tb) = loopback_pair();
         // A transport that swallows sends keeps the wire from draining.
         let opts = RuntimeOptions::default();
-        let a = build_stack(modules_from(&["dummy"; 5]), Arc::new(ta), &opts);
-        let b = build_stack(modules_from(&[]), Arc::new(tb), &opts);
+        let a = build_stack(modules_from(&["dummy"; 5]), Arc::new(ta), &opts).unwrap();
+        let b = build_stack(modules_from(&[]), Arc::new(tb), &opts).unwrap();
         // Flood until the app-side send would block, then a bit more from
         // a background thread to guarantee blocked module sends.
         let ep = a.endpoint().clone();
@@ -634,8 +736,8 @@ mod tests {
             telemetry: Some(registry.clone()),
             ..RuntimeOptions::default()
         };
-        let a = build_stack(modules_from(&["crc32"]), Arc::new(ta), &opts);
-        let b = build_stack(modules_from(&["crc32"]), Arc::new(tb), &opts);
+        let a = build_stack(modules_from(&["crc32"]), Arc::new(ta), &opts).unwrap();
+        let b = build_stack(modules_from(&["crc32"]), Arc::new(tb), &opts).unwrap();
         for i in 0..10u8 {
             a.endpoint().send(Bytes::from(vec![i; 64])).unwrap();
         }

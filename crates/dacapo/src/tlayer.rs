@@ -14,7 +14,7 @@
 
 use crate::error::DacapoError;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -88,7 +88,9 @@ pub struct LoopbackTransport {
 
 /// Creates a connected pair of loopback transports.
 pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    // lint: allow(L003, loopback models an infinitely fast wire; a bound here would deadlock symmetric send/send peers)
     let (a_tx, b_rx) = unbounded();
+    // lint: allow(L003, loopback models an infinitely fast wire; a bound here would deadlock symmetric send/send peers)
     let (b_tx, a_rx) = unbounded();
     let a_closed = Arc::new(AtomicBool::new(false));
     let b_closed = Arc::new(AtomicBool::new(false));
@@ -163,6 +165,11 @@ impl std::fmt::Debug for TcpTransport {
 /// Upper bound on a TCP frame (guards allocation on corrupt streams).
 const MAX_TCP_FRAME: u32 = 256 * 1024 * 1024;
 
+/// Receive queue depth between the reader thread and `recv` callers. When
+/// full, the reader blocks, so backpressure lands in the kernel socket
+/// buffer (and ultimately the sender) instead of unbounded heap growth.
+const TCP_RX_QUEUE_DEPTH: usize = 1024;
+
 impl TcpTransport {
     /// Wraps a connected stream.
     ///
@@ -179,7 +186,7 @@ impl TcpTransport {
             .try_clone()
             .map_err(|e| DacapoError::Transport(format!("clone tcp stream: {e}")))?;
         let closed = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(TCP_RX_QUEUE_DEPTH);
         let flag = closed.clone();
         std::thread::Builder::new()
             .name("dacapo-tcp-reader".into())

@@ -276,14 +276,14 @@ fn scaler_filter_downscales_a_flow_in_a_live_stack() {
 
     let (ta, tb) = loopback_pair();
     let opts = RuntimeOptions::default();
-    let tx = build_stack(vec![scaler, crc], Arc::new(ta), &opts);
+    let tx = build_stack(vec![scaler, crc], Arc::new(ta), &opts).unwrap();
     // Receiver runs *without* the scaler (it only acts on the way down)
     // but with the matching CRC.
     let rx_crc = catalog
         .get(&MechanismId::new("crc32"))
         .unwrap()
         .instantiate(&params);
-    let rx = build_stack(vec![rx_crc], Arc::new(tb), &opts);
+    let rx = build_stack(vec![rx_crc], Arc::new(tb), &opts).unwrap();
 
     let n = 60u8;
     for i in 0..n {

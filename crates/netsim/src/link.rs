@@ -176,12 +176,13 @@ impl Direction {
             self.clock.sleep_until(effective);
 
             let mut st = self.state.lock();
-            if let Some((at, _)) = st.in_flight.front() {
-                if *at <= self.clock.now() {
-                    let (_, frame) = st.in_flight.pop_front().expect("front checked");
+            match st.in_flight.pop_front() {
+                Some((at, frame)) if at <= self.clock.now() => {
                     self.stats.record_delivery(frame.len());
                     return Ok(frame);
                 }
+                Some(entry) => st.in_flight.push_front(entry),
+                None => {}
             }
             // Someone else consumed it (shared receiving); loop again.
         }
@@ -190,13 +191,15 @@ impl Direction {
     /// Non-blocking receive.
     pub(crate) fn try_recv(&self) -> Result<Bytes, NetSimError> {
         let mut st = self.state.lock();
-        match st.in_flight.front() {
-            Some((at, _)) if *at <= self.clock.now() => {
-                let (_, frame) = st.in_flight.pop_front().expect("front checked");
+        match st.in_flight.pop_front() {
+            Some((at, frame)) if at <= self.clock.now() => {
                 self.stats.record_delivery(frame.len());
                 Ok(frame)
             }
-            Some(_) => Err(NetSimError::WouldBlock),
+            Some(entry) => {
+                st.in_flight.push_front(entry);
+                Err(NetSimError::WouldBlock)
+            }
             None => {
                 if self.sender_alive.load(Ordering::Acquire) {
                     Err(NetSimError::WouldBlock)

@@ -7,6 +7,12 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
 
+# Project-invariant static analysis: poll loops, unwraps, unbounded data
+# paths, GIOP version agreement, error-variant test coverage. Exits
+# non-zero on any finding; the JSON report lands next to this gate's
+# other artifacts.
+cargo run -q --release -p cool-lint -- --json-out lint-report.json
+
 # Telemetry smoke: the latency bench must emit a machine-readable snapshot
 # with real percentiles in it.
 smoke_dir=$(mktemp -d)

@@ -74,7 +74,8 @@ fn consumer_adapts_after_degradation_signal() {
             interval: Duration::from_millis(100),
             tolerance: 0.3, // alarm below 5.6 Mbit/s
         },
-    );
+    )
+    .unwrap();
 
     // Consume and meter (the A-layer measuring role).
     let degraded = 'outer: {
@@ -119,7 +120,8 @@ fn consumer_adapts_after_degradation_signal() {
             interval: Duration::from_millis(200),
             tolerance: 0.4,
         },
-    );
+    )
+    .unwrap();
     // Let the flow warm up before sampling counts: consume for a while.
     let sample_until = Instant::now() + Duration::from_secs(2);
     while Instant::now() < sample_until {
