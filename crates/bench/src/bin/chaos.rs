@@ -1,0 +1,149 @@
+//! Chaos smoke benchmark: invocation latency and recovery under loss.
+//!
+//! Runs a loopback chorus echo workload while a seeded fault plan drops
+//! 1% of outbound frames and severs the link once mid-run, with the
+//! bounded retry policy switched on. Reports the latency of successful
+//! calls (p99 must stay flat — failures are bounded by the call timeout
+//! and never stall their neighbours), proves at least one automatic
+//! reconnect happened, and that no call hung.
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos [-- --quick]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use bench::{emit_bench_json, rtt_stats_json, RttStats};
+use bytes::Bytes;
+use cool_orb::prelude::*;
+use cool_telemetry::{names, Registry};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xBE7_0C0A;
+const CALL_TIMEOUT: Duration = Duration::from_millis(200);
+/// A call is "hung" if it outlives every bounded failure mode by a wide
+/// margin (timeout, retries and backoff included).
+const HANG_BOUND: Duration = Duration::from_secs(5);
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let calls = if quick { 300usize } else { 2000 };
+    let payload = Bytes::from(vec![7u8; 64]);
+    let sever_after = (calls / 2) as u64;
+
+    let registry = Arc::new(Registry::new());
+    let exchange = LocalExchange::new();
+    let server_orb = Orb::with_exchange("chaos-bench-server", exchange.clone());
+    server_orb
+        .adapter()
+        .register_fn("echo", |_op, args, _ctx| Ok(args.to_vec()))
+        .expect("register echo");
+    let server = server_orb.listen_chorus("chaos-bench").expect("listen");
+
+    let plan = FaultPlan::builder()
+        .seed(SEED)
+        .drop_rate(0.01)
+        .sever_after(Some(sever_after))
+        .build()
+        .expect("valid plan");
+    let config = OrbConfig {
+        call_timeout: CALL_TIMEOUT,
+        telemetry: Some(Arc::clone(&registry)),
+        retry: Some(RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            seed: SEED,
+            ..RetryPolicy::default()
+        }),
+        fault_plan: Some(Arc::new(plan)),
+        ..OrbConfig::default()
+    };
+    let client_orb = Orb::with_exchange_and_config("chaos-bench-client", exchange, config);
+    let stub = client_orb.bind(&server.object_ref("echo")).expect("bind");
+
+    println!("Chaos smoke — {calls} chorus echoes under 1% drop + one mid-run sever\n");
+
+    let mut ok_samples = Vec::with_capacity(calls);
+    let mut attributed = 0u64;
+    let mut unattributed = 0u64;
+    let mut hung = 0u64;
+    for _ in 0..calls {
+        let start = Instant::now();
+        let result = stub.invoke("echo", payload.clone());
+        let elapsed = start.elapsed();
+        if elapsed > HANG_BOUND {
+            hung += 1;
+        }
+        match result {
+            Ok(_) => ok_samples.push(elapsed),
+            Err(OrbError::Timeout { .. }) | Err(OrbError::Transport(_)) | Err(OrbError::Closed) => {
+                attributed += 1
+            }
+            Err(other) => {
+                eprintln!("unattributed failure: {other:?}");
+                unattributed += 1;
+            }
+        }
+    }
+    server.close();
+    client_orb.shutdown();
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let retries = counter(names::RETRIES_TOTAL);
+    let reconnects = counter(names::RECONNECTS_TOTAL);
+    let faults = counter(names::FAULTS_INJECTED_TOTAL);
+    let drops = counter(&format!("{}{{kind=\"drop\"}}", names::FAULTS_INJECTED_TOTAL));
+    let severs = counter(&format!("{}{{kind=\"sever\"}}", names::FAULTS_INJECTED_TOTAL));
+
+    assert!(!ok_samples.is_empty(), "no call succeeded under the plan");
+    let stats = RttStats::from_samples(ok_samples);
+    println!(
+        "{:>22} {:>12} {:>12} {:>12}",
+        "successful calls", "mean", "p50", "p99"
+    );
+    println!(
+        "{:>22} {:>12} {:>12} {:>12}",
+        stats.samples,
+        format!("{:.1?}", stats.mean),
+        format!("{:.1?}", stats.p50),
+        format!("{:.1?}", stats.p99),
+    );
+    println!(
+        "\nfailures: {attributed} attributed, {unattributed} unattributed, {hung} hung"
+    );
+    println!(
+        "faults injected: {faults} ({drops} drop, {severs} sever); retries: {retries}, reconnects: {reconnects}"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"chaos\",\"calls\":{calls},\"ok\":{},\
+         \"attributed_failures\":{attributed},\"unattributed_failures\":{unattributed},\
+         \"hung_calls\":{hung},\"ok_latency\":{},\
+         \"faults_injected\":{faults},\"faults_drop\":{drops},\"faults_sever\":{severs},\
+         \"retries\":{retries},\"reconnects\":{reconnects}}}",
+        stats.samples,
+        rtt_stats_json(&stats),
+    );
+    emit_bench_json("chaos", &json);
+
+    // ---- Shape check -------------------------------------------------------
+    // Under ~1% loss the successful calls must not inherit the failures'
+    // deadlines: the p99 of the survivors stays well under the call
+    // timeout, the sever heals through >= 1 reconnect, and nothing hangs.
+    let p99_flat = stats.p99 < Duration::from_millis(50);
+    let healed = reconnects >= 1 && severs == 1;
+    let clean = hung == 0 && unattributed == 0;
+    println!(
+        "\nshape check:\n  [{}] p99 of successful calls: {:.1?} (target < 50ms under 1% loss)\n  [{}] sever healed: {reconnects} reconnect(s)\n  [{}] hang-free, every failure attributed",
+        if p99_flat { "ok" } else { "MISS" },
+        stats.p99,
+        if healed { "ok" } else { "MISS" },
+        if clean { "ok" } else { "MISS" },
+    );
+    if !(p99_flat && healed && clean) {
+        std::process::exit(1);
+    }
+}

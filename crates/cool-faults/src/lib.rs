@@ -1,0 +1,25 @@
+//! Seeded, deterministic fault injection for the COOL ORB.
+//!
+//! The paper's QoS machinery only earns its keep on imperfect links, so this
+//! crate provides a reproducible way to make links imperfect: a [`FaultPlan`]
+//! describes *what* can go wrong (drop / delay / duplicate / reorder /
+//! corrupt / sever-after-N-frames / refuse-connect) and a [`FaultEngine`]
+//! decides *when*, driven entirely by a seeded RNG and a frame counter.
+//! Running the same plan against the same frame sequence replays the exact
+//! same faults, which is what lets `tests/chaos.rs` assert bit-identical
+//! fault counts across runs.
+//!
+//! The crate is deliberately transport-agnostic and dependency-free: the ORB
+//! wraps any `ComChannel` in a `FaultChannel` decorator (in `cool-orb`) that
+//! consults the engine per outbound frame, and netsim's `LinkSpec` grows the
+//! same knobs natively for link-level experiments.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod plan;
+pub mod rng;
+
+pub use engine::{FaultAction, FaultEngine};
+pub use plan::{FaultPlan, FaultPlanBuilder, InvalidPlan};
+pub use rng::FaultRng;

@@ -1,7 +1,7 @@
 //! cool-lint: project-invariant static analysis for the MULTE workspace.
 //!
 //! The binary (`cargo run -p cool-lint`) lexes every `.rs` file in the
-//! workspace and enforces the L001–L005 rule set described in
+//! workspace and enforces the L001–L006 rule set described in
 //! [`rules`]; findings print as `file:line RULE message` and are also
 //! written as JSON. See DESIGN.md §7 for the rule catalogue and the
 //! exemption workflow.

@@ -7,8 +7,9 @@
 //! | L003 | no unbounded channels in the ORB / Da CaPo data path             |
 //! | L004 | GIOP version constants agree across cool-giop, chic and the IDL  |
 //! | L005 | every `OrbError` variant is exercised somewhere in tests         |
+//! | L006 | invocation-path retry loops in cool-orb reference `RetryPolicy`  |
 //!
-//! L001–L003 are per-file token scans; L004/L005 are workspace-level
+//! L001–L003 and L006 are per-file token scans; L004/L005 are workspace-level
 //! cross-artifact checks. Findings can be suppressed inline with
 //! `// lint: allow(RULE, reason)` on the same or preceding line — the
 //! reason is mandatory, an annotation without one does not suppress.
@@ -260,6 +261,99 @@ pub fn check_file(rel_path: &str, scan: &Scan) -> Vec<Finding> {
                 ));
             }
         }
+    }
+    if rel_path.starts_with("crates/cool-orb/src/") {
+        findings.extend(check_l006(rel_path, toks, &regions, &allows));
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// L006: unbounded retry loops on the invocation path
+// ---------------------------------------------------------------------------
+
+/// Method names whose presence inside a loop marks it as an
+/// invocation-path retry loop. Exact ident match: `.invoke_once(` does
+/// *not* trip on `invoke`.
+const L006_CALLS: &[&str] = &["call", "send", "send_frame", "invoke"];
+
+/// L006: a `loop`/`while` in cool-orb library code whose body performs an
+/// invocation-path call (`.call(`, `.send(`, `.send_frame(`, `.invoke(`)
+/// must be governed by a bounded [`RetryPolicy`] — detected as the ident
+/// `RetryPolicy` appearing anywhere between the enclosing `fn` and the end
+/// of the loop. Bare retry-forever loops are how calls hang instead of
+/// failing attributed.
+fn check_l006(
+    rel_path: &str,
+    toks: &[Tok],
+    regions: &[(u32, u32)],
+    allows: &HashMap<u32, Vec<String>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "loop" && t.text != "while") {
+            continue;
+        }
+        let line = t.line;
+        if in_regions(line, regions) {
+            continue;
+        }
+        // Body extent: first `{` after the keyword to its matching `}`.
+        // (A `while let` pattern brace would end the scan early — a
+        // conservative under-approximation this codebase never hits.)
+        let mut j = i + 1;
+        while j < toks.len() && toks[j].text != "{" {
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        let body_start = j;
+        let mut depth = 0usize;
+        let mut body_end = j;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        body_end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_retry_call = (body_start..body_end).any(|k| {
+            toks[k].text == "."
+                && k + 2 < toks.len()
+                && toks[k + 1].kind == TokKind::Ident
+                && L006_CALLS.contains(&toks[k + 1].text.as_str())
+                && toks[k + 2].text == "("
+        });
+        if !is_retry_call {
+            continue;
+        }
+        let fn_start = (0..i)
+            .rev()
+            .find(|&k| toks[k].kind == TokKind::Ident && toks[k].text == "fn")
+            .unwrap_or(0);
+        let governed = toks[fn_start..=body_end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "RetryPolicy");
+        if governed || allowed(allows, line, "L006") {
+            continue;
+        }
+        findings.push(Finding::new(
+            rel_path,
+            line,
+            "L006",
+            "retry loop around an invocation-path call without a bounded \
+             RetryPolicy; thread OrbConfig::retry through it, or annotate \
+             `// lint: allow(L006, reason)` with the termination argument",
+        ));
     }
     findings
 }

@@ -201,6 +201,35 @@ fn l005_uses_outside_test_context_do_not_count() {
     );
 }
 
+// ---- L006: unbounded invocation retry loops -------------------------
+
+#[test]
+fn l006_flags_exactly_the_unbounded_retry_loops() {
+    let f = findings_at("l006.rs", "crates/cool-orb/src/binding.rs");
+    let l006: Vec<u32> = f
+        .iter()
+        .filter(|(rule, _)| rule == "L006")
+        .map(|&(_, line)| line)
+        .collect();
+    assert_eq!(
+        l006,
+        vec![4, 14],
+        "bare `loop`/`while` retries flagged; RetryPolicy-governed, \
+         non-invocation, annotated and #[cfg(test)] loops stay clean: {f:?}"
+    );
+}
+
+#[test]
+fn l006_applies_only_to_cool_orb_sources() {
+    let f = findings_at("l006.rs", "crates/dacapo/src/runtime.rs");
+    assert!(
+        f.iter().all(|(rule, _)| rule != "L006"),
+        "L006 is scoped to crates/cool-orb/src/: {f:?}"
+    );
+    let in_tests = findings_at("l006.rs", "crates/cool-orb/tests/chaos.rs");
+    assert!(in_tests.is_empty(), "test-like files are exempt: {in_tests:?}");
+}
+
 // ---- The real workspace stays clean ---------------------------------
 
 #[test]

@@ -32,14 +32,14 @@ use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
 use crate::transport::{ComChannel, FrameSink};
 use bytes::Bytes;
 use cool_giop::prelude::*;
-use cool_telemetry::{Counter, Histogram, Registry, SpanOutcome, Stage};
+use cool_telemetry::{names, Counter, Histogram, Registry, SpanOutcome, Stage};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use multe_qos::GrantedQoS;
+use multe_qos::{GrantedQoS, TransportRequirements};
 use cool_telemetry::lockorder::OrderedMutex;
 use cool_telemetry::lockorder::rank as lock_rank;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Result of a two-way invocation: reply body plus any granted QoS the
@@ -76,6 +76,7 @@ struct ClientMetrics {
     invocations: Arc<Counter>,
     latency: Arc<Histogram>,
     timeouts: Arc<Counter>,
+    reconnects: Arc<Counter>,
 }
 
 impl ClientMetrics {
@@ -85,6 +86,7 @@ impl ClientMetrics {
             invocations: registry.counter(&Registry::labeled("orb_invocations_total", labels)),
             latency: registry.histogram(&Registry::labeled("orb_invocation_latency_us", labels)),
             timeouts: registry.counter("orb_timeouts_total"),
+            reconnects: registry.counter(names::RECONNECTS_TOTAL),
             registry,
         }
     }
@@ -114,14 +116,39 @@ fn outcome_of(result: &ReplyResult) -> SpanOutcome {
     }
 }
 
+/// How a binding re-establishes its transport after the connection dies:
+/// a dial closure installed by the ORB (it re-resolves the address and
+/// re-wraps the channel exactly as the original dial did).
+pub type Reconnector = Arc<dyn Fn() -> Result<Arc<dyn ComChannel>, OrbError> + Send + Sync>;
+
+/// One incarnation of the binding's transport. The closed flag is *per
+/// connection* so a stale `on_close` from a replaced channel can never
+/// mark its successor dead.
+#[derive(Clone)]
+struct ConnHandle {
+    channel: Arc<dyn ComChannel>,
+    closed: Arc<AtomicBool>,
+}
+
 /// A client connection to one server endpoint.
 pub struct Binding {
-    channel: Arc<dyn ComChannel>,
+    /// Serialises reconnection; held across the whole re-establishment so
+    /// concurrent callers observe either the old (closed) or the fully
+    /// wired new connection, never a half-built one.
+    reconnect_gate: OrderedMutex<()>,
+    conn: OrderedMutex<ConnHandle>,
+    /// Transport QoS the application last pushed down (via
+    /// [`Binding::set_transport_qos`]); replayed onto the new channel after
+    /// a reconnect so the renegotiated binding keeps its operating point.
+    last_qos: OrderedMutex<Option<TransportRequirements>>,
     protocol: WireProtocol,
     order: ByteOrder,
     next_id: AtomicU32,
     pending: PendingMap,
-    closed: Arc<AtomicBool>,
+    /// Permanent shutdown: once set, [`Binding::reconnect`] refuses to
+    /// resurrect the binding.
+    retired: AtomicBool,
+    reconnector: OnceLock<Reconnector>,
     default_timeout: Duration,
     telemetry: Option<ClientMetrics>,
 }
@@ -129,7 +156,7 @@ pub struct Binding {
 impl std::fmt::Debug for Binding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Binding")
-            .field("transport", &self.channel.kind())
+            .field("transport", &self.conn.lock().channel.kind())
             .field("protocol", &self.protocol)
             .field("pending", &self.pending.lock().len())
             .finish()
@@ -177,31 +204,50 @@ impl Binding {
             .telemetry
             .as_ref()
             .map(|r| ClientMetrics::resolve(Arc::clone(r), channel.kind()));
-        let binding = Arc::new(Binding {
-            channel,
+        let pending: PendingMap = Arc::new(OrderedMutex::new(
+            lock_rank::BINDING_PENDING,
+            "binding.pending",
+            HashMap::new(),
+        ));
+        let closed = Arc::new(AtomicBool::new(false));
+        install_sink(&channel, &pending, &closed, telemetry.as_ref());
+        Arc::new(Binding {
+            reconnect_gate: OrderedMutex::new(
+                lock_rank::BINDING_RECONNECT,
+                "binding.reconnect_gate",
+                (),
+            ),
+            conn: OrderedMutex::new(
+                lock_rank::BINDING_CONN,
+                "binding.conn",
+                ConnHandle { channel, closed },
+            ),
+            last_qos: OrderedMutex::new(lock_rank::BINDING_LAST_QOS, "binding.last_qos", None),
             protocol,
             order: ByteOrder::Big,
             next_id: AtomicU32::new(1),
-            pending: Arc::new(OrderedMutex::new(
-                lock_rank::BINDING_PENDING,
-                "binding.pending",
-                HashMap::new(),
-            )),
-            closed: Arc::new(AtomicBool::new(false)),
+            pending,
+            retired: AtomicBool::new(false),
+            reconnector: OnceLock::new(),
             default_timeout: config.call_timeout,
             telemetry,
-        });
-        binding.channel.set_sink(Arc::new(DemuxSink {
-            pending: binding.pending.clone(),
-            closed: binding.closed.clone(),
-            registry: binding.telemetry.as_ref().map(|t| Arc::clone(&t.registry)),
-        }));
-        binding
+        })
     }
 
-    /// The transport below this binding.
-    pub fn channel(&self) -> &Arc<dyn ComChannel> {
-        &self.channel
+    /// Installs the dial closure used by [`Binding::reconnect`]. Set once
+    /// by the ORB right after construction; later calls are ignored.
+    pub fn set_reconnector(&self, reconnector: Reconnector) {
+        let _ = self.reconnector.set(reconnector);
+    }
+
+    /// The transport currently below this binding (a snapshot — a
+    /// reconnect may swap it at any time).
+    pub fn channel(&self) -> Arc<dyn ComChannel> {
+        self.conn.lock().channel.clone()
+    }
+
+    fn current(&self) -> ConnHandle {
+        self.conn.lock().clone()
     }
 
     /// The message protocol this binding speaks.
@@ -214,9 +260,60 @@ impl Binding {
         self.default_timeout
     }
 
-    /// Whether the binding has been closed.
+    /// Whether the binding has been closed (permanently retired, or its
+    /// current connection died and no reconnect has succeeded yet).
     pub fn is_closed(&self) -> bool {
-        self.closed.load(Ordering::Acquire)
+        self.retired.load(Ordering::Acquire) || self.current().closed.load(Ordering::Acquire)
+    }
+
+    /// Pushes transport QoS requirements down the current channel and
+    /// remembers them for replay after a reconnect.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the transport's `set_qos` raises.
+    pub fn set_transport_qos(&self, requirements: &TransportRequirements) -> Result<(), OrbError> {
+        let conn = self.current();
+        *self.last_qos.lock() = Some(*requirements);
+        conn.channel.set_qos(requirements)
+    }
+
+    /// Re-establishes the transport after the connection died: fails all
+    /// pending requests with an attributed [`OrbError::Closed`], dials a
+    /// fresh channel via the installed [`Reconnector`], replays the last
+    /// transport QoS, and swaps the connection in.
+    ///
+    /// Idempotent under concurrency — callers racing on a dead connection
+    /// serialise on the reconnect gate, and whoever arrives after a
+    /// successful reconnect returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Closed`] if the binding was retired or no reconnector
+    /// is installed; otherwise the dial or QoS-replay failure.
+    pub fn reconnect(&self) -> Result<(), OrbError> {
+        if self.retired.load(Ordering::Acquire) {
+            return Err(OrbError::Closed);
+        }
+        let _gate = self.reconnect_gate.lock();
+        if !self.current().closed.load(Ordering::Acquire) {
+            return Ok(()); // someone else already reconnected
+        }
+        let reconnector = self.reconnector.get().ok_or(OrbError::Closed)?.clone();
+        // Pending requests belonged to the dead connection; fail them now,
+        // attributed, instead of letting them run out their deadlines.
+        fail_all(&self.pending, || OrbError::Closed);
+        let channel = reconnector()?;
+        let closed = Arc::new(AtomicBool::new(false));
+        install_sink(&channel, &self.pending, &closed, self.telemetry.as_ref());
+        if let Some(requirements) = *self.last_qos.lock() {
+            channel.set_qos(&requirements)?;
+        }
+        *self.conn.lock() = ConnHandle { channel, closed };
+        if let Some(t) = &self.telemetry {
+            t.reconnects.inc();
+        }
+        Ok(())
     }
 
     fn next_request_id(&self) -> u32 {
@@ -283,11 +380,12 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let conn = self.current();
         let start = Instant::now();
         let request_id = self.next_request_id();
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_begin(request_id, operation, self.channel.kind());
+                .span_begin(request_id, operation, conn.channel.kind());
         }
         let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
         {
@@ -305,7 +403,7 @@ impl Binding {
         }
         let rx = self.register_sync(request_id);
         let send_start = Instant::now();
-        if let Err(e) = self.channel.send_frame(frame) {
+        if let Err(e) = conn.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
             if let Some(t) = &self.telemetry {
                 t.registry.span_finish(request_id, SpanOutcome::Error);
@@ -348,11 +446,12 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let conn = self.current();
         let start = Instant::now();
         let request_id = self.next_request_id();
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_begin(request_id, operation, self.channel.kind());
+                .span_begin(request_id, operation, conn.channel.kind());
         }
         let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, false)
         {
@@ -369,7 +468,7 @@ impl Binding {
                 .span_mark(request_id, Stage::Marshal, start.elapsed());
         }
         let send_start = Instant::now();
-        let sent = self.channel.send_frame(frame);
+        let sent = conn.channel.send_frame(frame);
         if let Some(t) = &self.telemetry {
             // One-way: the span ends once the request is on the wire.
             let outcome = match &sent {
@@ -402,11 +501,12 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let conn = self.current();
         let start = Instant::now();
         let request_id = self.next_request_id();
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_begin(request_id, operation, self.channel.kind());
+                .span_begin(request_id, operation, conn.channel.kind());
         }
         let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
         {
@@ -424,7 +524,7 @@ impl Binding {
         }
         let rx = self.register_sync(request_id);
         let send_start = Instant::now();
-        if let Err(e) = self.channel.send_frame(frame) {
+        if let Err(e) = conn.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
             if let Some(t) = &self.telemetry {
                 t.registry.span_finish(request_id, SpanOutcome::Error);
@@ -439,7 +539,7 @@ impl Binding {
             request_id,
             rx,
             pending: self.pending.clone(),
-            channel: self.channel.clone(),
+            channel: conn.channel,
             order: self.order,
             done: false,
             ready: None,
@@ -464,11 +564,12 @@ impl Binding {
         if self.is_closed() {
             return Err(OrbError::Closed);
         }
+        let conn = self.current();
         let start = Instant::now();
         let request_id = self.next_request_id();
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_begin(request_id, operation, self.channel.kind());
+                .span_begin(request_id, operation, conn.channel.kind());
         }
         let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
         {
@@ -501,7 +602,7 @@ impl Binding {
             .lock()
             .insert(request_id, Slot::Callback(slot_callback));
         let send_start = Instant::now();
-        if let Err(e) = self.channel.send_frame(frame) {
+        if let Err(e) = conn.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
             if let Some(t) = &self.telemetry {
                 t.registry.span_finish(request_id, SpanOutcome::Error);
@@ -529,21 +630,24 @@ impl Binding {
         if was_pending && self.protocol == WireProtocol::Giop {
             let msg = Message::CancelRequest { request_id };
             if let Ok(frame) = encode_message(&msg, GiopVersion::STANDARD, self.order) {
-                let _ = self.channel.send_frame(frame);
+                let _ = self.current().channel.send_frame(frame);
             }
         }
         was_pending
     }
 
-    /// Closes the binding; all pending requests complete with
-    /// [`OrbError::Closed`].
+    /// Closes the binding permanently; all pending requests complete with
+    /// [`OrbError::Closed`] and [`Binding::reconnect`] refuses to revive
+    /// it.
     pub fn close(&self) {
-        self.closed.store(true, Ordering::Release);
+        self.retired.store(true, Ordering::Release);
+        let conn = self.current();
+        conn.closed.store(true, Ordering::Release);
         // Closing the channel fires the sink's `on_close`, which also
         // fails the pending map; doing it here too covers transports whose
         // teardown is asynchronous. `fail_all` drains, so slots complete
         // exactly once.
-        self.channel.close();
+        conn.channel.close();
         fail_all(&self.pending, || OrbError::Closed);
     }
 }
@@ -552,6 +656,21 @@ impl Drop for Binding {
     fn drop(&mut self) {
         self.close();
     }
+}
+
+/// Wires a (possibly fresh) channel to the binding's demultiplexer with
+/// its own per-connection closed flag.
+fn install_sink(
+    channel: &Arc<dyn ComChannel>,
+    pending: &PendingMap,
+    closed: &Arc<AtomicBool>,
+    telemetry: Option<&ClientMetrics>,
+) {
+    channel.set_sink(Arc::new(DemuxSink {
+        pending: pending.clone(),
+        closed: closed.clone(),
+        registry: telemetry.map(|t| Arc::clone(&t.registry)),
+    }));
 }
 
 fn fail_all(pending: &PendingMap, err: impl Fn() -> OrbError) {

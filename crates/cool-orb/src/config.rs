@@ -9,6 +9,8 @@
 //! queue applies — collected here and threaded through [`crate::orb::Orb`],
 //! [`crate::server::OrbServer`] and [`crate::binding::Binding`].
 
+use crate::retry::RetryPolicy;
+use cool_faults::FaultPlan;
 use cool_telemetry::Registry;
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,6 +45,16 @@ pub struct OrbConfig {
     /// on absent handles. Share one [`Registry`] between a client and a
     /// server ORB to see both halves of each invocation span.
     pub telemetry: Option<Arc<Registry>>,
+    /// Automatic retry for remote invocations. `None` (the default) keeps
+    /// the historical single-attempt behaviour; `Some` makes every stub
+    /// replay retryable errors (see [`crate::OrbError::is_retryable`]) with
+    /// bounded exponential backoff and transparent reconnection.
+    pub retry: Option<RetryPolicy>,
+    /// Fault-injection test hook. `None` (the default) adds **nothing** to
+    /// the invocation path; `Some` wraps every client channel this ORB
+    /// creates in a `FaultChannel` decorator executing the plan (DESIGN.md
+    /// §8). Production configs must leave this `None`.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl PartialEq for OrbConfig {
@@ -52,11 +64,18 @@ impl PartialEq for OrbConfig {
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         };
+        let same_plan = match (&self.fault_plan, &other.fault_plan) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
         self.call_timeout == other.call_timeout
             && self.dispatcher_threads == other.dispatcher_threads
             && self.dispatch_queue_depth == other.dispatch_queue_depth
             && self.cancel_history == other.cancel_history
             && same_registry
+            && self.retry == other.retry
+            && same_plan
     }
 }
 
@@ -68,6 +87,8 @@ impl Default for OrbConfig {
             dispatch_queue_depth: 256,
             cancel_history: 1024,
             telemetry: None,
+            retry: None,
+            fault_plan: None,
         }
     }
 }
@@ -84,6 +105,35 @@ mod tests {
         assert!(c.dispatch_queue_depth >= c.dispatcher_threads);
         assert!(c.cancel_history > 0);
         assert!(c.telemetry.is_none());
+        assert!(c.retry.is_none(), "retry must be opt-in");
+        assert!(c.fault_plan.is_none(), "fault injection must be opt-in");
+    }
+
+    #[test]
+    fn equality_covers_resilience_fields() {
+        let a = OrbConfig::default();
+        let b = OrbConfig {
+            retry: Some(RetryPolicy::default()),
+            ..OrbConfig::default()
+        };
+        assert_ne!(a, b);
+        let c = OrbConfig {
+            retry: Some(RetryPolicy::default()),
+            ..OrbConfig::default()
+        };
+        assert_eq!(b, c);
+
+        let plan = Arc::new(FaultPlan::builder().drop_rate(0.1).build().unwrap());
+        let d = OrbConfig {
+            fault_plan: Some(Arc::clone(&plan)),
+            ..OrbConfig::default()
+        };
+        assert_ne!(a, d);
+        let e = OrbConfig {
+            fault_plan: Some(plan),
+            ..OrbConfig::default()
+        };
+        assert_eq!(d, e);
     }
 
     #[test]
@@ -93,14 +143,20 @@ mod tests {
         assert_eq!(a, b);
 
         let reg = Arc::new(Registry::new());
-        let mut c = OrbConfig::default();
-        c.telemetry = Some(Arc::clone(&reg));
+        let c = OrbConfig {
+            telemetry: Some(Arc::clone(&reg)),
+            ..OrbConfig::default()
+        };
         assert_ne!(a, c);
-        let mut d = OrbConfig::default();
-        d.telemetry = Some(Arc::clone(&reg));
+        let d = OrbConfig {
+            telemetry: Some(Arc::clone(&reg)),
+            ..OrbConfig::default()
+        };
         assert_eq!(c, d);
-        let mut e = OrbConfig::default();
-        e.telemetry = Some(Arc::new(Registry::new()));
+        let e = OrbConfig {
+            telemetry: Some(Arc::new(Registry::new())),
+            ..OrbConfig::default()
+        };
         assert_ne!(c, e);
     }
 }

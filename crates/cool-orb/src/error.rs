@@ -70,6 +70,23 @@ impl OrbError {
             elapsed,
         }
     }
+
+    /// Whether a `RetryPolicy` may transparently replay the invocation.
+    ///
+    /// Retryable: transport failures, a closed binding (the retry path
+    /// reconnects first) and *unattributed* timeouts — waits that never
+    /// involved a specific outstanding request, so the server cannot have
+    /// started executing it. A timeout carrying a request id is **not**
+    /// retryable: the request reached the wire and may have executed, and
+    /// replaying it would break at-most-once semantics. See the
+    /// retryability table in DESIGN.md §8.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            OrbError::Transport(_) | OrbError::Closed => true,
+            OrbError::Timeout { request_id, .. } => request_id.is_none(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for OrbError {
@@ -192,6 +209,21 @@ mod tests {
             }
         ));
         assert!(e.to_string().contains("reply timed out"));
+    }
+
+    #[test]
+    fn retryability_follows_the_design_table() {
+        assert!(OrbError::Transport("reset".into()).is_retryable());
+        assert!(OrbError::Closed.is_retryable());
+        assert!(OrbError::timeout(Duration::from_millis(5)).is_retryable());
+        // Attributed timeouts may have executed server-side: at-most-once
+        // forbids a replay.
+        assert!(!OrbError::request_timeout(1, Duration::from_millis(5)).is_retryable());
+        assert!(!OrbError::QosNotSupported(QosError::Rejected("r".into())).is_retryable());
+        assert!(!OrbError::ObjectNotFound("k".into()).is_retryable());
+        assert!(!OrbError::Cancelled.is_retryable());
+        assert!(!OrbError::Protocol("p".into()).is_retryable());
+        assert!(!OrbError::BadAddress("a".into()).is_retryable());
     }
 
     #[test]

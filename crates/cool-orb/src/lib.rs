@@ -63,6 +63,7 @@ pub mod message_layer;
 pub mod naming;
 pub mod object;
 pub mod orb;
+pub mod retry;
 pub mod servant;
 pub mod server;
 pub mod stream;
@@ -70,12 +71,14 @@ pub mod transport;
 
 pub use adapter::ObjectAdapter;
 pub use binding::{Binding, DeferredReply};
+pub use cool_faults::{FaultAction, FaultEngine, FaultPlan, FaultPlanBuilder};
 pub use config::OrbConfig;
 pub use error::OrbError;
 pub use exchange::LocalExchange;
 pub use naming::{NameClient, NameServer};
 pub use object::{ObjectKey, ObjectRef, OrbAddr};
 pub use orb::{Orb, Stub};
+pub use retry::RetryPolicy;
 pub use servant::{InvocationCtx, Servant};
 pub use server::OrbServer;
 pub use stream::{
@@ -88,11 +91,13 @@ pub mod prelude {
     pub use crate::adapter::ObjectAdapter;
     pub use crate::binding::{Binding, DeferredReply};
     pub use crate::config::OrbConfig;
+    pub use cool_faults::{FaultPlan, FaultPlanBuilder};
     pub use crate::error::OrbError;
     pub use crate::exchange::LocalExchange;
     pub use crate::naming::{NameClient, NameServer};
     pub use crate::object::{ObjectKey, ObjectRef, OrbAddr};
     pub use crate::orb::{Orb, Stub};
+    pub use crate::retry::RetryPolicy;
     pub use crate::servant::{InvocationCtx, Servant};
     pub use crate::server::OrbServer;
     pub use crate::stream::{

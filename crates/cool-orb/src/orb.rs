@@ -1,20 +1,24 @@
 //! The ORB façade and client stubs.
 
 use crate::adapter::{DispatchOutcome, ObjectAdapter};
-use crate::binding::{Binding, DeferredReply};
+use crate::binding::{Binding, DeferredReply, Reconnector};
 use crate::config::OrbConfig;
 use crate::error::OrbError;
 use crate::exchange::LocalExchange;
 use crate::message_layer::WireProtocol;
 use crate::object::{ObjectKey, ObjectRef, OrbAddr};
+use crate::retry::RetryPolicy;
 use crate::server::OrbServer;
+use crate::transport::{ComChannel, FaultChannel, FaultMetrics};
 use bytes::Bytes;
+use cool_faults::FaultEngine;
+use cool_telemetry::{names, Counter, Registry};
 use multe_qos::{GrantedQoS, QoSSpec, ServerPolicy, TransportRequirements};
 use cool_telemetry::lockorder::OrderedMutex;
 use cool_telemetry::lockorder::rank as lock_rank;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The Object Request Broker: one per process role (client, server, or
 /// both — the adapter exists on both sides, as in COOL).
@@ -25,6 +29,10 @@ pub struct Orb {
     config: OrbConfig,
     bindings: OrderedMutex<HashMap<(String, WireProtocol), Arc<Binding>>>,
     served: OrderedMutex<Vec<OrbAddr>>,
+    /// One engine per ORB, shared by every channel incarnation (including
+    /// reconnects), so the injected fault sequence is a deterministic
+    /// function of the plan seed and the outbound frame sequence.
+    fault_engine: Option<Arc<FaultEngine>>,
 }
 
 impl std::fmt::Debug for Orb {
@@ -61,6 +69,10 @@ impl Orb {
         exchange: LocalExchange,
         config: OrbConfig,
     ) -> Arc<Self> {
+        let fault_engine = config
+            .fault_plan
+            .as_ref()
+            .map(|plan| Arc::new(FaultEngine::new((**plan).clone())));
         Arc::new(Orb {
             name: name.to_owned(),
             adapter: Arc::new(ObjectAdapter::with_telemetry(config.telemetry.clone())),
@@ -68,6 +80,7 @@ impl Orb {
             config,
             bindings: OrderedMutex::new(lock_rank::ORB_BINDINGS, "orb.bindings", HashMap::new()),
             served: OrderedMutex::new(lock_rank::ORB_SERVED, "orb.served", Vec::new()),
+            fault_engine,
         })
     }
 
@@ -166,21 +179,68 @@ impl Orb {
     ) -> Result<Stub, OrbError> {
         // Colocated fast path: the adapter is on the client side too.
         if self.served.lock().contains(&reference.addr) && self.adapter.contains(&reference.key) {
-            return Ok(Stub {
-                target: Target::Local(self.adapter.clone()),
-                key: reference.key.clone(),
-                qos: OrderedMutex::new(lock_rank::STUB_QOS, "stub.qos", None),
-                granted: OrderedMutex::new(lock_rank::STUB_GRANTED, "stub.granted", None),
-                timeout: OrderedMutex::new(lock_rank::STUB_TIMEOUT, "stub.timeout", self.config.call_timeout),
-            });
+            return Ok(self.make_stub(Target::Local(self.adapter.clone()), reference.key.clone()));
         }
         let binding = self.binding_for(&reference.addr, protocol)?;
-        Ok(Stub {
-            target: Target::Remote(binding),
-            key: reference.key.clone(),
+        Ok(self.make_stub(Target::Remote(binding), reference.key.clone()))
+    }
+
+    fn make_stub(&self, target: Target, key: ObjectKey) -> Stub {
+        let registry = self.config.telemetry.as_deref();
+        Stub {
+            target,
+            key,
             qos: OrderedMutex::new(lock_rank::STUB_QOS, "stub.qos", None),
             granted: OrderedMutex::new(lock_rank::STUB_GRANTED, "stub.granted", None),
             timeout: OrderedMutex::new(lock_rank::STUB_TIMEOUT, "stub.timeout", self.config.call_timeout),
+            retry: self.config.retry.clone(),
+            ladder: OrderedMutex::new(lock_rank::STUB_LADDER, "stub.ladder", LadderState::default()),
+            retries: registry.map(|r| r.counter(names::RETRIES_TOTAL)),
+            degradations: registry.map(|r| r.counter(names::QOS_DEGRADATIONS_TOTAL)),
+        }
+    }
+
+    /// Dials `addr`, consulting the fault engine (connect refusal) and
+    /// wrapping the channel in a [`FaultChannel`] when a plan is active.
+    /// Shared by the first connect and every reconnect, so both paths see
+    /// identical behaviour.
+    fn dial(
+        exchange: &LocalExchange,
+        addr: &OrbAddr,
+        telemetry: Option<&Arc<Registry>>,
+        engine: Option<&Arc<FaultEngine>>,
+    ) -> Result<Arc<dyn ComChannel>, OrbError> {
+        if let Some(engine) = engine {
+            if !engine.allow_connect() {
+                if let Some(registry) = telemetry {
+                    FaultMetrics::resolve(registry).record_refuse();
+                }
+                return Err(OrbError::Transport(
+                    "fault injection: connection refused".into(),
+                ));
+            }
+        }
+        let raw: Arc<dyn ComChannel> = match addr {
+            OrbAddr::Tcp(hostport) => Arc::new(crate::transport::TcpComChannel::connect_with(
+                hostport.as_str(),
+                telemetry.map(Arc::as_ref),
+            )?),
+            OrbAddr::Chorus(name) => {
+                exchange.connect_chorus_with(name, telemetry.map(Arc::as_ref))?
+            }
+            OrbAddr::Dacapo(name) => exchange.connect_dacapo_with(
+                name,
+                &TransportRequirements::best_effort(),
+                telemetry,
+            )?,
+        };
+        Ok(match engine {
+            Some(engine) => Arc::new(FaultChannel::new(
+                raw,
+                Arc::clone(engine),
+                telemetry.map(Arc::as_ref),
+            )),
+            None => raw,
         })
     }
 
@@ -198,22 +258,23 @@ impl Orb {
                 }
             }
         }
-        let telemetry = self.config.telemetry.as_ref();
-        let channel: Arc<dyn crate::transport::ComChannel> = match addr {
-            OrbAddr::Tcp(hostport) => Arc::new(crate::transport::TcpComChannel::connect_with(
-                hostport.as_str(),
-                telemetry.map(Arc::as_ref),
-            )?),
-            OrbAddr::Chorus(name) => self
-                .exchange
-                .connect_chorus_with(name, telemetry.map(Arc::as_ref))?,
-            OrbAddr::Dacapo(name) => self.exchange.connect_dacapo_with(
-                name,
-                &TransportRequirements::best_effort(),
-                telemetry,
-            )?,
-        };
+        let channel = Orb::dial(
+            &self.exchange,
+            addr,
+            self.config.telemetry.as_ref(),
+            self.fault_engine.as_ref(),
+        )?;
         let binding = Binding::with_config(channel, protocol, &self.config);
+        // Re-dial with the same wrapping on reconnect; the closure owns
+        // clones so the binding outlives this ORB reference.
+        let exchange = self.exchange.clone();
+        let addr = addr.clone();
+        let telemetry = self.config.telemetry.clone();
+        let engine = self.fault_engine.clone();
+        let reconnector: Reconnector = Arc::new(move || {
+            Orb::dial(&exchange, &addr, telemetry.as_ref(), engine.as_ref())
+        });
+        binding.set_reconnector(reconnector);
         self.bindings.lock().insert(cache_key, binding.clone());
         Ok(binding)
     }
@@ -231,6 +292,14 @@ enum Target {
     Remote(Arc<Binding>),
 }
 
+/// Graceful-degradation state: the fallback ladder the application
+/// supplied and the rungs already applied.
+#[derive(Default)]
+struct LadderState {
+    fallbacks: VecDeque<QoSSpec>,
+    steps: Vec<QoSSpec>,
+}
+
 /// A client proxy for one remote (or colocated) object.
 ///
 /// This is what Chic-generated stubs wrap: `invoke` carries marshalled
@@ -242,6 +311,10 @@ pub struct Stub {
     qos: OrderedMutex<Option<QoSSpec>>,
     granted: OrderedMutex<Option<GrantedQoS>>,
     timeout: OrderedMutex<Duration>,
+    retry: Option<RetryPolicy>,
+    ladder: OrderedMutex<LadderState>,
+    retries: Option<Arc<Counter>>,
+    degradations: Option<Arc<Counter>>,
 }
 
 impl std::fmt::Debug for Stub {
@@ -292,11 +365,9 @@ impl Stub {
                     .negotiate(&spec)
                     .map_err(OrbError::QosNotSupported)?;
                 let requirements = TransportRequirements::from_granted(&optimistic);
-                binding.channel().set_qos(&requirements)?;
+                binding.set_transport_qos(&requirements)?;
             } else {
-                binding
-                    .channel()
-                    .set_qos(&TransportRequirements::best_effort())?;
+                binding.set_transport_qos(&TransportRequirements::best_effort())?;
             }
         }
         *self.qos.lock() = if spec.is_best_effort() {
@@ -323,6 +394,54 @@ impl Stub {
         self.granted.lock().clone()
     }
 
+    /// Installs a graceful-degradation ladder: when an invocation fails
+    /// with [`OrbError::QosNotSupported`] (the server NACKed the
+    /// negotiation), the stub steps down to the next fallback spec — most
+    /// preferred first — applies it via [`Stub::set_qos_parameter`] and
+    /// retries the call. The ladder is consumed rung by rung; once empty,
+    /// the NACK surfaces to the caller.
+    pub fn set_qos_ladder(&self, fallbacks: Vec<QoSSpec>) {
+        let mut ladder = self.ladder.lock();
+        ladder.fallbacks = fallbacks.into();
+        ladder.steps.clear();
+    }
+
+    /// The degradation rungs applied so far, in the order they were taken.
+    pub fn degradation_steps(&self) -> Vec<QoSSpec> {
+        self.ladder.lock().steps.clone()
+    }
+
+    /// Pops the next fallback rung, recording the step.
+    fn next_rung(&self) -> Option<QoSSpec> {
+        let mut ladder = self.ladder.lock();
+        let rung = ladder.fallbacks.pop_front()?;
+        ladder.steps.push(rung.clone());
+        if let Some(c) = &self.degradations {
+            c.inc();
+        }
+        Some(rung)
+    }
+
+    /// Steps down the ladder after a QoS NACK until a rung applies cleanly
+    /// or the ladder is exhausted. Returns `Ok(true)` when a rung was
+    /// applied (retry the invocation), `Ok(false)` when the ladder is
+    /// empty, and a non-QoS error unchanged.
+    fn degrade_qos(&self) -> Result<bool, OrbError> {
+        loop {
+            let Some(rung) = self.next_rung() else {
+                return Ok(false);
+            };
+            match self.set_qos_parameter(rung) {
+                Ok(()) => return Ok(true),
+                // This rung is itself unacceptable (invalid spec or the
+                // transport refused the mapped requirements): keep
+                // stepping down.
+                Err(OrbError::QosNotSupported(_)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
     fn qos_params(&self) -> Vec<cool_giop::QoSParameter> {
         self.qos
             .lock()
@@ -333,11 +452,59 @@ impl Stub {
 
     /// Two-way synchronous invocation with marshalled parameters.
     ///
+    /// With [`crate::OrbConfig::retry`] set, retryable failures (see
+    /// [`OrbError::is_retryable`]) are replayed with bounded backoff,
+    /// reconnecting the binding transparently when its connection died.
+    /// With a QoS ladder installed ([`Stub::set_qos_ladder`]), a server
+    /// NACK steps the QoS down instead of failing. Both are off by
+    /// default, giving exactly one attempt.
+    ///
     /// # Errors
     ///
-    /// The server's exception (including the QoS NACK), marshalling or
-    /// transport failures, or [`OrbError::Timeout`].
+    /// The server's exception (including the QoS NACK once any ladder is
+    /// exhausted), marshalling or transport failures, or
+    /// [`OrbError::Timeout`].
     pub fn invoke(&self, operation: &str, args: Bytes) -> Result<Bytes, OrbError> {
+        let policy: Option<&RetryPolicy> = self.retry.as_ref();
+        let start = Instant::now();
+        let mut attempt: u32 = 1;
+        // Bounded: QoS degradation consumes the finite ladder; retries are
+        // capped by RetryPolicy::max_attempts and its wall-clock budget.
+        loop {
+            let err = match self.invoke_once(operation, args.clone()) {
+                Ok(body) => return Ok(body),
+                Err(err) => err,
+            };
+            if matches!(err, OrbError::QosNotSupported(_)) {
+                if self.degrade_qos()? {
+                    continue; // degradation does not consume retry attempts
+                }
+                return Err(err);
+            }
+            if !err.is_retryable() {
+                return Err(err);
+            }
+            let Some(delay) = policy.and_then(|p| p.next_delay(attempt, start.elapsed())) else {
+                return Err(err);
+            };
+            attempt += 1;
+            if let Some(c) = &self.retries {
+                c.inc();
+            }
+            crate::retry::wait_backoff(delay);
+            if let Target::Remote(binding) = &self.target {
+                if binding.is_closed() {
+                    // A failed redial surfaces on the next attempt as an
+                    // attributed Closed/Transport error, which loops back
+                    // here while attempts remain.
+                    let _ = binding.reconnect();
+                }
+            }
+        }
+    }
+
+    /// One attempt of [`Stub::invoke`], with no resilience applied.
+    fn invoke_once(&self, operation: &str, args: Bytes) -> Result<Bytes, OrbError> {
         match &self.target {
             Target::Local(adapter) => {
                 let spec = self.qos.lock().clone().unwrap_or_default();

@@ -48,7 +48,7 @@ use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A running ORB endpoint serving objects from an adapter.
 pub struct OrbServer {
@@ -65,6 +65,13 @@ pub struct OrbServer {
     /// Bound TCP address used for the shutdown self-connect that pops the
     /// acceptor out of its blocking `accept()`.
     wake_addr: Option<std::net::SocketAddr>,
+    /// While set, connection sinks refuse *new* Requests (drained clients
+    /// see a timeout and may retry elsewhere) but replies for accepted
+    /// work still flow.
+    draining: Arc<AtomicBool>,
+    /// Counts accepted-but-unfinished requests, so a graceful shutdown can
+    /// wait for the pipeline to empty.
+    tracker: Arc<JobTracker>,
 }
 
 impl std::fmt::Debug for OrbServer {
@@ -99,11 +106,15 @@ impl OrbServer {
             Vec::new(),
         ));
         let (jobs_tx, dispatchers) = start_dispatchers(adapter.clone(), config)?;
+        let draining = Arc::new(AtomicBool::new(false));
+        let tracker = JobTracker::new();
 
         let flag = shutdown.clone();
         let acceptor_adapter = adapter.clone();
         let acceptor_conns = conns.clone();
         let acceptor_jobs = jobs_tx.clone();
+        let acceptor_draining = draining.clone();
+        let acceptor_tracker = tracker.clone();
         let cancel_cap = config.cancel_history;
         let telemetry = config.telemetry.clone();
         let acceptor = std::thread::Builder::new()
@@ -123,6 +134,8 @@ impl OrbServer {
                                 acceptor_jobs.clone(),
                                 &acceptor_conns,
                                 cancel_cap,
+                                acceptor_draining.clone(),
+                                acceptor_tracker.clone(),
                             );
                         }
                     }
@@ -141,6 +154,8 @@ impl OrbServer {
             conns,
             exchange_binding: None,
             wake_addr: Some(local),
+            draining,
+            tracker,
         })
     }
 
@@ -170,11 +185,15 @@ impl OrbServer {
             Vec::new(),
         ));
         let (jobs_tx, dispatchers) = start_dispatchers(adapter.clone(), config)?;
+        let draining = Arc::new(AtomicBool::new(false));
+        let tracker = JobTracker::new();
 
         let flag = shutdown.clone();
         let acceptor_adapter = adapter.clone();
         let acceptor_conns = conns.clone();
         let acceptor_jobs = jobs_tx.clone();
+        let acceptor_draining = draining.clone();
+        let acceptor_tracker = tracker.clone();
         let cancel_cap = config.cancel_history;
         let handle = std::thread::Builder::new()
             .name("cool-exchange-acceptor".into())
@@ -192,6 +211,8 @@ impl OrbServer {
                         acceptor_jobs.clone(),
                         &acceptor_conns,
                         cancel_cap,
+                        acceptor_draining.clone(),
+                        acceptor_tracker.clone(),
                     );
                 }
             })
@@ -207,6 +228,8 @@ impl OrbServer {
             conns,
             exchange_binding: Some((exchange, scheme, name)),
             wake_addr: None,
+            draining,
+            tracker,
         })
     }
 
@@ -223,6 +246,19 @@ impl OrbServer {
     /// Builds an object reference for a key served here.
     pub fn object_ref(&self, key: impl Into<ObjectKey>) -> ObjectRef {
         ObjectRef::new(self.addr.clone(), key)
+    }
+
+    /// Graceful shutdown: stops taking *new* requests, waits up to
+    /// `drain_timeout` for every accepted request to finish (replies
+    /// included), then closes. Returns whether the pipeline drained fully
+    /// in time; `false` means in-flight work was cut off by [`close`].
+    ///
+    /// [`close`]: OrbServer::close
+    pub fn shutdown_graceful(&self, drain_timeout: Duration) -> bool {
+        self.draining.store(true, Ordering::Release);
+        let drained = self.tracker.wait_idle(drain_timeout);
+        self.close();
+        drained
     }
 
     /// Stops accepting and serving. Idempotent.
@@ -274,6 +310,55 @@ impl Drop for OrbServer {
 // ---------------------------------------------------------------------------
 // Connections and the dispatcher pool
 // ---------------------------------------------------------------------------
+
+/// Counts requests between acceptance (enqueue on the dispatcher queue)
+/// and completion, with a condvar wait for the drain in
+/// [`OrbServer::shutdown_graceful`]. Guard-based: a [`JobGuard`] rides in
+/// the [`Job`] itself, so a job dropped unexecuted (dispatchers exiting)
+/// still counts down.
+struct JobTracker {
+    active: parking_lot::Mutex<usize>,
+    idle: parking_lot::Condvar,
+}
+
+impl JobTracker {
+    fn new() -> Arc<Self> {
+        Arc::new(JobTracker {
+            active: parking_lot::Mutex::new(0),
+            idle: parking_lot::Condvar::new(),
+        })
+    }
+
+    fn track(self: &Arc<Self>) -> JobGuard {
+        *self.active.lock() += 1;
+        JobGuard(Arc::clone(self))
+    }
+
+    /// Blocks until no request is in flight, or `timeout` elapses.
+    /// Returns whether the pipeline is idle.
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut active = self.active.lock();
+        while *active > 0 {
+            if self.idle.wait_until(&mut active, deadline).timed_out() {
+                return *active == 0;
+            }
+        }
+        true
+    }
+}
+
+struct JobGuard(Arc<JobTracker>);
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        let mut active = self.0.active.lock();
+        *active = active.saturating_sub(1);
+        if *active == 0 {
+            self.0.idle.notify_all();
+        }
+    }
+}
 
 /// Per-connection server state, shared between the connection's sink and
 /// any in-flight dispatcher jobs.
@@ -346,6 +431,9 @@ struct Job {
     /// When the delivery thread queued this request — the dispatcher
     /// measures queue wait from it.
     enqueued: Instant,
+    /// Keeps the server's drain accounting exact: dropped on completion
+    /// *or* when the job dies unexecuted in a closing queue.
+    _guard: JobGuard,
 }
 
 impl Job {
@@ -383,6 +471,8 @@ struct ConnSink {
     conn: OrderedMutex<Option<Arc<ConnState>>>,
     adapter: Arc<ObjectAdapter>,
     jobs: Sender<Job>,
+    draining: Arc<AtomicBool>,
+    tracker: Arc<JobTracker>,
 }
 
 impl FrameSink for ConnSink {
@@ -390,7 +480,14 @@ impl FrameSink for ConnSink {
         let Some(conn) = self.conn.lock().clone() else {
             return;
         };
-        let keep = process_frame(&conn, &self.adapter, &self.jobs, &frame);
+        let keep = process_frame(
+            &conn,
+            &self.adapter,
+            &self.jobs,
+            &frame,
+            &self.draining,
+            &self.tracker,
+        );
         if !keep {
             self.conn.lock().take();
             conn.channel.close();
@@ -453,6 +550,8 @@ fn attach_connection(
     jobs: Sender<Job>,
     conns: &Arc<OrderedMutex<Vec<Weak<ConnState>>>>,
     cancel_cap: usize,
+    draining: Arc<AtomicBool>,
+    tracker: Arc<JobTracker>,
 ) {
     let conn = Arc::new(ConnState {
         channel: channel.clone(),
@@ -467,6 +566,8 @@ fn attach_connection(
         conn: OrderedMutex::new(lock_rank::SERVER_SINK_CONN, "server.sink.conn", Some(conn)),
         adapter,
         jobs,
+        draining,
+        tracker,
     }));
 }
 
@@ -478,6 +579,8 @@ fn process_frame(
     adapter: &Arc<ObjectAdapter>,
     jobs: &Sender<Job>,
     frame: &Bytes,
+    draining: &AtomicBool,
+    tracker: &Arc<JobTracker>,
 ) -> bool {
     let Ok(protocol) = sniff(frame) else {
         // Unknown magic: report a GIOP MessageError and drop the
@@ -492,8 +595,8 @@ fn process_frame(
         return false;
     };
     match protocol {
-        WireProtocol::Giop => process_giop_frame(conn, adapter, jobs, frame),
-        WireProtocol::Cool => process_cool_frame(conn, jobs, frame),
+        WireProtocol::Giop => process_giop_frame(conn, adapter, jobs, frame, draining, tracker),
+        WireProtocol::Cool => process_cool_frame(conn, jobs, frame, draining, tracker),
     }
 }
 
@@ -502,6 +605,8 @@ fn process_giop_frame(
     adapter: &Arc<ObjectAdapter>,
     jobs: &Sender<Job>,
     frame: &Bytes,
+    draining: &AtomicBool,
+    tracker: &Arc<JobTracker>,
 ) -> bool {
     let (msg, version, order) = match cool_giop::codec::decode_message_ext(frame) {
         Ok(parts) => parts,
@@ -518,6 +623,11 @@ fn process_giop_frame(
     };
     match msg {
         Message::Request { header, body } => {
+            if draining.load(Ordering::Acquire) {
+                // Draining: refuse new work but keep the connection open so
+                // replies for already-accepted requests still flow.
+                return true;
+            }
             if conn.cancelled.lock().remove(header.request_id) {
                 return true; // client abandoned it before we started
             }
@@ -530,6 +640,7 @@ fn process_giop_frame(
                     order,
                 },
                 enqueued: Instant::now(),
+                _guard: tracker.track(),
             })
             .is_ok() // dispatchers gone: the server is closing
         }
@@ -561,7 +672,13 @@ fn process_giop_frame(
     }
 }
 
-fn process_cool_frame(conn: &Arc<ConnState>, jobs: &Sender<Job>, frame: &Bytes) -> bool {
+fn process_cool_frame(
+    conn: &Arc<ConnState>,
+    jobs: &Sender<Job>,
+    frame: &Bytes,
+    draining: &AtomicBool,
+    tracker: &Arc<JobTracker>,
+) -> bool {
     match CoolMessage::decode(frame) {
         Ok(CoolMessage::Request {
             request_id,
@@ -569,8 +686,11 @@ fn process_cool_frame(conn: &Arc<ConnState>, jobs: &Sender<Job>, frame: &Bytes) 
             operation,
             one_way,
             args,
-        }) => jobs
-            .send(Job {
+        }) => {
+            if draining.load(Ordering::Acquire) {
+                return true; // draining: refuse new work, keep the connection
+            }
+            jobs.send(Job {
                 conn: conn.clone(),
                 work: Work::Cool {
                     request_id,
@@ -580,8 +700,10 @@ fn process_cool_frame(conn: &Arc<ConnState>, jobs: &Sender<Job>, frame: &Bytes) 
                     args,
                 },
                 enqueued: Instant::now(),
+                _guard: tracker.track(),
             })
-            .is_ok(),
+            .is_ok()
+        }
         // Clients do not send replies/exceptions to servers; and anything
         // undecodable ends the connection.
         Ok(CoolMessage::Reply { .. }) | Ok(CoolMessage::Exception { .. }) | Err(_) => false,
@@ -722,6 +844,23 @@ fn encode_error_reply(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn job_tracker_waits_for_inflight_work() {
+        let tracker = JobTracker::new();
+        assert!(tracker.wait_idle(Duration::ZERO), "idle at rest");
+
+        let guard = tracker.track();
+        assert!(
+            !tracker.wait_idle(Duration::from_millis(10)),
+            "one job in flight"
+        );
+
+        let t = tracker.clone();
+        let waiter = std::thread::spawn(move || t.wait_idle(Duration::from_secs(5)));
+        drop(guard);
+        assert!(waiter.join().expect("waiter"), "drain completes on dec");
+    }
 
     #[test]
     fn cancel_set_is_bounded_with_oldest_evicted() {

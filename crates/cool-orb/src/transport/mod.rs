@@ -45,10 +45,12 @@
 
 pub mod chorus;
 pub mod dacapo_chan;
+pub mod fault;
 pub mod tcp;
 
 pub use chorus::ChorusComChannel;
 pub use dacapo_chan::DacapoComChannel;
+pub use fault::{FaultChannel, FaultMetrics};
 pub use tcp::TcpComChannel;
 
 use crate::error::OrbError;

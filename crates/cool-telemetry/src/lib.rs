@@ -23,6 +23,7 @@
 
 pub mod lockorder;
 pub mod metrics;
+pub mod names;
 pub mod registry;
 pub mod span;
 

@@ -47,10 +47,22 @@ pub mod rank {
     pub const SERVER_CONN_CANCELLED: u32 = 35;
     /// `ConnSink::conn` — sink's handle on its connection state.
     pub const SERVER_SINK_CONN: u32 = 36;
+    /// `Binding::reconnect_gate` — serializes reconnect attempts; held
+    /// across the whole re-establishment (conn swap, pending flush, QoS
+    /// replay), so it sits below every other binding lock.
+    pub const BINDING_RECONNECT: u32 = 37;
+    /// `Binding::conn` — current channel incarnation (swapped on
+    /// reconnect).
+    pub const BINDING_CONN: u32 = 38;
+    /// `Binding::last_qos` — transport requirements to replay after a
+    /// reconnect.
+    pub const BINDING_LAST_QOS: u32 = 39;
     /// `Binding::pending` — in-flight request slots.
     pub const BINDING_PENDING: u32 = 40;
     /// `Stub::qos` — requested QoS spec.
     pub const STUB_QOS: u32 = 44;
+    /// `Stub::ladder` — QoS degradation ladder + steps taken.
+    pub const STUB_LADDER: u32 = 47;
     /// `Stub::granted` — last granted QoS.
     pub const STUB_GRANTED: u32 = 45;
     /// `Stub::timeout` — per-stub call timeout.

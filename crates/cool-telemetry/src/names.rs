@@ -1,0 +1,65 @@
+//! Well-known metric names shared across crates.
+//!
+//! The resilience layer (retry/backoff, reconnection, QoS degradation and
+//! fault injection — DESIGN.md §8) reports through ordinary registry
+//! counters; the names live here so cool-orb, the benches and the chaos
+//! suite all agree on the exact strings. Every counter appears in
+//! [`crate::Registry::render_prometheus`], [`crate::TelemetrySnapshot`]
+//! and the snapshot's JSON as soon as it is first resolved.
+
+/// Invocation attempts replayed by a `RetryPolicy` after a retryable error.
+pub const RETRIES_TOTAL: &str = "retries_total";
+
+/// Successful transparent re-establishments of a dead binding channel.
+pub const RECONNECTS_TOTAL: &str = "reconnects_total";
+
+/// QoS ladder steps taken after a `QosNotSupported` NACK.
+pub const QOS_DEGRADATIONS_TOTAL: &str = "qos_degradations_total";
+
+/// Faults injected by a `FaultPlan` (also exported per kind via the
+/// `kind` label, e.g. `faults_injected_total{kind="drop"}`).
+pub const FAULTS_INJECTED_TOTAL: &str = "faults_injected_total";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    /// The resilience counters round-trip through every exporter.
+    #[test]
+    fn resilience_counters_round_trip() {
+        let r = Registry::new();
+        r.counter(RETRIES_TOTAL).add(3);
+        r.counter(RECONNECTS_TOTAL).inc();
+        r.counter(QOS_DEGRADATIONS_TOTAL).add(2);
+        r.counter(FAULTS_INJECTED_TOTAL).add(7);
+        r.counter(&Registry::labeled(
+            FAULTS_INJECTED_TOTAL,
+            &[("kind", "drop")],
+        ))
+        .add(5);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(RETRIES_TOTAL), Some(3));
+        assert_eq!(snap.counter(RECONNECTS_TOTAL), Some(1));
+        assert_eq!(snap.counter(QOS_DEGRADATIONS_TOTAL), Some(2));
+        assert_eq!(snap.counter(FAULTS_INJECTED_TOTAL), Some(7));
+        assert_eq!(
+            snap.counter("faults_injected_total{kind=\"drop\"}"),
+            Some(5)
+        );
+
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("retries_total 3"));
+        assert!(prom.contains("reconnects_total 1"));
+        assert!(prom.contains("qos_degradations_total 2"));
+        assert!(prom.contains("faults_injected_total 7"));
+        assert!(prom.contains("faults_injected_total{kind=\"drop\"} 5"));
+
+        let json = snap.to_json();
+        assert!(json.contains("\"retries_total\":3"));
+        assert!(json.contains("\"reconnects_total\":1"));
+        assert!(json.contains("\"qos_degradations_total\":2"));
+        assert!(json.contains("\"faults_injected_total\":7"));
+    }
+}

@@ -1,13 +1,22 @@
 //! Layer A: the application-side endpoint of a running module stack.
 
 use crate::error::DacapoError;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketKind};
 use crate::runtime::QuiesceSignal;
 use crate::stats::ThroughputMeter;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Whether a packet is the teardown sentinel the transport pumps inject
+/// when the wire dies: an empty control packet. Modules never deliver
+/// control packets to the application (control traffic is consumed at its
+/// destination layer), so the combination is unambiguous.
+fn is_close_sentinel(pkt: &Packet) -> bool {
+    pkt.kind() == PacketKind::Control && pkt.is_empty()
+}
 
 /// The application handle of a connection: what COOL's
 /// `DacapoComChannel` (or the measuring application of Figure 9) sends and
@@ -21,6 +30,11 @@ pub struct AppEndpoint {
     /// Application-side receives drain the stack's top up-queue, which can
     /// complete quiescence — tell any `drain` waiter to re-check.
     quiesce: Arc<QuiesceSignal>,
+    /// Set by the transport pumps when the wire dies permanently (peer
+    /// severed, I/O error). Queued inbound data is still delivered first;
+    /// once the queue drains, receives report [`DacapoError::Closed`]
+    /// instead of idling out their timeout.
+    transport_dead: Arc<AtomicBool>,
 }
 
 impl AppEndpoint {
@@ -30,6 +44,7 @@ impl AppEndpoint {
         tx_meter: Arc<ThroughputMeter>,
         rx_meter: Arc<ThroughputMeter>,
         quiesce: Arc<QuiesceSignal>,
+        transport_dead: Arc<AtomicBool>,
     ) -> Self {
         AppEndpoint {
             to_stack,
@@ -37,7 +52,14 @@ impl AppEndpoint {
             tx_meter,
             rx_meter,
             quiesce,
+            transport_dead,
         }
+    }
+
+    /// Whether the underlying transport has died permanently. Data queued
+    /// before the death is still receivable.
+    pub fn transport_closed(&self) -> bool {
+        self.transport_dead.load(Ordering::Acquire)
     }
 
     /// Sends a message to the peer application.
@@ -49,6 +71,9 @@ impl AppEndpoint {
     ///
     /// [`DacapoError::Closed`] once the connection is torn down.
     pub fn send(&self, payload: Bytes) -> Result<(), DacapoError> {
+        if self.transport_closed() {
+            return Err(DacapoError::Closed);
+        }
         self.tx_meter.record(payload.len());
         self.to_stack
             .send(Packet::data(&payload))
@@ -62,6 +87,9 @@ impl AppEndpoint {
     /// [`DacapoError::Timeout`] (zero duration) when the stack is
     /// backpressured, [`DacapoError::Closed`] on teardown.
     pub fn try_send(&self, payload: Bytes) -> Result<(), DacapoError> {
+        if self.transport_closed() {
+            return Err(DacapoError::Closed);
+        }
         match self.to_stack.try_send(Packet::data(&payload)) {
             Ok(()) => {
                 self.tx_meter.record(payload.len());
@@ -79,13 +107,25 @@ impl AppEndpoint {
     /// [`DacapoError::Timeout`] on expiry, [`DacapoError::Closed`] on
     /// teardown.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, DacapoError> {
+        // Fast path: transport already dead and nothing buffered — report
+        // closure immediately rather than waiting out the timeout.
+        if self.transport_closed() && self.from_stack.is_empty() {
+            return Err(DacapoError::Closed);
+        }
         match self.from_stack.recv_timeout(timeout) {
+            Ok(pkt) if is_close_sentinel(&pkt) => Err(DacapoError::Closed),
             Ok(pkt) => {
                 self.rx_meter.record(pkt.len());
                 self.quiesce.pulse();
                 Ok(pkt.to_bytes())
             }
-            Err(RecvTimeoutError::Timeout) => Err(DacapoError::Timeout(timeout)),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.transport_closed() {
+                    Err(DacapoError::Closed)
+                } else {
+                    Err(DacapoError::Timeout(timeout))
+                }
+            }
             Err(RecvTimeoutError::Disconnected) => Err(DacapoError::Closed),
         }
     }
@@ -96,7 +136,11 @@ impl AppEndpoint {
     ///
     /// [`DacapoError::Closed`] on teardown.
     pub fn recv(&self) -> Result<Bytes, DacapoError> {
+        if self.transport_closed() && self.from_stack.is_empty() {
+            return Err(DacapoError::Closed);
+        }
         match self.from_stack.recv() {
+            Ok(pkt) if is_close_sentinel(&pkt) => Err(DacapoError::Closed),
             Ok(pkt) => {
                 self.rx_meter.record(pkt.len());
                 self.quiesce.pulse();

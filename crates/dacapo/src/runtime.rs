@@ -149,6 +149,8 @@ pub struct StackHandle {
     /// wakes all threads blocked in a select, so shutdown never waits for
     /// a tick or poll interval to expire.
     wake: Option<Sender<()>>,
+    /// Set by the transport pumps on a permanent transport error.
+    transport_dead: Arc<AtomicBool>,
 }
 
 impl StackHandle {
@@ -165,6 +167,14 @@ impl StackHandle {
     /// Number of worker threads (modules + 2 transport pumps).
     pub fn thread_count(&self) -> usize {
         self.threads.len()
+    }
+
+    /// Whether the transport underneath this stack died permanently (peer
+    /// severed, I/O error). Inbound data queued before the death is still
+    /// receivable through the endpoint; new sends fail with
+    /// [`DacapoError::Closed`].
+    pub fn transport_closed(&self) -> bool {
+        self.transport_dead.load(Ordering::Acquire)
     }
 
     /// Whether every queue is empty and every module reports no deferred
@@ -220,6 +230,17 @@ impl Drop for StackHandle {
     }
 }
 
+/// Marks the transport dead and wakes the application: a close sentinel
+/// (empty control packet) goes straight into the app's up queue —
+/// bypassing the modules, which never deliver control packets upward — so
+/// a receive blocked in the endpoint surfaces [`DacapoError::Closed`]
+/// immediately instead of idling out its timeout.
+fn signal_transport_death(dead: &AtomicBool, app_up: &Sender<Packet>, quiesce: &QuiesceSignal) {
+    dead.store(true, Ordering::Release);
+    let _ = app_up.send(Packet::control(&[]));
+    quiesce.pulse();
+}
+
 /// Tears down a partially built stack after a spawn failure: signals
 /// shutdown, disconnects the wake channel and joins what already started.
 fn abort_partial_stack(
@@ -248,6 +269,7 @@ pub fn build_stack(
 ) -> Result<StackHandle, DacapoError> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let quiesce = Arc::new(QuiesceSignal::default());
+    let transport_dead = Arc::new(AtomicBool::new(false));
     // Never sent on: exists only so that dropping `wake_tx` (at shutdown)
     // disconnects the receivers and wakes every blocked select below. It
     // carries no data, its capacity is irrelevant, and nothing can queue
@@ -334,6 +356,8 @@ pub fn build_stack(
         let flag = shutdown.clone();
         let wake = wake_rx.clone();
         let tx_quiesce = quiesce.clone();
+        let dead = transport_dead.clone();
+        let app_up = up_tx[0].clone();
         let wire = opts.telemetry.as_ref().map(|r| {
             (
                 r.counter(&Registry::labeled("dacapo_wire_frames_total", &[("dir", "tx")])),
@@ -355,6 +379,9 @@ pub fn build_stack(
                         Ok(pkt) => {
                             let wire_len = pkt.len() as u64;
                             if transport.send(pkt.to_bytes()).is_err() {
+                                if !flag.load(Ordering::Acquire) {
+                                    signal_transport_death(&dead, &app_up, &tx_quiesce);
+                                }
                                 return;
                             }
                             if let Some((frames, bytes)) = &wire {
@@ -392,6 +419,9 @@ pub fn build_stack(
         let flag = shutdown.clone();
         let up_bottom = up_tx[n].clone();
         let grace = opts.shutdown_grace;
+        let dead = transport_dead.clone();
+        let app_up = up_tx[0].clone();
+        let rx_quiesce = quiesce.clone();
         let wire = opts.telemetry.as_ref().map(|r| {
             (
                 r.counter(&Registry::labeled("dacapo_wire_frames_total", &[("dir", "rx")])),
@@ -416,7 +446,15 @@ pub fn build_stack(
                         }
                     }
                     Err(DacapoError::Timeout(_)) => continue,
-                    Err(_) => return,
+                    Err(_) => {
+                        // Permanent transport failure (peer severed, I/O
+                        // error): tell the application instead of dying
+                        // silently, unless this is an orderly shutdown.
+                        if !flag.load(Ordering::Acquire) {
+                            signal_transport_death(&dead, &app_up, &rx_quiesce);
+                        }
+                        return;
+                    }
                 }
             });
         match spawned {
@@ -436,6 +474,7 @@ pub fn build_stack(
         tx_meter,
         rx_meter,
         quiesce.clone(),
+        transport_dead.clone(),
     );
 
     // Drop our copies of intermediate senders so threads observe
@@ -453,6 +492,7 @@ pub fn build_stack(
         idle_flags,
         quiesce,
         wake: wake_tx,
+        transport_dead,
     })
 }
 
@@ -766,6 +806,38 @@ mod tests {
         );
         assert!(snap.gauge("dacapo_module_queue_depth{module=\"crc32\"}").is_some());
         a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn transport_death_signals_application_promptly() {
+        let (ta, tb) = loopback_pair();
+        let opts = RuntimeOptions::default();
+        let b = build_stack(modules_from(&[]), Arc::new(tb), &opts).unwrap();
+        // Data in flight before the wire dies is still delivered.
+        ta.send(Bytes::from_static(b"last words")).unwrap();
+        assert_eq!(
+            &b.endpoint().recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"last words"
+        );
+        // Sever the wire: b's RX pump observes Closed within
+        // shutdown_grace and must surface it to the application instead of
+        // dying silently and leaving receives to idle out their timeout.
+        ta.close();
+        let start = Instant::now();
+        let r = b.endpoint().recv_timeout(Duration::from_secs(10));
+        assert!(matches!(r, Err(DacapoError::Closed)), "got {r:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "closure not surfaced promptly: {:?}",
+            start.elapsed()
+        );
+        assert!(b.transport_closed());
+        // Sends after death fail attributed, not swallowed.
+        assert!(matches!(
+            b.endpoint().send(Bytes::from_static(b"x")),
+            Err(DacapoError::Closed)
+        ));
         b.shutdown();
     }
 

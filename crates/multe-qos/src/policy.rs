@@ -181,6 +181,36 @@ impl ServerPolicy {
         );
         Ok(granted)
     }
+
+    /// Walks a degradation ladder — the client's preferred spec first,
+    /// followed by progressively weaker fallbacks — and grants the first
+    /// feasible rung.
+    ///
+    /// Returns the granted rung's index (0 = preferred spec) alongside the
+    /// grant so callers can report how far the call degraded.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::InvalidRange`] immediately if a rung is internally
+    /// inconsistent (a malformed ladder is a caller bug, not a negotiation
+    /// outcome); otherwise the [`QosError::Infeasible`] NACK of the *last*
+    /// rung when every rung is refused, or a generic `Infeasible` for an
+    /// empty ladder.
+    pub fn negotiate_ladder(&self, rungs: &[QoSSpec]) -> Result<(usize, GrantedQoS), QosError> {
+        let mut last_nack = None;
+        for (i, rung) in rungs.iter().enumerate() {
+            match self.negotiate(rung) {
+                Ok(granted) => return Ok((i, granted)),
+                Err(e @ QosError::InvalidRange { .. }) => return Err(e),
+                Err(e) => last_nack = Some(e),
+            }
+        }
+        Err(last_nack.unwrap_or(QosError::Infeasible {
+            dimension: "ladder",
+            requested: 0,
+            offered: None,
+        }))
+    }
 }
 
 /// Builder for [`ServerPolicy`] (restrictive baseline).
@@ -271,6 +301,60 @@ mod tests {
                 offered: Some(500_000)
             }
         );
+    }
+
+    #[test]
+    fn ladder_prefers_the_first_feasible_rung() {
+        let policy = ServerPolicy::builder().max_throughput_bps(500_000).build();
+        let preferred = QoSSpec::builder()
+            .throughput_bps(10_000_000, 1_000_000, 20_000_000)
+            .build();
+        let fallback = QoSSpec::builder()
+            .throughput_bps(400_000, 100_000, 1_000_000)
+            .build();
+        let (rung, granted) = policy
+            .negotiate_ladder(&[preferred, fallback])
+            .unwrap();
+        assert_eq!(rung, 1);
+        assert_eq!(granted.throughput_bps(), Some(400_000));
+    }
+
+    #[test]
+    fn ladder_does_not_degrade_when_preferred_is_feasible() {
+        let policy = ServerPolicy::permissive();
+        let preferred = QoSSpec::builder()
+            .throughput_bps(10_000_000, 1_000_000, 20_000_000)
+            .build();
+        let (rung, _) = policy
+            .negotiate_ladder(&[preferred, QoSSpec::best_effort()])
+            .unwrap();
+        assert_eq!(rung, 0);
+    }
+
+    #[test]
+    fn exhausted_ladder_returns_the_last_nack() {
+        let policy = ServerPolicy::builder().max_throughput_bps(100).build();
+        let rung0 = QoSSpec::builder()
+            .throughput_bps(10_000_000, 1_000_000, 20_000_000)
+            .build();
+        let rung1 = QoSSpec::builder()
+            .throughput_bps(5_000, 1_000, 10_000)
+            .build();
+        let err = policy.negotiate_ladder(&[rung0, rung1]).unwrap_err();
+        assert_eq!(
+            err,
+            QosError::Infeasible {
+                dimension: "throughput",
+                requested: 5_000,
+                offered: Some(100)
+            }
+        );
+    }
+
+    #[test]
+    fn empty_ladder_is_infeasible() {
+        let err = ServerPolicy::permissive().negotiate_ladder(&[]).unwrap_err();
+        assert!(matches!(err, QosError::Infeasible { dimension: "ladder", .. }));
     }
 
     #[test]

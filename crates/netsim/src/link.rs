@@ -14,6 +14,13 @@
 //! Delivery order is FIFO: jitter never reorders frames, it only delays the
 //! tail (delivery times are clamped to be monotone), matching the in-order
 //! behaviour of an ATM VC or a TCP-bearing link.
+//!
+//! On top of the shaping pipeline, a spec can inject deterministic faults:
+//! single-bit **corruption** (`corrupt_rate`), pairwise **reordering**
+//! (`reorder_rate` — the only way frames leave FIFO order) and a hard
+//! **sever** after N accepted frames (`sever_after`). All randomness comes
+//! from the per-direction seeded RNG, so a fixed seed replays the exact
+//! same fault sequence.
 
 use crate::clock::{RealClock, SharedClock, VirtualClock};
 use crate::endpoint::Endpoint;
@@ -50,6 +57,8 @@ struct DirectionState {
     next_free: Duration,
     /// Latest delivery time handed out (enforces FIFO despite jitter).
     last_delivery: Duration,
+    /// Frames accepted so far, for `sever_after` bookkeeping.
+    accepted: u64,
     rng: StdRng,
 }
 
@@ -60,6 +69,7 @@ impl Direction {
                 in_flight: VecDeque::new(),
                 next_free: Duration::ZERO,
                 last_delivery: Duration::ZERO,
+                accepted: 0,
                 rng: StdRng::seed_from_u64(seed),
             }),
             spec,
@@ -90,6 +100,16 @@ impl Direction {
         }
         let now = self.clock.now();
         let mut st = self.state.lock();
+
+        // Sever: after `n` accepted frames the direction goes dark for good.
+        if let Some(n) = self.spec.sever_after() {
+            if st.accepted >= n {
+                drop(st);
+                self.mark_sender_gone();
+                return Err(NetSimError::Disconnected);
+            }
+        }
+        st.accepted += 1;
         self.stats.record_send(frame.len());
 
         // Serialisation: the wire is busy until the frame has left it.
@@ -104,11 +124,35 @@ impl Direction {
             return Ok(());
         }
 
+        // Corruption: flip one seeded-random bit of the delivered copy.
+        let corrupt = self.spec.corrupt_rate();
+        let frame = if !frame.is_empty() && corrupt > 0.0 && st.rng.gen::<f64>() < corrupt {
+            let mut buf = frame.to_vec();
+            let bit = st.rng.gen_range(0..buf.len() as u64 * 8);
+            buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+            self.stats.record_corrupt();
+            Bytes::from(buf)
+        } else {
+            frame
+        };
+
         // Propagation + jitter, clamped monotone for FIFO delivery.
         let jitter = sample_jitter(&mut st.rng, self.spec.jitter());
         let deliver_at = (leaves_wire + self.spec.propagation() + jitter).max(st.last_delivery);
         st.last_delivery = deliver_at;
         st.in_flight.push_back((deliver_at, frame));
+
+        // Reorder: swap payloads with the frame queued immediately ahead, so
+        // this frame arrives before its predecessor while delivery *times*
+        // stay monotone.
+        let reorder = self.spec.reorder_rate();
+        if reorder > 0.0 && st.in_flight.len() >= 2 && st.rng.gen::<f64>() < reorder {
+            let last = st.in_flight.len() - 1;
+            let tail = st.in_flight[last].1.clone();
+            st.in_flight[last].1 = st.in_flight[last - 1].1.clone();
+            st.in_flight[last - 1].1 = tail;
+            self.stats.record_reorder();
+        }
         drop(st);
         self.arrival.notify_one();
         Ok(())
@@ -491,5 +535,98 @@ mod tests {
     fn reservation_table_sized_to_bandwidth() {
         let link = Link::virtual_time(fast_spec());
         assert_eq!(link.reservations().capacity_bps(), 8_000_000);
+    }
+
+    /// One full run over a corrupting link: returns the delivered payloads
+    /// and the corruption count.
+    fn corrupt_run(seed: u64) -> (Vec<Vec<u8>>, u64) {
+        let spec = LinkSpec::builder()
+            .corrupt_rate(0.3)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let link = Link::virtual_time(spec);
+        let (a, b) = link.endpoints();
+        for i in 0..100u8 {
+            a.send(Bytes::from(vec![i; 8])).unwrap();
+        }
+        drop(a);
+        let mut out = Vec::new();
+        while let Ok(f) = b.recv() {
+            out.push(f.to_vec());
+        }
+        let corrupted = link.stats_a_to_b().frames_corrupted();
+        (out, corrupted)
+    }
+
+    #[test]
+    fn corruption_is_deterministic_for_a_fixed_seed() {
+        let (frames1, n1) = corrupt_run(1234);
+        let (frames2, n2) = corrupt_run(1234);
+        assert!(n1 > 10 && n1 < 60, "0.3 rate over 100 frames, got {n1}");
+        assert_eq!(n1, n2, "same seed, same corruption count");
+        assert_eq!(frames1, frames2, "same seed, bit-identical deliveries");
+
+        // Each corrupted frame differs from the original in exactly one bit.
+        let mut seen_corrupt = 0;
+        for (i, f) in frames1.iter().enumerate() {
+            let clean = vec![i as u8; 8];
+            let flipped: u32 = f
+                .iter()
+                .zip(&clean)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert!(flipped <= 1, "frame {i} has {flipped} flipped bits");
+            seen_corrupt += u64::from(flipped == 1);
+        }
+        assert_eq!(seen_corrupt, n1);
+
+        let (_, other) = corrupt_run(99);
+        assert_ne!(n1, other, "different seed, different fault sequence");
+    }
+
+    #[test]
+    fn sever_after_cuts_the_direction() {
+        let spec = LinkSpec::builder().sever_after(Some(5)).build().unwrap();
+        let link = Link::virtual_time(spec);
+        let (a, b) = link.endpoints();
+        for i in 0..5u8 {
+            a.send(Bytes::from(vec![i])).unwrap();
+        }
+        assert_eq!(
+            a.send(Bytes::from_static(b"x")).unwrap_err(),
+            NetSimError::Disconnected
+        );
+        // Frames accepted before the sever still drain in order...
+        for i in 0..5u8 {
+            assert_eq!(b.recv().unwrap()[0], i);
+        }
+        // ...then the receiver sees end-of-link.
+        assert_eq!(b.recv().unwrap_err(), NetSimError::Disconnected);
+    }
+
+    #[test]
+    fn reorder_rate_breaks_fifo_deterministically() {
+        let spec = LinkSpec::builder()
+            .reorder_rate(0.4)
+            .seed(7)
+            .build()
+            .unwrap();
+        let link = Link::virtual_time(spec);
+        let (a, b) = link.endpoints();
+        for i in 0..50u8 {
+            a.send(Bytes::from(vec![i])).unwrap();
+        }
+        drop(a);
+        let mut order = Vec::new();
+        while let Ok(f) = b.recv() {
+            order.push(f[0]);
+        }
+        assert_eq!(order.len(), 50, "reordering never loses frames");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(order, sorted, "some frames arrived out of order");
+        assert!(link.stats_a_to_b().frames_reordered() > 0);
     }
 }

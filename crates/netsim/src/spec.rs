@@ -39,6 +39,9 @@ pub struct LinkSpec {
     propagation: Duration,
     jitter: Duration,
     loss_rate: f64,
+    corrupt_rate: f64,
+    reorder_rate: f64,
+    sever_after: Option<u64>,
     mtu: usize,
     seed: u64,
     frame_overhead: Duration,
@@ -68,6 +71,25 @@ impl LinkSpec {
     /// Probability in `[0, 1)` that any given frame is silently dropped.
     pub fn loss_rate(&self) -> f64 {
         self.loss_rate
+    }
+
+    /// Probability in `[0, 1)` that a delivered frame has one random bit
+    /// flipped in transit (a seeded, deterministic bit error).
+    pub fn corrupt_rate(&self) -> f64 {
+        self.corrupt_rate
+    }
+
+    /// Probability in `[0, 1)` that a frame is delivered *before* the frame
+    /// queued immediately ahead of it (pairwise swap), breaking FIFO order.
+    pub fn reorder_rate(&self) -> f64 {
+        self.reorder_rate
+    }
+
+    /// If set, each direction severs after accepting this many frames:
+    /// subsequent sends fail with [`NetSimError::Disconnected`] and the
+    /// receiver sees end-of-link once the in-flight queue drains.
+    pub fn sever_after(&self) -> Option<u64> {
+        self.sever_after
     }
 
     /// Maximum frame size accepted by the link, in bytes.
@@ -123,6 +145,9 @@ pub struct LinkSpecBuilder {
     propagation: Duration,
     jitter: Duration,
     loss_rate: f64,
+    corrupt_rate: f64,
+    reorder_rate: f64,
+    sever_after: Option<u64>,
     mtu: usize,
     seed: u64,
     frame_overhead: Duration,
@@ -135,6 +160,9 @@ impl Default for LinkSpecBuilder {
             propagation: Duration::from_micros(100),
             jitter: Duration::ZERO,
             loss_rate: 0.0,
+            corrupt_rate: 0.0,
+            reorder_rate: 0.0,
+            sever_after: None,
             mtu: DEFAULT_MTU,
             seed: 0x5eed_cafe,
             frame_overhead: Duration::ZERO,
@@ -164,6 +192,25 @@ impl LinkSpecBuilder {
     /// Sets the frame loss probability; must lie in `[0, 1)`.
     pub fn loss_rate(mut self, p: f64) -> Self {
         self.loss_rate = p;
+        self
+    }
+
+    /// Sets the single-bit corruption probability; must lie in `[0, 1)`.
+    pub fn corrupt_rate(mut self, p: f64) -> Self {
+        self.corrupt_rate = p;
+        self
+    }
+
+    /// Sets the pairwise reorder probability; must lie in `[0, 1)`.
+    pub fn reorder_rate(mut self, p: f64) -> Self {
+        self.reorder_rate = p;
+        self
+    }
+
+    /// Severs each direction after it has accepted `n` frames (see
+    /// [`LinkSpec::sever_after`]).
+    pub fn sever_after(mut self, n: Option<u64>) -> Self {
+        self.sever_after = n;
         self
     }
 
@@ -204,11 +251,26 @@ impl LinkSpecBuilder {
                 self.loss_rate
             )));
         }
+        if !(0.0..1.0).contains(&self.corrupt_rate) {
+            return Err(NetSimError::InvalidSpec(format!(
+                "corrupt rate {} outside [0, 1)",
+                self.corrupt_rate
+            )));
+        }
+        if !(0.0..1.0).contains(&self.reorder_rate) {
+            return Err(NetSimError::InvalidSpec(format!(
+                "reorder rate {} outside [0, 1)",
+                self.reorder_rate
+            )));
+        }
         Ok(LinkSpec {
             bandwidth_bps: self.bandwidth_bps,
             propagation: self.propagation,
             jitter: self.jitter,
             loss_rate: self.loss_rate,
+            corrupt_rate: self.corrupt_rate,
+            reorder_rate: self.reorder_rate,
+            sever_after: self.sever_after,
             mtu: self.mtu,
             seed: self.seed,
             frame_overhead: self.frame_overhead,
@@ -243,6 +305,31 @@ mod tests {
         assert!(LinkSpec::builder().loss_rate(1.0).build().is_err());
         assert!(LinkSpec::builder().loss_rate(-0.1).build().is_err());
         assert!(LinkSpec::builder().loss_rate(0.99).build().is_ok());
+    }
+
+    #[test]
+    fn corrupt_and_reorder_rates_validated() {
+        assert!(LinkSpec::builder().corrupt_rate(1.0).build().is_err());
+        assert!(LinkSpec::builder().corrupt_rate(-0.5).build().is_err());
+        assert!(LinkSpec::builder().reorder_rate(1.0).build().is_err());
+        assert!(LinkSpec::builder().reorder_rate(-0.5).build().is_err());
+        let spec = LinkSpec::builder()
+            .corrupt_rate(0.01)
+            .reorder_rate(0.1)
+            .sever_after(Some(42))
+            .build()
+            .unwrap();
+        assert_eq!(spec.corrupt_rate(), 0.01);
+        assert_eq!(spec.reorder_rate(), 0.1);
+        assert_eq!(spec.sever_after(), Some(42));
+    }
+
+    #[test]
+    fn fault_fields_default_off() {
+        let spec = LinkSpec::default();
+        assert_eq!(spec.corrupt_rate(), 0.0);
+        assert_eq!(spec.reorder_rate(), 0.0);
+        assert_eq!(spec.sever_after(), None);
     }
 
     #[test]

@@ -10,6 +10,8 @@ use std::sync::{Arc, OnceLock};
 struct LinkTelemetry {
     frames_sent: Arc<Counter>,
     frames_dropped: Arc<Counter>,
+    frames_corrupted: Arc<Counter>,
+    frames_reordered: Arc<Counter>,
     frames_delivered: Arc<Counter>,
     bytes_sent: Arc<Counter>,
     bytes_delivered: Arc<Counter>,
@@ -27,6 +29,8 @@ struct LinkTelemetry {
 pub struct LinkStats {
     frames_sent: AtomicU64,
     frames_dropped: AtomicU64,
+    frames_corrupted: AtomicU64,
+    frames_reordered: AtomicU64,
     frames_delivered: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_delivered: AtomicU64,
@@ -50,6 +54,10 @@ impl LinkStats {
             frames_sent: registry.counter(&Registry::labeled("netsim_frames_sent_total", labels)),
             frames_dropped: registry
                 .counter(&Registry::labeled("netsim_frames_dropped_total", labels)),
+            frames_corrupted: registry
+                .counter(&Registry::labeled("netsim_frames_corrupted_total", labels)),
+            frames_reordered: registry
+                .counter(&Registry::labeled("netsim_frames_reordered_total", labels)),
             frames_delivered: registry
                 .counter(&Registry::labeled("netsim_frames_delivered_total", labels)),
             bytes_sent: registry.counter(&Registry::labeled("netsim_bytes_sent_total", labels)),
@@ -60,6 +68,8 @@ impl LinkStats {
         // Backfill everything recorded before attachment.
         t.frames_sent.add(self.frames_sent());
         t.frames_dropped.add(self.frames_dropped());
+        t.frames_corrupted.add(self.frames_corrupted());
+        t.frames_reordered.add(self.frames_reordered());
         t.frames_delivered.add(self.frames_delivered());
         t.bytes_sent.add(self.bytes_sent());
         t.bytes_delivered.add(self.bytes_delivered());
@@ -85,6 +95,20 @@ impl LinkStats {
         }
     }
 
+    pub(crate) fn record_corrupt(&self) {
+        self.frames_corrupted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.telemetry.get() {
+            t.frames_corrupted.inc();
+        }
+    }
+
+    pub(crate) fn record_reorder(&self) {
+        self.frames_reordered.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.telemetry.get() {
+            t.frames_reordered.inc();
+        }
+    }
+
     pub(crate) fn record_delivery(&self, len: usize) {
         self.frames_delivered.fetch_add(1, Ordering::Relaxed);
         self.bytes_delivered
@@ -103,6 +127,16 @@ impl LinkStats {
     /// Frames dropped by the loss process.
     pub fn frames_dropped(&self) -> u64 {
         self.frames_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames delivered with an injected single-bit error.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.frames_corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Frames delivered ahead of an earlier-queued frame.
+    pub fn frames_reordered(&self) -> u64 {
+        self.frames_reordered.load(Ordering::Relaxed)
     }
 
     /// Frames handed to the receiver.

@@ -27,3 +27,26 @@ assert lat["p99_us"] > 0, "telemetry p99 missing or zero"
 print("telemetry smoke ok: %d invocations, p99 %dus" % (lat["count"], lat["p99_us"]))
 '
 rm -rf "$smoke_dir"
+
+# Chaos smoke: the seeded fault plan (1% drop + one mid-run sever) must
+# leave the p99 of successful calls flat, heal the sever through at least
+# one automatic reconnect, and hang or mis-attribute nothing. The bin's
+# own shape check enforces the latency bound; the JSON assertions here
+# pin the recovery and accounting invariants so a silent regression in
+# either cannot ride through on a green build.
+chaos_dir=$(mktemp -d)
+(cd "$chaos_dir" && cargo run -q --release -p bench --bin chaos \
+    --manifest-path "$OLDPWD/Cargo.toml" -- --quick) | tee "$chaos_dir/out.txt"
+grep '^BENCH_JSON ' "$chaos_dir/out.txt" | sed 's/^BENCH_JSON //' | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.read())
+assert doc["hung_calls"] == 0, "a call hung: %r" % doc
+assert doc["unattributed_failures"] == 0, "unattributed failure: %r" % doc
+assert doc["reconnects"] >= 1, "the sever never healed: %r" % doc
+assert doc["ok"] + doc["attributed_failures"] == doc["calls"], "calls unaccounted: %r" % doc
+print("chaos smoke ok: %d/%d calls ok under %d faults, p99 %dus, %d reconnect(s)"
+      % (doc["ok"], doc["calls"], doc["faults_injected"],
+         doc["ok_latency"]["p99_us"], doc["reconnects"]))
+'
+cp "$chaos_dir/BENCH_chaos.json" BENCH_chaos.json
+rm -rf "$chaos_dir"
