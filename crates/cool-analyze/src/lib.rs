@@ -1,0 +1,111 @@
+//! cool-analyze: whole-workspace *semantic* analysis for the MULTE
+//! workspace, one level above cool-lint's per-file token scans.
+//!
+//! The binary (`cargo run -p cool-analyze`) parses every `.rs` file into
+//! a fact base (functions, call sites, lock acquisitions with their rank
+//! constants, codec impls, metric-name constants), builds an intra-crate
+//! call graph with transitive effect summaries, and runs the A001–A004
+//! rules described in [`rules`]. Findings share cool-lint's output
+//! contract: `file:line RULE message` text, JSON via `--json-out`
+//! (default `analyze-report.json`), exit 0/1/2, and the same two
+//! exemption mechanisms — `// lint: allow(A00x, reason)` inline and
+//! `lint-allow.txt` entries (the file is shared; this tool owns the `A*`
+//! rule namespace, cool-lint the `L*` one). See DESIGN.md §7.3.
+
+#![forbid(unsafe_code)]
+
+pub mod callgraph;
+pub mod facts;
+pub mod parse;
+pub mod rules;
+
+pub use cool_lint::report::{Finding, Report};
+pub use cool_lint::workspace_root;
+pub use cool_lint::ALLOWLIST_FILE;
+
+use std::fs;
+use std::path::Path;
+
+/// Analyzes the workspace rooted at `root`: parse every `.rs` file, build
+/// the call graph, run the A-rules, then apply inline annotations and the
+/// checked-in allowlist.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+
+    let mut parsed = Vec::new();
+    for path in cool_lint::collect_files(root, ".rs")? {
+        let rel_path = rel(root, &path);
+        let src =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let scan = cool_lint::lexer::scan(&src);
+        report.files_scanned += 1;
+        parsed.push(parse::parse_file(&rel_path, &scan));
+    }
+
+    let design = fs::read_to_string(root.join("DESIGN.md")).ok();
+    let ws = facts::Workspace::build(parsed);
+    let graph = callgraph::Graph::build(&ws);
+    let ctx = rules::Ctx {
+        ws: &ws,
+        graph: &graph,
+        design: design.as_deref(),
+    };
+    let raw = rules::run_all(&ctx);
+
+    // Inline `// lint: allow(A00x, reason)` annotations, same semantics as
+    // cool-lint: the annotation covers its own line and the next.
+    let raw: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let allowed = ws
+                .files
+                .iter()
+                .find(|p| p.rel == f.file)
+                .and_then(|p| p.allows.get(&f.line))
+                .is_some_and(|rules| rules.iter().any(|r| r == f.rule));
+            !allowed
+        })
+        .collect();
+
+    // The shared allowlist: only the A* entries belong to this tool
+    // (cool-lint symmetrically takes the L* ones), and parse problems are
+    // cool-lint's to report — emitting them twice would double-count.
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let mut allowlist = if allow_path.is_file() {
+        let text = fs::read_to_string(&allow_path)
+            .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+        cool_lint::allowlist::parse(ALLOWLIST_FILE, &text)
+    } else {
+        cool_lint::allowlist::Allowlist::default()
+    };
+    allowlist.entries.retain(|e| e.rule.starts_with('A'));
+    let mut used = vec![false; allowlist.entries.len()];
+    let (kept, suppressed) = allowlist.apply(raw, &mut used);
+    report.findings = kept;
+    report.allowlisted = suppressed;
+    // `Allowlist::unused` hardcodes cool-lint's L000; rot in an A-entry is
+    // this tool's configuration problem, so re-badge it as A000.
+    for (entry, &was_used) in allowlist.entries.iter().zip(&used) {
+        if !was_used {
+            report.findings.push(Finding::new(
+                ALLOWLIST_FILE,
+                entry.line,
+                "A000",
+                &format!(
+                    "allowlist entry `{} {}` no longer matches any finding; remove it",
+                    entry.path, entry.rule
+                ),
+            ));
+        }
+    }
+
+    report.finish();
+    Ok(report)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

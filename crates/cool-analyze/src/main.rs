@@ -1,0 +1,64 @@
+//! The cool-analyze binary.
+//!
+//! ```text
+//! cargo run -q --release -p cool-analyze [WORKSPACE_ROOT] [--json-out FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 I/O or usage error. The JSON report
+//! defaults to `analyze-report.json` at the workspace root.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<String> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("cool-analyze: --json-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: cool-analyze [WORKSPACE_ROOT] [--json-out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other if root_arg.is_none() && !other.starts_with('-') => {
+                root_arg = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("cool-analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = cool_analyze::workspace_root(root_arg.as_deref());
+    let report = match cool_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cool-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_text_as("cool-analyze"));
+
+    let json_path = json_out.unwrap_or_else(|| root.join("analyze-report.json"));
+    if let Err(e) = std::fs::write(&json_path, report.render_json()) {
+        eprintln!("cool-analyze: write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,1219 @@
+//! Item-level parsing on top of cool-lint's token scanner.
+//!
+//! `cool_lint::lexer::scan` gives a comment/string-safe token stream; this
+//! module lifts it to the item level the interprocedural rules need:
+//! functions (with impl/trait qualification and body spans), call sites,
+//! blocking operations, `OrderedMutex`/`OrderedRwLock` construction sites
+//! with their rank constants, and — the delicate part — the *liveness
+//! extent* of every lock guard, following Rust's temporary-lifetime rules
+//! closely enough to tell `let g = x.lock();` (guard lives to the end of
+//! the block) from `x.lock().take();` (guard dies at the semicolon) from
+//! `if let Some(v) = x.lock().take()` (scrutinee temporaries live through
+//! the whole construct).
+//!
+//! Known soundness limits, by design (documented in DESIGN.md §7.3):
+//! closure bodies are not attributed to the defining function (a spawn
+//! callback does not run at its definition site), trait-object and
+//! non-`self` method calls are not resolved, and `match` arms without
+//! braces over-approximate a scrutinee guard to the end of the `match`.
+
+use cool_lint::lexer::{Scan, Tok, TokKind};
+use cool_lint::rules::{classify, inline_allows, test_regions, FileRole};
+use std::collections::{HashMap, HashSet};
+
+/// Identifiers that block the calling thread when invoked. `join` is only
+/// counted with an empty argument list (`handle.join()`), which separates
+/// thread joins from `Path::join`/`str::join`.
+pub const BLOCKING: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_timeout_while",
+    "wait_until",
+    "join",
+    "dial",
+    "connect",
+    "connect_chorus",
+    "connect_dacapo",
+    "connect_chorus_with",
+    "connect_dacapo_with",
+];
+
+/// How a call site names its callee, which decides resolvability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(x)` — resolved if the crate has exactly one `helper`.
+    Free,
+    /// `self.helper(x)` — resolved against the enclosing impl type.
+    SelfMethod,
+    /// `Type::helper(x)` — resolved against `Type`'s inherent methods.
+    Qualified,
+    /// `other.helper(x)` — never resolved (trait objects, foreign types).
+    Method,
+}
+
+/// One semantic event inside a function body, in token order.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A `.lock()`/`.read()`/`.write()` on `recv`; the guard is live for
+    /// tokens in `(tok, release]`.
+    Acquire { recv: String, release: usize },
+    /// A call site that may be resolvable to a workspace function.
+    Call {
+        name: String,
+        qual: Option<String>,
+        kind: CallKind,
+    },
+    /// A directly blocking operation ([`BLOCKING`]).
+    Block { what: String },
+}
+
+/// An event with its position.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    pub tok: usize,
+    pub line: u32,
+}
+
+/// A parsed function (or method) item.
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, if any.
+    pub self_ty: Option<String>,
+    /// Trait being implemented (`impl Trait for Type`), if any.
+    pub trait_name: Option<String>,
+    pub line: u32,
+    /// Token span of the body braces, inclusive. `None` for bodyless
+    /// trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// True for functions inside `#[cfg(test)]` regions or test-like files;
+    /// A001/A002 skip them (lock-order tests provoke inversions on purpose).
+    pub in_test: bool,
+    pub events: Vec<Event>,
+}
+
+/// The rank argument of a lock constructor.
+#[derive(Debug, Clone)]
+pub enum RankExpr {
+    /// `rank::SOME_CONST` — resolved against the `mod rank` constants.
+    Const(String),
+    /// A numeric literal (lockorder's own unit tests).
+    Lit(u32),
+}
+
+/// One `OrderedMutex::new`/`OrderedRwLock::new` site.
+#[derive(Debug)]
+pub struct LockCtor {
+    /// The struct field or `let` binding receiving the lock, when
+    /// recoverable; this is what acquisition receivers are matched against.
+    pub binder: Option<String>,
+    pub rank: RankExpr,
+    /// The lock's registered name string (second constructor argument).
+    pub name_str: Option<String>,
+    pub line: u32,
+    /// Constructed inside test code (skipped by the doc-drift checks).
+    pub in_test: bool,
+}
+
+/// Everything the rules need from one `.rs` file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub rel: String,
+    pub krate: String,
+    pub test_like: bool,
+    pub fns: Vec<FnItem>,
+    pub lock_ctors: Vec<LockCtor>,
+    /// `const NAME: u32 = value;` entries inside a `mod rank { .. }`.
+    pub rank_consts: Vec<(String, u32, u32)>,
+    /// `pub const NAME: &str = "value";` entries (only for `src/names.rs`).
+    pub metric_consts: Vec<(String, String, u32)>,
+    /// Identifiers appearing in non-test library code.
+    pub lib_idents: HashSet<String>,
+    /// String literals appearing in non-test library code.
+    pub lib_strs: HashSet<String>,
+    /// Identifiers appearing in tests (test-like files or cfg(test)).
+    pub test_idents: HashSet<String>,
+    /// `// lint: allow(RULE, reason)` lines.
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+/// Crate attribution: `crates/<name>/...` or the root package.
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_owned();
+        }
+    }
+    "multe".to_owned()
+}
+
+fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Index of the `}`/`)`/`]` matching the opener at `open`, or the last
+/// token if unbalanced.
+fn match_close(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].text == o {
+            depth += 1;
+        } else if toks[j].text == c {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "let", "fn", "in", "as", "mut",
+    "ref", "move", "impl", "trait", "struct", "enum", "mod", "use", "pub", "const", "static",
+    "where", "unsafe", "dyn", "box", "break", "continue", "self", "Self", "super", "crate",
+    "true", "false",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Parses one scanned file into the fact-base form.
+pub fn parse_file(rel: &str, scan: &Scan) -> ParsedFile {
+    let toks = &scan.tokens;
+    let test_like = classify(rel) == FileRole::TestLike;
+    let regions = test_regions(toks);
+    let in_test_line = |line: u32| test_like || in_regions(line, &regions);
+
+    let macro_spans = macro_rules_spans(toks);
+    let in_macro = |idx: usize| macro_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
+
+    let mut fns = collect_fns(toks, &macro_spans);
+    for f in &mut fns {
+        f.in_test = in_test_line(f.line);
+    }
+    // Nested fn bodies are excluded from the enclosing fn's event stream.
+    let bodies: Vec<(usize, usize)> = fns.iter().filter_map(|f| f.body).collect();
+    for f in &mut fns {
+        if let Some((open, close)) = f.body {
+            let nested: Vec<(usize, usize)> = bodies
+                .iter()
+                .filter(|&&(a, b)| a > open && b < close)
+                .copied()
+                .collect();
+            f.events = body_events(toks, open, close, &nested, &macro_spans);
+        }
+    }
+
+    let lock_ctors = collect_lock_ctors(toks, &in_test_line, &in_macro);
+    let rank_consts = collect_rank_consts(toks);
+    let metric_consts = if rel.ends_with("src/names.rs") {
+        collect_metric_consts(toks)
+    } else {
+        Vec::new()
+    };
+
+    let mut lib_idents = HashSet::new();
+    let mut lib_strs = HashSet::new();
+    let mut test_idents = HashSet::new();
+    for t in toks {
+        let test = in_test_line(t.line);
+        match t.kind {
+            TokKind::Ident => {
+                if test {
+                    test_idents.insert(t.text.clone());
+                } else {
+                    lib_idents.insert(t.text.clone());
+                }
+            }
+            TokKind::Str if !test => {
+                lib_strs.insert(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+
+    ParsedFile {
+        rel: rel.to_owned(),
+        krate: crate_of(rel),
+        test_like,
+        fns,
+        lock_ctors,
+        rank_consts,
+        metric_consts,
+        lib_idents,
+        lib_strs,
+        test_idents,
+        allows: inline_allows(&scan.comments),
+    }
+}
+
+/// Spans of `macro_rules!` bodies — template code, not executed items.
+fn macro_rules_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        if toks[i].text == "macro_rules" && toks[i + 1].text == "!" {
+            // name, then a {}/()/[] body
+            let mut j = i + 2;
+            while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | "(" | "[") {
+                j += 1;
+            }
+            if j < toks.len() {
+                let close = match_close(toks, j);
+                spans.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Impl/trait header context: self type and (for `impl Trait for Type`)
+/// the trait name; returns (self_ty, trait_name, body_open_index).
+fn parse_impl_header(toks: &[Tok], start: usize) -> Option<(String, Option<String>, usize)> {
+    let is_trait_decl = toks[start].text == "trait";
+    let mut angle = 0i32;
+    let mut j = start + 1;
+    let mut pre_for: Vec<&Tok> = Vec::new();
+    let mut post_for: Vec<&Tok> = Vec::new();
+    let mut saw_for = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" if angle <= 0 => break,
+            ";" if angle <= 0 => return None, // `trait X;` style — nothing to do
+            "for" if angle <= 0 && t.kind == TokKind::Ident => {
+                saw_for = true;
+                j += 1;
+                continue;
+            }
+            "where" if angle <= 0 && t.kind == TokKind::Ident => {
+                // type tokens end here; skip ahead to the body brace
+                while j < toks.len() && toks[j].text != "{" {
+                    j += 1;
+                }
+                break;
+            }
+            _ => {}
+        }
+        if angle <= 0 && t.kind == TokKind::Ident {
+            if saw_for {
+                post_for.push(t);
+            } else {
+                pre_for.push(t);
+            }
+        }
+        j += 1;
+    }
+    if j >= toks.len() || toks[j].text != "{" {
+        return None;
+    }
+    let last_ident = |v: &[&Tok]| v.last().map(|t| t.text.clone());
+    if is_trait_decl {
+        let name = last_ident(&pre_for)?;
+        return Some((name.clone(), Some(name), j));
+    }
+    if saw_for {
+        // `impl Trait for Type`: type is the first path segment after
+        // `for` (the head of `Type<T>` / `Type::Assoc`), trait the last
+        // segment before it.
+        let ty = post_for.first().map(|t| t.text.clone())?;
+        Some((ty, last_ident(&pre_for), j))
+    } else {
+        let ty = last_ident(&pre_for)?;
+        Some((ty, None, j))
+    }
+}
+
+fn collect_fns(toks: &[Tok], macro_spans: &[(usize, usize)]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    // (self_ty, trait_name, close_idx)
+    let mut ctx: Vec<(String, Option<String>, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(&(_, end)) = macro_spans.iter().find(|&&(a, b)| i >= a && i <= b) {
+            i = end + 1;
+            continue;
+        }
+        while let Some(&(_, _, close)) = ctx.last() {
+            if i > close {
+                ctx.pop();
+            } else {
+                break;
+            }
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && (t.text == "impl" || t.text == "trait") {
+            if let Some((ty, trait_name, open)) = parse_impl_header(toks, i) {
+                let close = match_close(toks, open);
+                ctx.push((ty, trait_name, close));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.kind == TokKind::Ident && t.text == "fn" {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    // Find the body brace (or `;` for a bodyless decl),
+                    // skipping the signature's parens/angles.
+                    let mut j = i + 2;
+                    let mut depth = 0i32;
+                    let mut body = None;
+                    while j < toks.len() {
+                        match toks[j].text.as_str() {
+                            "(" | "[" | "<" => depth += 1,
+                            ")" | "]" | ">" => depth -= 1,
+                            "{" if depth <= 0 => {
+                                body = Some((j, match_close(toks, j)));
+                                break;
+                            }
+                            ";" if depth <= 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let (self_ty, trait_name) = match ctx.last() {
+                        Some((ty, tr, _)) => (Some(ty.clone()), tr.clone()),
+                        None => (None, None),
+                    };
+                    fns.push(FnItem {
+                        name: name_tok.text.clone(),
+                        self_ty,
+                        trait_name,
+                        line: t.line,
+                        body,
+                        in_test: false,
+                        events: Vec::new(),
+                    });
+                    // Continue *into* the body so nested fns are found too.
+                    i = match body {
+                        Some((open, _)) => open + 1,
+                        None => j + 1,
+                    };
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Closure spans inside `(open, close)`: the body of `|args| ...` or
+/// `move |args| ...`. Events inside them are not attributed to the
+/// enclosing function.
+fn closure_spans(toks: &[Tok], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        if let Some(&(_, e)) = spans.iter().find(|&&(s, e)| i >= s && i <= e) {
+            i = e + 1;
+            continue;
+        }
+        if toks[i].text != "|" {
+            i += 1;
+            continue;
+        }
+        // Expression-position `|` = closure start; operand-position = the
+        // binary/pattern `|`.
+        let prev = &toks[i - 1];
+        let opener = match prev.kind {
+            TokKind::Ident => prev.text == "move" || prev.text == "return" || prev.text == "in"
+                || prev.text == "else",
+            TokKind::Punct => matches!(
+                prev.text.as_str(),
+                "(" | "," | "=" | "{" | "[" | ";" | "<" | ">" | "&" | ":" | "!"
+            ),
+            _ => false,
+        };
+        if !opener {
+            // Binary `a || b`: skip both bars of a `||` pair.
+            if toks.get(i + 1).map(|t| t.text.as_str()) == Some("|") {
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        // Find the closing `|` of the parameter list.
+        let params_end = if toks.get(i + 1).map(|t| t.text.as_str()) == Some("|") {
+            i + 1
+        } else {
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            loop {
+                if j >= close {
+                    break j;
+                }
+                match toks[j].text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    "|" if depth <= 0 => break j,
+                    _ => {}
+                }
+                j += 1;
+            }
+        };
+        // Body: a brace block (possibly after `-> Type`), else an
+        // expression ending at `,`/`)`/`;`/`}` at relative depth 0.
+        let mut j = params_end + 1;
+        let mut depth = 0i32;
+        let mut body_end = None;
+        while j <= close {
+            match toks[j].text.as_str() {
+                "{" if depth <= 0 => {
+                    body_end = Some(match_close(toks, j));
+                    break;
+                }
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        body_end = Some(j.saturating_sub(1));
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "," | ";" if depth <= 0 => {
+                    body_end = Some(j.saturating_sub(1));
+                    break;
+                }
+                "}" if depth <= 0 => {
+                    body_end = Some(j.saturating_sub(1));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = body_end.unwrap_or(close);
+        spans.push((i, end));
+        i = end + 1;
+    }
+    spans
+}
+
+/// Extracts the event stream of one function body.
+fn body_events(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    nested_fns: &[(usize, usize)],
+    macro_spans: &[(usize, usize)],
+) -> Vec<Event> {
+    let closures = closure_spans(toks, open, close);
+    let excluded = |idx: usize| {
+        nested_fns.iter().any(|&(a, b)| idx >= a && idx <= b)
+            || macro_spans.iter().any(|&(a, b)| idx >= a && idx <= b)
+            || closures.iter().any(|&(a, b)| idx >= a && idx <= b)
+    };
+
+    let mut events = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        if excluded(k) {
+            k += 1;
+            continue;
+        }
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let prev = toks[k - 1].text.as_str();
+        let next = toks.get(k + 1).map(|t| t.text.as_str());
+        // Guard acquisition: `.lock()` / `.read()` / `.write()` — empty
+        // argument list separates lock APIs from io::Read/Write.
+        if matches!(t.text.as_str(), "lock" | "read" | "write")
+            && prev == "."
+            && next == Some("(")
+            && toks.get(k + 2).map(|t| t.text.as_str()) == Some(")")
+        {
+            let recv = &toks[k - 2];
+            if recv.kind == TokKind::Ident && !is_keyword(&recv.text) || recv.text == "self" {
+                // `self.lock()` has receiver `self` (rare); field access
+                // `self.field.lock()` has the field at k-2.
+                let recv_name = recv.text.clone();
+                if recv.kind == TokKind::Ident {
+                    let release = guard_release(toks, open, close, k);
+                    events.push(Event {
+                        kind: EventKind::Acquire {
+                            recv: recv_name,
+                            release,
+                        },
+                        tok: k,
+                        line: t.line,
+                    });
+                }
+            }
+            k += 3;
+            continue;
+        }
+        // Calls and blocking operations: `ident (` not preceded by `fn`
+        // and not a macro (`ident !`).
+        if next == Some("(") && prev != "fn" && !is_keyword(&t.text) {
+            let name = t.text.clone();
+            if BLOCKING.contains(&name.as_str()) {
+                let zero_arg = toks.get(k + 2).map(|t| t.text.as_str()) == Some(")");
+                let counts = if name == "join" { zero_arg } else { true };
+                if counts {
+                    events.push(Event {
+                        kind: EventKind::Block { what: name },
+                        tok: k,
+                        line: t.line,
+                    });
+                    k += 1;
+                    continue;
+                }
+            } else {
+                let kind;
+                let mut qual = None;
+                if prev == "." {
+                    if toks[k - 2].text == "self" {
+                        kind = CallKind::SelfMethod;
+                    } else {
+                        kind = CallKind::Method;
+                    }
+                } else if prev == ":" && toks[k - 2].text == ":" {
+                    let q = &toks[k - 3];
+                    if q.kind == TokKind::Ident && !is_keyword(&q.text) {
+                        qual = Some(q.text.clone());
+                        kind = CallKind::Qualified;
+                    } else {
+                        kind = CallKind::Method; // `<T as Trait>::f(..)` etc.
+                    }
+                } else {
+                    kind = CallKind::Free;
+                }
+                events.push(Event {
+                    kind: EventKind::Call { name, qual, kind },
+                    tok: k,
+                    line: t.line,
+                });
+            }
+        }
+        k += 1;
+    }
+    events.sort_by_key(|e| e.tok);
+    events
+}
+
+/// Where the guard acquired at token `k` (the `lock`/`read`/`write`
+/// ident) dies, as a token index. See the module docs for the model.
+fn guard_release(toks: &[Tok], body_open: usize, body_close: usize, k: usize) -> usize {
+    let stmt = stmt_start(toks, body_open, k);
+
+    // Construct scrutinee? Find the last construct keyword between the
+    // statement start and `k` with no `{` in between.
+    let mut construct: Option<usize> = None;
+    let mut j = stmt;
+    while j < k {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "if" | "while" | "for" | "match")
+        {
+            construct = Some(j);
+        } else if t.text == "{" {
+            construct = None;
+        }
+        j += 1;
+    }
+    if let Some(c) = construct {
+        let is_let = toks.get(c + 1).map(|t| t.text.as_str()) == Some("let");
+        let word = toks[c].text.as_str();
+        if matches!(word, "if" | "while") && !is_let {
+            // Bare condition: temporaries drop when the condition has been
+            // evaluated, before the block runs.
+            return first_brace_after(toks, k, body_close);
+        }
+        // `if let` / `while let` / `for` / `match`: scrutinee temporaries
+        // live through the construct (if-else chains included).
+        let mut open = first_brace_after(toks, k, body_close);
+        if toks.get(open).map(|t| t.text.as_str()) != Some("{") {
+            return open;
+        }
+        let mut end = match_close(toks, open);
+        if word == "if" {
+            while toks.get(end + 1).map(|t| t.text.as_str()) == Some("else") {
+                open = first_brace_after(toks, end + 2, body_close);
+                if toks.get(open).map(|t| t.text.as_str()) != Some("{") {
+                    break;
+                }
+                end = match_close(toks, open);
+            }
+        }
+        return end;
+    }
+
+    let mut s = stmt;
+    if toks.get(s).map(|t| t.text.as_str()) == Some("else") {
+        s += 1;
+    }
+    if toks.get(s).map(|t| t.text.as_str()) == Some("let") {
+        let discard = toks.get(s + 1).map(|t| t.text.as_str()) == Some("_")
+            && toks.get(s + 2).map(|t| t.text.as_str()) == Some("=");
+        // Is the guard itself the bound value? Only when the acquisition
+        // call is the tail of the initializer (`let g = x.lock();`) and
+        // the receiver chain is not behind a deref (`let v = *x.lock();`).
+        let after = toks.get(k + 3).map(|t| t.text.as_str());
+        let derefed = chain_start_prefixed_by_star(toks, k);
+        if !discard && after == Some(";") && !derefed {
+            let binder = if toks.get(s + 1).map(|t| t.text.as_str()) == Some("mut") {
+                toks.get(s + 2)
+            } else {
+                toks.get(s + 1)
+            };
+            let end = enclosing_block_end(toks, body_close, k);
+            // An explicit `drop(binder)` releases early.
+            if let Some(b) = binder {
+                if b.kind == TokKind::Ident {
+                    let mut j = k;
+                    while j < end {
+                        if toks[j].text == "drop"
+                            && toks.get(j + 1).map(|t| t.text.as_str()) == Some("(")
+                            && toks.get(j + 2).map(|t| t.text.as_str()) == Some(b.text.as_str())
+                            && toks.get(j + 3).map(|t| t.text.as_str()) == Some(")")
+                        {
+                            return j;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            return end;
+        }
+    }
+    stmt_end(toks, body_close, k)
+}
+
+/// Is the method-call chain containing token `k` prefixed by `*`
+/// (`*self.x.lock()`)? Then the guard is a temporary even in `let` form.
+fn chain_start_prefixed_by_star(toks: &[Tok], k: usize) -> bool {
+    let mut j = k - 1; // the `.` before lock
+    while j > 0 {
+        let t = &toks[j];
+        let chain = t.text == "." || t.text == "self" || (t.kind == TokKind::Ident && !is_keyword(&t.text));
+        if !chain {
+            break;
+        }
+        j -= 1;
+    }
+    toks[j].text == "*"
+}
+
+/// Start-of-statement token index for the statement containing `k`.
+fn stmt_start(toks: &[Tok], body_open: usize, k: usize) -> usize {
+    let mut paren = 0i32;
+    let mut brace = 0i32;
+    let mut j = k;
+    while j > body_open {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ")" | "]" => paren += 1,
+            "(" | "[" => paren -= 1,
+            "}" => {
+                if brace == 0 {
+                    return j + 1; // previous statement ended with a block
+                }
+                brace += 1;
+            }
+            "{" => {
+                if brace == 0 {
+                    return j + 1; // enclosing block opens here
+                }
+                brace -= 1;
+            }
+            // Paren/bracket depth matters: `[u8; 4]` semicolons are not
+            // statement boundaries.
+            ";" if brace == 0 && paren == 0 => return j + 1,
+            _ => {}
+        }
+    }
+    body_open + 1
+}
+
+/// End of the statement containing `k`: the `;` (or closing `}` of the
+/// enclosing block) at relative depth zero.
+fn stmt_end(toks: &[Tok], body_close: usize, k: usize) -> usize {
+    let mut brace = 0i32;
+    let mut j = k;
+    while j < body_close {
+        j += 1;
+        match toks[j].text.as_str() {
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    return j;
+                }
+                brace -= 1;
+            }
+            ";" if brace == 0 => return j,
+            _ => {}
+        }
+    }
+    body_close
+}
+
+/// Closing `}` of the block enclosing `k`.
+fn enclosing_block_end(toks: &[Tok], body_close: usize, k: usize) -> usize {
+    let mut brace = 0i32;
+    let mut j = k;
+    while j < body_close {
+        j += 1;
+        match toks[j].text.as_str() {
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    return j;
+                }
+                brace -= 1;
+            }
+            _ => {}
+        }
+    }
+    body_close
+}
+
+/// First `{` at or after `from` (skipping parenthesized groups), else the
+/// position stopped at.
+fn first_brace_after(toks: &[Tok], from: usize, body_close: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j <= body_close {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    body_close
+}
+
+fn collect_lock_ctors(
+    toks: &[Tok],
+    in_test_line: &dyn Fn(u32) -> bool,
+    in_macro: &dyn Fn(usize) -> bool,
+) -> Vec<LockCtor> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    while j + 4 < toks.len() {
+        let t = &toks[j];
+        if in_macro(j)
+            || t.kind != TokKind::Ident
+            || !(t.text == "OrderedMutex" || t.text == "OrderedRwLock")
+            || toks[j + 1].text != ":"
+            || toks[j + 2].text != ":"
+            || toks[j + 3].text != "new"
+            || toks[j + 4].text != "("
+        {
+            j += 1;
+            continue;
+        }
+        // First argument: rank constant path or numeric literal.
+        let mut p = j + 5;
+        let mut depth = 0i32;
+        let mut last_ident: Option<String> = None;
+        let mut lit: Option<u32> = None;
+        while p < toks.len() {
+            match toks[p].text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "," if depth == 0 => break,
+                _ => match toks[p].kind {
+                    TokKind::Ident => last_ident = Some(toks[p].text.clone()),
+                    TokKind::Num => lit = toks[p].text.parse::<u32>().ok(),
+                    _ => {}
+                },
+            }
+            p += 1;
+        }
+        let rank = match (lit, last_ident) {
+            (Some(v), _) => RankExpr::Lit(v),
+            (None, Some(name)) => RankExpr::Const(name),
+            (None, None) => {
+                j += 1;
+                continue;
+            }
+        };
+        // Second argument: the lock's name string.
+        let name_str = toks.get(p + 1).and_then(|t| {
+            if t.kind == TokKind::Str {
+                Some(t.text.clone())
+            } else {
+                None
+            }
+        });
+        out.push(LockCtor {
+            binder: find_binder(toks, j),
+            rank,
+            name_str,
+            line: t.line,
+            in_test: in_test_line(t.line),
+        });
+        j = p + 1;
+    }
+    out
+}
+
+/// Walks backwards from an `OrderedMutex` token to the field or `let`
+/// binding receiving the lock, skipping `Arc::new(` style wrappers and
+/// path prefixes.
+fn find_binder(toks: &[Tok], ctor: usize) -> Option<String> {
+    let mut p = ctor;
+    while p > 0 {
+        p -= 1;
+        let t = &toks[p];
+        let skip = t.text == "(" || t.text == ":" || (t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "new" | "Arc" | "Box" | "Rc" | "lockorder" | "cool_telemetry"));
+        if skip {
+            continue;
+        }
+        if t.text == "=" {
+            // `let name[: Ty] = ...`: find the `let` a few tokens back.
+            let mut q = p;
+            let floor = p.saturating_sub(16);
+            while q > floor {
+                q -= 1;
+                if toks[q].text == "let" {
+                    let b = if toks.get(q + 1).map(|t| t.text.as_str()) == Some("mut") {
+                        toks.get(q + 2)
+                    } else {
+                        toks.get(q + 1)
+                    };
+                    return b.filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+                }
+            }
+            return None;
+        }
+        if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+            // Struct-literal field (`field: OrderedMutex::new(..)`) or the
+            // last segment before the ctor.
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+    None
+}
+
+/// `const NAME: u32 = value;` entries inside `mod rank { .. }`.
+fn collect_rank_consts(toks: &[Tok]) -> Vec<(String, u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].text == "mod" && toks[i + 1].text == "rank" {
+            let mut open = i + 2;
+            while open < toks.len() && toks[open].text != "{" {
+                open += 1;
+            }
+            if open >= toks.len() {
+                break;
+            }
+            let close = match_close(toks, open);
+            let mut j = open;
+            while j + 5 < close {
+                if toks[j].text == "const"
+                    && toks[j + 1].kind == TokKind::Ident
+                    && toks[j + 2].text == ":"
+                    && toks[j + 4].text == "="
+                    && toks[j + 5].kind == TokKind::Num
+                {
+                    if let Ok(v) = toks[j + 5].text.parse::<u32>() {
+                        out.push((toks[j + 1].text.clone(), v, toks[j + 1].line));
+                    }
+                    j += 6;
+                } else {
+                    j += 1;
+                }
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `pub const NAME: &str = "value";` entries (telemetry metric names).
+fn collect_metric_consts(toks: &[Tok]) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    while j + 6 < toks.len() {
+        if toks[j].text == "const"
+            && toks[j + 1].kind == TokKind::Ident
+            && toks[j + 2].text == ":"
+            && toks[j + 3].text == "&"
+            && toks[j + 4].text == "str"
+            && toks[j + 5].text == "="
+            && toks[j + 6].kind == TokKind::Str
+        {
+            out.push((
+                toks[j + 1].text.clone(),
+                toks[j + 6].text.clone(),
+                toks[j + 1].line,
+            ));
+            j += 7;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_lint::lexer::scan;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse_file("crates/app/src/lib.rs", &scan(src))
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns.iter().find(|f| f.name == name).unwrap()
+    }
+
+    fn acquires(f: &FnItem) -> Vec<(&str, usize, usize)> {
+        f.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Acquire { recv, release } => Some((recv.as_str(), e.tok, *release)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fns_and_impls_are_qualified() {
+        let p = parsed(
+            "struct S; impl S { fn m(&self) {} }\n\
+             impl std::fmt::Debug for S { fn fmt(&self) {} }\n\
+             fn free() {}\n\
+             trait T { fn d(&self) { } fn decl(&self); }",
+        );
+        let m = fn_named(&p, "m");
+        assert_eq!(m.self_ty.as_deref(), Some("S"));
+        assert_eq!(m.trait_name, None);
+        let f = fn_named(&p, "fmt");
+        assert_eq!(f.self_ty.as_deref(), Some("S"));
+        assert_eq!(f.trait_name.as_deref(), Some("Debug"));
+        assert_eq!(fn_named(&p, "free").self_ty, None);
+        let d = fn_named(&p, "d");
+        assert_eq!(d.self_ty.as_deref(), Some("T"));
+        assert!(fn_named(&p, "decl").body.is_none());
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end_and_drop_releases() {
+        let p = parsed(
+            "fn a(&self) { let g = self.x.lock(); use_it(); }\n\
+             fn b(&self) { let g = self.x.lock(); drop(g); after(); }",
+        );
+        let a = fn_named(&p, "a");
+        let (_, tok, rel) = acquires(a)[0];
+        let call = a
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "use_it"))
+            .unwrap();
+        assert!(call.tok > tok && call.tok <= rel, "guard live at use_it");
+
+        let b = fn_named(&p, "b");
+        let (_, _, rel_b) = acquires(b)[0];
+        let after = b
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "after"))
+            .unwrap();
+        assert!(after.tok > rel_b, "drop(g) released before after()");
+    }
+
+    #[test]
+    fn temporaries_die_at_statement_end() {
+        let p = parsed(
+            "fn a(&self) { self.x.lock().take(); blocked(); }\n\
+             fn b(&self) { let v = self.x.lock().take(); blocked(); }\n\
+             fn c(&self) { let v = *self.x.lock(); blocked(); }",
+        );
+        for name in ["a", "b", "c"] {
+            let f = fn_named(&p, name);
+            let (_, _, rel) = acquires(f)[0];
+            let call = f
+                .events
+                .iter()
+                .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "blocked"))
+                .unwrap();
+            assert!(call.tok > rel, "fn {name}: temp guard died at `;`");
+        }
+    }
+
+    #[test]
+    fn scrutinee_guards_live_through_the_construct() {
+        let p = parsed(
+            "fn a(&self) { if let Some(h) = self.x.lock().take() { h.join(); } tail(); }\n\
+             fn b(&self) { for w in self.x.lock().drain(..) { body(); } tail(); }\n\
+             fn c(&self) { if self.x.lock().is_empty() { body(); } }",
+        );
+        for name in ["a", "b"] {
+            let f = fn_named(&p, name);
+            let (_, _, rel) = acquires(f)[0];
+            let tail = f
+                .events
+                .iter()
+                .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "tail"))
+                .unwrap();
+            let inner = f
+                .events
+                .iter()
+                .find(|e| match &e.kind {
+                    EventKind::Call { name, .. } => name == "body",
+                    EventKind::Block { what } => what == "join",
+                    EventKind::Acquire { .. } => false,
+                })
+                .unwrap();
+            assert!(inner.tok <= rel, "fn {name}: guard live inside the block");
+            assert!(tail.tok > rel, "fn {name}: guard dead after the block");
+        }
+        // Bare `if` condition: guard dies before the block.
+        let c = fn_named(&p, "c");
+        let (_, _, rel) = acquires(c)[0];
+        let body = c
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "body"))
+            .unwrap();
+        assert!(body.tok > rel, "bare-if condition guard died at `{{`");
+    }
+
+    #[test]
+    fn inner_block_bounds_a_let_guard() {
+        let p = parsed(
+            "fn a(&self) { let y = { let g = self.x.lock(); g.get() }; blocked(); }",
+        );
+        let f = fn_named(&p, "a");
+        let (_, _, rel) = acquires(f)[0];
+        let call = f
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "blocked"))
+            .unwrap();
+        assert!(call.tok > rel, "guard scoped to the inner block");
+    }
+
+    #[test]
+    fn closures_are_not_the_defining_fn() {
+        let p = parsed(
+            "fn a(&self) { spawn(move || { rx.recv(); }); let g = map(|x| x + 1); }",
+        );
+        let f = fn_named(&p, "a");
+        assert!(
+            !f.events
+                .iter()
+                .any(|e| matches!(&e.kind, EventKind::Block { .. })),
+            "recv inside a spawn closure is not an event of `a`"
+        );
+    }
+
+    #[test]
+    fn blocking_join_needs_empty_args() {
+        let p = parsed(
+            "fn a(&self) { h.join(); }\n\
+             fn b(&self) { root.join(name); parts.join(stuff); }",
+        );
+        assert!(fn_named(&p, "a")
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Block { what } if what == "join")));
+        assert!(!fn_named(&p, "b")
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Block { .. })));
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let p = parsed(
+            "fn a(&self) { free(); self.me(); Other::make(); thing.method(); mac!(x); }",
+        );
+        let f = fn_named(&p, "a");
+        let kinds: Vec<(String, CallKind)> = f
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Call { name, kind, .. } => Some((name.clone(), *kind)),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&("free".into(), CallKind::Free)));
+        assert!(kinds.contains(&("me".into(), CallKind::SelfMethod)));
+        assert!(kinds.contains(&("make".into(), CallKind::Qualified)));
+        assert!(kinds.contains(&("method".into(), CallKind::Method)));
+        assert!(!kinds.iter().any(|(n, _)| n == "mac"), "macros are not calls");
+    }
+
+    #[test]
+    fn lock_ctors_bind_fields_lets_and_wrapped_forms() {
+        let p = parsed(
+            "mod rank { pub const A: u32 = 10; pub const B: u32 = 20; }\n\
+             struct S { f: OrderedMutex<u32> }\n\
+             fn mk() { let s = S { f: OrderedMutex::new(rank::A, \"s.f\", 0) };\n\
+                 let shared = Arc::new(OrderedMutex::new(rank::B, \"s.shared\", 1));\n\
+                 let raw = OrderedRwLock::new(7, \"s.raw\", 2); }",
+        );
+        assert_eq!(p.rank_consts.len(), 2);
+        let binders: Vec<_> = p
+            .lock_ctors
+            .iter()
+            .map(|c| (c.binder.clone(), c.name_str.clone()))
+            .collect();
+        assert!(binders.contains(&(Some("f".into()), Some("s.f".into()))));
+        assert!(binders.contains(&(Some("shared".into()), Some("s.shared".into()))));
+        assert!(binders.contains(&(Some("raw".into()), Some("s.raw".into()))));
+        assert!(matches!(p.lock_ctors[2].rank, RankExpr::Lit(7)));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_invisible() {
+        let p = parsed(
+            "macro_rules! gen { ($t:ty) => { impl CdrEncode for $t { fn encode(&self) {} } }; }\n\
+             fn real() { used(); }",
+        );
+        assert_eq!(p.fns.len(), 1, "only `real` is an item");
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn test_regions_split_ident_sets() {
+        let p = parsed(
+            "fn lib_fn() { lib_ident(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { test_ident(); } }",
+        );
+        assert!(p.lib_idents.contains("lib_ident"));
+        assert!(!p.lib_idents.contains("test_ident"));
+        assert!(p.test_idents.contains("test_ident"));
+    }
+}

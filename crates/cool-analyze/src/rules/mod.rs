@@ -1,0 +1,131 @@
+//! The A-rule set.
+//!
+//! | Rule | Invariant                                                          |
+//! |------|--------------------------------------------------------------------|
+//! | A001 | lock ranks strictly increase along every static acquisition path,  |
+//! |      | and the DESIGN.md §7.2 rank table matches the code                 |
+//! | A002 | no blocking operation (recv/wait/join/connect...) is reachable     |
+//! |      | while a lock guard is live                                         |
+//! | A003 | cool-giop codecs are symmetric: every encode has a decode and a    |
+//! |      | round-trip test naming the type                                    |
+//! | A004 | every telemetry name constant is emitted somewhere and documented  |
+//! |      | in DESIGN.md §6                                                    |
+//! | A000 | the analyzer's allowlist entries stay live (shared with cool-lint) |
+//!
+//! A001/A002 skip test code: the lock-order checker's own tests provoke
+//! inversions on purpose, and test-only blocking under a lock is a test
+//! bug, not a product deadlock.
+
+pub mod a001;
+pub mod a002;
+pub mod a003;
+pub mod a004;
+
+use crate::callgraph::Graph;
+use crate::facts::Workspace;
+use crate::parse::{Event, EventKind};
+use cool_lint::report::Finding;
+
+/// Everything a rule can look at.
+pub struct Ctx<'a> {
+    pub ws: &'a Workspace,
+    pub graph: &'a Graph,
+    /// DESIGN.md text when present; doc-coupled checks degrade to skipped
+    /// when the tree has none (fixture roots).
+    pub design: Option<&'a str>,
+}
+
+pub fn run_all(ctx: &Ctx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(a001::check(ctx));
+    out.extend(a002::check(ctx));
+    out.extend(a003::check(ctx));
+    out.extend(a004::check(ctx));
+    out
+}
+
+/// A guard live at some program point.
+#[derive(Debug, Clone)]
+pub struct Held {
+    pub rank: u32,
+    pub name: String,
+    pub line: u32,
+    release: usize,
+}
+
+/// Walks one function's events in token order, calling `visit` with the
+/// set of guards live at each event. A guard enters the set *after* its
+/// own acquisition event (the acquire itself is checked against the
+/// previously-held set).
+pub fn walk_fn<F: FnMut(&Event, &[Held])>(ws: &Workspace, fi: usize, gi: usize, mut visit: F) {
+    let file = &ws.files[fi];
+    let f = &file.fns[gi];
+    let mut held: Vec<Held> = Vec::new();
+    for e in &f.events {
+        held.retain(|h| h.release >= e.tok);
+        visit(e, &held);
+        if let EventKind::Acquire { recv, release } = &e.kind {
+            if let Some(info) = ws.resolve_guard(file, recv) {
+                held.push(Held {
+                    rank: info.rank,
+                    name: info.name,
+                    line: e.line,
+                    release: *release,
+                });
+            }
+        }
+    }
+}
+
+/// The slice of `design` belonging to the section whose header line starts
+/// with `header` (e.g. `"## 6"`), up to the next same-level header.
+pub fn section<'a>(design: &'a str, header: &str) -> Option<&'a str> {
+    let mut start = None;
+    for (off, line) in line_offsets(design) {
+        if start.is_none() {
+            if line.starts_with(header) {
+                start = Some(off);
+            }
+        } else if line.starts_with("## ") {
+            return Some(&design[start.unwrap_or(0)..off]);
+        }
+    }
+    start.map(|s| &design[s..])
+}
+
+/// (byte offset, line text) pairs for every line.
+fn line_offsets(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    let mut off = 0usize;
+    text.lines().map(move |line| {
+        let this = off;
+        off += line.len() + 1;
+        (this, line)
+    })
+}
+
+/// 1-based line number of the first line matching `pred` inside `text`.
+pub fn line_of<F: Fn(&str) -> bool>(text: &str, pred: F) -> Option<u32> {
+    for (i, line) in text.lines().enumerate() {
+        if pred(line) {
+            return Some((i + 1) as u32);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_are_sliced_by_same_level_headers() {
+        let text = "# t\n## 6. Obs\nbody six\n### 6.1 sub\nmore\n## 7. Corr\nbody seven\n";
+        let six = section(text, "## 6").expect("§6 exists");
+        assert!(six.contains("body six"));
+        assert!(six.contains("6.1 sub"), "subsections stay inside");
+        assert!(!six.contains("body seven"));
+        let seven = section(text, "## 7").expect("§7 exists");
+        assert!(seven.contains("body seven"));
+        assert!(section(text, "## 9").is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Self-tests for every analyzer rule, driven by the fixture trees in
+//! `tests/fixtures/` (each one a miniature workspace). Each rule gets
+//! positive cases (the violation is flagged, at the right line), negative
+//! cases (the legal pattern — including the exact shapes the analyzer
+//! pushed into the real workspace, like take-then-join — stays clean) and
+//! an annotated-allow case. The last test asserts the real workspace
+//! analyzes clean, which is what `scripts/check.sh` enforces.
+
+use cool_analyze::analyze_workspace;
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// (rule, file, line, message) for every finding in a fixture tree.
+fn findings(name: &str) -> Vec<(String, String, u32, String)> {
+    let report = analyze_workspace(&fixture_root(name)).expect("fixture analyzes");
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.file.clone(), f.line, f.message.clone()))
+        .collect()
+}
+
+fn rule_lines(found: &[(String, String, u32, String)], rule: &str) -> Vec<u32> {
+    found
+        .iter()
+        .filter(|(r, _, _, _)| r == rule)
+        .map(|(_, _, l, _)| *l)
+        .collect()
+}
+
+// ---- A001: static lock-rank verification ----------------------------
+
+#[test]
+fn a001_flags_direct_interprocedural_and_same_rank_inversions() {
+    let found = findings("inversion");
+    let lines = rule_lines(&found, "A001");
+    assert!(
+        lines.contains(&32),
+        "direct inversion (outer under inner) flagged: {found:?}"
+    );
+    assert!(
+        lines.contains(&44),
+        "interprocedural inversion (via grab_outer) flagged: {found:?}"
+    );
+    assert!(
+        lines.contains(&51),
+        "same-rank reacquisition flagged: {found:?}"
+    );
+    assert_eq!(lines.len(), 3, "legal/sequential/test code stays clean: {found:?}");
+    assert!(
+        found.iter().all(|(r, _, _, _)| r == "A001"),
+        "no other rule fires on this fixture: {found:?}"
+    );
+    let (_, _, _, msg) = found
+        .iter()
+        .find(|(_, _, l, _)| *l == 44)
+        .expect("line 44 finding");
+    assert!(
+        msg.contains("grab_outer") && msg.contains("app.inner"),
+        "the interprocedural message names the callee and the held lock: {msg}"
+    );
+}
+
+// ---- A002: blocking while holding a lock ----------------------------
+
+#[test]
+fn a002_flags_blocking_under_guards_and_spares_the_fixed_patterns() {
+    let found = findings("blocking");
+    let lines = rule_lines(&found, "A002");
+    assert!(lines.contains(&22), "recv under a let-bound guard: {found:?}");
+    assert!(
+        lines.contains(&30),
+        "join under an if-let scrutinee guard: {found:?}"
+    );
+    assert!(lines.contains(&41), "blocking one call down: {found:?}");
+    assert_eq!(
+        lines.len(),
+        3,
+        "take-then-join, drop-then-recv and the inline-allowed site stay \
+         clean: {found:?}"
+    );
+}
+
+// ---- A003: codec symmetry -------------------------------------------
+
+#[test]
+fn a003_flags_oneway_codecs_roundtrip_gaps_and_qos_coverage() {
+    let found = findings("oneway");
+    let msgs: Vec<&str> = found
+        .iter()
+        .filter(|(r, _, _, _)| r == "A003")
+        .map(|(_, _, _, m)| m.as_str())
+        .collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`OneWay`") && m.contains("no CdrDecode")),
+        "encode-only type flagged: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`Untested`") && m.contains("round-trip gap")),
+        "symmetric-but-untested type flagged: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`encode_frame`") && m.contains("`decode_frame`")),
+        "unpaired free fn flagged: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("qos_params") && m.contains("Big")),
+        "missing byte-order qos coverage flagged: {msgs:?}"
+    );
+    assert_eq!(
+        msgs.len(),
+        4,
+        "Good, the Encoder/Decoder sibling pair and encode_blob/decode_blob \
+         stay clean: {msgs:?}"
+    );
+}
+
+// ---- A004: telemetry name discipline --------------------------------
+
+#[test]
+fn a004_flags_orphan_and_undocumented_metric_names() {
+    let found = findings("metrics");
+    let msgs: Vec<&str> = found
+        .iter()
+        .filter(|(r, _, _, _)| r == "A004")
+        .map(|(_, _, _, m)| m.as_str())
+        .collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("ORPHAN_TOTAL") && m.contains("never emitted")),
+        "orphan constant flagged: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("undocumented_total") && m.contains("§6")),
+        "undocumented name flagged: {msgs:?}"
+    );
+    assert_eq!(msgs.len(), 2, "used_total stays clean: {msgs:?}");
+}
+
+// ---- A000: shared-allowlist hygiene ---------------------------------
+
+#[test]
+fn a000_reports_stale_analyzer_entries_and_ignores_linter_ones() {
+    let found = findings("metrics");
+    let a000: Vec<_> = found.iter().filter(|(r, _, _, _)| r == "A000").collect();
+    assert_eq!(a000.len(), 1, "exactly the stale A002 entry rots: {found:?}");
+    let (_, file, line, msg) = a000[0];
+    assert_eq!(file, "lint-allow.txt");
+    assert_eq!(*line, 2);
+    assert!(msg.contains("gone.rs A002"), "{msg}");
+    assert!(
+        !found.iter().any(|(_, _, _, m)| m.contains("L002")),
+        "the L-namespace entry is cool-lint's business, not ours: {found:?}"
+    );
+}
+
+// ---- A001 documentation half: rank-table drift ----------------------
+
+#[test]
+fn a001_rank_table_drift_is_flagged_in_both_directions() {
+    let found = findings("ranktable");
+    let msgs: Vec<(&str, u32, &str)> = found
+        .iter()
+        .map(|(r, f, l, m)| {
+            assert_eq!(r, "A001", "only drift findings here: {found:?}");
+            (f.as_str(), *l, m.as_str())
+        })
+        .collect();
+    let has = |pred: &dyn Fn(&(&str, u32, &str)) -> bool| msgs.iter().any(pred);
+    assert!(
+        has(&|(f, _, m)| *f == "crates/app/src/lib.rs"
+            && m.contains("`MISSING`")
+            && m.contains("missing from")),
+        "constant absent from the table: {msgs:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "crates/app/src/lib.rs"
+            && *l == 19
+            && m.contains("app.mislabelled")),
+        "lock name absent from its row: {msgs:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "crates/app/src/lib.rs"
+            && *l == 20
+            && m.contains("unknown rank constant")),
+        "unknown constant at a constructor: {msgs:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 10 && m.contains("matches no rank constant")),
+        "row covering no constant: {msgs:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 9 && m.contains("app.phantom")),
+        "table name with no constructor: {msgs:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 10 && m.contains("app.ghost")),
+        "ghost lock in the no-constant row: {msgs:?}"
+    );
+    assert_eq!(msgs.len(), 6, "app.good and rank 10 stay clean: {msgs:?}");
+}
+
+// ---- The workspace itself -------------------------------------------
+
+#[test]
+fn the_real_workspace_analyzes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/cool-analyze sits two levels below the root");
+    let report = analyze_workspace(root).expect("workspace analyzes");
+    assert!(
+        report.is_clean(),
+        "the workspace must analyze clean:\n{}",
+        report.render_text_as("cool-analyze")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "sanity: the whole workspace was scanned, not a subtree \
+         ({} files)",
+        report.files_scanned
+    );
+}

@@ -1,0 +1,9 @@
+//! A004 fixture: emits two of the three catalogue names; `ORPHAN_TOTAL`
+//! is referenced nowhere.
+
+pub mod names;
+
+pub fn emit() {
+    counter(names::USED_TOTAL);
+    counter(names::UNDOCUMENTED_TOTAL);
+}

@@ -1,0 +1,5 @@
+//! A004 fixture: the metric-name catalogue.
+
+pub const USED_TOTAL: &str = "used_total";
+pub const ORPHAN_TOTAL: &str = "orphan_total";
+pub const UNDOCUMENTED_TOTAL: &str = "undocumented_total";

@@ -1,0 +1,23 @@
+//! Rank-table drift fixture: a constant the table misses, a lock name
+//! the table does not list, and a constructor with an unknown constant.
+
+pub mod rank {
+    pub const DOCUMENTED: u32 = 10;
+    pub const MISSING: u32 = 50;
+}
+
+pub struct S {
+    a: OrderedMutex<u32>,
+    b: OrderedMutex<u32>,
+    c: OrderedMutex<u32>,
+    d: OrderedMutex<u32>,
+}
+
+pub fn mk() -> S {
+    S {
+        a: OrderedMutex::new(rank::DOCUMENTED, "app.good", 0),
+        b: OrderedMutex::new(rank::DOCUMENTED, "app.mislabelled", 0),
+        c: OrderedMutex::new(rank::UNKNOWN, "app.unknown", 0),
+        d: OrderedMutex::new(rank::MISSING, "app.stray", 0),
+    }
+}

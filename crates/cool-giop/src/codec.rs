@@ -173,6 +173,7 @@ fn decode_body(header: FrameHeader, body: &[u8]) -> Result<Message, GiopError> {
 /// Any [`GiopError`] describing the malformation; notably
 /// [`GiopError::SizeMismatch`] if the buffer length disagrees with the
 /// header's `message_size`.
+// lint: allow(A003, asymmetric by design - encoding takes version and order as arguments so only the decode side needs to report them back)
 pub fn decode_message_ext(frame: &[u8]) -> Result<(Message, GiopVersion, ByteOrder), GiopError> {
     let header = parse_header(frame)?;
     let body = &frame[HEADER_LEN..];
@@ -369,6 +370,7 @@ pub fn encode_body<T: CdrEncode>(value: &T, order: ByteOrder) -> Bytes {
 /// # Errors
 ///
 /// Any [`GiopError`] from malformed input.
+// lint: allow(A003, the encode counterpart is `encode_body` - the `_as` suffix only marks the turbofish-friendly decode direction)
 pub fn decode_body_as<T: CdrDecode>(body: &[u8], order: ByteOrder) -> Result<T, GiopError> {
     let mut dec = CdrDecoder::new(body, order);
     T::decode(&mut dec)

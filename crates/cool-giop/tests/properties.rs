@@ -137,6 +137,29 @@ proptest! {
         prop_assert_eq!(decoded, msg);
     }
 
+    /// A GIOP 9.9 Request carrying a *non-empty* `qos_params` list —
+    /// the paper's QoS extension, never expressible in GIOP 1.0 —
+    /// round-trips bit-exactly under Big and Little byte order alike,
+    /// and the decoder reports back exactly the version and order the
+    /// frame was marshalled under.
+    #[test]
+    fn nonempty_qos_params_round_trip_both_orders(
+        header in arb_request_header(),
+        qos in proptest::collection::vec(arb_qos_param(), 1..8),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let header = RequestHeader { qos_params: qos, ..header };
+        prop_assert!(!header.qos_params.is_empty());
+        let msg = Message::Request { header, body: Bytes::from(body) };
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let frame = encode_message(&msg, GiopVersion::QOS_EXTENDED, order).unwrap();
+            let (decoded, v, o) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+            prop_assert_eq!(&decoded, &msg);
+            prop_assert_eq!(v, GiopVersion::QOS_EXTENDED);
+            prop_assert_eq!(o, order);
+        }
+    }
+
     /// The incremental reader produces the same messages as whole-frame
     /// decoding for any chunking of the stream.
     #[test]

@@ -124,15 +124,19 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     }
 
     // Apply the checked-in allowlist last, so it can suppress anything the
-    // inline annotations did not.
+    // inline annotations did not. The file is shared with cool-analyze:
+    // each tool considers only the entries for its own rule namespace
+    // (L* here, A* there), so an analyzer exemption is not "unused" to the
+    // linter and vice versa.
     let allow_path = root.join(ALLOWLIST_FILE);
-    let allowlist = if allow_path.is_file() {
+    let mut allowlist = if allow_path.is_file() {
         let text = fs::read_to_string(&allow_path)
             .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
         allowlist::parse(ALLOWLIST_FILE, &text)
     } else {
         allowlist::Allowlist::default()
     };
+    allowlist.entries.retain(|e| e.rule.starts_with('L'));
     let mut used = vec![false; allowlist.entries.len()];
     let (kept, suppressed) = allowlist.apply(raw_findings, &mut used);
     report.findings = kept;

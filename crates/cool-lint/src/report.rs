@@ -56,13 +56,19 @@ impl Report {
 
     /// Human-readable report.
     pub fn render_text(&self) -> String {
+        self.render_text_as("cool-lint")
+    }
+
+    /// Human-readable report with an explicit tool label in the summary
+    /// line (cool-analyze shares this report type and format).
+    pub fn render_text_as(&self, tool: &str) -> String {
         let mut out = String::new();
         for f in &self.findings {
             out.push_str(&f.render());
             out.push('\n');
         }
         out.push_str(&format!(
-            "cool-lint: {} finding(s), {} allowlisted, {} file(s) scanned\n",
+            "{tool}: {} finding(s), {} allowlisted, {} file(s) scanned\n",
             self.findings.len(),
             self.allowlisted,
             self.files_scanned

@@ -274,14 +274,22 @@ impl OrbServer {
         if let Some(addr) = self.wake_addr {
             let _ = std::net::TcpStream::connect(addr);
         }
-        if let Some(h) = self.acceptor.lock().take() {
+        // Take the handle out first, then join with the lock released: a
+        // join under `server.acceptor` would stall any thread touching the
+        // handle slot for as long as the accept loop takes to notice.
+        let acceptor = self.acceptor.lock().take();
+        if let Some(h) = acceptor {
             let _ = h.join();
         }
         // 2. Orderly GIOP shutdown: tell each peer before going away so
         //    clients fail outstanding work immediately instead of timing
         //    out (Figure 2-i's CloseConnection message). Closing the
         //    channel also releases its sink (and that sink's queue handle).
-        for weak in self.conns.lock().drain(..) {
+        //    Drain the list under the lock, write to sockets without it —
+        //    send_frame can block on a slow peer, and connection teardown
+        //    paths take `server.conns` too.
+        let conns: Vec<_> = self.conns.lock().drain(..).collect();
+        for weak in conns {
             if let Some(conn) = weak.upgrade() {
                 if let Ok(frame) = encode_message(
                     &Message::CloseConnection,
@@ -294,8 +302,12 @@ impl OrbServer {
             }
         }
         // 3. With every sender gone, dispatchers drain the queue and exit.
+        //    Same discipline: collect the handles, join unlocked, so a
+        //    dispatcher still executing a servant never waits on a thread
+        //    that holds `server.dispatchers`.
         self.jobs_tx.lock().take();
-        for t in self.dispatchers.lock().drain(..) {
+        let dispatchers: Vec<_> = self.dispatchers.lock().drain(..).collect();
+        for t in dispatchers {
             let _ = t.join();
         }
     }

@@ -214,6 +214,7 @@ impl Connection {
         if let Some(old) = stack_slot.take() {
             old.shutdown();
         }
+        // lint: allow(A002, stack lock is deliberately held across the rebuild (§7.2 rank 60); the spawn-failure cleanup joins only module pump threads, which never take connection locks)
         let stack = build_stack(modules, self.transport.clone(), &self.opts)?;
         *self.endpoint.lock() = stack.endpoint().clone();
         *stack_slot = Some(stack);

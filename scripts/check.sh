@@ -13,6 +13,26 @@ cargo clippy --workspace -- -D warnings
 # other artifacts.
 cargo run -q --release -p cool-lint -- --json-out lint-report.json
 
+# Whole-workspace semantic analysis: static lock-rank verification against
+# the DESIGN.md §7.2 table, blocking-while-locked detection along the call
+# graph, codec symmetry in cool-giop and telemetry-name discipline. Same
+# exit/report conventions as cool-lint.
+cargo run -q --release -p cool-analyze -- --json-out analyze-report.json
+
+# ThreadSanitizer smoke on the chaos test, best effort: -Zsanitizer needs
+# a nightly toolchain with rust-src (for -Zbuild-std). Skip cleanly when
+# either is missing rather than failing the gate on toolchain setup.
+if rustup run nightly rustc --version >/dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q '^rust-src.*(installed)'; then
+    host=$(rustc -vV | sed -n 's/^host: //p')
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -q -Zbuild-std --target "$host" --test chaos
+    echo "tsan smoke ok"
+else
+    echo "tsan smoke skipped: nightly toolchain with rust-src not available"
+fi
+
 # Telemetry smoke: the latency bench must emit a machine-readable snapshot
 # with real percentiles in it.
 smoke_dir=$(mktemp -d)

@@ -243,3 +243,58 @@ fn many_concurrent_deferred_requests_demultiplex_correctly() {
     }
     server.close();
 }
+
+#[test]
+fn concurrent_server_close_never_deadlocks() {
+    // Regression for the teardown findings cool-analyze (A002) surfaced:
+    // `OrbServer::close` used to join the acceptor and dispatcher threads
+    // while still holding the `server.acceptor` / `server.dispatchers`
+    // handle locks, and wrote CloseConnection frames with `server.conns`
+    // held. The static rule keeps the joins out from under the locks; this
+    // test exercises the dynamic side — closes racing each other and a
+    // graceful shutdown, with calls in flight, must finish within the
+    // watchdog instead of parking forever on a handle lock.
+    let (finished_tx, finished_rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let exchange = LocalExchange::new();
+        let server_orb = Orb::with_exchange("racing-server", exchange.clone());
+        server_orb
+            .adapter()
+            .register_fn("echo", |_op, args, _ctx| Ok(args.to_vec()))
+            .unwrap();
+        let server = Arc::new(server_orb.listen_tcp("127.0.0.1:0").unwrap());
+        let client_orb = Orb::with_exchange("client", exchange);
+        let stub = client_orb.bind(&server.object_ref("echo")).unwrap();
+        stub.set_timeout(Duration::from_secs(2));
+
+        // Keep requests in flight while the closes race.
+        let mut pending = Vec::new();
+        for i in 0..16u32 {
+            pending.push(stub.invoke_deferred("echo", Bytes::from(i.to_be_bytes().to_vec())));
+        }
+        let closers: Vec<_> = (0..3)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    if i == 0 {
+                        server.shutdown_graceful(Duration::from_millis(200));
+                    } else {
+                        server.close();
+                    }
+                })
+            })
+            .collect();
+        for c in closers {
+            c.join().unwrap();
+        }
+        // In-flight calls complete or fail attributed; none may hang.
+        for p in pending.into_iter().flatten() {
+            let _ = p.wait(Duration::from_secs(5));
+        }
+        finished_tx.send(()).unwrap();
+    });
+    finished_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("server teardown deadlocked: close() is holding a handle lock across a join");
+    worker.join().unwrap();
+}
