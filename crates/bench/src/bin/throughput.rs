@@ -1,0 +1,159 @@
+//! Zero-copy data-path throughput on a 2.4 Gbit/s link profile.
+//!
+//! Three measurements, one JSON result (`BENCH_throughput.json`):
+//!
+//! * **Large packets** — Da CaPo goodput at 64 KiB packets over a netsim
+//!   link with 5 µs per-frame overhead. With the single-encode shared
+//!   buffers the per-frame CPU cost is far below the 218 µs transmission
+//!   time, so goodput must saturate the link (target ≥ 95%).
+//! * **Small packets** — ORB one-way invocation goodput at 512 B payloads
+//!   over the same profile, with frame batching off vs on. Per-frame
+//!   overhead dominates tiny frames (the paper's Figure 9 knee);
+//!   coalescing amortizes it (target ≥ 25% win).
+//! * **Allocation budget** — recorded buffer allocations per invocation
+//!   on the loopback TCP hot path (target ≤ 2: one request encode, one
+//!   reply encode; decode is zero-copy views).
+
+use bench::{emit_bench_json, measure_throughput, RttHarness};
+use bytes::Bytes;
+use cool_orb::prelude::*;
+use cool_telemetry::allocs::buffer_allocs;
+use dacapo::prelude::*;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The target link: 2.4 Gbit/s with a 5 µs fixed per-frame cost. At
+/// 64 KiB a frame spends 218 µs on the wire, so the ceiling is ~97.7%;
+/// at 512 B the 5 µs overhead is ~3x the 1.7 µs serialization time.
+fn link_spec() -> netsim::LinkSpec {
+    netsim::LinkSpec::builder()
+        .bandwidth_bps(2_400_000_000)
+        .propagation(Duration::from_micros(10))
+        .frame_overhead(Duration::from_micros(5))
+        .build()
+        .expect("valid link spec")
+}
+
+const LINK_MBPS: f64 = 2_400.0;
+const LARGE_PACKET: usize = 65_536;
+const SMALL_PACKET: usize = 512;
+
+/// Pumps `n` one-way 512 B invocations through an ORB whose Da CaPo
+/// transport rides the 2.4 Gbit/s netsim link; returns received Mbit/s
+/// (measured at the servant, so link shaping and the whole decode path
+/// are included).
+fn orb_oneway_mbps(batching: Option<BatchingPolicy>, n: usize) -> f64 {
+    let exchange = LocalExchange::new();
+    exchange.set_dacapo_link(Some(link_spec()));
+    let config = OrbConfig {
+        batching,
+        ..OrbConfig::default()
+    };
+    let server_orb = Orb::with_exchange_and_config("thr-server", exchange.clone(), config.clone());
+    // Completion signal: the servant counts arrivals under a condvar'd
+    // counter; the driver waits for all n without polling.
+    let arrived = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let counter = Arc::clone(&arrived);
+    server_orb
+        .adapter()
+        .register_fn("sink", move |_op, _args, _ctx| {
+            let (count, cv) = &*counter;
+            *count.lock().expect("counter lock") += 1;
+            cv.notify_one();
+            Ok(Vec::new())
+        })
+        .expect("register sink");
+    let server = server_orb.listen_dacapo("thr-sink").expect("listen dacapo");
+    let client_orb = Orb::with_exchange_and_config("thr-client", exchange, config);
+    let stub = client_orb.bind(&server.object_ref("sink")).expect("bind");
+
+    let body = Bytes::from(vec![0x5Au8; SMALL_PACKET]);
+    // Warm-up: connection + first-call costs, and drain the count.
+    for _ in 0..16 {
+        stub.invoke("push", body.clone()).expect("warmup");
+    }
+    *arrived.0.lock().expect("counter lock") = 0;
+
+    let start = Instant::now();
+    for _ in 0..n {
+        stub.invoke_oneway("push", body.clone()).expect("one-way");
+    }
+    {
+        let (count, cv) = &*arrived;
+        let mut done = count.lock().expect("counter lock");
+        while *done < n {
+            let (guard, timeout) = cv
+                .wait_timeout(done, Duration::from_secs(30))
+                .expect("counter wait");
+            done = guard;
+            assert!(!timeout.timed_out(), "one-way pump stalled at {}/{n}", *done);
+        }
+    }
+    let elapsed = start.elapsed();
+    server.close();
+    (n * SMALL_PACKET) as f64 * 8.0 / elapsed.as_secs_f64() / 1e6
+}
+
+/// Recorded buffer allocations per invocation on loopback TCP.
+fn allocs_per_invocation(n: usize) -> f64 {
+    let harness = RttHarness::new();
+    let body = Bytes::from(vec![7u8; 256]);
+    for _ in 0..16 {
+        harness.call_once(&body);
+    }
+    let before = buffer_allocs();
+    for _ in 0..n {
+        harness.call_once(&body);
+    }
+    let delta = buffer_allocs() - before;
+    harness.close();
+    delta as f64 / n as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (large_dur, small_n, alloc_n) = if quick {
+        (Duration::from_millis(400), 4_000, 200)
+    } else {
+        (Duration::from_millis(1500), 20_000, 1_000)
+    };
+    let spec = link_spec();
+
+    println!(
+        "Zero-copy throughput — {} Mbit/s link, {} us/frame overhead",
+        spec.bandwidth_bps() / 1_000_000,
+        spec.frame_overhead().as_micros()
+    );
+
+    let graph = ModuleGraph::from_ids(Vec::<&str>::new());
+    let large_mbps = measure_throughput(&graph, LARGE_PACKET, large_dur, &spec);
+    let saturation = large_mbps / LINK_MBPS;
+    println!(
+        "large  {LARGE_PACKET}B: {large_mbps:.0} Mbit/s ({:.1}% of link)",
+        saturation * 100.0
+    );
+
+    let unbatched = orb_oneway_mbps(None, small_n);
+    let batched = orb_oneway_mbps(Some(BatchingPolicy::default()), small_n);
+    let win = batched / unbatched - 1.0;
+    println!(
+        "small  {SMALL_PACKET}B: {unbatched:.0} -> {batched:.0} Mbit/s with batching \
+         ({:+.1}%)",
+        win * 100.0
+    );
+
+    let allocs = allocs_per_invocation(alloc_n);
+    println!("allocs per loopback invocation: {allocs:.2}");
+
+    let json = format!(
+        "{{\"bench\":\"throughput\",\"link_mbps\":{LINK_MBPS},\
+         \"frame_overhead_us\":{},\
+         \"large\":{{\"packet_bytes\":{LARGE_PACKET},\"goodput_mbps\":{large_mbps:.1},\
+         \"saturation\":{saturation:.4}}},\
+         \"small\":{{\"packet_bytes\":{SMALL_PACKET},\"unbatched_mbps\":{unbatched:.1},\
+         \"batched_mbps\":{batched:.1},\"batching_win\":{win:.4}}},\
+         \"allocs_per_invocation\":{allocs:.3}}}",
+        spec.frame_overhead().as_micros()
+    );
+    emit_bench_json("throughput", &json);
+}

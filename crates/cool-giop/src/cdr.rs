@@ -58,12 +58,16 @@ impl ByteOrder {
 
 /// Streaming CDR encoder writing into a growable buffer.
 ///
-/// Alignment is relative to the start of the buffer, as in a GIOP message
-/// body (the 12-byte GIOP header is 8-aligned, so body offsets equal
-/// encapsulation offsets modulo 8).
+/// Alignment is relative to the start of the *encapsulation*, not the
+/// underlying buffer: an encoder appended to a buffer that already holds a
+/// GIOP header ([`CdrEncoder::append_to`]) aligns relative to the first
+/// body byte, so the body is byte-identical to one encoded standalone.
 #[derive(Debug)]
 pub struct CdrEncoder {
     buf: BytesMut,
+    /// Offset of the encapsulation start within `buf`; alignment and
+    /// [`CdrEncoder::len`] are relative to this.
+    base: usize,
     order: ByteOrder,
 }
 
@@ -72,6 +76,7 @@ impl CdrEncoder {
     pub fn new(order: ByteOrder) -> Self {
         CdrEncoder {
             buf: BytesMut::with_capacity(64),
+            base: 0,
             order,
         }
     }
@@ -80,8 +85,19 @@ impl CdrEncoder {
     pub fn with_capacity(order: ByteOrder, capacity: usize) -> Self {
         CdrEncoder {
             buf: BytesMut::with_capacity(capacity),
+            base: 0,
             order,
         }
+    }
+
+    /// Creates an encoder that appends to an existing buffer, treating the
+    /// current end of `buf` as offset 0 of the encapsulation. This is the
+    /// zero-copy path: the GIOP framer writes its header, hands the same
+    /// buffer here for the body, and takes it back with
+    /// [`CdrEncoder::into_inner`] — no body copy.
+    pub fn append_to(buf: BytesMut, order: ByteOrder) -> Self {
+        let base = buf.len();
+        CdrEncoder { buf, base, order }
     }
 
     /// The encoder's byte order.
@@ -89,14 +105,14 @@ impl CdrEncoder {
         self.order
     }
 
-    /// Bytes written so far.
+    /// Bytes written so far (relative to the encapsulation start).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.base
     }
 
     /// Whether nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
     /// Finishes encoding and returns the buffer.
@@ -104,8 +120,14 @@ impl CdrEncoder {
         self.buf.freeze()
     }
 
+    /// Finishes encoding and returns the underlying buffer, including any
+    /// prefix that was present before [`CdrEncoder::append_to`].
+    pub fn into_inner(self) -> BytesMut {
+        self.buf
+    }
+
     fn align(&mut self, n: usize) {
-        let misalign = self.buf.len() % n;
+        let misalign = (self.buf.len() - self.base) % n;
         if misalign != 0 {
             for _ in 0..(n - misalign) {
                 self.buf.put_u8(0);
@@ -394,6 +416,7 @@ impl<'a> CdrDecoder<'a> {
         if nul != [0] {
             return Err(GiopError::InvalidString("missing nul terminator".into()));
         }
+        // lint: allow(L007, a decoded String must own its storage)
         String::from_utf8(body.to_vec())
             .map_err(|e| GiopError::InvalidString(format!("invalid utf-8: {e}")))
     }
@@ -675,6 +698,25 @@ mod tests {
             ByteOrder::Little
         );
         assert!(ByteOrder::from_flag(7).is_err());
+    }
+
+    #[test]
+    fn append_to_aligns_relative_to_encapsulation_start() {
+        // A body appended after a 12-byte (non-8-aligned modulo buffer
+        // start) prefix must pad exactly as a standalone body does.
+        let mut standalone = CdrEncoder::new(ByteOrder::Big);
+        standalone.put_octet(1);
+        standalone.put_u64(0xAABB);
+        let expect = standalone.into_bytes();
+
+        let mut prefix = BytesMut::new();
+        prefix.put_slice(&[0u8; 12]);
+        let mut appended = CdrEncoder::append_to(prefix, ByteOrder::Big);
+        appended.put_octet(1);
+        appended.put_u64(0xAABB);
+        assert_eq!(appended.len(), expect.len());
+        let buf = appended.into_inner();
+        assert_eq!(&buf[12..], &expect[..]);
     }
 
     #[test]

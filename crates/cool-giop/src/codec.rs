@@ -10,8 +10,15 @@
 //! offset 8  unsigned long message_size          (body bytes that follow)
 //! ```
 //!
-//! Three entry points:
-//! * [`encode_message`] / [`decode_message`] for whole in-memory frames,
+//! Entry points:
+//! * [`Message::encode_into`] / [`Message::decode_frame`] — the zero-copy
+//!   path: encode appends header + CDR body to one caller-owned buffer
+//!   (size patched in place, no body copy); decode returns `Bytes`-slice
+//!   views into the shared frame instead of fresh `Vec<u8>`s,
+//! * [`encode_message`] / [`decode_message`] for whole in-memory frames
+//!   (thin wrappers over the above),
+//! * [`join_frames`] / [`split_frames`] — frame batching: GIOP frames are
+//!   self-delimiting, so a receiver can always split a coalesced batch,
 //! * [`MessageReader`] for incremental decoding from a byte stream
 //!   (TCP-like transports deliver arbitrary chunks),
 //! * [`read_message`] / [`write_message`] blocking helpers over
@@ -23,7 +30,8 @@ use crate::message::{
     LocateReplyHeader, LocateRequestHeader, Message, MsgType, ReplyHeader, RequestHeader,
 };
 use crate::version::GiopVersion;
-use bytes::{Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
+use cool_telemetry::allocs::record_buffer_alloc;
 use std::io::{Read, Write};
 
 /// The 4-byte GIOP magic.
@@ -36,7 +44,88 @@ pub const HEADER_LEN: usize = 12;
 /// against corrupt streams); generous for 64 KiB experiment payloads.
 pub const MAX_MESSAGE_SIZE: u32 = 256 * 1024 * 1024;
 
-/// Encodes a complete message into a wire frame.
+impl Message {
+    /// Appends this message as one complete wire frame to `buf`: the
+    /// 12-byte GIOP header and the CDR body are written into the same
+    /// buffer, with `message_size` patched in place once the body length
+    /// is known. This is the single-encode path — no intermediate body
+    /// buffer, no copy. On error `buf` is rolled back to its prior length.
+    ///
+    /// # Errors
+    ///
+    /// [`GiopError::QosOnStandardGiop`] if a Request carries QoS
+    /// parameters but `version` is GIOP 1.0.
+    pub fn encode_into(
+        &self,
+        version: GiopVersion,
+        order: ByteOrder,
+        buf: &mut BytesMut,
+    ) -> Result<(), GiopError> {
+        let start = buf.len();
+        buf.put_slice(&MAGIC);
+        buf.put_slice(&[version.major, version.minor, order.flag(), self.msg_type().code()]);
+        buf.put_slice(&[0u8; 4]); // message_size, patched below
+        // Hand the buffer to the CDR encoder; its base offset makes body
+        // alignment identical to a standalone encapsulation.
+        let mut enc = CdrEncoder::append_to(std::mem::take(buf), order);
+        let encoded = (|| {
+            match self {
+                Message::Request { header, body } => {
+                    header.encode(&mut enc, version)?;
+                    enc.put_raw(body);
+                }
+                Message::Reply { header, body } => {
+                    header.encode(&mut enc);
+                    enc.put_raw(body);
+                }
+                Message::CancelRequest { request_id } => enc.put_u32(*request_id),
+                Message::LocateRequest(h) => h.encode(&mut enc),
+                Message::LocateReply(h) => h.encode(&mut enc),
+                Message::CloseConnection | Message::MessageError => {}
+            }
+            Ok(())
+        })();
+        let body_len = enc.len();
+        *buf = enc.into_inner();
+        if let Err(e) = encoded {
+            buf.truncate(start);
+            return Err(e);
+        }
+        let size = body_len as u32;
+        let size_bytes = match order {
+            ByteOrder::Big => size.to_be_bytes(),
+            ByteOrder::Little => size.to_le_bytes(),
+        };
+        buf[start + 8..start + 12].copy_from_slice(&size_bytes);
+        Ok(())
+    }
+
+    /// Decodes one complete frame held in shared storage, returning the
+    /// message together with the version and byte order it was marshalled
+    /// under. Request/Reply bodies come back as `Bytes` views into
+    /// `frame` — no copy.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GiopError`] describing the malformation; notably
+    /// [`GiopError::SizeMismatch`] if the buffer length disagrees with the
+    /// header's `message_size`.
+    pub fn decode_frame(frame: &Bytes) -> Result<(Message, GiopVersion, ByteOrder), GiopError> {
+        let header = parse_header(frame)?;
+        let body = &frame[HEADER_LEN..];
+        if body.len() != header.message_size as usize {
+            return Err(GiopError::SizeMismatch {
+                announced: header.message_size as usize,
+                actual: body.len(),
+            });
+        }
+        let msg = decode_body_with(header, body, |pos| frame.slice(HEADER_LEN + pos..))?;
+        Ok((msg, header.version, header.order))
+    }
+}
+
+/// Encodes a complete message into a wire frame (legacy contiguous API: a
+/// fresh buffer per frame). Thin wrapper over [`Message::encode_into`].
 ///
 /// # Errors
 ///
@@ -47,38 +136,9 @@ pub fn encode_message(
     version: GiopVersion,
     order: ByteOrder,
 ) -> Result<Bytes, GiopError> {
-    // Encode the body first to learn its size.
-    let mut body_enc = CdrEncoder::new(order);
-    match msg {
-        Message::Request { header, body } => {
-            header.encode(&mut body_enc, version)?;
-            body_enc.put_raw(body);
-        }
-        Message::Reply { header, body } => {
-            header.encode(&mut body_enc);
-            body_enc.put_raw(body);
-        }
-        Message::CancelRequest { request_id } => body_enc.put_u32(*request_id),
-        Message::LocateRequest(h) => h.encode(&mut body_enc),
-        Message::LocateReply(h) => h.encode(&mut body_enc),
-        Message::CloseConnection | Message::MessageError => {}
-    }
-    let body = body_enc.into_bytes();
-
-    let mut frame = BytesMut::with_capacity(HEADER_LEN + body.len());
-    frame.extend_from_slice(&MAGIC);
-    frame.extend_from_slice(&[
-        version.major,
-        version.minor,
-        order.flag(),
-        msg.msg_type().code(),
-    ]);
-    let size = body.len() as u32;
-    match order {
-        ByteOrder::Big => frame.extend_from_slice(&size.to_be_bytes()),
-        ByteOrder::Little => frame.extend_from_slice(&size.to_le_bytes()),
-    }
-    frame.extend_from_slice(&body);
+    record_buffer_alloc();
+    let mut frame = BytesMut::with_capacity(HEADER_LEN + 64);
+    msg.encode_into(version, order, &mut frame)?;
     Ok(frame.freeze())
 }
 
@@ -136,23 +196,30 @@ pub fn parse_header(buf: &[u8]) -> Result<FrameHeader, GiopError> {
     })
 }
 
-fn decode_body(header: FrameHeader, body: &[u8]) -> Result<Message, GiopError> {
+/// Decodes a frame body. `rest` materialises the undecoded tail of the
+/// body (operation parameters / results) given its body-relative offset —
+/// a shared-storage slice on the zero-copy paths, a copy on the legacy
+/// slice-only paths.
+// lint: allow(A003, shared decode core for decode_message/decode_frame; its encode counterpart is Message::encode_into)
+fn decode_body_with(
+    header: FrameHeader,
+    body: &[u8],
+    rest: impl FnOnce(usize) -> Bytes,
+) -> Result<Message, GiopError> {
     let mut dec = CdrDecoder::new(body, header.order);
     Ok(match header.msg_type {
         MsgType::Request => {
             let req = RequestHeader::decode(&mut dec, header.version)?;
-            let rest = Bytes::copy_from_slice(dec.get_rest());
             Message::Request {
                 header: req,
-                body: rest,
+                body: rest(dec.position()),
             }
         }
         MsgType::Reply => {
             let rep = ReplyHeader::decode(&mut dec)?;
-            let rest = Bytes::copy_from_slice(dec.get_rest());
             Message::Reply {
                 header: rep,
-                body: rest,
+                body: rest(dec.position()),
             }
         }
         MsgType::CancelRequest => Message::CancelRequest {
@@ -162,6 +229,13 @@ fn decode_body(header: FrameHeader, body: &[u8]) -> Result<Message, GiopError> {
         MsgType::LocateReply => Message::LocateReply(LocateReplyHeader::decode(&mut dec)?),
         MsgType::CloseConnection => Message::CloseConnection,
         MsgType::MessageError => Message::MessageError,
+    })
+}
+
+fn decode_body(header: FrameHeader, body: &[u8]) -> Result<Message, GiopError> {
+    decode_body_with(header, body, |pos| {
+        record_buffer_alloc();
+        Bytes::copy_from_slice(&body[pos..])
     })
 }
 
@@ -274,9 +348,81 @@ impl MessageReader {
         if self.buf.len() < total {
             return Ok(None);
         }
-        let frame = self.buf.split_to(total);
-        let msg = decode_body(header, &frame[HEADER_LEN..])?;
-        Ok(Some((msg, header.version, header.order)))
+        // Freeze the frame into shared storage so the body view needs no
+        // copy; the split moves the buffered prefix, it does not clone it.
+        let frame = self.buf.split_to(total).freeze();
+        let (msg, version, order) = Message::decode_frame(&frame)?;
+        Ok(Some((msg, version, order)))
+    }
+}
+
+/// Coalesces whole GIOP frames into one transport frame. Zero frames give
+/// an empty buffer, a single frame passes through without copying.
+///
+/// GIOP frames self-delimit (`message_size` in the fixed header), so the
+/// receiver needs no extra framing to take the batch apart — see
+/// [`split_frames`].
+pub fn join_frames(frames: &[Bytes]) -> Bytes {
+    match frames {
+        [] => Bytes::new(),
+        [single] => single.clone(),
+        many => {
+            record_buffer_alloc();
+            let total = many.iter().map(Bytes::len).sum();
+            let mut buf = BytesMut::with_capacity(total);
+            for frame in many {
+                buf.put_slice(frame);
+            }
+            buf.freeze()
+        }
+    }
+}
+
+/// Splits a (possibly batched) transport frame back into whole GIOP
+/// frames, each a zero-copy view of the input. The inverse of
+/// [`join_frames`]; a non-batched frame yields exactly itself.
+///
+/// Each item is `Err` when the remaining bytes are not a valid frame
+/// prefix (bad header, or a truncated final frame); iteration ends after
+/// the first error.
+pub fn split_frames(batch: &Bytes) -> FrameIter {
+    FrameIter {
+        // lint: allow(L007, Bytes::clone is a refcount bump, not a copy)
+        rest: batch.clone(),
+        poisoned: false,
+    }
+}
+
+/// Iterator over the whole frames of a batched transport frame.
+#[derive(Debug)]
+pub struct FrameIter {
+    rest: Bytes,
+    poisoned: bool,
+}
+
+impl Iterator for FrameIter {
+    type Item = Result<Bytes, GiopError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned || self.rest.is_empty() {
+            return None;
+        }
+        let header = match parse_header(&self.rest) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poisoned = true;
+                return Some(Err(e));
+            }
+        };
+        let total = HEADER_LEN + header.message_size as usize;
+        if self.rest.len() < total {
+            self.poisoned = true;
+            return Some(Err(GiopError::SizeMismatch {
+                announced: header.message_size as usize,
+                actual: self.rest.len() - HEADER_LEN,
+            }));
+        }
+        Some(Ok(self.rest.split_to(total)))
     }
 }
 
@@ -331,9 +477,13 @@ pub fn read_message<R: Read>(mut r: R) -> Result<(Message, GiopVersion, ByteOrde
     let mut header_buf = [0u8; HEADER_LEN];
     r.read_exact(&mut header_buf)?;
     let header = parse_header(&header_buf)?;
+    record_buffer_alloc();
     let mut body = vec![0u8; header.message_size as usize];
     r.read_exact(&mut body)?;
-    let msg = decode_body(header, &body)?;
+    // Move the freshly read body into shared storage so Request/Reply
+    // payload views borrow from it instead of copying again.
+    let body = Bytes::from(body);
+    let msg = decode_body_with(header, &body, |pos| body.slice(pos..))?;
     Ok((msg, header.version, header.order))
 }
 
@@ -575,5 +725,129 @@ mod tests {
             decode_body_as::<u32>(&body, ByteOrder::Big).unwrap(),
             0xDEAD_BEEF
         );
+    }
+
+    #[test]
+    fn encode_into_matches_contiguous_encoder() {
+        let messages = vec![
+            sample_request(false),
+            Message::Reply {
+                header: ReplyHeader::new(11, crate::message::ReplyStatus::NoException),
+                body: Bytes::from_static(b"result"),
+            },
+            Message::CancelRequest { request_id: 4 },
+            Message::CloseConnection,
+        ];
+        for msg in &messages {
+            for order in [ByteOrder::Big, ByteOrder::Little] {
+                let legacy = encode_message(msg, GiopVersion::STANDARD, order).unwrap();
+                let mut buf = BytesMut::new();
+                msg.encode_into(GiopVersion::STANDARD, order, &mut buf).unwrap();
+                assert_eq!(&buf[..], &legacy[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_after_existing_content() {
+        let msg = sample_request(false);
+        let solo = encode_message(&msg, GiopVersion::STANDARD, ByteOrder::Big).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"prefix!");
+        msg.encode_into(GiopVersion::STANDARD, ByteOrder::Big, &mut buf).unwrap();
+        assert_eq!(&buf[..7], &b"prefix!"[..]);
+        assert_eq!(&buf[7..], &solo[..]);
+    }
+
+    #[test]
+    fn encode_into_rolls_back_on_error() {
+        let msg = sample_request(true); // QoS params under GIOP 1.0 must fail
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"keep me");
+        assert_eq!(
+            msg.encode_into(GiopVersion::STANDARD, ByteOrder::Big, &mut buf)
+                .unwrap_err(),
+            GiopError::QosOnStandardGiop
+        );
+        assert_eq!(&buf[..], &b"keep me"[..]);
+    }
+
+    #[test]
+    fn decode_frame_returns_zero_copy_body_views() {
+        let msg = sample_request(false);
+        let frame = encode_message(&msg, GiopVersion::STANDARD, ByteOrder::Big).unwrap();
+        let (decoded, v, o) = Message::decode_frame(&frame).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(v, GiopVersion::STANDARD);
+        assert_eq!(o, ByteOrder::Big);
+        let body = match decoded {
+            Message::Request { body, .. } => body,
+            other => panic!("expected request, got {other:?}"),
+        };
+        // The body view points into the original frame storage: its bytes
+        // occupy the frame's tail at the same address.
+        assert_eq!(&body[..], &frame[frame.len() - body.len()..]);
+        assert_eq!(body.as_ref().as_ptr(), frame[frame.len() - body.len()..].as_ptr());
+    }
+
+    #[test]
+    fn join_and_split_round_trip() {
+        let m1 = sample_request(false);
+        let m2 = Message::CancelRequest { request_id: 99 };
+        let m3 = Message::Reply {
+            header: ReplyHeader::new(11, crate::message::ReplyStatus::NoException),
+            body: Bytes::from_static(b"ok"),
+        };
+        let frames = vec![
+            encode_message(&m1, GiopVersion::STANDARD, ByteOrder::Big).unwrap(),
+            encode_message(&m2, GiopVersion::STANDARD, ByteOrder::Little).unwrap(),
+            encode_message(&m3, GiopVersion::QOS_EXTENDED, ByteOrder::Big).unwrap(),
+        ];
+        let batch = join_frames(&frames);
+        assert_eq!(batch.len(), frames.iter().map(Bytes::len).sum::<usize>());
+        let split: Vec<Bytes> = split_frames(&batch).collect::<Result<_, _>>().unwrap();
+        assert_eq!(split, frames);
+        let decoded: Vec<Message> = split
+            .iter()
+            .map(|f| Message::decode_frame(f).unwrap().0)
+            .collect();
+        assert_eq!(decoded, vec![m1, m2, m3]);
+    }
+
+    #[test]
+    fn join_frames_degenerate_cases() {
+        assert!(join_frames(&[]).is_empty());
+        let solo = encode_message(
+            &Message::CancelRequest { request_id: 7 },
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let joined = join_frames(std::slice::from_ref(&solo));
+        // Single-frame joins share storage with the input — no copy.
+        assert_eq!(joined.as_ref().as_ptr(), solo.as_ref().as_ptr());
+        assert_eq!(joined, solo);
+    }
+
+    #[test]
+    fn split_frames_reports_truncated_tail() {
+        let f1 = encode_message(
+            &Message::CancelRequest { request_id: 1 },
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let f2 = encode_message(&sample_request(false), GiopVersion::STANDARD, ByteOrder::Big)
+            .unwrap();
+        let mut joined = join_frames(&[f1.clone(), f2]).to_vec();
+        joined.truncate(joined.len() - 3); // clip the final frame
+        let batch = Bytes::from(joined);
+        let mut iter = split_frames(&batch);
+        assert_eq!(iter.next().unwrap().unwrap(), f1);
+        assert!(matches!(
+            iter.next(),
+            Some(Err(GiopError::SizeMismatch { .. }))
+        ));
+        assert!(iter.next().is_none()); // poisoned after first error
     }
 }

@@ -49,7 +49,7 @@ pub mod service_context;
 pub mod version;
 
 pub use cdr::{ByteOrder, CdrDecode, CdrDecoder, CdrEncode, CdrEncoder};
-pub use codec::{decode_message, encode_message, MessageReader};
+pub use codec::{decode_message, encode_message, join_frames, split_frames, MessageReader};
 pub use error::GiopError;
 pub use message::{
     LocateReplyHeader, LocateRequestHeader, LocateStatus, Message, MsgType, ReplyHeader,
@@ -62,7 +62,7 @@ pub use version::GiopVersion;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::cdr::{ByteOrder, CdrDecode, CdrDecoder, CdrEncode, CdrEncoder};
-    pub use crate::codec::{decode_message, encode_message, MessageReader};
+    pub use crate::codec::{decode_message, encode_message, join_frames, split_frames, MessageReader};
     pub use crate::error::GiopError;
     pub use crate::message::{
         LocateReplyHeader, LocateRequestHeader, LocateStatus, Message, MsgType, ReplyHeader,

@@ -8,8 +8,10 @@
 //! | L004 | GIOP version constants agree across cool-giop, chic and the IDL  |
 //! | L005 | every `OrbError` variant is exercised somewhere in tests         |
 //! | L006 | invocation-path retry loops in cool-orb reference `RetryPolicy`  |
+//! | L007 | no buffer copies (`.to_vec()`/`.clone()`) on the zero-copy path  |
 //!
-//! L001–L003 and L006 are per-file token scans; L004/L005 are workspace-level
+//! L001–L003, L006 and L007 are per-file token scans; L004/L005 are
+//! workspace-level
 //! cross-artifact checks. Findings can be suppressed inline with
 //! `// lint: allow(RULE, reason)` on the same or preceding line — the
 //! reason is mandatory, an annotation without one does not suppress.
@@ -43,6 +45,22 @@ pub fn classify(rel_path: &str) -> FileRole {
 pub fn on_data_path(rel_path: &str) -> bool {
     rel_path.starts_with("crates/cool-orb/src/") || rel_path.starts_with("crates/dacapo/src/")
 }
+
+/// True for files on the zero-copy buffer path, where L007 applies: the
+/// L003 data path plus the GIOP codec (whose frames feed it).
+pub fn on_buffer_path(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/cool-giop/src/") || on_data_path(rel_path)
+}
+
+/// Receiver identifiers L007 treats as `Bytes`/`Packet` values. The lexer
+/// has no types, so the rule keys off the workspace's buffer-naming
+/// conventions; a copy hidden behind another name escapes, a cheap clone
+/// of something merely *named* `frame` needs an annotation — both are the
+/// price of a token-level scan.
+const L007_RECEIVERS: &[&str] = &[
+    "frame", "frames", "body", "payload", "pkt", "packet", "batch", "buf", "bytes", "storage",
+    "sub",
+];
 
 /// Line spans (1-based, inclusive) covered by `#[cfg(test)]` items.
 ///
@@ -238,6 +256,35 @@ pub fn check_file(rel_path: &str, scan: &Scan) -> Vec<Finding> {
                          annotate `// lint: allow(L002, reason)` if provably \
                          infallible",
                         toks[i + 1].text
+                    ),
+                ));
+            }
+        }
+        // L007: `<buffer>.to_vec()` / `<buffer>.clone()` on the zero-copy
+        // path. Copies of shared buffers belong behind the Packet
+        // copy-on-write or an annotated, justified site.
+        if on_buffer_path(rel_path)
+            && i + 3 < toks.len()
+            && toks[i].kind == TokKind::Ident
+            && L007_RECEIVERS.contains(&toks[i].text.as_str())
+            && toks[i + 1].text == "."
+            && toks[i + 2].kind == TokKind::Ident
+            && (toks[i + 2].text == "to_vec" || toks[i + 2].text == "clone")
+            && toks[i + 3].text == "("
+        {
+            let line = toks[i + 2].line;
+            if !in_regions(line, &regions) && !allowed(&allows, line, "L007") {
+                findings.push(Finding::new(
+                    rel_path,
+                    line,
+                    "L007",
+                    &format!(
+                        "`{}.{}()` copies a buffer on the zero-copy data path; \
+                         borrow a `Bytes` view (slice/split_to) instead, or \
+                         annotate `// lint: allow(L007, reason)` if the copy \
+                         is required (retransmit buffer, corruption injection)",
+                        toks[i].text,
+                        toks[i + 2].text
                     ),
                 ));
             }
@@ -785,6 +832,28 @@ mod tests {
             1
         );
         assert!(check_file("crates/netsim/src/lib.rs", &scan(src)).is_empty());
+    }
+
+    #[test]
+    fn l007_flags_buffer_copies_only_on_the_buffer_path() {
+        let src = "fn f(frame: Bytes) { let v = frame.to_vec(); let c = frame.clone(); }";
+        let f = check_file("crates/dacapo/src/runtime.rs", &scan(src));
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == "L007"));
+        // cool-giop is on the buffer path too.
+        assert_eq!(check_file("crates/cool-giop/src/codec.rs", &scan(src)).len(), 2);
+        // Off the buffer path, or with a non-buffer receiver, nothing fires.
+        assert!(check_file("crates/netsim/src/lib.rs", &scan(src)).is_empty());
+        let other = "fn f(config: Config) { let c = config.clone(); }";
+        assert!(check_file("crates/dacapo/src/runtime.rs", &scan(other)).is_empty());
+    }
+
+    #[test]
+    fn l007_respects_inline_allow_and_test_regions() {
+        let allowed = "fn f(pkt: Packet) {\n    // lint: allow(L007, retransmit buffer must own its copy)\n    let c = pkt.clone();\n}";
+        assert!(check_file("crates/dacapo/src/modules/arq.rs", &scan(allowed)).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn g(body: Bytes) { let v = body.to_vec(); }\n}";
+        assert!(check_file("crates/cool-orb/src/binding.rs", &scan(in_test)).is_empty());
     }
 
     #[test]

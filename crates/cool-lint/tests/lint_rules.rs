@@ -230,6 +230,41 @@ fn l006_applies_only_to_cool_orb_sources() {
     assert!(in_tests.is_empty(), "test-like files are exempt: {in_tests:?}");
 }
 
+// ---- L007: buffer copies on the zero-copy path ----------------------
+
+#[test]
+fn l007_flags_the_copies_and_only_them() {
+    let f = findings_at("l007.rs", "crates/dacapo/src/modules/arq.rs");
+    let l007: Vec<u32> = f
+        .iter()
+        .filter(|(rule, _)| rule == "L007")
+        .map(|&(_, line)| line)
+        .collect();
+    assert_eq!(
+        l007,
+        vec![4, 8],
+        "frame.to_vec() and pkt.clone() flagged; the annotated retransmit \
+         copy, non-buffer receivers, Bytes views and the #[cfg(test)] copy \
+         stay clean: {f:?}"
+    );
+}
+
+#[test]
+fn l007_applies_only_to_the_buffer_path() {
+    let off_path = findings_at("l007.rs", "crates/netsim/src/fake_fixture.rs");
+    assert!(
+        off_path.iter().all(|(rule, _)| rule != "L007"),
+        "L007 is scoped to cool-giop/cool-orb/dacapo sources: {off_path:?}"
+    );
+    let on_giop = findings_at("l007.rs", "crates/cool-giop/src/codec_fixture.rs");
+    assert!(
+        on_giop.iter().any(|(rule, _)| rule == "L007"),
+        "the GIOP codec is on the buffer path: {on_giop:?}"
+    );
+    let in_tests = findings_at("l007.rs", "crates/dacapo/tests/t.rs");
+    assert!(in_tests.is_empty(), "test-like files are exempt: {in_tests:?}");
+}
+
 // ---- The real workspace stays clean ---------------------------------
 
 #[test]

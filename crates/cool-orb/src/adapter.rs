@@ -134,9 +134,11 @@ impl ObjectAdapter {
         self.objects.write().remove(key).is_some()
     }
 
-    /// Whether an object is registered under `key`.
-    pub fn contains(&self, key: &ObjectKey) -> bool {
-        self.objects.read().contains_key(key)
+    /// Whether an object is registered under `key`. Accepts any byte view
+    /// of a key (`&ObjectKey`, `&[u8]`, `&Vec<u8>`), so demux paths can
+    /// probe with the raw wire bytes without allocating an [`ObjectKey`].
+    pub fn contains(&self, key: impl AsRef<[u8]>) -> bool {
+        self.objects.read().contains_key(key.as_ref())
     }
 
     /// Replaces an object's QoS policy; returns whether it existed.
@@ -166,7 +168,7 @@ impl ObjectAdapter {
     /// Request header — empty for standard-GIOP requests.
     pub fn dispatch(
         &self,
-        key: &ObjectKey,
+        key: impl AsRef<[u8]>,
         operation: &str,
         args: &[u8],
         spec: &QoSSpec,
@@ -181,19 +183,24 @@ impl ObjectAdapter {
     /// span in the *same* registry (loopback setups sharing one registry).
     pub fn dispatch_traced(
         &self,
-        key: &ObjectKey,
+        key: impl AsRef<[u8]>,
         operation: &str,
         args: &[u8],
         spec: &QoSSpec,
         one_way: bool,
         request_id: Option<u32>,
     ) -> DispatchOutcome {
+        // Lookups go through `Borrow<[u8]>`, so a request header's raw key
+        // bytes index the map directly — no per-dispatch `ObjectKey`.
+        let key = key.as_ref();
         let (servant, policy) = {
             let objects = self.objects.read();
             match objects.get(key) {
                 Some(reg) => (reg.servant.clone(), reg.policy.clone()),
                 None => {
-                    return DispatchOutcome::Error(OrbError::ObjectNotFound(key.display_lossy()))
+                    return DispatchOutcome::Error(OrbError::ObjectNotFound(
+                        String::from_utf8_lossy(key).into_owned(),
+                    ))
                 }
             }
         };

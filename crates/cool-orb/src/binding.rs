@@ -700,21 +700,29 @@ fn demux_frame(
         return; // unknown frame: ignore
     };
     match protocol {
-        WireProtocol::Giop => match cool_giop::codec::decode_message_ext(frame) {
-            Ok((Message::Reply { header, body }, _, order)) => {
-                let slot = pending.lock().remove(&header.request_id);
-                if let Some(slot) = slot {
-                    let result = giop_helpers::interpret_reply(&header, &body, order);
-                    mark_decode(header.request_id);
-                    slot.complete(result);
+        // GIOP frames self-delimit, so an inbound transport frame may be a
+        // batch of several (a batching peer); split unconditionally — a
+        // non-batched frame yields exactly itself, zero-copy.
+        WireProtocol::Giop => {
+            for sub in cool_giop::codec::split_frames(frame) {
+                let Ok(sub) = sub else { break };
+                match Message::decode_frame(&sub) {
+                    Ok((Message::Reply { header, body }, _, order)) => {
+                        let slot = pending.lock().remove(&header.request_id);
+                        if let Some(slot) = slot {
+                            let result = giop_helpers::interpret_reply(&header, &body, order);
+                            mark_decode(header.request_id);
+                            slot.complete(result);
+                        }
+                    }
+                    Ok((Message::CloseConnection, _, _)) => {
+                        closed.store(true, Ordering::Release);
+                        fail_all(pending, || OrbError::Closed);
+                    }
+                    Ok(_) | Err(_) => {}
                 }
             }
-            Ok((Message::CloseConnection, _, _)) => {
-                closed.store(true, Ordering::Release);
-                fail_all(pending, || OrbError::Closed);
-            }
-            Ok(_) | Err(_) => {}
-        },
+        }
         WireProtocol::Cool => match CoolMessage::decode(frame) {
             Ok(CoolMessage::Reply { request_id, body }) => {
                 let slot = pending.lock().remove(&request_id);

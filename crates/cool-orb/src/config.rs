@@ -55,6 +55,38 @@ pub struct OrbConfig {
     /// creates in a `FaultChannel` decorator executing the plan (DESIGN.md
     /// §8). Production configs must leave this `None`.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Opportunistic frame batching. `None` (the default) sends every GIOP
+    /// frame as its own transport frame; `Some` wraps each channel this ORB
+    /// creates in a coalescer that packs small frames together (GIOP frames
+    /// self-delimit, so receivers split batches unconditionally). Trades a
+    /// bounded delay for per-frame overhead — the paper's Figure 9
+    /// small-packet regime.
+    pub batching: Option<BatchingPolicy>,
+}
+
+/// Limits for the opportunistic frame coalescer (see
+/// [`OrbConfig::batching`]). A batch is flushed as soon as it reaches
+/// `max_frames` or `max_bytes`, or when the oldest queued frame has waited
+/// `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchingPolicy {
+    /// Flush after this many queued frames.
+    pub max_frames: usize,
+    /// Flush once the queued frames total this many bytes. Frames larger
+    /// than this are sent immediately (never held back).
+    pub max_bytes: usize,
+    /// Longest a queued frame may wait before the batch is flushed.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchingPolicy {
+    fn default() -> Self {
+        BatchingPolicy {
+            max_frames: 16,
+            max_bytes: 16 * 1024,
+            max_delay: Duration::from_micros(200),
+        }
+    }
 }
 
 impl PartialEq for OrbConfig {
@@ -76,6 +108,7 @@ impl PartialEq for OrbConfig {
             && same_registry
             && self.retry == other.retry
             && same_plan
+            && self.batching == other.batching
     }
 }
 
@@ -89,6 +122,7 @@ impl Default for OrbConfig {
             telemetry: None,
             retry: None,
             fault_plan: None,
+            batching: None,
         }
     }
 }
@@ -107,6 +141,22 @@ mod tests {
         assert!(c.telemetry.is_none());
         assert!(c.retry.is_none(), "retry must be opt-in");
         assert!(c.fault_plan.is_none(), "fault injection must be opt-in");
+        assert!(c.batching.is_none(), "frame batching must be opt-in");
+    }
+
+    #[test]
+    fn equality_covers_batching() {
+        let a = OrbConfig::default();
+        let b = OrbConfig {
+            batching: Some(BatchingPolicy::default()),
+            ..OrbConfig::default()
+        };
+        assert_ne!(a, b);
+        let c = OrbConfig {
+            batching: Some(BatchingPolicy::default()),
+            ..OrbConfig::default()
+        };
+        assert_eq!(b, c);
     }
 
     #[test]

@@ -25,6 +25,22 @@ impl ObjectKey {
     }
 }
 
+/// `HashMap<ObjectKey, _>` lookups can use raw `&[u8]` keys without
+/// allocating an `ObjectKey`: the derived `Hash` hashes the inner
+/// `Vec<u8>` exactly like the slice it borrows to, so `Borrow`'s
+/// `hash(k) == hash(k.borrow())` contract holds.
+impl std::borrow::Borrow<[u8]> for ObjectKey {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for ObjectKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 impl From<&str> for ObjectKey {
     fn from(s: &str) -> Self {
         ObjectKey(s.as_bytes().to_vec())

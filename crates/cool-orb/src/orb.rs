@@ -201,14 +201,17 @@ impl Orb {
     }
 
     /// Dials `addr`, consulting the fault engine (connect refusal) and
-    /// wrapping the channel in a [`FaultChannel`] when a plan is active.
-    /// Shared by the first connect and every reconnect, so both paths see
-    /// identical behaviour.
+    /// wrapping the channel in a [`FaultChannel`] when a plan is active,
+    /// then in a [`crate::transport::BatchingChannel`] when batching is
+    /// configured (outermost, so a coalesced batch crosses the fault model
+    /// as one wire frame). Shared by the first connect and every
+    /// reconnect, so both paths see identical behaviour.
     fn dial(
         exchange: &LocalExchange,
         addr: &OrbAddr,
         telemetry: Option<&Arc<Registry>>,
         engine: Option<&Arc<FaultEngine>>,
+        batching: Option<crate::config::BatchingPolicy>,
     ) -> Result<Arc<dyn ComChannel>, OrbError> {
         if let Some(engine) = engine {
             if !engine.allow_connect() {
@@ -234,13 +237,17 @@ impl Orb {
                 telemetry,
             )?,
         };
-        Ok(match engine {
+        let channel: Arc<dyn ComChannel> = match engine {
             Some(engine) => Arc::new(FaultChannel::new(
                 raw,
                 Arc::clone(engine),
                 telemetry.map(Arc::as_ref),
             )),
             None => raw,
+        };
+        Ok(match batching {
+            Some(policy) => crate::transport::BatchingChannel::wrap(channel, policy),
+            None => channel,
         })
     }
 
@@ -263,6 +270,7 @@ impl Orb {
             addr,
             self.config.telemetry.as_ref(),
             self.fault_engine.as_ref(),
+            self.config.batching,
         )?;
         let binding = Binding::with_config(channel, protocol, &self.config);
         // Re-dial with the same wrapping on reconnect; the closure owns
@@ -271,8 +279,9 @@ impl Orb {
         let addr = addr.clone();
         let telemetry = self.config.telemetry.clone();
         let engine = self.fault_engine.clone();
+        let batching = self.config.batching;
         let reconnector: Reconnector = Arc::new(move || {
-            Orb::dial(&exchange, &addr, telemetry.as_ref(), engine.as_ref())
+            Orb::dial(&exchange, &addr, telemetry.as_ref(), engine.as_ref(), batching)
         });
         binding.set_reconnector(reconnector);
         self.bindings.lock().insert(cache_key, binding.clone());

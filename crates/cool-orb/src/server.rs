@@ -36,7 +36,7 @@ use crate::exchange::{Inbound, LocalExchange};
 use crate::message_layer::cool::CoolMessage;
 use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
 use crate::object::{ObjectKey, ObjectRef, OrbAddr};
-use crate::transport::{ComChannel, FrameSink, TcpComChannel};
+use crate::transport::{BatchingChannel, ComChannel, FrameSink, TcpComChannel};
 use bytes::Bytes;
 use cool_giop::prelude::*;
 use cool_telemetry::{Gauge, Histogram, Registry, Stage};
@@ -117,6 +117,7 @@ impl OrbServer {
         let acceptor_tracker = tracker.clone();
         let cancel_cap = config.cancel_history;
         let telemetry = config.telemetry.clone();
+        let batching = config.batching;
         let acceptor = std::thread::Builder::new()
             .name("cool-tcp-acceptor".into())
             .spawn(move || loop {
@@ -128,8 +129,14 @@ impl OrbServer {
                         if let Ok(channel) =
                             TcpComChannel::from_stream_with(stream, telemetry.as_deref())
                         {
+                            // Reply-side coalescing, mirroring the client.
+                            let channel: Arc<dyn ComChannel> = Arc::new(channel);
+                            let channel = match batching {
+                                Some(policy) => BatchingChannel::wrap(channel, policy),
+                                None => channel,
+                            };
                             attach_connection(
-                                Arc::new(channel),
+                                channel,
                                 acceptor_adapter.clone(),
                                 acceptor_jobs.clone(),
                                 &acceptor_conns,
@@ -195,6 +202,7 @@ impl OrbServer {
         let acceptor_draining = draining.clone();
         let acceptor_tracker = tracker.clone();
         let cancel_cap = config.cancel_history;
+        let batching = config.batching;
         let handle = std::thread::Builder::new()
             .name("cool-exchange-acceptor".into())
             // Blocking recv: `unlisten` drops the exchange's sender, which
@@ -205,6 +213,11 @@ impl OrbServer {
                         channel.close(); // connector raced the shutdown
                         continue;
                     }
+                    // Reply-side coalescing, mirroring the client.
+                    let channel = match batching {
+                        Some(policy) => BatchingChannel::wrap(channel, policy),
+                        None => channel,
+                    };
                     attach_connection(
                         channel,
                         acceptor_adapter.clone(),
@@ -620,68 +633,79 @@ fn process_giop_frame(
     draining: &AtomicBool,
     tracker: &Arc<JobTracker>,
 ) -> bool {
-    let (msg, version, order) = match cool_giop::codec::decode_message_ext(frame) {
-        Ok(parts) => parts,
-        Err(_) => {
-            if let Ok(err_frame) = encode_message(
-                &Message::MessageError,
-                GiopVersion::STANDARD,
-                ByteOrder::Big,
-            ) {
-                let _ = conn.channel.send_frame(err_frame);
+    // Peers may coalesce several GIOP frames into one transport frame
+    // (see `crate::transport::batch`). Frames self-delimit, so split every
+    // inbound buffer unconditionally — sub-frames are zero-copy views —
+    // and handle the messages in arrival order.
+    for sub in cool_giop::codec::split_frames(frame) {
+        let (msg, version, order) = match sub.and_then(|s| Message::decode_frame(&s)) {
+            Ok(parts) => parts,
+            Err(_) => {
+                if let Ok(err_frame) = encode_message(
+                    &Message::MessageError,
+                    GiopVersion::STANDARD,
+                    ByteOrder::Big,
+                ) {
+                    let _ = conn.channel.send_frame(err_frame);
+                }
+                return false;
             }
+        };
+        let keep_open = match msg {
+            Message::Request { header, body } => {
+                if draining.load(Ordering::Acquire) {
+                    // Draining: refuse new work but keep the connection open
+                    // so replies for already-accepted requests still flow.
+                    true
+                } else if conn.cancelled.lock().remove(header.request_id) {
+                    true // client abandoned it before we started
+                } else {
+                    jobs.send(Job {
+                        conn: conn.clone(),
+                        work: Work::Giop {
+                            header,
+                            body,
+                            version,
+                            order,
+                        },
+                        enqueued: Instant::now(),
+                        _guard: tracker.track(),
+                    })
+                    .is_ok() // dispatchers gone: the server is closing
+                }
+            }
+            Message::CancelRequest { request_id } => {
+                conn.cancelled.lock().insert(request_id);
+                true
+            }
+            Message::LocateRequest(h) => {
+                // Raw-bytes probe: no ObjectKey allocation on this path.
+                let status = if adapter.contains(&h.object_key) {
+                    LocateStatus::ObjectHere
+                } else {
+                    LocateStatus::UnknownObject
+                };
+                let reply = Message::LocateReply(LocateReplyHeader {
+                    request_id: h.request_id,
+                    locate_status: status,
+                });
+                match encode_message(&reply, version, order) {
+                    Ok(frame) => conn.channel.send_frame(frame).is_ok(),
+                    Err(_) => false,
+                }
+            }
+            Message::CloseConnection => false,
+            Message::MessageError => false,
+            Message::Reply { .. } | Message::LocateReply(_) => {
+                // Clients do not send replies; protocol violation.
+                false
+            }
+        };
+        if !keep_open {
             return false;
         }
-    };
-    match msg {
-        Message::Request { header, body } => {
-            if draining.load(Ordering::Acquire) {
-                // Draining: refuse new work but keep the connection open so
-                // replies for already-accepted requests still flow.
-                return true;
-            }
-            if conn.cancelled.lock().remove(header.request_id) {
-                return true; // client abandoned it before we started
-            }
-            jobs.send(Job {
-                conn: conn.clone(),
-                work: Work::Giop {
-                    header,
-                    body,
-                    version,
-                    order,
-                },
-                enqueued: Instant::now(),
-                _guard: tracker.track(),
-            })
-            .is_ok() // dispatchers gone: the server is closing
-        }
-        Message::CancelRequest { request_id } => {
-            conn.cancelled.lock().insert(request_id);
-            true
-        }
-        Message::LocateRequest(h) => {
-            let status = if adapter.contains(&ObjectKey::new(h.object_key.clone())) {
-                LocateStatus::ObjectHere
-            } else {
-                LocateStatus::UnknownObject
-            };
-            let reply = Message::LocateReply(LocateReplyHeader {
-                request_id: h.request_id,
-                locate_status: status,
-            });
-            match encode_message(&reply, version, order) {
-                Ok(frame) => conn.channel.send_frame(frame).is_ok(),
-                Err(_) => false,
-            }
-        }
-        Message::CloseConnection => false,
-        Message::MessageError => false,
-        Message::Reply { .. } | Message::LocateReply(_) => {
-            // Clients do not send replies; protocol violation.
-            false
-        }
     }
+    true
 }
 
 fn process_cool_frame(
@@ -736,10 +760,11 @@ fn run_job(adapter: &Arc<ObjectAdapter>, job: Job) {
             if job.conn.cancelled.lock().remove(header.request_id) {
                 return;
             }
-            let key = ObjectKey::new(header.object_key.clone());
             let spec = QoSSpec::from_params(&header.qos_params);
+            // Dispatch by the header's raw key bytes — the demux map
+            // lookup borrows them, so no per-request ObjectKey clone.
             let outcome = adapter.dispatch_traced(
-                &key,
+                &header.object_key,
                 &header.operation,
                 &body,
                 &spec,
@@ -778,9 +803,8 @@ fn run_job(adapter: &Arc<ObjectAdapter>, job: Job) {
             one_way,
             args,
         } => {
-            let key = ObjectKey::new(object_key);
             let outcome = adapter.dispatch_traced(
-                &key,
+                &object_key,
                 &operation,
                 &args,
                 &QoSSpec::best_effort(),

@@ -144,6 +144,7 @@ impl ComChannel for FaultChannel {
                 self.forward(frame)
             }
             Some(FaultAction::Duplicate) => {
+                // lint: allow(L007, Bytes::clone is a refcount bump, not a copy)
                 self.forward(frame.clone())?;
                 self.forward(frame)
             }
@@ -157,6 +158,7 @@ impl ComChannel for FaultChannel {
                 }
             }
             Some(FaultAction::Corrupt { bit }) => {
+                // lint: allow(L007, corruption injection needs a mutable copy)
                 let mut buf = frame.to_vec();
                 FaultEngine::apply_corrupt(&mut buf, bit);
                 self.forward(Bytes::from(buf))

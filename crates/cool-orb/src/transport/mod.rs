@@ -43,11 +43,13 @@
 //! *same* channel (the delivery thread is the one that would unblock it) —
 //! the same re-entrancy rule the seed's demux thread had.
 
+pub mod batch;
 pub mod chorus;
 pub mod dacapo_chan;
 pub mod fault;
 pub mod tcp;
 
+pub use batch::BatchingChannel;
 pub use chorus::ChorusComChannel;
 pub use dacapo_chan::DacapoComChannel;
 pub use fault::{FaultChannel, FaultMetrics};

@@ -155,10 +155,13 @@ impl ComChannel for TcpComChannel {
             )));
         }
         let mut w = self.writer.lock();
-        let io = w
-            .write_all(&(frame.len() as u32).to_be_bytes())
-            .and_then(|()| w.write_all(&frame))
-            .and_then(|()| w.flush());
+        // One vectored write carries prefix + frame to the kernel together.
+        let io = dacapo::tlayer::write_frame_vectored(
+            &mut *w,
+            &(frame.len() as u32).to_be_bytes(),
+            &frame,
+        )
+        .and_then(|()| w.flush());
         io.map_err(|e| {
             if self.closed.load(Ordering::Acquire) {
                 OrbError::Closed

@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod allocs;
 pub mod lockorder;
 pub mod metrics;
 pub mod names;

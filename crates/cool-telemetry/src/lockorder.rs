@@ -59,6 +59,10 @@ pub mod rank {
     pub const BINDING_LAST_QOS: u32 = 39;
     /// `Binding::pending` — in-flight request slots.
     pub const BINDING_PENDING: u32 = 40;
+    /// `BatchingChannel::queue` — frames coalescing toward one transport
+    /// frame. Above the binding locks (send paths hold none deeper) and
+    /// below the channel locks the inner `send_frame` may take.
+    pub const CHAN_BATCH: u32 = 42;
     /// `Stub::qos` — requested QoS spec.
     pub const STUB_QOS: u32 = 44;
     /// `Stub::ladder` — QoS degradation ladder + steps taken.

@@ -75,8 +75,10 @@ impl AppEndpoint {
             return Err(DacapoError::Closed);
         }
         self.tx_meter.record(payload.len());
+        // The payload enters the stack as a shared view — no copy unless a
+        // module below needs to mutate it.
         self.to_stack
-            .send(Packet::data(&payload))
+            .send(Packet::data_shared(payload))
             .map_err(|_| DacapoError::Closed)
     }
 
@@ -90,9 +92,10 @@ impl AppEndpoint {
         if self.transport_closed() {
             return Err(DacapoError::Closed);
         }
-        match self.to_stack.try_send(Packet::data(&payload)) {
+        let len = payload.len();
+        match self.to_stack.try_send(Packet::data_shared(payload)) {
             Ok(()) => {
-                self.tx_meter.record(payload.len());
+                self.tx_meter.record(len);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => Err(DacapoError::Timeout(Duration::ZERO)),
@@ -117,7 +120,7 @@ impl AppEndpoint {
             Ok(pkt) => {
                 self.rx_meter.record(pkt.len());
                 self.quiesce.pulse();
-                Ok(pkt.to_bytes())
+                Ok(pkt.into_bytes())
             }
             Err(RecvTimeoutError::Timeout) => {
                 if self.transport_closed() {
@@ -144,7 +147,7 @@ impl AppEndpoint {
             Ok(pkt) => {
                 self.rx_meter.record(pkt.len());
                 self.quiesce.pulse();
-                Ok(pkt.to_bytes())
+                Ok(pkt.into_bytes())
             }
             Err(_) => Err(DacapoError::Closed),
         }

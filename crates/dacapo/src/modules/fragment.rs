@@ -6,7 +6,9 @@
 //! reached (losses must not leak memory forever).
 
 use crate::module::{Module, Outputs};
-use crate::packet::{Packet, PacketKind};
+use crate::packet::Packet;
+use bytes::Bytes;
+use cool_telemetry::allocs::record_buffer_alloc;
 use std::collections::HashMap;
 
 /// Default cap on concurrently reassembling groups.
@@ -27,7 +29,10 @@ pub struct FragmentModule {
 
 #[derive(Debug)]
 struct Group {
-    parts: Vec<Option<Vec<u8>>>,
+    /// Fragment payloads held as shared views of the incoming wire frames
+    /// — no per-fragment copy; reassembly copies each exactly once into a
+    /// single pre-sized buffer.
+    parts: Vec<Option<Bytes>>,
     received: usize,
     last_touch: u64,
 }
@@ -135,36 +140,32 @@ impl Module for FragmentModule {
             self.malformed_dropped += 1;
             return;
         }
+        let kind = pkt.kind();
         if group.parts[index].is_none() {
-            group.parts[index] = Some(pkt.payload().to_vec());
+            group.parts[index] = Some(pkt.into_bytes());
             group.received += 1;
         }
         if group.received == total {
             let Some(group) = self.groups.remove(&id) else {
                 return;
             };
-            let mut assembled = Vec::new();
-            let mut missing = false;
-            for part in group.parts {
-                match part {
-                    Some(bytes) => assembled.extend_from_slice(&bytes),
-                    None => missing = true,
-                }
-            }
-            if missing {
+            if group.parts.iter().any(Option::is_none) {
                 // `received` counts only first-time fills, so a complete
                 // group has every slot -- but a corrupt one must surface
                 // as a drop, never as a truncated message.
                 self.malformed_dropped += 1;
                 return;
             }
-            let mut whole = Packet::with_headroom(
-                &assembled,
-                crate::packet::DEFAULT_HEADROOM,
-                PacketKind::Data,
-            );
-            whole.set_kind(pkt.kind());
-            out.push_up(whole);
+            // Reassemble into one exactly-sized buffer: each fragment is
+            // copied once, from its shared wire-frame view straight to its
+            // final offset.
+            record_buffer_alloc();
+            let len = group.parts.iter().flatten().map(Bytes::len).sum();
+            let mut assembled = Vec::with_capacity(len);
+            for part in group.parts.iter().flatten() {
+                assembled.extend_from_slice(part);
+            }
+            out.push_up(Packet::from_shared(Bytes::from(assembled), kind));
         } else {
             self.evict_if_needed();
         }
@@ -174,6 +175,7 @@ impl Module for FragmentModule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::PacketKind;
 
     fn fragments(m: &mut FragmentModule, payload: &[u8]) -> Vec<Packet> {
         let mut out = Outputs::new();

@@ -2,7 +2,7 @@
 //!
 //! In the original Da CaPo, packets live in shared memory and modules
 //! exchange *pointers* over their queues (Figure 6). The Rust equivalent is
-//! an owned [`Packet`] moved through channels — a move is two machine
+//! an owned [`Packet`] moved through channels — a move is a few machine
 //! words; the payload is never copied by the queueing machinery itself.
 //!
 //! Protocol modules add their header on the way **down** and strip it on
@@ -10,8 +10,19 @@
 //! *headroom* in front of the payload: [`Packet::push_header`] writes into
 //! the headroom, [`Packet::pop_header`] gives it back. Trailers work
 //! symmetrically at the tail.
+//!
+//! Storage comes in two flavours. Packets built from an application
+//! payload own a `Vec<u8>` with headroom, as before. Packets arriving from
+//! a transport enter via [`Packet::from_shared`] as a *view* over the
+//! reference-counted wire frame ([`Bytes`]): the whole up-path — header
+//! pops, payload reads, handing the payload to the application — then
+//! needs no copy at all. Only a mutating operation (header/trailer push,
+//! [`Packet::payload_mut`], [`Packet::set_payload`]) converts a shared
+//! packet to owned storage, copying once and recording the copy with
+//! [`cool_telemetry::allocs::record_buffer_alloc`].
 
 use bytes::Bytes;
+use cool_telemetry::allocs::record_buffer_alloc;
 
 /// Default headroom reserved for module headers (bytes).
 pub const DEFAULT_HEADROOM: usize = 64;
@@ -26,10 +37,18 @@ pub enum PacketKind {
     Control,
 }
 
+/// Backing storage: a view over a shared wire frame (up-path, zero-copy)
+/// or an owned buffer with headroom (down-path, mutable).
+#[derive(Debug, Clone)]
+enum Storage {
+    Shared(Bytes),
+    Owned(Vec<u8>),
+}
+
 /// A packet travelling through a module graph.
 #[derive(Debug, Clone)]
 pub struct Packet {
-    storage: Vec<u8>,
+    storage: Storage,
     start: usize,
     end: usize,
     kind: PacketKind,
@@ -42,6 +61,12 @@ impl Packet {
         Packet::with_headroom(payload, DEFAULT_HEADROOM, PacketKind::Data)
     }
 
+    /// Creates a data packet around shared storage without copying; an
+    /// alias for [`Packet::from_shared`] with [`PacketKind::Data`].
+    pub fn data_shared(payload: Bytes) -> Self {
+        Packet::from_shared(payload, PacketKind::Data)
+    }
+
     /// Creates a control packet with the given body.
     pub fn control(body: &[u8]) -> Self {
         Packet::with_headroom(body, DEFAULT_HEADROOM, PacketKind::Control)
@@ -49,20 +74,39 @@ impl Packet {
 
     /// Creates a packet with explicit headroom.
     pub fn with_headroom(payload: &[u8], headroom: usize, kind: PacketKind) -> Self {
+        record_buffer_alloc();
         let mut storage = vec![0u8; headroom + payload.len()];
         storage[headroom..].copy_from_slice(payload);
         Packet {
-            storage,
+            storage: Storage::Owned(storage),
             start: headroom,
             end: headroom + payload.len(),
             kind,
         }
     }
 
-    /// Reconstructs a packet from a raw wire frame (no headroom needed on
-    /// the way up — headers are only *removed*).
+    /// Reconstructs a packet from a raw wire frame by copying it (no
+    /// headroom needed on the way up — headers are only *removed*).
+    ///
+    /// Prefer [`Packet::from_shared`] when the frame is already in shared
+    /// storage; this slice-only constructor remains for callers that never
+    /// materialised a [`Bytes`].
     pub fn from_wire(frame: &[u8], kind: PacketKind) -> Self {
         Packet::with_headroom(frame, 0, kind)
+    }
+
+    /// Wraps a shared wire frame as a packet **without copying**. The
+    /// packet is a view: header pops and payload reads stay zero-copy, and
+    /// [`Packet::into_bytes`] hands the remaining payload onward still
+    /// sharing the original frame's storage.
+    pub fn from_shared(frame: Bytes, kind: PacketKind) -> Self {
+        let end = frame.len();
+        Packet {
+            storage: Storage::Shared(frame),
+            start: 0,
+            end,
+            kind,
+        }
     }
 
     /// The packet kind.
@@ -78,12 +122,19 @@ impl Packet {
 
     /// Current payload view (between all pushed headers and trailers).
     pub fn payload(&self) -> &[u8] {
-        &self.storage[self.start..self.end]
+        match &self.storage {
+            Storage::Shared(b) => &b[self.start..self.end],
+            Storage::Owned(v) => &v[self.start..self.end],
+        }
     }
 
-    /// Mutable payload view.
+    /// Mutable payload view. Converts shared storage to owned (one copy).
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        &mut self.storage[self.start..self.end]
+        self.make_owned();
+        match &mut self.storage {
+            Storage::Owned(v) => &mut v[self.start..self.end],
+            Storage::Shared(_) => unreachable!("make_owned converted storage"),
+        }
     }
 
     /// Payload length in bytes.
@@ -96,57 +147,93 @@ impl Packet {
         self.len() == 0
     }
 
-    /// Copies the payload into an owned [`Bytes`].
+    /// The payload as [`Bytes`]. Zero-copy for shared packets; copies for
+    /// owned packets (which [`Packet::into_bytes`] avoids — prefer it when
+    /// the packet is consumed).
     pub fn to_bytes(&self) -> Bytes {
-        Bytes::copy_from_slice(self.payload())
+        match &self.storage {
+            Storage::Shared(b) => b.slice(self.start..self.end),
+            Storage::Owned(_) => {
+                record_buffer_alloc();
+                Bytes::copy_from_slice(self.payload())
+            }
+        }
+    }
+
+    /// Consumes the packet, returning its payload as [`Bytes`] without
+    /// copying: shared storage is sliced, owned storage is moved into
+    /// shared storage wholesale.
+    pub fn into_bytes(self) -> Bytes {
+        match self.storage {
+            Storage::Shared(b) => b.slice(self.start..self.end),
+            Storage::Owned(v) => Bytes::from(v).slice(self.start..self.end),
+        }
     }
 
     /// Prepends `header` to the payload, growing the storage if the
     /// headroom is exhausted.
     pub fn push_header(&mut self, header: &[u8]) {
+        self.make_owned();
+        let Storage::Owned(storage) = &mut self.storage else {
+            unreachable!("make_owned converted storage")
+        };
         if header.len() > self.start {
             // Grow: reallocate with fresh headroom in front.
+            record_buffer_alloc();
             let needed = header.len() + DEFAULT_HEADROOM;
-            let mut storage = vec![0u8; needed + (self.end - self.start)];
-            storage[needed..].copy_from_slice(self.payload());
-            self.storage = storage;
-            self.end = self.storage.len();
+            let mut grown = vec![0u8; needed + (self.end - self.start)];
+            grown[needed..].copy_from_slice(&storage[self.start..self.end]);
+            *storage = grown;
+            self.end = storage.len();
             self.start = needed;
         }
         self.start -= header.len();
-        self.storage[self.start..self.start + header.len()].copy_from_slice(header);
+        storage[self.start..self.start + header.len()].copy_from_slice(header);
     }
 
     /// Removes and returns the first `n` payload bytes (a header pushed by
-    /// the peer module).
+    /// the peer module). Zero-copy for shared packets.
     ///
     /// Returns `None` if the payload is shorter than `n`.
-    pub fn pop_header(&mut self, n: usize) -> Option<Vec<u8>> {
+    pub fn pop_header(&mut self, n: usize) -> Option<Bytes> {
         if self.len() < n {
             return None;
         }
-        let header = self.storage[self.start..self.start + n].to_vec();
+        let header = match &self.storage {
+            Storage::Shared(b) => b.slice(self.start..self.start + n),
+            // Headers are a handful of bytes — a small copy, not a
+            // data-path buffer allocation.
+            Storage::Owned(v) => Bytes::copy_from_slice(&v[self.start..self.start + n]),
+        };
         self.start += n;
         Some(header)
     }
 
     /// Appends `trailer` after the payload.
     pub fn push_trailer(&mut self, trailer: &[u8]) {
-        if self.end + trailer.len() > self.storage.len() {
-            self.storage.resize(self.end + trailer.len(), 0);
+        self.make_owned();
+        let Storage::Owned(storage) = &mut self.storage else {
+            unreachable!("make_owned converted storage")
+        };
+        if self.end + trailer.len() > storage.len() {
+            storage.resize(self.end + trailer.len(), 0);
         }
-        self.storage[self.end..self.end + trailer.len()].copy_from_slice(trailer);
+        storage[self.end..self.end + trailer.len()].copy_from_slice(trailer);
         self.end += trailer.len();
     }
 
-    /// Removes and returns the last `n` payload bytes.
+    /// Removes and returns the last `n` payload bytes. Zero-copy for
+    /// shared packets.
     ///
     /// Returns `None` if the payload is shorter than `n`.
-    pub fn pop_trailer(&mut self, n: usize) -> Option<Vec<u8>> {
+    pub fn pop_trailer(&mut self, n: usize) -> Option<Bytes> {
         if self.len() < n {
             return None;
         }
-        let trailer = self.storage[self.end - n..self.end].to_vec();
+        let trailer = match &self.storage {
+            Storage::Shared(b) => b.slice(self.end - n..self.end),
+            Storage::Owned(v) => Bytes::copy_from_slice(&v[self.end - n..self.end]),
+        };
         self.end -= n;
         Some(trailer)
     }
@@ -154,15 +241,35 @@ impl Packet {
     /// Replaces the payload entirely (used by transforming modules such as
     /// compression).
     pub fn set_payload(&mut self, payload: &[u8]) {
-        if self.start + payload.len() <= self.storage.len() {
-            self.storage[self.start..self.start + payload.len()].copy_from_slice(payload);
+        self.make_owned();
+        let Storage::Owned(storage) = &mut self.storage else {
+            unreachable!("make_owned converted storage")
+        };
+        if self.start + payload.len() <= storage.len() {
+            storage[self.start..self.start + payload.len()].copy_from_slice(payload);
             self.end = self.start + payload.len();
         } else {
+            record_buffer_alloc();
             let headroom = self.start;
-            let mut storage = vec![0u8; headroom + payload.len()];
-            storage[headroom..].copy_from_slice(payload);
-            self.storage = storage;
+            let mut grown = vec![0u8; headroom + payload.len()];
+            grown[headroom..].copy_from_slice(payload);
+            *storage = grown;
             self.end = headroom + payload.len();
+        }
+    }
+
+    /// Converts shared storage to an owned buffer with fresh headroom so
+    /// mutating operations can proceed. The single copy-on-write point of
+    /// the packet; no-op for packets already owned.
+    fn make_owned(&mut self) {
+        if let Storage::Shared(b) = &self.storage {
+            record_buffer_alloc();
+            let len = self.end - self.start;
+            let mut storage = vec![0u8; DEFAULT_HEADROOM + len];
+            storage[DEFAULT_HEADROOM..].copy_from_slice(&b[self.start..self.end]);
+            self.storage = Storage::Owned(storage);
+            self.start = DEFAULT_HEADROOM;
+            self.end = DEFAULT_HEADROOM + len;
         }
     }
 }
@@ -186,8 +293,8 @@ mod tests {
         p.push_header(b"H1");
         p.push_header(b"H2");
         assert_eq!(p.payload(), b"H2H1body");
-        assert_eq!(p.pop_header(2).unwrap(), b"H2");
-        assert_eq!(p.pop_header(2).unwrap(), b"H1");
+        assert_eq!(p.pop_header(2).unwrap(), &b"H2"[..]);
+        assert_eq!(p.pop_header(2).unwrap(), &b"H1"[..]);
         assert_eq!(p.payload(), b"body");
     }
 
@@ -197,8 +304,8 @@ mod tests {
         p.push_trailer(b"T1");
         p.push_trailer(b"T2");
         assert_eq!(p.payload(), b"bodyT1T2");
-        assert_eq!(p.pop_trailer(2).unwrap(), b"T2");
-        assert_eq!(p.pop_trailer(2).unwrap(), b"T1");
+        assert_eq!(p.pop_trailer(2).unwrap(), &b"T2"[..]);
+        assert_eq!(p.pop_trailer(2).unwrap(), &b"T1"[..]);
         assert_eq!(p.payload(), b"body");
     }
 
@@ -259,7 +366,55 @@ mod tests {
         let mut p = Packet::with_headroom(b"data", 0, PacketKind::Data);
         p.push_header(b"ABCD");
         assert_eq!(p.payload(), b"ABCDdata");
-        assert_eq!(p.pop_header(4).unwrap(), b"ABCD");
+        assert_eq!(p.pop_header(4).unwrap(), &b"ABCD"[..]);
         assert_eq!(p.payload(), b"data");
+    }
+
+    #[test]
+    fn from_shared_is_zero_copy_through_pop_and_into_bytes() {
+        let frame = Bytes::from(b"HDRpayload".to_vec());
+        let base = frame.as_ref().as_ptr();
+        let mut p = Packet::from_shared(frame, PacketKind::Data);
+        let hdr = p.pop_header(3).unwrap();
+        assert_eq!(hdr, &b"HDR"[..]);
+        // Header view and remaining payload both alias the original frame.
+        assert_eq!(hdr.as_ref().as_ptr(), base);
+        assert_eq!(p.payload(), b"payload");
+        let out = p.into_bytes();
+        assert_eq!(out, &b"payload"[..]);
+        assert_eq!(out.as_ref().as_ptr(), base.wrapping_add(3));
+    }
+
+    #[test]
+    fn shared_packet_copies_once_on_mutation() {
+        let frame = Bytes::from(b"abcdef".to_vec());
+        let mut p = Packet::from_shared(frame.clone(), PacketKind::Data);
+        p.payload_mut()[0] = b'z';
+        assert_eq!(p.payload(), b"zbcdef");
+        // The original shared frame is untouched.
+        assert_eq!(frame, &b"abcdef"[..]);
+        // After copy-on-write the packet has headroom for headers again.
+        p.push_header(b"HH");
+        assert_eq!(p.payload(), b"HHzbcdef");
+    }
+
+    #[test]
+    fn into_bytes_moves_owned_storage_without_copy() {
+        let mut p = Packet::data(b"body");
+        p.push_header(b"H");
+        let before = p.payload().as_ptr();
+        let out = p.into_bytes();
+        assert_eq!(out, &b"Hbody"[..]);
+        // The owned Vec moved into the Bytes arc: same backing address.
+        assert_eq!(out.as_ref().as_ptr(), before);
+    }
+
+    #[test]
+    fn trailer_pop_on_shared_storage_is_a_view() {
+        let frame = Bytes::from(b"payloadTT".to_vec());
+        let mut p = Packet::from_shared(frame, PacketKind::Data);
+        let t = p.pop_trailer(2).unwrap();
+        assert_eq!(t, &b"TT"[..]);
+        assert_eq!(p.payload(), b"payload");
     }
 }

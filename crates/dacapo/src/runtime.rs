@@ -378,7 +378,7 @@ pub fn build_stack(
                     match op.recv(&t_down_rx) {
                         Ok(pkt) => {
                             let wire_len = pkt.len() as u64;
-                            if transport.send(pkt.to_bytes()).is_err() {
+                            if transport.send(pkt.into_bytes()).is_err() {
                                 if !flag.load(Ordering::Acquire) {
                                     signal_transport_death(&dead, &app_up, &tx_quiesce);
                                 }
@@ -440,7 +440,7 @@ pub fn build_stack(
                             frames.inc();
                             bytes.add(frame.len() as u64);
                         }
-                        let pkt = Packet::from_wire(&frame, PacketKind::Data);
+                        let pkt = Packet::from_shared(frame, PacketKind::Data);
                         if up_bottom.send(pkt).is_err() {
                             return;
                         }

@@ -16,7 +16,7 @@ use crate::error::DacapoError;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -165,6 +165,35 @@ impl std::fmt::Debug for TcpTransport {
 /// Upper bound on a TCP frame (guards allocation on corrupt streams).
 const MAX_TCP_FRAME: u32 = 256 * 1024 * 1024;
 
+/// Writes `prefix` then `frame` with vectored I/O: the length prefix and
+/// the frame body go to the kernel in one `writev`-style call instead of
+/// two writes (which would tempt Nagle/delayed-ACK interactions and cost a
+/// syscall), looping on partial writes. Shared by every length-prefixed
+/// TCP framing in the workspace.
+pub fn write_frame_vectored<W: Write>(
+    w: &mut W,
+    prefix: &[u8],
+    frame: &[u8],
+) -> std::io::Result<()> {
+    let total = prefix.len() + frame.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < prefix.len() {
+            w.write_vectored(&[IoSlice::new(&prefix[written..]), IoSlice::new(frame)])?
+        } else {
+            w.write(&frame[written - prefix.len()..])?
+        };
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
+}
+
 /// Receive queue depth between the reader thread and `recv` callers. When
 /// full, the reader blocks, so backpressure lands in the kernel socket
 /// buffer (and ultimately the sender) instead of unbounded heap growth.
@@ -231,9 +260,7 @@ impl Transport for TcpTransport {
         }
         let mut writer = self.writer.lock();
         let len = (frame.len() as u32).to_be_bytes();
-        writer
-            .write_all(&len)
-            .and_then(|_| writer.write_all(&frame))
+        write_frame_vectored(&mut *writer, &len, &frame)
             .and_then(|_| writer.flush())
             .map_err(|e| DacapoError::Transport(format!("tcp send: {e}")))
     }

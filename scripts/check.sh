@@ -70,3 +70,25 @@ print("chaos smoke ok: %d/%d calls ok under %d faults, p99 %dus, %d reconnect(s)
 '
 cp "$chaos_dir/BENCH_chaos.json" BENCH_chaos.json
 rm -rf "$chaos_dir"
+
+# Throughput smoke: the zero-copy data path must keep a 2.4 Gbit/s link
+# busy at large packets and stay inside the two-allocation budget (one
+# request encode, one reply encode) on the loopback hot path. Quick mode
+# runs short, so the saturation bar here is 80% — the full run's 95%
+# target is asserted by the bench's own acceptance numbers in
+# BENCH_throughput.json.
+thr_dir=$(mktemp -d)
+(cd "$thr_dir" && cargo run -q --release -p bench --bin throughput \
+    --manifest-path "$OLDPWD/Cargo.toml" -- --quick) | tee "$thr_dir/out.txt"
+grep '^BENCH_JSON ' "$thr_dir/out.txt" | sed 's/^BENCH_JSON //' | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.read())
+assert doc["large"]["saturation"] >= 0.80, "link underutilized: %r" % doc
+assert doc["allocs_per_invocation"] <= 2.0, "alloc budget blown: %r" % doc
+print("throughput smoke ok: %.0f Mbit/s large (%.1f%% of link), "
+      "%.1f%% batching win, %.2f allocs/invocation"
+      % (doc["large"]["goodput_mbps"], 100 * doc["large"]["saturation"],
+         100 * doc["small"]["batching_win"], doc["allocs_per_invocation"]))
+'
+cp "$thr_dir/BENCH_throughput.json" BENCH_throughput.json
+rm -rf "$thr_dir"

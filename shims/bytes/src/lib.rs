@@ -12,8 +12,12 @@ use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// Backed by `Arc<Vec<u8>>` (not `Arc<[u8]>`) so `From<Vec<u8>>` — and
+/// therefore [`BytesMut::freeze`] — moves the vector behind the `Arc`
+/// without copying the contents.
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -184,7 +188,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -277,6 +281,11 @@ impl BytesMut {
     /// Clears the buffer.
     pub fn clear(&mut self) {
         self.inner.clear()
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len)
     }
 
     /// Appends a slice to the buffer.
