@@ -195,6 +195,33 @@ impl RttHarness {
         Self::with_listener_config("tcp-telemetry", config, |orb| orb.listen_tcp("127.0.0.1:0"))
     }
 
+    /// Loopback-TCP echo harness with *disjoint* client and server
+    /// registries — the two-process tracing topology, where the server's
+    /// stage timings reach the client only via GIOP service contexts.
+    /// `tracing: false` keeps the identical telemetry wiring but attaches
+    /// no trace contexts (`OrbConfig::tracing`), isolating the tracing
+    /// machinery's marginal cost.
+    pub fn new_with_split_telemetry(
+        client: Arc<cool_telemetry::Registry>,
+        server: Arc<cool_telemetry::Registry>,
+        tracing: bool,
+    ) -> Self {
+        Self::with_configs(
+            if tracing { "tcp-traced" } else { "tcp-untraced" },
+            OrbConfig {
+                telemetry: Some(client),
+                tracing,
+                ..Default::default()
+            },
+            OrbConfig {
+                telemetry: Some(server),
+                tracing,
+                ..Default::default()
+            },
+            |orb| orb.listen_tcp("127.0.0.1:0"),
+        )
+    }
+
     fn with_listener(
         tag: &str,
         listen: impl FnOnce(&Orb) -> Result<OrbServer, OrbError>,
@@ -207,11 +234,20 @@ impl RttHarness {
         config: OrbConfig,
         listen: impl FnOnce(&Orb) -> Result<OrbServer, OrbError>,
     ) -> Self {
+        Self::with_configs(tag, config.clone(), config, listen)
+    }
+
+    fn with_configs(
+        tag: &str,
+        client_config: OrbConfig,
+        server_config: OrbConfig,
+        listen: impl FnOnce(&Orb) -> Result<OrbServer, OrbError>,
+    ) -> Self {
         let exchange = LocalExchange::new();
         let server_orb = Orb::with_exchange_and_config(
             &format!("rtt-server-{tag}"),
             exchange.clone(),
-            config.clone(),
+            server_config,
         );
         server_orb
             .adapter()
@@ -219,7 +255,7 @@ impl RttHarness {
             .expect("register echo");
         let server = listen(&server_orb).expect("listen");
         let client_orb =
-            Orb::with_exchange_and_config(&format!("rtt-client-{tag}"), exchange, config);
+            Orb::with_exchange_and_config(&format!("rtt-client-{tag}"), exchange, client_config);
         let stub = client_orb.bind(&server.object_ref("echo")).expect("bind");
         RttHarness {
             server,

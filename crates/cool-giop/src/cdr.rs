@@ -428,6 +428,18 @@ impl<'a> CdrDecoder<'a> {
     /// [`GiopError::LengthOverflow`] for absurd lengths;
     /// [`GiopError::Underflow`] at end of input.
     pub fn get_octet_seq(&mut self) -> Result<Vec<u8>, GiopError> {
+        Ok(self.get_octet_slice()?.to_vec())
+    }
+
+    /// Reads a `sequence<octet>` as a borrowed slice of the input buffer —
+    /// the zero-copy form of [`get_octet_seq`](Self::get_octet_seq) for
+    /// callers that parse the bytes in place instead of keeping them.
+    ///
+    /// # Errors
+    ///
+    /// [`GiopError::LengthOverflow`] for absurd lengths;
+    /// [`GiopError::Underflow`] at end of input.
+    pub fn get_octet_slice(&mut self) -> Result<&'a [u8], GiopError> {
         let len = self.get_u32()?;
         if len > MAX_LENGTH {
             return Err(GiopError::LengthOverflow {
@@ -435,7 +447,7 @@ impl<'a> CdrDecoder<'a> {
                 limit: MAX_LENGTH as u64,
             });
         }
-        Ok(self.take(len as usize)?.to_vec())
+        self.take(len as usize)
     }
 
     /// Reads a sequence of decodable values.

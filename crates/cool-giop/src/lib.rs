@@ -46,6 +46,7 @@ pub mod error;
 pub mod message;
 pub mod qos;
 pub mod service_context;
+pub mod trace;
 pub mod version;
 
 pub use cdr::{ByteOrder, CdrDecode, CdrDecoder, CdrEncode, CdrEncoder};
@@ -57,6 +58,9 @@ pub use message::{
 };
 pub use qos::{ParamKind, QoSParameter};
 pub use service_context::{ServiceContext, ServiceContextList};
+pub use trace::{
+    ReplyTraceContext, RequestTraceContext, TRACE_REPLY_CONTEXT_ID, TRACE_REQUEST_CONTEXT_ID,
+};
 pub use version::GiopVersion;
 
 /// Convenient glob import for downstream crates.
@@ -70,5 +74,8 @@ pub mod prelude {
     };
     pub use crate::qos::{ParamKind, QoSParameter};
     pub use crate::service_context::{ServiceContext, ServiceContextList};
+    pub use crate::trace::{
+        ReplyTraceContext, RequestTraceContext, TRACE_REPLY_CONTEXT_ID, TRACE_REQUEST_CONTEXT_ID,
+    };
     pub use crate::version::GiopVersion;
 }

@@ -289,4 +289,82 @@ proptest! {
             .collect();
         prop_assert_eq!(rebatched, unbatched);
     }
+
+    /// A request whose service-context list mixes a real trace entry with
+    /// arbitrary unknown-tag entries re-encodes byte-identically: decode
+    /// preserves every entry (order, tags and payloads) even for tags the
+    /// implementation knows nothing about.
+    #[test]
+    fn service_contexts_reencode_byte_identically(
+        unknown in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..32)),
+            0..5,
+        ),
+        trace_at in proptest::option::of(0usize..5),
+        trace_id in any::<u64>(),
+        sent_at_ns in any::<u64>(),
+        marshal_us in any::<u32>(),
+        order in arb_order(),
+    ) {
+        let mut entries: Vec<ServiceContext> = unknown
+            .into_iter()
+            // Steer clear of the real trace tags so `find` is unambiguous.
+            .filter(|(id, _)| *id != TRACE_REQUEST_CONTEXT_ID && *id != TRACE_REPLY_CONTEXT_ID)
+            .map(|(id, data)| ServiceContext::new(id, data))
+            .collect();
+        if let Some(at) = trace_at {
+            let ctx = RequestTraceContext { trace_id, sent_at_ns, marshal_us };
+            entries.insert(at.min(entries.len()), ctx.to_service_context());
+        }
+        let list: ServiceContextList = entries.into_iter().collect();
+        let header = RequestHeader::builder(7, b"key".to_vec(), "op")
+            .service_context(list)
+            .build();
+        let msg = Message::Request { header, body: Bytes::from_static(b"body") };
+
+        let frame = encode_message(&msg, GiopVersion::STANDARD, order).unwrap();
+        let decoded = decode_message(&frame).unwrap();
+        prop_assert_eq!(&decoded, &msg);
+        let reencoded = encode_message(&decoded, GiopVersion::STANDARD, order).unwrap();
+        prop_assert_eq!(reencoded, frame);
+    }
+
+    /// Trace-context extraction finds the trace entry wherever it sits in
+    /// the list and ignores unknown tags entirely — a list without the
+    /// trace tag yields `None`, never a misparse of someone else's data.
+    #[test]
+    fn trace_decode_ignores_unknown_tags(
+        unknown in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..32)),
+            0..5,
+        ),
+        trace_at in proptest::option::of(0usize..5),
+        trace_id in any::<u64>(),
+        recv_at_ns in any::<u64>(),
+        sent_at_ns in any::<u64>(),
+        queue_wait_us in any::<u32>(),
+        negotiate_us in any::<u32>(),
+        execute_us in any::<u32>(),
+    ) {
+        let mut entries: Vec<ServiceContext> = unknown
+            .into_iter()
+            .filter(|(id, _)| *id != TRACE_REQUEST_CONTEXT_ID && *id != TRACE_REPLY_CONTEXT_ID)
+            .map(|(id, data)| ServiceContext::new(id, data))
+            .collect();
+        let ctx = ReplyTraceContext {
+            trace_id,
+            recv_at_ns,
+            sent_at_ns,
+            queue_wait_us,
+            negotiate_us,
+            execute_us,
+        };
+        if let Some(at) = trace_at {
+            entries.insert(at.min(entries.len()), ctx.to_service_context());
+        }
+        let list: ServiceContextList = entries.into_iter().collect();
+        prop_assert_eq!(ReplyTraceContext::from_list(&list), trace_at.map(|_| ctx));
+        // The other direction's tag is never confused for this one.
+        prop_assert_eq!(RequestTraceContext::from_list(&list), None);
+    }
 }

@@ -11,6 +11,8 @@
 use crate::error::OrbError;
 use crate::object::ObjectKey;
 use crate::servant::{FnServant, InvocationCtx, Servant};
+use cool_telemetry::flight::event as flight_event;
+use cool_telemetry::trace::duration_as_u32_us;
 use cool_telemetry::{Histogram, Registry, Stage};
 use multe_qos::{GrantedQoS, QoSSpec, ServerPolicy};
 use parking_lot::RwLock;
@@ -42,6 +44,18 @@ impl std::fmt::Debug for ObjectAdapter {
             .field("objects", &self.objects.read().len())
             .finish()
     }
+}
+
+/// How long the adapter-level stages of one dispatch took — the server
+/// half of a distributed trace (echoed to the client in the reply's
+/// trace service context, DESIGN.md §6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchTimings {
+    /// Time spent in bilateral QoS negotiation, in microseconds (zero for
+    /// best-effort requests — no negotiation takes place).
+    pub negotiate_us: u32,
+    /// Time spent in the servant upcall, in microseconds.
+    pub execute_us: u32,
 }
 
 /// Outcome of adapter-level request handling, before marshalling.
@@ -190,6 +204,23 @@ impl ObjectAdapter {
         one_way: bool,
         request_id: Option<u32>,
     ) -> DispatchOutcome {
+        self.dispatch_traced_timed(key, operation, args, spec, one_way, request_id)
+            .0
+    }
+
+    /// Like [`ObjectAdapter::dispatch_traced`], additionally reporting how
+    /// long negotiation and the servant upcall took so the server can echo
+    /// its half of a distributed trace back to the client.
+    pub fn dispatch_traced_timed(
+        &self,
+        key: impl AsRef<[u8]>,
+        operation: &str,
+        args: &[u8],
+        spec: &QoSSpec,
+        one_way: bool,
+        request_id: Option<u32>,
+    ) -> (DispatchOutcome, DispatchTimings) {
+        let mut timings = DispatchTimings::default();
         // Lookups go through `Borrow<[u8]>`, so a request header's raw key
         // bytes index the map directly — no per-dispatch `ObjectKey`.
         let key = key.as_ref();
@@ -198,9 +229,12 @@ impl ObjectAdapter {
             match objects.get(key) {
                 Some(reg) => (reg.servant.clone(), reg.policy.clone()),
                 None => {
-                    return DispatchOutcome::Error(OrbError::ObjectNotFound(
-                        String::from_utf8_lossy(key).into_owned(),
-                    ))
+                    return (
+                        DispatchOutcome::Error(OrbError::ObjectNotFound(
+                            String::from_utf8_lossy(key).into_owned(),
+                        )),
+                        timings,
+                    )
                 }
             }
         };
@@ -215,35 +249,47 @@ impl ObjectAdapter {
         } else {
             Some(policy.negotiate(spec))
         };
+        let neg_took = neg_start.elapsed();
+        timings.negotiate_us = duration_as_u32_us(neg_took);
         if let Some(t) = &self.telemetry {
             if let Some(result) = &negotiated {
                 multe_qos::telemetry::record_negotiation(&t.registry, spec, result);
             }
             if let Some(id) = request_id {
-                t.registry
-                    .span_mark(id, Stage::QosNegotiate, neg_start.elapsed());
+                t.registry.span_mark(id, Stage::QosNegotiate, neg_took);
             }
         }
         let granted = match negotiated {
             None => GrantedQoS::best_effort(),
             Some(Ok(granted)) => granted,
-            Some(Err(reason)) => return DispatchOutcome::QosNack(reason),
+            Some(Err(reason)) => {
+                if let Some(t) = &self.telemetry {
+                    t.registry.flight_event(
+                        flight_event::QOS_NACK,
+                        request_id,
+                        format!("{operation}: {reason}"),
+                    );
+                }
+                return (DispatchOutcome::QosNack(reason), timings);
+            }
         };
 
         let ctx = InvocationCtx::new(granted.clone(), operation, one_way);
         let exec_start = Instant::now();
         let result = servant.dispatch(operation, args, &ctx);
+        let took = exec_start.elapsed();
+        timings.execute_us = duration_as_u32_us(took);
         if let Some(t) = &self.telemetry {
-            let took = exec_start.elapsed();
             t.execute_us.record_duration_us(took);
             if let Some(id) = request_id {
                 t.registry.span_mark(id, Stage::ServantExecute, took);
             }
         }
-        match result {
+        let outcome = match result {
             Ok(body) => DispatchOutcome::Success { body, granted },
             Err(e) => DispatchOutcome::Error(e),
-        }
+        };
+        (outcome, timings)
     }
 }
 
@@ -263,10 +309,10 @@ mod tests {
     #[test]
     fn register_and_dispatch() {
         let adapter = echo_adapter();
-        assert!(adapter.contains(&ObjectKey::from("echo")));
+        assert!(adapter.contains(ObjectKey::from("echo")));
         assert_eq!(adapter.len(), 1);
         match adapter.dispatch(
-            &ObjectKey::from("echo"),
+            ObjectKey::from("echo"),
             "any",
             b"data",
             &QoSSpec::best_effort(),
@@ -292,7 +338,7 @@ mod tests {
     fn unknown_object_reported() {
         let adapter = ObjectAdapter::new();
         match adapter.dispatch(
-            &ObjectKey::from("ghost"),
+            ObjectKey::from("ghost"),
             "op",
             b"",
             &QoSSpec::best_effort(),
@@ -336,7 +382,7 @@ mod tests {
         let spec = QoSSpec::builder()
             .throughput_bps(5_000_000, 500_000, 10_000_000)
             .build();
-        match adapter.dispatch(&ObjectKey::from("media"), "get", b"", &spec, false) {
+        match adapter.dispatch(ObjectKey::from("media"), "get", b"", &spec, false) {
             DispatchOutcome::Success { body, granted } => {
                 assert_eq!(granted.throughput_bps(), Some(1_000_000));
                 assert_eq!(body, 1_000_000u32.to_be_bytes());
@@ -359,7 +405,7 @@ mod tests {
         let spec = QoSSpec::builder()
             .throughput_bps(1_000_000, 500_000, 2_000_000)
             .build();
-        match adapter.dispatch(&ObjectKey::from("weak"), "get", b"", &spec, false) {
+        match adapter.dispatch(ObjectKey::from("weak"), "get", b"", &spec, false) {
             DispatchOutcome::QosNack(reason) => {
                 assert!(reason.to_string().contains("throughput"));
             }
@@ -412,7 +458,7 @@ mod tests {
             })
             .unwrap();
         match adapter.dispatch(
-            &ObjectKey::from("picky"),
+            ObjectKey::from("picky"),
             "nope",
             b"",
             &QoSSpec::best_effort(),

@@ -32,7 +32,8 @@ use crate::message_layer::{giop as giop_helpers, sniff, WireProtocol};
 use crate::transport::{ComChannel, FrameSink};
 use bytes::Bytes;
 use cool_giop::prelude::*;
-use cool_telemetry::{names, Counter, Histogram, Registry, SpanOutcome, Stage};
+use cool_telemetry::flight::event as flight_event;
+use cool_telemetry::{names, Counter, Histogram, Registry, ServerTraceTiming, SpanOutcome, Stage};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use multe_qos::{GrantedQoS, TransportRequirements};
 use cool_telemetry::lockorder::OrderedMutex;
@@ -77,6 +78,7 @@ struct ClientMetrics {
     latency: Arc<Histogram>,
     timeouts: Arc<Counter>,
     reconnects: Arc<Counter>,
+    ctx_bytes: Arc<Counter>,
 }
 
 impl ClientMetrics {
@@ -87,23 +89,33 @@ impl ClientMetrics {
             latency: registry.histogram(&Registry::labeled("orb_invocation_latency_us", labels)),
             timeouts: registry.counter("orb_timeouts_total"),
             reconnects: registry.counter(names::RECONNECTS_TOTAL),
+            ctx_bytes: registry.counter(names::SERVICE_CONTEXT_BYTES),
             registry,
         }
     }
 
-    /// Closes the span for a completed invocation and feeds the
-    /// invocation counter + end-to-end latency histogram.
+    /// Closes the span for a completed invocation (merging the distributed
+    /// trace when one is pending) and feeds the invocation counter +
+    /// end-to-end latency histogram.
     fn finish_invocation(&self, request_id: u32, result: &ReplyResult) {
-        let total = self.registry.span_finish(request_id, outcome_of(result));
+        let total_us = self
+            .registry
+            .span_finish_traced(request_id, outcome_of(result));
         self.invocations.inc();
         if matches!(result, Err(OrbError::Timeout { .. })) {
             self.timeouts.inc();
         }
         if result.is_ok() {
-            if let Some(total) = total {
-                self.latency.record_duration_us(total);
+            if let Some(total_us) = total_us {
+                self.latency.record(total_us);
             }
         }
+    }
+
+    /// Closes the span (and any pending trace) for an invocation that
+    /// never completed normally — encode or send failure, cancellation.
+    fn abort_invocation(&self, request_id: u32, outcome: SpanOutcome) {
+        self.registry.span_finish_traced(request_id, outcome);
     }
 }
 
@@ -151,6 +163,9 @@ pub struct Binding {
     reconnector: OnceLock<Reconnector>,
     default_timeout: Duration,
     telemetry: Option<ClientMetrics>,
+    /// Whether outgoing requests carry a trace service context
+    /// ([`OrbConfig::tracing`]); meaningless without telemetry.
+    tracing: bool,
 }
 
 impl std::fmt::Debug for Binding {
@@ -231,6 +246,7 @@ impl Binding {
             reconnector: OnceLock::new(),
             default_timeout: config.call_timeout,
             telemetry,
+            tracing: config.tracing,
         })
     }
 
@@ -312,6 +328,11 @@ impl Binding {
         *self.conn.lock() = ConnHandle { channel, closed };
         if let Some(t) = &self.telemetry {
             t.reconnects.inc();
+            t.registry.flight_event(
+                flight_event::RECONNECT,
+                None,
+                format!("channel {} redialed", self.current().channel.kind()),
+            );
         }
         Ok(())
     }
@@ -320,6 +341,7 @@ impl Binding {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn encode_request(
         &self,
         request_id: u32,
@@ -328,31 +350,72 @@ impl Binding {
         args: Bytes,
         qos_params: &[QoSParameter],
         response_expected: bool,
-    ) -> Result<Bytes, OrbError> {
+        started: Instant,
+    ) -> Result<(Bytes, Option<cool_telemetry::ClientTrace>), OrbError> {
         match self.protocol {
-            WireProtocol::Giop => giop_helpers::make_request(
-                request_id,
-                object_key,
-                operation,
-                args,
-                qos_params.to_vec(),
-                response_expected,
-                self.order,
-            ),
+            WireProtocol::Giop => {
+                // With telemetry enabled (and tracing not switched off in
+                // the config) every GIOP request carries a trace service
+                // context: a fresh trace id plus the client's send
+                // timestamp, so the server can join its half of the span
+                // (DESIGN.md §6). Otherwise nothing is attached and the
+                // wire bytes are identical to the untraced build. The
+                // client half is returned to the caller, which attaches it
+                // to the span while marking `Marshal` — one lock for both.
+                let trace = self.telemetry.as_ref().filter(|_| self.tracing).map(|t| {
+                    let trace_id = cool_telemetry::next_trace_id();
+                    let sent_mono = Instant::now();
+                    let sent_at_ns = cool_telemetry::now_wall_ns();
+                    let ctx = RequestTraceContext {
+                        trace_id,
+                        sent_at_ns,
+                        marshal_us: cool_telemetry::duration_as_u32_us(
+                            sent_mono.saturating_duration_since(started),
+                        ),
+                    };
+                    t.ctx_bytes.add(RequestTraceContext::WIRE_LEN as u64);
+                    (
+                        ctx,
+                        cool_telemetry::ClientTrace {
+                            trace_id,
+                            sent_at_ns,
+                            sent_mono,
+                        },
+                    )
+                });
+                let (ctx, client) = match trace {
+                    Some((ctx, client)) => (Some(ctx), Some(client)),
+                    None => (None, None),
+                };
+                giop_helpers::make_request(
+                    request_id,
+                    object_key,
+                    operation,
+                    args,
+                    qos_params.to_vec(),
+                    response_expected,
+                    ctx.as_ref(),
+                    self.order,
+                )
+                .map(|frame| (frame, client))
+            }
             WireProtocol::Cool => {
                 if !qos_params.is_empty() {
                     return Err(OrbError::Protocol(
                         "the cool message protocol carries no qos parameters; use giop".into(),
                     ));
                 }
-                Ok(CoolMessage::Request {
-                    request_id,
-                    object_key: object_key.to_vec(),
-                    operation: operation.to_owned(),
-                    one_way: !response_expected,
-                    args,
-                }
-                .encode())
+                Ok((
+                    CoolMessage::Request {
+                        request_id,
+                        object_key: object_key.to_vec(),
+                        operation: operation.to_owned(),
+                        one_way: !response_expected,
+                        args,
+                    }
+                    .encode(),
+                    None,
+                ))
             }
         }
     }
@@ -387,26 +450,26 @@ impl Binding {
             t.registry
                 .span_begin(request_id, operation, conn.channel.kind());
         }
-        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
+        let (frame, trace) = match self.encode_request(request_id, object_key, operation, args, qos_params, true, start)
         {
-            Ok(frame) => frame,
+            Ok(pair) => pair,
             Err(e) => {
                 if let Some(t) = &self.telemetry {
-                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                    t.abort_invocation(request_id, SpanOutcome::Error);
                 }
                 return Err(e);
             }
         };
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_mark(request_id, Stage::Marshal, start.elapsed());
+                .span_mark_attach(request_id, Stage::Marshal, start.elapsed(), trace);
         }
         let rx = self.register_sync(request_id);
         let send_start = Instant::now();
         if let Err(e) = conn.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
             if let Some(t) = &self.telemetry {
-                t.registry.span_finish(request_id, SpanOutcome::Error);
+                t.abort_invocation(request_id, SpanOutcome::Error);
             }
             return Err(e);
         }
@@ -453,19 +516,19 @@ impl Binding {
             t.registry
                 .span_begin(request_id, operation, conn.channel.kind());
         }
-        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, false)
+        let (frame, trace) = match self.encode_request(request_id, object_key, operation, args, qos_params, false, start)
         {
-            Ok(frame) => frame,
+            Ok(pair) => pair,
             Err(e) => {
                 if let Some(t) = &self.telemetry {
-                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                    t.abort_invocation(request_id, SpanOutcome::Error);
                 }
                 return Err(e);
             }
         };
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_mark(request_id, Stage::Marshal, start.elapsed());
+                .span_mark_attach(request_id, Stage::Marshal, start.elapsed(), trace);
         }
         let send_start = Instant::now();
         let sent = conn.channel.send_frame(frame);
@@ -479,7 +542,9 @@ impl Binding {
                 }
                 Err(_) => SpanOutcome::Error,
             };
-            t.registry.span_finish(request_id, outcome);
+            // `span_finish_traced` also retires the trace entry the
+            // one-way request opened (there is no reply to merge).
+            t.registry.span_finish_traced(request_id, outcome);
             t.invocations.inc();
         }
         sent
@@ -508,26 +573,26 @@ impl Binding {
             t.registry
                 .span_begin(request_id, operation, conn.channel.kind());
         }
-        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
+        let (frame, trace) = match self.encode_request(request_id, object_key, operation, args, qos_params, true, start)
         {
-            Ok(frame) => frame,
+            Ok(pair) => pair,
             Err(e) => {
                 if let Some(t) = &self.telemetry {
-                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                    t.abort_invocation(request_id, SpanOutcome::Error);
                 }
                 return Err(e);
             }
         };
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_mark(request_id, Stage::Marshal, start.elapsed());
+                .span_mark_attach(request_id, Stage::Marshal, start.elapsed(), trace);
         }
         let rx = self.register_sync(request_id);
         let send_start = Instant::now();
         if let Err(e) = conn.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
             if let Some(t) = &self.telemetry {
-                t.registry.span_finish(request_id, SpanOutcome::Error);
+                t.abort_invocation(request_id, SpanOutcome::Error);
             }
             return Err(e);
         }
@@ -571,19 +636,19 @@ impl Binding {
             t.registry
                 .span_begin(request_id, operation, conn.channel.kind());
         }
-        let frame = match self.encode_request(request_id, object_key, operation, args, qos_params, true)
+        let (frame, trace) = match self.encode_request(request_id, object_key, operation, args, qos_params, true, start)
         {
-            Ok(frame) => frame,
+            Ok(pair) => pair,
             Err(e) => {
                 if let Some(t) = &self.telemetry {
-                    t.registry.span_finish(request_id, SpanOutcome::Error);
+                    t.abort_invocation(request_id, SpanOutcome::Error);
                 }
                 return Err(e);
             }
         };
         if let Some(t) = &self.telemetry {
             t.registry
-                .span_mark(request_id, Stage::Marshal, start.elapsed());
+                .span_mark_attach(request_id, Stage::Marshal, start.elapsed(), trace);
         }
         // With telemetry on, the callback is wrapped so the span closes
         // (and the invocation counters tick) before the user code runs —
@@ -605,7 +670,7 @@ impl Binding {
         if let Err(e) = conn.channel.send_frame(frame) {
             self.pending.lock().remove(&request_id);
             if let Some(t) = &self.telemetry {
-                t.registry.span_finish(request_id, SpanOutcome::Error);
+                t.abort_invocation(request_id, SpanOutcome::Error);
             }
             return Err(e);
         }
@@ -711,7 +776,35 @@ fn demux_frame(
                         let slot = pending.lock().remove(&header.request_id);
                         if let Some(slot) = slot {
                             let result = giop_helpers::interpret_reply(&header, &body, order);
-                            mark_decode(header.request_id);
+                            if let Some(r) = registry {
+                                // A traced server echoes its half of the
+                                // span in a reply service context; stash it
+                                // on the active span (same lock as the
+                                // decode mark) so the span finish merges
+                                // both halves into one TraceRecord. The
+                                // reply's arrival instant stands in for the
+                                // client receive stamp, derived against the
+                                // span's send stamp under that same lock.
+                                let reply = ReplyTraceContext::from_list(&header.service_context)
+                                    .map(|ctx| {
+                                        (
+                                            ServerTraceTiming {
+                                                recv_at_ns: ctx.recv_at_ns,
+                                                sent_at_ns: ctx.sent_at_ns,
+                                                queue_wait_us: ctx.queue_wait_us,
+                                                negotiate_us: ctx.negotiate_us,
+                                                execute_us: ctx.execute_us,
+                                            },
+                                            decode_start,
+                                        )
+                                    });
+                                r.span_mark_reply(
+                                    header.request_id,
+                                    Stage::ReplyDecode,
+                                    decode_start.elapsed(),
+                                    reply,
+                                );
+                            }
                             slot.complete(result);
                         }
                     }
@@ -846,8 +939,7 @@ impl DeferredReply {
         self.done = true;
         if self.pending.lock().remove(&self.request_id).is_some() {
             if let Some(t) = &self.telemetry {
-                t.registry
-                    .span_finish(self.request_id, SpanOutcome::Cancelled);
+                t.abort_invocation(self.request_id, SpanOutcome::Cancelled);
             }
             let msg = Message::CancelRequest {
                 request_id: self.request_id,
@@ -866,8 +958,7 @@ impl Drop for DeferredReply {
             // does not hold a dead sender forever.
             self.pending.lock().remove(&self.request_id);
             if let Some(t) = &self.telemetry {
-                t.registry
-                    .span_finish(self.request_id, SpanOutcome::Cancelled);
+                t.abort_invocation(self.request_id, SpanOutcome::Cancelled);
             }
         }
     }

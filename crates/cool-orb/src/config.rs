@@ -45,6 +45,14 @@ pub struct OrbConfig {
     /// on absent handles. Share one [`Registry`] between a client and a
     /// server ORB to see both halves of each invocation span.
     pub telemetry: Option<Arc<Registry>>,
+    /// Whether invocations carry distributed-trace service contexts on the
+    /// wire (DESIGN.md §6). On by default whenever `telemetry` is set;
+    /// turning it off keeps every local metric and span but attaches no
+    /// trace context to requests and joins none on the server — for
+    /// deployments that must not leak timing data across process
+    /// boundaries, and for measuring the tracing machinery's own cost
+    /// (the `trace_overhead` bench). Ignored when `telemetry` is `None`.
+    pub tracing: bool,
     /// Automatic retry for remote invocations. `None` (the default) keeps
     /// the historical single-attempt behaviour; `Some` makes every stub
     /// replay retryable errors (see [`crate::OrbError::is_retryable`]) with
@@ -62,6 +70,34 @@ pub struct OrbConfig {
     /// bounded delay for per-frame overhead — the paper's Figure 9
     /// small-packet regime.
     pub batching: Option<BatchingPolicy>,
+    /// Live introspection endpoint. `None` (the default) starts nothing —
+    /// no listener, no sampler thread, zero cost. `Some` makes the ORB
+    /// serve `/metrics`, `/spans`, `/flight` and `/gauges?window=` over a
+    /// tiny hand-rolled loopback HTTP server (DESIGN.md §6); an ORB
+    /// configured this way without a telemetry registry gets a private
+    /// one so the endpoint always has data behind it.
+    pub introspect: Option<IntrospectPolicy>,
+}
+
+/// Where and how the introspection endpoint runs (see
+/// [`OrbConfig::introspect`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntrospectPolicy {
+    /// Bind address; keep it loopback (`127.0.0.1:0` by default — the
+    /// real port is available from `Orb::introspect_addr`). The endpoint
+    /// is unauthenticated by design, for local operators and smoke tests.
+    pub bind_addr: String,
+    /// Gauge sampling period for the `/gauges` time series.
+    pub sample_period: Duration,
+}
+
+impl Default for IntrospectPolicy {
+    fn default() -> Self {
+        IntrospectPolicy {
+            bind_addr: "127.0.0.1:0".to_string(),
+            sample_period: cool_telemetry::DEFAULT_SAMPLE_PERIOD,
+        }
+    }
 }
 
 /// Limits for the opportunistic frame coalescer (see
@@ -106,9 +142,11 @@ impl PartialEq for OrbConfig {
             && self.dispatch_queue_depth == other.dispatch_queue_depth
             && self.cancel_history == other.cancel_history
             && same_registry
+            && self.tracing == other.tracing
             && self.retry == other.retry
             && same_plan
             && self.batching == other.batching
+            && self.introspect == other.introspect
     }
 }
 
@@ -120,9 +158,11 @@ impl Default for OrbConfig {
             dispatch_queue_depth: 256,
             cancel_history: 1024,
             telemetry: None,
+            tracing: true,
             retry: None,
             fault_plan: None,
             batching: None,
+            introspect: None,
         }
     }
 }
@@ -139,9 +179,34 @@ mod tests {
         assert!(c.dispatch_queue_depth >= c.dispatcher_threads);
         assert!(c.cancel_history > 0);
         assert!(c.telemetry.is_none());
+        assert!(c.tracing, "tracing is on by default when telemetry is");
         assert!(c.retry.is_none(), "retry must be opt-in");
         assert!(c.fault_plan.is_none(), "fault injection must be opt-in");
         assert!(c.batching.is_none(), "frame batching must be opt-in");
+        assert!(c.introspect.is_none(), "introspection must be opt-in");
+    }
+
+    #[test]
+    fn equality_covers_introspect() {
+        let a = OrbConfig::default();
+        let b = OrbConfig {
+            introspect: Some(IntrospectPolicy::default()),
+            ..OrbConfig::default()
+        };
+        assert_ne!(a, b);
+        let c = OrbConfig {
+            introspect: Some(IntrospectPolicy::default()),
+            ..OrbConfig::default()
+        };
+        assert_eq!(b, c);
+        let d = OrbConfig {
+            introspect: Some(IntrospectPolicy {
+                bind_addr: "127.0.0.1:9100".to_string(),
+                ..IntrospectPolicy::default()
+            }),
+            ..OrbConfig::default()
+        };
+        assert_ne!(b, d);
     }
 
     #[test]

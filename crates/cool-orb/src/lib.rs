@@ -72,7 +72,7 @@ pub mod transport;
 pub use adapter::ObjectAdapter;
 pub use binding::{Binding, DeferredReply};
 pub use cool_faults::{FaultAction, FaultEngine, FaultPlan, FaultPlanBuilder};
-pub use config::{BatchingPolicy, OrbConfig};
+pub use config::{BatchingPolicy, IntrospectPolicy, OrbConfig};
 pub use error::OrbError;
 pub use exchange::LocalExchange;
 pub use naming::{NameClient, NameServer};
@@ -90,7 +90,7 @@ pub use stream::{
 pub mod prelude {
     pub use crate::adapter::ObjectAdapter;
     pub use crate::binding::{Binding, DeferredReply};
-    pub use crate::config::{BatchingPolicy, OrbConfig};
+    pub use crate::config::{BatchingPolicy, IntrospectPolicy, OrbConfig};
     pub use cool_faults::{FaultPlan, FaultPlanBuilder};
     pub use crate::error::OrbError;
     pub use crate::exchange::LocalExchange;

@@ -14,11 +14,13 @@ use multe_qos::{GrantedQoS, QosError, Reliability};
 /// Service context id carrying granted QoS values in Replies (`"QOS\0"`).
 pub const QOS_CONTEXT_ID: u32 = 0x514F_5300;
 
-/// Builds the Request frame for an invocation.
+/// Builds the Request frame for an invocation, optionally attaching the
+/// distributed-trace service context (see `cool_giop::trace`).
 ///
 /// # Errors
 ///
 /// [`OrbError::Marshal`] if encoding fails.
+#[allow(clippy::too_many_arguments)]
 pub fn make_request(
     request_id: u32,
     object_key: &[u8],
@@ -26,6 +28,7 @@ pub fn make_request(
     args: Bytes,
     qos_params: Vec<QoSParameter>,
     response_expected: bool,
+    trace: Option<&RequestTraceContext>,
     order: ByteOrder,
 ) -> Result<Bytes, OrbError> {
     let version = if qos_params.is_empty() {
@@ -33,15 +36,21 @@ pub fn make_request(
     } else {
         GiopVersion::QOS_EXTENDED
     };
-    let header = RequestHeader::builder(request_id, object_key.to_vec(), operation)
+    let mut builder = RequestHeader::builder(request_id, object_key.to_vec(), operation)
         .response_expected(response_expected)
-        .qos_params(qos_params)
-        .build();
-    let msg = Message::Request { header, body: args };
+        .qos_params(qos_params);
+    if let Some(trace) = trace {
+        builder = builder.service_context([trace.to_service_context()].into_iter().collect());
+    }
+    let msg = Message::Request {
+        header: builder.build(),
+        body: args,
+    };
     encode_message(&msg, version, order).map_err(OrbError::from)
 }
 
-/// Builds a successful Reply, optionally attaching the granted QoS.
+/// Builds a successful Reply, optionally attaching the granted QoS and
+/// the server half of a distributed trace.
 ///
 /// # Errors
 ///
@@ -50,17 +59,20 @@ pub fn make_reply(
     request_id: u32,
     body: Bytes,
     granted: Option<&GrantedQoS>,
+    trace: Option<&ReplyTraceContext>,
     version: GiopVersion,
     order: ByteOrder,
 ) -> Result<Bytes, OrbError> {
     let mut header = ReplyHeader::new(request_id, ReplyStatus::NoException);
     if let Some(granted) = granted {
         if !granted.is_best_effort() {
-            header.service_context = ServiceContextList(vec![ServiceContext::new(
-                QOS_CONTEXT_ID,
-                encode_granted(granted),
-            )]);
+            header
+                .service_context
+                .push(ServiceContext::new(QOS_CONTEXT_ID, encode_granted(granted)));
         }
+    }
+    if let Some(trace) = trace {
+        header.service_context.push(trace.to_service_context());
     }
     let msg = Message::Reply { header, body };
     encode_message(&msg, version, order).map_err(OrbError::from)
@@ -299,6 +311,7 @@ mod tests {
             Bytes::from_static(b"args"),
             vec![],
             true,
+            None,
             ByteOrder::Big,
         )
         .unwrap();
@@ -318,6 +331,7 @@ mod tests {
             7,
             Bytes::from_static(b"result"),
             Some(&granted),
+            None,
             GiopVersion::STANDARD,
             ByteOrder::Big,
         )
@@ -336,9 +350,72 @@ mod tests {
     #[test]
     fn qos_request_uses_version_9_9() {
         let qos = vec![QoSParameter::new(ParamKind::Throughput, 1, 2, 0)];
-        let frame = make_request(1, b"k", "m", Bytes::new(), qos, true, ByteOrder::Little).unwrap();
+        let frame =
+            make_request(1, b"k", "m", Bytes::new(), qos, true, None, ByteOrder::Little).unwrap();
         let (_, version, _) = cool_giop::codec::decode_message_ext(&frame).unwrap();
         assert_eq!(version, GiopVersion::QOS_EXTENDED);
+    }
+
+    #[test]
+    fn trace_contexts_ride_request_and_reply() {
+        let req_trace = RequestTraceContext {
+            trace_id: 99,
+            sent_at_ns: 1_000,
+            marshal_us: 4,
+        };
+        let frame = make_request(
+            11,
+            b"obj",
+            "op",
+            Bytes::new(),
+            vec![],
+            true,
+            Some(&req_trace),
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let (msg, _, _) = cool_giop::codec::decode_message_ext(&frame).unwrap();
+        match msg {
+            Message::Request { header, .. } => {
+                assert_eq!(
+                    RequestTraceContext::from_list(&header.service_context),
+                    Some(req_trace)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let rep_trace = ReplyTraceContext {
+            trace_id: 99,
+            recv_at_ns: 2_000,
+            sent_at_ns: 3_000,
+            queue_wait_us: 1,
+            negotiate_us: 2,
+            execute_us: 3,
+        };
+        let granted = sample_granted();
+        let reply = make_reply(
+            11,
+            Bytes::new(),
+            Some(&granted),
+            Some(&rep_trace),
+            GiopVersion::STANDARD,
+            ByteOrder::Big,
+        )
+        .unwrap();
+        let (msg, _, order) = cool_giop::codec::decode_message_ext(&reply).unwrap();
+        match msg {
+            Message::Reply { header, body } => {
+                assert_eq!(
+                    ReplyTraceContext::from_list(&header.service_context),
+                    Some(rep_trace)
+                );
+                // The QoS context still decodes next to the trace entry.
+                let (_, g) = interpret_reply(&header, &body, order).unwrap();
+                assert_eq!(g, Some(granted));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

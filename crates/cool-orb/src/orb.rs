@@ -12,7 +12,8 @@ use crate::server::OrbServer;
 use crate::transport::{ComChannel, FaultChannel, FaultMetrics};
 use bytes::Bytes;
 use cool_faults::FaultEngine;
-use cool_telemetry::{names, Counter, Registry};
+use cool_telemetry::flight::event as flight_event;
+use cool_telemetry::{names, Counter, IntrospectServer, Registry};
 use multe_qos::{GrantedQoS, QoSSpec, ServerPolicy, TransportRequirements};
 use cool_telemetry::lockorder::OrderedMutex;
 use cool_telemetry::lockorder::rank as lock_rank;
@@ -33,6 +34,9 @@ pub struct Orb {
     /// reconnects), so the injected fault sequence is a deterministic
     /// function of the plan seed and the outbound frame sequence.
     fault_engine: Option<Arc<FaultEngine>>,
+    /// The live introspection endpoint (`OrbConfig::introspect`); absent —
+    /// no listener, no sampler thread — unless explicitly configured.
+    introspect: OrderedMutex<Option<IntrospectServer>>,
 }
 
 impl std::fmt::Debug for Orb {
@@ -67,8 +71,36 @@ impl Orb {
     pub fn with_exchange_and_config(
         name: &str,
         exchange: LocalExchange,
-        config: OrbConfig,
+        mut config: OrbConfig,
     ) -> Arc<Self> {
+        // An introspection endpoint needs data behind it: an ORB configured
+        // with `introspect` but no telemetry gets a private registry, which
+        // everything this ORB creates then reports into.
+        if config.introspect.is_some() && config.telemetry.is_none() {
+            config.telemetry = Some(Arc::new(Registry::new()));
+        }
+        let introspect = match (&config.introspect, &config.telemetry) {
+            (Some(policy), Some(registry)) => {
+                match IntrospectServer::start(
+                    Arc::clone(registry),
+                    &policy.bind_addr,
+                    policy.sample_period,
+                ) {
+                    Ok(server) => Some(server),
+                    Err(e) => {
+                        // Degrade rather than fail ORB construction; the
+                        // recorder keeps the evidence.
+                        registry.flight_event(
+                            flight_event::TRANSPORT_DEAD,
+                            None,
+                            format!("introspect endpoint failed to start: {e}"),
+                        );
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
         let fault_engine = config
             .fault_plan
             .as_ref()
@@ -81,7 +113,19 @@ impl Orb {
             bindings: OrderedMutex::new(lock_rank::ORB_BINDINGS, "orb.bindings", HashMap::new()),
             served: OrderedMutex::new(lock_rank::ORB_SERVED, "orb.served", Vec::new()),
             fault_engine,
+            introspect: OrderedMutex::new(
+                lock_rank::ORB_INTROSPECT,
+                "orb.introspect",
+                introspect,
+            ),
         })
+    }
+
+    /// Where the live introspection endpoint listens, when
+    /// [`OrbConfig::introspect`] is set and the endpoint started. `None`
+    /// means no endpoint exists (the default — zero cost, no thread).
+    pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
+        self.introspect.lock().as_ref().map(IntrospectServer::local_addr)
     }
 
     /// The configuration this ORB threads through its servers and
@@ -197,6 +241,7 @@ impl Orb {
             ladder: OrderedMutex::new(lock_rank::STUB_LADDER, "stub.ladder", LadderState::default()),
             retries: registry.map(|r| r.counter(names::RETRIES_TOTAL)),
             degradations: registry.map(|r| r.counter(names::QOS_DEGRADATIONS_TOTAL)),
+            registry: self.config.telemetry.clone(),
         }
     }
 
@@ -217,6 +262,11 @@ impl Orb {
             if !engine.allow_connect() {
                 if let Some(registry) = telemetry {
                     FaultMetrics::resolve(registry).record_refuse();
+                    registry.flight_event(
+                        flight_event::FAULT_INJECTED,
+                        None,
+                        "refuse_connect injected at dial".to_string(),
+                    );
                 }
                 return Err(OrbError::Transport(
                     "fault injection: connection refused".into(),
@@ -238,15 +288,13 @@ impl Orb {
             )?,
         };
         let channel: Arc<dyn ComChannel> = match engine {
-            Some(engine) => Arc::new(FaultChannel::new(
-                raw,
-                Arc::clone(engine),
-                telemetry.map(Arc::as_ref),
-            )),
+            Some(engine) => Arc::new(FaultChannel::new(raw, Arc::clone(engine), telemetry)),
             None => raw,
         };
         Ok(match batching {
-            Some(policy) => crate::transport::BatchingChannel::wrap(channel, policy),
+            Some(policy) => {
+                crate::transport::BatchingChannel::wrap_with(channel, policy, telemetry)
+            }
             None => channel,
         })
     }
@@ -288,10 +336,17 @@ impl Orb {
         Ok(binding)
     }
 
-    /// Closes all cached client bindings.
+    /// Closes all cached client bindings and stops the introspection
+    /// endpoint (when one is running).
     pub fn shutdown(&self) {
         for (_, binding) in self.bindings.lock().drain() {
             binding.close();
+        }
+        // Take the handle out, then stop with the lock released — stop
+        // joins the accept and sampler threads.
+        let introspect = self.introspect.lock().take();
+        if let Some(mut server) = introspect {
+            server.stop();
         }
     }
 }
@@ -324,6 +379,7 @@ pub struct Stub {
     ladder: OrderedMutex<LadderState>,
     retries: Option<Arc<Counter>>,
     degradations: Option<Arc<Counter>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl std::fmt::Debug for Stub {
@@ -422,11 +478,21 @@ impl Stub {
 
     /// Pops the next fallback rung, recording the step.
     fn next_rung(&self) -> Option<QoSSpec> {
-        let mut ladder = self.ladder.lock();
-        let rung = ladder.fallbacks.pop_front()?;
-        ladder.steps.push(rung.clone());
+        let rung = {
+            let mut ladder = self.ladder.lock();
+            let rung = ladder.fallbacks.pop_front()?;
+            ladder.steps.push(rung.clone());
+            rung
+        };
         if let Some(c) = &self.degradations {
             c.inc();
+        }
+        if let Some(r) = &self.registry {
+            r.flight_event(
+                flight_event::QOS_DEGRADE,
+                None,
+                format!("{}: stepped down to {rung:?}", self.key),
+            );
         }
         Some(rung)
     }

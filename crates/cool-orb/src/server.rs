@@ -39,13 +39,15 @@ use crate::object::{ObjectKey, ObjectRef, OrbAddr};
 use crate::transport::{BatchingChannel, ComChannel, FrameSink, TcpComChannel};
 use bytes::Bytes;
 use cool_giop::prelude::*;
-use cool_telemetry::{Gauge, Histogram, Registry, Stage};
+use cool_telemetry::flight::event as flight_event;
+use cool_telemetry::trace::duration_as_u32_us;
+use cool_telemetry::{names, Counter, Gauge, Histogram, Registry, Stage};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use multe_qos::QoSSpec;
 use cool_telemetry::lockorder::OrderedMutex;
 use cool_telemetry::lockorder::rank as lock_rank;
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -132,7 +134,9 @@ impl OrbServer {
                             // Reply-side coalescing, mirroring the client.
                             let channel: Arc<dyn ComChannel> = Arc::new(channel);
                             let channel = match batching {
-                                Some(policy) => BatchingChannel::wrap(channel, policy),
+                                Some(policy) => {
+                                    BatchingChannel::wrap_with(channel, policy, telemetry.as_ref())
+                                }
                                 None => channel,
                             };
                             attach_connection(
@@ -203,6 +207,7 @@ impl OrbServer {
         let acceptor_tracker = tracker.clone();
         let cancel_cap = config.cancel_history;
         let batching = config.batching;
+        let telemetry = config.telemetry.clone();
         let handle = std::thread::Builder::new()
             .name("cool-exchange-acceptor".into())
             // Blocking recv: `unlisten` drops the exchange's sender, which
@@ -215,7 +220,9 @@ impl OrbServer {
                     }
                     // Reply-side coalescing, mirroring the client.
                     let channel = match batching {
-                        Some(policy) => BatchingChannel::wrap(channel, policy),
+                        Some(policy) => {
+                            BatchingChannel::wrap_with(channel, policy, telemetry.as_ref())
+                        }
                         None => channel,
                     };
                     attach_connection(
@@ -436,15 +443,41 @@ struct ServerMetrics {
     queue_depth: Arc<Gauge>,
     busy: Arc<Gauge>,
     queue_wait: Arc<Histogram>,
+    trace_joins: Arc<Counter>,
+    ctx_bytes: Arc<Counter>,
+    /// Deepest dispatcher queue seen so far; a new maximum lands in the
+    /// flight recorder (the ring keeps high-water marks, not every sample).
+    queue_high_water: Arc<AtomicUsize>,
+    /// Whether this server joins inbound distributed traces
+    /// ([`OrbConfig::tracing`]); off means requests are answered without
+    /// a reply trace context even when the client sent one.
+    tracing: bool,
 }
 
 impl ServerMetrics {
-    fn resolve(registry: Arc<Registry>) -> Self {
+    fn resolve(registry: Arc<Registry>, tracing: bool) -> Self {
         ServerMetrics {
             queue_depth: registry.gauge("orb_dispatch_queue_depth"),
             busy: registry.gauge("orb_dispatchers_busy"),
             queue_wait: registry.histogram("orb_dispatch_queue_wait_us"),
+            trace_joins: registry.counter(names::TRACE_JOINS_TOTAL),
+            ctx_bytes: registry.counter(names::SERVICE_CONTEXT_BYTES),
+            queue_high_water: Arc::new(AtomicUsize::new(0)),
             registry,
+            tracing,
+        }
+    }
+
+    /// Records the queue depth observed at dequeue; a fresh high-water
+    /// mark becomes a flight-recorder event.
+    fn note_queue_depth(&self, depth: usize) {
+        self.queue_depth.set(depth as f64);
+        if depth > 0 && depth > self.queue_high_water.fetch_max(depth, Ordering::Relaxed) {
+            self.registry.flight_event(
+                flight_event::QUEUE_HIGH_WATER,
+                None,
+                format!("dispatch queue depth reached {depth}"),
+            );
         }
     }
 }
@@ -476,6 +509,10 @@ enum Work {
         body: Bytes,
         version: GiopVersion,
         order: ByteOrder,
+        /// Wall clock captured at decode when the request carried a trace
+        /// service context — the server half's `recv_at_ns`. `None` for
+        /// untraced requests (no clock read on that path).
+        recv_at_ns: Option<u64>,
     },
     Cool {
         request_id: u32,
@@ -534,7 +571,7 @@ fn start_dispatchers(
     let metrics = config
         .telemetry
         .as_ref()
-        .map(|r| ServerMetrics::resolve(Arc::clone(r)));
+        .map(|r| ServerMetrics::resolve(Arc::clone(r), config.tracing));
     let mut handles = Vec::new();
     for i in 0..config.dispatcher_threads.max(1) {
         let rx = rx.clone();
@@ -550,16 +587,16 @@ fn start_dispatchers(
                         Some(m) => {
                             // Sampled at dequeue: what is still waiting
                             // behind the job this thread just took.
-                            m.queue_depth.set(rx.len() as f64);
+                            m.note_queue_depth(rx.len());
                             let waited = job.enqueued.elapsed();
                             m.queue_wait.record_duration_us(waited);
                             m.registry
                                 .span_mark(job.request_id(), Stage::QueueWait, waited);
                             m.busy.inc();
-                            run_job(&adapter, job);
+                            run_job(&adapter, job, Some(m));
                             m.busy.dec();
                         }
-                        None => run_job(&adapter, job),
+                        None => run_job(&adapter, job, None),
                     }
                 }
             })
@@ -660,6 +697,10 @@ fn process_giop_frame(
                 } else if conn.cancelled.lock().remove(header.request_id) {
                     true // client abandoned it before we started
                 } else {
+                    let recv_at_ns = header
+                        .service_context
+                        .find(TRACE_REQUEST_CONTEXT_ID)
+                        .map(|_| cool_telemetry::now_wall_ns());
                     jobs.send(Job {
                         conn: conn.clone(),
                         work: Work::Giop {
@@ -667,6 +708,7 @@ fn process_giop_frame(
                             body,
                             version,
                             order,
+                            recv_at_ns,
                         },
                         enqueued: Instant::now(),
                         _guard: tracker.track(),
@@ -747,23 +789,39 @@ fn process_cool_frame(
 }
 
 /// Executes one request on a dispatcher thread: upcall, marshal, reply.
-fn run_job(adapter: &Arc<ObjectAdapter>, job: Job) {
+fn run_job(adapter: &Arc<ObjectAdapter>, job: Job, metrics: Option<&ServerMetrics>) {
     match job.work {
         Work::Giop {
             header,
             body,
             version,
             order,
+            recv_at_ns,
         } => {
             // Re-check cancellation: the CancelRequest may have arrived
             // while this request sat in the dispatch queue.
             if job.conn.cancelled.lock().remove(header.request_id) {
                 return;
             }
+            // Join the client's distributed trace: a request-side trace
+            // context names the trace id this server's stage timings
+            // belong to; they ride back in the reply's trace context
+            // (DESIGN.md §6).
+            let trace_in = match (metrics, recv_at_ns) {
+                (Some(m), Some(recv_at_ns)) if m.tracing => {
+                    RequestTraceContext::from_list(&header.service_context).map(|ctx| {
+                        m.trace_joins.inc();
+                        m.ctx_bytes.add(RequestTraceContext::WIRE_LEN as u64);
+                        (ctx.trace_id, recv_at_ns)
+                    })
+                }
+                _ => None,
+            };
+            let queue_wait_us = duration_as_u32_us(job.enqueued.elapsed());
             let spec = QoSSpec::from_params(&header.qos_params);
             // Dispatch by the header's raw key bytes — the demux map
             // lookup borrows them, so no per-request ObjectKey clone.
-            let outcome = adapter.dispatch_traced(
+            let (outcome, timings) = adapter.dispatch_traced_timed(
                 &header.object_key,
                 &header.operation,
                 &body,
@@ -774,11 +832,31 @@ fn run_job(adapter: &Arc<ObjectAdapter>, job: Job) {
             if !header.response_expected {
                 return;
             }
+            let trace_out = trace_in.map(|(trace_id, recv_at_ns)| {
+                if let Some(m) = metrics {
+                    m.ctx_bytes.add(ReplyTraceContext::WIRE_LEN as u64);
+                }
+                ReplyTraceContext {
+                    trace_id,
+                    recv_at_ns,
+                    // Derived from the receive stamp plus the monotonic
+                    // time since enqueue (taken in the same breath as
+                    // `recv_at_ns`): one wall read per request, and the
+                    // recv/sent pair cannot be reordered by a clock step.
+                    sent_at_ns: recv_at_ns.saturating_add(cool_telemetry::duration_as_u64_ns(
+                        job.enqueued.elapsed(),
+                    )),
+                    queue_wait_us,
+                    negotiate_us: timings.negotiate_us,
+                    execute_us: timings.execute_us,
+                }
+            });
             let reply = match outcome {
                 DispatchOutcome::Success { body, granted } => giop_helpers::make_reply(
                     header.request_id,
                     Bytes::from(body),
                     Some(&granted),
+                    trace_out.as_ref(),
                     version,
                     order,
                 ),

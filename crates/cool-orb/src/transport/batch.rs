@@ -31,7 +31,9 @@ use crate::error::OrbError;
 use crate::transport::{ComChannel, FrameSink};
 use bytes::Bytes;
 use cool_giop::codec::{join_frames, HEADER_LEN, MAGIC};
+use cool_telemetry::flight::event as flight_event;
 use cool_telemetry::lockorder::{rank, OrderedMutex};
+use cool_telemetry::Registry;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,6 +53,9 @@ struct Core {
     policy: BatchingPolicy,
     queue: OrderedMutex<BatchState>,
     closed: AtomicBool,
+    /// Flight-records coalesced flushes (≥ 2 frames); single-frame flushes
+    /// are the ordinary non-batched case and stay out of the ring.
+    registry: Option<Arc<Registry>>,
 }
 
 impl Core {
@@ -66,6 +71,16 @@ impl Core {
     fn send_batch(&self, frames: Vec<Bytes>) -> Result<(), OrbError> {
         if frames.is_empty() {
             return Ok(());
+        }
+        if frames.len() > 1 {
+            if let Some(r) = &self.registry {
+                let bytes: usize = frames.iter().map(Bytes::len).sum();
+                r.flight_event(
+                    flight_event::BATCH_FLUSH,
+                    None,
+                    format!("{} frames coalesced, {bytes} bytes", frames.len()),
+                );
+            }
         }
         self.inner.send_frame(join_frames(&frames))
     }
@@ -98,6 +113,16 @@ impl std::fmt::Debug for BatchingChannel {
 impl BatchingChannel {
     /// Wraps `inner` behind the coalescer and starts the flusher thread.
     pub fn wrap(inner: Arc<dyn ComChannel>, policy: BatchingPolicy) -> Arc<Self> {
+        Self::wrap_with(inner, policy, None)
+    }
+
+    /// Like [`BatchingChannel::wrap`], additionally flight-recording
+    /// coalesced flushes into `registry`.
+    pub fn wrap_with(
+        inner: Arc<dyn ComChannel>,
+        policy: BatchingPolicy,
+        registry: Option<&Arc<Registry>>,
+    ) -> Arc<Self> {
         let core = Arc::new(Core {
             inner,
             policy,
@@ -111,6 +136,7 @@ impl BatchingChannel {
                 },
             ),
             closed: AtomicBool::new(false),
+            registry: registry.cloned(),
         });
         // lint: allow(L003, zero-sized wake tokens only — one per first-in-batch send, drained each flusher pass; no payload is buffered here)
         let (tick, wake) = unbounded();

@@ -17,6 +17,8 @@ use crate::error::OrbError;
 use crate::transport::{ComChannel, FrameSink};
 use bytes::Bytes;
 use cool_faults::{FaultAction, FaultEngine};
+use cool_giop::prelude::Message;
+use cool_telemetry::flight::event as flight_event;
 use cool_telemetry::{names, Counter, Registry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,6 +92,10 @@ pub struct FaultChannel {
     /// across an `inner` call.
     stash: Mutex<Option<Bytes>>,
     metrics: Option<FaultMetrics>,
+    /// Kept for the flight recorder: every injected fault lands there with
+    /// the request ids it hit, so a post-mortem dump names the fault behind
+    /// each failed request.
+    registry: Option<Arc<Registry>>,
 }
 
 impl FaultChannel {
@@ -97,14 +103,51 @@ impl FaultChannel {
     pub fn new(
         inner: Arc<dyn ComChannel>,
         engine: Arc<FaultEngine>,
-        registry: Option<&Registry>,
+        registry: Option<&Arc<Registry>>,
     ) -> Self {
         FaultChannel {
             inner,
             engine,
             severed: AtomicBool::new(false),
             stash: Mutex::new(None),
-            metrics: registry.map(FaultMetrics::resolve),
+            metrics: registry.map(|r| FaultMetrics::resolve(r)),
+            registry: registry.cloned(),
+        }
+    }
+
+    /// Flight-records an injected fault, attributed to each GIOP request id
+    /// riding in `frame` (a coalesced batch may carry several). Runs only
+    /// on fault paths, so the decode cost never touches clean sends.
+    fn note_fault(&self, action: &FaultAction, frame: &Bytes) {
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        let kind = match action {
+            FaultAction::Drop => "drop",
+            FaultAction::Delay(_) => "delay",
+            FaultAction::Duplicate => "duplicate",
+            FaultAction::Reorder => "reorder",
+            FaultAction::Corrupt { .. } => "corrupt",
+            FaultAction::Sever => "sever",
+        };
+        let mut attributed = false;
+        for sub in cool_giop::codec::split_frames(frame) {
+            let Ok(sub) = sub else { break };
+            if let Ok((Message::Request { header, .. }, _, _)) = Message::decode_frame(&sub) {
+                attributed = true;
+                registry.flight_event(
+                    flight_event::FAULT_INJECTED,
+                    Some(header.request_id),
+                    format!("{kind} injected on request {}", header.request_id),
+                );
+            }
+        }
+        if !attributed {
+            registry.flight_event(
+                flight_event::FAULT_INJECTED,
+                None,
+                format!("{kind} injected on non-request frame"),
+            );
         }
     }
 
@@ -133,8 +176,11 @@ impl ComChannel for FaultChannel {
             return Err(OrbError::Closed);
         }
         let action = self.engine.on_frame(frame.len());
-        if let (Some(m), Some(a)) = (&self.metrics, &action) {
-            m.record(a);
+        if let Some(a) = &action {
+            if let Some(m) = &self.metrics {
+                m.record(a);
+            }
+            self.note_fault(a, &frame);
         }
         match action {
             None => self.forward(frame),
@@ -242,7 +288,10 @@ mod tests {
         }
     }
 
-    fn channel(plan: FaultPlan, registry: Option<&Registry>) -> (FaultChannel, Arc<RecordingChannel>) {
+    fn channel(
+        plan: FaultPlan,
+        registry: Option<&Arc<Registry>>,
+    ) -> (FaultChannel, Arc<RecordingChannel>) {
         let inner = RecordingChannel::new();
         let engine = Arc::new(FaultEngine::new(plan));
         (
@@ -264,7 +313,7 @@ mod tests {
 
     #[test]
     fn drops_thin_the_stream_and_are_counted() {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         let plan = FaultPlan::builder().seed(5).drop_rate(0.5).build().unwrap();
         let (ch, inner) = channel(plan, Some(&registry));
         for i in 0..100u8 {

@@ -71,7 +71,7 @@ fn loopback_call_produces_a_complete_six_stage_span() {
     let spans = registry.recent_spans();
     let span = spans
         .iter()
-        .find(|s| s.operation == "echo")
+        .find(|s| &*s.operation == "echo")
         .expect("span for the echo call");
     assert_eq!(span.transport, "tcp");
     assert!(matches!(span.outcome, SpanOutcome::Ok));

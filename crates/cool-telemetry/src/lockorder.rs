@@ -33,6 +33,9 @@ pub mod rank {
     pub const ORB_BINDINGS: u32 = 10;
     /// `Orb::served` — addresses served by collocated servers.
     pub const ORB_SERVED: u32 = 11;
+    /// `Orb::introspect` — the live introspection endpoint handle; taken
+    /// only at shutdown, never while serving a request.
+    pub const ORB_INTROSPECT: u32 = 12;
     /// `Exchange::registry` — in-process transport listener registry.
     pub const EXCHANGE_REGISTRY: u32 = 20;
     /// `OrbServer::conns` — live server-side connection list.
@@ -91,6 +94,16 @@ pub mod rank {
     /// `ResourceManager`/`ResourceGrant` usage ledger — innermost; taken
     /// by admission and by every grant drop.
     pub const RESOURCE_USAGE: u32 = 70;
+    /// `TraceStore::inner` — merged distributed-trace store. Leaf: taken
+    /// with no other telemetry lock held, from code that may hold any of
+    /// the locks above.
+    pub const TELEMETRY_TRACES: u32 = 90;
+    /// `FlightRecorder::inner` — bounded event ring. Leaf; events are
+    /// recorded from arbitrary call sites, so it must sit below nothing.
+    pub const TELEMETRY_FLIGHT: u32 = 92;
+    /// `GaugeSeries::inner` — sampled gauge time series. Leaf; written by
+    /// the sampler thread, read by the introspection endpoint.
+    pub const TELEMETRY_GAUGES: u32 = 94;
 }
 
 #[cfg(debug_assertions)]

@@ -20,6 +20,18 @@ pub const QOS_DEGRADATIONS_TOTAL: &str = "qos_degradations_total";
 /// `kind` label, e.g. `faults_injected_total{kind="drop"}`).
 pub const FAULTS_INJECTED_TOTAL: &str = "faults_injected_total";
 
+/// Inbound requests whose service context carried a trace id the server
+/// joined its stage timings to (distributed tracing, DESIGN.md §6).
+pub const TRACE_JOINS_TOTAL: &str = "trace_joins_total";
+
+/// Total bytes of trace service-context entries put on the wire, both
+/// request (client) and reply (server) side.
+pub const SERVICE_CONTEXT_BYTES: &str = "service_context_bytes";
+
+/// Flight-recorder events evicted from the bounded ring to make room for
+/// newer ones.
+pub const FLIGHT_EVENTS_DROPPED_TOTAL: &str = "flight_events_dropped_total";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,8 +51,16 @@ mod tests {
         ))
         .add(5);
 
+        r.counter(TRACE_JOINS_TOTAL).add(9);
+        r.counter(SERVICE_CONTEXT_BYTES).add(203);
+
         let snap = r.snapshot();
         assert_eq!(snap.counter(RETRIES_TOTAL), Some(3));
+        assert_eq!(snap.counter(TRACE_JOINS_TOTAL), Some(9));
+        assert_eq!(snap.counter(SERVICE_CONTEXT_BYTES), Some(203));
+        // The flight recorder's eviction counter is synthesized into every
+        // snapshot even before any event is recorded.
+        assert_eq!(snap.counter(FLIGHT_EVENTS_DROPPED_TOTAL), Some(0));
         assert_eq!(snap.counter(RECONNECTS_TOTAL), Some(1));
         assert_eq!(snap.counter(QOS_DEGRADATIONS_TOTAL), Some(2));
         assert_eq!(snap.counter(FAULTS_INJECTED_TOTAL), Some(7));

@@ -13,8 +13,11 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::flight::FlightRecorder;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::names;
 use crate::span::{SpanOutcome, SpanRecord, SpanStore, Stage, STAGES};
+use crate::trace::{ClientTrace, ServerTraceTiming, TraceRecord, TraceStore};
 
 /// Locks `m`, recovering the data from a poisoned lock: telemetry must
 /// keep reporting even after a panic elsewhere, and every guarded value
@@ -23,13 +26,16 @@ fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Named-metric table + span store. Cheap to share via `Arc`.
+/// Named-metric table + span store + distributed-trace store + flight
+/// recorder. Cheap to share via `Arc`.
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     spans: SpanStore,
+    traces: TraceStore,
+    flight: FlightRecorder,
 }
 
 impl Registry {
@@ -105,10 +111,76 @@ impl Registry {
         self.spans.mark(request_id, stage, duration);
     }
 
+    /// Marks a stage and stashes the server half of a distributed trace
+    /// (keyed to the reply's demux-arrival instant) in one lock
+    /// acquisition. See [`SpanStore::mark_reply`].
+    pub fn span_mark_reply(
+        &self,
+        request_id: u32,
+        stage: Stage,
+        duration: Duration,
+        server_reply: Option<(ServerTraceTiming, std::time::Instant)>,
+    ) {
+        self.spans.mark_reply(request_id, stage, duration, server_reply);
+    }
+
+    /// Marks a stage and attaches the client half of a distributed trace
+    /// in one lock acquisition. See [`SpanStore::mark_attach`].
+    pub fn span_mark_attach(
+        &self,
+        request_id: u32,
+        stage: Stage,
+        duration: Duration,
+        trace: Option<ClientTrace>,
+    ) {
+        self.spans.mark_attach(request_id, stage, duration, trace);
+    }
+
     /// Closes a span. Returns the total elapsed time when the span was
     /// known. See [`SpanStore::finish`].
     pub fn span_finish(&self, request_id: u32, outcome: SpanOutcome) -> Option<Duration> {
         self.spans.finish(request_id, outcome)
+    }
+
+    /// Closes a span and, when the invocation carried a [`ClientTrace`],
+    /// merges the finished record with both trace halves into a
+    /// [`TraceRecord`] on the trace ring. Returns the span's total time in
+    /// microseconds. Untraced invocations never touch the trace store.
+    pub fn span_finish_traced(&self, request_id: u32, outcome: SpanOutcome) -> Option<u64> {
+        let (total_us, traced) = self.spans.finish_traced(request_id, outcome)?;
+        if let Some(tf) = traced {
+            self.traces.push_merged(tf.trace, tf.record, tf.server_reply);
+        }
+        Some(total_us)
+    }
+
+    /// Most recently merged distributed traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<TraceRecord> {
+        self.traces.recent()
+    }
+
+    /// Direct access to the distributed-trace store.
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Records a flight-recorder event. See [`FlightRecorder::record`].
+    pub fn flight_event(&self, kind: &'static str, request_id: Option<u32>, detail: impl Into<String>) {
+        self.flight.record(kind, request_id, detail.into());
+    }
+
+    /// Direct access to the flight recorder (dumping, inspection).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// `(name, value)` for every gauge — the sampler's input; cheaper
+    /// than a full snapshot.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        locked(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
     }
 
     /// Most recently finished spans, oldest first.
@@ -121,12 +193,31 @@ impl Registry {
         &self.spans
     }
 
-    /// Point-in-time copy of every metric and the recent-span ring.
+    /// Point-in-time copy of every metric, the recent-span ring and the
+    /// merged-trace ring. Overflow accounting of the bounded stores is
+    /// synthesized in as counters (`spans_dropped_total`,
+    /// `flight_events_dropped_total`) so it survives into every exporter.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let counters = locked(&self.counters)
+        let mut counters: Vec<(String, u64)> = locked(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        counters.push(("spans_dropped_total".to_string(), self.spans.dropped()));
+        counters.push((
+            names::FLIGHT_EVENTS_DROPPED_TOTAL.to_string(),
+            self.flight.dropped(),
+        ));
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        counters.dedup_by(|dup, keep| {
+            // A component that interned the synthesized names directly
+            // would otherwise produce duplicate keys; keep the larger.
+            if dup.0 == keep.0 {
+                keep.1 = keep.1.max(dup.1);
+                true
+            } else {
+                false
+            }
+        });
         let gauges = locked(&self.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
@@ -140,6 +231,7 @@ impl Registry {
             gauges,
             histograms,
             spans: self.spans.recent(),
+            traces: self.traces.recent(),
         }
     }
 
@@ -178,6 +270,8 @@ pub struct TelemetrySnapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Recent-span ring contents, oldest first.
     pub spans: Vec<SpanRecord>,
+    /// Merged distributed traces, oldest first.
+    pub traces: Vec<TraceRecord>,
 }
 
 impl TelemetrySnapshot {
@@ -279,7 +373,9 @@ impl TelemetrySnapshot {
             }
             out.push_str("}}");
         }
-        out.push_str("]}");
+        out.push_str("],\"traces\":");
+        out.push_str(&crate::trace::render_traces_json(&self.traces));
+        out.push('}');
         out
     }
 
@@ -380,7 +476,7 @@ fn push_json_f64(out: &mut String, v: f64) {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

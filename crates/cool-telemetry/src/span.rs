@@ -16,8 +16,10 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::trace::{ClientTrace, ServerTraceTiming};
 
 /// Locks `m`, recovering the data from a poisoned lock: telemetry must
 /// keep reporting even after a panic elsewhere, and every guarded value
@@ -115,8 +117,9 @@ impl SpanOutcome {
 pub struct SpanRecord {
     /// GIOP/COOL request id the span is keyed by.
     pub request_id: u32,
-    /// Operation name from the request header.
-    pub operation: String,
+    /// Operation name from the request header. Shared, so cloning a
+    /// record (span ring → trace ring, snapshots) never re-allocates it.
+    pub operation: Arc<str>,
     /// Transport kind the call travelled over ("tcp", "chorus", "dacapo").
     pub transport: &'static str,
     /// Per-stage timings, indexed by [`Stage`] order; `None` while the
@@ -139,11 +142,73 @@ impl SpanRecord {
     pub fn is_complete(&self) -> bool {
         self.stages.iter().all(Option::is_some)
     }
+
+    /// Single-line JSON object for exporters and the `/spans` endpoint.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"request_id\":{},\"operation\":\"{}\",\"transport\":\"{}\",\"outcome\":\"{}\",\"total_us\":{},\"stages\":{{",
+            self.request_id,
+            crate::registry::json_escape(&self.operation),
+            self.transport,
+            self.outcome.name(),
+            self.total_us
+        ));
+        let mut first = true;
+        for stage in STAGES {
+            if let Some(t) = self.stage(stage) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\"{}\":{{\"offset_us\":{},\"duration_us\":{}}}",
+                    stage.name(),
+                    t.offset_us,
+                    t.duration_us
+                ));
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders a slice of span records as a JSON array.
+pub fn render_spans_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + 256 * spans.len());
+    out.push('[');
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push(']');
+    out
 }
 
 struct ActiveSpan {
     started: Instant,
     record: SpanRecord,
+    /// Client half of a distributed trace, attached at send time. Riding
+    /// the active span (instead of a separate pending table) means tracing
+    /// adds no lock acquisitions of its own until the final merge.
+    trace: Option<ClientTrace>,
+    /// Server half plus the client receive wall clock, stashed by the
+    /// reply demux thread.
+    server_reply: Option<(ServerTraceTiming, u64)>,
+}
+
+/// Everything a traced span yields at close time, ready for
+/// `TraceStore::push_merged`.
+pub struct TracedFinish {
+    /// The client half attached at send time.
+    pub trace: ClientTrace,
+    /// The finished span record (a copy of what went on the span ring).
+    pub record: SpanRecord,
+    /// Server half plus client receive stamp, when a traced reply arrived.
+    pub server_reply: Option<(ServerTraceTiming, u64)>,
 }
 
 /// Active spans are bounded: an abandoned span (a `notify` with no reply,
@@ -210,18 +275,27 @@ impl SpanStore {
             }
         }
         inner.order.push_back(request_id);
+        // `finish` leaves stale ids behind in `order`; compact it once it
+        // holds more stale entries than live ones, so a long begin/finish
+        // workload cannot grow it without bound.
+        if inner.order.len() >= MAX_ACTIVE_SPANS * 2 {
+            let SpanStoreInner { active, order, .. } = &mut *inner;
+            order.retain(|id| active.contains_key(id));
+        }
         inner.active.insert(
             request_id,
             ActiveSpan {
                 started,
                 record: SpanRecord {
                     request_id,
-                    operation: operation.to_string(),
+                    operation: Arc::from(operation),
                     transport,
                     stages: [None; 6],
                     total_us: 0,
                     outcome: SpanOutcome::Ok,
                 },
+                trace: None,
+                server_reply: None,
             },
         );
     }
@@ -231,6 +305,47 @@ impl SpanStore {
     /// time of this call. No-op if the span is unknown (evicted, or
     /// telemetry attached mid-call).
     pub fn mark(&self, request_id: u32, stage: Stage, duration: Duration) {
+        self.mark_full(request_id, stage, duration, None, None);
+    }
+
+    /// Like [`SpanStore::mark`], but also attaches the client half of a
+    /// distributed trace — one lock acquisition for both, since the
+    /// client marks `Marshal` right after stamping the outbound context.
+    pub fn mark_attach(
+        &self,
+        request_id: u32,
+        stage: Stage,
+        duration: Duration,
+        trace: Option<ClientTrace>,
+    ) {
+        self.mark_full(request_id, stage, duration, trace, None);
+    }
+
+    /// Like [`SpanStore::mark`], but also stashes the server trace half
+    /// decoded off a traced reply — one lock acquisition for both, since
+    /// the reply demux thread does them back to back. `recv_mono` is the
+    /// monotonic instant the reply hit the demux thread; the client
+    /// receive wall stamp is derived from it against the attached
+    /// [`ClientTrace`]'s send stamp, so no wall-clock read (and no risk of
+    /// a wall-clock step between send and receive) is involved.
+    pub fn mark_reply(
+        &self,
+        request_id: u32,
+        stage: Stage,
+        duration: Duration,
+        server_reply: Option<(ServerTraceTiming, Instant)>,
+    ) {
+        self.mark_full(request_id, stage, duration, None, server_reply);
+    }
+
+    fn mark_full(
+        &self,
+        request_id: u32,
+        stage: Stage,
+        duration: Duration,
+        trace: Option<ClientTrace>,
+        server_reply: Option<(ServerTraceTiming, Instant)>,
+    ) {
         let mut inner = locked(&self.inner);
         if let Some(span) = inner.active.get_mut(&request_id) {
             let offset = span.started.elapsed();
@@ -238,17 +353,64 @@ impl SpanStore {
                 offset_us: as_us(offset),
                 duration_us: as_us(duration),
             });
+            if trace.is_some() {
+                span.trace = trace;
+            }
+            if let Some((timing, recv_mono)) = server_reply {
+                // Replies are only stashed on spans that sent a trace out;
+                // a reply context with no client half has nothing to merge
+                // against and is dropped here.
+                if let Some(trace) = span.trace {
+                    let wire_and_server = recv_mono.saturating_duration_since(trace.sent_mono);
+                    let recv_ns = trace
+                        .sent_at_ns
+                        .saturating_add(crate::trace::duration_as_u64_ns(wire_and_server));
+                    span.server_reply = Some((timing, recv_ns));
+                }
+            }
         }
     }
 
     /// Closes the span and pushes it onto the recent ring. Returns the
     /// total duration when the span was known.
     pub fn finish(&self, request_id: u32, outcome: SpanOutcome) -> Option<Duration> {
+        self.finish_record(request_id, outcome)
+            .map(|r| Duration::from_micros(r.total_us))
+    }
+
+    /// Like [`SpanStore::finish`], but returns the finished record itself
+    /// (with `total_us` and `outcome` filled in) so a caller can merge the
+    /// stage timings into a distributed trace.
+    pub fn finish_record(&self, request_id: u32, outcome: SpanOutcome) -> Option<SpanRecord> {
         let mut inner = locked(&self.inner);
         let span = inner.active.remove(&request_id)?;
-        let total = span.started.elapsed();
         push_finished(&mut inner, span, outcome);
-        Some(total)
+        inner.recent.back().cloned()
+    }
+
+    /// Closes the span and, when a [`ClientTrace`] was attached, returns
+    /// the pieces of the distributed trace alongside the total time.
+    /// Untraced spans pay no copy: the record moves straight onto the
+    /// ring and only its total comes back.
+    pub fn finish_traced(
+        &self,
+        request_id: u32,
+        outcome: SpanOutcome,
+    ) -> Option<(u64, Option<TracedFinish>)> {
+        let mut inner = locked(&self.inner);
+        let span = inner.active.remove(&request_id)?;
+        let trace = span.trace;
+        let server_reply = span.server_reply;
+        push_finished(&mut inner, span, outcome);
+        // lint: allow(L002, push_finished unconditionally pushed one entry)
+        let record = inner.recent.back().expect("just pushed");
+        let total_us = record.total_us;
+        let traced = trace.map(|trace| TracedFinish {
+            trace,
+            record: record.clone(),
+            server_reply,
+        });
+        Some((total_us, traced))
     }
 
     /// The most recently finished spans, oldest first.
@@ -265,6 +427,11 @@ impl SpanStore {
     /// Spans evicted from the ring because it was full.
     pub fn dropped(&self) -> u64 {
         locked(&self.inner).dropped
+    }
+
+    #[cfg(test)]
+    fn order_len(&self) -> usize {
+        locked(&self.inner).order.len()
     }
 }
 
@@ -313,7 +480,7 @@ mod tests {
         assert_eq!(recent.len(), 1);
         let span = &recent[0];
         assert_eq!(span.request_id, 7);
-        assert_eq!(span.operation, "echo");
+        assert_eq!(&*span.operation, "echo");
         assert_eq!(span.transport, "tcp");
         assert_eq!(span.outcome, SpanOutcome::Ok);
         assert!(span.is_complete());
@@ -367,6 +534,67 @@ mod tests {
     }
 
     #[test]
+    fn order_queue_is_bounded_under_begin_finish_churn() {
+        // Regression: `finish` leaves its id behind in the eviction FIFO,
+        // which used to grow without bound under a normal begin/finish
+        // workload that never fills the active map.
+        let store = SpanStore::with_capacity(4);
+        for id in 0..(MAX_ACTIVE_SPANS as u32 * 8) {
+            store.begin(id, "churn", "tcp");
+            store.finish(id, SpanOutcome::Ok);
+        }
+        assert!(
+            store.order_len() <= MAX_ACTIVE_SPANS * 2,
+            "eviction FIFO grew to {}",
+            store.order_len()
+        );
+    }
+
+    #[test]
+    fn dropped_is_exact_under_concurrent_begin_past_capacity() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 2 * MAX_ACTIVE_SPANS as u64;
+        let store = std::sync::Arc::new(SpanStore::with_capacity(16));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Distinct ids across all threads: no same-id
+                        // cancellation, so every begin either stays active
+                        // or is evicted into the ring exactly once.
+                        store.begin((t * PER_THREAD + i) as u32, "flood", "tcp");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("flood thread");
+        }
+        let total = THREADS * PER_THREAD;
+        let active = store.active_len() as u64;
+        let in_ring = store.recent().len() as u64;
+        // Every span pushed to the ring beyond its capacity bumps
+        // `dropped` exactly once, under any interleaving.
+        assert_eq!(store.dropped(), total - active - in_ring);
+        assert!(active <= MAX_ACTIVE_SPANS as u64);
+    }
+
+    #[test]
+    fn finish_record_returns_stages_and_total() {
+        let store = SpanStore::default();
+        store.begin(5, "echo", "tcp");
+        store.mark(5, Stage::Marshal, Duration::from_micros(7));
+        let rec = store
+            .finish_record(5, SpanOutcome::Ok)
+            .expect("span known");
+        assert_eq!(rec.request_id, 5);
+        assert_eq!(rec.outcome, SpanOutcome::Ok);
+        assert_eq!(rec.stage(Stage::Marshal).unwrap().duration_us, 7);
+        assert!(rec.stage(Stage::ReplyDecode).is_none());
+    }
+
+    #[test]
     fn rebegin_same_id_cancels_previous() {
         let store = SpanStore::default();
         store.begin(1, "first", "tcp");
@@ -374,9 +602,9 @@ mod tests {
         store.finish(1, SpanOutcome::Ok);
         let recent = store.recent();
         assert_eq!(recent.len(), 2);
-        assert_eq!(recent[0].operation, "first");
+        assert_eq!(&*recent[0].operation, "first");
         assert_eq!(recent[0].outcome, SpanOutcome::Cancelled);
-        assert_eq!(recent[1].operation, "second");
+        assert_eq!(&*recent[1].operation, "second");
         assert_eq!(recent[1].outcome, SpanOutcome::Ok);
     }
 }

@@ -292,7 +292,12 @@ mod tests {
     #[test]
     fn no_flapping_at_the_boundary() {
         let meter = Arc::new(ThroughputMeter::new());
-        let interval = Duration::from_millis(50);
+        // A wide window: the feeder catches up after scheduler stalls, so
+        // only a stall straddling a sampling instant can starve a window,
+        // and it must eat >10% of the window to cross the alarm line —
+        // ~25 ms here, vs ~4 ms with a 50 ms window, which flapped under
+        // a fully loaded test machine.
+        let interval = Duration::from_millis(250);
         // Target 8 Mbit/s, tolerance 0.2: alarm < 6.4 M, recover >= 7.2 M.
         let config = MonitorConfig {
             target_bps: 8_000_000,
@@ -300,11 +305,12 @@ mod tests {
             tolerance: 0.2,
         };
 
-        // Hover just above the alarm line but below the recovery line.
-        let feeder = Feeder::start(meter.clone(), 6_900_000);
+        // Hover inside the hysteresis band: above the alarm line, below
+        // the recovery line.
+        let feeder = Feeder::start(meter.clone(), 7_100_000);
         std::thread::sleep(Duration::from_millis(20));
         let monitor = QosMonitor::watch(meter.clone(), config).unwrap();
-        std::thread::sleep(interval * 10);
+        std::thread::sleep(interval * 6);
         feeder.stop();
 
         // At 6.9 M (above the 6.4 M alarm) nothing should ever fire.

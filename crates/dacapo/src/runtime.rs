@@ -23,6 +23,7 @@ use crate::packet::{Packet, PacketKind};
 use crate::stats::ThroughputMeter;
 use crate::tlayer::Transport;
 use crate::DacapoError;
+use cool_telemetry::flight::event as flight_event;
 use cool_telemetry::{Counter, Gauge, Registry};
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -235,8 +236,21 @@ impl Drop for StackHandle {
 /// bypassing the modules, which never deliver control packets upward — so
 /// a receive blocked in the endpoint surfaces [`DacapoError::Closed`]
 /// immediately instead of idling out its timeout.
-fn signal_transport_death(dead: &AtomicBool, app_up: &Sender<Packet>, quiesce: &QuiesceSignal) {
+fn signal_transport_death(
+    dead: &AtomicBool,
+    app_up: &Sender<Packet>,
+    quiesce: &QuiesceSignal,
+    registry: Option<&Registry>,
+    dir: &str,
+) {
     dead.store(true, Ordering::Release);
+    if let Some(r) = registry {
+        r.flight_event(
+            flight_event::TRANSPORT_DEAD,
+            None,
+            format!("dacapo {dir} pump: transport failed permanently"),
+        );
+    }
     let _ = app_up.send(Packet::control(&[]));
     quiesce.pulse();
 }
@@ -358,6 +372,7 @@ pub fn build_stack(
         let tx_quiesce = quiesce.clone();
         let dead = transport_dead.clone();
         let app_up = up_tx[0].clone();
+        let flight_reg = opts.telemetry.clone();
         let wire = opts.telemetry.as_ref().map(|r| {
             (
                 r.counter(&Registry::labeled("dacapo_wire_frames_total", &[("dir", "tx")])),
@@ -380,7 +395,13 @@ pub fn build_stack(
                             let wire_len = pkt.len() as u64;
                             if transport.send(pkt.into_bytes()).is_err() {
                                 if !flag.load(Ordering::Acquire) {
-                                    signal_transport_death(&dead, &app_up, &tx_quiesce);
+                                    signal_transport_death(
+                                        &dead,
+                                        &app_up,
+                                        &tx_quiesce,
+                                        flight_reg.as_deref(),
+                                        "tx",
+                                    );
                                 }
                                 return;
                             }
@@ -422,6 +443,7 @@ pub fn build_stack(
         let dead = transport_dead.clone();
         let app_up = up_tx[0].clone();
         let rx_quiesce = quiesce.clone();
+        let flight_reg = opts.telemetry.clone();
         let wire = opts.telemetry.as_ref().map(|r| {
             (
                 r.counter(&Registry::labeled("dacapo_wire_frames_total", &[("dir", "rx")])),
@@ -451,7 +473,13 @@ pub fn build_stack(
                         // error): tell the application instead of dying
                         // silently, unless this is an orderly shutdown.
                         if !flag.load(Ordering::Acquire) {
-                            signal_transport_death(&dead, &app_up, &rx_quiesce);
+                            signal_transport_death(
+                                &dead,
+                                &app_up,
+                                &rx_quiesce,
+                                flight_reg.as_deref(),
+                                "rx",
+                            );
                         }
                         return;
                     }

@@ -12,6 +12,7 @@
 
 use bytes::Bytes;
 use multe::orb::prelude::*;
+use multe::telemetry::flight::event as flight_event;
 use multe::telemetry::{names, Registry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,6 +45,26 @@ struct ChaosRun {
     reconnects: u64,
     qos_degradations: u64,
     faults: FaultCounts,
+    /// Request ids of calls that surfaced as timeouts — each must be
+    /// attributable to an injected fault in the flight recorder.
+    timed_out_ids: Vec<u32>,
+    registry: Arc<Registry>,
+}
+
+/// Dumps the flight recorder to `chaos-flight.json` while the thread is
+/// unwinding, so a red chaos run leaves behind the event log naming every
+/// injected fault and the request ids it hit. A green run writes nothing.
+struct FlightDump(Arc<Registry>);
+
+impl Drop for FlightDump {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("chaos-flight.json");
+            if std::fs::write(&path, self.0.flight().to_json()).is_ok() {
+                eprintln!("chaos: flight recorder dumped to {}", path.display());
+            }
+        }
+    }
 }
 
 fn seeded_plan(seed: u64) -> FaultPlan {
@@ -58,6 +79,7 @@ fn seeded_plan(seed: u64) -> FaultPlan {
 
 fn run_chaos(seed: u64) -> ChaosRun {
     let registry = Arc::new(Registry::new());
+    let _dump = FlightDump(Arc::clone(&registry));
     let exchange = LocalExchange::new();
 
     // Server: an echo object whose policy caps throughput at 64 kbit/s,
@@ -110,6 +132,7 @@ fn run_chaos(seed: u64) -> ChaosRun {
     let mut ok = 0u32;
     let mut ok_in_last_100 = 0u32;
     let mut attributed_failures = 0u32;
+    let mut timed_out_ids = Vec::new();
     for i in 0..CALLS {
         let started = Instant::now();
         let result = stub.invoke("echo", Bytes::from(i.to_be_bytes().to_vec()));
@@ -129,8 +152,13 @@ fn run_chaos(seed: u64) -> ChaosRun {
             // timeout carrying its request id (at-most-once forbids a
             // blind replay), a sever as Transport/Closed until the
             // reconnect lands, an exhausted ladder as the QoS NACK.
-            Err(OrbError::Timeout { .. })
-            | Err(OrbError::Transport(_))
+            Err(OrbError::Timeout { request_id, .. }) => {
+                attributed_failures += 1;
+                if let Some(id) = request_id {
+                    timed_out_ids.push(id);
+                }
+            }
+            Err(OrbError::Transport(_))
             | Err(OrbError::Closed)
             | Err(OrbError::QosNotSupported(_)) => attributed_failures += 1,
             Err(other) => panic!("unattributed failure at call {i}: {other:?}"),
@@ -160,12 +188,16 @@ fn run_chaos(seed: u64) -> ChaosRun {
             corrupt: kind("corrupt"),
             sever: kind("sever"),
         },
+        timed_out_ids,
+        registry,
     }
 }
 
 #[test]
 fn chaos_run_degrades_heals_and_attributes_every_failure() {
     let run = run_chaos(SEED);
+    // Any assertion failure below dumps the event log to chaos-flight.json.
+    let _dump = FlightDump(Arc::clone(&run.registry));
 
     assert_eq!(
         run.ok + run.attributed_failures,
@@ -200,6 +232,36 @@ fn chaos_run_degrades_heals_and_attributes_every_failure() {
         "every injected fault is one of the planned kinds: {:?}",
         run.faults
     );
+
+    // The flight recorder attributes every timed-out request to the
+    // fault that killed it: a request can only vanish here because the
+    // engine dropped or corrupted its frame, and the recorder logged
+    // that with the GIOP request id at injection time.
+    let events = run.registry.flight().events();
+    assert!(
+        run.timed_out_ids.len() as u64 <= run.faults.drop + run.faults.corrupt,
+        "more timeouts than lossy faults: {:?} vs {:?}",
+        run.timed_out_ids,
+        run.faults
+    );
+    for id in &run.timed_out_ids {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == flight_event::FAULT_INJECTED && e.request_id == Some(*id)),
+            "timed-out request {id} has no fault_injected flight event; events: {events:?}"
+        );
+    }
+    // The reconnect that healed the sever also left its mark.
+    assert!(
+        events.iter().any(|e| e.kind == flight_event::RECONNECT),
+        "reconnect must be on the flight record: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == flight_event::QOS_DEGRADE),
+        "ladder steps must be on the flight record: {events:?}"
+    );
+    assert_eq!(run.registry.flight().dropped(), 0, "ring must not wrap");
 }
 
 #[test]
