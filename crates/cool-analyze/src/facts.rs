@@ -21,6 +21,9 @@ pub struct Workspace {
     by_file_binder: HashMap<(String, String), Vec<LockInfo>>,
     /// (crate, binder) -> same, crate-wide (fallback for cross-file fields).
     by_crate_binder: HashMap<(String, String), Vec<LockInfo>>,
+    /// (crate, NAME) -> integer-constant value, for A005 capacity
+    /// resolution. Conflicting re-definitions within a crate are dropped.
+    int_consts: HashMap<(String, String), u64>,
 }
 
 impl Workspace {
@@ -58,12 +61,39 @@ impl Workspace {
             }
         }
 
+        let mut int_consts: HashMap<(String, String), u64> = HashMap::new();
+        let mut conflicting: Vec<(String, String)> = Vec::new();
+        for f in &files {
+            for (name, value, _) in &f.int_consts {
+                let key = (f.krate.clone(), name.clone());
+                match int_consts.get(&key) {
+                    Some(v) if v != value => conflicting.push(key),
+                    Some(_) => {}
+                    None => {
+                        int_consts.insert(key, *value);
+                    }
+                }
+            }
+        }
+        for key in conflicting {
+            int_consts.remove(&key);
+        }
+
         Workspace {
             files,
             rank_consts,
             by_file_binder,
             by_crate_binder,
+            int_consts,
         }
+    }
+
+    /// Resolves a SCREAMING_CASE capacity constant within a crate. `None`
+    /// when the name is undefined there or defined with conflicting values.
+    pub fn resolve_int_const(&self, krate: &str, name: &str) -> Option<u64> {
+        self.int_consts
+            .get(&(krate.to_owned(), name.to_owned()))
+            .copied()
     }
 
     /// Resolves an acquisition receiver (`self.<recv>.lock()` or a local

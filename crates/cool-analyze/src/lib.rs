@@ -4,7 +4,7 @@
 //! The binary (`cargo run -p cool-analyze`) parses every `.rs` file into
 //! a fact base (functions, call sites, lock acquisitions with their rank
 //! constants, codec impls, metric-name constants), builds an intra-crate
-//! call graph with transitive effect summaries, and runs the A001–A004
+//! call graph with transitive effect summaries, and runs the A001–A007
 //! rules described in [`rules`]. Findings share cool-lint's output
 //! contract: `file:line RULE message` text, JSON via `--json-out`
 //! (default `analyze-report.json`), exit 0/1/2, and the same two
@@ -53,7 +53,8 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
     let raw = rules::run_all(&ctx);
 
     // Inline `// lint: allow(A00x, reason)` annotations, same semantics as
-    // cool-lint: the annotation covers its own line and the next.
+    // cool-lint: the annotation covers its own line, any stacked allow
+    // lines below it, and the first non-allow line after the stack.
     let raw: Vec<Finding> = raw
         .into_iter()
         .filter(|f| {

@@ -51,7 +51,7 @@ fn main() -> ExitCode {
     print!("{}", report.render_text_as("cool-analyze"));
 
     let json_path = json_out.unwrap_or_else(|| root.join("analyze-report.json"));
-    if let Err(e) = std::fs::write(&json_path, report.render_json()) {
+    if let Err(e) = std::fs::write(&json_path, report.render_json_as("cool-analyze")) {
         eprintln!("cool-analyze: write {}: {e}", json_path.display());
         return ExitCode::from(2);
     }

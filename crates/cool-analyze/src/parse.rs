@@ -93,6 +93,9 @@ pub struct FnItem {
     /// True for functions inside `#[cfg(test)]` regions or test-like files;
     /// A001/A002 skip them (lock-order tests provoke inversions on purpose).
     pub in_test: bool,
+    /// Signature mentions `JoinHandle` — the function hands the spawned
+    /// thread's handle to its caller, so A007 holds the caller responsible.
+    pub sig_has_handle: bool,
     pub events: Vec<Event>,
 }
 
@@ -103,6 +106,78 @@ pub enum RankExpr {
     Const(String),
     /// A numeric literal (lockorder's own unit tests).
     Lit(u32),
+}
+
+/// The capacity argument of a bounded-channel constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapExpr {
+    /// `bounded(8)`.
+    Lit(u64),
+    /// `bounded(SOME_DEPTH)` — a single SCREAMING_CASE constant, resolved
+    /// against the workspace integer-constant table.
+    Const(String),
+    /// Anything computed (`bounded(config.depth.max(1))`); the identifiers
+    /// appearing in the expression, for table matching.
+    Dynamic(Vec<String>),
+}
+
+/// What kind of queue a construction site creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanKind {
+    /// `crossbeam::channel::bounded(cap)`.
+    Bounded,
+    /// `crossbeam::channel::unbounded()`.
+    Unbounded,
+    /// `FrameInbox::new()` — condvar-backed, grows until a sink drains it.
+    Inbox,
+}
+
+/// One channel/inbox construction site (the A005 fact).
+#[derive(Debug)]
+pub struct ChanCtor {
+    pub kind: ChanKind,
+    /// `None` for unbounded kinds.
+    pub cap: Option<CapExpr>,
+    /// Innermost enclosing function, the site's identity in the DESIGN.md
+    /// §7.4 channel-topology table.
+    pub fn_name: Option<String>,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// One condvar wait site (the A006 fact). Collected at file scope — a wait
+/// inside a spawn closure is still a wait — so this is independent of the
+/// per-function event streams.
+#[derive(Debug)]
+pub struct WaitSite {
+    /// Receiver ident (`self.cv.wait(..)` → `cv`). A006 only counts
+    /// receivers that bind a `Condvar` somewhere in the crate.
+    pub recv: String,
+    /// `wait`, `wait_for`, `wait_until`, `wait_timeout`, `wait_while`,
+    /// `wait_timeout_while`.
+    pub method: String,
+    pub line: u32,
+    /// Lexically inside a `loop`/`while`/`for` body.
+    pub in_loop: bool,
+    pub in_test: bool,
+}
+
+/// One `notify_one`/`notify_all` site (the other half of A006).
+#[derive(Debug)]
+pub struct NotifySite {
+    pub recv: String,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// One thread-spawn site (the A007 fact): a `spawn(` call whose statement
+/// mentions `thread`/`Builder`/`ThreadBuilder`.
+#[derive(Debug)]
+pub struct SpawnSite {
+    pub line: u32,
+    pub in_test: bool,
+    /// Index into `ParsedFile::fns` of the innermost enclosing function.
+    pub fn_idx: Option<usize>,
 }
 
 /// One `OrderedMutex::new`/`OrderedRwLock::new` site.
@@ -139,6 +214,20 @@ pub struct ParsedFile {
     pub test_idents: HashSet<String>,
     /// `// lint: allow(RULE, reason)` lines.
     pub allows: HashMap<u32, Vec<String>>,
+    /// Channel/inbox construction sites (A005).
+    pub chan_ctors: Vec<ChanCtor>,
+    /// Top-level `const NAME: <int> = value;` items, for capacity-constant
+    /// resolution.
+    pub int_consts: Vec<(String, u64, u32)>,
+    /// Identifiers that bind a `Condvar` (field declarations, struct
+    /// literals, `let` bindings).
+    pub condvar_binders: HashSet<String>,
+    /// Condvar-style wait call sites (A006).
+    pub waits: Vec<WaitSite>,
+    /// `notify_one`/`notify_all` call sites (A006).
+    pub notifies: Vec<NotifySite>,
+    /// Thread spawn sites (A007).
+    pub spawns: Vec<SpawnSite>,
 }
 
 /// Crate attribution: `crates/<name>/...` or the root package.
@@ -220,6 +309,12 @@ pub fn parse_file(rel: &str, scan: &Scan) -> ParsedFile {
     }
 
     let lock_ctors = collect_lock_ctors(toks, &in_test_line, &in_macro);
+    let chan_ctors = collect_chan_ctors(toks, &fns, &in_test_line, &in_macro);
+    let int_consts = collect_int_consts(toks);
+    let condvar_binders = collect_condvar_binders(toks);
+    let loops = loop_spans(toks);
+    let (waits, notifies) = collect_wait_notify(toks, &loops, &in_test_line, &in_macro);
+    let spawns = collect_spawns(toks, &fns, &in_test_line, &in_macro);
     let rank_consts = collect_rank_consts(toks);
     let metric_consts = if rel.ends_with("src/names.rs") {
         collect_metric_consts(toks)
@@ -259,6 +354,12 @@ pub fn parse_file(rel: &str, scan: &Scan) -> ParsedFile {
         lib_strs,
         test_idents,
         allows: inline_allows(&scan.comments),
+        chan_ctors,
+        int_consts,
+        condvar_binders,
+        waits,
+        notifies,
+        spawns,
     }
 }
 
@@ -395,6 +496,10 @@ fn collect_fns(toks: &[Tok], macro_spans: &[(usize, usize)]) -> Vec<FnItem> {
                         Some((ty, tr, _)) => (Some(ty.clone()), tr.clone()),
                         None => (None, None),
                     };
+                    let sig_end = body.map(|(open, _)| open).unwrap_or(j);
+                    let sig_has_handle = toks[i + 2..sig_end.min(toks.len())]
+                        .iter()
+                        .any(|t| t.kind == TokKind::Ident && t.text.contains("JoinHandle"));
                     fns.push(FnItem {
                         name: name_tok.text.clone(),
                         self_ty,
@@ -402,6 +507,7 @@ fn collect_fns(toks: &[Tok], macro_spans: &[(usize, usize)]) -> Vec<FnItem> {
                         line: t.line,
                         body,
                         in_test: false,
+                        sig_has_handle,
                         events: Vec::new(),
                     });
                     // Continue *into* the body so nested fns are found too.
@@ -984,6 +1090,322 @@ fn collect_metric_consts(toks: &[Tok]) -> Vec<(String, String, u32)> {
     out
 }
 
+/// Innermost function whose body span contains token `idx`.
+fn enclosing_fn(fns: &[FnItem], idx: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.body.map(|(a, b)| (i, a, b)))
+        .filter(|&(_, a, b)| idx >= a && idx <= b)
+        .min_by_key(|&(_, a, b)| b - a)
+        .map(|(i, _, _)| i)
+}
+
+/// Channel/inbox construction sites: `bounded(cap)` / `unbounded()`
+/// (turbofish forms included) and `FrameInbox::new()`.
+fn collect_chan_ctors(
+    toks: &[Tok],
+    fns: &[FnItem],
+    in_test_line: &dyn Fn(u32) -> bool,
+    in_macro: &dyn Fn(usize) -> bool,
+) -> Vec<ChanCtor> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if in_macro(i) || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        let prev = if i > 0 { toks[i - 1].text.as_str() } else { "" };
+        let kind = match t.text.as_str() {
+            "bounded" if prev != "." && prev != "fn" => ChanKind::Bounded,
+            "unbounded" if prev != "." && prev != "fn" => ChanKind::Unbounded,
+            "FrameInbox"
+                if toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+                    && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
+                    && toks.get(i + 3).map(|t| t.text.as_str()) == Some("new")
+                    && toks.get(i + 4).map(|t| t.text.as_str()) == Some("(") =>
+            {
+                ChanKind::Inbox
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // The argument-list paren, skipping a `::<T>` turbofish. A bare
+        // `bounded`/`unbounded` ident without one (imports) is not a site.
+        let args_open = if kind == ChanKind::Inbox {
+            i + 4
+        } else {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.text.as_str()) == Some(":")
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some(":")
+                && toks.get(j + 2).map(|t| t.text.as_str()) == Some("<")
+            {
+                let mut depth = 0i32;
+                j += 2;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if toks.get(j).map(|t| t.text.as_str()) != Some("(") {
+                i += 1;
+                continue;
+            }
+            j
+        };
+        let args_close = match_close(toks, args_open);
+        let cap = if kind == ChanKind::Bounded {
+            let mut idents: Vec<String> = Vec::new();
+            let mut lits: Vec<u64> = Vec::new();
+            for t in &toks[args_open + 1..args_close] {
+                match t.kind {
+                    TokKind::Ident if !is_keyword(&t.text) => idents.push(t.text.clone()),
+                    TokKind::Num => {
+                        if let Ok(v) = t.text.replace('_', "").parse::<u64>() {
+                            lits.push(v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let screaming = |s: &str| {
+                s.chars().any(|c| c.is_ascii_uppercase())
+                    && !s.chars().any(|c| c.is_ascii_lowercase())
+            };
+            Some(match (idents.as_slice(), lits.as_slice()) {
+                ([], [v]) => CapExpr::Lit(*v),
+                ([name], []) if screaming(name) => CapExpr::Const(name.clone()),
+                _ => CapExpr::Dynamic(idents),
+            })
+        } else {
+            None
+        };
+        out.push(ChanCtor {
+            kind,
+            cap,
+            fn_name: enclosing_fn(fns, i).map(|fi| fns[fi].name.clone()),
+            line: t.line,
+            in_test: in_test_line(t.line),
+        });
+        i = args_open + 1;
+    }
+    out
+}
+
+const INT_TYPES: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64", "isize",
+];
+
+/// `const NAME: usize = 123;` items at any nesting, for A005
+/// capacity-constant resolution (and its drift check against §7.4).
+fn collect_int_consts(toks: &[Tok]) -> Vec<(String, u64, u32)> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    while j + 5 < toks.len() {
+        if toks[j].text == "const"
+            && toks[j + 1].kind == TokKind::Ident
+            && toks[j + 2].text == ":"
+            && toks[j + 3].kind == TokKind::Ident
+            && INT_TYPES.contains(&toks[j + 3].text.as_str())
+            && toks[j + 4].text == "="
+            && toks[j + 5].kind == TokKind::Num
+            && toks.get(j + 6).map(|t| t.text.as_str()) == Some(";")
+        {
+            if let Ok(v) = toks[j + 5].text.replace('_', "").parse::<u64>() {
+                out.push((toks[j + 1].text.clone(), v, toks[j + 1].line));
+            }
+            j += 6;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Identifiers that bind a `Condvar`: struct-field declarations
+/// (`cv: Condvar`), struct-literal fields (`cv: Condvar::new()`) and
+/// `let` bindings, with optional path prefixes (`parking_lot::Condvar`).
+fn collect_condvar_binders(toks: &[Tok]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "Condvar" || i == 0 {
+            continue;
+        }
+        // Walk back over a `path::` prefix to the head of the type path.
+        let mut p = i;
+        while p >= 3
+            && toks[p - 1].text == ":"
+            && toks[p - 2].text == ":"
+            && toks[p - 3].kind == TokKind::Ident
+            && !is_keyword(&toks[p - 3].text)
+        {
+            p -= 3;
+        }
+        if p == 0 {
+            continue;
+        }
+        let before = &toks[p - 1];
+        if before.text == ":" && p >= 2 && toks[p - 2].kind == TokKind::Ident {
+            let b = &toks[p - 2];
+            if !is_keyword(&b.text) {
+                out.insert(b.text.clone());
+            }
+        } else if before.text == "=" {
+            let mut q = p - 1;
+            let floor = q.saturating_sub(8);
+            while q > floor {
+                q -= 1;
+                if toks[q].text == "let" {
+                    let b = if toks.get(q + 1).map(|t| t.text.as_str()) == Some("mut") {
+                        toks.get(q + 2)
+                    } else {
+                        toks.get(q + 1)
+                    };
+                    if let Some(b) = b.filter(|t| t.kind == TokKind::Ident) {
+                        out.insert(b.text.clone());
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Token spans of `loop`/`while`/`for` bodies. `for` only counts as a
+/// loop when an `in` appears before its body brace, which excludes
+/// `impl Trait for Type` headers and HRTB `for<'a>` bounds.
+fn loop_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "loop" | "while" | "for") {
+            continue;
+        }
+        let open = first_brace_after(toks, i + 1, toks.len() - 1);
+        if toks.get(open).map(|t| t.text.as_str()) != Some("{") {
+            continue;
+        }
+        if t.text == "for"
+            && !toks[i + 1..open]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "in")
+        {
+            continue;
+        }
+        spans.push((open, match_close(toks, open)));
+    }
+    spans
+}
+
+const WAIT_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_until",
+    "wait_timeout",
+    "wait_while",
+    "wait_timeout_while",
+];
+
+/// Condvar-shaped wait and notify call sites, collected whole-file so
+/// waits inside spawn closures are seen too.
+fn collect_wait_notify(
+    toks: &[Tok],
+    loops: &[(usize, usize)],
+    in_test_line: &dyn Fn(u32) -> bool,
+    in_macro: &dyn Fn(usize) -> bool,
+) -> (Vec<WaitSite>, Vec<NotifySite>) {
+    let mut waits = Vec::new();
+    let mut notifies = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if k < 2
+            || in_macro(k)
+            || t.kind != TokKind::Ident
+            || toks[k - 1].text != "."
+            || toks.get(k + 1).map(|t| t.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        let recv = &toks[k - 2];
+        if recv.kind != TokKind::Ident || is_keyword(&recv.text) {
+            continue;
+        }
+        if WAIT_METHODS.contains(&t.text.as_str()) {
+            waits.push(WaitSite {
+                recv: recv.text.clone(),
+                method: t.text.clone(),
+                line: t.line,
+                in_loop: loops.iter().any(|&(a, b)| k >= a && k <= b),
+                in_test: in_test_line(t.line),
+            });
+        } else if t.text == "notify_one" || t.text == "notify_all" {
+            notifies.push(NotifySite {
+                recv: recv.text.clone(),
+                line: t.line,
+                in_test: in_test_line(t.line),
+            });
+        }
+    }
+    (waits, notifies)
+}
+
+/// Thread-spawn sites: a `spawn(` call whose statement prefix mentions
+/// `thread`, `Builder` or `ThreadBuilder` (`std::thread::spawn`,
+/// `Builder::new()..spawn`, chorus-sim's `ThreadBuilder`).
+fn collect_spawns(
+    toks: &[Tok],
+    fns: &[FnItem],
+    in_test_line: &dyn Fn(u32) -> bool,
+    in_macro: &dyn Fn(usize) -> bool,
+) -> Vec<SpawnSite> {
+    let mut out = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if in_macro(k)
+            || t.kind != TokKind::Ident
+            || t.text != "spawn"
+            || toks.get(k + 1).map(|t| t.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        let mut threadish = false;
+        let mut p = k;
+        while p > 0 {
+            p -= 1;
+            let u = &toks[p];
+            if matches!(u.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+            if u.kind == TokKind::Ident
+                && matches!(u.text.as_str(), "thread" | "Builder" | "ThreadBuilder")
+            {
+                threadish = true;
+                break;
+            }
+        }
+        if !threadish {
+            continue;
+        }
+        out.push(SpawnSite {
+            line: t.line,
+            in_test: in_test_line(t.line),
+            fn_idx: enclosing_fn(fns, k),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1215,5 +1637,102 @@ mod tests {
         assert!(p.lib_idents.contains("lib_ident"));
         assert!(!p.lib_idents.contains("test_ident"));
         assert!(p.test_idents.contains("test_ident"));
+    }
+
+    #[test]
+    fn chan_ctors_classify_kind_and_capacity() {
+        let p = parsed(
+            "use crossbeam_channel::{bounded, unbounded};\n\
+             const DEPTH: usize = 8;\n\
+             fn a() { let (t, r) = bounded(4); }\n\
+             fn b() { let (t, r) = bounded(DEPTH); }\n\
+             fn c(n: usize) { let (t, r) = bounded::<u8>(n.max(1)); }\n\
+             fn d() { let (t, r) = unbounded(); }\n\
+             fn e() { let q = FrameInbox::new(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { let (x, y) = unbounded(); } }",
+        );
+        assert_eq!(p.int_consts, vec![("DEPTH".to_string(), 8, 2)]);
+        let by_fn = |name: &str| {
+            p.chan_ctors
+                .iter()
+                .find(|c| c.fn_name.as_deref() == Some(name))
+                .unwrap()
+        };
+        assert_eq!(by_fn("a").kind, ChanKind::Bounded);
+        assert_eq!(by_fn("a").cap, Some(CapExpr::Lit(4)));
+        assert_eq!(by_fn("b").cap, Some(CapExpr::Const("DEPTH".into())));
+        assert_eq!(
+            by_fn("c").cap,
+            Some(CapExpr::Dynamic(vec!["n".into(), "max".into()]))
+        );
+        assert_eq!(by_fn("d").kind, ChanKind::Unbounded);
+        assert_eq!(by_fn("d").cap, None);
+        assert_eq!(by_fn("e").kind, ChanKind::Inbox);
+        let test_site = by_fn("t");
+        assert!(test_site.in_test);
+        // The braced import tokens are not construction sites.
+        assert_eq!(p.chan_ctors.len(), 6);
+    }
+
+    #[test]
+    fn condvar_binders_waits_and_notifies() {
+        let p = parsed(
+            "struct W { m: Mutex<bool>, cv: Condvar }\n\
+             struct S { idle: parking_lot::Condvar }\n\
+             fn mk() -> S { S { idle: parking_lot::Condvar::new() } }\n\
+             fn local() { let lonely = Condvar::new(); }\n\
+             impl W {\n\
+               fn good(&self) { let mut g = self.m.lock(); while !*g { self.cv.wait(&mut g); } }\n\
+               fn bad(&self) { let mut g = self.m.lock(); self.cv.wait_timeout(&mut g, d); }\n\
+               fn wake(&self) { self.cv.notify_all(); }\n\
+             }",
+        );
+        for b in ["cv", "idle", "lonely"] {
+            assert!(p.condvar_binders.contains(b), "binder {b}");
+        }
+        assert!(!p.condvar_binders.contains("parking_lot"));
+        let wait_in_loop: Vec<(bool, &str)> = p
+            .waits
+            .iter()
+            .map(|w| (w.in_loop, w.method.as_str()))
+            .collect();
+        assert!(wait_in_loop.contains(&(true, "wait")));
+        assert!(wait_in_loop.contains(&(false, "wait_timeout")));
+        assert_eq!(p.waits.iter().filter(|w| w.recv == "cv").count(), 2);
+        assert_eq!(p.notifies.len(), 1);
+        assert_eq!(p.notifies[0].recv, "cv");
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let p = parsed(
+            "struct S { cv: Condvar }\n\
+             impl Runnable for S {\n\
+               fn run(&self) { let mut g = lock(); self.cv.wait(&mut g); }\n\
+             }",
+        );
+        assert_eq!(p.waits.len(), 1);
+        assert!(!p.waits[0].in_loop, "impl-for body is not a loop body");
+    }
+
+    #[test]
+    fn spawns_require_a_threadish_prefix_and_find_their_fn() {
+        let p = parsed(
+            "fn a() { let h = std::thread::spawn(|| {}); }\n\
+             fn b() -> std::thread::JoinHandle<()> { std::thread::Builder::new()\n\
+                 .name(String::from(\"x\")).spawn(|| {}).unwrap() }\n\
+             fn c(pool: &Pool) { pool.spawn(|| {}); }\n\
+             #[cfg(test)]\nmod tests { fn t() { let h = std::thread::spawn(|| {}); } }",
+        );
+        let lib: Vec<_> = p.spawns.iter().filter(|s| !s.in_test).collect();
+        assert_eq!(lib.len(), 2, "pool.spawn has no thread/Builder prefix");
+        let fns: Vec<&str> = lib
+            .iter()
+            .map(|s| p.fns[s.fn_idx.unwrap()].name.as_str())
+            .collect();
+        assert_eq!(fns, ["a", "b"]);
+        assert!(p.fns[lib[1].fn_idx.unwrap()].sig_has_handle);
+        assert!(!p.fns[lib[0].fn_idx.unwrap()].sig_has_handle);
+        assert!(p.spawns.iter().any(|s| s.in_test));
     }
 }

@@ -10,16 +10,31 @@
 //! |      | round-trip test naming the type                                    |
 //! | A004 | every telemetry name constant is emitted somewhere and documented  |
 //! |      | in DESIGN.md §6                                                    |
+//! | A005 | channel topology: every data-path queue is bounded (or carries an  |
+//! |      | allow), matches the DESIGN.md §7.4 table (capacities included),    |
+//! |      | and no documented cycle is all-blocking                            |
+//! | A006 | condvar waits hold no other ordered lock, have a reachable notify, |
+//! |      | and sit in a predicate loop                                        |
+//! | A007 | every spawned thread has a join reachable from the shutdown path   |
 //! | A000 | the analyzer's allowlist entries stay live (shared with cool-lint) |
 //!
 //! A001/A002 skip test code: the lock-order checker's own tests provoke
 //! inversions on purpose, and test-only blocking under a lock is a test
-//! bug, not a product deadlock.
+//! bug, not a product deadlock. A005–A007 skip test code for the same
+//! reason: test scaffolding spawns and queues die with the test process.
 
 pub mod a001;
 pub mod a002;
 pub mod a003;
 pub mod a004;
+pub mod a005;
+pub mod a006;
+pub mod a007;
+
+/// Every rule the analyzer can emit, for allowlist hygiene and docs.
+pub const RULES: &[&str] = &[
+    "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007",
+];
 
 use crate::callgraph::Graph;
 use crate::facts::Workspace;
@@ -41,6 +56,9 @@ pub fn run_all(ctx: &Ctx) -> Vec<Finding> {
     out.extend(a002::check(ctx));
     out.extend(a003::check(ctx));
     out.extend(a004::check(ctx));
+    out.extend(a005::check(ctx));
+    out.extend(a006::check(ctx));
+    out.extend(a007::check(ctx));
     out
 }
 

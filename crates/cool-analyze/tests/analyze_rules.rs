@@ -210,6 +210,101 @@ fn a001_rank_table_drift_is_flagged_in_both_directions() {
     assert_eq!(msgs.len(), 6, "app.good and rank 10 stay clean: {msgs:?}");
 }
 
+// ---- A005: channel topology -----------------------------------------
+
+#[test]
+fn a005_flags_unbounded_drift_missing_phantom_policy_and_cycles() {
+    let found = findings("chantopo");
+    assert!(
+        found.iter().all(|(r, _, _, _)| r == "A005"),
+        "no other rule fires on this fixture: {found:?}"
+    );
+    let find = |file: &str, line: u32| -> &str {
+        &found
+            .iter()
+            .find(|(_, f, l, _)| f == file && *l == line)
+            .unwrap_or_else(|| panic!("no finding at {file}:{line}: {found:?}"))
+            .3
+    };
+    // Site side.
+    assert!(
+        find("crates/cool-orb/src/lib.rs", 16).contains("drifted")
+            && find("crates/cool-orb/src/lib.rs", 16).contains("bounded(DEPTH = 9)"),
+        "mutating a capacity constant without a table update is drift"
+    );
+    assert!(find("crates/cool-orb/src/lib.rs", 21).contains("unbounded channel"));
+    assert!(find("crates/cool-orb/src/lib.rs", 47).contains("missing from the DESIGN.md"));
+    // Table side.
+    assert!(find("DESIGN.md", 10).contains("no construction site"));
+    assert!(find("DESIGN.md", 12).contains("matches no construction site"));
+    assert!(find("DESIGN.md", 13).contains("unknown full-policy `maybe`"));
+    assert!(
+        find("DESIGN.md", 14).contains("channel cycle")
+            && find("DESIGN.md", 14).contains("ring_a -> lib.rs::ring_b"),
+        "all-block ring reported with its path"
+    );
+    assert_eq!(
+        found.len(),
+        7,
+        "make_good, make_allowed and the test-mod queue stay clean: {found:?}"
+    );
+}
+
+// ---- A006: condvar wait-graph ---------------------------------------
+
+#[test]
+fn a006_flags_missing_notify_bare_wait_and_foreign_lock() {
+    let found = findings("condvar");
+    let a006: Vec<(u32, &str)> = found
+        .iter()
+        .filter(|(r, _, _, _)| r == "A006")
+        .map(|(_, _, l, m)| (*l, m.as_str()))
+        .collect();
+    assert!(
+        a006.iter().any(|(l, m)| *l == 44 && m.contains("no notify_one/notify_all")),
+        "un-notified condvar flagged: {a006:?}"
+    );
+    assert!(
+        a006.iter().any(|(l, m)| *l == 51 && m.contains("predicate loop")),
+        "bare wait flagged: {a006:?}"
+    );
+    assert!(
+        a006.iter()
+            .any(|(l, m)| *l == 63 && m.contains("holding ordered lock `app.foreign`")),
+        "wait under a foreign ordered lock flagged: {a006:?}"
+    );
+    assert_eq!(
+        a006.len(),
+        3,
+        "the predicate-loop wait, wait_while, the allowed site and test code \
+         stay clean: {a006:?}"
+    );
+    // The foreign-lock wait is also blocking-under-lock; the two rules
+    // agree on the site.
+    assert!(
+        found.iter().any(|(r, _, l, _)| r == "A002" && *l == 63),
+        "A002 sees the same site: {found:?}"
+    );
+}
+
+// ---- A007: spawn/join lifecycle -------------------------------------
+
+#[test]
+fn a007_flags_only_the_detached_spawn() {
+    let found = findings("spawnjoin");
+    assert_eq!(
+        found.len(),
+        1,
+        "close-join, sig-handle, same-fn join, graph-reachable join, the \
+         allowed site and test code all stay clean: {found:?}"
+    );
+    let (rule, file, line, msg) = &found[0];
+    assert_eq!(rule, "A007");
+    assert_eq!(file, "crates/app/src/violate.rs");
+    assert_eq!(*line, 7);
+    assert!(msg.contains("never joined on a shutdown path"), "{msg}");
+}
+
 // ---- The workspace itself -------------------------------------------
 
 #[test]
@@ -223,6 +318,14 @@ fn the_real_workspace_analyzes_clean() {
         report.is_clean(),
         "the workspace must analyze clean:\n{}",
         report.render_text_as("cool-analyze")
+    );
+    // All seven substantive rules (plus A000) actually ran to produce
+    // that clean bill — a rule silently dropped from the registry would
+    // otherwise make this test pass vacuously.
+    assert_eq!(
+        cool_analyze::rules::RULES,
+        ["A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007"],
+        "the rule registry lists every A-rule"
     );
     assert!(
         report.files_scanned > 100,

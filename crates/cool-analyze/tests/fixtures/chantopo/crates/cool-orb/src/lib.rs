@@ -1,0 +1,56 @@
+//! A005 fixture: channel construction sites vs the §7.4 topology table —
+//! a matching literal, a drifted constant, an unjustified unbounded
+//! queue, an inline-allowed one, and rows exercising the policy and
+//! cycle checks.
+
+pub const DEPTH: usize = 9;
+
+/// Clean: literal capacity matches its row.
+pub fn make_good() {
+    let (_tx, _rx) = bounded(4);
+}
+
+/// Capacity drift: the table documents `DEPTH` (8) but the constant now
+/// resolves to 9 — the row was not updated with the code.
+pub fn make_const() {
+    let (_tx, _rx) = bounded(DEPTH);
+}
+
+/// Unbounded on the data path with no justification.
+pub fn make_grow() {
+    let (_tx, _rx) = unbounded();
+}
+
+/// Unbounded but justified inline: the allow also forgives the missing
+/// table row at the same site.
+pub fn make_allowed() {
+    // lint: allow(A005, fixture: drained every tick by the fixture pump)
+    let (_tx, _rx) = unbounded();
+}
+
+/// Backs the row whose full-policy is not block|grow|drop.
+pub fn bad_policy() {
+    let (_tx, _rx) = bounded(3);
+}
+
+/// Ring: both documented `block`, forming an all-blocking cycle.
+pub fn ring_a() {
+    let (_tx, _rx) = bounded(1);
+}
+
+pub fn ring_b() {
+    let (_tx, _rx) = bounded(1);
+}
+
+/// Missing from the table entirely.
+pub fn unlisted() {
+    let (_tx, _rx) = bounded(7);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may use throwaway queues; A005 must not look here.
+    fn throwaway() {
+        let (_tx, _rx) = unbounded();
+    }
+}

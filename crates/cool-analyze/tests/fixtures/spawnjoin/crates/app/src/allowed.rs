@@ -1,0 +1,8 @@
+//! A007 fixture: deliberate detachment, justified inline.
+
+pub fn fire_and_forget() {
+    // lint: allow(A007, fixture: lifetime bounded by the rendezvous timeout)
+    let _ = std::thread::spawn(beat);
+}
+
+fn beat() {}

@@ -1,0 +1,8 @@
+//! A007 fixture: returning the `JoinHandle` passes ownership up — the
+//! caller's use is what gets checked, not this function.
+
+pub fn spawn_worker() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(tick)
+}
+
+fn tick() {}

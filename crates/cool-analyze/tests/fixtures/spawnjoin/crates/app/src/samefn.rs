@@ -1,0 +1,8 @@
+//! A007 fixture: scoped use — spawned and joined in the same function.
+
+pub fn run_once() {
+    let h = std::thread::spawn(step);
+    let _ = h.join();
+}
+
+fn step() {}

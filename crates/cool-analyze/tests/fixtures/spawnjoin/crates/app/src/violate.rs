@@ -1,0 +1,19 @@
+//! A007 fixture, the violation: a thread spawned on a long-lived path
+//! with no join anywhere on this file's shutdown path. Line 7.
+
+pub fn start_detached() {
+    std::thread::Builder::new()
+        .name("fixture-detached".into())
+        .spawn(work)
+        .ok();
+}
+
+fn work() {}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may detach helpers; A007 must not look here.
+    fn helper() {
+        let _ = std::thread::spawn(super::work);
+    }
+}

@@ -17,6 +17,11 @@ use crate::report::Finding;
 /// Hard cap on allowlist size; beyond this the build fails.
 pub const MAX_ENTRIES: usize = 25;
 
+/// Per-namespace cap: at most this many entries whose rule shares a
+/// leading letter (`L*` = cool-lint, `A*` = cool-analyze), so one tool's
+/// exemptions cannot crowd out the other's budget.
+pub const MAX_PER_NAMESPACE: usize = 15;
+
 /// One parsed allowlist entry.
 #[derive(Debug, Clone)]
 pub struct Entry {
@@ -80,6 +85,20 @@ pub fn parse(source_name: &str, text: &str) -> Allowlist {
                 MAX_ENTRIES
             ),
         ));
+    }
+    for ns in ['L', 'A'] {
+        let n = out.entries.iter().filter(|e| e.rule.starts_with(ns)).count();
+        if n > MAX_PER_NAMESPACE {
+            out.problems.push(Finding::new(
+                source_name,
+                0,
+                "L000",
+                &format!(
+                    "allowlist has {n} `{ns}*` entries, per-namespace cap is \
+                     {MAX_PER_NAMESPACE} — fix violations instead of exempting them"
+                ),
+            ));
+        }
     }
     out
 }
@@ -170,5 +189,23 @@ mod tests {
         }
         let al = parse("lint-allow.txt", &text);
         assert!(al.problems.iter().any(|p| p.message.contains("cap is")));
+    }
+
+    #[test]
+    fn per_namespace_cap_is_enforced() {
+        // Under the total cap but over the A-namespace cap.
+        let mut text = String::new();
+        for i in 0..(MAX_PER_NAMESPACE + 1) {
+            text.push_str(&format!("f{i}.rs A005 reason\n"));
+        }
+        let al = parse("lint-allow.txt", &text);
+        assert!(al.entries.len() <= MAX_ENTRIES);
+        assert!(al
+            .problems
+            .iter()
+            .any(|p| p.message.contains("per-namespace cap")));
+        // A balanced mix under both caps is fine.
+        let al = parse("lint-allow.txt", "a.rs L002 x\nb.rs A005 y\n");
+        assert!(al.problems.is_empty());
     }
 }

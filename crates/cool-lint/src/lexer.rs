@@ -189,8 +189,12 @@ pub fn scan(src: &str) -> Scan {
                 while j < bytes.len()
                     && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
                 {
-                    // `1..2` range: stop before a second consecutive dot.
-                    if bytes[j] == b'.' && bytes.get(j + 1) == Some(&b'.') {
+                    // A dot only continues the number when a digit follows:
+                    // `1.5` yes; `1..2` ranges and `self.0.field` tuple
+                    // access (method calls on a tuple field!) stop at it.
+                    if bytes[j] == b'.'
+                        && !bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
                         break;
                     }
                     j += 1;
@@ -362,6 +366,39 @@ mod tests {
         let scan = scan(src);
         assert_eq!(scan.tokens.len(), 1);
         assert_eq!(scan.tokens[0].text, "code");
+    }
+
+    #[test]
+    fn tuple_field_access_does_not_swallow_the_method_chain() {
+        // `self.0.idle.notify_all()` — the `0` is a tuple index, not the
+        // start of a float; the idents after it must survive as tokens.
+        let toks = scan("self.0.idle.notify_all();").tokens;
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["self", ".", "0", ".", "idle", ".", "notify_all", "(", ")", ";"]
+        );
+        assert_eq!(toks[2].kind, TokKind::Num);
+        assert_eq!(toks[4].kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn numeric_literal_shapes_still_lex_whole() {
+        for (src, want) in [
+            ("1.5", "1.5"),
+            ("1_000", "1_000"),
+            ("0x1F", "0x1F"),
+            ("1.0f64", "1.0f64"),
+            ("2.5e3", "2.5e3"),
+        ] {
+            let toks = scan(src).tokens;
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].text, want);
+            assert_eq!(toks[0].kind, TokKind::Num);
+        }
+        // Ranges split at the double dot.
+        let texts: Vec<String> = scan("1..2").tokens.into_iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["1", ".", ".", "2"]);
     }
 
     #[test]

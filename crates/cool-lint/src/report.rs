@@ -76,9 +76,20 @@ impl Report {
         out
     }
 
-    /// Machine-readable report (stable key order).
+    /// Machine-readable report with the default tool label.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"findings\": [");
+        self.render_json_as("cool-lint")
+    }
+
+    /// Machine-readable report (stable key order). The schema —
+    /// `cool-report/v1` — is shared verbatim by cool-lint and
+    /// cool-analyze: same keys, same order, only the `tool` label
+    /// differs. A golden-file test pins the byte-exact shape.
+    pub fn render_json_as(&self, tool: &str) -> String {
+        let mut out = format!(
+            "{{\n  \"tool\": {},\n  \"schema\": \"cool-report/v1\",\n  \"findings\": [",
+            json_str(tool)
+        );
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');

@@ -144,10 +144,13 @@ fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
 }
 
 /// Inline exemptions: `// lint: allow(RULE, reason)`. The annotation
-/// covers its own line and the one after it, so it can sit on the
-/// offending line or immediately above. Returns line -> allowed rules.
+/// covers its own line and extends through any directly following allow
+/// lines to the first non-allow line — so it can sit on the offending
+/// line, immediately above it, or stacked with other allows above it
+/// (one site often needs both an L- and an A-rule exemption). Returns
+/// line -> allowed rules.
 pub fn inline_allows(comments: &[Comment]) -> HashMap<u32, Vec<String>> {
-    let mut map: HashMap<u32, Vec<String>> = HashMap::new();
+    let mut at_line: Vec<(u32, String)> = Vec::new();
     for c in comments {
         let text = c.text.trim();
         let Some(rest) = text.strip_prefix("lint:").map(str::trim) else {
@@ -162,12 +165,20 @@ pub fn inline_allows(comments: &[Comment]) -> HashMap<u32, Vec<String>> {
         let Some((rule, reason)) = args.split_once(',') else {
             continue; // reason is mandatory; bare allow(RULE) does nothing
         };
-        let rule = rule.trim().to_owned();
         if reason.trim().is_empty() {
             continue;
         }
-        for line in [c.line, c.line + 1] {
-            map.entry(line).or_default().push(rule.clone());
+        at_line.push((c.line, rule.trim().to_owned()));
+    }
+    let allow_lines: HashSet<u32> = at_line.iter().map(|&(l, _)| l).collect();
+    let mut map: HashMap<u32, Vec<String>> = HashMap::new();
+    for (line, rule) in at_line {
+        let mut end = line + 1;
+        while allow_lines.contains(&end) {
+            end += 1;
+        }
+        for l in line..=end {
+            map.entry(l).or_default().push(rule.clone());
         }
     }
     map
@@ -791,6 +802,19 @@ mod tests {
         // A reason is mandatory: a bare allow() must not suppress.
         let bare = "fn f() {\n    // lint: allow(L001)\n    std::thread::sleep(d);\n}";
         assert_eq!(check_file("crates/x/src/lib.rs", &scan(bare)).len(), 1);
+    }
+
+    #[test]
+    fn stacked_allows_cover_the_site_below_the_stack() {
+        // Two allow lines above one site: both rules must reach line 4.
+        let src = "fn f() {\n    // lint: allow(A005, drained by flusher)\n    \
+                   // lint: allow(L001, fixed-rate sampler)\n    std::thread::sleep(d);\n}";
+        let allows = inline_allows(&scan(src).comments);
+        let at = |line: u32| allows.get(&line).cloned().unwrap_or_default();
+        assert!(at(4).contains(&"A005".to_string()), "stacked rule reaches the site");
+        assert!(at(4).contains(&"L001".to_string()));
+        assert!(at(5).is_empty(), "coverage stops at the first non-allow line");
+        assert!(check_file("crates/x/src/lib.rs", &scan(src)).is_empty());
     }
 
     #[test]

@@ -180,6 +180,7 @@ pub fn handle_stream_open(
     let endpoint_for_cleanup = endpoint_name.clone();
     std::thread::Builder::new()
         .name(format!("stream-{endpoint_name}"))
+        // lint: allow(A007, one-shot rendezvous acceptor, self-terminating within RENDEZVOUS_TIMEOUT; the Reply must not block on it)
         .spawn(move || {
             let accepted = acceptor.recv_timeout(RENDEZVOUS_TIMEOUT);
             // One flow per endpoint: stop accepting either way.

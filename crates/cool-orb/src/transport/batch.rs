@@ -99,6 +99,9 @@ pub struct BatchingChannel {
     /// Wakes the flusher when a frame starts a fresh batch (dropping the
     /// sender on channel drop lets the flusher exit).
     tick: Sender<()>,
+    /// The flusher thread's handle (`chan.flusher`, rank 43), reaped by
+    /// [`ComChannel::close`] so shutdown never leaks the thread.
+    flusher: OrderedMutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for BatchingChannel {
@@ -139,15 +142,21 @@ impl BatchingChannel {
             registry: registry.cloned(),
         });
         // lint: allow(L003, zero-sized wake tokens only — one per first-in-batch send, drained each flusher pass; no payload is buffered here)
+        // lint: allow(A005, §7.4: zero-sized wake ticks, at most one outstanding per batch, drained every flusher pass)
         let (tick, wake) = unbounded();
         let flusher_core = Arc::clone(&core);
         // Thread-spawn failure would mean the process is already resource
         // exhausted; degrade to inline-only flushing rather than erroring
         // the whole channel.
-        let _ = std::thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name("cool-batch-flush".into())
-            .spawn(move || flusher_loop(&flusher_core, &wake));
-        Arc::new(BatchingChannel { core, tick })
+            .spawn(move || flusher_loop(&flusher_core, &wake))
+            .ok();
+        Arc::new(BatchingChannel {
+            core,
+            tick,
+            flusher: OrderedMutex::new(rank::CHAN_FLUSHER, "chan.flusher", handle),
+        })
     }
 
     /// Whether `frame` is a whole GIOP frame (and thus safe to coalesce —
@@ -242,6 +251,13 @@ impl ComChannel for BatchingChannel {
         // Unblock the flusher so it observes the closed flag.
         let _ = self.tick.send(());
         self.core.inner.close();
+        // Reap the flusher: take the handle out of the mutex, join outside
+        // it. The inner channel is closed above, so a flusher mid-flush
+        // fails fast instead of blocking the join.
+        let handle = self.flusher.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
     }
 
     fn kind(&self) -> &'static str {
@@ -404,6 +420,21 @@ mod tests {
             chan.send_frame(giop_frame(10)),
             Err(OrbError::Closed)
         ));
+    }
+
+    #[test]
+    fn close_joins_the_flusher_thread() {
+        let inner = RecordingChannel::new();
+        let chan = BatchingChannel::wrap(
+            inner.clone() as Arc<dyn ComChannel>,
+            policy(100, 64 * 1024, Duration::from_secs(10)),
+        );
+        chan.send_frame(giop_frame(1)).unwrap();
+        chan.close();
+        // close() joined the flusher, so its end of the wake channel is
+        // already dropped — deterministically, not eventually.
+        assert!(chan.tick.send(()).is_err(), "flusher exited before close returned");
+        assert!(chan.flusher.lock().is_none(), "handle was reaped");
     }
 
     #[test]

@@ -186,6 +186,7 @@ impl DacapoComChannel {
         let send_metrics = telemetry.map(|r| SendMetrics::resolve(r, "dacapo"));
         let inbox_metrics = telemetry.map(|r| InboxMetrics::resolve(r, "dacapo"));
         let make_inner = |connection: Connection| {
+            // lint: allow(A005, §7.4: pump thread forwards each frame into the Da CaPo stack as it arrives, so the inbox never accumulates)
             let inbox = Arc::new(FrameInbox::new());
             if let Some(m) = &inbox_metrics {
                 inbox.set_metrics(m.clone());
@@ -210,6 +211,7 @@ impl DacapoComChannel {
             let pump_inner = Arc::clone(inner);
             std::thread::Builder::new()
                 .name("cool-dacapo-rx".into())
+                // lint: allow(A007, pump exits when its inbox disconnects at channel close; joining would add a close-vs-recv deadlock risk)
                 .spawn(move || pump_loop(&pump_inner))
                 .map_err(|e| OrbError::Transport(format!("spawn dacapo pump: {e}")))?;
         }

@@ -94,6 +94,7 @@ impl TcpComChannel {
         let shutdown_handle = stream
             .try_clone()
             .map_err(|e| OrbError::Transport(format!("tcp clone: {e}")))?;
+        // lint: allow(A005, §7.4: inbox is drained per frame by the connection sink or recv_frame; depth is paced by the socket read loop)
         let inbox = Arc::new(FrameInbox::new());
         if let Some(registry) = telemetry {
             inbox.set_metrics(InboxMetrics::resolve(registry, "tcp"));
@@ -101,6 +102,7 @@ impl TcpComChannel {
         let rx_inbox = Arc::clone(&inbox);
         std::thread::Builder::new()
             .name("cool-tcp-rx".into())
+            // lint: allow(A007, reader exits when the socket closes — close() shuts the stream down, which unblocks and ends it)
             .spawn(move || reader_loop(reader, &rx_inbox))
             .map_err(|e| OrbError::Transport(format!("spawn tcp reader: {e}")))?;
         Ok(TcpComChannel {

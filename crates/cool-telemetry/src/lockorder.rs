@@ -66,6 +66,10 @@ pub mod rank {
     /// frame. Above the binding locks (send paths hold none deeper) and
     /// below the channel locks the inner `send_frame` may take.
     pub const CHAN_BATCH: u32 = 42;
+    /// `BatchingChannel::flusher` — the flusher thread's `JoinHandle`,
+    /// taken (then joined outside the lock) at close. Sits just above
+    /// `chan.batch`: close flushes the queue before reaping the thread.
+    pub const CHAN_FLUSHER: u32 = 43;
     /// `Stub::qos` — requested QoS spec.
     pub const STUB_QOS: u32 = 44;
     /// `Stub::ladder` — QoS degradation ladder + steps taken.

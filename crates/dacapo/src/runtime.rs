@@ -289,6 +289,7 @@ pub fn build_stack(
     // carries no data, its capacity is irrelevant, and nothing can queue
     // on it — boundedness is moot.
     // lint: allow(L003, never-sent shutdown wake channel, disconnect-only)
+    // lint: allow(A005, §7.4: never sent on — exists only so drop disconnects and wakes blocked selects)
     let (wake_tx, wake_rx) = unbounded::<()>();
     let mut wake_tx = Some(wake_tx);
     let module_names: Vec<String> = modules.iter().map(|m| m.name().to_owned()).collect();
@@ -314,6 +315,7 @@ pub fn build_stack(
     let mut up_rx = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         // lint: allow(L003, up direction is wire-paced; bounded would risk send/send deadlock)
+        // lint: allow(A005, §7.4: up direction is wire-paced and drained by the app endpoint; a bound risks send/send deadlock)
         let (tx, rx) = unbounded::<Packet>();
         queue_probes.push(tx.clone());
         up_tx.push(tx);

@@ -89,8 +89,10 @@ pub struct LoopbackTransport {
 /// Creates a connected pair of loopback transports.
 pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
     // lint: allow(L003, loopback models an infinitely fast wire; a bound here would deadlock symmetric send/send peers)
+    // lint: allow(A005, §7.4: loopback wire, drained by peer recv_frame and paced by the sending protocol stack)
     let (a_tx, b_rx) = unbounded();
     // lint: allow(L003, loopback models an infinitely fast wire; a bound here would deadlock symmetric send/send peers)
+    // lint: allow(A005, §7.4: loopback wire, drained by peer recv_frame and paced by the sending protocol stack)
     let (b_tx, a_rx) = unbounded();
     let a_closed = Arc::new(AtomicBool::new(false));
     let b_closed = Arc::new(AtomicBool::new(false));
@@ -219,6 +221,7 @@ impl TcpTransport {
         let flag = closed.clone();
         std::thread::Builder::new()
             .name("dacapo-tcp-reader".into())
+            // lint: allow(A007, reader exits on socket close/error; close() sets the flag and shuts the stream down)
             .spawn(move || Self::reader_loop(reader_stream, tx, flag))
             .map_err(|e| DacapoError::Transport(format!("spawn reader: {e}")))?;
         Ok(TcpTransport {

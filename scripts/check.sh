@@ -15,8 +15,11 @@ cargo run -q --release -p cool-lint -- --json-out lint-report.json
 
 # Whole-workspace semantic analysis: static lock-rank verification against
 # the DESIGN.md §7.2 table, blocking-while-locked detection along the call
-# graph, codec symmetry in cool-giop and telemetry-name discipline. Same
-# exit/report conventions as cool-lint.
+# graph, codec symmetry in cool-giop, telemetry-name discipline, channel
+# topology + boundedness against the §7.4 table, condvar wait-graph
+# checks (notify reachability, predicate loops, no foreign lock across a
+# wait) and spawn/join lifecycle on shutdown paths. Same exit/report
+# conventions as cool-lint.
 cargo run -q --release -p cool-analyze -- --json-out analyze-report.json
 
 # ThreadSanitizer smoke on the chaos test, best effort: -Zsanitizer needs
