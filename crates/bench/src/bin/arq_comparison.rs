@@ -22,14 +22,20 @@ use dacapo::prelude::*;
 use std::time::Duration;
 
 fn lossy_spec(loss: f64) -> netsim::LinkSpec {
-    netsim::LinkSpec::builder()
+    match netsim::LinkSpec::builder()
         .bandwidth_bps(100_000_000)
         .propagation(Duration::from_micros(200))
         .frame_overhead(Duration::from_micros(20))
         .loss_rate(loss)
         .seed(0xA10)
         .build()
-        .expect("valid spec")
+    {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("invalid link spec at loss rate {loss}: {err}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {

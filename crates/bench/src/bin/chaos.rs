@@ -78,9 +78,10 @@ fn main() {
         }
         match result {
             Ok(_) => ok_samples.push(elapsed),
-            Err(OrbError::Timeout { .. }) | Err(OrbError::Transport(_)) | Err(OrbError::Closed) => {
-                attributed += 1
-            }
+            Err(OrbError::Timeout { .. })
+            | Err(OrbError::Transport(_))
+            | Err(OrbError::Closed)
+            | Err(OrbError::RetriesExhausted { .. }) => attributed += 1,
             Err(other) => {
                 eprintln!("unattributed failure: {other:?}");
                 unattributed += 1;

@@ -1,0 +1,254 @@
+//! Failover benchmark: blackout window and steady-state overhead of the
+//! resolved replica layer.
+//!
+//! Two chorus echo replicas sit behind a [`ResolvedStub`]. The benchmark
+//! measures (a) steady-state invocation latency through the resolved
+//! layer against a plain direct binding — the price of the indirection —
+//! and (b) the *blackout window*: the wall-clock gap between killing the
+//! active replica and the next successful call, repeated over several
+//! kill/restart cycles. Every call must succeed or fail attributed; a
+//! hung call fails the run.
+//!
+//! ```text
+//! cargo run --release -p bench --bin failover [-- --quick]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use bench::{emit_bench_json, rtt_stats_json, RttStats};
+use bytes::Bytes;
+use cool_orb::prelude::*;
+use cool_orb::Orb;
+use cool_telemetry::{names, Registry};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CALL_TIMEOUT: Duration = Duration::from_millis(150);
+/// A call is "hung" when it outlives every bounded failure mode
+/// (timeout, retries, backoff and the per-replica failover lap).
+const HANG_BOUND: Duration = Duration::from_secs(5);
+
+fn spawn_replica(exchange: &LocalExchange, name: &str) -> (Arc<Orb>, OrbServer) {
+    let orb = Orb::with_exchange(&format!("replica-{name}"), exchange.clone());
+    orb.adapter()
+        .register_fn("svc", |_op, args, _ctx| Ok(args.to_vec()))
+        .expect("register echo");
+    let server = orb.listen_chorus(name).expect("listen");
+    (orb, server)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let steady_calls = if quick { 400usize } else { 2000 };
+    let kill_cycles = if quick { 3usize } else { 6 };
+    let payload = Bytes::from(vec![7u8; 64]);
+
+    let registry = Arc::new(Registry::new());
+    let exchange = LocalExchange::new();
+    let mut servers: HashMap<String, (Arc<Orb>, OrbServer)> = HashMap::new();
+    for name in ["fo-a", "fo-b"] {
+        let pair = spawn_replica(&exchange, name);
+        servers.insert(format!("chorus://{name}"), pair);
+    }
+
+    let config = OrbConfig {
+        call_timeout: CALL_TIMEOUT,
+        telemetry: Some(Arc::clone(&registry)),
+        retry: Some(RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            budget: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        }),
+        failover: FailoverPolicy {
+            probe_period: Duration::from_millis(20),
+            probe_timeout: Duration::from_millis(50),
+            suspect_threshold: 2,
+            readmit_backoff: Duration::from_millis(100),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(80),
+        },
+        ..OrbConfig::default()
+    };
+    let client = Orb::with_exchange_and_config("failover-bench-client", exchange.clone(), config);
+
+    // ---- Steady state: direct binding vs resolved layer -------------------
+    let direct_ref = {
+        let (_, server) = &servers["chorus://fo-a"];
+        server.object_ref("svc")
+    };
+    let direct = client.bind(&direct_ref).expect("direct bind");
+    direct.set_timeout(CALL_TIMEOUT);
+    let mut direct_samples = Vec::with_capacity(steady_calls);
+    for _ in 0..steady_calls {
+        let started = Instant::now();
+        direct.invoke("echo", payload.clone()).expect("direct call");
+        direct_samples.push(started.elapsed());
+    }
+
+    let candidates: Vec<ReplicaCandidate> = servers
+        .values()
+        .map(|(_, server)| ReplicaCandidate {
+            reference: server.object_ref("svc"),
+            match_rung: 0,
+        })
+        .collect();
+    let resolved = client
+        .bind_resolved(&candidates, QoSSpec::best_effort(), Vec::new())
+        .expect("resolved bind");
+    let mut resolved_samples = Vec::with_capacity(steady_calls);
+    for _ in 0..steady_calls {
+        let started = Instant::now();
+        resolved
+            .invoke("echo", payload.clone())
+            .expect("resolved steady call");
+        resolved_samples.push(started.elapsed());
+    }
+
+    // ---- Blackout: kill the active replica under continuous load ----------
+    let mut ok = 0u64;
+    let mut attributed = 0u64;
+    let mut hung = 0u64;
+    let mut blackouts: Vec<Duration> = Vec::new();
+    for cycle in 0..kill_cycles {
+        let active = resolved
+            .active_replica()
+            .expect("active replica")
+            .addr
+            .to_string();
+        let (_orb, server) = servers.remove(&active).expect("active maps to a server");
+        server.close();
+        let killed_at = Instant::now();
+        // Hammer until service resumes; each failed call is the blackout
+        // still in progress.
+        loop {
+            let started = Instant::now();
+            let result = resolved.invoke("echo", payload.clone());
+            let elapsed = started.elapsed();
+            if elapsed >= HANG_BOUND {
+                hung += 1;
+            }
+            match result {
+                Ok(_) => {
+                    ok += 1;
+                    blackouts.push(killed_at.elapsed());
+                    break;
+                }
+                Err(err) => {
+                    attributed += 1;
+                    assert!(
+                        killed_at.elapsed() < Duration::from_secs(30),
+                        "cycle {cycle}: no recovery within 30s, last error: {err}"
+                    );
+                }
+            }
+        }
+        // Restart the killed replica so the next cycle has two again, and
+        // let the prober re-admit it before the next kill.
+        let name = active.trim_start_matches("chorus://").to_string();
+        let pair = spawn_replica(&exchange, &name);
+        servers.insert(active, pair);
+        let readmit_deadline = Instant::now() + Duration::from_secs(10);
+        while resolved.replicas().iter().any(|r| r.health != "healthy") {
+            assert!(
+                Instant::now() < readmit_deadline,
+                "cycle {cycle}: replica not re-admitted in time"
+            );
+            // lint: allow(L001, bounded wait on the prober's background re-admission; the bench has no event to park on)
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // A few settled calls between cycles.
+        for _ in 0..20 {
+            let started = Instant::now();
+            match resolved.invoke("echo", payload.clone()) {
+                Ok(_) => ok += 1,
+                Err(_) => attributed += 1,
+            }
+            if started.elapsed() >= HANG_BOUND {
+                hung += 1;
+            }
+        }
+    }
+
+    let snap = registry.snapshot();
+    let failovers = snap.counter(names::FAILOVERS_TOTAL).unwrap_or(0);
+    let evictions = snap.counter(names::REPLICA_EVICTIONS_TOTAL).unwrap_or(0);
+    let readmissions = snap.counter(names::REPLICA_READMISSIONS_TOTAL).unwrap_or(0);
+
+    resolved.close();
+    for (_, (_, server)) in servers {
+        server.close();
+    }
+    client.shutdown();
+
+    let direct_stats = RttStats::from_samples(direct_samples);
+    let resolved_stats = RttStats::from_samples(resolved_samples);
+    let blackout_stats = RttStats::from_samples(blackouts);
+    let overhead_pct = if direct_stats.p50.as_nanos() > 0 {
+        (resolved_stats.p50.as_nanos() as f64 / direct_stats.p50.as_nanos() as f64 - 1.0) * 100.0
+    } else {
+        0.0
+    };
+
+    println!(
+        "{:>22} {:>12} {:>12} {:>12}",
+        "path", "mean", "p50", "p99"
+    );
+    for (label, stats) in [("direct", &direct_stats), ("resolved", &resolved_stats)] {
+        println!(
+            "{label:>22} {:>12} {:>12} {:>12}",
+            format!("{:.1?}", stats.mean),
+            format!("{:.1?}", stats.p50),
+            format!("{:.1?}", stats.p99),
+        );
+    }
+    println!(
+        "\nsteady-state overhead: {overhead_pct:.1}% on p50 ({:.1?} -> {:.1?})",
+        direct_stats.p50, resolved_stats.p50
+    );
+    println!(
+        "blackout over {kill_cycles} kills: p50 {:.1?}, p99 {:.1?}",
+        blackout_stats.p50, blackout_stats.p99
+    );
+    println!(
+        "failovers: {failovers}, evictions: {evictions}, readmissions: {readmissions}; \
+         {ok} ok, {attributed} attributed failures, {hung} hung"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"failover\",\"steady_calls\":{steady_calls},\"kill_cycles\":{kill_cycles},\
+         \"ok\":{ok},\"attributed_failures\":{attributed},\"hung_calls\":{hung},\
+         \"failovers\":{failovers},\"evictions\":{evictions},\"readmissions\":{readmissions},\
+         \"blackout_us\":{{\"p50\":{},\"p99\":{}}},\
+         \"steady\":{{\"direct\":{},\"resolved\":{},\"overhead_pct\":{overhead_pct:.2}}}}}",
+        blackout_stats.p50.as_micros(),
+        blackout_stats.p99.as_micros(),
+        rtt_stats_json(&direct_stats),
+        rtt_stats_json(&resolved_stats),
+    );
+    emit_bench_json("failover", &json);
+
+    // ---- Shape check -------------------------------------------------------
+    // Every kill must heal through the failover path, nothing may hang,
+    // and the blackout is bounded by a handful of call timeouts.
+    let failed_over = failovers >= 1 && blackouts_len_ok(kill_cycles, blackout_stats.samples);
+    let clean = hung == 0;
+    let bounded = blackout_stats.p99 < Duration::from_secs(5);
+    println!(
+        "\nshape check:\n  [{}] every kill healed: {failovers} failover(s), {} blackout(s)\n  [{}] hang-free\n  [{}] blackout p99 {:.1?} (target < 5s)",
+        if failed_over { "ok" } else { "MISS" },
+        blackout_stats.samples,
+        if clean { "ok" } else { "MISS" },
+        if bounded { "ok" } else { "MISS" },
+        blackout_stats.p99,
+    );
+    if !(failed_over && clean && bounded) {
+        std::process::exit(1);
+    }
+}
+
+fn blackouts_len_ok(cycles: usize, measured: usize) -> bool {
+    measured == cycles
+}

@@ -21,5 +21,5 @@ pub mod plan;
 pub mod rng;
 
 pub use engine::{FaultAction, FaultEngine};
-pub use plan::{FaultPlan, FaultPlanBuilder, InvalidPlan};
+pub use plan::{FaultPlan, FaultPlanBuilder, InvalidPlan, PlanSet};
 pub use rng::FaultRng;

@@ -100,6 +100,60 @@ impl FaultPlan {
     }
 }
 
+/// A set of fault plans keyed by transport target, for experiments where
+/// different replicas misbehave differently.
+///
+/// Targets are transport address strings as the ORB displays them (e.g.
+/// `"chorus://rep-a"` or `"tcp://127.0.0.1:4040"`). [`PlanSet::plan_for`]
+/// returns the exact-match plan when one is set, falling back to the
+/// default plan (if any) for every other target.
+///
+/// ```
+/// use cool_faults::{FaultPlan, PlanSet};
+///
+/// # fn main() -> Result<(), cool_faults::InvalidPlan> {
+/// let lossy = FaultPlan::builder().seed(1).drop_rate(0.05).build()?;
+/// let set = PlanSet::default().set("chorus://rep-b", lossy.clone());
+/// assert_eq!(set.plan_for("chorus://rep-b"), Some(&lossy));
+/// assert_eq!(set.plan_for("chorus://rep-a"), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanSet {
+    default_plan: Option<FaultPlan>,
+    per_target: Vec<(String, FaultPlan)>,
+}
+
+impl PlanSet {
+    /// Sets the plan applied to every target without its own entry.
+    #[must_use]
+    pub fn with_default(mut self, plan: FaultPlan) -> Self {
+        self.default_plan = Some(plan);
+        self
+    }
+
+    /// Sets (or replaces) the plan for one exact target address.
+    #[must_use]
+    pub fn set(mut self, target: &str, plan: FaultPlan) -> Self {
+        match self.per_target.iter_mut().find(|(t, _)| t == target) {
+            Some((_, existing)) => *existing = plan,
+            None => self.per_target.push((target.to_string(), plan)),
+        }
+        self
+    }
+
+    /// The plan governing `target`: its exact-match entry if present,
+    /// otherwise the default plan, otherwise `None` (no faults).
+    pub fn plan_for(&self, target: &str) -> Option<&FaultPlan> {
+        self.per_target
+            .iter()
+            .find(|(t, _)| t == target)
+            .map(|(_, p)| p)
+            .or(self.default_plan.as_ref())
+    }
+}
+
 /// Rejected fault-plan configuration (a rate outside `[0, 1)`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvalidPlan(pub String);
@@ -246,6 +300,26 @@ mod tests {
             .is_err());
         let err = FaultPlan::builder().drop_rate(1.0).build().unwrap_err();
         assert!(err.to_string().contains("drop_rate"));
+    }
+
+    #[test]
+    fn plan_set_matches_exact_target_then_default() {
+        let lossy = FaultPlan::builder().seed(1).drop_rate(0.05).build().unwrap();
+        let slow = FaultPlan::builder()
+            .seed(2)
+            .delay(0.5, Duration::from_millis(3))
+            .build()
+            .unwrap();
+        let set = PlanSet::default()
+            .with_default(slow.clone())
+            .set("chorus://rep-b", lossy.clone());
+        assert_eq!(set.plan_for("chorus://rep-b"), Some(&lossy));
+        assert_eq!(set.plan_for("chorus://rep-a"), Some(&slow));
+        assert_eq!(PlanSet::default().plan_for("anything"), None);
+
+        // Re-setting a target replaces rather than appends.
+        let replaced = set.clone().set("chorus://rep-b", slow.clone());
+        assert_eq!(replaced.plan_for("chorus://rep-b"), Some(&slow));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`crate::server::OrbServer`] and [`crate::binding::Binding`].
 
 use crate::retry::RetryPolicy;
-use cool_faults::FaultPlan;
+use cool_faults::{FaultPlan, PlanSet};
 use cool_telemetry::Registry;
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,6 +63,13 @@ pub struct OrbConfig {
     /// creates in a `FaultChannel` decorator executing the plan (DESIGN.md
     /// §8). Production configs must leave this `None`.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-target fault injection: different plans for different endpoints,
+    /// for replica-failure experiments where one replica is lossy while
+    /// its siblings stay healthy. Keyed by the transport address display
+    /// string (e.g. `"chorus://rep-b"`). The global [`OrbConfig::fault_plan`]
+    /// wins when both are set; engines are cached per target so a
+    /// reconnect continues the same deterministic fault schedule.
+    pub fault_plans: Option<Arc<PlanSet>>,
     /// Opportunistic frame batching. `None` (the default) sends every GIOP
     /// frame as its own transport frame; `Some` wraps each channel this ORB
     /// creates in a coalescer that packs small frames together (GIOP frames
@@ -77,6 +84,49 @@ pub struct OrbConfig {
     /// configured this way without a telemetry registry gets a private
     /// one so the endpoint always has data behind it.
     pub introspect: Option<IntrospectPolicy>,
+    /// Health-checking and failover behaviour of replicated bindings
+    /// created with [`crate::orb::Orb::bind_resolved`]. The default is a
+    /// production-shaped policy (quarter-second probes, three strikes);
+    /// plain single-replica stubs never consult it.
+    pub failover: FailoverPolicy,
+}
+
+/// Health-probe, eviction and circuit-breaker thresholds for replicated
+/// bindings (see [`crate::replica::ResolvedStub`] and DESIGN.md §8.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverPolicy {
+    /// Period of the background liveness probe over the replica set.
+    /// `Duration::ZERO` disables the prober thread entirely — evicted
+    /// replicas then stay evicted and breakers only half-open on the
+    /// invocation path, which is what deterministic tests want.
+    pub probe_period: Duration,
+    /// Per-probe call timeout (kept far below `call_timeout` so a probe
+    /// sweep over a dead replica set stays cheap).
+    pub probe_timeout: Duration,
+    /// Consecutive failures (calls or probes) before a replica is marked
+    /// suspect… this many more times and it is evicted from rotation.
+    pub suspect_threshold: u32,
+    /// How long an evicted replica sits out before a probe may re-admit it.
+    pub readmit_backoff: Duration,
+    /// Consecutive failures before the per-replica circuit breaker opens
+    /// (calls stop flowing to the replica even if not yet evicted).
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before half-opening to let one
+    /// trial call or probe through.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        FailoverPolicy {
+            probe_period: Duration::from_millis(250),
+            probe_timeout: Duration::from_millis(100),
+            suspect_threshold: 3,
+            readmit_backoff: Duration::from_secs(1),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+        }
+    }
 }
 
 /// Where and how the introspection endpoint runs (see
@@ -137,6 +187,11 @@ impl PartialEq for OrbConfig {
             (Some(a), Some(b)) => a == b,
             _ => false,
         };
+        let same_plans = match (&self.fault_plans, &other.fault_plans) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
         self.call_timeout == other.call_timeout
             && self.dispatcher_threads == other.dispatcher_threads
             && self.dispatch_queue_depth == other.dispatch_queue_depth
@@ -145,8 +200,10 @@ impl PartialEq for OrbConfig {
             && self.tracing == other.tracing
             && self.retry == other.retry
             && same_plan
+            && same_plans
             && self.batching == other.batching
             && self.introspect == other.introspect
+            && self.failover == other.failover
     }
 }
 
@@ -161,8 +218,10 @@ impl Default for OrbConfig {
             tracing: true,
             retry: None,
             fault_plan: None,
+            fault_plans: None,
             batching: None,
             introspect: None,
+            failover: FailoverPolicy::default(),
         }
     }
 }
@@ -182,8 +241,13 @@ mod tests {
         assert!(c.tracing, "tracing is on by default when telemetry is");
         assert!(c.retry.is_none(), "retry must be opt-in");
         assert!(c.fault_plan.is_none(), "fault injection must be opt-in");
+        assert!(c.fault_plans.is_none(), "per-target faults must be opt-in");
         assert!(c.batching.is_none(), "frame batching must be opt-in");
         assert!(c.introspect.is_none(), "introspection must be opt-in");
+        assert!(c.failover.probe_period > Duration::ZERO);
+        assert!(c.failover.probe_timeout < c.call_timeout);
+        assert!(c.failover.suspect_threshold >= 1);
+        assert!(c.failover.breaker_threshold >= 1);
     }
 
     #[test]
@@ -249,6 +313,32 @@ mod tests {
             ..OrbConfig::default()
         };
         assert_eq!(d, e);
+
+        let set = Arc::new(
+            PlanSet::default().set(
+                "chorus://rep-b",
+                FaultPlan::builder().drop_rate(0.1).build().unwrap(),
+            ),
+        );
+        let f = OrbConfig {
+            fault_plans: Some(Arc::clone(&set)),
+            ..OrbConfig::default()
+        };
+        assert_ne!(a, f);
+        let g = OrbConfig {
+            fault_plans: Some(set),
+            ..OrbConfig::default()
+        };
+        assert_eq!(f, g);
+
+        let h = OrbConfig {
+            failover: FailoverPolicy {
+                probe_period: Duration::ZERO,
+                ..FailoverPolicy::default()
+            },
+            ..OrbConfig::default()
+        };
+        assert_ne!(a, h);
     }
 
     #[test]

@@ -48,6 +48,17 @@ pub enum OrbError {
     },
     /// The invocation was cancelled via `cancel`.
     Cancelled,
+    /// A `RetryPolicy` gave up: its attempt or wall-clock budget ran out
+    /// while the invocation kept failing. Carries the *last* underlying
+    /// cause and how many attempts were made, so a budget that expires
+    /// mid-backoff still surfaces what actually went wrong rather than a
+    /// bare timeout.
+    RetriesExhausted {
+        /// Invocation attempts made before giving up (≥ 1).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<OrbError>,
+    },
     /// The peer violated the protocol.
     Protocol(String),
     /// The address could not be parsed or is unsupported.
@@ -84,6 +95,9 @@ impl OrbError {
         match self {
             OrbError::Transport(_) | OrbError::Closed => true,
             OrbError::Timeout { request_id, .. } => request_id.is_none(),
+            // A policy already exhausted itself; replaying the whole loop
+            // is the caller's (or a failover layer's) decision, not ours.
+            OrbError::RetriesExhausted { .. } => false,
             _ => false,
         }
     }
@@ -110,6 +124,9 @@ impl fmt::Display for OrbError {
                 elapsed,
             } => write!(f, "reply timed out after {elapsed:?}"),
             OrbError::Cancelled => write!(f, "request cancelled"),
+            OrbError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
             OrbError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             OrbError::BadAddress(a) => write!(f, "bad or unsupported address: {a}"),
         }
@@ -121,6 +138,7 @@ impl Error for OrbError {
         match self {
             OrbError::QosNotSupported(e) => Some(e),
             OrbError::Marshal(e) => Some(e),
+            OrbError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -224,6 +242,32 @@ mod tests {
         assert!(!OrbError::Cancelled.is_retryable());
         assert!(!OrbError::Protocol("p".into()).is_retryable());
         assert!(!OrbError::BadAddress("a".into()).is_retryable());
+        assert!(!OrbError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(OrbError::Closed),
+        }
+        .is_retryable());
+    }
+
+    /// Pins the exhaustion error's shape: attempt count plus the last
+    /// underlying cause, visible through `Display` and `source()`.
+    #[test]
+    fn retries_exhausted_carries_last_cause_and_attempts() {
+        let e = OrbError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(OrbError::Transport("connection refused".into())),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3 attempts"), "{msg}");
+        assert!(msg.contains("connection refused"), "{msg}");
+        match &e {
+            OrbError::RetriesExhausted { attempts, last } => {
+                assert_eq!(*attempts, 3);
+                assert!(matches!(last.as_ref(), OrbError::Transport(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.source().expect("source").to_string().contains("refused"));
     }
 
     #[test]

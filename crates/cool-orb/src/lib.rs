@@ -63,6 +63,7 @@ pub mod message_layer;
 pub mod naming;
 pub mod object;
 pub mod orb;
+pub mod replica;
 pub mod retry;
 pub mod servant;
 pub mod server;
@@ -71,13 +72,14 @@ pub mod transport;
 
 pub use adapter::ObjectAdapter;
 pub use binding::{Binding, DeferredReply};
-pub use cool_faults::{FaultAction, FaultEngine, FaultPlan, FaultPlanBuilder};
-pub use config::{BatchingPolicy, IntrospectPolicy, OrbConfig};
+pub use cool_faults::{FaultAction, FaultEngine, FaultPlan, FaultPlanBuilder, PlanSet};
+pub use config::{BatchingPolicy, FailoverPolicy, IntrospectPolicy, OrbConfig};
 pub use error::OrbError;
 pub use exchange::LocalExchange;
 pub use naming::{NameClient, NameServer};
 pub use object::{ObjectKey, ObjectRef, OrbAddr};
 pub use orb::{Orb, Stub};
+pub use replica::{ReplicaCandidate, ResolvedStub};
 pub use retry::RetryPolicy;
 pub use servant::{InvocationCtx, Servant};
 pub use server::OrbServer;
@@ -90,13 +92,14 @@ pub use stream::{
 pub mod prelude {
     pub use crate::adapter::ObjectAdapter;
     pub use crate::binding::{Binding, DeferredReply};
-    pub use crate::config::{BatchingPolicy, IntrospectPolicy, OrbConfig};
-    pub use cool_faults::{FaultPlan, FaultPlanBuilder};
+    pub use crate::config::{BatchingPolicy, FailoverPolicy, IntrospectPolicy, OrbConfig};
+    pub use cool_faults::{FaultPlan, FaultPlanBuilder, PlanSet};
     pub use crate::error::OrbError;
     pub use crate::exchange::LocalExchange;
     pub use crate::naming::{NameClient, NameServer};
     pub use crate::object::{ObjectKey, ObjectRef, OrbAddr};
     pub use crate::orb::{Orb, Stub};
+    pub use crate::replica::{ReplicaCandidate, ResolvedStub};
     pub use crate::retry::RetryPolicy;
     pub use crate::servant::{InvocationCtx, Servant};
     pub use crate::server::OrbServer;

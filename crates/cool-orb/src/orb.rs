@@ -34,6 +34,11 @@ pub struct Orb {
     /// reconnects), so the injected fault sequence is a deterministic
     /// function of the plan seed and the outbound frame sequence.
     fault_engine: Option<Arc<FaultEngine>>,
+    /// Per-target engines materialized lazily from
+    /// [`OrbConfig::fault_plans`], cached under the address display string
+    /// so reconnects to the same target continue the same deterministic
+    /// fault schedule instead of restarting it.
+    fault_engines: OrderedMutex<HashMap<String, Arc<FaultEngine>>>,
     /// The live introspection endpoint (`OrbConfig::introspect`); absent —
     /// no listener, no sampler thread — unless explicitly configured.
     introspect: OrderedMutex<Option<IntrospectServer>>,
@@ -113,6 +118,11 @@ impl Orb {
             bindings: OrderedMutex::new(lock_rank::ORB_BINDINGS, "orb.bindings", HashMap::new()),
             served: OrderedMutex::new(lock_rank::ORB_SERVED, "orb.served", Vec::new()),
             fault_engine,
+            fault_engines: OrderedMutex::new(
+                lock_rank::ORB_FAULT_ENGINES,
+                "orb.fault_engines",
+                HashMap::new(),
+            ),
             introspect: OrderedMutex::new(
                 lock_rank::ORB_INTROSPECT,
                 "orb.introspect",
@@ -299,6 +309,24 @@ impl Orb {
         })
     }
 
+    /// The fault engine governing `addr`: the ORB-global engine when a
+    /// global plan is set, otherwise a per-target engine from
+    /// [`OrbConfig::fault_plans`] (created once and cached). `None` means
+    /// no faults for this target.
+    fn engine_for(&self, addr: &OrbAddr) -> Option<Arc<FaultEngine>> {
+        if let Some(engine) = &self.fault_engine {
+            return Some(Arc::clone(engine));
+        }
+        let plans = self.config.fault_plans.as_ref()?;
+        let target = addr.to_string();
+        let plan = plans.plan_for(&target)?.clone();
+        let mut engines = self.fault_engines.lock();
+        let engine = engines
+            .entry(target)
+            .or_insert_with(|| Arc::new(FaultEngine::new(plan)));
+        Some(Arc::clone(engine))
+    }
+
     fn binding_for(
         &self,
         addr: &OrbAddr,
@@ -313,20 +341,21 @@ impl Orb {
                 }
             }
         }
+        let engine = self.engine_for(addr);
         let channel = Orb::dial(
             &self.exchange,
             addr,
             self.config.telemetry.as_ref(),
-            self.fault_engine.as_ref(),
+            engine.as_ref(),
             self.config.batching,
         )?;
         let binding = Binding::with_config(channel, protocol, &self.config);
         // Re-dial with the same wrapping on reconnect; the closure owns
-        // clones so the binding outlives this ORB reference.
+        // clones (including the cached fault engine, so the schedule
+        // continues) and the binding outlives this ORB reference.
         let exchange = self.exchange.clone();
         let addr = addr.clone();
         let telemetry = self.config.telemetry.clone();
-        let engine = self.fault_engine.clone();
         let batching = self.config.batching;
         let reconnector: Reconnector = Arc::new(move || {
             Orb::dial(&exchange, &addr, telemetry.as_ref(), engine.as_ref(), batching)
@@ -560,7 +589,18 @@ impl Stub {
                 return Err(err);
             }
             let Some(delay) = policy.and_then(|p| p.next_delay(attempt, start.elapsed())) else {
-                return Err(err);
+                // A policy that gives up — attempts or wall-clock budget
+                // spent, possibly mid-backoff — must surface *what kept
+                // failing*, not a bare budget error: wrap the last cause
+                // with the attempt count. Without a policy there was only
+                // ever one attempt; its error surfaces unwrapped.
+                return Err(match policy {
+                    Some(_) => OrbError::RetriesExhausted {
+                        attempts: attempt,
+                        last: Box::new(err),
+                    },
+                    None => err,
+                });
             };
             attempt += 1;
             if let Some(c) = &self.retries {

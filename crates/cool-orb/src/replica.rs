@@ -1,0 +1,932 @@
+//! Replicated bindings: one logical object, many replicas, transparent
+//! failover.
+//!
+//! [`crate::orb::Orb::bind_resolved`] takes the candidate replica set a
+//! directory resolve produced (see the `cool-naming` crate) and returns a
+//! [`ResolvedStub`] that behaves like a single [`crate::orb::Stub`] while
+//! managing the whole set underneath (DESIGN.md §8.3):
+//!
+//! * **Best-match binding** — calls go to a replica whose offered ladder
+//!   matched the requirement at the lowest (best) rung; fresh bindings
+//!   rotate across equally-ranked replicas so load spreads without any
+//!   coordination.
+//! * **Mid-traffic failover** — when the active replica dies, the pending
+//!   call fails over to the next healthy replica within the same `invoke`:
+//!   the per-stub `RetryPolicy` (PR 4's reconnect gate) exhausts itself
+//!   against the dead replica first, then the resolved layer replays
+//!   retryable causes elsewhere. Non-retryable errors (attributed
+//!   timeouts, user exceptions) surface unchanged — at-most-once is never
+//!   broken by the replica layer either.
+//! * **QoS re-offer** — each replica's stub re-offers the last-negotiated
+//!   operating point and carries the *remaining* degradation ladder, so a
+//!   weaker failover target NACKs and degrades from where the previous
+//!   replica left off, never re-promoting mid-failover.
+//! * **Health and breakers** — consecutive failures evict a replica
+//!   (healthy → suspect → evicted); a background prober re-admits it after
+//!   backoff once it answers again; a per-replica circuit breaker opens
+//!   under repeated failure and half-opens after a cooldown
+//!   ([`crate::config::FailoverPolicy`]).
+
+use crate::config::FailoverPolicy;
+use crate::error::OrbError;
+use crate::object::ObjectRef;
+use crate::orb::{Orb, Stub};
+use bytes::Bytes;
+use cool_telemetry::flight::event as flight_event;
+use cool_telemetry::lockorder::rank as lock_rank;
+use cool_telemetry::lockorder::OrderedMutex;
+use cool_telemetry::{names, Counter, Gauge, Registry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One replica produced by a directory resolve: where it lives and how
+/// well its offered ladder matched the requirement (0 = matched at the
+/// replica's best rung).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaCandidate {
+    /// The replica's object reference.
+    pub reference: ObjectRef,
+    /// Rung of the replica's offered ladder that satisfied the
+    /// requirement; lower is better.
+    pub match_rung: u32,
+}
+
+/// Health of one replica within a resolved binding (the §8.3 state
+/// machine: healthy → suspect → evicted → probing → re-admitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    /// In rotation, no recent failures.
+    Healthy,
+    /// In rotation with this many consecutive failures.
+    Suspect(u32),
+    /// Out of rotation; only the prober may touch it.
+    Evicted,
+    /// An evicted replica currently being probed for re-admission.
+    Probing,
+}
+
+/// Per-replica circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    /// Calls flow; counts consecutive failures.
+    Closed(u32),
+    /// Calls blocked since the given instant.
+    Open(Instant),
+    /// Cooldown elapsed; one trial call may pass.
+    HalfOpen,
+}
+
+/// Gauge encoding of [`Breaker`] (DESIGN.md §6).
+fn breaker_gauge_value(breaker: &Breaker) -> f64 {
+    match breaker {
+        Breaker::Closed(_) => 0.0,
+        Breaker::HalfOpen => 1.0,
+        Breaker::Open(_) => 2.0,
+    }
+}
+
+struct ReplicaState {
+    reference: ObjectRef,
+    match_rung: u32,
+    health: Health,
+    breaker: Breaker,
+    evicted_at: Option<Instant>,
+    /// `breaker_state{replica="<addr>"}`, resolved at construction.
+    breaker_gauge: Option<Arc<Gauge>>,
+}
+
+impl ReplicaState {
+    fn in_rotation(&self) -> bool {
+        matches!(self.health, Health::Healthy | Health::Suspect(_))
+    }
+
+    fn set_breaker(&mut self, breaker: Breaker) {
+        self.breaker = breaker;
+        if let Some(gauge) = &self.breaker_gauge {
+            gauge.set(breaker_gauge_value(&self.breaker));
+        }
+    }
+}
+
+/// The mutable core of a [`ResolvedStub`]: replica table, active index,
+/// rotation cursor and the shared ladder-consumption high-water mark.
+struct SetState {
+    replicas: Vec<ReplicaState>,
+    /// Replica serving traffic, set on each successful call.
+    active: Option<usize>,
+    /// Rotation cursor for spreading calls across equally-ranked replicas.
+    rr: usize,
+    /// Degradation rungs consumed so far across *all* replicas: rung
+    /// index `consumed - 1` is the operating point in force (0 = the
+    /// original requirement). Monotonic, so a failover target starts at
+    /// the QoS the previous replica had already degraded to.
+    consumed: usize,
+}
+
+/// Point-in-time view of one replica, for tests and diagnostics.
+#[derive(Debug, Clone)]
+pub struct ReplicaSnapshot {
+    /// The replica's object reference.
+    pub reference: ObjectRef,
+    /// Match quality carried over from the resolve.
+    pub match_rung: u32,
+    /// Health state name: `healthy`, `suspect`, `evicted` or `probing`.
+    pub health: &'static str,
+    /// Breaker state name: `closed`, `half-open` or `open`.
+    pub breaker: &'static str,
+}
+
+/// Spreads *initial* replica choices of independently created resolved
+/// bindings across equally-ranked candidates.
+static ROTATION: AtomicUsize = AtomicUsize::new(0);
+
+/// A stub over a whole replica set: binds to the best-matching replica,
+/// load-balances fresh bindings across equivalent ones and transparently
+/// fails over mid-traffic when the active replica dies. Created by
+/// [`Orb::bind_resolved`]; see the module docs for the semantics.
+pub struct ResolvedStub {
+    orb: Arc<Orb>,
+    required: multe_qos::QoSSpec,
+    ladder: Vec<multe_qos::QoSSpec>,
+    policy: FailoverPolicy,
+    replica_set: OrderedMutex<SetState>,
+    /// Cached per-replica stubs with the `consumed` value they were
+    /// configured at; a stub whose base fell behind the high-water mark is
+    /// rebuilt so it re-offers the degraded operating point.
+    stubs: OrderedMutex<HashMap<usize, (Arc<Stub>, usize)>>,
+    prober: OrderedMutex<Option<JoinHandle<()>>>,
+    stop_tx: crossbeam::channel::Sender<()>,
+    failovers: Option<Arc<Counter>>,
+    evictions: Option<Arc<Counter>>,
+    readmissions: Option<Arc<Counter>>,
+    healthy_gauge: Option<Arc<Gauge>>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for ResolvedStub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.replica_set.lock();
+        f.debug_struct("ResolvedStub")
+            .field("replicas", &state.replicas.len())
+            .field("active", &state.active)
+            .field("consumed", &state.consumed)
+            .finish()
+    }
+}
+
+impl Orb {
+    /// Binds a whole candidate replica set (from a directory resolve) as
+    /// one logical stub. `required` is the preferred operating point and
+    /// `ladder` the degradation fallbacks, exactly as for
+    /// [`Stub::set_qos_parameter`] / [`Stub::set_qos_ladder`] — the
+    /// resolved layer threads both through every per-replica stub it
+    /// creates, including failover targets.
+    ///
+    /// Health-probe and breaker thresholds come from
+    /// [`crate::OrbConfig::failover`]; a `probe_period` of zero disables
+    /// the background prober (evicted replicas then stay evicted).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadAddress`] when `candidates` is empty. Connection
+    /// establishment is lazy, so an unreachable replica surfaces on the
+    /// first [`ResolvedStub::invoke`], not here.
+    pub fn bind_resolved(
+        self: &Arc<Self>,
+        candidates: &[ReplicaCandidate],
+        required: multe_qos::QoSSpec,
+        ladder: Vec<multe_qos::QoSSpec>,
+    ) -> Result<Arc<ResolvedStub>, OrbError> {
+        if candidates.is_empty() {
+            return Err(OrbError::BadAddress(
+                "cannot bind an empty replica candidate set".into(),
+            ));
+        }
+        let registry = self.config().telemetry.clone();
+        let replicas: Vec<ReplicaState> = candidates
+            .iter()
+            .map(|c| ReplicaState {
+                reference: c.reference.clone(),
+                match_rung: c.match_rung,
+                health: Health::Healthy,
+                breaker: Breaker::Closed(0),
+                evicted_at: None,
+                breaker_gauge: registry.as_ref().map(|r| {
+                    let gauge = r.gauge(&Registry::labeled(
+                        names::BREAKER_STATE,
+                        &[("replica", &c.reference.addr.to_string())],
+                    ));
+                    gauge.set(0.0);
+                    gauge
+                }),
+            })
+            .collect();
+        // Fresh bindings rotate their initial replica across the
+        // best-ranked candidates, so independent clients spread load
+        // without coordination.
+        let best_rung = replicas.iter().map(|r| r.match_rung).min().unwrap_or(0);
+        let best: Vec<usize> = (0..replicas.len())
+            .filter(|&i| replicas[i].match_rung == best_rung)
+            .collect();
+        let active = best[ROTATION.fetch_add(1, Ordering::Relaxed) % best.len()];
+        let healthy_gauge = registry.as_ref().map(|r| {
+            let gauge = r.gauge(names::REPLICAS_HEALTHY);
+            gauge.set(replicas.len() as f64);
+            gauge
+        });
+        let policy = self.config().failover.clone();
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let resolved = Arc::new(ResolvedStub {
+            orb: Arc::clone(self),
+            required,
+            ladder,
+            policy: policy.clone(),
+            replica_set: OrderedMutex::new(
+                lock_rank::RESOLVED_STATE,
+                "resolved.state",
+                SetState {
+                    replicas,
+                    active: Some(active),
+                    rr: 0,
+                    consumed: 0,
+                },
+            ),
+            stubs: OrderedMutex::new(lock_rank::RESOLVED_STUBS, "resolved.stubs", HashMap::new()),
+            prober: OrderedMutex::new(lock_rank::RESOLVED_PROBER, "resolved.prober", None),
+            stop_tx,
+            failovers: registry.as_ref().map(|r| r.counter(names::FAILOVERS_TOTAL)),
+            evictions: registry
+                .as_ref()
+                .map(|r| r.counter(names::REPLICA_EVICTIONS_TOTAL)),
+            readmissions: registry
+                .as_ref()
+                .map(|r| r.counter(names::REPLICA_READMISSIONS_TOTAL)),
+            healthy_gauge,
+            registry,
+        });
+        if policy.probe_period > std::time::Duration::ZERO {
+            let weak: Weak<ResolvedStub> = Arc::downgrade(&resolved);
+            let period = policy.probe_period;
+            let handle = std::thread::Builder::new()
+                .name("resolved-prober".into())
+                .spawn(move || {
+                    while let Err(crossbeam::channel::RecvTimeoutError::Timeout) =
+                        stop_rx.recv_timeout(period)
+                    {
+                        // The binding owns us via a JoinHandle; once every
+                        // strong reference is gone we stop.
+                        let Some(me) = weak.upgrade() else { break };
+                        me.probe_all();
+                    }
+                })
+                .ok();
+            *resolved.prober.lock() = Some(match handle {
+                Some(h) => h,
+                // Thread spawn failed (resource exhaustion): run without
+                // a prober rather than failing the bind.
+                None => return Ok(resolved),
+            });
+        }
+        Ok(resolved)
+    }
+}
+
+impl ResolvedStub {
+    /// The replica currently serving traffic, once a call has succeeded
+    /// (or the initial load-balanced choice before that).
+    pub fn active_replica(&self) -> Option<ObjectRef> {
+        let state = self.replica_set.lock();
+        state
+            .active
+            .and_then(|i| state.replicas.get(i))
+            .map(|r| r.reference.clone())
+    }
+
+    /// Degradation rungs consumed so far across the whole replica set
+    /// (0 = still at the original requirement).
+    pub fn consumed_rungs(&self) -> usize {
+        self.replica_set.lock().consumed
+    }
+
+    /// Point-in-time health/breaker view of every replica.
+    pub fn replicas(&self) -> Vec<ReplicaSnapshot> {
+        self.replica_set
+            .lock()
+            .replicas
+            .iter()
+            .map(|r| ReplicaSnapshot {
+                reference: r.reference.clone(),
+                match_rung: r.match_rung,
+                health: match r.health {
+                    Health::Healthy => "healthy",
+                    Health::Suspect(_) => "suspect",
+                    Health::Evicted => "evicted",
+                    Health::Probing => "probing",
+                },
+                breaker: match r.breaker {
+                    Breaker::Closed(_) => "closed",
+                    Breaker::HalfOpen => "half-open",
+                    Breaker::Open(_) => "open",
+                },
+            })
+            .collect()
+    }
+
+    /// Two-way invocation over the replica set. Tries the active (or
+    /// best-ranked) replica first; a retryable failure marks the replica,
+    /// fails over to the next one in rotation and replays the call. Every
+    /// replica is tried at most once per invocation, so the call returns
+    /// an attributed error — never hangs — when the whole set is down.
+    ///
+    /// # Errors
+    ///
+    /// The first non-retryable error from any replica (at-most-once:
+    /// attributed timeouts and user exceptions are never replayed), or the
+    /// last failure once every eligible replica has been tried.
+    pub fn invoke(&self, operation: &str, args: Bytes) -> Result<Bytes, OrbError> {
+        let replica_count = self.replica_set.lock().replicas.len();
+        let mut tried = vec![false; replica_count];
+        let mut last_err: Option<OrbError> = None;
+        // lint: allow(L006, failover laps are bounded by the replica count — each lap marks one replica tried; per-attempt retry lives in the underlying stub's RetryPolicy)
+        loop {
+            let Some(idx) = self.pick(&tried) else {
+                return Err(last_err.unwrap_or_else(|| {
+                    OrbError::Transport("no healthy replica available".into())
+                }));
+            };
+            tried[idx] = true;
+            let (stub, base) = match self.stub_for(idx) {
+                Ok(entry) => entry,
+                Err(err) => {
+                    // Could not even bind — treat exactly like a failed
+                    // call so the breaker and eviction logic see it.
+                    self.fail_over(idx, &err);
+                    last_err = Some(err);
+                    continue;
+                }
+            };
+            match stub.invoke(operation, args.clone()) {
+                Ok(body) => {
+                    self.note_success(idx, &stub, base);
+                    return Ok(body);
+                }
+                Err(err) => {
+                    let cause_retryable = match &err {
+                        // The per-stub policy already exhausted itself;
+                        // whether another replica may see the call depends
+                        // on what actually kept failing.
+                        OrbError::RetriesExhausted { last, .. } => last.is_retryable(),
+                        other => other.is_retryable(),
+                    };
+                    if !cause_retryable {
+                        return Err(err);
+                    }
+                    self.fail_over(idx, &err);
+                    last_err = Some(err);
+                }
+            }
+        }
+    }
+
+    /// Stops the background prober and joins it. Called automatically on
+    /// drop; safe to call multiple times.
+    pub fn close(&self) {
+        let handle = self.prober.lock().take();
+        let _ = self.stop_tx.try_send(());
+        if let Some(h) = handle {
+            // The last strong reference can be dropped *by* the prober
+            // thread (its `upgrade` briefly owns one); joining ourselves
+            // would deadlock — the loop exits on its own in that case.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Picks the replica for the next attempt: the active one when still
+    /// eligible, otherwise the best-ranked untried replica, rotating
+    /// among equals. `None` when every eligible replica was tried.
+    fn pick(&self, tried: &[bool]) -> Option<usize> {
+        let mut guard = self.replica_set.lock();
+        let state = &mut *guard;
+        let now = Instant::now();
+        for replica in state.replicas.iter_mut() {
+            if let Breaker::Open(since) = replica.breaker {
+                if now.duration_since(since) >= self.policy.breaker_cooldown {
+                    replica.set_breaker(Breaker::HalfOpen);
+                }
+            }
+        }
+        let eligible = |r: &ReplicaState| r.in_rotation() && !matches!(r.breaker, Breaker::Open(_));
+        if let Some(active) = state.active {
+            if !tried[active] && eligible(&state.replicas[active]) {
+                return Some(active);
+            }
+        }
+        let candidates: Vec<usize> = (0..state.replicas.len())
+            .filter(|&i| !tried[i] && eligible(&state.replicas[i]))
+            .collect();
+        let best_rung = candidates
+            .iter()
+            .map(|&i| state.replicas[i].match_rung)
+            .min()?;
+        let best: Vec<usize> = candidates
+            .into_iter()
+            .filter(|&i| state.replicas[i].match_rung == best_rung)
+            .collect();
+        state.rr = state.rr.wrapping_add(1);
+        Some(best[state.rr % best.len()])
+    }
+
+    /// The cached stub for `idx`, creating (and QoS-configuring) it on
+    /// first use. The stub is built at the set's current ladder
+    /// consumption: rung `consumed - 1` as the offered spec and only the
+    /// rungs *below* it as fallbacks, so a failover target re-negotiates
+    /// from where the previous replica left off.
+    fn stub_for(&self, idx: usize) -> Result<(Arc<Stub>, usize), OrbError> {
+        let consumed = self.replica_set.lock().consumed;
+        {
+            let stubs = self.stubs.lock();
+            if let Some((stub, base)) = stubs.get(&idx) {
+                // A stale stub (configured before other replicas degraded
+                // further) is rebuilt below at the current mark.
+                if *base + stub.degradation_steps().len() >= consumed {
+                    return Ok((Arc::clone(stub), *base));
+                }
+            }
+        }
+        let reference = {
+            let state = self.replica_set.lock();
+            state.replicas[idx].reference.clone()
+        };
+        let stub = self.orb.bind(&reference)?;
+        stub.set_timeout(self.orb.config().call_timeout);
+        if consumed == 0 {
+            stub.set_qos_parameter(self.required.clone())?;
+            stub.set_qos_ladder(self.ladder.clone());
+        } else {
+            let rung = consumed.min(self.ladder.len()) - 1;
+            stub.set_qos_parameter(self.ladder[rung].clone())?;
+            stub.set_qos_ladder(self.ladder[rung + 1..].to_vec());
+        }
+        let entry = (Arc::new(stub), consumed);
+        self.stubs
+            .lock()
+            .insert(idx, (Arc::clone(&entry.0), entry.1));
+        Ok(entry)
+    }
+
+    /// Success bookkeeping: the replica becomes the active one, its
+    /// health and breaker reset, and the set-wide ladder high-water mark
+    /// absorbs any degradation steps this stub took.
+    fn note_success(&self, idx: usize, stub: &Stub, base: usize) {
+        let mut guard = self.replica_set.lock();
+        let state = &mut *guard;
+        state.consumed = state.consumed.max(base + stub.degradation_steps().len());
+        state.active = Some(idx);
+        let replica = &mut state.replicas[idx];
+        replica.health = Health::Healthy;
+        replica.evicted_at = None;
+        replica.set_breaker(Breaker::Closed(0));
+        self.update_healthy_gauge(state);
+    }
+
+    /// Failure bookkeeping plus the failover accounting: advances the
+    /// breaker and suspect/evict state machines, clears the active slot
+    /// and drops the cached stub so the next attempt redials.
+    fn fail_over(&self, idx: usize, err: &OrbError) {
+        self.note_failure(idx, true);
+        self.stubs.lock().remove(&idx);
+        if let Some(counter) = &self.failovers {
+            counter.inc();
+        }
+        if let Some(registry) = &self.registry {
+            let detail = {
+                let state = self.replica_set.lock();
+                format!(
+                    "replica {} failed ({err}); failing over",
+                    state.replicas[idx].reference.addr
+                )
+            };
+            registry.flight_event(flight_event::FAILOVER, None, detail);
+        }
+    }
+
+    /// Advances one replica's breaker and health state machines after a
+    /// failed call or probe.
+    fn note_failure(&self, idx: usize, from_call: bool) {
+        let mut guard = self.replica_set.lock();
+        let state = &mut *guard;
+        let replica = &mut state.replicas[idx];
+        let addr = replica.reference.addr.to_string();
+        match replica.breaker {
+            Breaker::Closed(failures) => {
+                let failures = failures + 1;
+                if failures >= self.policy.breaker_threshold {
+                    replica.set_breaker(Breaker::Open(Instant::now()));
+                    if let Some(registry) = &self.registry {
+                        registry.flight_event(
+                            flight_event::BREAKER_OPEN,
+                            None,
+                            format!("breaker open for replica {addr}"),
+                        );
+                    }
+                } else {
+                    replica.set_breaker(Breaker::Closed(failures));
+                }
+            }
+            // A failed trial call re-opens immediately.
+            Breaker::HalfOpen => replica.set_breaker(Breaker::Open(Instant::now())),
+            Breaker::Open(_) => {}
+        }
+        let evict = match replica.health {
+            Health::Healthy => {
+                replica.health = if self.policy.suspect_threshold <= 1 {
+                    Health::Evicted
+                } else {
+                    Health::Suspect(1)
+                };
+                matches!(replica.health, Health::Evicted)
+            }
+            Health::Suspect(n) => {
+                let n = n + 1;
+                if n >= self.policy.suspect_threshold {
+                    replica.health = Health::Evicted;
+                    true
+                } else {
+                    replica.health = Health::Suspect(n);
+                    false
+                }
+            }
+            // A failed re-admission probe sends it back to evicted (the
+            // backoff clock restarts).
+            Health::Probing => {
+                replica.health = Health::Evicted;
+                replica.evicted_at = Some(Instant::now());
+                false
+            }
+            Health::Evicted => false,
+        };
+        if evict {
+            replica.evicted_at = Some(Instant::now());
+            if let Some(counter) = &self.evictions {
+                counter.inc();
+            }
+            if let Some(registry) = &self.registry {
+                registry.flight_event(
+                    flight_event::REPLICA_EVICTED,
+                    None,
+                    format!("replica {addr} evicted after consecutive failures"),
+                );
+            }
+        }
+        if from_call && state.active == Some(idx) {
+            state.active = None;
+        }
+        self.update_healthy_gauge(state);
+    }
+
+    fn update_healthy_gauge(&self, state: &SetState) {
+        if let Some(gauge) = &self.healthy_gauge {
+            gauge.set(state.replicas.iter().filter(|r| r.in_rotation()).count() as f64);
+        }
+    }
+
+    /// One sweep of the background prober: half-opens cooled-down
+    /// breakers, starts re-admission probes for evicted replicas whose
+    /// backoff elapsed, and probes every replica in (or returning to)
+    /// rotation. Exercised by the prober thread; public within the crate
+    /// for deterministic tests.
+    pub(crate) fn probe_all(&self) {
+        let now = Instant::now();
+        let due: Vec<(usize, ObjectRef, bool)> = {
+            let mut guard = self.replica_set.lock();
+            let state = &mut *guard;
+            let mut due = Vec::new();
+            for (i, replica) in state.replicas.iter_mut().enumerate() {
+                if let Breaker::Open(since) = replica.breaker {
+                    if now.duration_since(since) >= self.policy.breaker_cooldown {
+                        replica.set_breaker(Breaker::HalfOpen);
+                    }
+                }
+                match replica.health {
+                    Health::Evicted => {
+                        let backoff_done = replica
+                            .evicted_at
+                            .map(|at| now.duration_since(at) >= self.policy.readmit_backoff)
+                            .unwrap_or(true);
+                        if backoff_done {
+                            replica.health = Health::Probing;
+                            due.push((i, replica.reference.clone(), true));
+                        }
+                    }
+                    Health::Probing => due.push((i, replica.reference.clone(), true)),
+                    Health::Healthy | Health::Suspect(_) => {
+                        due.push((i, replica.reference.clone(), false));
+                    }
+                }
+            }
+            due
+        };
+        for (idx, reference, readmitting) in due {
+            if self.probe_one(&reference) {
+                self.note_probe_success(idx, readmitting);
+            } else {
+                self.note_failure(idx, false);
+            }
+        }
+    }
+
+    /// Whether `reference` answers at all: any reply proving a live
+    /// server — including "no such operation" for servants without a
+    /// `_ping` — counts as alive; only transport-level failures count as
+    /// dead.
+    fn probe_one(&self, reference: &ObjectRef) -> bool {
+        let stub = match self.orb.bind(reference) {
+            Ok(stub) => stub,
+            Err(_) => return false,
+        };
+        stub.set_timeout(self.policy.probe_timeout);
+        match stub.invoke("_ping", Bytes::new()) {
+            Ok(_) => true,
+            Err(err) => {
+                let cause = match &err {
+                    OrbError::RetriesExhausted { last, .. } => last.as_ref(),
+                    other => other,
+                };
+                // A servant-level answer proves liveness.
+                matches!(
+                    cause,
+                    OrbError::OperationUnknown { .. }
+                        | OrbError::ObjectNotFound(_)
+                        | OrbError::UserException { .. }
+                        | OrbError::QosNotSupported(_)
+                        | OrbError::Protocol(_)
+                )
+            }
+        }
+    }
+
+    /// A probe answered: re-admit the replica (when it was out) and reset
+    /// its breaker.
+    fn note_probe_success(&self, idx: usize, readmitting: bool) {
+        let mut guard = self.replica_set.lock();
+        let state = &mut *guard;
+        let replica = &mut state.replicas[idx];
+        let was_out = matches!(replica.health, Health::Probing | Health::Evicted);
+        replica.health = Health::Healthy;
+        replica.evicted_at = None;
+        replica.set_breaker(Breaker::Closed(0));
+        if was_out && readmitting {
+            if let Some(counter) = &self.readmissions {
+                counter.inc();
+            }
+            if let Some(registry) = &self.registry {
+                registry.flight_event(
+                    flight_event::REPLICA_READMITTED,
+                    None,
+                    format!(
+                        "replica {} re-admitted after probe",
+                        replica.reference.addr
+                    ),
+                );
+            }
+        }
+        self.update_healthy_gauge(state);
+    }
+}
+
+impl Drop for ResolvedStub {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OrbConfig;
+    use crate::exchange::LocalExchange;
+    use crate::retry::RetryPolicy;
+    use crate::server::OrbServer;
+    use multe_qos::{QoSSpec, ServerPolicy};
+    use std::time::Duration;
+
+    /// Fast-failing client config with no background prober, so each test
+    /// drives the state machine deterministically.
+    fn client_config(registry: Option<Arc<Registry>>) -> OrbConfig {
+        OrbConfig {
+            call_timeout: Duration::from_millis(500),
+            retry: Some(RetryPolicy {
+                max_attempts: 2,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                budget: Duration::from_secs(1),
+                ..RetryPolicy::default()
+            }),
+            telemetry: registry,
+            failover: crate::config::FailoverPolicy {
+                probe_period: Duration::ZERO,
+                probe_timeout: Duration::from_millis(100),
+                suspect_threshold: 1,
+                readmit_backoff: Duration::ZERO,
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(20),
+                ..Default::default()
+            },
+            ..OrbConfig::default()
+        }
+    }
+
+    fn echo_server(exchange: &LocalExchange, name: &str) -> (Arc<Orb>, OrbServer) {
+        let orb = Orb::with_exchange(&format!("server-{name}"), exchange.clone());
+        orb.adapter()
+            .register_fn("svc", |_op, args, _ctx| Ok(args.to_vec()))
+            .expect("register");
+        let server = orb.listen_chorus(name).expect("listen");
+        (orb, server)
+    }
+
+    fn candidate(server: &OrbServer, rung: u32) -> ReplicaCandidate {
+        ReplicaCandidate {
+            reference: server.object_ref("svc"),
+            match_rung: rung,
+        }
+    }
+
+    #[test]
+    fn failover_replays_on_next_replica() {
+        let exchange = LocalExchange::new();
+        let (_orb_a, server_a) = echo_server(&exchange, "rep-a");
+        let (_orb_b, server_b) = echo_server(&exchange, "rep-b");
+        let registry = Arc::new(Registry::new());
+        let client = Orb::with_exchange_and_config(
+            "client",
+            exchange,
+            client_config(Some(Arc::clone(&registry))),
+        );
+        // Unequal ranks make the initial pick deterministic: A is best.
+        let resolved = client
+            .bind_resolved(
+                &[candidate(&server_a, 0), candidate(&server_b, 1)],
+                QoSSpec::best_effort(),
+                Vec::new(),
+            )
+            .expect("bind");
+        let reply = resolved
+            .invoke("echo", Bytes::from_static(b"one"))
+            .expect("first call");
+        assert_eq!(&reply[..], b"one");
+        assert_eq!(
+            resolved.active_replica().expect("active").addr.to_string(),
+            "chorus://rep-a"
+        );
+
+        // Kill the active replica; the same logical stub must answer via B.
+        server_a.close();
+        let reply = resolved
+            .invoke("echo", Bytes::from_static(b"two"))
+            .expect("failover call");
+        assert_eq!(&reply[..], b"two");
+        assert_eq!(
+            resolved.active_replica().expect("active").addr.to_string(),
+            "chorus://rep-b"
+        );
+        let snap = registry.snapshot();
+        assert!(snap.counter(names::FAILOVERS_TOTAL).unwrap_or(0) >= 1);
+        assert!(snap.counter(names::REPLICA_EVICTIONS_TOTAL).unwrap_or(0) >= 1);
+        resolved.close();
+        server_b.close();
+    }
+
+    #[test]
+    fn qos_reoffer_degrades_on_weaker_failover_target() {
+        let exchange = LocalExchange::new();
+        let (orb_a, server_a) = echo_server(&exchange, "qos-a");
+        let (orb_b, server_b) = echo_server(&exchange, "qos-b");
+        // A grants anything; B caps throughput at 64 kbit/s, so the
+        // preferred 1 Mbit/s spec NACKs there and must degrade.
+        orb_a
+            .adapter()
+            .set_policy(&"svc".into(), ServerPolicy::permissive());
+        orb_b.adapter().set_policy(
+            &"svc".into(),
+            ServerPolicy::builder().max_throughput_bps(64_000).build(),
+        );
+        let client =
+            Orb::with_exchange_and_config("client", exchange, client_config(None));
+        let preferred = QoSSpec::builder()
+            .throughput_bps(1_000_000, 800_000, 2_000_000)
+            .build();
+        let fallback = QoSSpec::builder()
+            .throughput_bps(64_000, 1_000, 64_000)
+            .build();
+        let resolved = client
+            .bind_resolved(
+                &[candidate(&server_a, 0), candidate(&server_b, 1)],
+                preferred,
+                vec![fallback],
+            )
+            .expect("bind");
+        resolved
+            .invoke("echo", Bytes::from_static(b"hi"))
+            .expect("call against A at full QoS");
+        assert_eq!(resolved.consumed_rungs(), 0, "A granted the preferred spec");
+
+        server_a.close();
+        resolved
+            .invoke("echo", Bytes::from_static(b"ho"))
+            .expect("failover to B degrades");
+        assert_eq!(
+            resolved.active_replica().expect("active").addr.to_string(),
+            "chorus://qos-b"
+        );
+        assert_eq!(
+            resolved.consumed_rungs(),
+            1,
+            "B's NACK consumed the fallback rung"
+        );
+        resolved.close();
+        server_b.close();
+    }
+
+    #[test]
+    fn breaker_opens_then_probe_readmits_after_restart() {
+        let exchange = LocalExchange::new();
+        let (_orb_a, server_a) = echo_server(&exchange, "cycle-a");
+        let registry = Arc::new(Registry::new());
+        let client = Orb::with_exchange_and_config(
+            "client",
+            exchange.clone(),
+            client_config(Some(Arc::clone(&registry))),
+        );
+        let resolved = client
+            .bind_resolved(&[candidate(&server_a, 0)], QoSSpec::best_effort(), Vec::new())
+            .expect("bind");
+        resolved
+            .invoke("echo", Bytes::from_static(b"up"))
+            .expect("healthy call");
+
+        server_a.close();
+        let err = resolved
+            .invoke("echo", Bytes::from_static(b"down"))
+            .expect_err("whole set down");
+        assert!(
+            !matches!(err, OrbError::Timeout { .. }),
+            "must fail attributed, got {err:?}"
+        );
+        let snap = resolved.replicas();
+        assert_eq!(snap[0].health, "evicted");
+        assert_eq!(snap[0].breaker, "open");
+
+        // Restart the replica under the same name; a probe sweep (the
+        // prober thread's body, driven directly here) re-admits it.
+        let (_orb_a2, server_a2) = echo_server(&exchange, "cycle-a");
+        resolved.probe_all();
+        let snap = resolved.replicas();
+        assert_eq!(snap[0].health, "healthy");
+        assert_eq!(snap[0].breaker, "closed");
+        resolved
+            .invoke("echo", Bytes::from_static(b"back"))
+            .expect("call after re-admission");
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counter(names::REPLICA_READMISSIONS_TOTAL).unwrap_or(0) >= 1);
+        assert!(snapshot.counter(names::REPLICA_EVICTIONS_TOTAL).unwrap_or(0) >= 1);
+        resolved.close();
+        server_a2.close();
+    }
+
+    #[test]
+    fn empty_candidate_set_is_rejected() {
+        let client = Orb::with_exchange("client", LocalExchange::new());
+        match client.bind_resolved(&[], QoSSpec::best_effort(), Vec::new()) {
+            Err(OrbError::BadAddress(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_bindings_rotate_across_equal_replicas() {
+        let exchange = LocalExchange::new();
+        let (_orb_a, server_a) = echo_server(&exchange, "rot-a");
+        let (_orb_b, server_b) = echo_server(&exchange, "rot-b");
+        let client = Orb::with_exchange_and_config("client", exchange, client_config(None));
+        let candidates = [candidate(&server_a, 0), candidate(&server_b, 0)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let resolved = client
+                .bind_resolved(&candidates, QoSSpec::best_effort(), Vec::new())
+                .expect("bind");
+            if let Some(reference) = resolved.active_replica() {
+                seen.insert(reference.addr.to_string());
+            }
+            resolved.close();
+        }
+        assert_eq!(seen.len(), 2, "initial picks rotate across equals: {seen:?}");
+        server_a.close();
+        server_b.close();
+    }
+}

@@ -36,6 +36,14 @@ pub mod event {
     pub const QUEUE_HIGH_WATER: &str = "queue_high_water";
     /// A Da CaPo transport died underneath its connection.
     pub const TRANSPORT_DEAD: &str = "transport_dead";
+    /// A replicated binding switched to another replica mid-traffic.
+    pub const FAILOVER: &str = "failover";
+    /// A replica crossed the suspect threshold and left the healthy set.
+    pub const REPLICA_EVICTED: &str = "replica_evicted";
+    /// An evicted replica passed a probe and rejoined the healthy set.
+    pub const REPLICA_READMITTED: &str = "replica_readmitted";
+    /// A replica's circuit breaker opened after consecutive failures.
+    pub const BREAKER_OPEN: &str = "breaker_open";
 }
 
 /// One recorded event.

@@ -28,6 +28,16 @@ use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockW
 /// legal acquisition path; gaps leave room to slot new locks in without
 /// renumbering. The full table with rationale lives in `DESIGN.md` §7.
 pub mod rank {
+    /// `ResolvedStub::state` — replica health/breaker table of a
+    /// replicated binding; outermost of all: picking a replica precedes
+    /// (and never overlaps) taking any ORB or binding lock.
+    pub const RESOLVED_STATE: u32 = 5;
+    /// `ResolvedStub::stubs` — cached per-replica stubs. Taken after the
+    /// state table and released before any bind/invoke.
+    pub const RESOLVED_STUBS: u32 = 6;
+    /// `ResolvedStub::prober` — liveness-probe thread handle, taken (then
+    /// joined outside the lock) at close.
+    pub const RESOLVED_PROBER: u32 = 7;
     /// `Orb::bindings` — client binding cache; outermost, held while
     /// tearing bindings down.
     pub const ORB_BINDINGS: u32 = 10;
@@ -36,6 +46,9 @@ pub mod rank {
     /// `Orb::introspect` — the live introspection endpoint handle; taken
     /// only at shutdown, never while serving a request.
     pub const ORB_INTROSPECT: u32 = 12;
+    /// `Orb::fault_engines` — per-target fault engines, cached so a
+    /// reconnect replays the same deterministic fault schedule.
+    pub const ORB_FAULT_ENGINES: u32 = 13;
     /// `Exchange::registry` — in-process transport listener registry.
     pub const EXCHANGE_REGISTRY: u32 = 20;
     /// `OrbServer::conns` — live server-side connection list.

@@ -32,6 +32,29 @@ pub const SERVICE_CONTEXT_BYTES: &str = "service_context_bytes";
 /// newer ones.
 pub const FLIGHT_EVENTS_DROPPED_TOTAL: &str = "flight_events_dropped_total";
 
+/// Mid-traffic switches of a replicated binding to another replica after
+/// the active one failed (DESIGN.md §8.3).
+pub const FAILOVERS_TOTAL: &str = "failovers_total";
+
+/// Replicas evicted from a replicated binding's candidate set after
+/// consecutive failures crossed the suspect threshold.
+pub const REPLICA_EVICTIONS_TOTAL: &str = "replica_evictions_total";
+
+/// Evicted replicas re-admitted after a successful liveness probe.
+pub const REPLICA_READMISSIONS_TOTAL: &str = "replica_readmissions_total";
+
+/// Per-replica circuit-breaker state gauge, exported with a `replica`
+/// label (0 = closed, 1 = half-open, 2 = open), e.g.
+/// `breaker_state{replica="chorus://rep-a"}`.
+pub const BREAKER_STATE: &str = "breaker_state";
+
+/// Gauge: replicas currently considered healthy in a replicated binding.
+pub const REPLICAS_HEALTHY: &str = "replicas_healthy";
+
+/// Histogram (µs): latency of directory `resolve` calls as observed by
+/// the client, including the ORB round trip.
+pub const RESOLVE_LATENCY_US: &str = "resolve_latency_us";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +76,14 @@ mod tests {
 
         r.counter(TRACE_JOINS_TOTAL).add(9);
         r.counter(SERVICE_CONTEXT_BYTES).add(203);
+
+        r.counter(FAILOVERS_TOTAL).inc();
+        r.counter(REPLICA_EVICTIONS_TOTAL).add(2);
+        r.counter(REPLICA_READMISSIONS_TOTAL).inc();
+        r.gauge(&Registry::labeled(BREAKER_STATE, &[("replica", "chorus://rep-a")]))
+            .set(2.0);
+        r.gauge(REPLICAS_HEALTHY).set(3.0);
+        r.histogram(RESOLVE_LATENCY_US).record(180);
 
         let snap = r.snapshot();
         assert_eq!(snap.counter(RETRIES_TOTAL), Some(3));
@@ -81,5 +112,33 @@ mod tests {
         assert!(json.contains("\"reconnects_total\":1"));
         assert!(json.contains("\"qos_degradations_total\":2"));
         assert!(json.contains("\"faults_injected_total\":7"));
+    }
+
+    /// The replication metrics (failover counters, breaker/health gauges,
+    /// resolve latency) round-trip through every exporter too.
+    #[test]
+    fn replication_metrics_round_trip() {
+        let r = Registry::new();
+        r.counter(FAILOVERS_TOTAL).inc();
+        r.counter(REPLICA_EVICTIONS_TOTAL).inc();
+        r.counter(REPLICA_READMISSIONS_TOTAL).inc();
+        let breaker = Registry::labeled(BREAKER_STATE, &[("replica", "chorus://rep-b")]);
+        r.gauge(&breaker).set(1.0);
+        r.gauge(REPLICAS_HEALTHY).set(2.0);
+        r.histogram(RESOLVE_LATENCY_US).record(250);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(FAILOVERS_TOTAL), Some(1));
+        assert_eq!(snap.counter(REPLICA_EVICTIONS_TOTAL), Some(1));
+        assert_eq!(snap.counter(REPLICA_READMISSIONS_TOTAL), Some(1));
+        let hist = snap.histogram(RESOLVE_LATENCY_US).expect("resolve latency");
+        assert_eq!(hist.count, 1);
+
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("failovers_total 1"));
+        assert!(prom.contains("replica_evictions_total 1"));
+        assert!(prom.contains("replica_readmissions_total 1"));
+        assert!(prom.contains("breaker_state{replica=\"chorus://rep-b\"} 1"));
+        assert!(prom.contains("replicas_healthy 2"));
     }
 }

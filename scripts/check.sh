@@ -74,6 +74,28 @@ print("chaos smoke ok: %d/%d calls ok under %d faults, p99 %dus, %d reconnect(s)
 cp "$chaos_dir/BENCH_chaos.json" BENCH_chaos.json
 rm -rf "$chaos_dir"
 
+# Failover smoke: kill the active replica of a resolved binding several
+# times mid-traffic. Every kill must heal through the replica layer (>= 1
+# failover), nothing may hang, and the blackout window stays bounded. The
+# bin's own shape check enforces the blackout bound; the assertions here
+# pin the failover accounting.
+failover_dir=$(mktemp -d)
+(cd "$failover_dir" && cargo run -q --release -p bench --bin failover \
+    --manifest-path "$OLDPWD/Cargo.toml" -- --quick) | tee "$failover_dir/out.txt"
+grep '^BENCH_JSON ' "$failover_dir/out.txt" | sed 's/^BENCH_JSON //' | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.read())
+assert doc["failovers"] >= 1, "no failover happened: %r" % doc
+assert doc["hung_calls"] == 0, "a call hung: %r" % doc
+assert doc["blackout_us"]["p99"] < 5_000_000, "blackout unbounded: %r" % doc
+print("failover smoke ok: %d kill(s), %d failover(s), blackout p50 %dus / p99 %dus, "
+      "steady overhead %.1f%%"
+      % (doc["kill_cycles"], doc["failovers"], doc["blackout_us"]["p50"],
+         doc["blackout_us"]["p99"], doc["steady"]["overhead_pct"]))
+'
+cp "$failover_dir/BENCH_failover.json" BENCH_failover.json
+rm -rf "$failover_dir"
+
 # Throughput smoke: the zero-copy data path must keep a 2.4 Gbit/s link
 # busy at large packets and stay inside the two-allocation budget (one
 # request encode, one reply encode) on the loopback hot path. Quick mode

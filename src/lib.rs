@@ -7,6 +7,7 @@
 //! | crate | paper role |
 //! |---|---|
 //! | [`orb`] ([`cool_orb`]) | the COOL ORB: object adapter, stubs/skeletons, generic message and transport layers, invocation modes, QoS propagation |
+//! | [`naming`] ([`cool_naming`]) | the QoS-aware replica directory: register with offered ladders, resolve by name + required QoS, feed replicated bindings |
 //! | [`giop`] ([`cool_giop`]) | CDR marshalling, the seven GIOP messages, the 9.9 QoS extension |
 //! | [`qos`] ([`multe_qos`]) | QoS specifications, bilateral negotiation, unilateral admission |
 //! | [`dacapo`] | the Da CaPo flexible protocol system (layers A/C/T, module graphs, configuration/resource management) |
@@ -46,6 +47,7 @@
 pub use chic as idl;
 pub use chorus_sim as chorus;
 pub use cool_giop as giop;
+pub use cool_naming as naming;
 pub use cool_orb as orb;
 pub use cool_telemetry as telemetry;
 pub use dacapo;
@@ -71,6 +73,7 @@ mod tests {
     fn reexports_are_wired() {
         // Touch one symbol from each re-exported crate.
         let _ = crate::qos::QoSSpec::best_effort();
+        let _ = crate::naming::DIRECTORY_KEY;
         let _ = crate::giop::GiopVersion::QOS_EXTENDED;
         let _ = crate::netsim::LinkSpec::default();
         let _ = crate::dacapo::MechanismCatalog::standard();

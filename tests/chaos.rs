@@ -160,7 +160,8 @@ fn run_chaos(seed: u64) -> ChaosRun {
             }
             Err(OrbError::Transport(_))
             | Err(OrbError::Closed)
-            | Err(OrbError::QosNotSupported(_)) => attributed_failures += 1,
+            | Err(OrbError::QosNotSupported(_))
+            | Err(OrbError::RetriesExhausted { .. }) => attributed_failures += 1,
             Err(other) => panic!("unattributed failure at call {i}: {other:?}"),
         }
     }

@@ -72,6 +72,59 @@ fn invocation_after_server_close_errors_quickly() {
     assert!(failed, "calls against a closed server must fail");
 }
 
+/// Pins the retry-budget attribution contract: when a `RetryPolicy`
+/// gives up, the caller gets `RetriesExhausted` carrying the attempt
+/// count and the *last underlying cause* — never a bare budget error.
+#[test]
+fn retry_exhaustion_surfaces_last_cause_and_attempt_count() {
+    let exchange = LocalExchange::new();
+    let server_orb = Orb::with_exchange("dying-server", exchange.clone());
+    server_orb
+        .adapter()
+        .register_fn("echo", |_op, a, _c| Ok(a.to_vec()))
+        .unwrap();
+    let server = server_orb.listen_tcp("127.0.0.1:0").unwrap();
+    let client_orb = Orb::with_exchange_and_config(
+        "client",
+        exchange,
+        OrbConfig {
+            retry: Some(RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+                budget: Duration::from_secs(10),
+                ..RetryPolicy::default()
+            }),
+            ..OrbConfig::default()
+        },
+    );
+    let stub = client_orb.bind(&server.object_ref("echo")).unwrap();
+    assert!(stub.invoke("echo", Bytes::from_static(b"up")).is_ok());
+
+    server.close();
+    stub.set_timeout(Duration::from_secs(2));
+    // The binding may need a call to observe the closed socket; once it
+    // does, the policy retries (reconnecting against nothing) until its
+    // attempts run out.
+    let mut exhausted = None;
+    for _ in 0..5 {
+        if let Err(err) = stub.invoke("echo", Bytes::from_static(b"down")) {
+            exhausted = Some(err);
+            break;
+        }
+    }
+    match exhausted.expect("calls against a closed server must fail") {
+        OrbError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 3, "every budgeted attempt must be accounted");
+            assert!(
+                matches!(*last, OrbError::Closed | OrbError::Transport(_)),
+                "last cause must be the real failure, got {last:?}"
+            );
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
 #[test]
 fn rebinding_after_server_restart_works() {
     let exchange = LocalExchange::new();
