@@ -17,7 +17,7 @@
 use bench::{fig9_configs, fig9_link_spec, fig9_packet_sizes, measure_throughput};
 use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), String> {
     let quick = std::env::args().any(|a| a == "--quick");
     let duration = if quick {
         Duration::from_millis(200)
@@ -64,7 +64,7 @@ fn main() {
     println!("\nshape checks:");
     let first = &table[0]; // 0 dummies
     let small = first[0];
-    let large = *first.last().expect("row nonempty");
+    let large = *first.last().ok_or("0-dummies row came back empty")?;
     let claim1 = large > small * 1.2;
     println!(
         "  [{}] throughput grows with packet size (0-dummies: {small:.1} -> {large:.1} Mbit/s)",
@@ -72,14 +72,14 @@ fn main() {
     );
 
     let deep = &table[configs.len() - 2]; // 40 dummies
-    let large_ratio = deep.last().unwrap() / first.last().unwrap();
+    let large_ratio = deep.last().ok_or("40-dummies row came back empty")? / large;
     let claim2 = large_ratio > 0.85;
     println!(
         "  [{}] 40 dummy modules cost little at large packets (ratio {large_ratio:.2})",
         if claim2 { "ok" } else { "MISS" }
     );
 
-    let irq = table.last().expect("irq row");
+    let irq = table.last().ok_or("IRQ row came back empty")?;
     let irq_ratio = irq[2] / first[2]; // 2 KiB column
     let claim3 = irq_ratio < 0.5;
     println!(
@@ -87,15 +87,17 @@ fn main() {
         if claim3 { "ok" } else { "MISS" }
     );
 
-    let irq_grows = irq.last().unwrap() > &(irq[0] * 2.0);
+    let irq_large = *irq.last().ok_or("IRQ row came back empty")?;
+    let irq_grows = irq_large > irq[0] * 2.0;
     println!(
         "  [{}] IRQ throughput still grows with packet size ({:.1} -> {:.1})",
         if irq_grows { "ok" } else { "MISS" },
         irq[0],
-        irq.last().unwrap()
+        irq_large
     );
 
     if !(claim1 && claim2 && claim3 && irq_grows) {
         std::process::exit(1);
     }
+    Ok(())
 }

@@ -22,14 +22,17 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect to introspect endpoint");
+fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| format!("connect to introspect endpoint: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
-        .expect("set read timeout");
-    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("write request");
+        .map_err(|e| format!("set read timeout: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").map_err(|e| format!("write request: {e}"))?;
     let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
     let status = response
         .split_whitespace()
         .nth(1)
@@ -39,7 +42,7 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         .split_once("\r\n\r\n")
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
-    (status, body)
+    Ok((status, body))
 }
 
 fn check(label: &str, ok: bool, detail: &str) -> bool {
@@ -47,7 +50,7 @@ fn check(label: &str, ok: bool, detail: &str) -> bool {
     ok
 }
 
-fn main() {
+fn main() -> Result<(), String> {
     let quick = std::env::args().any(|a| a == "--quick");
     let calls = if quick { 50 } else { 200 };
 
@@ -64,8 +67,10 @@ fn main() {
     server_orb
         .adapter()
         .register_fn("echo", |_op, args, _ctx| Ok(args.to_vec()))
-        .expect("register echo");
-    let server = server_orb.listen_tcp("127.0.0.1:0").expect("listen");
+        .map_err(|e| format!("register echo: {e}"))?;
+    let server = server_orb
+        .listen_tcp("127.0.0.1:0")
+        .map_err(|e| format!("listen: {e}"))?;
 
     // Client ORB with the endpoint on; its private registry is created
     // implicitly by the introspect policy.
@@ -82,12 +87,14 @@ fn main() {
     );
     let addr = client_orb
         .introspect_addr()
-        .expect("introspect endpoint must be live");
-    let stub = client_orb.bind(&server.object_ref("echo")).expect("bind");
+        .ok_or("introspect endpoint must be live")?;
+    let stub = client_orb
+        .bind(&server.object_ref("echo"))
+        .map_err(|e| format!("bind: {e}"))?;
     for i in 0..calls {
         let body = stub
             .invoke("echo", Bytes::from(vec![0x42; 64]))
-            .expect("echo call");
+            .map_err(|e| format!("echo call {i}: {e}"))?;
         assert_eq!(body.len(), 64, "call {i} echoed a wrong-sized body");
     }
     // Let the gauge sampler take a few passes over the post-run state.
@@ -97,14 +104,14 @@ fn main() {
     println!("Introspection smoke — {calls} traced calls, endpoint at http://{addr}\n");
     let mut all_ok = true;
 
-    let (status, metrics) = http_get(addr, "/metrics");
+    let (status, metrics) = http_get(addr, "/metrics")?;
     all_ok &= check(
         "/metrics",
         status == 200 && metrics.contains("orb_invocations_total"),
         &format!("{status}, {} bytes of exposition", metrics.len()),
     );
 
-    let (status, spans) = http_get(addr, "/spans");
+    let (status, spans) = http_get(addr, "/spans")?;
     let merged = spans.matches("\"wire_out_us\":").count()
         - spans.matches("\"wire_out_us\":null").count();
     all_ok &= check(
@@ -113,21 +120,21 @@ fn main() {
         &format!("{status}, {merged} merged trace(s) on display"),
     );
 
-    let (status, flight) = http_get(addr, "/flight");
+    let (status, flight) = http_get(addr, "/flight")?;
     all_ok &= check(
         "/flight",
         status == 200 && flight.contains("\"events\""),
         &format!("{status}, {} bytes of event log", flight.len()),
     );
 
-    let (status, gauges) = http_get(addr, "/gauges?window=60000");
+    let (status, gauges) = http_get(addr, "/gauges?window=60000")?;
     all_ok &= check(
         "/gauges",
         status == 200 && gauges.contains("\"window_ms\":60000"),
         &format!("{status}, {} bytes of series", gauges.len()),
     );
 
-    let (status, _) = http_get(addr, "/no-such-route");
+    let (status, _) = http_get(addr, "/no-such-route")?;
     all_ok &= check("unknown route", status == 404, &format!("{status}"));
 
     server.close();
@@ -139,4 +146,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nintrospection smoke ok");
+    Ok(())
 }

@@ -4,11 +4,12 @@
 //! The binary (`cargo run -p cool-analyze`) parses every `.rs` file into
 //! a fact base (functions, call sites, lock acquisitions with their rank
 //! constants, codec impls, metric-name constants), builds an intra-crate
-//! call graph with transitive effect summaries, and runs the A001–A007
+//! call graph with transitive effect summaries, and runs the A001–A010
 //! rules described in [`rules`]. Findings share cool-lint's output
 //! contract: `file:line RULE message` text, JSON via `--json-out`
-//! (default `analyze-report.json`), exit 0/1/2, and the same two
-//! exemption mechanisms — `// lint: allow(A00x, reason)` inline and
+//! (default `analyze-report.json`), exit 0/1/2, ratchet + SARIF gating
+//! via `--ratchet`/`--sarif-out` ([`cool_lint::ratchet`]), and the same
+//! two exemption mechanisms — `// lint: allow(A00x, reason)` inline and
 //! `lint-allow.txt` entries (the file is shared; this tool owns the `A*`
 //! rule namespace, cool-lint the `L*` one). See DESIGN.md §7.3.
 

@@ -35,6 +35,8 @@ pub const BLOCKING: &[&str] = &[
     "join",
     "dial",
     "connect",
+    "connect_timeout",
+    "recv_deadline",
     "connect_chorus",
     "connect_dacapo",
     "connect_chorus_with",
@@ -180,6 +182,43 @@ pub struct SpawnSite {
     pub fn_idx: Option<usize>,
 }
 
+/// One blocking call site *outside* every function's event stream — closure
+/// bodies, mostly (the A008 fact). A spawn callback blocks at run time, not
+/// where it is defined, so the per-function streams deliberately exclude
+/// these; the hang-freedom rule folds them back in under the label of the
+/// function that textually contains the closure.
+#[derive(Debug)]
+pub struct LooseBlock {
+    /// The [`BLOCKING`] identifier that was called.
+    pub what: String,
+    pub line: u32,
+    /// Innermost function whose body textually contains the site.
+    pub fn_name: Option<String>,
+    pub in_test: bool,
+}
+
+/// One `Type::name` use (the A009/A010 fact): an enum-variant construction
+/// or pattern, or an associated-call like `OrbError::timeout(..)`.
+#[derive(Debug)]
+pub struct VariantUse {
+    /// The type ident left of the `::` (`Health`, `OrbError`, ...).
+    pub ty: String,
+    /// The variant or associated-fn ident right of it.
+    pub name: String,
+    pub line: u32,
+    /// Innermost function whose body contains the use.
+    pub fn_name: Option<String>,
+    /// Pattern position (match arm, `if let`, `matches!`, `|`-alternation)
+    /// rather than a construction or call.
+    pub is_pattern: bool,
+    pub in_test: bool,
+    /// Identifier tokens inside the `(..)`/`{..}` payload, for the
+    /// static-vs-attributed payload distinction A010 draws.
+    pub payload_idents: Vec<String>,
+    /// Field names of a struct-literal payload (`Timeout { request_id: .. }`).
+    pub fields: Vec<String>,
+}
+
 /// One `OrderedMutex::new`/`OrderedRwLock::new` site.
 #[derive(Debug)]
 pub struct LockCtor {
@@ -228,6 +267,15 @@ pub struct ParsedFile {
     pub notifies: Vec<NotifySite>,
     /// Thread spawn sites (A007).
     pub spawns: Vec<SpawnSite>,
+    /// Blocking sites outside the per-fn event streams (A008).
+    pub loose_blocks: Vec<LooseBlock>,
+    /// `Type::name` uses with construction/pattern classification
+    /// (A009/A010).
+    pub variant_uses: Vec<VariantUse>,
+    /// `pub const NAME: &str = "value";` entries of the flight-recorder
+    /// event-kind catalogue (only for `src/flight.rs`), the vocabulary the
+    /// §8.4 `flight:*` emission cells resolve against.
+    pub flight_consts: Vec<(String, String, u32)>,
 }
 
 /// Crate attribution: `crates/<name>/...` or the root package.
@@ -321,6 +369,13 @@ pub fn parse_file(rel: &str, scan: &Scan) -> ParsedFile {
     } else {
         Vec::new()
     };
+    let flight_consts = if rel.ends_with("src/flight.rs") {
+        collect_metric_consts(toks)
+    } else {
+        Vec::new()
+    };
+    let loose_blocks = collect_loose_blocks(toks, &fns, &in_test_line, &in_macro);
+    let variant_uses = collect_variant_uses(toks, &fns, &in_test_line, &in_macro);
 
     let mut lib_idents = HashSet::new();
     let mut lib_strs = HashSet::new();
@@ -360,6 +415,9 @@ pub fn parse_file(rel: &str, scan: &Scan) -> ParsedFile {
         waits,
         notifies,
         spawns,
+        loose_blocks,
+        variant_uses,
+        flight_consts,
     }
 }
 
@@ -1406,6 +1464,294 @@ fn collect_spawns(
     out
 }
 
+/// Blocking call sites *not* covered by any function's event stream —
+/// closure bodies handed to spawns, mostly. A008 folds these back in under
+/// the textually-enclosing function's label.
+fn collect_loose_blocks(
+    toks: &[Tok],
+    fns: &[FnItem],
+    in_test_line: &dyn Fn(u32) -> bool,
+    in_macro: &dyn Fn(usize) -> bool,
+) -> Vec<LooseBlock> {
+    let covered: HashSet<usize> = fns
+        .iter()
+        .flat_map(|f| f.events.iter())
+        .filter_map(|e| match e.kind {
+            EventKind::Block { .. } => Some(e.tok),
+            _ => None,
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if k == 0
+            || in_macro(k)
+            || covered.contains(&k)
+            || t.kind != TokKind::Ident
+            || !BLOCKING.contains(&t.text.as_str())
+            || toks.get(k + 1).map(|t| t.text.as_str()) != Some("(")
+            || toks[k - 1].text == "fn"
+        {
+            continue;
+        }
+        if t.text == "join" && toks.get(k + 2).map(|t| t.text.as_str()) != Some(")") {
+            continue;
+        }
+        out.push(LooseBlock {
+            what: t.text.clone(),
+            line: t.line,
+            fn_name: enclosing_fn(fns, k).map(|i| fns[i].name.clone()),
+            in_test: in_test_line(t.line),
+        });
+    }
+    out
+}
+
+/// Token spans of `matches!(..)` invocations — everything inside is
+/// pattern-position for the variant-use classifier.
+fn matches_bang_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for k in 0..toks.len() {
+        if toks[k].kind == TokKind::Ident
+            && toks[k].text == "matches"
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("!")
+            && toks.get(k + 2).map(|t| t.text.as_str()) == Some("(")
+        {
+            spans.push((k + 2, match_close(toks, k + 2)));
+        }
+    }
+    spans
+}
+
+/// Pattern-position token spans: `match` arm patterns (arm start through
+/// the guard, up to `=>`) and `let`/`if let`/`while let` patterns (after
+/// `let`, up to the `=`).
+fn pattern_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for k in 0..toks.len() {
+        if toks[k].kind != TokKind::Ident {
+            continue;
+        }
+        if toks[k].text == "let" {
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" | ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j > k + 1 {
+                spans.push((k + 1, j - 1));
+            }
+        } else if toks[k].text == "match" {
+            // Scrutinee runs to the first `{` at bracket depth zero (rustc
+            // itself demands parens around struct literals here).
+            let mut depth = 0i32;
+            let mut open = k + 1;
+            let mut found = false;
+            while open < toks.len() {
+                match toks[open].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth <= 0 => {
+                        found = true;
+                        break;
+                    }
+                    _ => {}
+                }
+                open += 1;
+            }
+            if !found {
+                continue;
+            }
+            let close = match_close(toks, open);
+            let mut j = open + 1;
+            while j < close {
+                let start = j;
+                let mut d = 0i32;
+                while j < close {
+                    match toks[j].text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "=" if d <= 0
+                            && toks.get(j + 1).map(|t| t.text.as_str()) == Some(">") =>
+                        {
+                            break
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j >= close {
+                    break;
+                }
+                if j > start {
+                    spans.push((start, j - 1));
+                }
+                j += 2; // past `=>`
+                // Skip the arm expression: a braced block, else everything
+                // up to the depth-zero `,`. Nested `match`es get their own
+                // arm walk when the outer scan reaches them.
+                if toks.get(j).map(|t| t.text.as_str()) == Some("{") {
+                    j = match_close(toks, j) + 1;
+                    if toks.get(j).map(|t| t.text.as_str()) == Some(",") {
+                        j += 1;
+                    }
+                } else {
+                    let mut d = 0i32;
+                    while j < close {
+                        match toks[j].text.as_str() {
+                            "(" | "[" | "{" => d += 1,
+                            ")" | "]" | "}" => d -= 1,
+                            "," if d <= 0 => {
+                                j += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    spans
+}
+
+/// `Type::name` uses with construction-vs-pattern classification (the
+/// A009/A010 fact). A use is a *pattern* when it sits inside a `matches!`
+/// body, a `match` arm pattern, a `let` pattern, follows a comparison
+/// operator or `&` (state inspection, not a transition), or is directly
+/// followed by `=>` / `|` / a match guard.
+fn collect_variant_uses(
+    toks: &[Tok],
+    fns: &[FnItem],
+    in_test_line: &dyn Fn(u32) -> bool,
+    in_macro: &dyn Fn(usize) -> bool,
+) -> Vec<VariantUse> {
+    let m_spans = matches_bang_spans(toks);
+    let p_spans = pattern_spans(toks);
+    let in_span =
+        |spans: &[(usize, usize)], idx: usize| spans.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k + 3 < toks.len() {
+        let t = &toks[k];
+        let head = t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && toks[k + 1].text == ":"
+            && toks[k + 2].text == ":"
+            && toks[k + 3].kind == TokKind::Ident
+            && !is_keyword(&toks[k + 3].text);
+        if !head || in_macro(k) {
+            k += 1;
+            continue;
+        }
+        // Path tails (`std::net::TcpStream::connect`) belong to the full
+        // path, not the bare type ident.
+        if k >= 2 && toks[k - 1].text == ":" && toks[k - 2].text == ":" {
+            k += 4;
+            continue;
+        }
+        let name_idx = k + 3;
+        // A further `::` makes this a module-qualified path
+        // (`Mod::sub::item`), not a variant use; re-scan from the tail.
+        if toks.get(name_idx + 1).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(name_idx + 2).map(|t| t.text.as_str()) == Some(":")
+        {
+            k = name_idx;
+            continue;
+        }
+        let mut payload_idents = Vec::new();
+        let mut fields = Vec::new();
+        let mut after = name_idx + 1;
+        match toks.get(name_idx + 1).map(|t| t.text.as_str()) {
+            Some("(") => {
+                let close = match_close(toks, name_idx + 1);
+                for tok in toks.iter().take(close).skip(name_idx + 2) {
+                    if tok.kind == TokKind::Ident {
+                        payload_idents.push(tok.text.clone());
+                    }
+                }
+                after = close + 1;
+            }
+            Some("{") => {
+                let open = name_idx + 1;
+                let close = match_close(toks, open);
+                // Struct-literal shape (vs. a following block): `{ .. }`,
+                // `{}`, or an ident followed by `:`/`,`/`}`.
+                let shaped = match toks.get(open + 1).map(|t| t.text.as_str()) {
+                    Some("}") | Some(".") => true,
+                    _ => {
+                        toks.get(open + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                            && matches!(
+                                toks.get(open + 2).map(|t| t.text.as_str()),
+                                Some(":") | Some(",") | Some("}")
+                            )
+                    }
+                };
+                if shaped {
+                    for j in open + 1..close {
+                        if toks[j].kind != TokKind::Ident {
+                            continue;
+                        }
+                        payload_idents.push(toks[j].text.clone());
+                        let prev = toks[j - 1].text.as_str();
+                        let next = toks.get(j + 1).map(|t| t.text.as_str());
+                        let field_pos = prev == "{" || prev == ",";
+                        let named = next == Some(":")
+                            && toks.get(j + 2).map(|t| t.text.as_str()) != Some(":");
+                        let shorthand = next == Some(",") || next == Some("}");
+                        if field_pos && (named || shorthand) {
+                            fields.push(toks[j].text.clone());
+                        }
+                    }
+                    after = close + 1;
+                }
+            }
+            _ => {}
+        }
+        let mut is_pattern = in_span(&m_spans, k) || in_span(&p_spans, k);
+        if !is_pattern && k >= 2 {
+            let p1 = toks[k - 1].text.as_str();
+            let p2 = toks[k - 2].text.as_str();
+            // `== Ty::V`, `!= Ty::V`, `&Ty::V`: inspection, not transition.
+            if (p1 == "=" && (p2 == "=" || p2 == "!")) || p1 == "&" {
+                is_pattern = true;
+            }
+        }
+        if !is_pattern {
+            let mut a = after;
+            while toks.get(a).map(|t| t.text.as_str()) == Some(")") {
+                a += 1;
+            }
+            match toks.get(a).map(|t| t.text.as_str()) {
+                Some("|") | Some("if") => is_pattern = true,
+                Some("=") if toks.get(a + 1).map(|t| t.text.as_str()) == Some(">") => {
+                    is_pattern = true;
+                }
+                _ => {}
+            }
+        }
+        out.push(VariantUse {
+            ty: t.text.clone(),
+            name: toks[name_idx].text.clone(),
+            line: t.line,
+            fn_name: enclosing_fn(fns, k).map(|i| fns[i].name.clone()),
+            is_pattern,
+            in_test: in_test_line(t.line),
+            payload_idents,
+            fields,
+        });
+        k = name_idx + 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1734,5 +2080,119 @@ mod tests {
         assert!(p.fns[lib[1].fn_idx.unwrap()].sig_has_handle);
         assert!(!p.fns[lib[0].fn_idx.unwrap()].sig_has_handle);
         assert!(p.spawns.iter().any(|s| s.in_test));
+    }
+
+    #[test]
+    fn loose_blocks_catch_closure_sites_the_event_streams_exclude() {
+        let p = parsed(
+            "fn pump(rx: Receiver<u8>) { let _ = rx.recv(); }\n\
+             fn start(rx: Receiver<u8>) {\n\
+                 std::thread::spawn(move || { while let Ok(v) = rx.recv() { use_it(v); } });\n\
+             }\n\
+             fn tidy(p: &Path) { let q = p.join(\"x\"); }\n\
+             #[cfg(test)]\nmod tests { fn t(rx: R) { spawn(move || rx.recv()); } }",
+        );
+        // `pump`'s recv is in its event stream, not loose.
+        let pump = fn_named(&p, "pump");
+        assert!(pump
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Block { what } if what == "recv")));
+        let lib: Vec<_> = p.loose_blocks.iter().filter(|b| !b.in_test).collect();
+        assert_eq!(lib.len(), 1, "only the closure recv is loose: {lib:?}");
+        assert_eq!(lib[0].what, "recv");
+        assert_eq!(lib[0].fn_name.as_deref(), Some("start"));
+        assert!(p.loose_blocks.iter().any(|b| b.in_test));
+    }
+
+    #[test]
+    fn timeout_variants_are_still_block_events() {
+        let p = parsed(
+            "fn a(rx: R, s: &A) { let _ = rx.recv_timeout(D); s.connect_timeout(addr, D); \n\
+                 let _ = rx.recv_deadline(t); }",
+        );
+        let whats: Vec<String> = fn_named(&p, "a")
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Block { what } => Some(what.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(whats, ["recv_timeout", "connect_timeout", "recv_deadline"]);
+    }
+
+    #[test]
+    fn variant_uses_split_constructions_from_patterns() {
+        let p = parsed(
+            "fn f(h: Health, e: &OrbError) -> Health {\n\
+                 if matches!(h, Health::Evicted) { return Health::Probing; }\n\
+                 if let Breaker::Open(since) = self.b { touch(since); }\n\
+                 match h {\n\
+                     Health::Suspect | Health::Probing => Health::Healthy,\n\
+                     Health::Evicted if old() => Health::Probing,\n\
+                     _ => h,\n\
+                 }\n\
+             }",
+        );
+        let cons: Vec<&str> = p
+            .variant_uses
+            .iter()
+            .filter(|v| !v.is_pattern)
+            .map(|v| v.name.as_str())
+            .collect();
+        assert_eq!(cons, ["Probing", "Healthy", "Probing"], "{:?}", p.variant_uses);
+        let pats: Vec<&str> = p
+            .variant_uses
+            .iter()
+            .filter(|v| v.is_pattern)
+            .map(|v| v.name.as_str())
+            .collect();
+        assert_eq!(pats, ["Evicted", "Open", "Suspect", "Probing", "Evicted"]);
+        assert!(p.variant_uses.iter().all(|v| v.fn_name.as_deref() == Some("f")));
+    }
+
+    #[test]
+    fn variant_use_payloads_capture_attribution_idents_and_fields() {
+        let p = parsed(
+            "fn f() -> OrbError {\n\
+                 let a = OrbError::Transport(\"static\".into());\n\
+                 let b = OrbError::RetriesExhausted { attempts, last: Box::new(e) };\n\
+                 let c = OrbError::timeout(elapsed);\n\
+                 let d = OrbError::Transport(format!(\"replica {id} down\"));\n\
+                 a\n\
+             }",
+        );
+        let by_name = |n: &str| {
+            p.variant_uses
+                .iter()
+                .filter(|v| v.name == n && !v.is_pattern)
+                .collect::<Vec<_>>()
+        };
+        let re = by_name("RetriesExhausted");
+        assert_eq!(re.len(), 1);
+        assert_eq!(re[0].fields, ["attempts", "last"]);
+        let to = by_name("timeout");
+        assert_eq!(to.len(), 1);
+        assert_eq!(to[0].payload_idents, ["elapsed"]);
+        let tr = by_name("Transport");
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].payload_idents, ["into"]);
+        assert!(tr[1].payload_idents.contains(&"format".to_owned()));
+        // `std::net::TcpStream::connect` path tails are not variant uses.
+        let q = parsed("fn g() { std::net::TcpStream::connect(a); Vec::<u8>::new(); }");
+        assert!(q.variant_uses.is_empty(), "{:?}", q.variant_uses);
+    }
+
+    #[test]
+    fn flight_consts_only_collected_for_flight_rs() {
+        let src = "pub const EVENT_FAILOVER: &str = \"failover\";";
+        let f = parse_file("crates/cool-telemetry/src/flight.rs", &scan(src));
+        assert_eq!(f.flight_consts.len(), 1);
+        assert_eq!(f.flight_consts[0].1, "failover");
+        assert!(f.metric_consts.is_empty());
+        let n = parse_file("crates/cool-telemetry/src/names.rs", &scan(src));
+        assert!(n.flight_consts.is_empty());
+        assert_eq!(n.metric_consts.len(), 1);
     }
 }

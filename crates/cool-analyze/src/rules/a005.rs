@@ -287,8 +287,9 @@ fn parse_chan_rows(design: &str) -> Vec<ChanRow> {
     rows
 }
 
-/// Backticked substrings of a table cell.
-fn backticked(cell: &str) -> Vec<String> {
+/// Backticked substrings of a table cell (shared with A008/A009's
+/// DESIGN.md parsers).
+pub(crate) fn backticked(cell: &str) -> Vec<String> {
     let mut names = Vec::new();
     let mut rest = cell;
     while let Some(start) = rest.find('`') {

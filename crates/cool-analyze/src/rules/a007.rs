@@ -9,9 +9,10 @@
 //! 2. the spawning function itself joins a thread (`handle.join()`), the
 //!    scoped worker pattern;
 //! 3. the spawn's file contains a join inside a function on the shutdown
-//!    path: named `close`/`shutdown`/`stop`/`teardown`/`cancel`/`abort`/
-//!    `drop`, a `Drop` impl, or reachable from such a root through the
-//!    call graph.
+//!    path: named with a `close`/`shutdown`/`stop`/`teardown`/`cancel`/
+//!    `abort`/`drop` segment (`shutdown_graceful` counts), a `Drop` impl,
+//!    or reachable from such a root through the call graph (the shared
+//!    [`super::shutdown_reachable`] set, also used by A008).
 //!
 //! Anything else is a detached thread the teardown path cannot wait for —
 //! exactly the gap that leaves worker threads running (and e.g. holding
@@ -19,42 +20,16 @@
 //! detachment (fire-and-forget rendezvous helpers) takes an inline allow
 //! naming why the thread's lifetime is bounded some other way.
 
-use super::Ctx;
+use super::{shutdown_reachable, Ctx};
 use crate::parse::{EventKind, FnItem};
 use cool_lint::report::Finding;
-use std::collections::HashSet;
-
-/// Function names treated as shutdown-path roots.
-const ROOTS: &[&str] = &[
-    "close", "shutdown", "stop", "teardown", "cancel", "abort", "drop",
-];
 
 pub fn check(ctx: &Ctx) -> Vec<Finding> {
     let mut out = Vec::new();
     let ws = ctx.ws;
 
-    let is_root = |f: &FnItem| {
-        ROOTS.contains(&f.name.as_str()) || f.trait_name.as_deref() == Some("Drop")
-    };
     // Functions reachable from any shutdown root via resolved call edges.
-    let mut reach: HashSet<(usize, usize)> = HashSet::new();
-    let mut queue: Vec<(usize, usize)> = Vec::new();
-    for (fi, file) in ws.files.iter().enumerate() {
-        for (gi, f) in file.fns.iter().enumerate() {
-            if !f.in_test && is_root(f) && reach.insert((fi, gi)) {
-                queue.push((fi, gi));
-            }
-        }
-    }
-    while let Some(key) = queue.pop() {
-        if let Some(edges) = ctx.graph.edges.get(&key) {
-            for &(_, target) in edges {
-                if reach.insert(target) {
-                    queue.push(target);
-                }
-            }
-        }
-    }
+    let reach = shutdown_reachable(ctx);
 
     let has_join = |f: &FnItem| {
         f.events

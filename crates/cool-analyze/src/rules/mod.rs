@@ -16,12 +16,21 @@
 //! | A006 | condvar waits hold no other ordered lock, have a reachable notify, |
 //! |      | and sit in a predicate loop                                        |
 //! | A007 | every spawned thread has a join reachable from the shutdown path   |
+//! | A008 | every blocking call on the data path is bounded: timeout/deadline  |
+//! |      | variant, §8.5-documented close-sentinel drain, shutdown-path join, |
+//! |      | or a connect chain proven bounded through the call graph           |
+//! | A009 | the replica-health / breaker / retry state machines match the      |
+//! |      | DESIGN.md §8.4 tables both ways, and every transition's documented |
+//! |      | telemetry/flight emission is real                                  |
+//! | A010 | `OrbError` sites on the data path carry their attribution payload  |
+//! |      | (request id, attempts+last, replica identity)                      |
 //! | A000 | the analyzer's allowlist entries stay live (shared with cool-lint) |
 //!
 //! A001/A002 skip test code: the lock-order checker's own tests provoke
 //! inversions on purpose, and test-only blocking under a lock is a test
-//! bug, not a product deadlock. A005–A007 skip test code for the same
-//! reason: test scaffolding spawns and queues die with the test process.
+//! bug, not a product deadlock. A005–A010 skip test code for the same
+//! reason: test scaffolding spawns and queues die with the test process,
+//! and tests construct unattributed errors to probe the retry machinery.
 
 pub mod a001;
 pub mod a002;
@@ -30,16 +39,20 @@ pub mod a004;
 pub mod a005;
 pub mod a006;
 pub mod a007;
+pub mod a008;
+pub mod a009;
+pub mod a010;
 
 /// Every rule the analyzer can emit, for allowlist hygiene and docs.
 pub const RULES: &[&str] = &[
-    "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007",
+    "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009", "A010",
 ];
 
 use crate::callgraph::Graph;
 use crate::facts::Workspace;
-use crate::parse::{Event, EventKind};
+use crate::parse::{Event, EventKind, FnItem};
 use cool_lint::report::Finding;
+use std::collections::HashSet;
 
 /// Everything a rule can look at.
 pub struct Ctx<'a> {
@@ -59,7 +72,46 @@ pub fn run_all(ctx: &Ctx) -> Vec<Finding> {
     out.extend(a005::check(ctx));
     out.extend(a006::check(ctx));
     out.extend(a007::check(ctx));
+    out.extend(a008::check(ctx));
+    out.extend(a009::check(ctx));
+    out.extend(a010::check(ctx));
     out
+}
+
+/// Function-name segments treated as shutdown-path roots (A007/A008).
+pub const SHUTDOWN_ROOTS: &[&str] = &[
+    "close", "shutdown", "stop", "teardown", "cancel", "abort", "drop",
+];
+
+/// Shutdown roots match per underscore segment, so `shutdown_graceful` and
+/// `abort_partial_stack` qualify, plus every `Drop` impl method.
+pub fn is_shutdown_root(f: &FnItem) -> bool {
+    f.trait_name.as_deref() == Some("Drop")
+        || f.name.split('_').any(|seg| SHUTDOWN_ROOTS.contains(&seg))
+}
+
+/// Every function reachable from a shutdown root through resolved call
+/// edges, as (file index, fn index) keys.
+pub fn shutdown_reachable(ctx: &Ctx) -> HashSet<(usize, usize)> {
+    let mut reach: HashSet<(usize, usize)> = HashSet::new();
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    for (fi, file) in ctx.ws.files.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            if !f.in_test && is_shutdown_root(f) && reach.insert((fi, gi)) {
+                queue.push((fi, gi));
+            }
+        }
+    }
+    while let Some(key) = queue.pop() {
+        if let Some(edges) = ctx.graph.edges.get(&key) {
+            for &(_, target) in edges {
+                if reach.insert(target) {
+                    queue.push(target);
+                }
+            }
+        }
+    }
+    reach
 }
 
 /// A guard live at some program point.

@@ -305,6 +305,244 @@ fn a007_flags_only_the_detached_spawn() {
     assert!(msg.contains("never joined on a shutdown path"), "{msg}");
 }
 
+// ---- A008: bounded blocking (hang-freedom) --------------------------
+
+#[test]
+fn a008_flags_unbounded_blocking_and_honors_every_exemption() {
+    let found = findings("hangfree");
+    let a008: Vec<(&str, u32, &str)> = found
+        .iter()
+        .filter(|(r, _, _, _)| r == "A008")
+        .map(|(_, f, l, m)| (f.as_str(), *l, m.as_str()))
+        .collect();
+    assert!(
+        a008.iter().any(|(f, l, m)| *f == "crates/cool-orb/src/lib.rs"
+            && *l == 8
+            && m.contains("lib.rs::serve")),
+        "bare recv flagged: {a008:?}"
+    );
+    assert!(
+        a008.iter().any(|(f, l, m)| *f == "crates/cool-orb/src/lib.rs"
+            && *l == 32
+            && m.contains("lib.rs::spawn_worker")),
+        "closure-body recv attributed to the enclosing fn: {a008:?}"
+    );
+    assert!(
+        a008.iter()
+            .any(|(f, l, _)| *f == "crates/cool-orb/src/lib.rs" && *l == 49),
+        "connect resolving to an unbounded chain flagged: {a008:?}"
+    );
+    assert!(
+        a008.iter()
+            .any(|(f, l, _)| *f == "crates/cool-orb/src/lib.rs" && *l == 54),
+        "the cyclic connector itself flagged: {a008:?}"
+    );
+    assert!(
+        a008.iter()
+            .any(|(f, l, m)| *f == "DESIGN.md" && *l == 9 && m.contains("long_gone")),
+        "stale drain-registry entry flagged: {a008:?}"
+    );
+    assert_eq!(
+        a008.len(),
+        5,
+        "recv_timeout, the registered pump_loop, the shutdown join, the \
+         bounded dial chain, the allowed site and test code stay clean: \
+         {a008:?}"
+    );
+}
+
+// ---- A009: state-machine drift --------------------------------------
+
+#[test]
+fn a009_reconciles_tables_and_code_both_ways_with_real_emissions() {
+    let found = findings("statemachine");
+    let a009: Vec<(&str, u32, &str)> = found
+        .iter()
+        .filter(|(r, _, _, _)| r == "A009")
+        .map(|(_, f, l, m)| (f.as_str(), *l, m.as_str()))
+        .collect();
+    let has = |pred: &dyn Fn(&(&str, u32, &str)) -> bool| a009.iter().any(pred);
+    assert!(
+        has(&|(f, _, m)| *f == "crates/cool-orb/src/lib.rs"
+            && m.contains("`Health::Suspect`")
+            && m.contains("`relapse`")),
+        "undocumented transition flagged, code side: {a009:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 13 && m.contains("matches no construction")),
+        "stale row flagged: {a009:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 14 && m.contains("`Ghost`")),
+        "phantom source state flagged: {a009:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md"
+            && *l == 15
+            && m.contains("not in the telemetry vocabulary")),
+        "unknown emission flagged: {a009:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 16 && m.contains("never references")),
+        "emission whose site is gone flagged: {a009:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 17 && m.contains("names no emission")),
+        "emission-free row flagged: {a009:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 19 && m.contains("not in the \
+             workspace")),
+        "machine pointing at a missing file flagged: {a009:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "DESIGN.md" && *l == 25 && m.contains("never constructs")),
+        "documented-but-never-built machine flagged: {a009:?}"
+    );
+    assert_eq!(
+        a009.len(),
+        8,
+        "the backed rows, match-arm patterns and test constructions stay \
+         clean: {a009:?}"
+    );
+}
+
+// ---- A010: error attribution ----------------------------------------
+
+#[test]
+fn a010_flags_unattributed_errors_and_spares_helpers_and_patterns() {
+    let found = findings("attribution");
+    let a010: Vec<(&str, u32, &str)> = found
+        .iter()
+        .filter(|(r, _, _, _)| r == "A010")
+        .map(|(_, f, l, m)| (f.as_str(), *l, m.as_str()))
+        .collect();
+    let has = |pred: &dyn Fn(&(&str, u32, &str)) -> bool| a010.iter().any(pred);
+    assert!(
+        has(&|(f, l, m)| *f == "crates/cool-orb/src/lib.rs"
+            && *l == 6
+            && m.contains("drops the request id")),
+        "id-less timeout helper flagged: {a010:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "crates/cool-orb/src/lib.rs"
+            && *l == 18
+            && m.contains("bypasses the attribution helpers")),
+        "literal Timeout flagged: {a010:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "crates/cool-orb/src/lib.rs"
+            && *l == 31
+            && m.contains("`attempts` and `last`")),
+        "RetriesExhausted without its cause flagged: {a010:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "crates/cool-orb/src/replica.rs"
+            && *l == 6
+            && m.contains("no replica identity")),
+        "static failover Transport flagged: {a010:?}"
+    );
+    assert!(
+        has(&|(f, l, m)| *f == "crates/cool-orb/src/replica.rs"
+            && *l == 11
+            && m.contains("no replica identity")),
+        "String::from static payload flagged: {a010:?}"
+    );
+    assert_eq!(
+        a010.len(),
+        5,
+        "request_timeout, the allowed preamble, the format! payload, \
+         error.rs, patterns and test code stay clean: {a010:?}"
+    );
+}
+
+// ---- Ratchet + SARIF over a findings-bearing tree -------------------
+
+#[test]
+fn ratchet_demo_a_synthetic_unbounded_recv_fails_the_gate_and_lands_in_sarif() {
+    // The hangfree fixture's `serve` is the synthetic copy of the
+    // invocation path: a bare `recv()` a PR might introduce. Against the
+    // checked-in (empty) baseline the ratchet must fail on it as NEW,
+    // and the SARIF document must carry the annotation for the PR view.
+    let report = analyze_workspace(&fixture_root("hangfree")).expect("fixture analyzes");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let doc = std::fs::read_to_string(root.join("analyze-baseline.json"))
+        .expect("the baseline ships with the repo");
+    let baseline = cool_lint::ratchet::parse_baseline(&doc).expect("baseline parses");
+    let gate = cool_lint::ratchet::ratchet(&report, &baseline);
+    assert!(!gate.is_clean(), "new findings must fail the ratchet");
+    assert!(
+        gate.new
+            .iter()
+            .any(|f| f.rule == "A008" && f.file == "crates/cool-orb/src/lib.rs" && f.line == 8),
+        "the synthetic recv is NEW: {:?}",
+        gate.new
+    );
+    let sarif = cool_lint::ratchet::render_sarif(&report, "cool-analyze");
+    assert!(
+        sarif.contains("\"ruleId\": \"A008\"")
+            && sarif.contains("\"uri\": \"crates/cool-orb/src/lib.rs\"")
+            && sarif.contains("\"startLine\": 8"),
+        "the finding annotates in SARIF: {sarif}"
+    );
+}
+
+// ---- Hygiene: the baseline only shrinks, allows stay capped ---------
+
+#[test]
+fn baseline_and_allowlist_hygiene() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    // The checked-in baseline must be a valid cool-report/v1 document
+    // with no stale budget: every entry it carries must still fire, so
+    // regenerating it can only ever shrink it. (Today it is empty — the
+    // workspace analyzes clean — and this keeps it that way unless a
+    // finding is deliberately baselined.)
+    let doc = std::fs::read_to_string(root.join("analyze-baseline.json"))
+        .expect("analyze-baseline.json ships with the repo");
+    let baseline = cool_lint::ratchet::parse_baseline(&doc).expect("baseline parses");
+    let report = analyze_workspace(root).expect("workspace analyzes");
+    let gate = cool_lint::ratchet::ratchet(&report, &baseline);
+    assert!(
+        gate.stale.is_empty(),
+        "baseline entries that no longer fire must be removed: {:?}",
+        gate.stale
+    );
+    assert!(
+        gate.new.is_empty(),
+        "unbaselined findings: {:?}",
+        gate.new
+    );
+
+    // The shared allowlist stays within budget per rule namespace, and
+    // the hang-freedom/attribution rules take no file-level entries at
+    // all — their exemptions are inline allows (with reasons) or the
+    // §8.5 registry, both of which carry their own justification.
+    let allows = std::fs::read_to_string(root.join("lint-allow.txt")).expect("allowlist");
+    let entries: Vec<&str> = allows
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let rule_of = |line: &str| line.split_whitespace().nth(1).unwrap_or("").to_owned();
+    let a_entries = entries.iter().filter(|l| rule_of(l).starts_with('A')).count();
+    let l_entries = entries.iter().filter(|l| rule_of(l).starts_with('L')).count();
+    assert!(a_entries <= 15, "A-namespace over its cap: {a_entries}");
+    assert!(l_entries <= 15, "L-namespace over its cap: {l_entries}");
+    for banned in ["A008", "A009", "A010"] {
+        assert!(
+            !entries.iter().any(|l| rule_of(l) == banned),
+            "{banned} must not be allowlisted file-wide; use an inline \
+             allow with a reason or the §8.5 registry"
+        );
+    }
+}
+
 // ---- The workspace itself -------------------------------------------
 
 #[test]
@@ -319,12 +557,15 @@ fn the_real_workspace_analyzes_clean() {
         "the workspace must analyze clean:\n{}",
         report.render_text_as("cool-analyze")
     );
-    // All seven substantive rules (plus A000) actually ran to produce
+    // All ten substantive rules (plus A000) actually ran to produce
     // that clean bill — a rule silently dropped from the registry would
     // otherwise make this test pass vacuously.
     assert_eq!(
         cool_analyze::rules::RULES,
-        ["A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007"],
+        [
+            "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009",
+            "A010"
+        ],
         "the rule registry lists every A-rule"
     );
     assert!(

@@ -1,0 +1,9 @@
+//! The exempt helper file: `error.rs` defines the constructors A010
+//! funnels everyone else through, so its own constructions are free.
+
+pub fn timeout(elapsed: Duration) -> OrbError {
+    OrbError::Timeout {
+        request_id: 0,
+        elapsed,
+    }
+}

@@ -1,0 +1,30 @@
+//! A010 fixture, failover-path half: `Transport`/`BadAddress` built in
+//! `replica.rs` must name which replica/set failed.
+
+/// Violation: a static payload attributes nothing.
+pub fn fail_static() -> OrbError {
+    OrbError::Transport("no healthy replica available".into())
+}
+
+/// Violation: `String::from` of a literal is still static.
+pub fn fail_static_from() -> OrbError {
+    OrbError::BadAddress(String::from("empty candidate set"))
+}
+
+/// Clean: the payload carries the replica identity.
+pub fn fail_attributed(replica: &str, tried: usize) -> OrbError {
+    OrbError::Transport(format!("replica {replica} dead after {tried} attempts"))
+}
+
+/// Clean: matching is not constructing.
+pub fn is_transport(e: &OrbError) -> bool {
+    matches!(e, OrbError::Transport(_))
+}
+
+#[cfg(test)]
+mod tests {
+    /// Tests may build skeletal errors to probe the retry machinery.
+    fn skeletal() -> super::OrbError {
+        super::OrbError::Transport("boom".into())
+    }
+}

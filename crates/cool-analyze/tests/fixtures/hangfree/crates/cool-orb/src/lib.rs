@@ -1,0 +1,69 @@
+//! A008 fixture: unbounded blocking on the data path vs every exemption —
+//! timeout variants, shutdown joins, the §8.5 drain registry, bounded
+//! connect chains, inline allows — plus a closure-body site the
+//! per-function event streams exclude and a stale registry entry.
+
+/// Violation: a bare receive with no deadline and no documented drain.
+pub fn serve(rx: &Receiver) {
+    let _ = rx.recv();
+}
+
+/// Clean: the deadline variant bounds the wait by name.
+pub fn serve_bounded(rx: &Receiver) {
+    let _ = rx.recv_timeout(TIMEOUT);
+}
+
+/// Clean: `lib.rs::pump_loop` is in the §8.5 drain registry.
+pub fn pump_loop(rx: &Receiver) {
+    while let Ok(_f) = rx.recv() {}
+}
+
+/// Clean: a shutdown root may join — the threads it waits for are the
+/// ones the close sentinels drain.
+pub fn close(h: Handle) {
+    let _ = h.join();
+}
+
+/// Violation, attributed to this function: the blocking call sits in a
+/// closure body, which the per-function event streams exclude; the
+/// loose-block harvest folds it back in.
+pub fn spawn_worker(rx: Receiver) {
+    let _worker = move || {
+        let _ = rx.recv();
+    };
+}
+
+/// Clean: the connect chain bottoms out in a timeout-bounded dial.
+pub fn redial_ok(addr: &str) {
+    dial(addr);
+}
+
+/// The bounded dialer the chain check resolves.
+pub fn dial(addr: &str) {
+    let _ = TcpStream::connect_timeout(addr, TIMEOUT);
+}
+
+/// Violation: `connect` resolves to the function below, whose own
+/// blocking cannot be proven bounded (the chain cycles).
+pub fn redial_bad(addr: &str) {
+    let _ = connect(addr);
+}
+
+/// An unbounded connector: its own raw `connect` makes the chain cycle.
+pub fn connect(addr: &str) -> Conn {
+    TcpStream::connect(addr)
+}
+
+/// Clean: a reasoned inline allow names the wakeup source.
+pub fn wait_forever(rx: &Receiver) {
+    // lint: allow(A008, fixture: the teardown pump pushes a sentinel that wakes this receiver)
+    let _ = rx.recv();
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may block without a deadline; A008 must not look here.
+    fn blocking_helper(rx: &super::Receiver) {
+        let _ = rx.recv();
+    }
+}

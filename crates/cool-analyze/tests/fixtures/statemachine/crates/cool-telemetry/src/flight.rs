@@ -1,0 +1,3 @@
+//! Fixture flight-recorder event kinds.
+
+pub const EVICTED: &str = "fx_evicted";

@@ -1,0 +1,4 @@
+//! Fixture metric-name catalogue.
+
+pub const EVICTIONS: &str = "fx_evictions_total";
+pub const UNREFERENCED: &str = "fx_unreferenced_total";

@@ -15,6 +15,7 @@
 
 pub mod allowlist;
 pub mod lexer;
+pub mod ratchet;
 pub mod report;
 pub mod rules;
 

@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! cargo run -q --release -p cool-lint [WORKSPACE_ROOT] [--json-out FILE]
+//!     [--ratchet BASELINE] [--sarif-out FILE]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 I/O or usage error. The JSON report
-//! defaults to `lint-report.json` at the workspace root.
+//! defaults to `lint-report.json` at the workspace root. With `--ratchet`
+//! the gate compares against a checked-in `cool-report/v1` baseline and
+//! fails only on *new* findings (or stale baseline entries, so the
+//! baseline only shrinks); `--sarif-out` additionally writes SARIF 2.1.0
+//! for GitHub PR annotations.
 
 #![forbid(unsafe_code)]
 
@@ -15,6 +20,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root_arg: Option<String> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut ratchet_file: Option<PathBuf> = None;
+    let mut sarif_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,8 +32,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--ratchet" => match args.next() {
+                Some(p) => ratchet_file = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("cool-lint: --ratchet needs a baseline path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sarif-out" => match args.next() {
+                Some(p) => sarif_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("cool-lint: --sarif-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: cool-lint [WORKSPACE_ROOT] [--json-out FILE]");
+                println!(
+                    "usage: cool-lint [WORKSPACE_ROOT] [--json-out FILE] \
+                     [--ratchet BASELINE] [--sarif-out FILE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if root_arg.is_none() && !other.starts_with('-') => {
@@ -54,6 +78,37 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::write(&json_path, report.render_json()) {
         eprintln!("cool-lint: write {}: {e}", json_path.display());
         return ExitCode::from(2);
+    }
+    if let Some(path) = sarif_out {
+        let sarif = cool_lint::ratchet::render_sarif(&report, "cool-lint");
+        if let Err(e) = std::fs::write(&path, sarif) {
+            eprintln!("cool-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = ratchet_file {
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cool-lint: read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match cool_lint::ratchet::parse_baseline(&doc) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cool-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let gate = cool_lint::ratchet::ratchet(&report, &baseline);
+        print!("{}", gate.render_text("cool-lint"));
+        return if gate.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
 
     if report.is_clean() {

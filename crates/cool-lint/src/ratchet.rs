@@ -1,0 +1,270 @@
+//! Findings ratchet and SARIF rendering, shared by cool-lint and
+//! cool-analyze.
+//!
+//! The ratchet turns a findings baseline into a one-way gate: CI fails
+//! only on findings **not** in the checked-in baseline, and *also* fails
+//! when a baseline entry no longer fires — so the baseline can only ever
+//! shrink (regenerate it with `--json-out` after fixing a finding). The
+//! baseline file is a `cool-report/v1` JSON document, i.e. exactly what
+//! `--json-out` writes; the parser here is deliberately line-oriented
+//! (one finding object per line, the shape our own renderer pins with a
+//! golden test) rather than a general JSON parser — the crate stays
+//! dependency-free.
+//!
+//! SARIF output (`--sarif-out`) is the minimal SARIF 2.1.0 subset GitHub
+//! code scanning ingests for PR annotations: one run, one driver, one
+//! `result` per finding with a physical location.
+
+use crate::report::{json_str, Finding, Report};
+use std::collections::HashMap;
+
+/// The outcome of comparing a report against a baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Findings with no budget in the baseline: regressions. Each one
+    /// fails the gate.
+    pub new: Vec<Finding>,
+    /// Baseline `(file, rule)` budget that no current finding consumed:
+    /// the finding was fixed but the baseline still carries it. Also
+    /// fails the gate, so the baseline only shrinks.
+    pub stale: Vec<(String, String, usize)>,
+    /// Total findings the baseline carries.
+    pub baseline_total: usize,
+    /// Findings in the current report that the baseline absorbs — the
+    /// burn-down backlog.
+    pub carried: usize,
+}
+
+impl Ratchet {
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Human-readable gate summary, including the burn-down count.
+    pub fn render_text(&self, tool: &str) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            out.push_str(&format!("{tool}: ratchet: NEW {}\n", f.render()));
+        }
+        for (file, rule, n) in &self.stale {
+            out.push_str(&format!(
+                "{tool}: ratchet: STALE baseline entry {file} {rule} x{n} — the finding \
+                 was fixed; shrink the baseline by regenerating it with --json-out\n"
+            ));
+        }
+        out.push_str(&format!(
+            "{tool}: ratchet: {} new, {} stale, {} carried of {} baselined (burn-down \
+             backlog: {})\n",
+            self.new.len(),
+            self.stale.len(),
+            self.carried,
+            self.baseline_total,
+            self.carried
+        ));
+        out
+    }
+}
+
+/// Extracts the string value of `"key": "..."` from `line`, un-escaping
+/// the JSON string literal.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                esc => out.push(esc),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": N` from `line`.
+fn field_u32(line: &str, key: &str) -> Option<u32> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// One baseline finding: `(file, line, rule)`. The message is ignored —
+/// messages carry volatile detail (counts, addresses) that would make
+/// the ratchet brittle.
+pub type BaselineEntry = (String, u32, String);
+
+/// Parses a `cool-report/v1` document (the `--json-out` shape) into its
+/// findings. Returns an error when the document does not declare the
+/// schema — a truncated or hand-mangled baseline must not silently gate
+/// nothing.
+pub fn parse_baseline(doc: &str) -> Result<Vec<BaselineEntry>, String> {
+    if !doc.contains("\"schema\": \"cool-report/v1\"") {
+        return Err("baseline is not a cool-report/v1 document".into());
+    }
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let (Some(file), Some(rule)) = (field_str(line, "file"), field_str(line, "rule")) else {
+            continue;
+        };
+        let Some(ln) = field_u32(line, "line") else {
+            continue;
+        };
+        out.push((file, ln, rule));
+    }
+    Ok(out)
+}
+
+/// Compares `report` against a parsed baseline. Budget is keyed by
+/// `(file, rule)` with a count, not by line: fixing an unrelated hunk
+/// above a baselined finding must not trip the gate, while a *second*
+/// finding of the same rule in the same file does.
+pub fn ratchet(report: &Report, baseline: &[BaselineEntry]) -> Ratchet {
+    let mut budget: HashMap<(String, String), usize> = HashMap::new();
+    for (file, _, rule) in baseline {
+        *budget.entry((file.clone(), rule.clone())).or_default() += 1;
+    }
+    let mut out = Ratchet {
+        baseline_total: baseline.len(),
+        ..Ratchet::default()
+    };
+    for f in &report.findings {
+        match budget.get_mut(&(f.file.clone(), f.rule.to_owned())) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                out.carried += 1;
+            }
+            _ => out.new.push(f.clone()),
+        }
+    }
+    let mut stale: Vec<_> = budget
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|((file, rule), n)| (file, rule, n))
+        .collect();
+    stale.sort();
+    out.stale = stale;
+    out
+}
+
+/// Renders the report as the minimal SARIF 2.1.0 subset GitHub code
+/// scanning consumes (PR annotations at `file:line`). Stable key order,
+/// one result per finding, every distinct rule id declared on the
+/// driver.
+pub fn render_sarif(report: &Report, tool: &str) -> String {
+    let mut rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n",
+    );
+    out.push_str(&format!("          \"name\": {},\n", json_str(tool)));
+    out.push_str("          \"rules\": [");
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n            {{\"id\": {}}}", json_str(r)));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": \
+             {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line.max(1)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(findings: &[(&str, u32, &'static str)]) -> Report {
+        let mut r = Report::default();
+        for &(file, line, rule) in findings {
+            r.findings.push(Finding::new(file, line, rule, "msg"));
+        }
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_json_renderer() {
+        let r = report(&[("a.rs", 3, "A008"), ("b.rs", 9, "A010")]);
+        let parsed = parse_baseline(&r.render_json_as("cool-analyze")).expect("parse");
+        assert_eq!(
+            parsed,
+            [
+                ("a.rs".into(), 3, "A008".into()),
+                ("b.rs".into(), 9, "A010".into())
+            ]
+        );
+        assert!(parse_baseline("{\"findings\": []}").is_err(), "schema required");
+    }
+
+    #[test]
+    fn ratchet_fails_on_new_and_on_stale_but_absorbs_carried() {
+        let baseline = vec![
+            ("a.rs".to_owned(), 3, "A008".to_owned()),
+            ("gone.rs".to_owned(), 1, "A010".to_owned()),
+        ];
+        // a.rs finding moved lines (carried); c.rs is a regression;
+        // gone.rs was fixed but the baseline still lists it (stale).
+        let out = ratchet(&report(&[("a.rs", 7, "A008"), ("c.rs", 2, "A008")]), &baseline);
+        assert_eq!(out.carried, 1);
+        assert_eq!(out.new.len(), 1);
+        assert_eq!(out.new[0].file, "c.rs");
+        assert_eq!(out.stale, [("gone.rs".to_owned(), "A010".to_owned(), 1)]);
+        assert!(!out.is_clean());
+
+        let clean = ratchet(&report(&[("a.rs", 7, "A008")]), &baseline[..1].to_vec());
+        assert!(clean.is_clean());
+        assert_eq!(clean.render_text("t").matches("NEW").count(), 0);
+    }
+
+    #[test]
+    fn sarif_has_the_subset_github_ingests() {
+        let s = render_sarif(&report(&[("a.rs", 3, "A008")]), "cool-analyze");
+        for needle in [
+            "\"version\": \"2.1.0\"",
+            "\"name\": \"cool-analyze\"",
+            "{\"id\": \"A008\"}",
+            "\"ruleId\": \"A008\"",
+            "\"uri\": \"a.rs\"",
+            "\"startLine\": 3",
+            "\"level\": \"error\"",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+        let empty = render_sarif(&Report::default(), "cool-lint");
+        assert!(empty.contains("\"results\": []"));
+    }
+}

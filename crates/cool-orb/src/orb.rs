@@ -393,6 +393,24 @@ struct LadderState {
     steps: Vec<QoSSpec>,
 }
 
+/// Outcome of one [`Stub::decide_retry`] consultation after a retryable
+/// failure. Transitions are tabulated in DESIGN.md §8.4.
+enum RetryDecision {
+    /// Wait this long, then replay the invocation.
+    Backoff(Duration),
+    /// Attempts or wall-clock budget spent; surface the wrapped history.
+    GiveUp,
+}
+
+/// Outcome of walking the degradation ladder after a QoS NACK
+/// ([`Stub::degrade_qos`]). Transitions are tabulated in DESIGN.md §8.4.
+enum DegradeOutcome {
+    /// A rung was applied — retry the invocation at the reduced QoS.
+    Stepped,
+    /// The ladder is empty; the NACK surfaces to the caller.
+    Exhausted,
+}
+
 /// A client proxy for one remote (or colocated) object.
 ///
 /// This is what Chic-generated stubs wrap: `invoke` carries marshalled
@@ -527,22 +545,42 @@ impl Stub {
     }
 
     /// Steps down the ladder after a QoS NACK until a rung applies cleanly
-    /// or the ladder is exhausted. Returns `Ok(true)` when a rung was
-    /// applied (retry the invocation), `Ok(false)` when the ladder is
-    /// empty, and a non-QoS error unchanged.
-    fn degrade_qos(&self) -> Result<bool, OrbError> {
+    /// or the ladder is exhausted. Non-QoS errors pass through unchanged.
+    ///
+    /// The outcomes are this machine's only states (DESIGN.md §8.4): a
+    /// `Stepped` transition emits the degradation counter and flight event
+    /// (inside [`Stub::next_rung`]); `Exhausted` surfaces the original
+    /// NACK to the caller.
+    fn degrade_qos(&self) -> Result<DegradeOutcome, OrbError> {
         loop {
             let Some(rung) = self.next_rung() else {
-                return Ok(false);
+                return Ok(DegradeOutcome::Exhausted);
             };
             match self.set_qos_parameter(rung) {
-                Ok(()) => return Ok(true),
+                Ok(()) => return Ok(DegradeOutcome::Stepped),
                 // This rung is itself unacceptable (invalid spec or the
                 // transport refused the mapped requirements): keep
                 // stepping down.
                 Err(OrbError::QosNotSupported(_)) => continue,
                 Err(other) => return Err(other),
             }
+        }
+    }
+
+    /// What the retry machine decided after a retryable failure: back off
+    /// and replay, or give up. The decision is the transition (DESIGN.md
+    /// §8.4) — `Backoff` bumps the retry counter here, `GiveUp` is what
+    /// [`Stub::invoke`] wraps into [`OrbError::RetriesExhausted`].
+    fn decide_retry(&self, attempt: u32, start: Instant) -> RetryDecision {
+        let policy: Option<&RetryPolicy> = self.retry.as_ref();
+        match policy.and_then(|p| p.next_delay(attempt, start.elapsed())) {
+            Some(delay) => {
+                if let Some(c) = &self.retries {
+                    c.inc();
+                }
+                RetryDecision::Backoff(delay)
+            }
+            None => RetryDecision::GiveUp,
         }
     }
 
@@ -580,15 +618,16 @@ impl Stub {
                 Err(err) => err,
             };
             if matches!(err, OrbError::QosNotSupported(_)) {
-                if self.degrade_qos()? {
-                    continue; // degradation does not consume retry attempts
+                match self.degrade_qos()? {
+                    // Degradation does not consume retry attempts.
+                    DegradeOutcome::Stepped => continue,
+                    DegradeOutcome::Exhausted => return Err(err),
                 }
-                return Err(err);
             }
             if !err.is_retryable() {
                 return Err(err);
             }
-            let Some(delay) = policy.and_then(|p| p.next_delay(attempt, start.elapsed())) else {
+            let RetryDecision::Backoff(delay) = self.decide_retry(attempt, start) else {
                 // A policy that gives up — attempts or wall-clock budget
                 // spent, possibly mid-backoff — must surface *what kept
                 // failing*, not a bare budget error: wrap the last cause
@@ -603,9 +642,6 @@ impl Stub {
                 });
             };
             attempt += 1;
-            if let Some(c) = &self.retries {
-                c.inc();
-            }
             crate::retry::wait_backoff(delay);
             if let Target::Remote(binding) = &self.target {
                 if binding.is_closed() {

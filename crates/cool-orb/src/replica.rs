@@ -201,9 +201,11 @@ impl Orb {
         ladder: Vec<multe_qos::QoSSpec>,
     ) -> Result<Arc<ResolvedStub>, OrbError> {
         if candidates.is_empty() {
-            return Err(OrbError::BadAddress(
-                "cannot bind an empty replica candidate set".into(),
-            ));
+            return Err(OrbError::BadAddress(format!(
+                "cannot bind an empty replica candidate set (required QoS {required:?}, \
+                 {} degradation rung(s))",
+                ladder.len()
+            )));
         }
         let registry = self.config().telemetry.clone();
         let replicas: Vec<ReplicaState> = candidates
@@ -347,14 +349,26 @@ impl ResolvedStub {
     /// attributed timeouts and user exceptions are never replayed), or the
     /// last failure once every eligible replica has been tried.
     pub fn invoke(&self, operation: &str, args: Bytes) -> Result<Bytes, OrbError> {
-        let replica_count = self.replica_set.lock().replicas.len();
+        let (replica_count, members) = {
+            let state = self.replica_set.lock();
+            let members = state
+                .replicas
+                .iter()
+                .map(|r| r.reference.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            (state.replicas.len(), members)
+        };
         let mut tried = vec![false; replica_count];
         let mut last_err: Option<OrbError> = None;
         // lint: allow(L006, failover laps are bounded by the replica count — each lap marks one replica tried; per-attempt retry lives in the underlying stub's RetryPolicy)
         loop {
             let Some(idx) = self.pick(&tried) else {
                 return Err(last_err.unwrap_or_else(|| {
-                    OrbError::Transport("no healthy replica available".into())
+                    OrbError::Transport(format!(
+                        "no healthy replica available for `{operation}`: all {replica_count} \
+                         candidate(s) evicted or breaker-open [{members}]"
+                    ))
                 }));
             };
             tried[idx] = true;
@@ -903,9 +917,44 @@ mod tests {
     fn empty_candidate_set_is_rejected() {
         let client = Orb::with_exchange("client", LocalExchange::new());
         match client.bind_resolved(&[], QoSSpec::best_effort(), Vec::new()) {
-            Err(OrbError::BadAddress(_)) => {}
+            Err(OrbError::BadAddress(msg)) => {
+                // A010: the rejection must be attributed — it says what the
+                // binding asked for, not just that the set was empty.
+                assert!(msg.contains("required QoS"), "unattributed: {msg}");
+            }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn exhausted_replica_set_error_names_the_candidates() {
+        let exchange = LocalExchange::new();
+        let (_orb_a, server_a) = echo_server(&exchange, "attr-a");
+        let (_orb_b, server_b) = echo_server(&exchange, "attr-b");
+        let client = Orb::with_exchange_and_config("client", exchange, client_config(None));
+        let resolved = client
+            .bind_resolved(
+                &[candidate(&server_a, 0), candidate(&server_b, 0)],
+                QoSSpec::best_effort(),
+                Vec::new(),
+            )
+            .expect("bind");
+        // Kill both replicas: the first invoke evicts them (threshold 1,
+        // no prober to re-admit), so the second finds nothing eligible on
+        // its first lap and must fall back to the attributed summary.
+        server_a.close();
+        server_b.close();
+        let _ = resolved.invoke("echo", Bytes::from_static(b"x"));
+        match resolved.invoke("echo", Bytes::from_static(b"y")) {
+            Err(OrbError::Transport(msg)) => {
+                assert!(
+                    msg.contains("all 2 candidate(s)") && msg.contains("attr-a"),
+                    "unattributed: {msg}"
+                );
+            }
+            other => panic!("expected attributed Transport error, got {other:?}"),
+        }
+        resolved.close();
     }
 
     #[test]

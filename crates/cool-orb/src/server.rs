@@ -292,7 +292,10 @@ impl OrbServer {
             exchange.unlisten(scheme, name);
         }
         if let Some(addr) = self.wake_addr {
-            let _ = std::net::TcpStream::connect(addr);
+            // Bounded poke: the accept loop is local, so a second is ample;
+            // an unbounded connect here could wedge close() behind a
+            // half-dead loopback stack.
+            let _ = std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(1));
         }
         // Take the handle out first, then join with the lock released: a
         // join under `server.acceptor` would stall any thread touching the

@@ -83,7 +83,7 @@ impl ComChannel for ChorusComChannel {
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
-        self.inbox.recv(timeout)
+        self.inbox.recv_timeout(timeout)
     }
 
     fn set_sink(&self, sink: Arc<dyn FrameSink>) {

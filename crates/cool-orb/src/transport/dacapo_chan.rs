@@ -242,7 +242,7 @@ impl ComChannel for DacapoComChannel {
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
-        self.inner.inbox.recv(timeout)
+        self.inner.inbox.recv_timeout(timeout)
     }
 
     fn set_sink(&self, sink: Arc<dyn FrameSink>) {

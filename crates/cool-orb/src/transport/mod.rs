@@ -268,7 +268,7 @@ impl FrameInbox {
 
     /// Blocks until a frame is available, the inbox closes, or the timeout
     /// elapses. Queued frames are drained before the close is reported.
-    pub fn recv(&self, timeout: Duration) -> Result<Bytes, OrbError> {
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, OrbError> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         loop {
@@ -282,6 +282,7 @@ impl FrameInbox {
                 && st.queue.is_empty()
                 && !st.closed
             {
+                // lint: allow(A010, the inbox sits below the request layer — no request exists here; invoke_once rewraps this as request_timeout with the id)
                 return Err(OrbError::timeout(timeout));
             }
         }
@@ -372,7 +373,7 @@ mod tests {
     fn recv_wakes_on_push_without_polling() {
         let inbox = Arc::new(FrameInbox::new());
         let i2 = Arc::clone(&inbox);
-        let t = thread::spawn(move || i2.recv(Duration::from_secs(5)));
+        let t = thread::spawn(move || i2.recv_timeout(Duration::from_secs(5)));
         thread::sleep(Duration::from_millis(20));
         let start = Instant::now();
         inbox.push(Bytes::from_static(b"hi"));
@@ -386,7 +387,7 @@ mod tests {
     fn recv_times_out_with_real_deadline() {
         let inbox = FrameInbox::new();
         let start = Instant::now();
-        let err = inbox.recv(Duration::from_millis(60)).unwrap_err();
+        let err = inbox.recv_timeout(Duration::from_millis(60)).unwrap_err();
         assert!(matches!(err, OrbError::Timeout { .. }));
         assert!(start.elapsed() >= Duration::from_millis(55));
     }
@@ -462,9 +463,9 @@ mod tests {
         let inbox = FrameInbox::new();
         inbox.push(Bytes::from_static(b"tail"));
         inbox.close();
-        assert_eq!(&inbox.recv(Duration::from_millis(10)).unwrap()[..], b"tail");
+        assert_eq!(&inbox.recv_timeout(Duration::from_millis(10)).unwrap()[..], b"tail");
         assert!(matches!(
-            inbox.recv(Duration::from_millis(10)),
+            inbox.recv_timeout(Duration::from_millis(10)),
             Err(OrbError::Closed)
         ));
     }

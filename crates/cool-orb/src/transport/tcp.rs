@@ -22,6 +22,14 @@ use std::time::Duration;
 /// ask for an absurd allocation).
 const MAX_TCP_FRAME: u32 = 256 * 1024 * 1024;
 
+/// Upper bound on TCP connection establishment. A blackholed address (a
+/// dropped-SYN firewall, a dead replica that still resolves) would leave a
+/// bare `TcpStream::connect` in the OS default wait — minutes — and that
+/// wait sits on the *invocation* path: `Stub` reconnects mid-call after a
+/// transport death. Failing the dial attributed after a bounded wait lets
+/// the retry/failover machinery move to the next replica instead.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// A frame-preserving channel over a real TCP connection.
 pub struct TcpComChannel {
     writer: Mutex<TcpStream>,
@@ -61,9 +69,35 @@ impl TcpComChannel {
         addr: impl ToSocketAddrs,
         telemetry: Option<&Registry>,
     ) -> Result<Self, OrbError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| OrbError::Transport(format!("tcp connect: {e}")))?;
-        TcpComChannel::from_stream_with(stream, telemetry)
+        TcpComChannel::connect_timeout_with(addr, CONNECT_TIMEOUT, telemetry)
+    }
+
+    /// Like [`TcpComChannel::connect_with`], with an explicit bound on the
+    /// connection-establishment wait. Every address the name resolves to
+    /// is tried in turn, each under the same `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Transport`] if no address accepts within `timeout`.
+    pub fn connect_timeout_with(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        telemetry: Option<&Registry>,
+    ) -> Result<Self, OrbError> {
+        let addrs = addr
+            .to_socket_addrs()
+            .map_err(|e| OrbError::Transport(format!("tcp resolve: {e}")))?;
+        let mut last: Option<std::io::Error> = None;
+        for a in addrs {
+            match TcpStream::connect_timeout(&a, timeout) {
+                Ok(stream) => return TcpComChannel::from_stream_with(stream, telemetry),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(OrbError::Transport(match last {
+            Some(e) => format!("tcp connect: {e}"),
+            None => "tcp connect: address resolved to nothing".to_owned(),
+        }))
     }
 
     /// Wraps an accepted stream, starting the reader thread.
@@ -178,7 +212,7 @@ impl ComChannel for TcpComChannel {
     }
 
     fn recv_frame(&self, timeout: Duration) -> Result<Bytes, OrbError> {
-        self.inbox.recv(timeout)
+        self.inbox.recv_timeout(timeout)
     }
 
     fn set_sink(&self, sink: Arc<dyn FrameSink>) {
@@ -291,6 +325,27 @@ mod tests {
     fn connect_to_nothing_fails() {
         // Port 1 is essentially never listening.
         assert!(TcpComChannel::connect("127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn connect_wait_is_bounded_by_the_timeout() {
+        // 240.0.0.1 (class E, unroutable) blackholes the SYN on most
+        // stacks; where the OS rejects it instantly — or a transparent
+        // proxy answers for it, as some sandboxes do — the timing bound
+        // still holds. The invariant under test is that the dial returns
+        // well before the OS-default connect wait (minutes), bounded by
+        // the passed timeout; when it does fail, it must fail attributed.
+        let start = Instant::now();
+        let res =
+            TcpComChannel::connect_timeout_with("240.0.0.1:81", Duration::from_millis(200), None);
+        if let Err(e) = &res {
+            assert!(matches!(e, OrbError::Transport(_)), "unattributed: {e:?}");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "dial must respect the connect timeout, waited {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -18,9 +18,16 @@ cargo run -q --release -p cool-lint -- --json-out lint-report.json
 # graph, codec symmetry in cool-giop, telemetry-name discipline, channel
 # topology + boundedness against the §7.4 table, condvar wait-graph
 # checks (notify reachability, predicate loops, no foreign lock across a
-# wait) and spawn/join lifecycle on shutdown paths. Same exit/report
-# conventions as cool-lint.
-cargo run -q --release -p cool-analyze -- --json-out analyze-report.json
+# wait), spawn/join lifecycle on shutdown paths, hang-freedom (bounded
+# blocking vs the §8.5 drain registry), state-machine drift vs the §8.4
+# tables, and error-attribution discipline. Same exit/report conventions
+# as cool-lint; the gate is the ratchet against the checked-in baseline
+# (fails on any NEW finding, and on stale baseline entries so the
+# baseline only shrinks), with SARIF for PR annotations.
+cargo run -q --release -p cool-analyze -- \
+    --json-out analyze-report.json \
+    --sarif-out analyze-report.sarif \
+    --ratchet analyze-baseline.json
 
 # ThreadSanitizer smoke on the chaos test, best effort: -Zsanitizer needs
 # a nightly toolchain with rust-src (for -Zbuild-std). Skip cleanly when
